@@ -1,0 +1,35 @@
+//! Campaign throughput, serial vs rayon-parallel — the paper runs
+//! 1,000-run campaigns on a 24-core node; this measures how the
+//! reproduction exploits cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_core::prelude::*;
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+fn bench_campaign(c: &mut Criterion) {
+    let app = NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 24, ..Default::default() },
+        ..Default::default()
+    });
+    let runs = 40usize;
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(runs as u64));
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
+            b.iter(|| {
+                let mut cfg =
+                    CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                        .with_runs(runs)
+                        .with_seed(3);
+                cfg.parallel = parallel;
+                Campaign::new(&app, cfg).run().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

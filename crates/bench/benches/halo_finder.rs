@@ -1,0 +1,21 @@
+//! Halo-finder (Friends-of-Friends) cost vs grid size — the Nyx
+//! post-analysis on every campaign run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nyx_sim::{find_halos, generate, FieldConfig, HaloFinderConfig};
+
+fn bench_halo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_finder");
+    for &n in &[24usize, 32, 48] {
+        let field = generate(&FieldConfig { n, ..Default::default() });
+        let values: Vec<f64> = field.iter().map(|&v| v as f64).collect();
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| find_halos(&values, [n; 3], &HaloFinderConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_halo);
+criterion_main!(benches);

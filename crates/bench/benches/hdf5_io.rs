@@ -1,0 +1,46 @@
+//! hdf5lite write/read throughput vs grid size — the substrate cost
+//! under every Nyx campaign cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_vfs::MemFs;
+use hdf5lite::{read_dataset, write_file, Dataset, FileBuilder, WriteOptions};
+
+fn bench_hdf5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdf5_io");
+    for &n in &[16usize, 32, 48] {
+        let data: Vec<f32> = (0..n * n * n).map(|i| 1.0 + (i % 13) as f32 * 0.05).collect();
+        let bytes = (n * n * n * 4) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+
+        group.bench_with_input(BenchmarkId::new("write", n), &n, |b, &n| {
+            b.iter(|| {
+                let fs = MemFs::new();
+                let mut builder = FileBuilder::new();
+                builder
+                    .add_dataset(
+                        "/native_fields/baryon_density",
+                        Dataset::f32("baryon_density", &[n as u64; 3], &data),
+                    )
+                    .unwrap();
+                write_file(&fs, "/plt.h5", &builder.into_root(), &WriteOptions::default()).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("read_decode", n), &n, |b, &n| {
+            let fs = MemFs::new();
+            let mut builder = FileBuilder::new();
+            builder
+                .add_dataset(
+                    "/native_fields/baryon_density",
+                    Dataset::f32("baryon_density", &[n as u64; 3], &data),
+                )
+                .unwrap();
+            write_file(&fs, "/plt.h5", &builder.into_root(), &WriteOptions::default()).unwrap();
+            b.iter(|| read_dataset(&fs, "/plt.h5", "/native_fields/baryon_density").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hdf5);
+criterion_main!(benches);

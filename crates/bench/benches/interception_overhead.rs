@@ -1,0 +1,48 @@
+//! Perf companion to the paper's transparency requirement (R1): the
+//! FFISFS interception layer must not meaningfully perturb the I/O
+//! path it instruments. Measures the write path bare vs mounted vs
+//! mounted-with-armed-injector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_core::{ArmedInjector, FaultModel, FaultSignature};
+use ffis_vfs::{FfisFs, FileSystem, FileSystemExt, MemFs};
+use std::sync::Arc;
+
+fn write_workload(fs: &dyn FileSystem, total: usize) {
+    fs.write_file_chunked("/bench.dat", &vec![0xA5u8; total], 4096).unwrap();
+    fs.unlink("/bench.dat").unwrap();
+}
+
+fn bench_interception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interception_overhead");
+    for &kib in &[64usize, 1024] {
+        let total = kib * 1024;
+        group.throughput(Throughput::Bytes(total as u64));
+
+        group.bench_with_input(BenchmarkId::new("bare_memfs", kib), &total, |b, &total| {
+            let fs = MemFs::new();
+            b.iter(|| write_workload(&fs, total));
+        });
+
+        group.bench_with_input(BenchmarkId::new("ffisfs_mounted", kib), &total, |b, &total| {
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            b.iter(|| write_workload(&*ffs, total));
+        });
+
+        group.bench_with_input(BenchmarkId::new("ffisfs_armed", kib), &total, |b, &total| {
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            // Armed far beyond the instance count: the hot path pays
+            // the eligibility check on every write without firing.
+            ffs.attach(Arc::new(ArmedInjector::new(
+                FaultSignature::on_write(FaultModel::bit_flip()),
+                u64::MAX,
+                7,
+            )));
+            b.iter(|| write_workload(&*ffs, total));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interception);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Metadata byte-scan throughput (Table III's engine): full
+//! write→inject→read→analyze cycles per scanned byte.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ffis_core::{scan, FlipMode, ScanConfig, TargetFilter};
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+fn bench_scan(c: &mut Criterion) {
+    let app = NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 16, ..Default::default() },
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("metadata_scan");
+    group.sample_size(10);
+    // Stride 32 ⇒ ~68 injected runs per iteration.
+    let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
+    cfg.stride = 32;
+    cfg.flip = FlipMode::TwoBitsRandom;
+    group.throughput(Throughput::Elements(2184 / 32));
+    group.bench_function("stride32", |b| {
+        b.iter(|| scan(&app, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

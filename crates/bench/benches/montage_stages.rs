@@ -1,0 +1,60 @@
+//! Per-stage Montage pipeline cost — identifies which of the four
+//! instrumented stages dominates a campaign run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffis_vfs::{FileSystem, MemFs};
+use montage_sim::{
+    m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images, write_raws,
+    PipelineConfig,
+};
+
+fn prepared_fs(cfg: &PipelineConfig, through: usize) -> MemFs {
+    let fs = MemFs::new();
+    for d in ["/raw", "/proj", "/diff", "/corr", "/mosaic"] {
+        fs.mkdir(d, 0o755).unwrap();
+    }
+    write_raws(&fs, &make_raw_images(cfg)).unwrap();
+    if through >= 1 {
+        m_proj_exec(&fs, cfg).unwrap();
+    }
+    if through >= 3 {
+        let pairs = m_diff_exec(&fs, cfg).unwrap();
+        m_bg_exec(&fs, cfg, &pairs).unwrap();
+    }
+    if through >= 4 {
+        m_add(&fs, cfg).unwrap();
+    }
+    fs
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group("montage_stages");
+    group.sample_size(20);
+
+    group.bench_function("mProjExec", |b| {
+        let fs = prepared_fs(&cfg, 0);
+        b.iter(|| m_proj_exec(&fs, &cfg).unwrap());
+    });
+    group.bench_function("mDiffExec", |b| {
+        let fs = prepared_fs(&cfg, 1);
+        b.iter(|| m_diff_exec(&fs, &cfg).unwrap());
+    });
+    group.bench_function("mBgExec", |b| {
+        let fs = prepared_fs(&cfg, 1);
+        let pairs = m_diff_exec(&fs, &cfg).unwrap();
+        b.iter(|| m_bg_exec(&fs, &cfg, &pairs).unwrap());
+    });
+    group.bench_function("mAdd", |b| {
+        let fs = prepared_fs(&cfg, 3);
+        b.iter(|| m_add(&fs, &cfg).unwrap());
+    });
+    group.bench_function("mViewer", |b| {
+        let fs = prepared_fs(&cfg, 4);
+        b.iter(|| m_viewer(&fs, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

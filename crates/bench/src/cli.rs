@@ -1,0 +1,118 @@
+//! Minimal `--flag value` argument parsing for the `repro` binary.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Injection runs per campaign cell (paper: 1000).
+    pub runs: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Nyx grid side for campaign experiments.
+    pub grid: usize,
+    /// Output directory for reports/artifacts.
+    pub out: PathBuf,
+    /// Quick mode: smaller workloads and fewer runs (CI-friendly).
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            runs: 1000,
+            seed: 0xFF15_2021,
+            grid: 96,
+            out: PathBuf::from("results"),
+            quick: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parse from `--flag value` pairs; returns the options and any
+    /// positional arguments.
+    pub fn parse(args: &[String]) -> Result<(Options, Vec<String>), String> {
+        let mut opts = Options::default();
+        let mut positional = Vec::new();
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(flag) = a.strip_prefix("--") {
+                if flag == "quick" {
+                    opts.quick = true;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{} requires a value", flag))?
+                    .clone();
+                map.insert(flag.to_string(), value);
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        if let Some(v) = map.get("runs") {
+            opts.runs = v.parse().map_err(|_| format!("bad --runs '{}'", v))?;
+        }
+        if let Some(v) = map.get("seed") {
+            opts.seed = v.parse().map_err(|_| format!("bad --seed '{}'", v))?;
+        }
+        if let Some(v) = map.get("grid") {
+            opts.grid = v.parse().map_err(|_| format!("bad --grid '{}'", v))?;
+        }
+        if let Some(v) = map.get("out") {
+            opts.out = PathBuf::from(v);
+        }
+        if opts.quick {
+            opts.runs = opts.runs.min(120);
+            opts.grid = opts.grid.min(48);
+        }
+        Ok((opts, positional))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> (Options, Vec<String>) {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn defaults() {
+        let (o, pos) = parse(&["fig7"]);
+        assert_eq!(o.runs, 1000);
+        assert_eq!(o.grid, 96);
+        assert!(!o.quick);
+        assert_eq!(pos, vec!["fig7"]);
+    }
+
+    #[test]
+    fn flags_override() {
+        let (o, pos) = parse(&["table3", "--runs", "50", "--seed", "9", "--grid", "32", "--out", "/tmp/x"]);
+        assert_eq!(o.runs, 50);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.grid, 32);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert_eq!(pos, vec!["table3"]);
+    }
+
+    #[test]
+    fn quick_caps_sizes() {
+        let (o, _) = parse(&["fig7", "--quick"]);
+        assert!(o.quick);
+        assert!(o.runs <= 120);
+        assert!(o.grid <= 48);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let args: Vec<String> = vec!["--runs".into()];
+        assert!(Options::parse(&args).is_err());
+        let bad: Vec<String> = vec!["--runs".into(), "abc".into()];
+        assert!(Options::parse(&bad).is_err());
+    }
+}

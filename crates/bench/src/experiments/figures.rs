@@ -1,0 +1,270 @@
+//! Figures 5, 6, 8 and 9 — the visual/series artifacts.
+
+use ffis_core::{
+    locate_write, run_with_byte_fault, ByteFlip, FaultModel, FaultSignature, Histogram, Outcome,
+    TargetFilter, WritePick,
+};
+use ffis_vfs::{FfisFs, MemFs};
+use std::sync::Arc;
+
+use crate::cli::Options;
+use crate::experiments::tables::{metadata_app, nyx_field_map};
+use crate::report::{grid_to_pgm_log, save_bytes, Report, Table};
+
+fn mid_slice(values: &[f64], n: usize) -> Vec<f64> {
+    let z = n / 2;
+    values[z * n * n..(z + 1) * n * n].to_vec()
+}
+
+/// Figure 5 — visualization of typical SDC cases: original field,
+/// Exponent-Bias-scaled field, ARD-shifted field (mid-plane slices,
+/// log stretch, written as PGMs + a CSV of slice statistics).
+pub fn fig5(opts: &Options) -> Report {
+    let mut report = Report::new("fig5");
+    report.line("Figure 5 — Visualization of typical SDC cases (mid-plane slices)");
+    report.blank();
+
+    let app = metadata_app(opts);
+    let map = nyx_field_map(&app);
+    let target = TargetFilter::PathSuffix(".h5".into());
+    let (instance, _, _, golden) =
+        locate_write(&app, &target, WritePick::Penultimate).expect("locatable");
+    let n = app.n();
+
+    let golden_field = golden.field.clone().expect("keep_field enabled");
+    let slice = mid_slice(&golden_field, n);
+    save_bytes(&opts.out, "fig5_original.pgm", &grid_to_pgm_log(&slice, n, n)).ok();
+
+    let mut t = Table::new();
+    t.row(&["case", "outcome", "mean", "slice min", "slice max", "artifact"]);
+    let gmean = golden.catalog.mean;
+    t.row(&[
+        "original",
+        "-",
+        &format!("{:.4}", gmean),
+        &format!("{:.3}", slice.iter().cloned().fold(f64::INFINITY, f64::min)),
+        &format!("{:.3}", slice.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+        "fig5_original.pgm",
+    ]);
+
+    for (case, needle, flip, artifact) in [
+        ("Exponent Bias", "ExponentBias", ByteFlip::Xor(0x0C), "fig5_exponent_bias.pgm"),
+        ("ARD", "AddressOfRawData", ByteFlip::Xor(0x40), "fig5_ard.pgm"),
+    ] {
+        let span = map.find(needle)[0].clone();
+        let (outcome, faulty, _) =
+            run_with_byte_fault(&app, &golden, &target, instance, span.start as usize, flip);
+        if let Some(f) = faulty.as_ref().and_then(|o| o.field.clone()) {
+            let s = mid_slice(&f, n);
+            save_bytes(&opts.out, artifact, &grid_to_pgm_log(&s, n, n)).ok();
+            let fmean = faulty.as_ref().unwrap().catalog.mean;
+            t.row(&[
+                case,
+                outcome.name(),
+                &format!("{:.4}", fmean),
+                &format!("{:.3}", s.iter().cloned().fold(f64::INFINITY, f64::min)),
+                &format!("{:.3}", s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+                artifact,
+            ]);
+        } else {
+            t.row(&[case, outcome.name(), "-", "-", "-", "-"]);
+        }
+    }
+    report.line(t.render());
+    report.line("Paper: a faulty Exponent Bias scales the input (Fig. 5b); a faulty ARD shifts it (Fig. 5c).");
+    report
+}
+
+/// Figure 6 — halo candidate cells around the strongest halo, original
+/// vs a faulty Mantissa Size field (ASCII map + PGMs).
+pub fn fig6(opts: &Options) -> Report {
+    let mut report = Report::new("fig6");
+    report.line("Figure 6 — Halo candidate cells with a faulty Mantissa Size field");
+    report.blank();
+
+    let app = metadata_app(opts);
+    let map = nyx_field_map(&app);
+    let target = TargetFilter::PathSuffix(".h5".into());
+    let (instance, _, _, golden) =
+        locate_write(&app, &target, WritePick::Penultimate).expect("locatable");
+    let n = app.n();
+
+    let span = map.find("MantissaSize")[0].clone();
+    let (outcome, faulty, _) = run_with_byte_fault(
+        &app,
+        &golden,
+        &target,
+        instance,
+        span.start as usize,
+        ByteFlip::Xor(0x04),
+    );
+
+    let gfield = golden.field.as_ref().expect("keep_field");
+    let gmask = nyx_sim::candidate_mask(gfield, golden.catalog.threshold);
+    let gcount = gmask.iter().filter(|&&m| m).count();
+    report.line(format!(
+        "original: {} candidate cells, {} halos",
+        gcount,
+        golden.catalog.halos.len()
+    ));
+
+    if let Some(fout) = &faulty {
+        let ffield = fout.field.as_ref().expect("keep_field");
+        let fmask = nyx_sim::candidate_mask(ffield, fout.catalog.threshold);
+        let fcount = fmask.iter().filter(|&&m| m).count();
+        report.line(format!(
+            "faulty Mantissa Size ({}): {} candidate cells, {} halos",
+            outcome.name(),
+            fcount,
+            fout.catalog.halos.len()
+        ));
+        report.blank();
+
+        // ASCII map of the z-plane with the most golden candidates.
+        let plane = (0..n)
+            .max_by_key(|&z| {
+                gmask[z * n * n..(z + 1) * n * n].iter().filter(|&&m| m).count()
+            })
+            .unwrap_or(n / 2);
+        report.line(format!("candidate map at z = {} ('#' original, 'o' faulty, '@' both):", plane));
+        for y in 0..n {
+            let mut row = String::with_capacity(n);
+            for x in 0..n {
+                let idx = (plane * n + y) * n + x;
+                row.push(match (gmask[idx], fmask[idx]) {
+                    (true, true) => '@',
+                    (true, false) => '#',
+                    (false, true) => 'o',
+                    (false, false) => '.',
+                });
+            }
+            report.line(row);
+        }
+        report.blank();
+        report.line("Paper: \"In the faulty case, the number of halo cell candidates is reduced");
+        report.line("compared to the original case thus there are not enough halo candidates to form a halo.\"");
+    } else {
+        report.line(format!("faulty run did not complete ({})", outcome.name()));
+    }
+    report
+}
+
+/// Figure 8 — halo-mass distribution, original vs DROPPED-WRITE faulty.
+pub fn fig8(opts: &Options) -> Report {
+    let mut report = Report::new("fig8");
+    report.line("Figure 8 — Halo-finder analysis on original and faulty (DROPPED WRITE) data");
+    report.blank();
+
+    let app = crate::experiments::campaigns::nyx_app(opts);
+    let golden = {
+        use ffis_core::FaultApp;
+        app.run(&MemFs::new()).expect("golden run")
+    };
+
+    // Inject one dropped write into an early data chunk.
+    use ffis_core::{ArmedInjector, FaultApp};
+    let sig = FaultSignature::on_write(FaultModel::dropped_write());
+    let injector = Arc::new(ArmedInjector::new(sig, 3, opts.seed));
+    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+    ffs.attach(injector);
+    let faulty = app.run(&*ffs).expect("faulty run completes");
+    let outcome = app.classify(&golden, &faulty);
+
+    let mut gh = Histogram::log10(1.5, 5.0, 14);
+    for h in &golden.catalog.halos {
+        gh.add_log10(h.mass);
+    }
+    let mut fh = Histogram::log10(1.5, 5.0, 14);
+    for h in &faulty.catalog.halos {
+        fh.add_log10(h.mass);
+    }
+
+    let mut t = Table::new();
+    t.row(&["log10(mass) bin center", "original count", "faulty count"]);
+    for (i, (center, count)) in gh.series().into_iter().enumerate() {
+        t.row(&[
+            &format!("{:.2}", center),
+            &count.to_string(),
+            &fh.counts()[i].to_string(),
+        ]);
+    }
+    report.line(t.render());
+    report.line(format!(
+        "original: {} halos (mean {:.6}); faulty: {} halos (mean {:.6}); outcome: {}",
+        golden.catalog.halos.len(),
+        golden.catalog.mean,
+        faulty.catalog.halos.len(),
+        faulty.catalog.mean,
+        outcome.name()
+    ));
+    report.line("Paper: \"the SDC curve is different from the original curve, especially when the");
+    report.line("mass is relatively large, because halos with larger mass have more halo cells and");
+    report.line("are more susceptible to DROPPED WRITE.\"");
+    report
+}
+
+/// Figure 9 — a typical faulty mosaic due to DROPPED WRITE (PGMs +
+/// min statistics).
+pub fn fig9(opts: &Options) -> Report {
+    let mut report = Report::new("fig9");
+    report.line("Figure 9 — A typical faulty Montage mosaic due to DROPPED WRITE");
+    report.blank();
+
+    use ffis_core::{ArmedInjector, FaultApp};
+    use montage_sim::MontageApp;
+
+    let app = MontageApp::paper_default();
+    let golden = app.run(&MemFs::new()).expect("golden run");
+    save_bytes(&opts.out, "fig9_original.pgm", &golden.image.bytes).ok();
+
+    // Drop a data chunk inside the co-addition inputs (stage-4 path).
+    let mut found = None;
+    for instance in 1..40u64 {
+        let mut sig = FaultSignature::on_write(FaultModel::dropped_write());
+        sig.target = MontageApp::stage_filter(montage_sim::Stage::Add);
+        let injector = Arc::new(ArmedInjector::new(sig, instance, opts.seed));
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        ffs.attach(injector.clone());
+        match app.run(&*ffs) {
+            Ok(faulty) => {
+                let outcome = app.classify(&golden, &faulty);
+                if outcome != Outcome::Benign {
+                    found = Some((instance, faulty, outcome));
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+
+    match found {
+        Some((instance, faulty, outcome)) => {
+            save_bytes(&opts.out, "fig9_faulty.pgm", &faulty.image.bytes).ok();
+            let mut t = Table::new();
+            t.row(&["", "min", "max", "artifact"]);
+            t.row(&[
+                "original",
+                &format!("{:.4}", golden.image.min),
+                &format!("{:.4}", golden.image.max),
+                "fig9_original.pgm",
+            ]);
+            t.row(&[
+                "faulty",
+                &format!("{:.4}", faulty.image.min),
+                &format!("{:.4}", faulty.image.max),
+                "fig9_faulty.pgm",
+            ]);
+            report.line(t.render());
+            report.line(format!(
+                "dropped write instance {} in the mAdd output path; outcome: {}",
+                instance,
+                outcome.name()
+            ));
+            report.line("Paper: \"there is a black line in the middle of the vortex, which is caused by");
+            report.line("missing a large piece of data due to DROPPED WRITE\"; the faulty min falls");
+            report.line("outside [golden-0.01, golden+0.01], so the case is detected.");
+        }
+        None => report.line("no visible faulty case found in the scanned instances"),
+    }
+    report
+}

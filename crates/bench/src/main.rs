@@ -1,0 +1,54 @@
+//! `repro` — regenerate every table and figure of the paper.
+
+use ffis_bench::{experiments, Options};
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: repro <experiment> [--runs N] [--seed S] [--grid G] [--out DIR] [--quick]\n\n\
+         experiments:\n",
+    );
+    for name in experiments::ALL {
+        s.push_str(&format!("  {}\n", name));
+    }
+    s.push_str("  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  all        (everything above)\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, positional) = match Options::parse(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {}\n\n{}", e, usage());
+            std::process::exit(2);
+        }
+    };
+    let Some(cmd) = positional.first() else {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    };
+
+    let names: Vec<&str> = if cmd == "all" {
+        let mut v: Vec<&str> = experiments::ALL.to_vec();
+        v.extend(["repair", "profile", "read-faults", "checksum", "param-faults"]);
+        v
+    } else {
+        vec![cmd.as_str()]
+    };
+
+    for name in names {
+        let started = std::time::Instant::now();
+        match experiments::run(name, &opts) {
+            Ok(report) => {
+                if let Err(e) = report.emit(&opts.out) {
+                    eprintln!("warning: could not save {}: {}", name, e);
+                }
+                eprintln!("[{}] done in {:.1}s", name, started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {}\n\n{}", e, usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}

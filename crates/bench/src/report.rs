@@ -1,0 +1,205 @@
+//! Report rendering and persistence for the reproduction harness.
+//!
+//! Every experiment prints its table/series to stdout *and* saves a
+//! copy under `results/`, so `repro all` leaves a complete paper-vs-
+//! measured record on disk.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A text report being assembled.
+#[derive(Debug, Default)]
+pub struct Report {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// New report with an experiment name (used as the file stem).
+    pub fn new(name: &str) -> Self {
+        Report { name: name.to_string(), lines: Vec::new() }
+    }
+
+    /// Append a line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Append a formatted section header.
+    pub fn header(&mut self, title: &str) {
+        self.lines.push(String::new());
+        self.lines.push(format!("== {} ==", title));
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// The rendered text.
+    pub fn text(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Print to stdout and save to `<out_dir>/<name>.txt`.
+    pub fn emit(&self, out_dir: &Path) -> std::io::Result<PathBuf> {
+        print!("{}", self.text());
+        std::fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{}.txt", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.text().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Save raw bytes (PGM renders, CSV series) next to the reports.
+pub fn save_bytes(out_dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(name);
+    std::fs::write(&path, bytes)?;
+    Ok(path)
+}
+
+/// Render a grayscale f64 grid as a binary PGM (min–max stretch),
+/// used for the Figure 5/6/9 visual artifacts.
+pub fn grid_to_pgm(values: &[f64], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(values.len(), width * height);
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &finite {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || hi <= lo {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    let scale = 255.0 / (hi - lo);
+    let mut out = format!("P5 {} {} 255\n", width, height).into_bytes();
+    for &v in values {
+        out.push(if v.is_finite() { ((v - lo) * scale).clamp(0.0, 255.0) as u8 } else { 0 });
+    }
+    out
+}
+
+/// Render a log-scaled PGM (better for density fields spanning decades).
+pub fn grid_to_pgm_log(values: &[f64], width: usize, height: usize) -> Vec<u8> {
+    let logged: Vec<f64> = values
+        .iter()
+        .map(|&v| if v.is_finite() && v > 0.0 { v.ln() } else { f64::NAN })
+        .collect();
+    grid_to_pgm(&logged, width, height)
+}
+
+/// Simple aligned-column table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let cols = self.rows.iter().map(Vec::len).max().unwrap();
+        let mut widths = vec![0usize; cols];
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for r in &self.rows {
+            let mut line = String::new();
+            for (i, c) in r.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_collects_and_renders() {
+        let mut r = Report::new("t");
+        r.line("hello");
+        r.header("Section");
+        r.line("world");
+        let text = r.text();
+        assert!(text.contains("hello"));
+        assert!(text.contains("== Section =="));
+        assert!(text.ends_with("world\n"));
+    }
+
+    #[test]
+    fn report_emit_writes_file() {
+        let dir = std::env::temp_dir().join(format!("ffis-report-{}", std::process::id()));
+        let mut r = Report::new("sample");
+        r.line("data");
+        let path = r.emit(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "data\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pgm_has_header_and_payload() {
+        let values = vec![0.0, 0.5, 1.0, 0.25];
+        let pgm = grid_to_pgm(&values, 2, 2);
+        assert!(pgm.starts_with(b"P5 2 2 255\n"));
+        assert_eq!(pgm.len(), b"P5 2 2 255\n".len() + 4);
+        assert_eq!(*pgm.last().unwrap(), 63); // 0.25 of the range
+    }
+
+    #[test]
+    fn pgm_handles_nan_and_flat() {
+        let values = vec![f64::NAN, 1.0, 1.0, 1.0];
+        let pgm = grid_to_pgm(&values, 2, 2);
+        let payload = &pgm[b"P5 2 2 255\n".len()..];
+        assert_eq!(payload[0], 0);
+        let flat = grid_to_pgm(&[2.0, 2.0], 2, 1);
+        assert!(flat.len() > 2);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new();
+        t.row(&["a", "long-cell", "x"]);
+        t.row(&["longer", "b", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].find("long-cell"), lines[1].find('b').map(|_| 8));
+    }
+
+    #[test]
+    fn log_pgm_compresses_dynamic_range() {
+        let values = vec![1.0, 10.0, 100.0, 1000.0];
+        let lin = grid_to_pgm(&values, 4, 1);
+        let log = grid_to_pgm_log(&values, 4, 1);
+        let lin_payload = &lin[b"P5 4 1 255\n".len()..];
+        let log_payload = &log[b"P5 4 1 255\n".len()..];
+        // In log space the second value is much brighter than in
+        // linear space.
+        assert!(log_payload[1] > lin_payload[1]);
+    }
+}

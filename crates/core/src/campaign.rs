@@ -1,0 +1,512 @@
+//! The campaign runner: profile → inject × N → classify → tally.
+//!
+//! Implements the full FFIS workflow of Figure 4: load the user
+//! configuration, run the I/O profiler fault-free to obtain the
+//! dynamic primitive count, then repeatedly (1) pick a uniformly
+//! random instance of the target primitive, (2) mount a fresh FFISFS,
+//! (3) run the application with the armed injector, (4) classify the
+//! outcome against the golden run, until the configured number of
+//! runs (statistical significance) is reached. Runs are independent,
+//! so the campaign fans out across cores with rayon — the paper runs
+//! its campaigns on a 24-core node.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use ffis_vfs::{FfisFs, MemFs};
+
+use crate::fault::FaultSignature;
+use crate::injector::{ArmedInjector, InjectionRecord};
+use crate::outcome::{FaultApp, Outcome, OutcomeTally};
+use crate::profiler::{IoProfiler, ProfileReport};
+use crate::rng::Rng;
+
+/// Campaign configuration (the paper's user configuration plus the
+/// execution knobs).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Fault signature to inject.
+    pub signature: FaultSignature,
+    /// Number of injection runs (paper: 1,000 per cell).
+    pub runs: usize,
+    /// Root seed; run `i` derives child stream `i`.
+    pub seed: u64,
+    /// Fan runs out across the rayon thread pool.
+    pub parallel: bool,
+}
+
+impl CampaignConfig {
+    /// Config with paper defaults (1,000 runs, parallel).
+    pub fn new(signature: FaultSignature) -> Self {
+        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true }
+    }
+
+    /// Override the run count.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one injection run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Run index within the campaign.
+    pub run: usize,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// The armed instance (1-based) this run targeted.
+    pub target_instance: u64,
+    /// What the injector actually did (None = never fired).
+    pub injection: Option<InjectionRecord>,
+    /// Crash message, when the run crashed.
+    pub crash_message: Option<String>,
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Outcome tally with CI accessors.
+    pub tally: OutcomeTally,
+    /// Per-run results (in run order).
+    pub runs: Vec<RunResult>,
+    /// The fault-free profile that sized the injection space.
+    pub profile: ProfileReport,
+}
+
+impl CampaignResult {
+    /// Runs with a given outcome.
+    pub fn runs_with(&self, o: Outcome) -> impl Iterator<Item = &RunResult> {
+        self.runs.iter().filter(move |r| r.outcome == o)
+    }
+
+    /// Group crash runs by the leading token of their message — a
+    /// quick taxonomy of *where* the stack gave up (file-format
+    /// validation vs. application checks vs. analysis tooling).
+    /// Returns `(message prefix, count)` sorted by descending count.
+    pub fn crash_breakdown(&self) -> Vec<(String, u64)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for r in self.runs_with(Outcome::Crash) {
+            let msg = r.crash_message.as_deref().unwrap_or("<no message>");
+            // First clause up to ':' keeps the error source, drops the
+            // per-run specifics (offsets, sizes).
+            let key = msg.split(':').next().unwrap_or(msg).trim().to_string();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, u64)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// One CSV row per outcome class: `label,benign,detected,sdc,crash,n`.
+    pub fn csv_row(&self, label: &str) -> String {
+        format!(
+            "{},{},{},{},{},{}",
+            label,
+            self.tally.benign,
+            self.tally.detected,
+            self.tally.sdc,
+            self.tally.crash,
+            self.tally.total()
+        )
+    }
+}
+
+/// Campaign errors (distinct from application crashes, which are data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The fault signature failed validation.
+    BadSignature(String),
+    /// The golden (fault-free) run failed — nothing to compare against.
+    GoldenRunFailed(String),
+    /// The profiler found no eligible instance to inject into.
+    NoEligibleInstances,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::BadSignature(m) => write!(f, "invalid fault signature: {}", m),
+            CampaignError::GoldenRunFailed(m) => write!(f, "golden run failed: {}", m),
+            CampaignError::NoEligibleInstances => {
+                f.write_str("no eligible primitive instances to inject into")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The campaign driver.
+pub struct Campaign<'a, A: FaultApp> {
+    app: &'a A,
+    config: CampaignConfig,
+}
+
+impl<'a, A: FaultApp> Campaign<'a, A> {
+    /// New campaign over `app`.
+    pub fn new(app: &'a A, config: CampaignConfig) -> Self {
+        Campaign { app, config }
+    }
+
+    /// Execute the whole workflow.
+    pub fn run(&self) -> Result<CampaignResult, CampaignError> {
+        self.config.signature.validate().map_err(CampaignError::BadSignature)?;
+
+        // Phase 1+2: golden run doubles as the profiling run — the
+        // paper executes the application fault-free once to both count
+        // primitives and capture the reference output.
+        let profiler =
+            IoProfiler::new(self.config.signature.primitive, self.config.signature.target.clone());
+        let (profile, golden) = profiler
+            .profile(|fs| self.app.run(fs))
+            .map_err(CampaignError::GoldenRunFailed)?;
+        if profile.eligible == 0 {
+            return Err(CampaignError::NoEligibleInstances);
+        }
+
+        // Phase 3: N injection runs.
+        let root = Rng::seed_from(self.config.seed);
+        let golden = Arc::new(golden);
+        let run_one = |i: usize| -> RunResult {
+            let mut rng = root.child(i as u64);
+            // "generates a random number from 0 to count-1" → 1-based
+            // instance index in [1, count].
+            let target_instance = rng.gen_range(profile.eligible) + 1;
+            let injector = Arc::new(ArmedInjector::new(
+                self.config.signature.clone(),
+                target_instance,
+                rng.next_u64(),
+            ));
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            ffs.attach(injector.clone());
+            let app_result =
+                catch_unwind(AssertUnwindSafe(|| self.app.run(&*ffs)));
+            ffs.unmount();
+            let injection = injector.record();
+            match app_result {
+                Ok(Ok(faulty)) => RunResult {
+                    run: i,
+                    outcome: self.app.classify(&golden, &faulty),
+                    target_instance,
+                    injection,
+                    crash_message: None,
+                },
+                Ok(Err(msg)) => RunResult {
+                    run: i,
+                    outcome: Outcome::Crash,
+                    target_instance,
+                    injection,
+                    crash_message: Some(msg),
+                },
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic".to_string());
+                    RunResult {
+                        run: i,
+                        outcome: Outcome::Crash,
+                        target_instance,
+                        injection,
+                        crash_message: Some(msg),
+                    }
+                }
+            }
+        };
+
+        let runs: Vec<RunResult> = if self.config.parallel {
+            (0..self.config.runs).into_par_iter().map(run_one).collect()
+        } else {
+            (0..self.config.runs).map(run_one).collect()
+        };
+
+        let mut tally = OutcomeTally::new();
+        for r in &runs {
+            if r.injection.is_none() && r.outcome == Outcome::Benign {
+                // Fault never fired *and* output matched: not a real
+                // trial. (A crash before the fire point still counts —
+                // mount-time effects are real.)
+                tally.no_fire += 1;
+            }
+            tally.record(r.outcome);
+        }
+        Ok(CampaignResult { tally, runs, profile })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+    use ffis_vfs::{FileSystem, FileSystemExt};
+
+    /// Toy workload: writes a 10-block data file plus a log, then
+    /// "analyzes" by summing the data bytes. Classification mimics the
+    /// paper's scheme: bitwise-equal file = benign; sum parity works
+    /// as a stand-in detector.
+    struct ToyApp;
+
+    #[derive(Clone)]
+    struct ToyOutput {
+        file: Vec<u8>,
+        checksum: u64,
+    }
+
+    impl FaultApp for ToyApp {
+        type Output = ToyOutput;
+
+        fn run(&self, fs: &dyn FileSystem) -> Result<ToyOutput, String> {
+            let data: Vec<u8> = (0..4096 * 10).map(|i| (i % 255) as u8).collect();
+            fs.write_file_chunked("/out.dat", &data, 4096).map_err(|e| e.to_string())?;
+            fs.write_file("/run.log", b"ok\n").map_err(|e| e.to_string())?;
+            let back = fs.read_to_vec("/out.dat").map_err(|e| e.to_string())?;
+            if back.len() != data.len() {
+                return Err("short file".into());
+            }
+            let checksum = back.iter().map(|&b| b as u64).sum();
+            Ok(ToyOutput { file: back, checksum })
+        }
+
+        fn classify(&self, golden: &ToyOutput, faulty: &ToyOutput) -> Outcome {
+            if golden.file == faulty.file {
+                Outcome::Benign
+            } else if faulty.checksum.abs_diff(golden.checksum) > 1000 {
+                Outcome::Detected
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn name(&self) -> String {
+            "TOY".into()
+        }
+    }
+
+    #[test]
+    fn bitflip_campaign_runs_and_classifies() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(50)
+            .with_seed(1);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(result.tally.total(), 50);
+        assert_eq!(result.profile.eligible, 11); // 10 chunks + 1 log write
+        // Every run fired (profile count == run count space).
+        assert_eq!(result.tally.no_fire, 0);
+        // A 2-bit flip in /out.dat always changes the file...
+        // unless it hit the log write (1 in 11 chance).
+        assert!(result.tally.benign < 20);
+        assert!(result.tally.sdc + result.tally.detected > 30);
+    }
+
+    #[test]
+    fn dropped_write_campaign_mostly_detected() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
+            .with_runs(110)
+            .with_seed(2);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        // 9 of the 11 write instances are interior data chunks whose
+        // loss moves the checksum past the detection threshold; the
+        // last chunk shortens the file (crash) and the log write is
+        // invisible to classification (benign).
+        assert!(result.tally.detected >= 66, "{}", result.tally);
+        assert!(result.tally.benign <= 22, "{}", result.tally);
+        assert!(result.tally.crash <= 22, "{}", result.tally);
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let mk = |parallel| {
+            let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(30)
+                .with_seed(3);
+            cfg.parallel = parallel;
+            Campaign::new(&ToyApp, cfg).run().unwrap()
+        };
+        let a = mk(false);
+        let b = mk(true);
+        assert_eq!(a.tally, b.tally);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.target_instance, y.target_instance);
+        }
+    }
+
+    #[test]
+    fn campaign_is_seed_deterministic() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(20)
+            .with_seed(9);
+        let a = Campaign::new(&ToyApp, cfg.clone()).run().unwrap();
+        let b = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn different_seeds_give_different_instance_choices() {
+        let a = Campaign::new(
+            &ToyApp,
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(10)
+                .with_seed(100),
+        )
+        .run()
+        .unwrap();
+        let b = Campaign::new(
+            &ToyApp,
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(10)
+                .with_seed(200),
+        )
+        .run()
+        .unwrap();
+        let ia: Vec<_> = a.runs.iter().map(|r| r.target_instance).collect();
+        let ib: Vec<_> = b.runs.iter().map(|r| r.target_instance).collect();
+        assert_ne!(ia, ib);
+    }
+
+    #[test]
+    fn instances_cover_space_uniformly() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(300)
+            .with_seed(4);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in &result.runs {
+            assert!(r.target_instance >= 1 && r.target_instance <= 11);
+            seen.insert(r.target_instance);
+        }
+        assert_eq!(seen.len(), 11, "R4: all instances sampled");
+    }
+
+    struct CrashyApp;
+    impl FaultApp for CrashyApp {
+        type Output = ();
+        fn run(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file("/x", &[7u8; 4096]).map_err(|e| e.to_string())?;
+            let back = fs.read_to_vec("/x").map_err(|e| e.to_string())?;
+            // Panics on corrupted data — exercises catch_unwind.
+            assert!(back.iter().all(|&b| b == 7), "corrupted!");
+            Ok(())
+        }
+        fn classify(&self, _g: &(), _f: &()) -> Outcome {
+            Outcome::Benign
+        }
+        fn name(&self) -> String {
+            "CRASHY".into()
+        }
+    }
+
+    #[test]
+    fn panics_count_as_crash() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(10)
+            .with_seed(5);
+        let result = Campaign::new(&CrashyApp, cfg).run().unwrap();
+        assert_eq!(result.tally.crash, 10);
+        assert!(result.runs[0].crash_message.as_deref().unwrap_or("").contains("corrupted"));
+    }
+
+    struct NoIoApp;
+    impl FaultApp for NoIoApp {
+        type Output = ();
+        fn run(&self, _fs: &dyn FileSystem) -> Result<(), String> {
+            Ok(())
+        }
+        fn classify(&self, _g: &(), _f: &()) -> Outcome {
+            Outcome::Benign
+        }
+        fn name(&self) -> String {
+            "NOIO".into()
+        }
+    }
+
+    #[test]
+    fn no_eligible_instances_is_an_error() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
+        assert_eq!(
+            Campaign::new(&NoIoApp, cfg).run().err(),
+            Some(CampaignError::NoEligibleInstances)
+        );
+    }
+
+    struct BrokenApp;
+    impl FaultApp for BrokenApp {
+        type Output = ();
+        fn run(&self, _fs: &dyn FileSystem) -> Result<(), String> {
+            Err("always fails".into())
+        }
+        fn classify(&self, _g: &(), _f: &()) -> Outcome {
+            Outcome::Benign
+        }
+        fn name(&self) -> String {
+            "BROKEN".into()
+        }
+    }
+
+    #[test]
+    fn golden_failure_is_an_error() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
+        match Campaign::new(&BrokenApp, cfg).run() {
+            Err(CampaignError::GoldenRunFailed(m)) => assert!(m.contains("always fails")),
+            other => panic!("unexpected {:?}", other.map(|r| r.tally)),
+        }
+    }
+
+    #[test]
+    fn bad_signature_is_an_error() {
+        let sig = FaultSignature::on_write(FaultModel::BitFlip { bits: 0 });
+        let cfg = CampaignConfig::new(sig).with_runs(1);
+        assert!(matches!(
+            Campaign::new(&ToyApp, cfg).run(),
+            Err(CampaignError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn crash_breakdown_groups_messages() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(8)
+            .with_seed(5);
+        let result = Campaign::new(&CrashyApp, cfg).run().unwrap();
+        let breakdown = result.crash_breakdown();
+        assert_eq!(breakdown.len(), 1, "{:?}", breakdown);
+        assert_eq!(breakdown[0].1, 8);
+        assert!(breakdown[0].0.contains("corrupted"));
+    }
+
+    #[test]
+    fn csv_row_format() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(10)
+            .with_seed(5);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        let row = result.csv_row("NYX,BF".trim_matches(',')); // label passthrough
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), 7); // label carries its own comma here
+        assert_eq!(fields.last().unwrap(), &"10");
+    }
+
+    #[test]
+    fn runs_with_filters_by_outcome() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
+            .with_runs(20)
+            .with_seed(6);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        let detected: Vec<_> = result.runs_with(Outcome::Detected).collect();
+        assert_eq!(detected.len() as u64, result.tally.detected);
+        for r in detected {
+            assert_eq!(r.outcome, Outcome::Detected);
+        }
+    }
+}

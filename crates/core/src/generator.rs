@@ -1,0 +1,222 @@
+//! The fault generator (paper §III-C).
+//!
+//! "The fault generator reads the configuration specified by the user
+//! to produce a fault signature, which includes the fault model, the
+//! file system primitive where the fault would be injected for that
+//! fault model, and the choice of the feature associated with the
+//! fault model."
+//!
+//! [`FaultConfig`] is the user-facing, string-friendly configuration
+//! (what a config file or CLI provides); [`FaultConfig::build`] turns
+//! it into a validated [`FaultSignature`].
+
+use ffis_vfs::Primitive;
+
+use crate::fault::{FaultModel, FaultSignature, ShornFill, ShornKeep, TargetFilter};
+
+/// User configuration for one fault signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Fault model name: `"bitflip"`, `"shorn"`, `"dropped"` (also
+    /// accepts the paper's display names and `BF`/`SW`/`DW` labels).
+    pub model: String,
+    /// BIT FLIP: number of consecutive bits (default 2).
+    pub bits: Option<u32>,
+    /// SHORN WRITE: `"3/8"` or `"7/8"` (default `"7/8"`).
+    pub keep: Option<String>,
+    /// SHORN WRITE: torn-region fill `"stale"`, `"zeros"`, `"random"`
+    /// (default `"stale"`).
+    pub fill: Option<String>,
+    /// Target primitive (default `"write"`).
+    pub primitive: Option<String>,
+    /// Restrict eligible invocations to paths containing this substring.
+    pub path_contains: Option<String>,
+    /// Restrict eligible invocations to paths with this suffix.
+    pub path_suffix: Option<String>,
+}
+
+impl FaultConfig {
+    /// Minimal config: just a model name, paper defaults for the rest.
+    pub fn model(name: &str) -> Self {
+        FaultConfig {
+            model: name.to_string(),
+            bits: None,
+            keep: None,
+            fill: None,
+            primitive: None,
+            path_contains: None,
+            path_suffix: None,
+        }
+    }
+
+    /// Scope the signature to paths containing `s`.
+    pub fn scoped_to(mut self, s: &str) -> Self {
+        self.path_contains = Some(s.to_string());
+        self
+    }
+
+    /// Override BIT FLIP width.
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        self.bits = Some(bits);
+        self
+    }
+
+    /// Build and validate the fault signature.
+    pub fn build(&self) -> Result<FaultSignature, String> {
+        let model = match self.model.to_ascii_lowercase().replace([' ', '_', '-'], "").as_str() {
+            "bitflip" | "bf" => FaultModel::BitFlip { bits: self.bits.unwrap_or(2) },
+            "shorn" | "shornwrite" | "sw" => {
+                let keep = match self.keep.as_deref().unwrap_or("7/8") {
+                    "3/8" => ShornKeep::ThreeEighths,
+                    "7/8" => ShornKeep::SevenEighths,
+                    other => return Err(format!("unknown shorn keep fraction '{}'", other)),
+                };
+                let fill = match self.fill.as_deref().unwrap_or("stale") {
+                    "stale" => ShornFill::Stale,
+                    "zeros" => ShornFill::Zeros,
+                    "random" => ShornFill::Random,
+                    other => return Err(format!("unknown shorn fill '{}'", other)),
+                };
+                FaultModel::ShornWrite { keep, fill }
+            }
+            "dropped" | "droppedwrite" | "dw" => FaultModel::DroppedWrite,
+            other => return Err(format!("unknown fault model '{}'", other)),
+        };
+        let primitive = match self
+            .primitive
+            .as_deref()
+            .unwrap_or("write")
+            .to_ascii_lowercase()
+            .trim_start_matches("ffis_")
+        {
+            "write" | "pwrite" => Primitive::Write,
+            "mknod" => Primitive::Mknod,
+            "chmod" => Primitive::Chmod,
+            "truncate" => Primitive::Truncate,
+            other => return Err(format!("'{}' is not an injectable primitive", other)),
+        };
+        let target = match (&self.path_contains, &self.path_suffix) {
+            (Some(_), Some(_)) => {
+                return Err("path_contains and path_suffix are mutually exclusive".into())
+            }
+            (Some(s), None) => TargetFilter::PathContains(s.clone()),
+            (None, Some(s)) => TargetFilter::PathSuffix(s.clone()),
+            (None, None) => TargetFilter::Any,
+        };
+        let sig = FaultSignature { model, primitive, target };
+        sig.validate()?;
+        Ok(sig)
+    }
+}
+
+/// The three paper-default signatures, in Figure 7 order.
+pub fn paper_signatures() -> [FaultSignature; 3] {
+    [
+        FaultSignature::on_write(FaultModel::bit_flip()),
+        FaultSignature::on_write(FaultModel::shorn_write()),
+        FaultSignature::on_write(FaultModel::dropped_write()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bitflip() {
+        let sig = FaultConfig::model("bitflip").build().unwrap();
+        assert_eq!(sig.model, FaultModel::BitFlip { bits: 2 });
+        assert_eq!(sig.primitive, Primitive::Write);
+        assert_eq!(sig.target, TargetFilter::Any);
+    }
+
+    #[test]
+    fn accepts_paper_labels_and_spellings() {
+        for name in ["BF", "bf", "BIT FLIP", "bit_flip", "bit-flip"] {
+            let sig = FaultConfig::model(name).build().unwrap();
+            assert!(matches!(sig.model, FaultModel::BitFlip { bits: 2 }), "{}", name);
+        }
+        for name in ["SW", "shorn", "SHORN WRITE"] {
+            let sig = FaultConfig::model(name).build().unwrap();
+            assert!(matches!(sig.model, FaultModel::ShornWrite { .. }), "{}", name);
+        }
+        for name in ["DW", "dropped", "DROPPED WRITE"] {
+            let sig = FaultConfig::model(name).build().unwrap();
+            assert!(matches!(sig.model, FaultModel::DroppedWrite), "{}", name);
+        }
+    }
+
+    #[test]
+    fn bits_override() {
+        let sig = FaultConfig::model("bitflip").with_bits(4).build().unwrap();
+        assert_eq!(sig.model, FaultModel::BitFlip { bits: 4 });
+    }
+
+    #[test]
+    fn shorn_features() {
+        let mut c = FaultConfig::model("shorn");
+        c.keep = Some("3/8".into());
+        c.fill = Some("zeros".into());
+        let sig = c.build().unwrap();
+        assert_eq!(
+            sig.model,
+            FaultModel::ShornWrite { keep: ShornKeep::ThreeEighths, fill: ShornFill::Zeros }
+        );
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(FaultConfig::model("meteor").build().is_err());
+        let mut bad_keep = FaultConfig::model("shorn");
+        bad_keep.keep = Some("5/8".into());
+        assert!(bad_keep.build().is_err());
+        let mut bad_fill = FaultConfig::model("shorn");
+        bad_fill.fill = Some("lava".into());
+        assert!(bad_fill.build().is_err());
+        let mut bad_prim = FaultConfig::model("bitflip");
+        bad_prim.primitive = Some("open".into());
+        assert!(bad_prim.build().is_err());
+        let mut both = FaultConfig::model("bitflip");
+        both.path_contains = Some("a".into());
+        both.path_suffix = Some("b".into());
+        assert!(both.build().is_err());
+        let zero = FaultConfig::model("bitflip").with_bits(0);
+        assert!(zero.build().is_err());
+    }
+
+    #[test]
+    fn primitive_spellings() {
+        for (s, p) in [
+            ("write", Primitive::Write),
+            ("FFIS_write", Primitive::Write),
+            ("pwrite", Primitive::Write),
+            ("mknod", Primitive::Mknod),
+            ("chmod", Primitive::Chmod),
+            ("truncate", Primitive::Truncate),
+        ] {
+            let mut c = FaultConfig::model("bitflip");
+            c.primitive = Some(s.into());
+            assert_eq!(c.build().unwrap().primitive, p, "{}", s);
+        }
+    }
+
+    #[test]
+    fn scoped_filter() {
+        let sig = FaultConfig::model("dropped").scoped_to("plt").build().unwrap();
+        assert_eq!(sig.target, TargetFilter::PathContains("plt".into()));
+        let mut c = FaultConfig::model("dropped");
+        c.path_suffix = Some(".h5".into());
+        assert_eq!(c.build().unwrap().target, TargetFilter::PathSuffix(".h5".into()));
+    }
+
+    #[test]
+    fn paper_signatures_order() {
+        let sigs = paper_signatures();
+        assert_eq!(sigs[0].model.label(), "BF");
+        assert_eq!(sigs[1].model.label(), "SW");
+        assert_eq!(sigs[2].model.label(), "DW");
+        for s in &sigs {
+            assert!(s.validate().is_ok());
+        }
+    }
+}

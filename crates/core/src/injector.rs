@@ -1,0 +1,566 @@
+//! The fault injector (paper §III-C).
+//!
+//! "For each fault injection run, it first generates a random number
+//! from 0 to count-1, and executes the application normally. When the
+//! execution count of the target primitive hits that random number,
+//! the fault injector applies the fault based on the fault signature."
+//!
+//! [`ArmedInjector`] is an [`Interceptor`] armed with a fault
+//! signature and a target instance number; it counts *eligible*
+//! invocations (primitive matches, target filter matches) and fires
+//! exactly once. [`ByteFaultInjector`] is the precision variant used
+//! by the HDF5 metadata scan (§IV-D): it targets one specific write
+//! instance and damages one specific byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ffis_vfs::{CallContext, Interceptor, Primitive, WriteAction};
+
+use crate::fault::{FaultSignature, Mutation};
+use crate::rng::Rng;
+
+/// What actually happened when the fault fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Primitive that hosted the fault.
+    pub primitive: Primitive,
+    /// Eligible-instance number that fired (1-based).
+    pub instance: u64,
+    /// Per-primitive dynamic sequence number at fire time.
+    pub prim_seq: u64,
+    /// Target file path, when known.
+    pub path: Option<String>,
+    /// Byte offset of the hosting write, when applicable.
+    pub offset: Option<u64>,
+    /// Buffer length of the hosting write, when applicable.
+    pub len: usize,
+    /// Damage description from the fault model.
+    pub detail: String,
+}
+
+/// Interceptor that fires one fault at the `target_instance`-th
+/// eligible invocation of the signature's primitive.
+pub struct ArmedInjector {
+    signature: FaultSignature,
+    target_instance: u64,
+    eligible_seen: AtomicU64,
+    rng: Mutex<Rng>,
+    record: Mutex<Option<InjectionRecord>>,
+}
+
+impl ArmedInjector {
+    /// Arm an injector: fire at the `target_instance`-th (1-based)
+    /// eligible invocation, drawing random fault features from a
+    /// stream seeded with `seed`.
+    pub fn new(signature: FaultSignature, target_instance: u64, seed: u64) -> Self {
+        debug_assert!(target_instance >= 1, "instances are 1-based");
+        ArmedInjector {
+            signature,
+            target_instance,
+            eligible_seen: AtomicU64::new(0),
+            rng: Mutex::new(Rng::seed_from(seed)),
+            record: Mutex::new(None),
+        }
+    }
+
+    /// The injection record, if the fault fired.
+    pub fn record(&self) -> Option<InjectionRecord> {
+        self.record.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Did the fault fire?
+    pub fn fired(&self) -> bool {
+        self.record().is_some()
+    }
+
+    /// Number of eligible invocations observed so far.
+    pub fn eligible_seen(&self) -> u64 {
+        self.eligible_seen.load(Ordering::SeqCst)
+    }
+
+    /// Check eligibility and return this invocation's eligible-instance
+    /// number when it is the armed one.
+    fn hit(&self, cx: &CallContext, primitive: Primitive) -> Option<u64> {
+        if self.signature.primitive != primitive {
+            return None;
+        }
+        if !self.signature.target.matches(cx.path.as_deref()) {
+            return None;
+        }
+        let k = self.eligible_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        (k == self.target_instance).then_some(k)
+    }
+
+    fn store_record(&self, cx: &CallContext, instance: u64, detail: String) {
+        *self.record.lock().unwrap_or_else(|e| e.into_inner()) = Some(InjectionRecord {
+            primitive: cx.primitive,
+            instance,
+            prim_seq: cx.prim_seq,
+            path: cx.path.clone(),
+            offset: cx.offset,
+            len: cx.len,
+            detail,
+        });
+    }
+}
+
+impl Interceptor for ArmedInjector {
+    fn on_write(&self, cx: &CallContext, buf: &[u8]) -> WriteAction {
+        let Some(instance) = self.hit(cx, Primitive::Write) else {
+            return WriteAction::Forward;
+        };
+        let mutation = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            self.signature.model.apply_to_buffer(buf, &mut rng)
+        };
+        match mutation {
+            Mutation::Replaced { buf: out, detail } => {
+                self.store_record(cx, instance, detail);
+                // The application is told the full write succeeded —
+                // the corruption is silent at the filesystem interface.
+                WriteAction::Replace { buf: out, reported_len: buf.len() }
+            }
+            Mutation::Dropped => {
+                self.store_record(cx, instance, "dropped".into());
+                WriteAction::Drop { reported_len: buf.len() }
+            }
+            Mutation::NotApplicable => WriteAction::Forward,
+        }
+    }
+
+    fn on_mknod(&self, cx: &CallContext, mode: &mut u32, dev: &mut u64) {
+        let Some(instance) = self.hit(cx, Primitive::Mknod) else {
+            return;
+        };
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        // Fault lands in either parameter (Fig. 3b shows both `mode`
+        // and `dev` instrumented); pick uniformly.
+        if rng.chance(0.5) {
+            if let Some((v, d)) = self.signature.model.apply_to_scalar(u64::from(*mode), 12, &mut rng) {
+                *mode = (v & 0o7777) as u32;
+                self.store_record(cx, instance, format!("mknod.mode {}", d));
+            }
+        } else if let Some((v, d)) = self.signature.model.apply_to_scalar(*dev, 32, &mut rng) {
+            *dev = v;
+            self.store_record(cx, instance, format!("mknod.dev {}", d));
+        }
+    }
+
+    fn on_chmod(&self, cx: &CallContext, mode: &mut u32) {
+        let Some(instance) = self.hit(cx, Primitive::Chmod) else {
+            return;
+        };
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((v, d)) = self.signature.model.apply_to_scalar(u64::from(*mode), 12, &mut rng) {
+            *mode = (v & 0o7777) as u32;
+            self.store_record(cx, instance, format!("chmod.mode {}", d));
+        }
+    }
+
+    fn on_truncate(&self, cx: &CallContext, size: &mut u64) {
+        let Some(instance) = self.hit(cx, Primitive::Truncate) else {
+            return;
+        };
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((v, d)) = self.signature.model.apply_to_scalar(*size, 32, &mut rng) {
+            *size = v;
+            self.store_record(cx, instance, format!("truncate.size {}", d));
+        }
+    }
+}
+
+/// Read-path fault injector: flips bits in the data *returned* to the
+/// application by the `target_instance`-th eligible read (the paper's
+/// abstract-level capability of planting faults "into the data
+/// returned from underlying file systems" — modelling uncorrectable
+/// read errors that slip past the device ECC).
+pub struct ReadFaultInjector {
+    filter: crate::fault::TargetFilter,
+    target_instance: u64,
+    bits: u32,
+    eligible_seen: AtomicU64,
+    rng: Mutex<Rng>,
+    record: Mutex<Option<InjectionRecord>>,
+}
+
+impl ReadFaultInjector {
+    /// Arm for the `target_instance`-th (1-based) matching read,
+    /// flipping `bits` consecutive bits of the returned data.
+    pub fn new(filter: crate::fault::TargetFilter, target_instance: u64, bits: u32, seed: u64) -> Self {
+        ReadFaultInjector {
+            filter,
+            target_instance,
+            bits: bits.max(1),
+            eligible_seen: AtomicU64::new(0),
+            rng: Mutex::new(Rng::seed_from(seed)),
+            record: Mutex::new(None),
+        }
+    }
+
+    /// The injection record, if the fault fired.
+    pub fn record(&self) -> Option<InjectionRecord> {
+        self.record.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Eligible reads observed.
+    pub fn eligible_seen(&self) -> u64 {
+        self.eligible_seen.load(Ordering::SeqCst)
+    }
+}
+
+impl Interceptor for ReadFaultInjector {
+    fn on_read_data(&self, cx: &CallContext, buf: &mut [u8], n: usize) {
+        if cx.primitive != Primitive::Read || !self.filter.matches(cx.path.as_deref()) {
+            return;
+        }
+        let k = self.eligible_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if k != self.target_instance || n == 0 {
+            return;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        let total_bits = n as u64 * 8;
+        let width = u64::from(self.bits).min(total_bits);
+        let start = rng.gen_range(total_bits - width + 1);
+        for b in start..start + width {
+            buf[(b / 8) as usize] ^= 1u8 << (b % 8);
+        }
+        *self.record.lock().unwrap_or_else(|e| e.into_inner()) = Some(InjectionRecord {
+            primitive: Primitive::Read,
+            instance: k,
+            prim_seq: cx.prim_seq,
+            path: cx.path.clone(),
+            offset: cx.offset,
+            len: n,
+            detail: format!("read bitflip bits={} at bit {}", width, start),
+        });
+    }
+}
+
+/// Byte-precise flip applied to one byte of one specific write —
+/// the HDF5 metadata-scan workhorse (§IV-D: "perform a fault injection
+/// starting from the offset value specified by the fwrite and till the
+/// end of the buffer byte-by-byte").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteFlip {
+    /// XOR the byte with a mask (e.g. `0b11 << k` = 2 consecutive bits).
+    Xor(u8),
+    /// Overwrite the byte with a value.
+    Set(u8),
+}
+
+impl ByteFlip {
+    /// Apply to a byte.
+    pub fn apply(self, b: u8) -> u8 {
+        match self {
+            ByteFlip::Xor(m) => b ^ m,
+            ByteFlip::Set(v) => v,
+        }
+    }
+}
+
+/// Interceptor damaging `byte_index` of the write whose *eligible*
+/// instance number (writes matching `filter`) equals `write_instance`.
+pub struct ByteFaultInjector {
+    filter: crate::fault::TargetFilter,
+    write_instance: u64,
+    byte_index: usize,
+    flip: ByteFlip,
+    eligible_seen: AtomicU64,
+    record: Mutex<Option<InjectionRecord>>,
+}
+
+impl ByteFaultInjector {
+    /// Arm for the `write_instance`-th (1-based) matching write.
+    pub fn new(
+        filter: crate::fault::TargetFilter,
+        write_instance: u64,
+        byte_index: usize,
+        flip: ByteFlip,
+    ) -> Self {
+        ByteFaultInjector {
+            filter,
+            write_instance,
+            byte_index,
+            flip,
+            eligible_seen: AtomicU64::new(0),
+            record: Mutex::new(None),
+        }
+    }
+
+    /// The injection record, if the fault fired.
+    pub fn record(&self) -> Option<InjectionRecord> {
+        self.record.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Interceptor for ByteFaultInjector {
+    fn on_write(&self, cx: &CallContext, buf: &[u8]) -> WriteAction {
+        if !self.filter.matches(cx.path.as_deref()) {
+            return WriteAction::Forward;
+        }
+        let k = self.eligible_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if k != self.write_instance || self.byte_index >= buf.len() {
+            return WriteAction::Forward;
+        }
+        let mut out = buf.to_vec();
+        let before = out[self.byte_index];
+        out[self.byte_index] = self.flip.apply(before);
+        if out[self.byte_index] == before {
+            return WriteAction::Forward; // Set() to the same value: no fault.
+        }
+        *self.record.lock().unwrap_or_else(|e| e.into_inner()) = Some(InjectionRecord {
+            primitive: Primitive::Write,
+            instance: k,
+            prim_seq: cx.prim_seq,
+            path: cx.path.clone(),
+            offset: cx.offset,
+            len: cx.len,
+            detail: format!(
+                "byte[{}] {:#04x} -> {:#04x} ({:?})",
+                self.byte_index, before, out[self.byte_index], self.flip
+            ),
+        });
+        WriteAction::Replace { buf: out, reported_len: buf.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, TargetFilter};
+    use ffis_vfs::{FfisFs, FileSystem, FileSystemExt, MemFs};
+    use std::sync::Arc;
+
+    fn mount() -> Arc<FfisFs> {
+        FfisFs::mount(Arc::new(MemFs::new()))
+    }
+
+    #[test]
+    fn fires_on_exact_instance_only() {
+        let fs = mount();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature::on_write(FaultModel::dropped_write()),
+            3,
+            42,
+        ));
+        fs.attach(inj.clone());
+        let fd = fs.create("/f", 0o644).unwrap();
+        for i in 0..5u64 {
+            fs.pwrite(fd, &[i as u8; 4], i * 4).unwrap();
+        }
+        fs.release(fd).unwrap();
+        let rec = inj.record().expect("fired");
+        assert_eq!(rec.instance, 3);
+        assert_eq!(rec.offset, Some(8));
+        assert_eq!(rec.detail, "dropped");
+        assert_eq!(inj.eligible_seen(), 5);
+        // Third write dropped; others persisted.
+        let data = fs.read_to_vec("/f").unwrap();
+        assert_eq!(&data[0..4], &[0u8; 4]);
+        assert_eq!(&data[4..8], &[1u8; 4]);
+        assert_eq!(&data[8..12], &[0u8; 4], "dropped region stays zero");
+        assert_eq!(&data[12..16], &[3u8; 4]);
+    }
+
+    #[test]
+    fn path_filter_limits_eligibility() {
+        let fs = mount();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature {
+                model: FaultModel::dropped_write(),
+                primitive: Primitive::Write,
+                target: TargetFilter::PathSuffix(".h5".into()),
+            },
+            1,
+            7,
+        ));
+        fs.attach(inj.clone());
+        fs.write_file("/log.txt", b"logline").unwrap(); // not eligible
+        fs.write_file("/data.h5", b"hdf5data").unwrap(); // eligible -> dropped
+        assert_eq!(inj.eligible_seen(), 1);
+        assert_eq!(fs.read_to_vec("/log.txt").unwrap(), b"logline");
+        assert_eq!(fs.getattr("/data.h5").unwrap().size, 0);
+        assert_eq!(inj.record().unwrap().path.as_deref(), Some("/data.h5"));
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_two_bits_and_reports_success() {
+        let fs = mount();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature::on_write(FaultModel::bit_flip()),
+            1,
+            99,
+        ));
+        fs.attach(inj.clone());
+        let payload = vec![0u8; 256];
+        fs.write_file("/b", &payload).unwrap();
+        let out = fs.read_to_vec("/b").unwrap();
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 2);
+        assert!(inj.record().unwrap().detail.contains("bitflip bits=2"));
+    }
+
+    #[test]
+    fn does_not_fire_when_instance_out_of_range() {
+        let fs = mount();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature::on_write(FaultModel::bit_flip()),
+            100,
+            1,
+        ));
+        fs.attach(inj.clone());
+        fs.write_file("/x", b"only one write").unwrap();
+        assert!(!inj.fired());
+        assert_eq!(inj.eligible_seen(), 1);
+    }
+
+    #[test]
+    fn mknod_param_fault_changes_mode_or_dev() {
+        // With BIT FLIP on FFIS_mknod the node's mode or dev deviates.
+        let mut changed = 0;
+        for seed in 0..20u64 {
+            let fs = mount();
+            let inj = Arc::new(ArmedInjector::new(
+                FaultSignature {
+                    model: FaultModel::bit_flip(),
+                    primitive: Primitive::Mknod,
+                    target: TargetFilter::Any,
+                },
+                1,
+                seed,
+            ));
+            fs.attach(inj.clone());
+            fs.mknod("/node", ffis_vfs::NodeKind::CharDev, 0o600, 0x0102).unwrap();
+            let m = fs.getattr("/node").unwrap();
+            if m.mode != 0o600 || m.rdev != 0x0102 {
+                changed += 1;
+                assert!(inj.fired());
+            }
+        }
+        assert!(changed >= 15, "mknod faults should usually change state ({}/20)", changed);
+    }
+
+    #[test]
+    fn chmod_param_fault() {
+        let fs = mount();
+        fs.write_file("/c", b"x").unwrap();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature {
+                model: FaultModel::bit_flip(),
+                primitive: Primitive::Chmod,
+                target: TargetFilter::Any,
+            },
+            1,
+            5,
+        ));
+        fs.attach(inj.clone());
+        fs.chmod("/c", 0o644).unwrap();
+        assert!(inj.fired());
+        assert_ne!(fs.getattr("/c").unwrap().mode, 0o644);
+    }
+
+    #[test]
+    fn truncate_param_fault() {
+        let fs = mount();
+        fs.write_file("/t", &[1u8; 100]).unwrap();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature {
+                model: FaultModel::bit_flip(),
+                primitive: Primitive::Truncate,
+                target: TargetFilter::Any,
+            },
+            1,
+            6,
+        ));
+        fs.attach(inj.clone());
+        fs.truncate("/t", 50).unwrap();
+        assert!(inj.fired());
+        assert_ne!(fs.getattr("/t").unwrap().size, 50);
+    }
+
+    #[test]
+    fn byte_injector_damages_one_byte_of_one_write() {
+        let fs = mount();
+        let inj = Arc::new(ByteFaultInjector::new(
+            TargetFilter::Any,
+            2,
+            5,
+            ByteFlip::Xor(0b0000_0110),
+        ));
+        fs.attach(inj.clone());
+        let fd = fs.create("/m", 0o644).unwrap();
+        fs.pwrite(fd, &[0u8; 16], 0).unwrap();
+        fs.pwrite(fd, &[0u8; 16], 16).unwrap();
+        fs.release(fd).unwrap();
+        let data = fs.read_to_vec("/m").unwrap();
+        assert_eq!(data[16 + 5], 0b0000_0110);
+        assert_eq!(data.iter().filter(|&&b| b != 0).count(), 1);
+        let rec = inj.record().unwrap();
+        assert_eq!(rec.instance, 2);
+        assert!(rec.detail.contains("byte[5]"));
+    }
+
+    #[test]
+    fn byte_injector_set_same_value_counts_as_no_fault() {
+        let fs = mount();
+        let inj = Arc::new(ByteFaultInjector::new(TargetFilter::Any, 1, 0, ByteFlip::Set(0xAB)));
+        fs.attach(inj.clone());
+        fs.write_file("/m", &[0xAB, 0x00]).unwrap();
+        assert!(inj.record().is_none());
+        assert_eq!(fs.read_to_vec("/m").unwrap(), vec![0xAB, 0x00]);
+    }
+
+    #[test]
+    fn byte_injector_index_out_of_buffer_forwards() {
+        let fs = mount();
+        let inj = Arc::new(ByteFaultInjector::new(TargetFilter::Any, 1, 100, ByteFlip::Xor(0xFF)));
+        fs.attach(inj.clone());
+        fs.write_file("/m", b"short").unwrap();
+        assert!(inj.record().is_none());
+        assert_eq!(fs.read_to_vec("/m").unwrap(), b"short");
+    }
+
+    #[test]
+    fn byteflip_apply() {
+        assert_eq!(ByteFlip::Xor(0b11).apply(0b0000_0001), 0b0000_0010);
+        assert_eq!(ByteFlip::Set(0x7F).apply(0x00), 0x7F);
+    }
+
+    #[test]
+    fn read_injector_corrupts_returned_data_not_the_file() {
+        let fs = mount();
+        fs.write_file("/r", &[0u8; 1024]).unwrap();
+        let inj = Arc::new(ReadFaultInjector::new(TargetFilter::Any, 1, 2, 5));
+        fs.attach(inj.clone());
+        let data = fs.read_to_vec("/r").unwrap();
+        let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 2, "exactly two bits corrupted in the returned data");
+        let rec = inj.record().unwrap();
+        assert_eq!(rec.primitive, Primitive::Read);
+        assert!(rec.detail.contains("read bitflip"));
+        // The stored file is untouched: a second (uninjected) read is clean.
+        let again = fs.read_to_vec("/r").unwrap();
+        assert!(again.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_injector_respects_instance_and_filter() {
+        let fs = mount();
+        fs.write_file("/a.h5", &[1u8; 16]).unwrap();
+        fs.write_file("/b.log", &[2u8; 16]).unwrap();
+        let inj = Arc::new(ReadFaultInjector::new(
+            TargetFilter::PathSuffix(".h5".into()),
+            2,
+            4,
+            9,
+        ));
+        fs.attach(inj.clone());
+        let _ = fs.read_to_vec("/b.log").unwrap(); // not eligible
+        let first = fs.read_to_vec("/a.h5").unwrap(); // eligible #1: clean
+        assert!(first.iter().all(|&b| b == 1));
+        let second = fs.read_to_vec("/a.h5").unwrap(); // eligible #2: corrupted
+        assert_ne!(second, first);
+        assert_eq!(inj.eligible_seen(), 2);
+    }
+}

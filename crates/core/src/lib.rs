@@ -1,0 +1,91 @@
+//! # ffis-core — FUSE-based Fault Injection for Storage
+//!
+//! Reproduction of the FFIS framework from *"Characterizing Impacts of
+//! Storage Faults on HPC Applications: A Methodology and Insights"*
+//! (CLUSTER 2021). FFIS models SSD partial-failure manifestations as
+//! software-implemented faults planted on an application's I/O path,
+//! without modifying the application (paper requirements R1–R4).
+//!
+//! The framework has the paper's three components (§III-C, Figure 4):
+//!
+//! * **Fault generator** ([`generator`]) — user configuration →
+//!   validated [`FaultSignature`] (model + primitive + feature).
+//! * **I/O profiler** ([`profiler`]) — fault-free run counting the
+//!   dynamic executions of the target primitive.
+//! * **Fault injector** ([`injector`]) — fires the fault at a
+//!   uniformly random instance of the primitive.
+//!
+//! [`campaign`] orchestrates them into statistically significant
+//! campaigns (1,000 runs with ~1–2% error bars at 95% confidence), and
+//! [`metadata_scan`] implements the byte-by-byte scientific-file-format
+//! metadata study of §IV-D.
+//!
+//! ## Fault models (§III-B, Table I)
+//!
+//! | Model | Behaviour |
+//! |---|---|
+//! | BIT FLIP | flip 2 (configurable) consecutive bits of the write buffer |
+//! | SHORN WRITE | persist only the first 3/8 or 7/8 of a 4 KiB block, at 512 B sector granularity, while reporting full success |
+//! | DROPPED WRITE | ignore the write, report success |
+//!
+//! ```
+//! use ffis_core::prelude::*;
+//! use ffis_vfs::{FileSystem, FileSystemExt};
+//!
+//! // A miniature "application": writes a file, reads it back, sums it.
+//! struct Sum;
+//! impl FaultApp for Sum {
+//!     type Output = u64;
+//!     fn run(&self, fs: &dyn FileSystem) -> Result<u64, String> {
+//!         fs.write_file_chunked("/data", &[1u8; 8192], 4096).map_err(|e| e.to_string())?;
+//!         Ok(fs.read_to_vec("/data").map_err(|e| e.to_string())?
+//!             .iter().map(|&b| b as u64).sum())
+//!     }
+//!     fn classify(&self, g: &u64, f: &u64) -> Outcome {
+//!         if g == f { Outcome::Benign } else { Outcome::Sdc }
+//!     }
+//!     fn name(&self) -> String { "SUM".into() }
+//! }
+//!
+//! let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
+//!     .with_runs(10).with_seed(7);
+//! let result = Campaign::new(&Sum, cfg).run().unwrap();
+//! assert_eq!(result.tally.total(), 10);
+//! assert_eq!(result.tally.sdc, 10); // every dropped 4 KiB block changes the sum
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod fault;
+pub mod generator;
+pub mod injector;
+pub mod metadata_scan;
+pub mod outcome;
+pub mod profiler;
+pub mod rng;
+pub mod stats;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignError, CampaignResult, RunResult};
+pub use fault::{FaultModel, FaultSignature, Mutation, ShornFill, ShornKeep, TargetFilter};
+pub use generator::{paper_signatures, FaultConfig};
+pub use injector::{
+    ArmedInjector, ByteFaultInjector, ByteFlip, InjectionRecord, ReadFaultInjector,
+};
+pub use metadata_scan::{
+    attribute, fields_with_outcome, locate_write, run_with_byte_fault, scan, ByteOutcome,
+    FieldMap, FieldOutcome, FieldSpan, FlipMode, ScanConfig, ScanResult, WritePick,
+};
+pub use outcome::{FaultApp, Outcome, OutcomeTally, OUTCOMES};
+pub use profiler::{EligibleCounter, IoProfiler, ProfileReport};
+pub use rng::Rng;
+pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Proportion};
+
+/// Convenient glob import for applications and harnesses.
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
+    pub use crate::fault::{FaultModel, FaultSignature, ShornFill, ShornKeep, TargetFilter};
+    pub use crate::outcome::{FaultApp, Outcome, OutcomeTally};
+    pub use crate::rng::Rng;
+}

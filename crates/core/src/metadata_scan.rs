@@ -1,0 +1,536 @@
+//! HDF5 metadata fault-injection scan (paper §IV-D, Tables III & IV).
+//!
+//! "Based on this procedure, FFIS identifies the specific write
+//! operation for metadata (i.e., the penultimate fwrite) and then
+//! perform[s] a fault injection starting from the offset value
+//! specified by the fwrite and till the end of the buffer
+//! byte-by-byte."
+//!
+//! The scanner is format-agnostic: it locates a designated write to a
+//! target file (by default the penultimate one), then reruns the
+//! workload once per buffer byte with a [`ByteFaultInjector`] armed on
+//! that byte, classifying every outcome. A [`FieldMap`] (produced by
+//! the file-format crate from its own layout knowledge) attributes
+//! each byte to a named metadata field, yielding the per-field outcome
+//! tables of the paper.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use ffis_vfs::{FfisFs, MemFs, Primitive};
+
+use crate::fault::TargetFilter;
+use crate::injector::{ByteFaultInjector, ByteFlip};
+use crate::outcome::{FaultApp, Outcome, OutcomeTally};
+use crate::profiler::IoProfiler;
+use crate::rng::Rng;
+
+/// Which matching write hosts the metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePick {
+    /// The penultimate matching write — the paper's HDF5 observation
+    /// (raw data writes, then packed metadata, then a final EOF patch).
+    Penultimate,
+    /// The last matching write.
+    Last,
+    /// The n-th matching write (1-based eligible instance).
+    Nth(u64),
+}
+
+/// Damage applied to each scanned byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipMode {
+    /// Two consecutive bits at a seeded-random position within the
+    /// byte (the paper's BIT FLIP feature applied byte-by-byte).
+    TwoBitsRandom,
+    /// One specific bit of every byte.
+    Bit(u8),
+    /// XOR with a fixed mask.
+    Mask(u8),
+}
+
+impl FlipMode {
+    fn to_flip(self, rng: &mut Rng) -> ByteFlip {
+        match self {
+            FlipMode::TwoBitsRandom => {
+                let start = rng.gen_range(7) as u8; // 2 consecutive bits within the byte
+                ByteFlip::Xor(0b11 << start)
+            }
+            FlipMode::Bit(b) => ByteFlip::Xor(1u8 << (b & 7)),
+            FlipMode::Mask(m) => ByteFlip::Xor(m),
+        }
+    }
+}
+
+/// Scan configuration.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Which file's writes to scan (e.g. suffix `.h5`).
+    pub target: TargetFilter,
+    /// Which matching write is the metadata write.
+    pub pick: WritePick,
+    /// Damage per byte.
+    pub flip: FlipMode,
+    /// Seed for the per-byte flip positions.
+    pub seed: u64,
+    /// Scan every `stride`-th byte (1 = exhaustive, the paper's mode).
+    pub stride: usize,
+    /// Fan bytes out across the rayon pool.
+    pub parallel: bool,
+}
+
+impl ScanConfig {
+    /// Paper defaults: penultimate write, 2-bit flips, exhaustive.
+    pub fn new(target: TargetFilter) -> Self {
+        ScanConfig {
+            target,
+            pick: WritePick::Penultimate,
+            flip: FlipMode::TwoBitsRandom,
+            seed: 0x4D45_5441,
+            stride: 1,
+            parallel: true,
+        }
+    }
+}
+
+/// Outcome of injecting into one metadata byte.
+#[derive(Debug, Clone)]
+pub struct ByteOutcome {
+    /// Byte index within the metadata write buffer.
+    pub byte_index: usize,
+    /// Absolute file offset of the byte.
+    pub file_offset: u64,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Crash message when the run crashed.
+    pub crash_message: Option<String>,
+}
+
+/// Full scan result.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Per-byte outcomes (in byte order).
+    pub bytes: Vec<ByteOutcome>,
+    /// File offset of the metadata write.
+    pub write_offset: u64,
+    /// Length of the metadata write buffer.
+    pub write_len: usize,
+    /// Eligible-instance number of the metadata write.
+    pub write_instance: u64,
+    /// Aggregate tally (the Table III totals row).
+    pub tally: OutcomeTally,
+}
+
+/// A named byte range of the metadata region (absolute file offsets,
+/// `[start, end)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpan {
+    /// First byte (absolute file offset).
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// Field name, e.g. `"Datatype.ExponentBias"`.
+    pub name: String,
+}
+
+/// Byte-exact map from file offsets to metadata field names.
+#[derive(Debug, Clone, Default)]
+pub struct FieldMap {
+    spans: Vec<FieldSpan>,
+}
+
+impl FieldMap {
+    /// Build from spans (sorted by start; overlaps are a bug in the
+    /// producer and rejected).
+    pub fn new(mut spans: Vec<FieldSpan>) -> Result<Self, String> {
+        spans.sort_by_key(|s| s.start);
+        for w in spans.windows(2) {
+            if w[1].start < w[0].end {
+                return Err(format!(
+                    "overlapping field spans: {} [{}, {}) and {} [{}, {})",
+                    w[0].name, w[0].start, w[0].end, w[1].name, w[1].start, w[1].end
+                ));
+            }
+        }
+        for s in &spans {
+            if s.end <= s.start {
+                return Err(format!("empty span for {}", s.name));
+            }
+        }
+        Ok(FieldMap { spans })
+    }
+
+    /// Field covering an absolute offset.
+    pub fn lookup(&self, offset: u64) -> Option<&FieldSpan> {
+        let idx = self.spans.partition_point(|s| s.end <= offset);
+        self.spans.get(idx).filter(|s| s.start <= offset && offset < s.end)
+    }
+
+    /// All spans.
+    pub fn spans(&self) -> &[FieldSpan] {
+        &self.spans
+    }
+
+    /// Total bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.spans.iter().map(|s| s.end - s.start).sum()
+    }
+
+    /// Spans whose name contains `needle`.
+    pub fn find(&self, needle: &str) -> Vec<&FieldSpan> {
+        self.spans.iter().filter(|s| s.name.contains(needle)).collect()
+    }
+}
+
+/// Per-field aggregation of a scan (Table III's "Example Metadata
+/// Fields" column: which fields produced which outcome classes).
+#[derive(Debug, Clone)]
+pub struct FieldOutcome {
+    /// Field name.
+    pub name: String,
+    /// Bytes of this field that were scanned.
+    pub bytes_scanned: u64,
+    /// Outcome tally over those bytes.
+    pub tally: OutcomeTally,
+}
+
+/// Attribute scan outcomes to fields.
+pub fn attribute(scan: &ScanResult, map: &FieldMap) -> Vec<FieldOutcome> {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<String, (u64, OutcomeTally)> = BTreeMap::new();
+    for b in &scan.bytes {
+        let name = map
+            .lookup(b.file_offset)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| "<unmapped>".to_string());
+        let entry = agg.entry(name).or_insert_with(|| (0, OutcomeTally::new()));
+        entry.0 += 1;
+        entry.1.record(b.outcome);
+    }
+    agg.into_iter()
+        .map(|(name, (bytes_scanned, tally))| FieldOutcome { name, bytes_scanned, tally })
+        .collect()
+}
+
+/// Field names whose bytes produced at least one occurrence of `o`.
+pub fn fields_with_outcome(fields: &[FieldOutcome], o: Outcome) -> Vec<&str> {
+    fields.iter().filter(|f| f.tally.count(o) > 0).map(|f| f.name.as_str()).collect()
+}
+
+/// Locate the metadata write: returns `(eligible instance, offset, len)`.
+pub fn locate_write<A: FaultApp>(
+    app: &A,
+    target: &TargetFilter,
+    pick: WritePick,
+) -> Result<(u64, u64, usize, A::Output), String> {
+    let profiler = IoProfiler::new(Primitive::Write, target.clone());
+    let (profile, golden) = profiler.profile(|fs| app.run(fs))?;
+    let writes = profile.writes_matching(target);
+    if writes.is_empty() {
+        return Err("no writes match the target filter".to_string());
+    }
+    let idx = match pick {
+        WritePick::Last => writes.len() - 1,
+        WritePick::Penultimate => {
+            if writes.len() < 2 {
+                return Err("fewer than two matching writes; no penultimate".to_string());
+            }
+            writes.len() - 2
+        }
+        WritePick::Nth(n) => {
+            if n == 0 || n as usize > writes.len() {
+                return Err(format!("write instance {} out of range 1..={}", n, writes.len()));
+            }
+            (n - 1) as usize
+        }
+    };
+    let w = writes[idx];
+    Ok((idx as u64 + 1, w.offset.unwrap_or(0), w.len, golden))
+}
+
+/// Run the workload once with a single byte fault armed; classify.
+pub fn run_with_byte_fault<A: FaultApp>(
+    app: &A,
+    golden: &A::Output,
+    target: &TargetFilter,
+    write_instance: u64,
+    byte_index: usize,
+    flip: ByteFlip,
+) -> (Outcome, Option<A::Output>, Option<String>) {
+    let injector = Arc::new(ByteFaultInjector::new(target.clone(), write_instance, byte_index, flip));
+    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+    ffs.attach(injector);
+    let result = catch_unwind(AssertUnwindSafe(|| app.run(&*ffs)));
+    ffs.unmount();
+    match result {
+        Ok(Ok(faulty)) => {
+            let o = app.classify(golden, &faulty);
+            (o, Some(faulty), None)
+        }
+        Ok(Err(msg)) => (Outcome::Crash, None, Some(msg)),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            (Outcome::Crash, None, Some(msg))
+        }
+    }
+}
+
+/// Execute the full byte-by-byte metadata scan.
+pub fn scan<A: FaultApp>(app: &A, config: &ScanConfig) -> Result<ScanResult, String> {
+    let (write_instance, write_offset, write_len, golden) =
+        locate_write(app, &config.target, config.pick)?;
+    let stride = config.stride.max(1);
+    let indices: Vec<usize> = (0..write_len).step_by(stride).collect();
+    let root = Rng::seed_from(config.seed);
+
+    let run_byte = |&byte_index: &usize| -> ByteOutcome {
+        let mut rng = root.child(byte_index as u64);
+        let flip = config.flip.to_flip(&mut rng);
+        let (outcome, _, crash_message) =
+            run_with_byte_fault(app, &golden, &config.target, write_instance, byte_index, flip);
+        ByteOutcome {
+            byte_index,
+            file_offset: write_offset + byte_index as u64,
+            outcome,
+            crash_message,
+        }
+    };
+
+    let bytes: Vec<ByteOutcome> = if config.parallel {
+        indices.par_iter().map(run_byte).collect()
+    } else {
+        indices.iter().map(run_byte).collect()
+    };
+
+    let mut tally = OutcomeTally::new();
+    for b in &bytes {
+        tally.record(b.outcome);
+    }
+    Ok(ScanResult { bytes, write_offset, write_len, write_instance, tally })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_vfs::{FileSystem, FileSystemExt};
+
+    /// Mini file format: a 16-byte "metadata" header (magic, version,
+    /// scale factor, reserved) followed by data; the reader validates
+    /// the magic/version and decodes data scaled by the factor. The
+    /// writer writes data first, then the header (penultimate), then a
+    /// 1-byte commit mark — mirroring the HDF5 write protocol shape.
+    struct MiniFormatApp;
+
+    #[derive(Clone)]
+    struct MiniOut {
+        values: Vec<u8>,
+        mean: f64,
+    }
+
+    const MAGIC: [u8; 4] = *b"MINI";
+
+    impl FaultApp for MiniFormatApp {
+        type Output = MiniOut;
+
+        fn run(&self, fs: &dyn FileSystem) -> Result<MiniOut, String> {
+            // Write: data at 16.., header at 0 (penultimate), commit.
+            let data = [10u8; 32];
+            let fd = fs.create("/d.mini", 0o644).map_err(|e| e.to_string())?;
+            fs.pwrite(fd, &data, 16).map_err(|e| e.to_string())?;
+            let mut header = [0u8; 16];
+            header[..4].copy_from_slice(&MAGIC);
+            header[4] = 1; // version
+            header[5] = 2; // scale
+            fs.pwrite(fd, &header, 0).map_err(|e| e.to_string())?;
+            fs.pwrite(fd, b"C", 48).map_err(|e| e.to_string())?;
+            fs.release(fd).map_err(|e| e.to_string())?;
+
+            // Read back with validation (crash on unjustified fields).
+            let all = fs.read_to_vec("/d.mini").map_err(|e| e.to_string())?;
+            if all.len() < 49 || all[..4] != MAGIC {
+                return Err("bad magic".into());
+            }
+            if all[4] != 1 {
+                return Err("unsupported version".into());
+            }
+            let scale = all[5] as u64;
+            let values: Vec<u8> = all[16..48].to_vec();
+            let mean =
+                values.iter().map(|&v| (v as u64 * scale) as f64).sum::<f64>() / values.len() as f64;
+            Ok(MiniOut { values, mean })
+        }
+
+        fn classify(&self, golden: &MiniOut, faulty: &MiniOut) -> Outcome {
+            if golden.values == faulty.values && golden.mean == faulty.mean {
+                Outcome::Benign
+            } else if (faulty.mean - golden.mean).abs() > 100.0 {
+                Outcome::Detected
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn name(&self) -> String {
+            "MINI".into()
+        }
+    }
+
+    fn mini_field_map() -> FieldMap {
+        FieldMap::new(vec![
+            FieldSpan { start: 0, end: 4, name: "Magic".into() },
+            FieldSpan { start: 4, end: 5, name: "Version".into() },
+            FieldSpan { start: 5, end: 6, name: "Scale".into() },
+            FieldSpan { start: 6, end: 16, name: "Reserved".into() },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn locate_write_finds_penultimate_header() {
+        let (instance, offset, len, _) =
+            locate_write(&MiniFormatApp, &TargetFilter::Any, WritePick::Penultimate).unwrap();
+        assert_eq!(instance, 2);
+        assert_eq!(offset, 0);
+        assert_eq!(len, 16);
+    }
+
+    #[test]
+    fn locate_write_picks() {
+        let (i, _, len, _) =
+            locate_write(&MiniFormatApp, &TargetFilter::Any, WritePick::Last).unwrap();
+        assert_eq!((i, len), (3, 1));
+        let (i, off, _, _) =
+            locate_write(&MiniFormatApp, &TargetFilter::Any, WritePick::Nth(1)).unwrap();
+        assert_eq!((i, off), (1, 16));
+        assert!(locate_write(&MiniFormatApp, &TargetFilter::Any, WritePick::Nth(9)).is_err());
+        assert!(locate_write(
+            &MiniFormatApp,
+            &TargetFilter::PathSuffix(".nope".into()),
+            WritePick::Last
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scan_classifies_structure() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.parallel = false;
+        cfg.flip = FlipMode::Mask(0xFF); // deterministic, always changes the byte
+        let result = scan(&MiniFormatApp, &cfg).unwrap();
+        assert_eq!(result.bytes.len(), 16);
+        assert_eq!(result.write_offset, 0);
+        // Magic/version bytes crash; scale is detected (mean jumps by
+        // a factor); reserved bytes are benign.
+        let fields = attribute(&result, &mini_field_map());
+        let get = |n: &str| fields.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(get("Magic").tally.crash, 4);
+        assert_eq!(get("Version").tally.crash, 1);
+        assert_eq!(get("Reserved").tally.benign, 10);
+        assert!(get("Scale").tally.detected + get("Scale").tally.sdc == 1);
+        assert_eq!(result.tally.total(), 16);
+    }
+
+    #[test]
+    fn scan_stride_subsamples() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.stride = 4;
+        cfg.parallel = false;
+        let result = scan(&MiniFormatApp, &cfg).unwrap();
+        assert_eq!(result.bytes.len(), 4);
+        assert_eq!(result.bytes.iter().map(|b| b.byte_index).collect::<Vec<_>>(), vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn scan_parallel_equals_serial() {
+        let mut a = ScanConfig::new(TargetFilter::Any);
+        a.parallel = false;
+        let mut b = a.clone();
+        b.parallel = true;
+        let ra = scan(&MiniFormatApp, &a).unwrap();
+        let rb = scan(&MiniFormatApp, &b).unwrap();
+        assert_eq!(ra.tally, rb.tally);
+        for (x, y) in ra.bytes.iter().zip(&rb.bytes) {
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+
+    #[test]
+    fn field_map_lookup_and_validation() {
+        let map = mini_field_map();
+        assert_eq!(map.lookup(0).unwrap().name, "Magic");
+        assert_eq!(map.lookup(3).unwrap().name, "Magic");
+        assert_eq!(map.lookup(4).unwrap().name, "Version");
+        assert_eq!(map.lookup(15).unwrap().name, "Reserved");
+        assert!(map.lookup(16).is_none());
+        assert_eq!(map.covered_bytes(), 16);
+        assert_eq!(map.find("Ver").len(), 1);
+
+        let overlap = FieldMap::new(vec![
+            FieldSpan { start: 0, end: 4, name: "A".into() },
+            FieldSpan { start: 2, end: 6, name: "B".into() },
+        ]);
+        assert!(overlap.is_err());
+        let empty = FieldMap::new(vec![FieldSpan { start: 4, end: 4, name: "E".into() }]);
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn fields_with_outcome_filter() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.parallel = false;
+        cfg.flip = FlipMode::Mask(0xFF);
+        let result = scan(&MiniFormatApp, &cfg).unwrap();
+        let fields = attribute(&result, &mini_field_map());
+        let crashy = fields_with_outcome(&fields, Outcome::Crash);
+        assert!(crashy.contains(&"Magic"));
+        assert!(!crashy.contains(&"Reserved"));
+    }
+
+    #[test]
+    fn run_with_byte_fault_single() {
+        let (_, _, _, golden) =
+            locate_write(&MiniFormatApp, &TargetFilter::Any, WritePick::Penultimate).unwrap();
+        // Corrupt magic byte 0 -> crash.
+        let (o, out, msg) = run_with_byte_fault(
+            &MiniFormatApp,
+            &golden,
+            &TargetFilter::Any,
+            2,
+            0,
+            ByteFlip::Xor(0xFF),
+        );
+        assert_eq!(o, Outcome::Crash);
+        assert!(out.is_none());
+        assert!(msg.unwrap().contains("bad magic"));
+        // Corrupt a reserved byte -> benign.
+        let (o, out, _) = run_with_byte_fault(
+            &MiniFormatApp,
+            &golden,
+            &TargetFilter::Any,
+            2,
+            10,
+            ByteFlip::Xor(0xFF),
+        );
+        assert_eq!(o, Outcome::Benign);
+        assert!(out.is_some());
+    }
+
+    #[test]
+    fn flip_mode_variants() {
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..50 {
+            match FlipMode::TwoBitsRandom.to_flip(&mut rng) {
+                ByteFlip::Xor(m) => assert_eq!(m.count_ones(), 2),
+                other => panic!("unexpected {:?}", other),
+            }
+        }
+        assert_eq!(FlipMode::Bit(3).to_flip(&mut rng), ByteFlip::Xor(0b1000));
+        assert_eq!(FlipMode::Mask(0xA5).to_flip(&mut rng), ByteFlip::Xor(0xA5));
+    }
+}

@@ -1,0 +1,230 @@
+//! Outcome taxonomy and tallies (paper §II "Application" failures).
+//!
+//! "A failure of an application refers to [the] scenario that the
+//! outcome of the application differs from the expected: the
+//! application either terminates before it finishes (i.e., crash), or
+//! it suffers from data corruption. If the application is able to
+//! identify the errors, this failure is categorized as detected,
+//! otherwise such data corruption becomes silent data corruption
+//! (SDC)."
+
+use crate::stats::{wilson, Proportion};
+
+/// Outcome of one fault-injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Output bitwise identical to the golden run.
+    Benign,
+    /// Output differs and the application (or its post-analysis) can
+    /// tell: exceptions, missing files, out-of-range results.
+    Detected,
+    /// Output differs silently — silent data corruption.
+    Sdc,
+    /// Application terminated before finishing (errors, panics,
+    /// unjustified file-format fields).
+    Crash,
+}
+
+/// All outcomes in reporting order.
+pub const OUTCOMES: [Outcome; 4] = [Outcome::Benign, Outcome::Detected, Outcome::Sdc, Outcome::Crash];
+
+impl Outcome {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Benign => "Benign",
+            Outcome::Detected => "Detected",
+            Outcome::Sdc => "SDC",
+            Outcome::Crash => "Crash",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How an application exposes itself to the campaign runner.
+///
+/// `run` executes the *whole* workload — data production through the
+/// filesystem under test, then post-analysis — and returns the
+/// artifacts classification needs. `classify` applies the paper's
+/// per-application rules (§IV-C) to a faulty output given the golden
+/// one. A run returning `Err` is the crash outcome.
+pub trait FaultApp: Sync {
+    /// Everything classification needs (output file bytes, analysis
+    /// results, ...). `Sync` because the golden output is shared
+    /// across the campaign's worker threads.
+    type Output: Send + Sync;
+
+    /// Execute the workload on `fs`.
+    fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String>;
+
+    /// Apply the application's outcome-classification rules.
+    fn classify(&self, golden: &Self::Output, faulty: &Self::Output) -> Outcome;
+
+    /// Short name for report rows ("NYX", "QMC", "MT1", ...).
+    fn name(&self) -> String;
+}
+
+/// Aggregated outcome counts for a campaign, with Wilson 95% CIs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Benign count.
+    pub benign: u64,
+    /// Detected count.
+    pub detected: u64,
+    /// SDC count.
+    pub sdc: u64,
+    /// Crash count.
+    pub crash: u64,
+    /// Runs where the armed fault never fired (profile/run divergence;
+    /// should be zero in a healthy campaign).
+    pub no_fire: u64,
+}
+
+impl OutcomeTally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        match o {
+            Outcome::Benign => self.benign += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Crash => self.crash += 1,
+        }
+    }
+
+    /// Count for one outcome.
+    pub fn count(&self, o: Outcome) -> u64 {
+        match o {
+            Outcome::Benign => self.benign,
+            Outcome::Detected => self.detected,
+            Outcome::Sdc => self.sdc,
+            Outcome::Crash => self.crash,
+        }
+    }
+
+    /// Total classified runs (excludes `no_fire`).
+    pub fn total(&self) -> u64 {
+        self.benign + self.detected + self.sdc + self.crash
+    }
+
+    /// Proportion (with CI) for one outcome.
+    pub fn proportion(&self, o: Outcome) -> Proportion {
+        wilson(self.count(o), self.total())
+    }
+
+    /// Rate in percent.
+    pub fn rate_pct(&self, o: Outcome) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(o) as f64 / self.total() as f64 * 100.0
+        }
+    }
+
+    /// Merge another tally.
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.benign += other.benign;
+        self.detected += other.detected;
+        self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.no_fire += other.no_fire;
+    }
+
+    /// One-line summary: `benign 91.1% | detected 8.1% | SDC 0.8% | crash 0.0%`.
+    pub fn summary(&self) -> String {
+        format!(
+            "benign {:5.1}% | detected {:5.1}% | SDC {:5.1}% | crash {:5.1}% (n={})",
+            self.rate_pct(Outcome::Benign),
+            self.rate_pct(Outcome::Detected),
+            self.rate_pct(Outcome::Sdc),
+            self.rate_pct(Outcome::Crash),
+            self.total()
+        )
+    }
+}
+
+impl std::fmt::Display for OutcomeTally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut t = OutcomeTally::new();
+        t.record(Outcome::Benign);
+        t.record(Outcome::Benign);
+        t.record(Outcome::Sdc);
+        t.record(Outcome::Detected);
+        t.record(Outcome::Crash);
+        assert_eq!(t.count(Outcome::Benign), 2);
+        assert_eq!(t.count(Outcome::Sdc), 1);
+        assert_eq!(t.total(), 5);
+        assert!((t.rate_pct(Outcome::Benign) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_has_interval() {
+        let mut t = OutcomeTally::new();
+        for _ in 0..911 {
+            t.record(Outcome::Benign);
+        }
+        for _ in 0..81 {
+            t.record(Outcome::Detected);
+        }
+        for _ in 0..8 {
+            t.record(Outcome::Sdc);
+        }
+        let p = t.proportion(Outcome::Benign);
+        assert!((p.p - 0.911).abs() < 1e-9);
+        assert!(p.lo < 0.911 && p.hi > 0.911);
+        // Paper's claim: ~1–2% error bars at n = 1000.
+        assert!(p.error_bar_pct() < 2.5);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = OutcomeTally { benign: 1, detected: 2, sdc: 3, crash: 4, no_fire: 5 };
+        let b = OutcomeTally { benign: 10, detected: 20, sdc: 30, crash: 40, no_fire: 50 };
+        a.merge(&b);
+        assert_eq!(a, OutcomeTally { benign: 11, detected: 22, sdc: 33, crash: 44, no_fire: 55 });
+    }
+
+    #[test]
+    fn summary_contains_all_classes() {
+        let t = OutcomeTally { benign: 1, detected: 1, sdc: 1, crash: 1, no_fire: 0 };
+        let s = t.summary();
+        for needle in ["benign", "detected", "SDC", "crash", "25.0"] {
+            assert!(s.contains(needle), "{} missing from {}", needle, s);
+        }
+    }
+
+    #[test]
+    fn outcome_names() {
+        assert_eq!(Outcome::Sdc.name(), "SDC");
+        assert_eq!(OUTCOMES.len(), 4);
+        assert_eq!(Outcome::Benign.to_string(), "Benign");
+    }
+
+    #[test]
+    fn empty_tally_rates_are_zero() {
+        let t = OutcomeTally::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.rate_pct(Outcome::Sdc), 0.0);
+        let p = t.proportion(Outcome::Sdc);
+        assert_eq!((p.lo, p.hi), (0.0, 0.0));
+    }
+}

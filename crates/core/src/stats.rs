@@ -1,0 +1,397 @@
+//! Statistics for fault-injection campaigns and post-analyses.
+//!
+//! The paper reports outcome *proportions* from 1,000-run campaigns
+//! with "a 1%∼2% error bar on average for 95% confidence interval"
+//! (§IV-C). This module provides the binomial interval machinery
+//! behind those error bars (Wilson score, which is well-behaved at the
+//! 0%/100% extremes the paper actually hits — e.g. Nyx DROPPED WRITE
+//! = 1000/1000 SDC), descriptive statistics, histograms for Figure 8,
+//! and the blocking analysis QMCA uses for Monte-Carlo error bars.
+
+/// A binomial proportion with its 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Successes.
+    pub k: u64,
+    /// Trials.
+    pub n: u64,
+    /// Point estimate `k/n` (0 when `n == 0`).
+    pub p: f64,
+    /// Lower 95% bound.
+    pub lo: f64,
+    /// Upper 95% bound.
+    pub hi: f64,
+}
+
+/// z-value for a two-sided 95% interval.
+pub const Z95: f64 = 1.959_963_984_540_054;
+
+/// Wilson score interval for `k` successes in `n` trials.
+///
+/// Preferred over the normal (Wald) interval because it stays inside
+/// `[0, 1]` and does not collapse to zero width at `k = 0` or `k = n`.
+pub fn wilson(k: u64, n: u64) -> Proportion {
+    if n == 0 {
+        return Proportion { k, n, p: 0.0, lo: 0.0, hi: 0.0 };
+    }
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let z = Z95;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt());
+    Proportion { k, n, p, lo: (center - half).max(0.0), hi: (center + half).min(1.0) }
+}
+
+/// Normal-approximation (Wald) interval, provided for comparison with
+/// the paper's "1–2% error bar" framing.
+pub fn wald(k: u64, n: u64) -> Proportion {
+    if n == 0 {
+        return Proportion { k, n, p: 0.0, lo: 0.0, hi: 0.0 };
+    }
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let half = Z95 * (p * (1.0 - p) / nf).sqrt();
+    Proportion { k, n, p, lo: (p - half).max(0.0), hi: (p + half).min(1.0) }
+}
+
+impl Proportion {
+    /// Half-width of the interval ("error bar") in percentage points.
+    pub fn error_bar_pct(&self) -> f64 {
+        (self.hi - self.lo) * 50.0
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}% [{:.1}, {:.1}] ({}/{})",
+            self.p * 100.0,
+            self.lo * 100.0,
+            self.hi * 100.0,
+            self.k,
+            self.n
+        )
+    }
+}
+
+/// Running mean / variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Summarize a slice: `(mean, stddev)`.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let mut acc = Accumulator::new();
+    for &x in xs {
+        acc.push(x);
+    }
+    (acc.mean(), acc.stddev())
+}
+
+/// Blocking analysis for autocorrelated series (Flyvbjerg–Petersen),
+/// as used by QMCA to estimate Monte-Carlo error bars: repeatedly
+/// average adjacent pairs; the error estimate plateaus once blocks
+/// exceed the autocorrelation time. Returns `(mean, error)`.
+pub fn blocking_error(series: &[f64]) -> (f64, f64) {
+    let mut data: Vec<f64> = series.to_vec();
+    if data.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    let mut best_err = 0.0f64;
+    while data.len() >= 4 {
+        let n = data.len() as f64;
+        let m = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+        let err = (var / n).sqrt();
+        best_err = best_err.max(err);
+        // Block: average adjacent pairs.
+        data = data.chunks_exact(2).map(|c| 0.5 * (c[0] + c[1])).collect();
+    }
+    (mean, best_err)
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range clamping,
+/// used to regenerate Figure 8 (halo-mass distributions).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Log₁₀-spaced variant: bins span `[10^lo_exp, 10^hi_exp)` in log space.
+    /// Values are inserted by `add_log10`.
+    pub fn log10(lo_exp: f64, hi_exp: f64, bins: usize) -> Self {
+        Self::new(lo_exp, hi_exp, bins)
+    }
+
+    /// Insert a raw value.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else {
+            ((t * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Insert `log10(x)` (for log-spaced histograms).
+    pub fn add_log10(&mut self, x: f64) {
+        self.add(x.max(f64::MIN_POSITIVE).log10());
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i` (in the histogram's axis space).
+    pub fn center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Total inserted samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(center, count)` series, e.g. for CSV emission.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len()).map(|i| (self.center(i), self.counts[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_midrange_matches_wald_approximately() {
+        let w = wilson(500, 1000);
+        let a = wald(500, 1000);
+        assert!((w.p - 0.5).abs() < 1e-12);
+        assert!((w.lo - a.lo).abs() < 0.002);
+        assert!((w.hi - a.hi).abs() < 0.002);
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_bounds_with_width() {
+        let zero = wilson(0, 1000);
+        assert_eq!(zero.p, 0.0);
+        assert!(zero.lo.abs() < 1e-12);
+        assert!(zero.hi > 0.0 && zero.hi < 0.01);
+        let full = wilson(1000, 1000);
+        assert_eq!(full.p, 1.0);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo < 1.0 && full.lo > 0.99);
+    }
+
+    #[test]
+    fn paper_error_bar_claim_holds_for_1000_runs() {
+        // §IV-C: 1,000 runs leave a 1–2% error bar at 95% confidence.
+        // The worst case is p = 0.5.
+        let worst = wilson(500, 1000);
+        assert!(worst.error_bar_pct() <= 3.2, "bar = {}", worst.error_bar_pct());
+        assert!(worst.error_bar_pct() >= 2.5);
+        let typical = wilson(100, 1000);
+        assert!(typical.error_bar_pct() < 2.0);
+    }
+
+    #[test]
+    fn empty_trials_are_safe() {
+        let p = wilson(0, 0);
+        assert_eq!((p.p, p.lo, p.hi), (0.0, 0.0, 0.0));
+        assert_eq!(wald(0, 0).p, 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 6);
+        assert!((acc.mean() - 3.5).abs() < 1e-12);
+        assert!((acc.variance() - 3.5).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 6.0);
+        let (m, s) = mean_std(&xs);
+        assert!((m - 3.5).abs() < 1e-12);
+        assert!((s - 3.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_empty_and_single() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        let mut one = Accumulator::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.sem(), 0.0);
+    }
+
+    #[test]
+    fn blocking_error_on_iid_matches_sem() {
+        let mut rng = crate::rng::Rng::seed_from(77);
+        let xs: Vec<f64> = (0..4096).map(|_| rng.normal()).collect();
+        let (mean, err) = blocking_error(&xs);
+        assert!(mean.abs() < 0.1);
+        let naive = 1.0 / (4096f64).sqrt();
+        assert!(err > 0.5 * naive && err < 2.0 * naive, "err = {}", err);
+    }
+
+    #[test]
+    fn blocking_error_grows_with_autocorrelation() {
+        // AR(1) with strong correlation should report a larger error
+        // than the naive i.i.d. estimate.
+        let mut rng = crate::rng::Rng::seed_from(78);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..4096)
+            .map(|_| {
+                x = 0.95 * x + rng.normal();
+                x
+            })
+            .collect();
+        let (_, blocked) = blocking_error(&xs);
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1.0);
+        let naive = (var / n).sqrt();
+        assert!(blocked > 2.0 * naive, "blocked {} naive {}", blocked, naive);
+    }
+
+    #[test]
+    fn blocking_handles_degenerate_input() {
+        assert_eq!(blocking_error(&[]), (0.0, 0.0));
+        let (m, e) = blocking_error(&[5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn histogram_basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert_eq!(h.total(), 10);
+        assert!((h.center(0) - 0.5).abs() < 1e-12);
+        assert!((h.center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(99.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn histogram_log_spacing() {
+        let mut h = Histogram::log10(0.0, 3.0, 3); // decades 1–10, 10–100, 100–1000
+        h.add_log10(5.0);
+        h.add_log10(50.0);
+        h.add_log10(500.0);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        let series = h.series();
+        assert_eq!(series.len(), 3);
+        assert!((series[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_display_format() {
+        let p = wilson(123, 1000);
+        let s = p.to_string();
+        assert!(s.contains("12.3%"));
+        assert!(s.contains("123/1000"));
+    }
+}

@@ -1,0 +1,423 @@
+//! # fitslite — a minimal FITS reader/writer over `ffis-vfs`
+//!
+//! Montage assembles Flexible Image Transport System (FITS) images
+//! into mosaics (paper §IV-C.3). This crate implements the subset the
+//! Montage workload exercises: a primary HDU with 80-character header
+//! cards in 2880-byte blocks, `BITPIX = -64` (big-endian IEEE doubles)
+//! image data, a linear small-angle WCS (`CRVAL/CRPIX/CDELT`), and
+//! NaN-blank pixels.
+//!
+//! The reader validates the mandatory cards (`SIMPLE`, `BITPIX`,
+//! `NAXIS*`) and the data length; violations surface as errors — the
+//! paper's *crash* class ("for the cases where the target file cannot
+//! be created, they are defined as crash").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ffis_vfs::{FileSystem, FileSystemExt};
+
+/// FITS block size: headers and data are padded to this.
+pub const FITS_BLOCK: usize = 2880;
+
+/// Card image length.
+pub const CARD_LEN: usize = 80;
+
+/// Error type for FITS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitsError(pub String);
+
+impl std::fmt::Display for FitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FITS error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FitsError {}
+
+impl From<ffis_vfs::FsError> for FitsError {
+    fn from(e: ffis_vfs::FsError) -> Self {
+        FitsError(format!("I/O failure: {}", e))
+    }
+}
+
+/// Result alias.
+pub type FitsResult<T> = Result<T, FitsError>;
+
+/// Linear small-angle world coordinate system (the TAN projection in
+/// its small-field limit): `sky = crval + (pix − crpix) · cdelt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wcs {
+    /// Reference RA (degrees).
+    pub crval1: f64,
+    /// Reference Dec (degrees).
+    pub crval2: f64,
+    /// Reference pixel x (1-based, FITS convention).
+    pub crpix1: f64,
+    /// Reference pixel y (1-based).
+    pub crpix2: f64,
+    /// Degrees per pixel in x.
+    pub cdelt1: f64,
+    /// Degrees per pixel in y.
+    pub cdelt2: f64,
+}
+
+impl Wcs {
+    /// Pixel (0-based) → sky coordinates.
+    pub fn pix_to_sky(&self, x: f64, y: f64) -> (f64, f64) {
+        (
+            self.crval1 + (x + 1.0 - self.crpix1) * self.cdelt1,
+            self.crval2 + (y + 1.0 - self.crpix2) * self.cdelt2,
+        )
+    }
+
+    /// Sky coordinates → pixel (0-based).
+    pub fn sky_to_pix(&self, ra: f64, dec: f64) -> (f64, f64) {
+        (
+            (ra - self.crval1) / self.cdelt1 + self.crpix1 - 1.0,
+            (dec - self.crval2) / self.cdelt2 + self.crpix2 - 1.0,
+        )
+    }
+}
+
+/// An in-memory FITS image (primary HDU, `BITPIX = -64`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitsImage {
+    /// Width (NAXIS1).
+    pub width: usize,
+    /// Height (NAXIS2).
+    pub height: usize,
+    /// Row-major pixel data (NaN = blank).
+    pub data: Vec<f64>,
+    /// World coordinate system.
+    pub wcs: Wcs,
+}
+
+impl FitsImage {
+    /// Blank (NaN-filled) image.
+    pub fn blank(width: usize, height: usize, wcs: Wcs) -> Self {
+        FitsImage { width, height, data: vec![f64::NAN; width * height], wcs }
+    }
+
+    /// Pixel accessor (row-major).
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Bilinear sample at fractional pixel coordinates; NaN outside
+    /// bounds or when any contributing pixel is blank.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        if x < 0.0 || y < 0.0 || x > (self.width - 1) as f64 || y > (self.height - 1) as f64 {
+            return f64::NAN;
+        }
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let fx = x - x0 as f64;
+        let fy = y - y0 as f64;
+        let v00 = self.get(x0, y0);
+        let v10 = self.get(x1, y0);
+        let v01 = self.get(x0, y1);
+        let v11 = self.get(x1, y1);
+        v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+    }
+
+    /// Minimum over non-blank pixels (the statistic Montage's final
+    /// step reports — the paper's SDC/detected discriminator).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum over non-blank pixels.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn card(key: &str, value: &str) -> [u8; CARD_LEN] {
+    let mut c = [b' '; CARD_LEN];
+    let text = if value.is_empty() {
+        key.to_string()
+    } else {
+        format!("{:<8}= {:>20}", key, value)
+    };
+    let bytes = text.as_bytes();
+    c[..bytes.len().min(CARD_LEN)].copy_from_slice(&bytes[..bytes.len().min(CARD_LEN)]);
+    c
+}
+
+/// Serialize an image to FITS bytes.
+pub fn render_fits(img: &FitsImage) -> FitsResult<Vec<u8>> {
+    if img.data.len() != img.width * img.height {
+        return Err(FitsError(format!(
+            "data length {} != {}x{}",
+            img.data.len(),
+            img.width,
+            img.height
+        )));
+    }
+    let mut header = Vec::with_capacity(FITS_BLOCK);
+    let cards = [
+        card("SIMPLE", "T"),
+        card("BITPIX", "-64"),
+        card("NAXIS", "2"),
+        card("NAXIS1", &img.width.to_string()),
+        card("NAXIS2", &img.height.to_string()),
+        card("CRVAL1", &format!("{:.10}", img.wcs.crval1)),
+        card("CRVAL2", &format!("{:.10}", img.wcs.crval2)),
+        card("CRPIX1", &format!("{:.4}", img.wcs.crpix1)),
+        card("CRPIX2", &format!("{:.4}", img.wcs.crpix2)),
+        card("CDELT1", &format!("{:.10}", img.wcs.cdelt1)),
+        card("CDELT2", &format!("{:.10}", img.wcs.cdelt2)),
+        card("CTYPE1", "'RA---TAN'"),
+        card("CTYPE2", "'DEC--TAN'"),
+        card("END", ""),
+    ];
+    for c in &cards {
+        header.extend_from_slice(c);
+    }
+    header.resize(FITS_BLOCK * header.len().div_ceil(FITS_BLOCK), b' ');
+
+    let mut out = header;
+    for &v in &img.data {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    let padded = FITS_BLOCK * out.len().div_ceil(FITS_BLOCK);
+    out.resize(padded, 0);
+    Ok(out)
+}
+
+/// Write an image to the filesystem in stdio-sized (4 KiB) chunks.
+pub fn write_fits(fs: &dyn FileSystem, path: &str, img: &FitsImage) -> FitsResult<()> {
+    let bytes = render_fits(img)?;
+    fs.write_file_chunked(path, &bytes, ffis_vfs::BLOCK_SIZE)?;
+    Ok(())
+}
+
+fn parse_card_value(cards: &std::collections::HashMap<String, String>, key: &str) -> FitsResult<f64> {
+    cards
+        .get(key)
+        .ok_or_else(|| FitsError(format!("missing {} card", key)))?
+        .parse::<f64>()
+        .map_err(|_| FitsError(format!("unparsable {} card", key)))
+}
+
+/// Parse FITS bytes.
+pub fn parse_fits(bytes: &[u8]) -> FitsResult<FitsImage> {
+    if bytes.len() < FITS_BLOCK {
+        return Err(FitsError("file smaller than one FITS block".into()));
+    }
+    // Walk header cards until END.
+    let mut cards = std::collections::HashMap::new();
+    let mut pos = 0usize;
+    let mut end_found = false;
+    'blocks: while pos + FITS_BLOCK <= bytes.len() {
+        for i in 0..FITS_BLOCK / CARD_LEN {
+            let c = &bytes[pos + i * CARD_LEN..pos + (i + 1) * CARD_LEN];
+            let key = String::from_utf8_lossy(&c[..8]).trim().to_string();
+            if key == "END" {
+                end_found = true;
+                pos += FITS_BLOCK;
+                break 'blocks;
+            }
+            if c.len() > 10 && c[8] == b'=' {
+                let value = String::from_utf8_lossy(&c[10..]).trim().to_string();
+                cards.insert(key, value);
+            }
+        }
+        pos += FITS_BLOCK;
+    }
+    if !end_found {
+        return Err(FitsError("END card not found".into()));
+    }
+    if cards.get("SIMPLE").map(String::as_str) != Some("T") {
+        return Err(FitsError("not a standard FITS file (SIMPLE != T)".into()));
+    }
+    let bitpix = parse_card_value(&cards, "BITPIX")? as i64;
+    if bitpix != -64 {
+        return Err(FitsError(format!("unsupported BITPIX {}", bitpix)));
+    }
+    let naxis = parse_card_value(&cards, "NAXIS")? as i64;
+    if naxis != 2 {
+        return Err(FitsError(format!("unsupported NAXIS {}", naxis)));
+    }
+    let width = parse_card_value(&cards, "NAXIS1")? as i64;
+    let height = parse_card_value(&cards, "NAXIS2")? as i64;
+    if width <= 0 || height <= 0 || width > 1 << 16 || height > 1 << 16 {
+        return Err(FitsError(format!("implausible dimensions {}x{}", width, height)));
+    }
+    let (width, height) = (width as usize, height as usize);
+    let need = width * height * 8;
+    if bytes.len() < pos + need {
+        return Err(FitsError(format!(
+            "data truncated: need {} bytes, have {}",
+            need,
+            bytes.len() - pos
+        )));
+    }
+    let mut data = Vec::with_capacity(width * height);
+    for i in 0..width * height {
+        let b = &bytes[pos + 8 * i..pos + 8 * (i + 1)];
+        data.push(f64::from_be_bytes(b.try_into().unwrap()));
+    }
+    let wcs = Wcs {
+        crval1: parse_card_value(&cards, "CRVAL1")?,
+        crval2: parse_card_value(&cards, "CRVAL2")?,
+        crpix1: parse_card_value(&cards, "CRPIX1")?,
+        crpix2: parse_card_value(&cards, "CRPIX2")?,
+        cdelt1: parse_card_value(&cards, "CDELT1")?,
+        cdelt2: parse_card_value(&cards, "CDELT2")?,
+    };
+    if wcs.cdelt1 == 0.0 || wcs.cdelt2 == 0.0 {
+        return Err(FitsError("degenerate CDELT".into()));
+    }
+    Ok(FitsImage { width, height, data, wcs })
+}
+
+/// Read an image from the filesystem.
+pub fn read_fits(fs: &dyn FileSystem, path: &str) -> FitsResult<FitsImage> {
+    let bytes = fs.read_to_vec(path).map_err(|e| FitsError(format!("cannot read {}: {}", path, e)))?;
+    parse_fits(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_vfs::MemFs;
+
+    fn wcs() -> Wcs {
+        Wcs { crval1: 210.8, crval2: 54.35, crpix1: 24.5, crpix2: 24.5, cdelt1: -0.001, cdelt2: 0.001 }
+    }
+
+    fn image() -> FitsImage {
+        let mut img = FitsImage::blank(48, 32, wcs());
+        for y in 0..32 {
+            for x in 0..48 {
+                img.set(x, y, 83.0 + x as f64 * 0.1 + y as f64 * 0.01);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn roundtrip_through_fs() {
+        let fs = MemFs::new();
+        let img = image();
+        write_fits(&fs, "/m101.fits", &img).unwrap();
+        let back = read_fits(&fs, "/m101.fits").unwrap();
+        assert_eq!(back.width, 48);
+        assert_eq!(back.height, 32);
+        assert_eq!(back.data, img.data);
+        assert!((back.wcs.crval1 - 210.8).abs() < 1e-9);
+        assert!((back.wcs.cdelt1 + 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_is_block_aligned() {
+        let fs = MemFs::new();
+        write_fits(&fs, "/a.fits", &image()).unwrap();
+        let size = fs.getattr("/a.fits").unwrap().size;
+        assert_eq!(size % FITS_BLOCK as u64, 0);
+    }
+
+    #[test]
+    fn nan_blanks_survive() {
+        let fs = MemFs::new();
+        let mut img = image();
+        img.set(3, 3, f64::NAN);
+        write_fits(&fs, "/n.fits", &img).unwrap();
+        let back = read_fits(&fs, "/n.fits").unwrap();
+        assert!(back.get(3, 3).is_nan());
+        assert!(back.min().is_finite());
+    }
+
+    #[test]
+    fn corrupt_simple_card_is_crash() {
+        let fs = MemFs::new();
+        write_fits(&fs, "/a.fits", &image()).unwrap();
+        let mut bytes = fs.read_to_vec("/a.fits").unwrap();
+        bytes[0] ^= 0xFF; // SIMPLE keyword
+        assert!(parse_fits(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_naxis_is_crash() {
+        let fs = MemFs::new();
+        write_fits(&fs, "/a.fits", &image()).unwrap();
+        let bytes = fs.read_to_vec("/a.fits").unwrap();
+        // Find the NAXIS1 card's value region and damage it.
+        let pos = (0..FITS_BLOCK / CARD_LEN)
+            .find(|&i| &bytes[i * CARD_LEN..i * CARD_LEN + 6] == b"NAXIS1")
+            .unwrap();
+        let mut bad = bytes.clone();
+        bad[pos * CARD_LEN + 29] = b'X';
+        assert!(parse_fits(&bad).is_err());
+        // Dimension inflated past the data length -> truncation error.
+        let mut bigger = bytes;
+        bigger[pos * CARD_LEN + 25] = b'9';
+        assert!(parse_fits(&bigger).is_err());
+    }
+
+    #[test]
+    fn truncated_data_is_crash() {
+        let img = image();
+        let bytes = render_fits(&img).unwrap();
+        assert!(parse_fits(&bytes[..bytes.len() - FITS_BLOCK]).is_err());
+        assert!(parse_fits(&bytes[..100]).is_err());
+        assert!(parse_fits(b"").is_err());
+    }
+
+    #[test]
+    fn missing_end_card_is_crash() {
+        let mut bytes = render_fits(&image()).unwrap();
+        // Overwrite END with spaces.
+        for i in 0..FITS_BLOCK / CARD_LEN {
+            if &bytes[i * CARD_LEN..i * CARD_LEN + 3] == b"END" {
+                bytes[i * CARD_LEN..i * CARD_LEN + 3].copy_from_slice(b"   ");
+            }
+        }
+        assert!(parse_fits(&bytes).is_err());
+    }
+
+    #[test]
+    fn wcs_roundtrip() {
+        let w = wcs();
+        let (ra, dec) = w.pix_to_sky(10.0, 20.0);
+        let (x, y) = w.sky_to_pix(ra, dec);
+        assert!((x - 10.0).abs() < 1e-9);
+        assert!((y - 20.0).abs() < 1e-9);
+        // Reference pixel maps to reference value (1-based convention).
+        let (ra0, dec0) = w.pix_to_sky(w.crpix1 - 1.0, w.crpix2 - 1.0);
+        assert!((ra0 - w.crval1).abs() < 1e-12);
+        assert!((dec0 - w.crval2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_sampling() {
+        let mut img = FitsImage::blank(4, 4, wcs());
+        for y in 0..4 {
+            for x in 0..4 {
+                img.set(x, y, (x + y) as f64);
+            }
+        }
+        assert_eq!(img.sample(1.0, 1.0), 2.0);
+        assert!((img.sample(1.5, 1.5) - 3.0).abs() < 1e-12);
+        assert!(img.sample(-0.1, 0.0).is_nan());
+        assert!(img.sample(3.5, 0.0).is_nan());
+    }
+
+    #[test]
+    fn min_max_ignore_blanks() {
+        let mut img = FitsImage::blank(2, 2, wcs());
+        img.set(0, 0, 5.0);
+        img.set(1, 1, -3.0);
+        assert_eq!(img.min(), -3.0);
+        assert_eq!(img.max(), 5.0);
+    }
+}

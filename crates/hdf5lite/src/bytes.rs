@@ -1,0 +1,226 @@
+//! Little-endian byte cursors with bounds-checked reads.
+//!
+//! The reader never panics on malformed input: every primitive read
+//! returns `Hdf5Result` so corrupted length/offset fields surface as
+//! the paper's *crash* outcome instead of aborting the process.
+
+use crate::types::{Hdf5Error, Hdf5Result};
+
+/// Read cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Cursor at absolute position `pos` of `data`.
+    pub fn at(data: &'a [u8], pos: u64) -> Hdf5Result<Self> {
+        if pos > data.len() as u64 {
+            return Err(Hdf5Error::new(format!(
+                "address {:#x} beyond end of file ({:#x})",
+                pos,
+                data.len()
+            )));
+        }
+        Ok(Reader { data, pos: pos as usize })
+    }
+
+    /// Current absolute position.
+    pub fn position(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Hdf5Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Hdf5Error::new(format!(
+                "truncated read: need {} bytes at {:#x}, have {}",
+                n,
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Hdf5Result<()> {
+        self.bytes(n).map(|_| ())
+    }
+
+    /// `u8`.
+    pub fn u8(&mut self) -> Hdf5Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Hdf5Result<u16> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Hdf5Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Hdf5Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// NUL-terminated string starting at the cursor, bounded by `max`.
+    pub fn cstr(&mut self, max: usize) -> Hdf5Result<String> {
+        let avail = self.remaining().min(max);
+        let window = &self.data[self.pos..self.pos + avail];
+        let nul = window
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| Hdf5Error::new("unterminated string in heap"))?;
+        let s = std::str::from_utf8(&window[..nul])
+            .map_err(|_| Hdf5Error::new("non-UTF8 link name"))?
+            .to_string();
+        self.pos += nul + 1;
+        Ok(s)
+    }
+}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Zero padding.
+    pub fn pad(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+
+    /// Consume into the byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let data = [1u8, 2, 3];
+        let mut r = Reader::new(&data);
+        assert!(r.u32().is_err());
+        assert_eq!(r.u16().unwrap(), 0x0201); // cursor unchanged by failed read
+    }
+
+    #[test]
+    fn at_validates_position() {
+        let data = [0u8; 10];
+        assert!(Reader::at(&data, 10).is_ok());
+        assert!(Reader::at(&data, 11).is_err());
+        let mut r = Reader::at(&data, 8).unwrap();
+        assert_eq!(r.remaining(), 2);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn cstr_reads_and_validates() {
+        let data = b"hello\0world";
+        let mut r = Reader::new(data);
+        assert_eq!(r.cstr(32).unwrap(), "hello");
+        assert_eq!(r.position(), 6);
+        // Unterminated within bound.
+        let mut r2 = Reader::new(b"abc");
+        assert!(r2.cstr(3).is_err());
+        // Invalid UTF-8.
+        let bad = [0xFFu8, 0xFE, 0x00];
+        let mut r3 = Reader::new(&bad);
+        assert!(r3.cstr(3).is_err());
+    }
+
+    #[test]
+    fn pad_and_skip() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.pad(7);
+        assert_eq!(w.len(), 8);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.skip(7).unwrap();
+        assert_eq!(r.u8().unwrap(), 0);
+        assert!(r.skip(1).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Optional metadata checksumming (reproduction extension).
+//!
+//! The paper observes that the HDF5 v0 metadata it studies carries no
+//! integrity protection beyond signatures — which is exactly why six
+//! fields can silently corrupt the decoded data — and discusses
+//! exploiting field correlations instead of replication (§V-A). Later
+//! HDF5 versions (v2 object headers, v2+ superblocks) add Fletcher-32
+//! checksums over metadata structures. This module provides that
+//! protection as an opt-in: the writer seals the packed metadata block
+//! with a Fletcher-32 checksum stored in the superblock's (otherwise
+//! undefined) Driver Information slot, and the reader verifies it
+//! before trusting any field. With the seal on, every metadata fault
+//! — including the six silent ones — becomes a detected integrity
+//! failure (the crash class), at the cost of one more invariant to
+//! maintain on every metadata update.
+
+use crate::types::{Hdf5Error, Hdf5Result, SUPERBLOCK_SIZE};
+
+/// Byte offset of the superblock Driver Information Address field —
+/// repurposed as the metadata seal when checksumming is enabled.
+pub const SEAL_OFFSET: u64 = 48;
+
+/// Marker in the seal's top 16 bits distinguishing a checksum seal
+/// from the `UNDEFINED_ADDR` the plain format stores.
+pub const SEAL_MARKER: u16 = 0xC5F3;
+
+/// Fletcher-32 over a byte stream (odd trailing byte zero-padded),
+/// matching the checksum HDF5's v2 structures use.
+pub fn fletcher32(data: &[u8]) -> u32 {
+    let mut sum1: u32 = 0;
+    let mut sum2: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        let word = u16::from_le_bytes([c[0], c[1]]) as u32;
+        sum1 = (sum1 + word) % 65535;
+        sum2 = (sum2 + sum1) % 65535;
+    }
+    if let [last] = chunks.remainder() {
+        sum1 = (sum1 + *last as u32) % 65535;
+        sum2 = (sum2 + sum1) % 65535;
+    }
+    (sum2 << 16) | sum1
+}
+
+/// Pack a seal word: marker | metadata size (24 bits) | reserved.
+/// The checksum itself travels in the adjacent 4 bytes of the 8-byte
+/// field: layout `[marker:16][size:24][csum-hi:24]`... to keep parsing
+/// trivial we use the full 8 bytes as `[marker:16][size:16][csum:32]`
+/// with the size expressed in 8-byte units (supports metadata blocks
+/// up to 512 KiB — far beyond any file this library plans).
+pub fn pack_seal(metadata_size: u64, checksum: u32) -> Hdf5Result<u64> {
+    if !metadata_size.is_multiple_of(8) {
+        return Err(Hdf5Error::new("metadata size not 8-aligned"));
+    }
+    let units = metadata_size / 8;
+    if units > u16::MAX as u64 {
+        return Err(Hdf5Error::new(format!("metadata block too large to seal: {} bytes", metadata_size)));
+    }
+    Ok(((SEAL_MARKER as u64) << 48) | (units << 32) | checksum as u64)
+}
+
+/// Unpack a seal word; `None` when the marker is absent (unsealed file).
+pub fn unpack_seal(word: u64) -> Option<(u64, u32)> {
+    if (word >> 48) as u16 != SEAL_MARKER {
+        return None;
+    }
+    let units = (word >> 32) & 0xFFFF;
+    Some((units * 8, word as u32))
+}
+
+/// Compute the seal checksum for a metadata image: Fletcher-32 over
+/// the block with the 8-byte seal field zeroed (it cannot cover
+/// itself).
+pub fn seal_checksum(metadata: &[u8]) -> u32 {
+    let mut scratch = metadata.to_vec();
+    let start = SEAL_OFFSET as usize;
+    if scratch.len() >= start + 8 {
+        scratch[start..start + 8].fill(0);
+    }
+    fletcher32(&scratch)
+}
+
+/// Verify a sealed file image. `Ok(false)` = file is unsealed;
+/// `Ok(true)` = seal present and valid; `Err` = seal present and the
+/// metadata fails verification.
+pub fn verify_seal(file_bytes: &[u8]) -> Hdf5Result<bool> {
+    if file_bytes.len() < SUPERBLOCK_SIZE as usize {
+        return Err(Hdf5Error::new("file smaller than superblock"));
+    }
+    let start = SEAL_OFFSET as usize;
+    let word = u64::from_le_bytes(file_bytes[start..start + 8].try_into().unwrap());
+    let Some((size, stored)) = unpack_seal(word) else {
+        return Ok(false);
+    };
+    if size as usize > file_bytes.len() || size < SUPERBLOCK_SIZE {
+        return Err(Hdf5Error::new(format!("sealed metadata size {} implausible", size)));
+    }
+    let computed = seal_checksum(&file_bytes[..size as usize]);
+    if computed != stored {
+        return Err(Hdf5Error::new(format!(
+            "metadata checksum mismatch: stored {:#010x}, computed {:#010x}",
+            stored, computed
+        )));
+    }
+    Ok(true)
+}
+
+/// Recompute and rewrite the seal of a sealed file after in-place
+/// metadata edits (the repair path). No-op (`Ok(false)`) for unsealed
+/// files.
+pub fn reseal(fs: &dyn ffis_vfs::FileSystem, path: &str) -> Hdf5Result<bool> {
+    use ffis_vfs::FileSystemExt;
+    let bytes = fs.read_to_vec(path).map_err(Hdf5Error::from)?;
+    if bytes.len() < SUPERBLOCK_SIZE as usize {
+        return Err(Hdf5Error::new("file smaller than superblock"));
+    }
+    let start = SEAL_OFFSET as usize;
+    let word = u64::from_le_bytes(bytes[start..start + 8].try_into().unwrap());
+    let Some((size, _)) = unpack_seal(word) else {
+        return Ok(false);
+    };
+    if size as usize > bytes.len() {
+        return Err(Hdf5Error::new("sealed metadata size beyond file"));
+    }
+    let csum = seal_checksum(&bytes[..size as usize]);
+    let new_word = pack_seal(size, csum)?;
+    let fd = fs.open(path, ffis_vfs::OpenFlags::read_write()).map_err(Hdf5Error::from)?;
+    fs.pwrite(fd, &new_word.to_le_bytes(), SEAL_OFFSET).map_err(Hdf5Error::from)?;
+    fs.release(fd).map_err(Hdf5Error::from)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fletcher_reference_behaviour() {
+        // Deterministic, order-sensitive, length-sensitive.
+        assert_eq!(fletcher32(&[]), 0);
+        let a = fletcher32(b"abcde");
+        let b = fletcher32(b"abced");
+        let c = fletcher32(b"abcd");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fletcher32(b"abcde"));
+    }
+
+    #[test]
+    fn fletcher_detects_single_bit_flips() {
+        let data = vec![0x5Au8; 1024];
+        let base = fletcher32(&data);
+        for byte in [0usize, 1, 500, 1023] {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(fletcher32(&d), base, "flip at {}:{} undetected", byte, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn seal_pack_unpack_roundtrip() {
+        let word = pack_seal(2184, 0xDEADBEEF).unwrap();
+        assert_eq!(unpack_seal(word), Some((2184, 0xDEADBEEF)));
+        assert_eq!(unpack_seal(u64::MAX), None); // UNDEFINED_ADDR
+        assert_eq!(unpack_seal(0), None);
+        assert!(pack_seal(2185, 0).is_err()); // unaligned
+        assert!(pack_seal((1 << 19) - 8, 0).is_ok()); // largest sealable block
+        assert!(pack_seal(1 << 19, 0).is_err()); // one unit too large
+        assert!(pack_seal(1 << 30, 0).is_err());
+    }
+
+    #[test]
+    fn seal_checksum_ignores_the_seal_field_itself() {
+        let mut img = vec![7u8; 256];
+        let c1 = seal_checksum(&img);
+        img[SEAL_OFFSET as usize..SEAL_OFFSET as usize + 8].copy_from_slice(&[9; 8]);
+        assert_eq!(seal_checksum(&img), c1);
+        img[0] ^= 1;
+        assert_ne!(seal_checksum(&img), c1);
+    }
+
+    #[test]
+    fn verify_seal_states() {
+        // Unsealed: driver slot holds UNDEFINED.
+        let mut img = vec![0u8; 256];
+        img[SEAL_OFFSET as usize..SEAL_OFFSET as usize + 8]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(verify_seal(&img), Ok(false));
+
+        // Sealed and valid.
+        let mut sealed = vec![3u8; 256];
+        let csum = seal_checksum(&sealed[..128]);
+        let word = pack_seal(128, csum).unwrap();
+        sealed[SEAL_OFFSET as usize..SEAL_OFFSET as usize + 8]
+            .copy_from_slice(&word.to_le_bytes());
+        assert_eq!(verify_seal(&sealed), Ok(true));
+
+        // Corrupt a covered byte: must fail.
+        let mut bad = sealed.clone();
+        bad[100] ^= 0x40;
+        assert!(verify_seal(&bad).is_err());
+        // Corrupt the seal itself: must fail (either marker vanishes
+        // -> unsealed is NOT acceptable for silent flips within the
+        // checksum bits, which keep the marker).
+        let mut bad_seal = sealed.clone();
+        bad_seal[SEAL_OFFSET as usize] ^= 0x01; // low checksum bits
+        assert!(verify_seal(&bad_seal).is_err());
+
+        // Too-short file.
+        assert!(verify_seal(&[0u8; 10]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Field-map-recording metadata emitter.
+//!
+//! The metadata study of the paper (§IV-D) needs to know, for every
+//! byte of the packed metadata block, which format field it belongs to
+//! ("we refer to the HDF5 File Format Specification to capture the
+//! field information of each metadata byte"). Rather than maintaining
+//! a separate offset table that can drift from the writer, the writer
+//! emits every field through this [`Emitter`], which appends the bytes
+//! *and* records a named span — the field map is correct by
+//! construction.
+
+use crate::bytes::Writer;
+
+/// A named byte range `[start, end)` in the emitted metadata block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// First byte offset.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// Dotted field path, e.g. `"Dataset.Datatype.ExponentBias"`.
+    pub name: String,
+}
+
+/// Byte writer that labels every emitted field.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    w: Writer,
+    spans: Vec<Span>,
+    prefix: Vec<String>,
+}
+
+impl Emitter {
+    /// Empty emitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length (== offset of the next emitted byte).
+    pub fn len(&self) -> u64 {
+        self.w.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Run `f` with `name` pushed onto the field-path prefix.
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.prefix.push(name.to_string());
+        let r = f(self);
+        self.prefix.pop();
+        r
+    }
+
+    fn full_name(&self, leaf: &str) -> String {
+        if self.prefix.is_empty() {
+            leaf.to_string()
+        } else {
+            format!("{}.{}", self.prefix.join("."), leaf)
+        }
+    }
+
+    fn record(&mut self, leaf: &str, start: u64) {
+        let end = self.w.len();
+        if end > start {
+            let name = self.full_name(leaf);
+            self.spans.push(Span { start, end, name });
+        }
+    }
+
+    /// Labeled raw bytes.
+    pub fn bytes(&mut self, name: &str, b: &[u8]) {
+        let start = self.w.len();
+        self.w.put_bytes(b);
+        self.record(name, start);
+    }
+
+    /// Labeled `u8`.
+    pub fn u8(&mut self, name: &str, v: u8) {
+        let start = self.w.len();
+        self.w.put_u8(v);
+        self.record(name, start);
+    }
+
+    /// Labeled little-endian `u16`.
+    pub fn u16(&mut self, name: &str, v: u16) {
+        let start = self.w.len();
+        self.w.put_u16(v);
+        self.record(name, start);
+    }
+
+    /// Labeled little-endian `u32`.
+    pub fn u32(&mut self, name: &str, v: u32) {
+        let start = self.w.len();
+        self.w.put_u32(v);
+        self.record(name, start);
+    }
+
+    /// Labeled little-endian `u64`.
+    pub fn u64(&mut self, name: &str, v: u64) {
+        let start = self.w.len();
+        self.w.put_u64(v);
+        self.record(name, start);
+    }
+
+    /// Labeled zero padding.
+    pub fn pad(&mut self, name: &str, n: usize) {
+        let start = self.w.len();
+        self.w.pad(n);
+        self.record(name, start);
+    }
+
+    /// Pad with zeros until the buffer reaches `target` bytes.
+    pub fn pad_to(&mut self, name: &str, target: u64) {
+        let cur = self.w.len();
+        assert!(target >= cur, "pad_to({}) below current {}", target, cur);
+        self.pad(name, (target - cur) as usize);
+    }
+
+    /// Finish: `(bytes, spans)`.
+    pub fn finish(self) -> (Vec<u8>, Vec<Span>) {
+        (self.w.into_bytes(), self.spans)
+    }
+
+    /// Spans recorded so far (for in-progress assertions).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_all_bytes_contiguously() {
+        let mut e = Emitter::new();
+        e.u8("A", 1);
+        e.u16("B", 2);
+        e.scope("S", |e| {
+            e.u32("C", 3);
+            e.pad("Pad", 1);
+        });
+        e.u64("D", 4);
+        let (bytes, spans) = e.finish();
+        assert_eq!(bytes.len(), 1 + 2 + 4 + 1 + 8);
+        let mut expected_start = 0;
+        for s in &spans {
+            assert_eq!(s.start, expected_start, "no gaps");
+            expected_start = s.end;
+        }
+        assert_eq!(expected_start, bytes.len() as u64);
+        assert_eq!(spans[2].name, "S.C");
+        assert_eq!(spans[3].name, "S.Pad");
+        assert_eq!(spans[4].name, "D");
+    }
+
+    #[test]
+    fn nested_scopes_join_with_dots() {
+        let mut e = Emitter::new();
+        e.scope("Dataset", |e| {
+            e.scope("Datatype", |e| {
+                e.u32("ExponentBias", 127);
+            });
+        });
+        let (_, spans) = e.finish();
+        assert_eq!(spans[0].name, "Dataset.Datatype.ExponentBias");
+    }
+
+    #[test]
+    fn pad_to_reaches_target() {
+        let mut e = Emitter::new();
+        e.u8("x", 9);
+        e.pad_to("align", 16);
+        assert_eq!(e.len(), 16);
+        let (bytes, spans) = e.finish();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(spans[1].end - spans[1].start, 15);
+    }
+
+    #[test]
+    fn zero_length_fields_not_recorded() {
+        let mut e = Emitter::new();
+        e.bytes("empty", &[]);
+        e.pad("none", 0);
+        e.u8("real", 1);
+        let (_, spans) = e.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "real");
+    }
+
+    #[test]
+    #[should_panic]
+    fn pad_to_backwards_panics() {
+        let mut e = Emitter::new();
+        e.u64("x", 0);
+        e.pad_to("bad", 4);
+    }
+}

@@ -1,0 +1,410 @@
+//! Metadata block encoder.
+//!
+//! Emits the packed metadata region — superblock, group structures,
+//! dataset object headers — through the field-labelling
+//! [`Emitter`], so the byte-exact field map falls out of the encode
+//! itself. Field names follow the HDF5 File Format Specification
+//! terminology used in the paper's Tables III/IV (`ExponentBias`,
+//! `MantissaSize`, `AddressOfRawData`, ...).
+
+use crate::emitter::{Emitter, Span};
+use crate::floatspec::FloatSpec;
+use crate::layout::{Plan, PlannedChild, PlannedDataset, PlannedGroup};
+use crate::types::{
+    MessageType, GROUP_INTERNAL_K, GROUP_LEAF_K, HEAP_SIGNATURE, SIGNATURE, SNOD_SIGNATURE,
+    TREE_SIGNATURE, UNDEFINED_ADDR,
+};
+
+/// Modification time stamp written into every object header. Fixed
+/// (not wall clock) so golden and faulty runs are bitwise comparable.
+pub const MOD_TIME: u32 = 1_609_459_200; // 2021-01-01T00:00:00Z
+
+/// Encode the full metadata block `[0, plan.metadata_size)`.
+///
+/// The superblock's End-of-File Address field is emitted as
+/// `UNDEFINED_ADDR`; the writer patches it with a separate, final
+/// write — which is what makes the metadata write the *penultimate*
+/// write of the file-creation protocol (paper §IV-D).
+pub fn encode_metadata(plan: &Plan) -> (Vec<u8>, Vec<Span>) {
+    let mut e = Emitter::new();
+    encode_superblock(&mut e, plan);
+    encode_group(&mut e, &plan.root, "/");
+    e.pad_to("Pad.MetadataTail", plan.metadata_size);
+    e.finish()
+}
+
+fn encode_superblock(e: &mut Emitter, plan: &Plan) {
+    e.scope("Superblock", |e| {
+        e.bytes("Signature", &SIGNATURE);
+        e.u8("VersionSuperblock", 0);
+        e.u8("VersionFreeSpace", 0);
+        e.u8("VersionRootSymbolTable", 0);
+        e.pad("Reserved0", 1);
+        e.u8("VersionSharedHeaderFormat", 0);
+        e.u8("SizeOfOffsets", 8);
+        e.u8("SizeOfLengths", 8);
+        e.pad("Reserved1", 1);
+        e.u16("GroupLeafNodeK", GROUP_LEAF_K as u16);
+        e.u16("GroupInternalNodeK", GROUP_INTERNAL_K as u16);
+        e.u32("FileConsistencyFlags", 0);
+        e.u64("BaseAddress", 0);
+        e.u64("FreeSpaceAddress", UNDEFINED_ADDR);
+        // Patched by the final write of the creation protocol.
+        e.u64("EndOfFileAddress", UNDEFINED_ADDR);
+        e.u64("DriverInfoAddress", UNDEFINED_ADDR);
+        e.scope("RootSymbolTableEntry", |e| {
+            e.u64("LinkNameOffset", 0);
+            e.u64("ObjectHeaderAddress", plan.root.ohdr_addr);
+            e.u32("CacheType", 0);
+            e.pad("Reserved", 4);
+            e.pad("Scratch", 16);
+        });
+    });
+}
+
+fn group_scope_name(path: &str) -> String {
+    format!("Group<{}>", path)
+}
+
+fn encode_group(e: &mut Emitter, g: &PlannedGroup, path: &str) {
+    let scope = group_scope_name(path);
+    e.scope(&scope, |e| {
+        // Object header with the symbol-table message.
+        assert_eq!(e.len(), g.ohdr_addr, "group ohdr address drift at {}", path);
+        e.scope("ObjectHeader", |e| {
+            e.u8("Version", 1);
+            e.pad("Reserved", 1);
+            e.u16("TotalHeaderMessages", 1);
+            e.u32("ObjectReferenceCount", 1);
+            e.u32("HeaderSize", (8 + 16) as u32);
+            e.pad("Pad", 4);
+            e.scope("SymbolTableMessage", |e| {
+                e.u16("Type", MessageType::SymbolTable.id());
+                e.u16("Size", 16);
+                e.u8("Flags", 0);
+                e.pad("Reserved", 3);
+                e.u64("BTreeAddress", g.btree_addr);
+                e.u64("LocalHeapAddress", g.heap_addr);
+            });
+        });
+
+        // B-tree node (v1, leaf, pointing at the single SNOD).
+        assert_eq!(e.len(), g.btree_addr);
+        e.scope("BTree", |e| {
+            e.bytes("Signature", &TREE_SIGNATURE);
+            e.u8("NodeType", 0); // group node
+            e.u8("NodeLevel", 0); // leaf
+            e.u16("EntriesUsed", 1);
+            e.u64("LeftSibling", UNDEFINED_ADDR);
+            e.u64("RightSibling", UNDEFINED_ADDR);
+            // Keys are heap offsets bounding the child names.
+            let first = g.children.first().map(|c| c.name_offset()).unwrap_or(0);
+            let last = g.children.last().map(|c| c.name_offset()).unwrap_or(0);
+            e.u64("Key0", first);
+            e.u64("Child0", g.snod_addr);
+            e.u64("Key1", last);
+            let used = 24 + 3 * 8;
+            let total = crate::layout::BTREE_NODE_SIZE;
+            e.pad("UnusedSlots", (total - used as u64) as usize);
+        });
+
+        // Symbol table node with the children entries.
+        assert_eq!(e.len(), g.snod_addr);
+        e.scope("SNOD", |e| {
+            e.bytes("Signature", &SNOD_SIGNATURE);
+            e.u8("Version", 1);
+            e.pad("Reserved", 1);
+            e.u16("NumberOfSymbols", g.children.len() as u16);
+            for c in &g.children {
+                e.scope(&format!("Entry<{}>", c.name()), |e| {
+                    e.u64("LinkNameOffset", c.name_offset());
+                    e.u64("ObjectHeaderAddress", c.ohdr_addr());
+                    e.u32("CacheType", 0);
+                    e.pad("Reserved", 4);
+                    e.pad("Scratch", 16);
+                });
+            }
+            let used = 8 + g.children.len() as u64 * crate::layout::STE_SIZE;
+            e.pad("UnusedEntries", (crate::layout::SNOD_SIZE - used) as usize);
+        });
+
+        // Local heap.
+        assert_eq!(e.len(), g.heap_addr);
+        e.scope("LocalHeap", |e| {
+            e.bytes("Signature", &HEAP_SIGNATURE);
+            e.u8("Version", 0);
+            e.pad("Reserved", 3);
+            e.u64("DataSegmentSize", g.heap_seg_size);
+            e.u64("FreeListHeadOffset", UNDEFINED_ADDR);
+            e.u64("DataSegmentAddress", g.heap_data_addr);
+            e.scope("Data", |e| {
+                e.pad("FreeBlock", 8);
+                for c in &g.children {
+                    let name = c.name();
+                    let padded = crate::types::align8(name.len() as u64 + 1) as usize;
+                    let mut bytes = name.as_bytes().to_vec();
+                    bytes.resize(padded, 0);
+                    e.bytes(&format!("Name<{}>", name), &bytes);
+                }
+            });
+        });
+    });
+
+    // Children structures follow their parent group.
+    for c in &g.children {
+        match c {
+            PlannedChild::Group(sub) => {
+                let sub_path = if path == "/" {
+                    format!("/{}", sub.name)
+                } else {
+                    format!("{}/{}", path, sub.name)
+                };
+                encode_group(e, sub, &sub_path);
+            }
+            PlannedChild::Dataset(d) => {
+                let sub_path = if path == "/" {
+                    format!("/{}", d.dataset.name)
+                } else {
+                    format!("{}/{}", path, d.dataset.name)
+                };
+                encode_dataset(e, d, &sub_path);
+            }
+        }
+    }
+}
+
+fn encode_dataset(e: &mut Emitter, d: &PlannedDataset, path: &str) {
+    let rank = d.dataset.dims.len();
+    let dataspace_body = crate::layout::dataspace_body_size(rank);
+    let header_size = (8 + dataspace_body)
+        + (8 + crate::layout::DATATYPE_BODY_SIZE)
+        + (8 + crate::layout::FILLVALUE_BODY_SIZE)
+        + (8 + crate::layout::LAYOUT_BODY_SIZE)
+        + (8 + crate::layout::MODTIME_BODY_SIZE);
+
+    e.scope(&format!("Dataset<{}>", path), |e| {
+        assert_eq!(e.len(), d.ohdr_addr, "dataset ohdr address drift at {}", path);
+        e.scope("ObjectHeader", |e| {
+            e.u8("Version", 1);
+            e.pad("Reserved", 1);
+            e.u16("TotalHeaderMessages", 5);
+            e.u32("ObjectReferenceCount", 1);
+            e.u32("HeaderSize", header_size as u32);
+            e.pad("Pad", 4);
+        });
+
+        e.scope("Dataspace", |e| {
+            e.u16("Type", MessageType::Dataspace.id());
+            e.u16("Size", dataspace_body as u16);
+            e.u8("Flags", 0);
+            e.pad("Reserved", 3);
+            e.u8("Version", 1);
+            e.u8("Dimensionality", rank as u8);
+            e.u8("DimFlags", 0);
+            e.pad("Reserved2", 5);
+            for (i, &dim) in d.dataset.dims.iter().enumerate() {
+                e.u64(&format!("Dim{}", i), dim);
+            }
+            let body_used = 8 + rank as u64 * 8;
+            e.pad("Pad", (dataspace_body - body_used) as usize);
+        });
+
+        encode_datatype_message(e, &d.dataset.dtype);
+
+        e.scope("FillValue", |e| {
+            e.u16("Type", MessageType::FillValue.id());
+            e.u16("Size", crate::layout::FILLVALUE_BODY_SIZE as u16);
+            e.u8("Flags", 0);
+            e.pad("Reserved", 3);
+            e.u8("Version", 2);
+            e.u8("SpaceAllocationTime", 1); // early
+            e.u8("FillValueWriteTime", 0);
+            e.u8("FillValueDefined", 0);
+            e.u32("FillSize", 0);
+        });
+
+        e.scope("Layout", |e| {
+            e.u16("Type", MessageType::Layout.id());
+            e.u16("Size", crate::layout::LAYOUT_BODY_SIZE as u16);
+            e.u8("Flags", 0);
+            e.pad("Reserved", 3);
+            e.u8("Version", 3);
+            e.u8("LayoutClass", 1); // contiguous
+            e.u64("AddressOfRawData", d.data_addr);
+            e.u64("SizeOfRawData", d.dataset.data_size());
+            e.pad("Pad", 6);
+        });
+
+        e.scope("ModificationTime", |e| {
+            e.u16("Type", MessageType::ModTime.id());
+            e.u16("Size", crate::layout::MODTIME_BODY_SIZE as u16);
+            e.u8("Flags", 0);
+            e.pad("Reserved", 3);
+            e.u8("Version", 1);
+            e.pad("Reserved2", 3);
+            e.u32("Seconds", MOD_TIME);
+        });
+    });
+}
+
+/// Encode a datatype message (class 1, floating point) — the message
+/// whose property fields Figure 1 (middle/bottom) depicts and whose
+/// corruption drives the paper's SDC taxonomy.
+fn encode_datatype_message(e: &mut Emitter, spec: &FloatSpec) {
+    e.scope("Datatype", |e| {
+        e.u16("Type", MessageType::Datatype.id());
+        e.u16("Size", crate::layout::DATATYPE_BODY_SIZE as u16);
+        e.u8("Flags", 0);
+        e.pad("Reserved", 3);
+        // Class-and-version: high nibble = version 1, low = class 1.
+        e.u8("ClassAndVersion", (1 << 4) | 1);
+        // Class bit field byte 0: bit 0 byte order (0 = LE), bits 1–3
+        // padding types, bits 4–5 mantissa normalization.
+        e.u8("BitField0.MantissaNormalization", spec.normalization.bits() << 4);
+        // Byte 1: sign location.
+        e.u8("BitField1.SignLocation", spec.sign_location);
+        e.u8("BitField2", 0);
+        e.u32("Size", spec.size);
+        e.u16("BitOffset", spec.bit_offset);
+        e.u16("BitPrecision", spec.bit_precision);
+        e.u8("ExponentLocation", spec.exponent_location);
+        e.u8("ExponentSize", spec.exponent_size);
+        e.u8("MantissaLocation", spec.mantissa_location);
+        e.u8("MantissaSize", spec.mantissa_size);
+        e.u32("ExponentBias", spec.exponent_bias);
+        e.pad("Pad", 4);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{plan, Dataset, FileBuilder};
+
+    fn nyx_plan() -> Plan {
+        let mut b = FileBuilder::new();
+        b.add_dataset(
+            "/native_fields/baryon_density",
+            Dataset::f32("baryon_density", &[4, 4, 4], &[1.5; 64]),
+        )
+        .unwrap();
+        plan(&b.into_root()).unwrap()
+    }
+
+    #[test]
+    fn encoded_length_matches_plan() {
+        let p = nyx_plan();
+        let (bytes, spans) = encode_metadata(&p);
+        assert_eq!(bytes.len() as u64, p.metadata_size);
+        // Spans tile the block with no gaps.
+        let mut cursor = 0;
+        for s in &spans {
+            assert_eq!(s.start, cursor, "gap before {}", s.name);
+            cursor = s.end;
+        }
+        assert_eq!(cursor, p.metadata_size);
+    }
+
+    #[test]
+    fn signature_bytes_at_front() {
+        let (bytes, _) = encode_metadata(&nyx_plan());
+        assert_eq!(&bytes[..8], &SIGNATURE);
+    }
+
+    #[test]
+    fn interesting_fields_present_and_unique() {
+        let (_, spans) = encode_metadata(&nyx_plan());
+        for needle in [
+            "ExponentBias",
+            "MantissaSize",
+            "MantissaLocation",
+            "ExponentLocation",
+            "MantissaNormalization",
+            "AddressOfRawData",
+            "SizeOfRawData",
+            "BitOffset",
+            "BitPrecision",
+            "BTree.Signature",
+            "SNOD.Signature",
+        ] {
+            let hits: Vec<_> = spans.iter().filter(|s| s.name.contains(needle)).collect();
+            assert!(!hits.is_empty(), "{} missing", needle);
+        }
+        // Exactly one dataset -> exactly one ExponentBias span.
+        assert_eq!(spans.iter().filter(|s| s.name.contains("ExponentBias")).count(), 1);
+    }
+
+    #[test]
+    fn exponent_bias_encodes_127() {
+        let p = nyx_plan();
+        let (bytes, spans) = encode_metadata(&p);
+        let span = spans.iter().find(|s| s.name.contains("ExponentBias")).unwrap();
+        assert_eq!(span.end - span.start, 4);
+        let v = u32::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        assert_eq!(v, 127);
+    }
+
+    #[test]
+    fn ard_field_holds_metadata_size() {
+        let p = nyx_plan();
+        let (bytes, spans) = encode_metadata(&p);
+        let span = spans.iter().find(|s| s.name.contains("AddressOfRawData")).unwrap();
+        let v = u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        assert_eq!(v, p.metadata_size, "ARD equals the metadata size (paper §V-A)");
+    }
+
+    #[test]
+    fn unused_btree_slots_dominate_metadata() {
+        // Paper: most metadata bytes are reserved/unused B-tree space,
+        // which is why 85.7% of metadata faults are benign.
+        let p = nyx_plan();
+        let (_, spans) = encode_metadata(&p);
+        let unused: u64 = spans
+            .iter()
+            .filter(|s| {
+                s.name.contains("UnusedSlots")
+                    || s.name.contains("UnusedEntries")
+                    || s.name.contains("Scratch")
+                    || s.name.contains("Pad")
+                    || s.name.contains("Reserved")
+            })
+            .map(|s| s.end - s.start)
+            .sum();
+        let share = unused as f64 / p.metadata_size as f64;
+        assert!(share > 0.5, "unused share = {:.2}", share);
+    }
+
+    #[test]
+    fn heap_contains_link_names() {
+        let (bytes, spans) = encode_metadata(&nyx_plan());
+        let name_span = spans.iter().find(|s| s.name.contains("Name<baryon_density>")).unwrap();
+        let raw = &bytes[name_span.start as usize..name_span.end as usize];
+        assert!(raw.starts_with(b"baryon_density\0"));
+    }
+
+    #[test]
+    fn eof_field_left_undefined_for_final_patch() {
+        let (bytes, spans) = encode_metadata(&nyx_plan());
+        let span = spans.iter().find(|s| s.name == "Superblock.EndOfFileAddress").unwrap();
+        assert_eq!(span.start, crate::types::EOF_ADDR_OFFSET);
+        let v = u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        assert_eq!(v, UNDEFINED_ADDR);
+    }
+
+    #[test]
+    fn multiple_datasets_each_get_fields() {
+        let mut b = FileBuilder::new();
+        b.add_dataset("/a", Dataset::f32("a", &[2], &[1.0, 2.0])).unwrap();
+        b.add_dataset("/b", Dataset::f64("b", &[2], &[3.0, 4.0])).unwrap();
+        let p = plan(&b.into_root()).unwrap();
+        let (bytes, spans) = encode_metadata(&p);
+        assert_eq!(bytes.len() as u64, p.metadata_size);
+        assert_eq!(spans.iter().filter(|s| s.name.contains("ExponentBias")).count(), 2);
+        let biases: Vec<u32> = spans
+            .iter()
+            .filter(|s| s.name.contains("ExponentBias"))
+            .map(|s| u32::from_le_bytes(bytes[s.start as usize..s.end as usize].try_into().unwrap()))
+            .collect();
+        assert_eq!(biases, vec![127, 1023]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Common types and format constants (HDF5 File Format Specification
+//! v0 subset — the layout version the paper's metadata analysis
+//! references [33]).
+
+/// File offsets ("Size of Offsets" = 8 in our superblock).
+pub type Offset = u64;
+
+/// Lengths ("Size of Lengths" = 8).
+pub type Length = u64;
+
+/// The 8-byte HDF5 file signature.
+pub const SIGNATURE: [u8; 8] = [0x89, b'H', b'D', b'F', b'\r', b'\n', 0x1a, b'\n'];
+
+/// v1 group B-tree node signature.
+pub const TREE_SIGNATURE: [u8; 4] = *b"TREE";
+
+/// Symbol table node signature.
+pub const SNOD_SIGNATURE: [u8; 4] = *b"SNOD";
+
+/// Local heap signature.
+pub const HEAP_SIGNATURE: [u8; 4] = *b"HEAP";
+
+/// "Undefined address" marker.
+pub const UNDEFINED_ADDR: u64 = u64::MAX;
+
+/// Superblock total size (v0 with 8-byte offsets/lengths).
+pub const SUPERBLOCK_SIZE: u64 = 96;
+
+/// Byte offset of the superblock's End-of-File Address field — the
+/// target of the writer's final patch write.
+pub const EOF_ADDR_OFFSET: u64 = 40;
+
+/// Group B-tree internal node K (the HDF5 default).
+pub const GROUP_INTERNAL_K: usize = 16;
+
+/// Group leaf (symbol table node) K (the HDF5 default).
+pub const GROUP_LEAF_K: usize = 4;
+
+/// Object header message types we implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// 0x0000 NIL (padding).
+    Nil,
+    /// 0x0001 Dataspace.
+    Dataspace,
+    /// 0x0003 Datatype.
+    Datatype,
+    /// 0x0005 Fill value.
+    FillValue,
+    /// 0x0008 Data layout.
+    Layout,
+    /// 0x0011 Symbol table.
+    SymbolTable,
+    /// 0x0012 Object modification time.
+    ModTime,
+}
+
+impl MessageType {
+    /// Wire id.
+    pub fn id(self) -> u16 {
+        match self {
+            MessageType::Nil => 0x0000,
+            MessageType::Dataspace => 0x0001,
+            MessageType::Datatype => 0x0003,
+            MessageType::FillValue => 0x0005,
+            MessageType::Layout => 0x0008,
+            MessageType::SymbolTable => 0x0011,
+            MessageType::ModTime => 0x0012,
+        }
+    }
+
+    /// Decode a wire id.
+    pub fn from_id(id: u16) -> Option<Self> {
+        Some(match id {
+            0x0000 => MessageType::Nil,
+            0x0001 => MessageType::Dataspace,
+            0x0003 => MessageType::Datatype,
+            0x0005 => MessageType::FillValue,
+            0x0008 => MessageType::Layout,
+            0x0011 => MessageType::SymbolTable,
+            0x0012 => MessageType::ModTime,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors raised by the hdf5lite reader/writer. Every reader-side
+/// validation failure maps to the paper's *crash* outcome class
+/// ("exceptions thrown by the HDF5 library, indicating the values in
+/// the fields become unjustified").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hdf5Error {
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl Hdf5Error {
+    /// New error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Hdf5Error { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Hdf5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HDF5 error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Hdf5Error {}
+
+impl From<ffis_vfs::FsError> for Hdf5Error {
+    fn from(e: ffis_vfs::FsError) -> Self {
+        Hdf5Error::new(format!("I/O failure: {}", e))
+    }
+}
+
+/// Result alias.
+pub type Hdf5Result<T> = Result<T, Hdf5Error>;
+
+/// Round `n` up to a multiple of 8 (HDF5 object header padding rule).
+pub fn align8(n: u64) -> u64 {
+    (n + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_is_the_hdf5_magic() {
+        assert_eq!(&SIGNATURE[1..4], b"HDF");
+        assert_eq!(SIGNATURE[0], 0x89);
+    }
+
+    #[test]
+    fn message_type_roundtrip() {
+        for t in [
+            MessageType::Nil,
+            MessageType::Dataspace,
+            MessageType::Datatype,
+            MessageType::FillValue,
+            MessageType::Layout,
+            MessageType::SymbolTable,
+            MessageType::ModTime,
+        ] {
+            assert_eq!(MessageType::from_id(t.id()), Some(t));
+        }
+        assert_eq!(MessageType::from_id(0x7777), None);
+    }
+
+    #[test]
+    fn align8_behaviour() {
+        assert_eq!(align8(0), 0);
+        assert_eq!(align8(1), 8);
+        assert_eq!(align8(8), 8);
+        assert_eq!(align8(9), 16);
+        assert_eq!(align8(23), 24);
+    }
+
+    #[test]
+    fn error_display_and_from() {
+        let e = Hdf5Error::new("bad signature");
+        assert!(e.to_string().contains("bad signature"));
+        let io: Hdf5Error = ffis_vfs::FsError::Io.into();
+        assert!(io.to_string().contains("EIO"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The file-creation protocol.
+//!
+//! §IV-D of the paper describes the HDF5 write sequence FFIS exploits:
+//! "when an HDF5 file is created, the HDF5 library first locks the
+//! file to prevent the concurrent writes from other processes, and
+//! then performs multiple writes to store the raw data; after that,
+//! it packs all metadata and write[s] them to the file and unlocks
+//! the file for later access."
+//!
+//! [`write_file`] reproduces that exact sequence on a
+//! [`FileSystem`]: exclusive lock → raw-data `pwrite`s in
+//! 4 KiB chunks → one packed metadata write (**the penultimate
+//! write**) → an 8-byte End-of-File-Address patch (the final write)
+//! → unlock/close. The metadata scanner locates the penultimate write
+//! and scans its buffer byte-by-byte.
+
+use ffis_vfs::{FileSystem, LockKind, BLOCK_SIZE};
+
+use crate::emitter::Span;
+use crate::encode::encode_metadata;
+use crate::layout::{plan, Node, Plan};
+use crate::types::{Hdf5Error, Hdf5Result, EOF_ADDR_OFFSET};
+
+/// Write options.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Raw-data chunk size per `pwrite` (default: one 4 KiB block —
+    /// the population of writes the fault injector samples from).
+    pub chunk_size: usize,
+    /// Seal the metadata block with a Fletcher-32 checksum stored in
+    /// the superblock's Driver Information slot (reproduction
+    /// extension; see [`crate::checksum`]). Off by default — the
+    /// paper's v0-format files carry no metadata checksums, which is
+    /// precisely what creates the SDC exposure it studies.
+    pub seal_metadata: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { chunk_size: BLOCK_SIZE, seal_metadata: false }
+    }
+}
+
+/// One dataset's raw-data placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRegion {
+    /// Slash path of the dataset.
+    pub path: String,
+    /// First byte of the raw data (== the stored ARD).
+    pub addr: u64,
+    /// Raw data byte length.
+    pub size: u64,
+}
+
+/// Report of a completed write.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Packed metadata size (== correct ARD of the first dataset).
+    pub metadata_size: u64,
+    /// Final file size.
+    pub eof: u64,
+    /// Byte-exact field map of the metadata block.
+    pub spans: Vec<Span>,
+    /// Raw-data regions, in layout order.
+    pub data_regions: Vec<DataRegion>,
+    /// Number of raw-data chunk writes issued (the paper's "large
+    /// number of I/O operations").
+    pub data_writes: usize,
+}
+
+fn dataset_paths(plan: &Plan) -> Vec<String> {
+    fn walk(g: &crate::layout::PlannedGroup, prefix: &str, out: &mut Vec<String>) {
+        for c in &g.children {
+            match c {
+                crate::layout::PlannedChild::Group(sub) => {
+                    let p = format!("{}/{}", prefix, sub.name);
+                    walk(sub, &p, out);
+                }
+                crate::layout::PlannedChild::Dataset(d) => {
+                    out.push(format!("{}/{}", prefix, d.dataset.name));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&plan.root, "", &mut out);
+    out
+}
+
+/// Write an HDF5 file following the paper's creation protocol.
+pub fn write_file(
+    fs: &dyn FileSystem,
+    path: &str,
+    root: &Node,
+    opts: &WriteOptions,
+) -> Hdf5Result<WriteReport> {
+    let plan = plan(root)?;
+    let chunk = opts.chunk_size.max(1);
+
+    let fd = fs.create(path, 0o644)?;
+    // Lock the file for the duration of creation.
+    fs.lock(fd, LockKind::Exclusive)?;
+
+    // Phase 1: raw data, many chunked writes.
+    let mut data_regions = Vec::new();
+    let mut data_writes = 0usize;
+    let paths = dataset_paths(&plan);
+    for (pd, dpath) in plan.datasets().into_iter().zip(paths) {
+        let raw = encode_values(&pd.dataset)?;
+        let mut off = 0usize;
+        while off < raw.len() {
+            let end = (off + chunk).min(raw.len());
+            let n = fs.pwrite(fd, &raw[off..end], pd.data_addr + off as u64)?;
+            if n == 0 {
+                fs.release(fd).ok();
+                return Err(Hdf5Error::new("zero-length data write"));
+            }
+            // Trust the reported length, as a real writer does —
+            // under fault injection it may be a lie, which is the
+            // point of the experiment.
+            off += n;
+            data_writes += 1;
+        }
+        data_regions.push(DataRegion { path: dpath, addr: pd.data_addr, size: pd.dataset.data_size() });
+    }
+
+    // Phase 2: the packed metadata block — the penultimate write.
+    let (mut metadata, spans) = encode_metadata(&plan);
+    if opts.seal_metadata {
+        // The checksum must cover the *final* on-disk metadata state,
+        // i.e. with the EOF address already patched (phase 3 below
+        // writes that exact value).
+        let mut final_image = metadata.clone();
+        final_image[EOF_ADDR_OFFSET as usize..EOF_ADDR_OFFSET as usize + 8]
+            .copy_from_slice(&plan.eof.to_le_bytes());
+        let csum = crate::checksum::seal_checksum(&final_image);
+        let word = crate::checksum::pack_seal(plan.metadata_size, csum)?;
+        let s = crate::checksum::SEAL_OFFSET as usize;
+        metadata[s..s + 8].copy_from_slice(&word.to_le_bytes());
+    }
+    fs.pwrite(fd, &metadata, 0)?;
+
+    // Phase 3: patch the End-of-File address — the final write.
+    fs.pwrite(fd, &plan.eof.to_le_bytes(), EOF_ADDR_OFFSET)?;
+
+    fs.unlock(fd)?;
+    fs.fsync(fd)?;
+    fs.release(fd)?;
+
+    Ok(WriteReport {
+        metadata_size: plan.metadata_size,
+        eof: plan.eof,
+        spans,
+        data_regions,
+        data_writes,
+    })
+}
+
+/// Encode dataset values through the stored datatype, padded to
+/// 8-byte alignment of the region.
+fn encode_values(d: &crate::layout::Dataset) -> Hdf5Result<Vec<u8>> {
+    let elem = d.dtype.size as usize;
+    let mut raw = Vec::with_capacity(d.data.len() * elem);
+    if d.dtype == crate::floatspec::FloatSpec::ieee_f32() {
+        for &v in &d.data {
+            raw.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+    } else if d.dtype == crate::floatspec::FloatSpec::ieee_f64() {
+        for &v in &d.data {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+    } else {
+        for &v in &d.data {
+            raw.extend_from_slice(&d.dtype.encode(v)?);
+        }
+    }
+    let aligned = crate::types::align8(raw.len() as u64) as usize;
+    raw.resize(aligned, 0);
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Dataset, FileBuilder};
+    use ffis_vfs::{FfisFs, FileSystemExt, MemFs, Primitive, TraceInterceptor};
+    use std::sync::Arc;
+
+    fn nyx_root(n: usize) -> Node {
+        let data: Vec<f32> = (0..n * n * n).map(|i| 1.0 + (i % 7) as f32 * 0.1).collect();
+        let mut b = FileBuilder::new();
+        b.add_dataset(
+            "/native_fields/baryon_density",
+            Dataset::f32("baryon_density", &[n as u64; 3], &data),
+        )
+        .unwrap();
+        b.into_root()
+    }
+
+    #[test]
+    fn write_produces_expected_file_size() {
+        let fs = MemFs::new();
+        let report = write_file(&fs, "/plt.h5", &nyx_root(8), &WriteOptions::default()).unwrap();
+        let meta = fs.getattr("/plt.h5").unwrap();
+        assert_eq!(meta.size, report.eof);
+        assert_eq!(report.eof, report.metadata_size + 8 * 8 * 8 * 4);
+        assert_eq!(report.data_regions.len(), 1);
+        assert_eq!(report.data_regions[0].path, "/native_fields/baryon_density");
+        assert_eq!(report.data_regions[0].addr, report.metadata_size);
+    }
+
+    #[test]
+    fn protocol_order_lock_data_metadata_patch_unlock() {
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        let trace = Arc::new(TraceInterceptor::new());
+        ffs.attach(trace.clone());
+        let report = write_file(&*ffs, "/p.h5", &nyx_root(8), &WriteOptions::default()).unwrap();
+
+        let recs = trace.records();
+        let kinds: Vec<Primitive> = recs.iter().map(|r| r.primitive).collect();
+        // Lock before any write; unlock after all writes.
+        let lock_pos = kinds.iter().position(|&p| p == Primitive::Lock).unwrap();
+        let unlock_pos = kinds.iter().position(|&p| p == Primitive::Unlock).unwrap();
+        let first_write = kinds.iter().position(|&p| p == Primitive::Write).unwrap();
+        let last_write = kinds.iter().rposition(|&p| p == Primitive::Write).unwrap();
+        assert!(lock_pos < first_write);
+        assert!(unlock_pos > last_write);
+
+        // Writes: data chunks, then metadata at offset 0 (penultimate),
+        // then the 8-byte EOF patch (final).
+        let writes = trace.records_of(Primitive::Write);
+        assert_eq!(writes.len(), report.data_writes + 2);
+        let penultimate = &writes[writes.len() - 2];
+        assert_eq!(penultimate.offset, Some(0));
+        assert_eq!(penultimate.len as u64, report.metadata_size);
+        let last = &writes[writes.len() - 1];
+        assert_eq!(last.offset, Some(crate::types::EOF_ADDR_OFFSET));
+        assert_eq!(last.len, 8);
+        // Data writes are 4 KiB chunks.
+        assert!(writes[..writes.len() - 2].iter().all(|w| w.len <= BLOCK_SIZE));
+    }
+
+    #[test]
+    fn eof_field_patched_in_final_file() {
+        let fs = MemFs::new();
+        let report = write_file(&fs, "/p.h5", &nyx_root(4), &WriteOptions::default()).unwrap();
+        let bytes = fs.read_to_vec("/p.h5").unwrap();
+        let eof = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        assert_eq!(eof, report.eof);
+    }
+
+    #[test]
+    fn raw_data_bytes_are_ieee_f32() {
+        let fs = MemFs::new();
+        let data = [1.25f32, -2.5, 81.66, 0.0];
+        let mut b = FileBuilder::new();
+        b.add_dataset("/d", Dataset::f32("d", &[4], &data)).unwrap();
+        let report = write_file(&fs, "/f.h5", &b.into_root(), &WriteOptions::default()).unwrap();
+        let bytes = fs.read_to_vec("/f.h5").unwrap();
+        let base = report.metadata_size as usize;
+        for (i, &v) in data.iter().enumerate() {
+            let got = f32::from_le_bytes(bytes[base + 4 * i..base + 4 * i + 4].try_into().unwrap());
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn chunked_write_count_scales_with_data() {
+        let fs = MemFs::new();
+        let report = write_file(&fs, "/big.h5", &nyx_root(16), &WriteOptions::default()).unwrap();
+        // 16³ × 4 B = 16 KiB → 4 chunks of 4 KiB.
+        assert_eq!(report.data_writes, 4);
+        let small = write_file(&fs, "/small.h5", &nyx_root(4), &WriteOptions::default()).unwrap();
+        assert_eq!(small.data_writes, 1);
+    }
+
+    #[test]
+    fn lock_released_after_write() {
+        let fs = MemFs::new();
+        write_file(&fs, "/l.h5", &nyx_root(4), &WriteOptions::default()).unwrap();
+        // A second exclusive lock must succeed — the writer unlocked.
+        let fd = fs.open("/l.h5", ffis_vfs::OpenFlags::read_write()).unwrap();
+        fs.lock(fd, LockKind::Exclusive).unwrap();
+        fs.release(fd).unwrap();
+        assert_eq!(fs.open_handles(), 0);
+    }
+
+    #[test]
+    fn custom_chunk_size() {
+        let fs = MemFs::new();
+        let opts = WriteOptions { chunk_size: 1024, ..Default::default() };
+        let report = write_file(&fs, "/c.h5", &nyx_root(8), &opts).unwrap();
+        // 8³ × 4 B = 2 KiB → 2 chunks of 1 KiB.
+        assert_eq!(report.data_writes, 2);
+    }
+
+    #[test]
+    fn sealed_file_reads_back_and_detects_corruption() {
+        use ffis_vfs::FileSystem;
+        let fs = MemFs::new();
+        let opts = WriteOptions { seal_metadata: true, ..Default::default() };
+        let report = write_file(&fs, "/s.h5", &nyx_root(4), &opts).unwrap();
+        // Clean sealed file reads fine.
+        let info = crate::reader::read_dataset(&fs, "/s.h5", "/native_fields/baryon_density").unwrap();
+        assert_eq!(info.values.len(), 64);
+
+        // A silent SDC field (exponent bias) now fails verification.
+        let span = report.spans.iter().find(|s| s.name.contains("ExponentBias")).unwrap();
+        let fd = fs.open("/s.h5", ffis_vfs::OpenFlags::read_write()).unwrap();
+        let mut b = [0u8; 1];
+        fs.pread(fd, &mut b, span.start).unwrap();
+        b[0] ^= 0x0C;
+        fs.pwrite(fd, &b, span.start).unwrap();
+        fs.release(fd).unwrap();
+        let err = crate::reader::read_dataset(&fs, "/s.h5", "/native_fields/baryon_density");
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn unsealed_files_are_unaffected_by_seal_check() {
+        let fs = MemFs::new();
+        write_file(&fs, "/p.h5", &nyx_root(4), &WriteOptions::default()).unwrap();
+        let info = crate::reader::read_dataset(&fs, "/p.h5", "/native_fields/baryon_density").unwrap();
+        assert_eq!(info.values.len(), 64);
+    }
+}

@@ -1,0 +1,222 @@
+//! The Montage workload as a [`FaultApp`] (paper §IV-C.3).
+//!
+//! One run executes the full ten-step-equivalent pipeline (we model
+//! the four I/O-intensive stages the paper injects into, plus the
+//! final image-generation step used for classification):
+//! raw inputs → mProjExec → mDiffExec → mBgExec → mAdd → final image.
+//!
+//! Outcome classification (verbatim §IV-C.3): bitwise-compare the
+//! final image with the golden one — identical ⇒ *benign*; otherwise
+//! apply the `min`-value test with a 10⁻² threshold (the paper's
+//! `[82.82, 82.83]` acceptance band): in-band ⇒ *SDC*, out-of-band ⇒
+//! *detected*; "for the cases where the target file cannot be created,
+//! they are defined as crash".
+//!
+//! Per-stage injection (Figure 7's MT1..MT4 columns) is expressed by
+//! scoping the fault signature to the stage's output directory via
+//! [`MontageApp::stage_filter`].
+
+use ffis_core::{FaultApp, Outcome, TargetFilter};
+use ffis_vfs::FileSystem;
+use fitslite::FitsImage;
+
+use crate::stages::{
+    m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images, write_raws,
+    FinalImage, PipelineConfig,
+};
+
+/// Montage workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MontageConfig {
+    /// Pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// `min`-difference threshold separating SDC from detected
+    /// (paper: 10⁻²).
+    pub min_threshold: f64,
+}
+
+impl Default for MontageConfig {
+    fn default() -> Self {
+        MontageConfig { pipeline: PipelineConfig::default(), min_threshold: 1e-2 }
+    }
+}
+
+/// Classification artifacts.
+#[derive(Debug, Clone)]
+pub struct MontageOutput {
+    /// Final stretched image (bitwise-comparison artifact).
+    pub image: FinalImage,
+}
+
+/// The Montage application.
+pub struct MontageApp {
+    config: MontageConfig,
+    /// Deterministic raw observations (inputs; generated once).
+    raws: Vec<FitsImage>,
+}
+
+/// The four instrumented stages, in paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// MT1 — mProjExec.
+    ProjExec,
+    /// MT2 — mDiffExec.
+    DiffExec,
+    /// MT3 — mBgExec.
+    BgExec,
+    /// MT4 — mAdd.
+    Add,
+}
+
+impl Stage {
+    /// All stages in order.
+    pub const ALL: [Stage; 4] = [Stage::ProjExec, Stage::DiffExec, Stage::BgExec, Stage::Add];
+
+    /// Figure 7 column label ("MT1"..."MT4").
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::ProjExec => "MT1",
+            Stage::DiffExec => "MT2",
+            Stage::BgExec => "MT3",
+            Stage::Add => "MT4",
+        }
+    }
+
+    /// Montage executable name.
+    pub fn tool(self) -> &'static str {
+        match self {
+            Stage::ProjExec => "mProjExec",
+            Stage::DiffExec => "mDiffExec",
+            Stage::BgExec => "mBgExec",
+            Stage::Add => "mAdd",
+        }
+    }
+}
+
+impl MontageApp {
+    /// Build the app (renders the deterministic raw observations).
+    pub fn new(config: MontageConfig) -> Self {
+        let raws = make_raw_images(&config.pipeline);
+        MontageApp { config, raws }
+    }
+
+    /// Paper-defaults app.
+    pub fn paper_default() -> Self {
+        Self::new(MontageConfig::default())
+    }
+
+    /// Fault-target filter scoping injections to one stage's writes.
+    pub fn stage_filter(stage: Stage) -> TargetFilter {
+        TargetFilter::PathContains(
+            match stage {
+                Stage::ProjExec => "/proj/",
+                Stage::DiffExec => "/diff/",
+                Stage::BgExec => "/corr/",
+                Stage::Add => "/mosaic/",
+            }
+            .to_string(),
+        )
+    }
+
+    /// Table II row.
+    pub fn describe() -> (&'static str, &'static str, &'static str) {
+        ("Montage", "Astronomy", "Astronomical image mosaic")
+    }
+}
+
+impl FaultApp for MontageApp {
+    type Output = MontageOutput;
+
+    fn run(&self, fs: &dyn FileSystem) -> Result<MontageOutput, String> {
+        for d in ["/raw", "/proj", "/diff", "/corr", "/mosaic"] {
+            fs.mkdir(d, 0o755).map_err(|e| e.to_string())?;
+        }
+        write_raws(fs, &self.raws)?;
+        let cfg = &self.config.pipeline;
+        m_proj_exec(fs, cfg)?;
+        let pairs = m_diff_exec(fs, cfg)?;
+        m_bg_exec(fs, cfg, &pairs)?;
+        m_add(fs, cfg)?;
+        let image = m_viewer(fs, cfg)?;
+        Ok(MontageOutput { image })
+    }
+
+    fn classify(&self, golden: &MontageOutput, faulty: &MontageOutput) -> Outcome {
+        if golden.image.bytes == faulty.image.bytes {
+            return Outcome::Benign;
+        }
+        if (faulty.image.min - golden.image.min).abs() <= self.config.min_threshold {
+            Outcome::Sdc
+        } else {
+            Outcome::Detected
+        }
+    }
+
+    fn name(&self) -> String {
+        "MT".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_vfs::MemFs;
+
+    #[test]
+    fn golden_run_completes() {
+        let app = MontageApp::paper_default();
+        let out = app.run(&MemFs::new()).unwrap();
+        assert!(out.image.min > 82.0 && out.image.min < 83.5, "min = {}", out.image.min);
+    }
+
+    #[test]
+    fn runs_are_bitwise_reproducible() {
+        let app = MontageApp::paper_default();
+        let a = app.run(&MemFs::new()).unwrap();
+        let b = app.run(&MemFs::new()).unwrap();
+        assert_eq!(a.image.bytes, b.image.bytes);
+        assert_eq!(app.classify(&a, &b), Outcome::Benign);
+    }
+
+    #[test]
+    fn classification_rules() {
+        let app = MontageApp::paper_default();
+        let golden = app.run(&MemFs::new()).unwrap();
+        // In-band min with differing bytes -> SDC.
+        let mut sdc = golden.clone();
+        sdc.image.bytes[20] ^= 0x01;
+        sdc.image.min += 0.005;
+        assert_eq!(app.classify(&golden, &sdc), Outcome::Sdc);
+        // Out-of-band min -> detected.
+        let mut det = golden.clone();
+        det.image.bytes[20] ^= 0x01;
+        det.image.min -= 5.0;
+        assert_eq!(app.classify(&golden, &det), Outcome::Detected);
+    }
+
+    #[test]
+    fn stage_filters_address_distinct_directories() {
+        let filters: Vec<_> = Stage::ALL.iter().map(|&s| MontageApp::stage_filter(s)).collect();
+        assert!(filters[0].matches(Some("/proj/proj_00.fits")));
+        assert!(!filters[0].matches(Some("/diff/diff_00_01.fits")));
+        assert!(filters[1].matches(Some("/diff/diff_00_01.fits")));
+        assert!(filters[2].matches(Some("/corr/corr_05_area.fits")));
+        assert!(filters[3].matches(Some("/mosaic/mosaic.fits")));
+        assert!(!filters[3].matches(Some("/raw/raw_00.fits")));
+    }
+
+    #[test]
+    fn stage_labels_match_figure7() {
+        let labels: Vec<_> = Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["MT1", "MT2", "MT3", "MT4"]);
+        assert_eq!(Stage::ProjExec.tool(), "mProjExec");
+    }
+
+    #[test]
+    fn describe_matches_table_ii() {
+        let (name, domain, method) = MontageApp::describe();
+        assert_eq!(name, "Montage");
+        assert_eq!(domain, "Astronomy");
+        assert!(method.contains("mosaic"));
+    }
+}

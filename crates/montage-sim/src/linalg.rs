@@ -1,0 +1,156 @@
+//! Small dense linear algebra for the background-model solve.
+//!
+//! mBgModel determines per-image background planes by least-squares
+//! over the pairwise difference fits; the normal equations are a small
+//! dense SPD system solved here by Gaussian elimination with partial
+//! pivoting.
+
+/// Solve `A x = b` in place. `a` is row-major `n×n`. Returns `None`
+/// for (numerically) singular systems.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix/vector size mismatch");
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row * n + col] / a[col * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Least-squares plane fit `v ≈ a + b·x + c·y` over sample points.
+/// Returns `[a, b, c]`; `None` when the points are degenerate.
+pub fn fit_plane(points: &[(f64, f64, f64)]) -> Option<[f64; 3]> {
+    if points.len() < 3 {
+        return None;
+    }
+    // Normal equations for the 3-parameter model.
+    let mut ata = [0.0f64; 9];
+    let mut atb = [0.0f64; 3];
+    for &(x, y, v) in points {
+        let row = [1.0, x, y];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i * 3 + j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * v;
+        }
+    }
+    let x = solve(ata.to_vec(), atb.to_vec())?;
+    Some([x[0], x[1], x[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_known() {
+        let a = vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_is_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fit_plane_exact() {
+        let mut pts = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                pts.push((x as f64, y as f64, 2.5 + 0.3 * x as f64 - 0.7 * y as f64));
+            }
+        }
+        let p = fit_plane(&pts).unwrap();
+        assert!((p[0] - 2.5).abs() < 1e-9);
+        assert!((p[1] - 0.3).abs() < 1e-9);
+        assert!((p[2] + 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_plane_with_noise_recovers_coefficients() {
+        let mut rng = ffis_core::Rng::seed_from(3);
+        let mut pts = Vec::new();
+        for x in 0..20 {
+            for y in 0..20 {
+                pts.push((
+                    x as f64,
+                    y as f64,
+                    1.0 + 0.05 * x as f64 + 0.02 * y as f64 + 0.01 * rng.normal(),
+                ));
+            }
+        }
+        let p = fit_plane(&pts).unwrap();
+        assert!((p[0] - 1.0).abs() < 0.01);
+        assert!((p[1] - 0.05).abs() < 0.001);
+        assert!((p[2] - 0.02).abs() < 0.001);
+    }
+
+    #[test]
+    fn degenerate_plane_fits_rejected() {
+        assert!(fit_plane(&[]).is_none());
+        assert!(fit_plane(&[(0.0, 0.0, 1.0), (1.0, 0.0, 2.0)]).is_none());
+        // Collinear points cannot constrain the y slope.
+        let collinear: Vec<_> = (0..10).map(|i| (i as f64, 0.0, i as f64)).collect();
+        assert!(fit_plane(&collinear).is_none());
+    }
+}

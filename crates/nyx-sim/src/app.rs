@@ -1,0 +1,283 @@
+//! The Nyx workload as a [`FaultApp`] (paper §IV-C.1).
+//!
+//! One run = simulate (deterministic field generation, done once and
+//! cached — faults target the I/O path, not the physics), write the
+//! plotfile through the filesystem under test using the HDF5 creation
+//! protocol, read it back, and run the halo finder.
+//!
+//! Outcome classification (verbatim from the paper): "we compare the
+//! output of the halo finder ... of the fault injected case with the
+//! original output. If they are bit-wise identical, they are
+//! classified as benign. If they differ, and there is no halo found,
+//! the cases are detected and otherwise they are the SDC."
+
+use ffis_core::{FaultApp, Outcome};
+use ffis_vfs::FileSystem;
+use hdf5lite::{Dataset, FileBuilder, WriteOptions};
+
+use crate::field::{generate, FieldConfig};
+use crate::halo::{find_halos, HaloCatalog, HaloFinderConfig};
+
+/// Path of the plotfile within the mount.
+pub const PLOTFILE: &str = "/run/plt00000.h5";
+
+/// Dataset path inside the plotfile (the real Nyx layout).
+pub const DATASET: &str = "/native_fields/baryon_density";
+
+/// Nyx workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NyxConfig {
+    /// Field generation parameters.
+    pub field: FieldConfig,
+    /// Halo finder parameters.
+    pub finder: HaloFinderConfig,
+    /// Keep the decoded field in the output (needed by the Figure 5/6
+    /// visualizations; campaigns leave it off to save memory).
+    pub keep_field: bool,
+    /// Raw-data bytes per `pwrite`. Real HDF5 stages contiguous raw
+    /// data through a sieve buffer (64 KiB by default), so each
+    /// filesystem-level write carries many 4 KiB blocks; a DROPPED
+    /// WRITE then erases a macroscopic slab of the field while a
+    /// SHORN WRITE still tears only one 512 B-granular block tail —
+    /// the size asymmetry behind the paper's "DW = 100% SDC vs SW =
+    /// 100% benign" contrast.
+    pub write_chunk: usize,
+    /// Seal the plotfile metadata with a Fletcher-32 checksum
+    /// (reproduction extension; quantifies how much of the paper's
+    /// metadata SDC exposure a checksummed format removes).
+    pub seal_metadata: bool,
+}
+
+impl Default for NyxConfig {
+    fn default() -> Self {
+        NyxConfig {
+            field: FieldConfig::default(),
+            finder: HaloFinderConfig::default(),
+            keep_field: false,
+            write_chunk: ffis_vfs::BLOCK_SIZE,
+            seal_metadata: false,
+        }
+    }
+}
+
+impl NyxConfig {
+    /// Paper-regime preset: a grid large enough that (i) data writes
+    /// vastly outnumber the metadata write (so crash rates stay near
+    /// zero, as in Figure 7), (ii) a dropped 64 KiB sieve write always
+    /// clips halo cells (DW → SDC), and (iii) a torn 512 B window
+    /// almost never does (SW → benign).
+    pub fn paper_scale() -> Self {
+        NyxConfig {
+            field: FieldConfig { n: 96, sigma: 1.8, smooth_passes: 3, ..Default::default() },
+            finder: HaloFinderConfig::default(),
+            keep_field: false,
+            write_chunk: 64 * 1024,
+            seal_metadata: false,
+        }
+    }
+}
+
+/// Everything classification (and the deeper Table IV analyses) needs.
+#[derive(Debug, Clone)]
+pub struct NyxOutput {
+    /// Rendered halo catalog (the bitwise-comparison artifact).
+    pub catalog_text: String,
+    /// Structured catalog.
+    pub catalog: HaloCatalog,
+    /// Decoded field, when `keep_field` is set.
+    pub field: Option<Vec<f64>>,
+    /// Grid dims.
+    pub dims: [usize; 3],
+}
+
+/// The Nyx application.
+#[derive(Debug, Clone)]
+pub struct NyxApp {
+    config: NyxConfig,
+    /// The simulated field, generated once (deterministic physics;
+    /// the experiment perturbs only the storage path).
+    field: Vec<f32>,
+}
+
+impl NyxApp {
+    /// Build the app, running the (deterministic) simulation once.
+    pub fn new(config: NyxConfig) -> Self {
+        let field = generate(&config.field);
+        NyxApp { config, field }
+    }
+
+    /// Paper-defaults app.
+    pub fn paper_default() -> Self {
+        Self::new(NyxConfig::default())
+    }
+
+    /// Grid side length.
+    pub fn n(&self) -> usize {
+        self.config.field.n
+    }
+
+    /// The pristine simulated field (f32, as written).
+    pub fn simulated_field(&self) -> &[f32] {
+        &self.field
+    }
+
+    /// Table II row.
+    pub fn describe() -> (&'static str, &'static str, &'static str) {
+        ("Nyx", "Astrophysics", "Adaptive mesh refinement (AMR) based cosmological simulation")
+    }
+
+    /// The byte-exact metadata field map of the plotfile this app
+    /// writes (paper §IV-D: "we refer to the HDF5 File Format
+    /// Specification to capture the field information of each metadata
+    /// byte"). Derived from the same builder the app uses, so it is
+    /// correct by construction.
+    pub fn metadata_spans(&self) -> Vec<hdf5lite::Span> {
+        let n = self.config.field.n;
+        let mut b = FileBuilder::new();
+        b.add_dataset(
+            DATASET,
+            Dataset::f32("baryon_density", &[n as u64; 3], &self.field),
+        )
+        .expect("same tree as run()");
+        let plan = hdf5lite::plan(&b.into_root()).expect("plannable");
+        let (_, spans) = hdf5lite::encode_metadata(&plan);
+        spans
+    }
+
+    /// Size of the packed metadata block (== the correct ARD).
+    pub fn metadata_size(&self) -> u64 {
+        self.metadata_spans().last().map(|s| s.end).unwrap_or(0)
+    }
+}
+
+impl FaultApp for NyxApp {
+    type Output = NyxOutput;
+
+    fn run(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
+        let n = self.config.field.n;
+        // Write the plotfile through the (possibly fault-injected)
+        // filesystem, exactly as the HDF5 library would.
+        fs.mkdir("/run", 0o755).map_err(|e| e.to_string())?;
+        let mut b = FileBuilder::new();
+        b.add_dataset(
+            DATASET,
+            Dataset::f32("baryon_density", &[n as u64; 3], &self.field),
+        )
+        .map_err(|e| e.to_string())?;
+        let opts = WriteOptions {
+            chunk_size: self.config.write_chunk,
+            seal_metadata: self.config.seal_metadata,
+        };
+        hdf5lite::write_file(fs, PLOTFILE, &b.into_root(), &opts).map_err(|e| e.to_string())?;
+
+        // Post-analysis: read back and find halos.
+        let info = hdf5lite::read_dataset(fs, PLOTFILE, DATASET).map_err(|e| e.to_string())?;
+        if info.dims.len() != 3 {
+            return Err(format!("unexpected rank {}", info.dims.len()));
+        }
+        let dims = [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
+        let catalog = find_halos(&info.values, dims, &self.config.finder);
+        Ok(NyxOutput {
+            catalog_text: catalog.render(),
+            catalog,
+            field: self.config.keep_field.then_some(info.values),
+            dims,
+        })
+    }
+
+    fn classify(&self, golden: &NyxOutput, faulty: &NyxOutput) -> Outcome {
+        if golden.catalog_text == faulty.catalog_text {
+            Outcome::Benign
+        } else if faulty.catalog.halos.is_empty() {
+            Outcome::Detected
+        } else {
+            Outcome::Sdc
+        }
+    }
+
+    fn name(&self) -> String {
+        "NYX".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_vfs::MemFs;
+
+    fn app() -> NyxApp {
+        NyxApp::new(NyxConfig {
+            field: FieldConfig { n: 24, ..Default::default() },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn golden_run_finds_halos() {
+        let a = app();
+        let fs = MemFs::new();
+        let out = a.run(&fs).unwrap();
+        assert!(
+            !out.catalog.halos.is_empty(),
+            "default config must yield halos (candidates: {})",
+            out.catalog.candidate_cells
+        );
+        assert!((out.catalog.mean - 1.0).abs() < 1e-4, "mass conservation");
+        assert!(out.catalog_text.contains("# halos:"));
+    }
+
+    #[test]
+    fn runs_are_bitwise_reproducible() {
+        let a = app();
+        let o1 = a.run(&MemFs::new()).unwrap();
+        let o2 = a.run(&MemFs::new()).unwrap();
+        assert_eq!(o1.catalog_text, o2.catalog_text);
+        assert_eq!(a.classify(&o1, &o2), Outcome::Benign);
+    }
+
+    #[test]
+    fn classification_rules() {
+        let a = app();
+        let golden = a.run(&MemFs::new()).unwrap();
+
+        // Differ + no halos -> detected.
+        let empty = NyxOutput {
+            catalog_text: "# halos: 0\n# id x y z cells mass\n".into(),
+            catalog: crate::halo::HaloCatalog {
+                mean: f64::NAN,
+                threshold: f64::NAN,
+                candidate_cells: 0,
+                halos: vec![],
+            },
+            field: None,
+            dims: golden.dims,
+        };
+        assert_eq!(a.classify(&golden, &empty), Outcome::Detected);
+
+        // Differ + halos present -> SDC.
+        let mut altered = golden.clone();
+        altered.catalog_text.push('x');
+        assert_eq!(a.classify(&golden, &altered), Outcome::Sdc);
+    }
+
+    #[test]
+    fn keep_field_exposes_values() {
+        let a = NyxApp::new(NyxConfig {
+            field: FieldConfig { n: 16, ..Default::default() },
+            keep_field: true,
+            ..Default::default()
+        });
+        let out = a.run(&MemFs::new()).unwrap();
+        let f = out.field.as_ref().unwrap();
+        assert_eq!(f.len(), 16 * 16 * 16);
+        assert_eq!(out.dims, [16, 16, 16]);
+    }
+
+    #[test]
+    fn describe_matches_table_ii() {
+        let (name, domain, method) = NyxApp::describe();
+        assert_eq!(name, "Nyx");
+        assert_eq!(domain, "Astrophysics");
+        assert!(method.contains("cosmological"));
+    }
+}

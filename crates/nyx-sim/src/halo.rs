@@ -1,0 +1,312 @@
+//! Friends-of-Friends halo finder (the paper's HALO FINDER post-analysis).
+//!
+//! "The halo-finder algorithm searches for the halos from all the
+//! simulated data, with the following two criteria: (1) the mass of an
+//! object(s) must be greater than a threshold (e.g., 81.66 times the
+//! average mass of the whole dataset) to become a halo cell candidate,
+//! and (2) there must be enough halo cell candidates in a certain area
+//! to form a halo." (§V-B)
+//!
+//! The threshold is *relative to the dataset mean* — the property that
+//! drives the paper's entire Nyx outcome taxonomy: a single wildly
+//! corrupted cell inflates the mean, scales the threshold past every
+//! cell, and yields the "no halos found → detected" case; a uniform
+//! power-of-two scale (faulty Exponent Bias) leaves candidacy intact
+//! but scales every halo mass (SDC); moderate local damage is simply
+//! absorbed (benign).
+
+/// Halo finder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloFinderConfig {
+    /// Candidate threshold as a multiple of the dataset mean
+    /// (paper value: 81.66).
+    pub threshold_factor: f64,
+    /// Minimum connected candidate cells to form a halo.
+    pub min_cells: u32,
+}
+
+impl Default for HaloFinderConfig {
+    fn default() -> Self {
+        HaloFinderConfig { threshold_factor: 81.66, min_cells: 2 }
+    }
+}
+
+/// One identified halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halo {
+    /// Centre of mass (grid coordinates).
+    pub center: [f64; 3],
+    /// Number of member cells.
+    pub cells: u32,
+    /// Total mass (sum of member densities).
+    pub mass: f64,
+}
+
+/// Full halo-finder result.
+#[derive(Debug, Clone)]
+pub struct HaloCatalog {
+    /// Dataset mean used for the threshold.
+    pub mean: f64,
+    /// Absolute candidate threshold (`mean × factor`).
+    pub threshold: f64,
+    /// Number of candidate cells (Figure 6's boxes).
+    pub candidate_cells: u64,
+    /// Halos, sorted by descending mass then centre (deterministic).
+    pub halos: Vec<Halo>,
+}
+
+impl HaloCatalog {
+    /// Render the catalog in the fixed text format used for bitwise
+    /// output comparison (the paper compares halo-finder outputs
+    /// byte-for-byte to decide *benign*).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("# halos: {}\n", self.halos.len()));
+        s.push_str("# id x y z cells mass\n");
+        for (i, h) in self.halos.iter().enumerate() {
+            s.push_str(&format!(
+                "{} {:.6e} {:.6e} {:.6e} {} {:.6e}\n",
+                i, h.center[0], h.center[1], h.center[2], h.cells, h.mass
+            ));
+        }
+        s
+    }
+}
+
+/// The candidate mask: true where a cell exceeds the threshold. Used
+/// directly for the Figure 6 visualization.
+pub fn candidate_mask(values: &[f64], threshold: f64) -> Vec<bool> {
+    values.iter().map(|&v| v >= threshold && v.is_finite()).collect()
+}
+
+/// Run the Friends-of-Friends finder on a `dims[0]×dims[1]×dims[2]`
+/// row-major grid (x fastest). 6-connectivity, non-periodic linking.
+pub fn find_halos(values: &[f64], dims: [usize; 3], cfg: &HaloFinderConfig) -> HaloCatalog {
+    let len = dims[0] * dims[1] * dims[2];
+    assert_eq!(values.len(), len, "grid/dims mismatch");
+    let mean = if len == 0 { 0.0 } else { values.iter().sum::<f64>() / len as f64 };
+    let threshold = mean * cfg.threshold_factor;
+    let mask = candidate_mask(values, threshold);
+    let candidate_cells = mask.iter().filter(|&&m| m).count() as u64;
+
+    let (nx, ny, nz) = (dims[0], dims[1], dims[2]);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut visited = vec![false; len];
+    let mut halos: Vec<Halo> = Vec::new();
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i0 = idx(x, y, z);
+                if !mask[i0] || visited[i0] {
+                    continue;
+                }
+                // Flood-fill one connected component.
+                stack.clear();
+                stack.push((x, y, z));
+                visited[i0] = true;
+                let mut cells = 0u32;
+                let mut mass = 0.0f64;
+                let mut com = [0.0f64; 3];
+                while let Some((cx, cy, cz)) = stack.pop() {
+                    let ci = idx(cx, cy, cz);
+                    let v = values[ci];
+                    cells += 1;
+                    mass += v;
+                    com[0] += v * cx as f64;
+                    com[1] += v * cy as f64;
+                    com[2] += v * cz as f64;
+                    let mut push = |nx_: usize, ny_: usize, nz_: usize| {
+                        let ni = idx(nx_, ny_, nz_);
+                        if mask[ni] && !visited[ni] {
+                            visited[ni] = true;
+                            stack.push((nx_, ny_, nz_));
+                        }
+                    };
+                    if cx > 0 {
+                        push(cx - 1, cy, cz);
+                    }
+                    if cx + 1 < nx {
+                        push(cx + 1, cy, cz);
+                    }
+                    if cy > 0 {
+                        push(cx, cy - 1, cz);
+                    }
+                    if cy + 1 < ny {
+                        push(cx, cy + 1, cz);
+                    }
+                    if cz > 0 {
+                        push(cx, cy, cz - 1);
+                    }
+                    if cz + 1 < nz {
+                        push(cx, cy, cz + 1);
+                    }
+                }
+                if cells >= cfg.min_cells && mass > 0.0 {
+                    halos.push(Halo {
+                        center: [com[0] / mass, com[1] / mass, com[2] / mass],
+                        cells,
+                        mass,
+                    });
+                }
+            }
+        }
+    }
+
+    // Deterministic ordering: heaviest first, centre as tiebreak.
+    halos.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.center.partial_cmp(&b.center).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    HaloCatalog { mean, threshold, candidate_cells, halos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_grid(dims: [usize; 3], v: f64) -> Vec<f64> {
+        vec![v; dims[0] * dims[1] * dims[2]]
+    }
+
+    #[test]
+    fn empty_background_has_no_halos() {
+        let g = uniform_grid([8, 8, 8], 1.0);
+        let cat = find_halos(&g, [8, 8, 8], &HaloFinderConfig::default());
+        assert_eq!(cat.halos.len(), 0);
+        assert_eq!(cat.candidate_cells, 0);
+        assert!((cat.mean - 1.0).abs() < 1e-12);
+        assert!((cat.threshold - 81.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_blob_found_with_mass_and_center() {
+        let dims = [16, 16, 16];
+        let mut g = uniform_grid(dims, 1.0);
+        let idx = |x: usize, y: usize, z: usize| (z * 16 + y) * 16 + x;
+        // A 3-cell line of huge density at (5..8, 6, 7).
+        for x in 5..8 {
+            g[idx(x, 6, 7)] = 2000.0;
+        }
+        let cat = find_halos(&g, dims, &HaloFinderConfig::default());
+        assert_eq!(cat.candidate_cells, 3);
+        assert_eq!(cat.halos.len(), 1);
+        let h = &cat.halos[0];
+        assert_eq!(h.cells, 3);
+        assert!((h.mass - 6000.0).abs() < 1e-6);
+        assert!((h.center[0] - 6.0).abs() < 1e-9);
+        assert!((h.center[1] - 6.0).abs() < 1e-9);
+        assert!((h.center[2] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cells_filters_isolated_candidates() {
+        let dims = [8, 8, 8];
+        let mut g = uniform_grid(dims, 1.0);
+        g[0] = 5000.0; // single isolated candidate
+        let cfg = HaloFinderConfig { min_cells: 2, ..Default::default() };
+        let cat = find_halos(&g, dims, &cfg);
+        assert_eq!(cat.candidate_cells, 1);
+        assert_eq!(cat.halos.len(), 0);
+        let cfg1 = HaloFinderConfig { min_cells: 1, ..Default::default() };
+        assert_eq!(find_halos(&g, dims, &cfg1).halos.len(), 1);
+    }
+
+    #[test]
+    fn diagonal_cells_are_not_linked() {
+        let dims = [8, 8, 8];
+        let mut g = uniform_grid(dims, 1.0);
+        let idx = |x: usize, y: usize, z: usize| (z * 8 + y) * 8 + x;
+        g[idx(2, 2, 2)] = 3000.0;
+        g[idx(3, 3, 2)] = 3000.0; // diagonal neighbour
+        let cfg = HaloFinderConfig { min_cells: 1, ..Default::default() };
+        let cat = find_halos(&g, dims, &cfg);
+        assert_eq!(cat.halos.len(), 2, "6-connectivity must not link diagonals");
+    }
+
+    #[test]
+    fn two_halos_sorted_by_mass() {
+        let dims = [16, 16, 16];
+        let mut g = uniform_grid(dims, 1.0);
+        let idx = |x: usize, y: usize, z: usize| (z * 16 + y) * 16 + x;
+        for x in 0..2 {
+            g[idx(x, 0, 0)] = 2000.0;
+        }
+        for x in 8..12 {
+            g[idx(x, 8, 8)] = 2000.0;
+        }
+        let cat = find_halos(&g, dims, &HaloFinderConfig::default());
+        assert_eq!(cat.halos.len(), 2);
+        assert!(cat.halos[0].mass > cat.halos[1].mass);
+        assert_eq!(cat.halos[0].cells, 4);
+    }
+
+    #[test]
+    fn mean_scaling_preserves_halos_but_scales_mass() {
+        // The Exponent-Bias SDC signature (Fig. 5b): a global power-of
+        // -two scale leaves locations intact and scales the masses.
+        let dims = [16, 16, 16];
+        let mut g = uniform_grid(dims, 1.0);
+        let idx = |x: usize, y: usize, z: usize| (z * 16 + y) * 16 + x;
+        for x in 4..7 {
+            g[idx(x, 5, 5)] = 1500.0;
+        }
+        let base = find_halos(&g, dims, &HaloFinderConfig::default());
+        let scaled: Vec<f64> = g.iter().map(|v| v * 4096.0).collect();
+        let cat = find_halos(&scaled, dims, &HaloFinderConfig::default());
+        assert_eq!(cat.halos.len(), base.halos.len());
+        assert_eq!(cat.halos[0].center, base.halos[0].center);
+        assert_eq!(cat.halos[0].cells, base.halos[0].cells);
+        assert!((cat.halos[0].mass / base.halos[0].mass - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_huge_corruption_erases_all_halos() {
+        // The BIT FLIP "detected" mechanism: one cell at 2^100 drags
+        // the mean (and threshold) past every legitimate halo cell.
+        let dims = [16, 16, 16];
+        let mut g = uniform_grid(dims, 1.0);
+        let idx = |x: usize, y: usize, z: usize| (z * 16 + y) * 16 + x;
+        for x in 4..7 {
+            g[idx(x, 5, 5)] = 1500.0;
+        }
+        assert_eq!(find_halos(&g, dims, &HaloFinderConfig::default()).halos.len(), 1);
+        g[0] = 2f64.powi(100);
+        let cat = find_halos(&g, dims, &HaloFinderConfig::default());
+        assert_eq!(cat.halos.len(), 0, "threshold scaled past all cells");
+    }
+
+    #[test]
+    fn nan_poisoning_yields_no_halos() {
+        let dims = [8, 8, 8];
+        let mut g = uniform_grid(dims, 1.0);
+        g[10] = f64::NAN;
+        let cat = find_halos(&g, dims, &HaloFinderConfig::default());
+        assert_eq!(cat.halos.len(), 0);
+        assert_eq!(cat.candidate_cells, 0);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parsable() {
+        let dims = [16, 16, 16];
+        let mut g = uniform_grid(dims, 1.0);
+        for x in 4..7 {
+            g[(5 * 16 + 5) * 16 + x] = 1500.0;
+        }
+        let a = find_halos(&g, dims, &HaloFinderConfig::default()).render();
+        let b = find_halos(&g, dims, &HaloFinderConfig::default()).render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("# halos: 1\n"));
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn candidate_mask_matches_threshold() {
+        let g = [1.0, 100.0, 81.0, 82.0];
+        let mask = candidate_mask(&g, 81.66);
+        assert_eq!(mask, vec![false, true, false, true]);
+    }
+}

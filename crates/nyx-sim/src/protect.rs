@@ -1,0 +1,108 @@
+//! The average-value-based protection method (paper §V-A / §V-B).
+//!
+//! "Although DROPPED WRITE has a 100% of SDC rate, all the SDC cases
+//! in our experiment can be detected by using the average value,
+//! because the average value is reduced by at least 0.1% (e.g., less
+//! than 0.9983) for all the SDC cases. Thus, we recommend Nyx users to
+//! keep using the average-value-based method to protect the data from
+//! storage faults with respect to halo-finder analysis."
+//!
+//! [`protected_classify`] wraps the standard Nyx classification with
+//! that detector: any run whose dataset mean deviates from the
+//! conservation-law value by more than the tolerance is *detected*
+//! rather than silent. The `repro protect` harness shows Figure 7's
+//! note — "all SDC cases with Nyx will be changed to detected cases
+//! after using the average-value-based method".
+
+use ffis_core::Outcome;
+
+use crate::app::NyxOutput;
+
+/// Relative mean-deviation tolerance (paper: 0.1%).
+pub const MEAN_TOLERANCE: f64 = 1e-3;
+
+/// Does the average-value detector fire on this output?
+pub fn mean_check_fails(golden: &NyxOutput, faulty: &NyxOutput, tol: f64) -> bool {
+    let g = golden.catalog.mean;
+    let f = faulty.catalog.mean;
+    if !f.is_finite() || g == 0.0 {
+        return true;
+    }
+    (f / g - 1.0).abs() > tol
+}
+
+/// Classify with the average-value protection layered on top of the
+/// paper's standard Nyx rules.
+pub fn protected_classify(golden: &NyxOutput, faulty: &NyxOutput, tol: f64) -> Outcome {
+    if golden.catalog_text == faulty.catalog_text {
+        return Outcome::Benign;
+    }
+    if mean_check_fails(golden, faulty, tol) {
+        return Outcome::Detected;
+    }
+    if faulty.catalog.halos.is_empty() {
+        Outcome::Detected
+    } else {
+        Outcome::Sdc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::{Halo, HaloCatalog};
+
+    fn output(mean: f64, text: &str, nhalos: usize) -> NyxOutput {
+        NyxOutput {
+            catalog_text: text.to_string(),
+            catalog: HaloCatalog {
+                mean,
+                threshold: mean * 81.66,
+                candidate_cells: nhalos as u64 * 3,
+                halos: (0..nhalos)
+                    .map(|i| Halo { center: [i as f64; 3], cells: 3, mass: 300.0 })
+                    .collect(),
+            },
+            field: None,
+            dims: [8, 8, 8],
+        }
+    }
+
+    #[test]
+    fn identical_stays_benign() {
+        let g = output(1.0, "catalog", 2);
+        let f = output(1.0, "catalog", 2);
+        assert_eq!(protected_classify(&g, &f, MEAN_TOLERANCE), Outcome::Benign);
+    }
+
+    #[test]
+    fn mean_shift_converts_sdc_to_detected() {
+        let g = output(1.0, "catalog", 2);
+        // A dropped write: mean reduced 0.3%, halos still found, text
+        // differs — unprotected classification would call this SDC.
+        let f = output(0.997, "catalog'", 2);
+        assert_eq!(protected_classify(&g, &f, MEAN_TOLERANCE), Outcome::Detected);
+    }
+
+    #[test]
+    fn small_mean_drift_within_tolerance_still_sdc() {
+        let g = output(1.0, "catalog", 2);
+        let f = output(1.0 + 2e-5, "catalog'", 2);
+        assert_eq!(protected_classify(&g, &f, MEAN_TOLERANCE), Outcome::Sdc);
+    }
+
+    #[test]
+    fn nan_mean_is_detected() {
+        let g = output(1.0, "catalog", 2);
+        let f = output(f64::NAN, "catalog'", 2);
+        assert!(mean_check_fails(&g, &f, MEAN_TOLERANCE));
+        assert_eq!(protected_classify(&g, &f, MEAN_TOLERANCE), Outcome::Detected);
+    }
+
+    #[test]
+    fn no_halos_detected_regardless_of_mean() {
+        let g = output(1.0, "catalog", 2);
+        let f = output(1.0, "catalog'", 0);
+        assert_eq!(protected_classify(&g, &f, MEAN_TOLERANCE), Outcome::Detected);
+    }
+}

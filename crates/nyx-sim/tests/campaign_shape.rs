@@ -1,0 +1,72 @@
+//! Shape check against Figure 7's Nyx column: BIT FLIP mostly benign
+//! with a small detected share and rare SDC; SHORN WRITE (stale fill)
+//! almost entirely benign; DROPPED WRITE almost entirely SDC.
+//!
+//! Run counts are kept small for CI; the `repro fig7` harness runs the
+//! full 1,000-run campaigns.
+
+use ffis_core::prelude::*;
+use nyx_sim::{NyxApp, NyxConfig};
+
+fn paper_app() -> NyxApp {
+    NyxApp::new(NyxConfig::paper_scale())
+}
+
+fn run(app: &NyxApp, model: FaultModel, runs: usize, seed: u64) -> OutcomeTally {
+    let cfg = CampaignConfig::new(FaultSignature::on_write(model)).with_runs(runs).with_seed(seed);
+    Campaign::new(app, cfg).run().unwrap().tally
+}
+
+#[test]
+fn figure7_nyx_shapes() {
+    let app = paper_app();
+
+    let bf = run(&app, FaultModel::bit_flip(), 120, 11);
+    println!("NYX BF: {}", bf);
+    assert!(bf.benign * 100 >= 80 * bf.total(), "BF benign should dominate: {}", bf);
+    assert!(bf.detected > 0, "high-exponent flips must erase halos sometimes: {}", bf);
+    assert!(bf.sdc * 100 <= 10 * bf.total(), "BF SDC should be rare: {}", bf);
+
+    let sw = run(&app, FaultModel::shorn_write(), 120, 12);
+    println!("NYX SW: {}", sw);
+    assert!(sw.benign * 100 >= 85 * sw.total(), "stale-fill shorn writes are absorbed: {}", sw);
+
+    let dw = run(&app, FaultModel::dropped_write(), 120, 13);
+    println!("NYX DW: {}", dw);
+    assert!(dw.sdc * 100 >= 85 * dw.total(), "dropped sieve writes always reshape halos: {}", dw);
+    assert_eq!(dw.benign, 0, "a dropped 64 KiB slab can never be invisible: {}", dw);
+}
+
+#[test]
+fn dropped_write_sdc_always_caught_by_average_value_method() {
+    // §V-B: "all the SDC cases in our experiment can be detected by
+    // using the average value, because the average value is reduced by
+    // at least 0.1%".
+    use ffis_core::{ArmedInjector, FaultApp};
+    use nyx_sim::protect::{protected_classify, MEAN_TOLERANCE};
+    use std::sync::Arc;
+
+    let app = paper_app();
+    let golden = app.run(&ffis_vfs::MemFs::new()).unwrap();
+    let sig = FaultSignature::on_write(FaultModel::dropped_write());
+    let mut converted = 0;
+    let mut sdc_seen = 0;
+    for seed in 0..25u64 {
+        let mut rng = ffis_core::Rng::seed_from(seed);
+        // Target only the first 40 write instances (data writes).
+        let instance = rng.gen_range(40) + 1;
+        let inj = Arc::new(ArmedInjector::new(sig.clone(), instance, seed));
+        let ffs = ffis_vfs::FfisFs::mount(Arc::new(ffis_vfs::MemFs::new()));
+        ffs.attach(inj);
+        if let Ok(faulty) = app.run(&*ffs) {
+            if app.classify(&golden, &faulty) == Outcome::Sdc {
+                sdc_seen += 1;
+                let protected = protected_classify(&golden, &faulty, MEAN_TOLERANCE);
+                assert_eq!(protected, Outcome::Detected, "mean deviation must expose the drop");
+                converted += 1;
+            }
+        }
+    }
+    assert!(sdc_seen >= 15, "expected plenty of SDC cases, saw {}", sdc_seen);
+    assert_eq!(converted, sdc_seen);
+}

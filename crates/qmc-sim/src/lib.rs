@@ -1,0 +1,33 @@
+//! # qmc-sim — the QMCPACK workload (paper §IV-C.2)
+//!
+//! Real variational + diffusion Monte Carlo for the helium atom — the
+//! paper's QMCPACK example — built on a Padé–Jastrow trial
+//! wavefunction with analytic local energy. The two series communicate
+//! through files on the fault-injected filesystem: VMC writes its
+//! scalar trace and a walker checkpoint; DMC restarts from that
+//! checkpoint (the storage-fault propagation path) and writes the
+//! `He.s001.scalar.dat` the paper classifies.
+//!
+//! For two opposite-spin electrons DMC has no fixed-node error, so the
+//! golden energy lands at the exact non-relativistic ground state
+//! −2.90372 Ha — inside the paper's SDC window `[-2.91, -2.90]`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod dmc;
+pub mod qmca;
+pub mod scalar;
+pub mod vmc;
+pub mod wavefunction;
+
+pub use app::{QmcApp, QmcConfig, QmcOutput, CONFIG, LOG, S000, S001};
+pub use dmc::{run_dmc, DmcConfig, DmcError, DmcResult};
+pub use qmca::{analyze, QmcaConfig, QmcaResult};
+pub use scalar::{
+    parse_checkpoint, parse_scalar, read_checkpoint, read_scalar, render_checkpoint,
+    render_scalar, write_checkpoint, write_scalar, ParsedScalar, ScalarRow, SCALAR_HEADER,
+};
+pub use vmc::{run_vmc, VmcConfig, VmcResult};
+pub use wavefunction::{TrialWavefunction, Walker};

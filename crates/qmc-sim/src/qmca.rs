@@ -1,0 +1,114 @@
+//! QMCA-style energy analysis.
+//!
+//! "We then use the QMCA tool in QMCPACK to obtain the total energies
+//! and related quantities" (§IV-C.2). QMCA discards an equilibration
+//! prefix and reports the mean local energy with a blocking
+//! (autocorrelation-aware) error bar.
+
+use ffis_core::stats::blocking_error;
+
+use crate::scalar::ScalarRow;
+
+/// Analysis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QmcaConfig {
+    /// Fraction of rows discarded as equilibration.
+    pub equilibration_fraction: f64,
+    /// Minimum post-cut rows for a valid estimate.
+    pub min_rows: usize,
+}
+
+impl Default for QmcaConfig {
+    fn default() -> Self {
+        QmcaConfig { equilibration_fraction: 0.2, min_rows: 50 }
+    }
+}
+
+/// QMCA result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QmcaResult {
+    /// Mean local energy (Ha).
+    pub energy: f64,
+    /// Blocking error estimate.
+    pub error: f64,
+    /// Rows used (post-equilibration).
+    pub rows_used: usize,
+}
+
+/// Analyze a scalar series.
+pub fn analyze(rows: &[ScalarRow], cfg: &QmcaConfig) -> Result<QmcaResult, String> {
+    let cut = (rows.len() as f64 * cfg.equilibration_fraction) as usize;
+    let post = &rows[cut.min(rows.len())..];
+    if post.len() < cfg.min_rows {
+        return Err(format!(
+            "too few post-equilibration rows: {} < {}",
+            post.len(),
+            cfg.min_rows
+        ));
+    }
+    let series: Vec<f64> = post.iter().map(|r| r.local_energy).collect();
+    let (energy, error) = blocking_error(&series);
+    if !energy.is_finite() {
+        return Err("non-finite energy estimate".into());
+    }
+    Ok(QmcaResult { energy, error, rows_used: post.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_with(values: &[f64]) -> Vec<ScalarRow> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| ScalarRow {
+                index: i as u64,
+                local_energy: e,
+                variance: 0.1,
+                weight: 256.0,
+                accept_ratio: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mean_of_stationary_series() {
+        let rows = rows_with(&vec![-2.903; 500]);
+        let r = analyze(&rows, &QmcaConfig::default()).unwrap();
+        assert!((r.energy + 2.903).abs() < 1e-12);
+        assert_eq!(r.rows_used, 400);
+        assert!(r.error.abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibration_prefix_is_cut() {
+        // First 20% biased high; the cut must remove it.
+        let mut vals = vec![-2.0; 100];
+        vals.extend(vec![-2.9; 400]);
+        let r = analyze(&rows_with(&vals), &QmcaConfig::default()).unwrap();
+        assert!((r.energy + 2.9).abs() < 1e-9, "energy = {}", r.energy);
+    }
+
+    #[test]
+    fn too_few_rows_is_error() {
+        let rows = rows_with(&vec![-2.9; 40]);
+        assert!(analyze(&rows, &QmcaConfig::default()).is_err());
+        assert!(analyze(&[], &QmcaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn error_bar_reflects_noise() {
+        let mut rng = ffis_core::Rng::seed_from(5);
+        let vals: Vec<f64> = (0..1024).map(|_| -2.9 + 0.02 * rng.normal()).collect();
+        let r = analyze(&rows_with(&vals), &QmcaConfig::default()).unwrap();
+        assert!(r.error > 1e-4 && r.error < 5e-3, "error = {}", r.error);
+        assert!((r.energy + 2.9).abs() < 5.0 * r.error);
+    }
+
+    #[test]
+    fn nan_energy_is_error() {
+        let vals = vec![f64::NAN; 200];
+        assert!(analyze(&rows_with(&vals), &QmcaConfig::default()).is_err());
+    }
+}

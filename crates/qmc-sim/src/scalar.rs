@@ -1,0 +1,318 @@
+//! QMCPACK `scalar.dat` text format and the walker checkpoint.
+//!
+//! QMCPACK emits one `<project>.sNNN.scalar.dat` per series — a
+//! whitespace-separated text table with a `#`-prefixed header row —
+//! and hands walker configurations from one series to the next through
+//! a checkpoint file. Both travel through the fault-injected
+//! filesystem; the text format's tolerance (unparsable rows are
+//! skipped) and the checkpoint's validation (physicality checks at
+//! restart) shape which faults surface as SDC, detected or crash.
+
+use ffis_vfs::{BufFile, FileSystem, FileSystemExt};
+
+use crate::wavefunction::Walker;
+
+/// One row of a scalar.dat table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarRow {
+    /// Step index.
+    pub index: u64,
+    /// Ensemble-averaged local energy (Ha).
+    pub local_energy: f64,
+    /// Ensemble variance of the local energy.
+    pub variance: f64,
+    /// Ensemble weight (population).
+    pub weight: f64,
+    /// Move acceptance ratio.
+    pub accept_ratio: f64,
+}
+
+/// The header line (QMCPACK-style column names).
+pub const SCALAR_HEADER: &str =
+    "#   index        LocalEnergy          Variance             Weight           AcceptRatio";
+
+/// Render rows to the scalar.dat text.
+pub fn render_scalar(rows: &[ScalarRow]) -> String {
+    let mut s = String::with_capacity(rows.len() * 80 + 100);
+    s.push_str(SCALAR_HEADER);
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:>9} {:>20.12e} {:>20.12e} {:>16.6e} {:>14.6e}\n",
+            r.index, r.local_energy, r.variance, r.weight, r.accept_ratio
+        ));
+    }
+    s
+}
+
+/// Write scalar.dat through a stdio-style 4 KiB buffer (the write-size
+/// population the fault models act on).
+pub fn write_scalar(fs: &dyn FileSystem, path: &str, rows: &[ScalarRow]) -> Result<(), String> {
+    let text = render_scalar(rows);
+    let mut f = BufFile::create(fs, path).map_err(|e| e.to_string())?;
+    f.write_all(text.as_bytes()).map_err(|e| e.to_string())?;
+    f.close().map_err(|e| e.to_string())
+}
+
+/// Parse result with damage accounting.
+#[derive(Debug, Clone)]
+pub struct ParsedScalar {
+    /// Successfully parsed rows.
+    pub rows: Vec<ScalarRow>,
+    /// Lines that failed to parse (skipped, QMCA-style).
+    pub skipped: usize,
+}
+
+/// Parse a scalar.dat file body.
+///
+/// Mirrors how a line-oriented analysis tool reacts to damage: the
+/// header must be intact (else the tool errors out — crash class);
+/// individual unparsable lines are skipped; too few surviving rows is
+/// an error.
+pub fn parse_scalar(text: &str, min_rows: usize) -> Result<ParsedScalar, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty scalar.dat")?;
+    if !header.starts_with('#') || !header.contains("LocalEnergy") {
+        return Err("scalar.dat header missing or corrupt".into());
+    }
+    let mut rows = Vec::new();
+    let mut skipped = 0usize;
+    for line in lines {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parsed: Option<ScalarRow> = (|| {
+            let index = it.next()?.parse::<u64>().ok()?;
+            let local_energy = it.next()?.parse::<f64>().ok()?;
+            let variance = it.next()?.parse::<f64>().ok()?;
+            let weight = it.next()?.parse::<f64>().ok()?;
+            let accept_ratio = it.next()?.parse::<f64>().ok()?;
+            (local_energy.is_finite() && variance.is_finite()).then_some(ScalarRow {
+                index,
+                local_energy,
+                variance,
+                weight,
+                accept_ratio,
+            })
+        })();
+        match parsed {
+            Some(r) => rows.push(r),
+            None => skipped += 1,
+        }
+    }
+    if rows.len() < min_rows {
+        return Err(format!(
+            "scalar.dat too damaged: {} parsable rows (< {}), {} skipped",
+            rows.len(),
+            min_rows,
+            skipped
+        ));
+    }
+    Ok(ParsedScalar { rows, skipped })
+}
+
+/// Read and parse a scalar.dat from the filesystem.
+pub fn read_scalar(fs: &dyn FileSystem, path: &str, min_rows: usize) -> Result<ParsedScalar, String> {
+    let bytes = fs.read_to_vec(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
+    let text = String::from_utf8_lossy(&bytes);
+    parse_scalar(&text, min_rows)
+}
+
+// ---- walker checkpoint -------------------------------------------------------
+
+/// Checkpoint magic.
+pub const CONFIG_MAGIC: &[u8; 8] = b"QMCWLKR1";
+
+/// Serialize a walker ensemble (the series-to-series handoff file).
+pub fn render_checkpoint(walkers: &[Walker]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + walkers.len() * 48);
+    out.extend_from_slice(CONFIG_MAGIC);
+    out.extend_from_slice(&(walkers.len() as u64).to_le_bytes());
+    for w in walkers {
+        for v in w.r1.iter().chain(w.r2.iter()) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Write the checkpoint in 4 KiB chunks.
+pub fn write_checkpoint(fs: &dyn FileSystem, path: &str, walkers: &[Walker]) -> Result<(), String> {
+    let bytes = render_checkpoint(walkers);
+    fs.write_file_chunked(path, &bytes, ffis_vfs::BLOCK_SIZE).map_err(|e| e.to_string())
+}
+
+/// Parse a checkpoint. Structural validation only (magic, count,
+/// length) — *values* are deliberately not sanity-checked here: silent
+/// coordinate corruption must be able to flow into DMC, where the
+/// physicality check at restart decides between crash and silent
+/// trajectory change (the paper's propagation question).
+pub fn parse_checkpoint(bytes: &[u8]) -> Result<Vec<Walker>, String> {
+    if bytes.len() < 16 {
+        return Err("checkpoint truncated".into());
+    }
+    if &bytes[..8] != CONFIG_MAGIC {
+        return Err("checkpoint magic mismatch".into());
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if count == 0 || count > 1_000_000 {
+        return Err(format!("implausible walker count {}", count));
+    }
+    let need = 16 + count * 48;
+    if bytes.len() < need {
+        return Err(format!("checkpoint short: {} < {}", bytes.len(), need));
+    }
+    let mut walkers = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = 16 + i * 48;
+        let mut vals = [0.0f64; 6];
+        for (k, v) in vals.iter_mut().enumerate() {
+            *v = f64::from_le_bytes(bytes[base + 8 * k..base + 8 * (k + 1)].try_into().unwrap());
+        }
+        walkers.push(Walker { r1: [vals[0], vals[1], vals[2]], r2: [vals[3], vals[4], vals[5]] });
+    }
+    Ok(walkers)
+}
+
+/// Read and parse the checkpoint from the filesystem.
+pub fn read_checkpoint(fs: &dyn FileSystem, path: &str) -> Result<Vec<Walker>, String> {
+    let bytes = fs.read_to_vec(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
+    parse_checkpoint(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_vfs::MemFs;
+
+    fn rows(n: usize) -> Vec<ScalarRow> {
+        (0..n)
+            .map(|i| ScalarRow {
+                index: i as u64,
+                local_energy: -2.9 + 0.001 * (i % 7) as f64,
+                variance: 0.1,
+                weight: 256.0,
+                accept_ratio: 0.99,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let rs = rows(100);
+        let text = render_scalar(&rs);
+        let parsed = parse_scalar(&text, 10).unwrap();
+        assert_eq!(parsed.rows.len(), 100);
+        assert_eq!(parsed.skipped, 0);
+        for (a, b) in rs.iter().zip(&parsed.rows) {
+            assert_eq!(a.index, b.index);
+            assert!((a.local_energy - b.local_energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn write_read_through_fs() {
+        let fs = MemFs::new();
+        write_scalar(&fs, "/He.s001.scalar.dat", &rows(500)).unwrap();
+        let parsed = read_scalar(&fs, "/He.s001.scalar.dat", 10).unwrap();
+        assert_eq!(parsed.rows.len(), 500);
+    }
+
+    #[test]
+    fn corrupt_header_is_fatal() {
+        let rs = rows(50);
+        let mut text = render_scalar(&rs);
+        text.replace_range(0..1, "X");
+        assert!(parse_scalar(&text, 10).is_err());
+        // Also if LocalEnergy column name is damaged.
+        let text2 = render_scalar(&rs).replace("LocalEnergy", "LocalEnergx");
+        assert!(parse_scalar(&text2, 10).is_err());
+    }
+
+    #[test]
+    fn damaged_rows_are_skipped() {
+        let rs = rows(50);
+        let mut text = render_scalar(&rs);
+        // Corrupt two lines with garbage.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut damaged: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        damaged[10] = "garbage line @@@@".to_string();
+        damaged[20] = damaged[20].replace('e', "X");
+        text = damaged.join("\n");
+        text.push('\n');
+        let parsed = parse_scalar(&text, 10).unwrap();
+        assert_eq!(parsed.rows.len(), 48);
+        assert_eq!(parsed.skipped, 2);
+    }
+
+    #[test]
+    fn nul_hole_lines_are_skipped() {
+        // A dropped interior write leaves a zero-filled hole.
+        let rs = rows(200);
+        let text = render_scalar(&rs);
+        let mut bytes = text.into_bytes();
+        for b in &mut bytes[2000..4000] {
+            *b = 0;
+        }
+        let text = String::from_utf8_lossy(&bytes).to_string();
+        let parsed = parse_scalar(&text, 10).unwrap();
+        assert!(parsed.rows.len() < 200);
+        assert!(parsed.rows.len() > 150);
+    }
+
+    #[test]
+    fn too_few_rows_is_fatal() {
+        let text = render_scalar(&rows(5));
+        assert!(parse_scalar(&text, 10).is_err());
+        assert!(parse_scalar("", 1).is_err());
+    }
+
+    #[test]
+    fn nan_energy_rows_rejected() {
+        let mut text = render_scalar(&rows(20));
+        text.push_str("     20             NaN       1.0e-1       2.56e+02   9.9e-01\n");
+        let parsed = parse_scalar(&text, 10).unwrap();
+        assert_eq!(parsed.rows.len(), 20);
+        assert_eq!(parsed.skipped, 1);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let walkers: Vec<Walker> = (0..100)
+            .map(|i| Walker {
+                r1: [i as f64 * 0.01, 0.5, -0.5],
+                r2: [-0.3, i as f64 * -0.02, 0.7],
+            })
+            .collect();
+        let fs = MemFs::new();
+        write_checkpoint(&fs, "/He.s000.config.dat", &walkers).unwrap();
+        let back = read_checkpoint(&fs, "/He.s000.config.dat").unwrap();
+        assert_eq!(back, walkers);
+    }
+
+    #[test]
+    fn checkpoint_validation() {
+        assert!(parse_checkpoint(b"short").is_err());
+        let mut bad_magic = render_checkpoint(&[Walker { r1: [1.0; 3], r2: [2.0; 3] }]);
+        bad_magic[0] ^= 0xFF;
+        assert!(parse_checkpoint(&bad_magic).is_err());
+        let mut bad_count = render_checkpoint(&[Walker { r1: [1.0; 3], r2: [2.0; 3] }]);
+        bad_count[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(parse_checkpoint(&bad_count).is_err());
+        let truncated = render_checkpoint(&[Walker { r1: [1.0; 3], r2: [2.0; 3] }]);
+        assert!(parse_checkpoint(&truncated[..truncated.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_passes_silent_value_corruption_through() {
+        // Structural parse succeeds even with NaN coordinates — the
+        // *restart* physicality check is where QMCPACK decides.
+        let mut bytes = render_checkpoint(&[Walker { r1: [1.0; 3], r2: [2.0; 3] }]);
+        bytes[16..24].copy_from_slice(&f64::NAN.to_le_bytes());
+        let walkers = parse_checkpoint(&bytes).unwrap();
+        assert!(walkers[0].r1[0].is_nan());
+        assert!(!walkers[0].is_physical());
+    }
+}

@@ -1,0 +1,270 @@
+//! Trial wavefunction for the helium atom.
+//!
+//! The paper's QMCPACK experiment runs Diffusion Monte Carlo on a
+//! single helium atom ("since there is only one electron of each spin,
+//! DMC is supposed to reproduce the exact non-relativistic ground
+//! state energy (−2.90372 Hartree)", §IV-C.2). We use the standard
+//! Padé–Jastrow trial form
+//!
+//! ```text
+//! ψ(r₁, r₂) = exp(−Z(r₁+r₂)) · exp( b·r₁₂ / (1 + a·r₁₂) )
+//! ```
+//!
+//! with the electron–electron cusp `b = 1/2` (antiparallel spins) and
+//! the gradient/Laplacian of `ln ψ` computed analytically, giving the
+//! local energy `E_L = −½ Σᵢ (∇ᵢ² lnψ + |∇ᵢ lnψ|²) + V` with
+//! `V = −2/r₁ − 2/r₂ + 1/r₁₂`.
+
+/// One walker: positions of the two electrons (Bohr).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Walker {
+    /// Electron 1 position.
+    pub r1: [f64; 3],
+    /// Electron 2 position.
+    pub r2: [f64; 3],
+}
+
+impl Walker {
+    /// Distances `(r1, r2, r12)`.
+    pub fn distances(&self) -> (f64, f64, f64) {
+        (norm(self.r1), norm(self.r2), dist(self.r1, self.r2))
+    }
+
+    /// Are all coordinates finite and the electrons separated?
+    pub fn is_physical(&self) -> bool {
+        let all_finite = self
+            .r1
+            .iter()
+            .chain(self.r2.iter())
+            .all(|v| v.is_finite() && v.abs() < 1e3);
+        if !all_finite {
+            return false;
+        }
+        let (a, b, r12) = self.distances();
+        a > 1e-8 && b > 1e-8 && r12 > 1e-8
+    }
+}
+
+fn norm(v: [f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    norm([a[0] - b[0], a[1] - b[1], a[2] - b[2]])
+}
+
+/// Padé–Jastrow helium trial wavefunction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialWavefunction {
+    /// Orbital exponent (nuclear cusp ⇒ Z = 2 for helium).
+    pub z: f64,
+    /// Jastrow strength (e–e cusp ⇒ b = 1/2).
+    pub b: f64,
+    /// Jastrow range parameter (variational).
+    pub a: f64,
+}
+
+impl Default for TrialWavefunction {
+    fn default() -> Self {
+        // a tuned variationally; see the VMC tests.
+        TrialWavefunction { z: 2.0, b: 0.5, a: 0.4 }
+    }
+}
+
+impl TrialWavefunction {
+    /// `ln ψ`.
+    pub fn log_psi(&self, w: &Walker) -> f64 {
+        let (r1, r2, r12) = w.distances();
+        -self.z * (r1 + r2) + self.b * r12 / (1.0 + self.a * r12)
+    }
+
+    /// Jastrow derivative `u'(r)` for `u = b·r/(1+a·r)`.
+    fn u_prime(&self, r12: f64) -> f64 {
+        let d = 1.0 + self.a * r12;
+        self.b / (d * d)
+    }
+
+    /// Jastrow second derivative `u''(r)`.
+    fn u_double_prime(&self, r12: f64) -> f64 {
+        let d = 1.0 + self.a * r12;
+        -2.0 * self.a * self.b / (d * d * d)
+    }
+
+    /// `(∇₁ lnψ, ∇₂ lnψ)` — the drift velocities.
+    pub fn grad_log_psi(&self, w: &Walker) -> ([f64; 3], [f64; 3]) {
+        let (r1, r2, r12) = w.distances();
+        let up = self.u_prime(r12);
+        let mut g1 = [0.0; 3];
+        let mut g2 = [0.0; 3];
+        for k in 0..3 {
+            let rhat1 = w.r1[k] / r1;
+            let rhat2 = w.r2[k] / r2;
+            let rhat12 = (w.r1[k] - w.r2[k]) / r12;
+            g1[k] = -self.z * rhat1 + up * rhat12;
+            g2[k] = -self.z * rhat2 - up * rhat12;
+        }
+        (g1, g2)
+    }
+
+    /// Local energy `E_L(R)`.
+    pub fn local_energy(&self, w: &Walker) -> f64 {
+        let (r1, r2, r12) = w.distances();
+        let up = self.u_prime(r12);
+        let upp = self.u_double_prime(r12);
+        let (g1, g2) = self.grad_log_psi(w);
+        // ∇ᵢ² lnψ = −2Z/rᵢ + (u'' + 2u'/r₁₂)  (the Jastrow part is
+        // symmetric in the two electrons).
+        let lap1 = -2.0 * self.z / r1 + upp + 2.0 * up / r12;
+        let lap2 = -2.0 * self.z / r2 + upp + 2.0 * up / r12;
+        let g1sq: f64 = g1.iter().map(|v| v * v).sum();
+        let g2sq: f64 = g2.iter().map(|v| v * v).sum();
+        let kinetic = -0.5 * (lap1 + g1sq + lap2 + g2sq);
+        let potential = -2.0 / r1 - 2.0 / r2 + 1.0 / r12;
+        kinetic + potential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffis_core::Rng;
+
+    fn random_walker(rng: &mut Rng) -> Walker {
+        Walker {
+            r1: [rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5)],
+            r2: [rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5)],
+        }
+    }
+
+    #[test]
+    fn non_interacting_limit_is_exact() {
+        // With b = 0 and Z = 2, ψ is the exact eigenfunction of the
+        // Hamiltonian *without* the e–e repulsion, with energy −4 Ha:
+        // E_L − 1/r₁₂ must equal −4 for every configuration.
+        let wf = TrialWavefunction { z: 2.0, b: 0.0, a: 0.3 };
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..200 {
+            let w = random_walker(&mut rng);
+            if !w.is_physical() {
+                continue;
+            }
+            let (_, _, r12) = w.distances();
+            let e = wf.local_energy(&w) - 1.0 / r12;
+            assert!((e + 4.0).abs() < 1e-9, "E_L - 1/r12 = {}", e);
+        }
+    }
+
+    #[test]
+    fn hydrogenic_scaling() {
+        // With b = 0 and general Z, the analytic local energy is
+        // E_L = −Z² + (Z−2)(1/r₁ + 1/r₂) + 1/r₁₂ exactly.
+        let wf = TrialWavefunction { z: 1.5, b: 0.0, a: 0.3 };
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..100 {
+            let w = random_walker(&mut rng);
+            if !w.is_physical() {
+                continue;
+            }
+            let (r1, r2, r12) = w.distances();
+            let expect = -1.5 * 1.5 + (1.5 - 2.0) * (1.0 / r1 + 1.0 / r2) + 1.0 / r12;
+            let e = wf.local_energy(&w);
+            assert!((e - expect).abs() < 1e-9, "{} vs {}", e, expect);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let wf = TrialWavefunction::default();
+        let mut rng = Rng::seed_from(3);
+        let h = 1e-6;
+        for _ in 0..50 {
+            let w = random_walker(&mut rng);
+            if !w.is_physical() {
+                continue;
+            }
+            let (g1, g2) = wf.grad_log_psi(&w);
+            for k in 0..3 {
+                let mut wp = w;
+                wp.r1[k] += h;
+                let mut wm = w;
+                wm.r1[k] -= h;
+                let fd = (wf.log_psi(&wp) - wf.log_psi(&wm)) / (2.0 * h);
+                assert!((fd - g1[k]).abs() < 1e-5, "g1[{}]: {} vs {}", k, g1[k], fd);
+                let mut wp = w;
+                wp.r2[k] += h;
+                let mut wm = w;
+                wm.r2[k] -= h;
+                let fd = (wf.log_psi(&wp) - wf.log_psi(&wm)) / (2.0 * h);
+                assert!((fd - g2[k]).abs() < 1e-5, "g2[{}]: {} vs {}", k, g2[k], fd);
+            }
+        }
+    }
+
+    #[test]
+    fn local_energy_matches_finite_difference_laplacian() {
+        let wf = TrialWavefunction::default();
+        let mut rng = Rng::seed_from(4);
+        let h = 1e-4;
+        for _ in 0..20 {
+            let w = random_walker(&mut rng);
+            let (r1, r2, r12) = w.distances();
+            // Keep away from cusps where FD is inaccurate.
+            if r1 < 0.3 || r2 < 0.3 || r12 < 0.3 {
+                continue;
+            }
+            // ∇²ψ/ψ via ln ψ: Σ (lnψ(x+h) + lnψ(x−h) − 2lnψ) / h² + |∇lnψ|².
+            let base = wf.log_psi(&w);
+            let mut lap_ln = 0.0;
+            for e in 0..2 {
+                for k in 0..3 {
+                    let mut wp = w;
+                    let mut wm = w;
+                    if e == 0 {
+                        wp.r1[k] += h;
+                        wm.r1[k] -= h;
+                    } else {
+                        wp.r2[k] += h;
+                        wm.r2[k] -= h;
+                    }
+                    lap_ln += (wf.log_psi(&wp) + wf.log_psi(&wm) - 2.0 * base) / (h * h);
+                }
+            }
+            let (g1, g2) = wf.grad_log_psi(&w);
+            let gsq: f64 = g1.iter().chain(g2.iter()).map(|v| v * v).sum();
+            let e_fd = -0.5 * (lap_ln + gsq) - 2.0 / r1 - 2.0 / r2 + 1.0 / r12;
+            let e = wf.local_energy(&w);
+            assert!((e - e_fd).abs() < 1e-4, "{} vs {}", e, e_fd);
+        }
+    }
+
+    #[test]
+    fn physicality_checks() {
+        let good = Walker { r1: [0.5, 0.0, 0.0], r2: [-0.5, 0.0, 0.0] };
+        assert!(good.is_physical());
+        let coincident = Walker { r1: [0.5, 0.0, 0.0], r2: [0.5, 0.0, 0.0] };
+        assert!(!coincident.is_physical());
+        let on_nucleus = Walker { r1: [0.0, 0.0, 0.0], r2: [0.5, 0.0, 0.0] };
+        assert!(!on_nucleus.is_physical());
+        let nan = Walker { r1: [f64::NAN, 0.0, 0.0], r2: [0.5, 0.0, 0.0] };
+        assert!(!nan.is_physical());
+        let runaway = Walker { r1: [1e6, 0.0, 0.0], r2: [0.5, 0.0, 0.0] };
+        assert!(!runaway.is_physical());
+    }
+
+    #[test]
+    fn cusp_condition_softens_ee_singularity() {
+        // With b = 1/2, E_L stays bounded as r12 -> 0 (the 1/r12
+        // repulsion is cancelled by the Jastrow cusp).
+        let wf = TrialWavefunction::default();
+        let mut prev = f64::NAN;
+        for &eps in &[1e-2, 1e-4, 1e-6] {
+            let w = Walker { r1: [0.8, 0.0, 0.0], r2: [0.8 + eps, 0.0, 0.0] };
+            let e = wf.local_energy(&w);
+            assert!(e.is_finite());
+            if !prev.is_nan() {
+                assert!((e - prev).abs() < 1.0, "E_L diverging near cusp: {} -> {}", prev, e);
+            }
+            prev = e;
+        }
+    }
+}

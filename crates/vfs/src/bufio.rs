@@ -1,0 +1,153 @@
+//! Buffered file I/O over a [`FileSystem`].
+//!
+//! Real HPC applications write their text outputs (`scalar.dat`,
+//! logs, status files) through stdio, which coalesces `fwrite`/`fprintf`
+//! calls into `BUFSIZ`-sized (traditionally 4 KiB) writes before they
+//! reach the filesystem. The paper's fault models act on those
+//! block-sized writes — a shorn write tears a 4 KiB block at 512 B
+//! sector granularity. [`BufFile`] reproduces the stdio behaviour so
+//! text-writing workloads present the same write-size population to the
+//! fault injector as their real counterparts.
+
+use crate::error::FsResult;
+use crate::file::BLOCK_SIZE;
+use crate::fs::{Fd, FileSystem};
+
+/// Write-side buffered file, flushing in `BLOCK_SIZE` units.
+pub struct BufFile<'fs> {
+    fs: &'fs dyn FileSystem,
+    fd: Fd,
+    buf: Vec<u8>,
+    offset: u64,
+    cap: usize,
+}
+
+impl<'fs> BufFile<'fs> {
+    /// Create (truncate) `path` for buffered writing.
+    pub fn create(fs: &'fs dyn FileSystem, path: &str) -> FsResult<Self> {
+        let fd = fs.create(path, 0o644)?;
+        Ok(BufFile { fs, fd, buf: Vec::with_capacity(BLOCK_SIZE), offset: 0, cap: BLOCK_SIZE })
+    }
+
+    /// Create with a custom buffer capacity (tests, ablations).
+    pub fn with_capacity(fs: &'fs dyn FileSystem, path: &str, cap: usize) -> FsResult<Self> {
+        let fd = fs.create(path, 0o644)?;
+        Ok(BufFile { fs, fd, buf: Vec::with_capacity(cap.max(1)), offset: 0, cap: cap.max(1) })
+    }
+
+    /// Append bytes, flushing whenever the buffer reaches capacity.
+    pub fn write_all(&mut self, mut data: &[u8]) -> FsResult<()> {
+        while !data.is_empty() {
+            let room = self.cap - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == self.cap {
+                self.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a UTF-8 string.
+    pub fn write_str(&mut self, s: &str) -> FsResult<()> {
+        self.write_all(s.as_bytes())
+    }
+
+    /// `writeln!`-style formatted line.
+    pub fn write_line(&mut self, s: &str) -> FsResult<()> {
+        self.write_str(s)?;
+        self.write_all(b"\n")
+    }
+
+    /// Flush buffered bytes as one `pwrite`.
+    pub fn flush(&mut self) -> FsResult<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let n = self.fs.pwrite(self.fd, &self.buf, self.offset)?;
+        // The filesystem may lie about n under fault injection (that is
+        // the point); trust the *reported* length like stdio does.
+        self.offset += n as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush, fsync and close.
+    pub fn close(mut self) -> FsResult<()> {
+        self.flush()?;
+        self.fs.fsync(self.fd)?;
+        self.fs.release(self.fd)
+    }
+
+    /// Bytes pushed so far (buffered + flushed).
+    pub fn position(&self) -> u64 {
+        self.offset + self.buf.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FileSystemExt;
+    use crate::memfs::MemFs;
+
+    #[test]
+    fn small_writes_coalesce_into_blocks() {
+        let fs = MemFs::new();
+        {
+            let mut f = BufFile::create(&fs, "/t.txt").unwrap();
+            for i in 0..1000 {
+                f.write_line(&format!("line {}", i)).unwrap();
+            }
+            f.close().unwrap();
+        }
+        let text = fs.read_to_string("/t.txt").unwrap();
+        assert!(text.starts_with("line 0\n"));
+        assert!(text.ends_with("line 999\n"));
+        assert_eq!(text.lines().count(), 1000);
+    }
+
+    #[test]
+    fn flush_boundaries_are_block_sized() {
+        use crate::ffisfs::FfisFs;
+        use crate::counting::TraceInterceptor;
+        use crate::interceptor::Primitive;
+        use std::sync::Arc;
+
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        let trace = Arc::new(TraceInterceptor::new());
+        ffs.attach(trace.clone());
+        {
+            let mut f = BufFile::create(&*ffs, "/t").unwrap();
+            f.write_all(&vec![7u8; BLOCK_SIZE * 2 + 100]).unwrap();
+            f.close().unwrap();
+        }
+        let writes = trace.records_of(Primitive::Write);
+        assert_eq!(writes.len(), 3);
+        assert_eq!(writes[0].len, BLOCK_SIZE);
+        assert_eq!(writes[1].len, BLOCK_SIZE);
+        assert_eq!(writes[2].len, 100);
+    }
+
+    #[test]
+    fn custom_capacity_respected() {
+        let fs = MemFs::new();
+        let mut f = BufFile::with_capacity(&fs, "/c", 8).unwrap();
+        f.write_all(b"0123456789abcdef").unwrap();
+        assert_eq!(f.position(), 16);
+        f.close().unwrap();
+        assert_eq!(fs.read_to_vec("/c").unwrap(), b"0123456789abcdef");
+    }
+
+    #[test]
+    fn position_tracks_buffered_bytes() {
+        let fs = MemFs::new();
+        let mut f = BufFile::create(&fs, "/p").unwrap();
+        f.write_all(b"abc").unwrap();
+        assert_eq!(f.position(), 3);
+        f.flush().unwrap();
+        assert_eq!(f.position(), 3);
+        f.close().unwrap();
+    }
+}

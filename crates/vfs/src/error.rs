@@ -1,0 +1,149 @@
+//! Filesystem error codes.
+//!
+//! Mirrors the errno vocabulary a FUSE filesystem reports back to the
+//! kernel. In the paper's fault/error/failure chain (§II) these are the
+//! *file system failures*: "unsuccessful file operations such as I/O
+//! errors returned to the application".
+
+use std::fmt;
+
+/// Errno-like error returned by every [`crate::FileSystem`] primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsError {
+    /// `ENOENT` — path component does not exist.
+    NotFound,
+    /// `EEXIST` — path already exists (exclusive create, mkdir, mknod).
+    Exists,
+    /// `ENOTDIR` — a non-final path component is not a directory.
+    NotADirectory,
+    /// `EISDIR` — operation requires a regular file but found a directory.
+    IsADirectory,
+    /// `EBADF` — file descriptor is closed or was never issued.
+    BadFd,
+    /// `EINVAL` — malformed argument (bad path, bad flag combination).
+    InvalidArgument,
+    /// `EIO` — low-level I/O failure (the device-level error class).
+    Io,
+    /// `ENOSPC` — filesystem capacity exhausted.
+    NoSpace,
+    /// `ENOTEMPTY` — rmdir on a non-empty directory.
+    NotEmpty,
+    /// `EACCES` — mode bits forbid the requested access.
+    PermissionDenied,
+    /// `EWOULDBLOCK` — advisory lock conflict.
+    Locked,
+    /// `ENODEV` — operation on an unmounted [`crate::FfisFs`].
+    NotMounted,
+    /// `ENAMETOOLONG` — path component exceeds the name limit.
+    NameTooLong,
+    /// `ESPIPE` — seek/positioned I/O on a non-seekable node (FIFO).
+    IllegalSeek,
+    /// `EROFS` — write to a read-only handle.
+    ReadOnly,
+}
+
+impl FsError {
+    /// The conventional Unix errno number, for log-compatibility with
+    /// the paper's FUSE traces.
+    pub fn errno(self) -> i32 {
+        match self {
+            FsError::NotFound => 2,
+            FsError::Exists => 17,
+            FsError::NotADirectory => 20,
+            FsError::IsADirectory => 21,
+            FsError::BadFd => 9,
+            FsError::InvalidArgument => 22,
+            FsError::Io => 5,
+            FsError::NoSpace => 28,
+            FsError::NotEmpty => 39,
+            FsError::PermissionDenied => 13,
+            FsError::Locked => 11,
+            FsError::NotMounted => 19,
+            FsError::NameTooLong => 36,
+            FsError::IllegalSeek => 29,
+            FsError::ReadOnly => 30,
+        }
+    }
+
+    /// Short symbolic name (`"ENOENT"`, ...).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+            FsError::Exists => "EEXIST",
+            FsError::NotADirectory => "ENOTDIR",
+            FsError::IsADirectory => "EISDIR",
+            FsError::BadFd => "EBADF",
+            FsError::InvalidArgument => "EINVAL",
+            FsError::Io => "EIO",
+            FsError::NoSpace => "ENOSPC",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::PermissionDenied => "EACCES",
+            FsError::Locked => "EWOULDBLOCK",
+            FsError::NotMounted => "ENODEV",
+            FsError::NameTooLong => "ENAMETOOLONG",
+            FsError::IllegalSeek => "ESPIPE",
+            FsError::ReadOnly => "EROFS",
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (errno {})", self.symbol(), self.errno())
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias used by every filesystem primitive.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_values_match_unix() {
+        assert_eq!(FsError::NotFound.errno(), 2);
+        assert_eq!(FsError::Io.errno(), 5);
+        assert_eq!(FsError::BadFd.errno(), 9);
+        assert_eq!(FsError::Exists.errno(), 17);
+        assert_eq!(FsError::InvalidArgument.errno(), 22);
+    }
+
+    #[test]
+    fn display_contains_symbol_and_errno() {
+        let s = FsError::NotFound.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let all = [
+            FsError::NotFound,
+            FsError::Exists,
+            FsError::NotADirectory,
+            FsError::IsADirectory,
+            FsError::BadFd,
+            FsError::InvalidArgument,
+            FsError::Io,
+            FsError::NoSpace,
+            FsError::NotEmpty,
+            FsError::PermissionDenied,
+            FsError::Locked,
+            FsError::NotMounted,
+            FsError::NameTooLong,
+            FsError::IllegalSeek,
+            FsError::ReadOnly,
+        ];
+        let mut symbols: Vec<_> = all.iter().map(|e| e.symbol()).collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        assert_eq!(symbols.len(), all.len());
+        let mut errnos: Vec<_> = all.iter().map(|e| e.errno()).collect();
+        errnos.sort_unstable();
+        errnos.dedup();
+        assert_eq!(errnos.len(), all.len());
+    }
+}

@@ -1,0 +1,546 @@
+//! `FfisFs` — the FFISFS mount layer.
+//!
+//! "FFISFS works similarly to what [a] normal FUSE-based file system
+//! does: at the time the FFISFS file system is mounted, the file system
+//! handler is registered with the OS kernel. If an application issues,
+//! for example read/write/stat requests for the mounted FFISFS, the
+//! kernel forwards these IO-requests to the handler" (paper §III-A).
+//!
+//! Here the "kernel forwarding" is a direct trait-object call: the
+//! application holds a `&dyn FileSystem` that happens to be an
+//! [`FfisFs`], which forwards each primitive to the inner filesystem
+//! through the attached [`Interceptor`] chain while maintaining
+//! per-primitive dynamic execution counters. `mount`/`unmount` bracket
+//! each fault-injection run, as in the paper ("in each run, FFISFS
+//! would be mounted and unmounted to mimic the real scenario").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::error::{FsError, FsResult};
+use crate::fs::{DirEntry, Fd, FileSystem, LockKind, Metadata, NodeKind, OpenFlags, StatFs};
+use crate::interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
+
+/// Snapshot of the per-primitive dynamic execution counters — the
+/// output of the paper's I/O profiler stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    counts: [u64; PRIMITIVES.len()],
+}
+
+impl CounterSnapshot {
+    /// Dynamic count for one primitive.
+    pub fn get(&self, p: Primitive) -> u64 {
+        self.counts[p.index()]
+    }
+
+    /// Total calls across all primitives.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterate `(primitive, count)` pairs with non-zero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Primitive, u64)> + '_ {
+        PRIMITIVES
+            .iter()
+            .copied()
+            .map(move |p| (p, self.get(p)))
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+/// The FFISFS mount: an interceptable pass-through [`FileSystem`].
+pub struct FfisFs {
+    inner: Arc<dyn FileSystem>,
+    interceptors: RwLock<Vec<Arc<dyn Interceptor>>>,
+    mounted: AtomicBool,
+    seq: AtomicU64,
+    counters: [AtomicU64; PRIMITIVES.len()],
+    /// fd → path, so fd-addressed primitives (write/pwrite/...) carry
+    /// their target path in the [`CallContext`] — fault signatures can
+    /// then be scoped to specific files, as FFIS scopes injections to
+    /// files residing in the FFISFS mount point.
+    fd_paths: RwLock<HashMap<Fd, String>>,
+}
+
+impl FfisFs {
+    /// Mount FFISFS over an inner filesystem. The returned handle *is*
+    /// a [`FileSystem`]; hand it to the application.
+    pub fn mount(inner: Arc<dyn FileSystem>) -> Arc<Self> {
+        Arc::new(FfisFs {
+            inner,
+            interceptors: RwLock::new(Vec::new()),
+            mounted: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            fd_paths: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Unmount: all subsequent primitives fail with `ENODEV`. Ends an
+    /// injection run; the paper unmounts FFISFS after every run.
+    pub fn unmount(&self) {
+        self.mounted.store(false, Ordering::SeqCst);
+    }
+
+    /// Re-mount after an [`FfisFs::unmount`] (campaigns normally build
+    /// a fresh mount instead, but the lifecycle is reversible).
+    pub fn remount(&self) {
+        self.mounted.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the mount live?
+    pub fn is_mounted(&self) -> bool {
+        self.mounted.load(Ordering::SeqCst)
+    }
+
+    /// Attach an interceptor. Interceptors run in attachment order;
+    /// for write-class calls the first non-`Forward` action wins.
+    pub fn attach(&self, i: Arc<dyn Interceptor>) {
+        self.interceptors.write().unwrap_or_else(|e| e.into_inner()).push(i);
+    }
+
+    /// Detach all interceptors.
+    pub fn clear_interceptors(&self) {
+        self.interceptors.write().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Snapshot the dynamic execution counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for (i, c) in self.counters.iter().enumerate() {
+            snap.counts[i] = c.load(Ordering::SeqCst);
+        }
+        snap
+    }
+
+    /// Borrow the inner filesystem (post-run inspection).
+    pub fn inner(&self) -> &Arc<dyn FileSystem> {
+        &self.inner
+    }
+
+    fn check_mounted(&self) -> FsResult<()> {
+        if self.is_mounted() {
+            Ok(())
+        } else {
+            Err(FsError::NotMounted)
+        }
+    }
+
+    /// Path behind an open descriptor, if tracked.
+    pub fn path_of_fd(&self, fd: Fd) -> Option<String> {
+        self.fd_paths.read().unwrap_or_else(|e| e.into_inner()).get(&fd).cloned()
+    }
+
+    fn track_fd(&self, fd: Fd, path: &str) {
+        self.fd_paths
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fd, crate::path::normalize(path).unwrap_or_else(|_| path.to_string()));
+    }
+
+    fn untrack_fd(&self, fd: Fd) {
+        self.fd_paths.write().unwrap_or_else(|e| e.into_inner()).remove(&fd);
+    }
+
+    /// Count the call and build its context.
+    fn enter(
+        &self,
+        primitive: Primitive,
+        path: Option<&str>,
+        fd: Option<Fd>,
+        offset: Option<u64>,
+        len: usize,
+    ) -> FsResult<CallContext> {
+        self.check_mounted()?;
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let prim_seq = self.counters[primitive.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        let path = path
+            .map(str::to_string)
+            .or_else(|| fd.and_then(|fd| self.path_of_fd(fd)));
+        let cx = CallContext {
+            primitive,
+            seq,
+            prim_seq,
+            path,
+            fd,
+            offset,
+            len,
+        };
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        for i in guards.iter() {
+            i.on_call(&cx);
+        }
+        Ok(cx)
+    }
+
+    /// Run the write-action pipeline: first interceptor that returns a
+    /// non-`Forward` action decides the fate of the buffer.
+    fn write_action(&self, cx: &CallContext, buf: &[u8]) -> WriteAction {
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        for i in guards.iter() {
+            match i.on_write(cx, buf) {
+                WriteAction::Forward => continue,
+                other => return other,
+            }
+        }
+        WriteAction::Forward
+    }
+}
+
+impl FileSystem for FfisFs {
+    fn getattr(&self, path: &str) -> FsResult<Metadata> {
+        self.enter(Primitive::Getattr, Some(path), None, None, 0)?;
+        self.inner.getattr(path)
+    }
+
+    fn mknod(&self, path: &str, kind: NodeKind, mode: u32, dev: u64) -> FsResult<()> {
+        let cx = self.enter(Primitive::Mknod, Some(path), None, None, 0)?;
+        let mut mode = mode;
+        let mut dev = dev;
+        {
+            let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+            for i in guards.iter() {
+                i.on_mknod(&cx, &mut mode, &mut dev);
+            }
+        }
+        self.inner.mknod(path, kind, mode, dev)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> FsResult<()> {
+        self.enter(Primitive::Mkdir, Some(path), None, None, 0)?;
+        self.inner.mkdir(path, mode)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.enter(Primitive::Unlink, Some(path), None, None, 0)?;
+        self.inner.unlink(path)
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.enter(Primitive::Rmdir, Some(path), None, None, 0)?;
+        self.inner.rmdir(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.enter(Primitive::Rename, Some(from), None, None, 0)?;
+        self.inner.rename(from, to)
+    }
+
+    fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
+        let cx = self.enter(Primitive::Chmod, Some(path), None, None, 0)?;
+        let mut mode = mode;
+        {
+            let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+            for i in guards.iter() {
+                i.on_chmod(&cx, &mut mode);
+            }
+        }
+        self.inner.chmod(path, mode)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let cx = self.enter(Primitive::Truncate, Some(path), None, None, 0)?;
+        let mut size = size;
+        {
+            let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+            for i in guards.iter() {
+                i.on_truncate(&cx, &mut size);
+            }
+        }
+        self.inner.truncate(path, size)
+    }
+
+    fn create(&self, path: &str, mode: u32) -> FsResult<Fd> {
+        self.enter(Primitive::Create, Some(path), None, None, 0)?;
+        let fd = self.inner.create(path, mode)?;
+        self.track_fd(fd, path);
+        Ok(fd)
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        self.enter(Primitive::Open, Some(path), None, None, 0)?;
+        let fd = self.inner.open(path, flags)?;
+        self.track_fd(fd, path);
+        Ok(fd)
+    }
+
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let cx = self.enter(Primitive::Read, None, Some(fd), None, buf.len())?;
+        let n = self.inner.read(fd, buf)?;
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        for i in guards.iter() {
+            i.on_read_data(&cx, buf, n);
+        }
+        Ok(n)
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
+        let cx = self.enter(Primitive::Read, None, Some(fd), Some(offset), buf.len())?;
+        let n = self.inner.pread(fd, buf, offset)?;
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        for i in guards.iter() {
+            i.on_read_data(&cx, buf, n);
+        }
+        Ok(n)
+    }
+
+    fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
+        let cx = self.enter(Primitive::Write, None, Some(fd), None, buf.len())?;
+        match self.write_action(&cx, buf) {
+            WriteAction::Forward => self.inner.write(fd, buf),
+            WriteAction::Replace { buf: replaced, reported_len } => {
+                self.inner.write(fd, &replaced)?;
+                Ok(reported_len)
+            }
+            WriteAction::Drop { reported_len } => Ok(reported_len),
+        }
+    }
+
+    fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
+        let cx = self.enter(Primitive::Write, None, Some(fd), Some(offset), buf.len())?;
+        match self.write_action(&cx, buf) {
+            WriteAction::Forward => self.inner.pwrite(fd, buf, offset),
+            WriteAction::Replace { buf: replaced, reported_len } => {
+                self.inner.pwrite(fd, &replaced, offset)?;
+                Ok(reported_len)
+            }
+            WriteAction::Drop { reported_len } => Ok(reported_len),
+        }
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.enter(Primitive::Fsync, None, Some(fd), None, 0)?;
+        self.inner.fsync(fd)
+    }
+
+    fn release(&self, fd: Fd) -> FsResult<()> {
+        self.enter(Primitive::Release, None, Some(fd), None, 0)?;
+        let r = self.inner.release(fd);
+        if r.is_ok() {
+            self.untrack_fd(fd);
+        }
+        r
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.enter(Primitive::Readdir, Some(path), None, None, 0)?;
+        self.inner.readdir(path)
+    }
+
+    fn statfs(&self) -> FsResult<StatFs> {
+        self.enter(Primitive::Statfs, None, None, None, 0)?;
+        self.inner.statfs()
+    }
+
+    fn lock(&self, fd: Fd, kind: LockKind) -> FsResult<()> {
+        self.enter(Primitive::Lock, None, Some(fd), None, 0)?;
+        self.inner.lock(fd, kind)
+    }
+
+    fn unlock(&self, fd: Fd) -> FsResult<()> {
+        self.enter(Primitive::Unlock, None, Some(fd), None, 0)?;
+        self.inner.unlock(fd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FileSystemExt;
+    use crate::memfs::MemFs;
+    use std::sync::Mutex;
+
+    fn mounted() -> Arc<FfisFs> {
+        FfisFs::mount(Arc::new(MemFs::new()))
+    }
+
+    #[test]
+    fn passthrough_when_no_interceptor() {
+        let fs = mounted();
+        fs.write_file("/a", b"payload").unwrap();
+        assert_eq!(fs.read_to_vec("/a").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn counters_track_primitives() {
+        let fs = mounted();
+        fs.write_file_chunked("/a", &[0u8; 10], 2).unwrap(); // create + 5 pwrites + fsync + release
+        let snap = fs.counters();
+        assert_eq!(snap.get(Primitive::Create), 1);
+        assert_eq!(snap.get(Primitive::Write), 5);
+        assert_eq!(snap.get(Primitive::Fsync), 1);
+        assert_eq!(snap.get(Primitive::Release), 1);
+        assert_eq!(snap.get(Primitive::Mknod), 0);
+        assert!(snap.total() >= 8);
+        let nz: Vec<_> = snap.nonzero().collect();
+        assert!(nz.contains(&(Primitive::Write, 5)));
+    }
+
+    #[test]
+    fn unmount_fails_all_primitives() {
+        let fs = mounted();
+        fs.write_file("/a", b"x").unwrap();
+        fs.unmount();
+        assert_eq!(fs.getattr("/a"), Err(FsError::NotMounted));
+        assert_eq!(fs.create("/b", 0o644), Err(FsError::NotMounted));
+        fs.remount();
+        assert!(fs.getattr("/a").is_ok());
+    }
+
+    /// Interceptor that replaces byte 0 of the Nth write with 0xFF.
+    struct FlipFirstByte {
+        target: u64,
+        fired: Mutex<bool>,
+    }
+
+    impl Interceptor for FlipFirstByte {
+        fn on_write(&self, cx: &CallContext, buf: &[u8]) -> WriteAction {
+            if cx.prim_seq == self.target && !buf.is_empty() {
+                *self.fired.lock().unwrap() = true;
+                let mut b = buf.to_vec();
+                b[0] = 0xFF;
+                return WriteAction::Replace { buf: b, reported_len: buf.len() };
+            }
+            WriteAction::Forward
+        }
+    }
+
+    #[test]
+    fn replace_action_corrupts_silently() {
+        let fs = mounted();
+        let flip = Arc::new(FlipFirstByte { target: 2, fired: Mutex::new(false) });
+        fs.attach(flip.clone());
+        let fd = fs.create("/f", 0o644).unwrap();
+        assert_eq!(fs.pwrite(fd, b"AA", 0).unwrap(), 2);
+        // Second write gets corrupted but still reports success (silent).
+        assert_eq!(fs.pwrite(fd, b"BB", 2).unwrap(), 2);
+        fs.release(fd).unwrap();
+        assert!(*flip.fired.lock().unwrap());
+        assert_eq!(fs.read_to_vec("/f").unwrap(), b"AA\xFFB");
+    }
+
+    struct DropAll;
+    impl Interceptor for DropAll {
+        fn on_write(&self, _cx: &CallContext, buf: &[u8]) -> WriteAction {
+            WriteAction::Drop { reported_len: buf.len() }
+        }
+    }
+
+    #[test]
+    fn drop_action_skips_device_write_but_reports_success() {
+        let fs = mounted();
+        fs.attach(Arc::new(DropAll));
+        let fd = fs.create("/f", 0o644).unwrap();
+        assert_eq!(fs.pwrite(fd, b"disappears", 0).unwrap(), 10);
+        fs.release(fd).unwrap();
+        assert_eq!(fs.getattr("/f").unwrap().size, 0);
+    }
+
+    struct ModeZeroer;
+    impl Interceptor for ModeZeroer {
+        fn on_mknod(&self, _cx: &CallContext, mode: &mut u32, _dev: &mut u64) {
+            *mode = 0;
+        }
+        fn on_chmod(&self, _cx: &CallContext, mode: &mut u32) {
+            *mode |= 0o111;
+        }
+        fn on_truncate(&self, _cx: &CallContext, size: &mut u64) {
+            *size += 1;
+        }
+    }
+
+    #[test]
+    fn param_hooks_rewrite_scalars() {
+        let fs = mounted();
+        fs.attach(Arc::new(ModeZeroer));
+        fs.mknod("/n", NodeKind::File, 0o644, 0).unwrap();
+        assert_eq!(fs.getattr("/n").unwrap().mode, 0);
+        fs.chmod("/n", 0o600).unwrap();
+        assert_eq!(fs.getattr("/n").unwrap().mode, 0o711);
+        fs.truncate("/n", 4).unwrap();
+        assert_eq!(fs.getattr("/n").unwrap().size, 5);
+    }
+
+    #[test]
+    fn first_nonforward_interceptor_wins() {
+        struct A;
+        impl Interceptor for A {
+            fn on_write(&self, _cx: &CallContext, _buf: &[u8]) -> WriteAction {
+                WriteAction::Drop { reported_len: 3 }
+            }
+        }
+        struct B;
+        impl Interceptor for B {
+            fn on_write(&self, _cx: &CallContext, buf: &[u8]) -> WriteAction {
+                WriteAction::Replace { buf: buf.to_vec(), reported_len: 99 }
+            }
+        }
+        let fs = mounted();
+        fs.attach(Arc::new(A));
+        fs.attach(Arc::new(B));
+        let fd = fs.create("/f", 0o644).unwrap();
+        assert_eq!(fs.pwrite(fd, b"xyz", 0).unwrap(), 3); // A's Drop wins
+        fs.release(fd).unwrap();
+        assert_eq!(fs.getattr("/f").unwrap().size, 0);
+    }
+
+    #[test]
+    fn sequential_write_also_intercepted() {
+        let fs = mounted();
+        fs.attach(Arc::new(DropAll));
+        let fd = fs.create("/s", 0o644).unwrap();
+        assert_eq!(fs.write(fd, b"gone").unwrap(), 4);
+        fs.release(fd).unwrap();
+        assert_eq!(fs.getattr("/s").unwrap().size, 0);
+        // Both write entry points count as the Write primitive.
+        assert_eq!(fs.counters().get(Primitive::Write), 1);
+    }
+
+    #[test]
+    fn read_and_pread_count_as_read() {
+        let fs = mounted();
+        fs.write_file("/r", b"abcdef").unwrap();
+        let fd = fs.open("/r", OpenFlags::read_only()).unwrap();
+        let mut b = [0u8; 2];
+        fs.read(fd, &mut b).unwrap();
+        fs.pread(fd, &mut b, 4).unwrap();
+        fs.release(fd).unwrap();
+        assert_eq!(fs.counters().get(Primitive::Read), 2);
+    }
+
+    #[test]
+    fn clear_interceptors_restores_passthrough() {
+        let fs = mounted();
+        fs.attach(Arc::new(DropAll));
+        fs.clear_interceptors();
+        fs.write_file("/x", b"kept").unwrap();
+        assert_eq!(fs.read_to_vec("/x").unwrap(), b"kept");
+    }
+
+    #[test]
+    fn fd_paths_tracked_for_write_contexts() {
+        use crate::counting::TraceInterceptor;
+        let fs = mounted();
+        let trace = Arc::new(TraceInterceptor::new());
+        fs.attach(trace.clone());
+        let fd = fs.create("/deep.h5", 0o644).unwrap();
+        fs.pwrite(fd, b"1234", 0).unwrap();
+        fs.release(fd).unwrap();
+        let writes = trace.records_of(Primitive::Write);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].path.as_deref(), Some("/deep.h5"));
+        // After release the mapping is gone.
+        assert_eq!(fs.path_of_fd(fd), None);
+    }
+
+    #[test]
+    fn inner_is_reachable_for_inspection() {
+        let mem = Arc::new(MemFs::new());
+        let fs = FfisFs::mount(mem.clone());
+        fs.write_file("/a", b"z").unwrap();
+        assert_eq!(mem.snapshot("/a").unwrap(), b"z");
+        assert_eq!(fs.inner().getattr("/a").unwrap().size, 1);
+    }
+}

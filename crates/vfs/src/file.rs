@@ -1,0 +1,206 @@
+//! Sector-granular file contents.
+//!
+//! SSD partial failures manifest at physical granularities: the paper's
+//! SHORN WRITE model (§III-B, Table I) "completely write[s] the first
+//! 3/8th ... or first 7/8th of [a] 4KB block to the device at the
+//! granularity of 512B". [`SectorFile`] therefore tracks file contents
+//! as a flat byte store but exposes the 512-byte sector / 4-KiB block
+//! geometry so fault models can align their damage the way a real flash
+//! translation layer would.
+
+use crate::error::{FsError, FsResult};
+
+/// Device sector size (bytes). Shorn writes tear at this granularity.
+pub const SECTOR_SIZE: usize = 512;
+
+/// Flash page / filesystem block size (bytes): 8 sectors.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Hard capacity limit for a single file in the in-memory store. Large
+/// enough for every workload in the paper reproduction (hundreds of MB)
+/// while catching runaway writes caused by corrupted size fields.
+pub const MAX_FILE_SIZE: u64 = 1 << 32; // 4 GiB
+
+/// Byte-addressable file content with sector geometry.
+///
+/// Semantics follow POSIX regular files:
+/// * writes past EOF zero-fill the gap (sparse-file behaviour),
+/// * reads past EOF are short,
+/// * `truncate` both shrinks and grows (growing zero-fills).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectorFile {
+    data: Vec<u8>,
+}
+
+impl SectorFile {
+    /// Empty file.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// File pre-populated with `data`.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// True when the file holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of whole-or-partial sectors the content occupies.
+    pub fn sectors(&self) -> u64 {
+        self.len().div_ceil(SECTOR_SIZE as u64)
+    }
+
+    /// Number of whole-or-partial blocks the content occupies.
+    pub fn blocks(&self) -> u64 {
+        self.len().div_ceil(BLOCK_SIZE as u64)
+    }
+
+    /// Write `buf` at byte `offset`, zero-filling any gap past EOF.
+    /// Returns the number of bytes written (always `buf.len()` unless
+    /// the capacity limit trips).
+    pub fn write_at(&mut self, buf: &[u8], offset: u64) -> FsResult<usize> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .ok_or(FsError::InvalidArgument)?;
+        if end > MAX_FILE_SIZE {
+            return Err(FsError::NoSpace);
+        }
+        let end = end as usize;
+        let offset = offset as usize;
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[offset..end].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    /// Read into `buf` from byte `offset`. Returns bytes read; short at
+    /// EOF, zero when `offset` is at or past EOF (POSIX `pread`).
+    pub fn read_at(&self, buf: &mut [u8], offset: u64) -> usize {
+        let len = self.data.len() as u64;
+        if offset >= len {
+            return 0;
+        }
+        let avail = (len - offset) as usize;
+        let n = avail.min(buf.len());
+        let offset = offset as usize;
+        buf[..n].copy_from_slice(&self.data[offset..offset + n]);
+        n
+    }
+
+    /// Resize to `size` bytes: shrink drops the tail, grow zero-fills.
+    pub fn truncate(&mut self, size: u64) -> FsResult<()> {
+        if size > MAX_FILE_SIZE {
+            return Err(FsError::NoSpace);
+        }
+        self.data.resize(size as usize, 0);
+        Ok(())
+    }
+
+    /// Borrow the full contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume into the raw byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(BLOCK_SIZE, 8 * SECTOR_SIZE);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut f = SectorFile::new();
+        assert_eq!(f.write_at(b"abcdef", 0).unwrap(), 6);
+        let mut buf = [0u8; 6];
+        assert_eq!(f.read_at(&mut buf, 0), 6);
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn sparse_write_zero_fills_gap() {
+        let mut f = SectorFile::new();
+        f.write_at(b"xy", 10).unwrap();
+        assert_eq!(f.len(), 12);
+        let mut buf = [0xffu8; 12];
+        assert_eq!(f.read_at(&mut buf, 0), 12);
+        assert_eq!(&buf[..10], &[0u8; 10]);
+        assert_eq!(&buf[10..], b"xy");
+    }
+
+    #[test]
+    fn read_past_eof_is_short_then_empty() {
+        let mut f = SectorFile::new();
+        f.write_at(b"hello", 0).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(&mut buf, 3), 2);
+        assert_eq!(&buf[..2], b"lo");
+        assert_eq!(f.read_at(&mut buf, 5), 0);
+        assert_eq!(f.read_at(&mut buf, 500), 0);
+    }
+
+    #[test]
+    fn overwrite_middle() {
+        let mut f = SectorFile::from_bytes(b"aaaaaaaa".to_vec());
+        f.write_at(b"BB", 3).unwrap();
+        assert_eq!(f.as_bytes(), b"aaaBBaaa");
+    }
+
+    #[test]
+    fn truncate_shrinks_and_grows() {
+        let mut f = SectorFile::from_bytes(vec![7u8; 100]);
+        f.truncate(10).unwrap();
+        assert_eq!(f.len(), 10);
+        f.truncate(20).unwrap();
+        assert_eq!(f.len(), 20);
+        assert_eq!(&f.as_bytes()[10..], &[0u8; 10]);
+        assert_eq!(&f.as_bytes()[..10], &[7u8; 10]);
+    }
+
+    #[test]
+    fn sector_and_block_accounting() {
+        let mut f = SectorFile::new();
+        assert_eq!(f.sectors(), 0);
+        assert_eq!(f.blocks(), 0);
+        f.write_at(&[0u8; 1], 0).unwrap();
+        assert_eq!(f.sectors(), 1);
+        assert_eq!(f.blocks(), 1);
+        f.truncate(SECTOR_SIZE as u64).unwrap();
+        assert_eq!(f.sectors(), 1);
+        f.truncate(SECTOR_SIZE as u64 + 1).unwrap();
+        assert_eq!(f.sectors(), 2);
+        f.truncate(BLOCK_SIZE as u64 * 3).unwrap();
+        assert_eq!(f.blocks(), 3);
+        assert_eq!(f.sectors(), 24);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut f = SectorFile::new();
+        assert_eq!(f.write_at(b"x", MAX_FILE_SIZE), Err(FsError::NoSpace));
+        assert_eq!(f.truncate(MAX_FILE_SIZE + 1), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn offset_overflow_rejected() {
+        let mut f = SectorFile::new();
+        assert_eq!(f.write_at(b"abc", u64::MAX - 1), Err(FsError::InvalidArgument));
+    }
+}

@@ -1,0 +1,314 @@
+//! The `FileSystem` trait: the FUSE primitive vocabulary.
+//!
+//! Table I of the paper lists the FUSE primitives FFIS instruments
+//! (`FFIS_write`, `FFIS_mknod`, `FFIS_chmod`, ...). This trait is that
+//! vocabulary as an object-safe Rust trait; applications talk to
+//! `&dyn FileSystem` and therefore run unmodified on either the bare
+//! [`crate::MemFs`] or a fault-injected [`crate::FfisFs`] mount —
+//! the paper's transparency requirement (R1) and deployment-convenience
+//! requirement (R2).
+
+use crate::error::{FsError, FsResult};
+
+/// File descriptor handed out by `open`/`create`.
+pub type Fd = u64;
+
+/// Kind of filesystem node. `mknod` can create any non-directory kind,
+/// matching the FUSE callback of the same name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Named pipe (`mkfifo`).
+    Fifo,
+    /// Character device node.
+    CharDev,
+    /// Block device node.
+    BlockDev,
+}
+
+impl NodeKind {
+    /// True for kinds that carry byte contents.
+    pub fn has_data(self) -> bool {
+        matches!(self, NodeKind::File)
+    }
+}
+
+/// Open flags. A plain struct rather than a bitfield so invalid
+/// combinations are caught at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFlags {
+    /// Allow reads through the returned descriptor.
+    pub read: bool,
+    /// Allow writes through the returned descriptor.
+    pub write: bool,
+    /// Create the file if missing (`O_CREAT`).
+    pub create: bool,
+    /// Truncate to zero length on open (`O_TRUNC`).
+    pub truncate: bool,
+    /// All writes append at EOF (`O_APPEND`).
+    pub append: bool,
+    /// With `create`: fail if the file exists (`O_EXCL`).
+    pub excl: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> Self {
+        OpenFlags { read: true, write: false, create: false, truncate: false, append: false, excl: false }
+    }
+
+    /// `O_WRONLY`.
+    pub fn write_only() -> Self {
+        OpenFlags { read: false, write: true, create: false, truncate: false, append: false, excl: false }
+    }
+
+    /// `O_RDWR`.
+    pub fn read_write() -> Self {
+        OpenFlags { read: true, write: true, create: false, truncate: false, append: false, excl: false }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_TRUNC` — the classic "create for writing".
+    pub fn create_truncate() -> Self {
+        OpenFlags { read: false, write: true, create: true, truncate: true, append: false, excl: false }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_APPEND` — log-file style.
+    pub fn append() -> Self {
+        OpenFlags { read: false, write: true, create: true, truncate: false, append: true, excl: false }
+    }
+
+    /// Validate the combination.
+    pub fn validate(&self) -> FsResult<()> {
+        if !self.read && !self.write {
+            return Err(FsError::InvalidArgument);
+        }
+        if self.excl && !self.create {
+            return Err(FsError::InvalidArgument);
+        }
+        if (self.truncate || self.append) && !self.write {
+            return Err(FsError::InvalidArgument);
+        }
+        Ok(())
+    }
+}
+
+/// `stat`-style node metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: u64,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Size in bytes (0 for non-file kinds).
+    pub size: u64,
+    /// Permission bits (e.g. `0o644`).
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// Modification stamp (logical clock ticks, not wall time —
+    /// campaigns must be bitwise reproducible).
+    pub mtime: u64,
+    /// Device number for device nodes, 0 otherwise.
+    pub rdev: u64,
+}
+
+/// One `readdir` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (single component).
+    pub name: String,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Inode number.
+    pub ino: u64,
+}
+
+/// `statfs` summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatFs {
+    /// Total bytes stored across all regular files.
+    pub bytes_used: u64,
+    /// Number of inodes in the filesystem.
+    pub inodes: u64,
+    /// Device block size.
+    pub block_size: u64,
+}
+
+/// Advisory lock kinds (`flock`-style). The HDF5 writer takes an
+/// exclusive lock for the duration of file creation (paper §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Shared (read) lock; multiple holders allowed.
+    Shared,
+    /// Exclusive (write) lock; sole holder.
+    Exclusive,
+}
+
+/// The FUSE primitive vocabulary as an object-safe trait.
+///
+/// Every method corresponds to a FUSE callback the paper's FFISFS
+/// implements; [`crate::FfisFs`] interposes on each of them.
+pub trait FileSystem: Send + Sync {
+    /// `getattr` — stat a path.
+    fn getattr(&self, path: &str) -> FsResult<Metadata>;
+    /// `mknod` — create a file/FIFO/device node.
+    fn mknod(&self, path: &str, kind: NodeKind, mode: u32, dev: u64) -> FsResult<()>;
+    /// `mkdir`.
+    fn mkdir(&self, path: &str, mode: u32) -> FsResult<()>;
+    /// `unlink` — remove a non-directory node.
+    fn unlink(&self, path: &str) -> FsResult<()>;
+    /// `rmdir` — remove an empty directory.
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+    /// `rename` — move/replace.
+    fn rename(&self, from: &str, to: &str) -> FsResult<()>;
+    /// `chmod` — change permission bits.
+    fn chmod(&self, path: &str, mode: u32) -> FsResult<()>;
+    /// `truncate` by path.
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()>;
+    /// `create` — create-and-open a regular file for writing
+    /// (`O_WRONLY|O_CREAT|O_TRUNC` semantics).
+    fn create(&self, path: &str, mode: u32) -> FsResult<Fd>;
+    /// `open` an existing node (or create per flags).
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd>;
+    /// Sequential `read` at the descriptor cursor.
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize>;
+    /// Positioned read (`pread`); does not move the cursor.
+    fn pread(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize>;
+    /// Sequential `write` at the descriptor cursor (or EOF with append).
+    fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize>;
+    /// Positioned write (`pwrite`); does not move the cursor. This is
+    /// the primitive the paper's fault models target (§IV-B).
+    fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize>;
+    /// `fsync` — flush (a no-op barrier for the in-memory store, but
+    /// counted: it is an instrumentable primitive).
+    fn fsync(&self, fd: Fd) -> FsResult<()>;
+    /// `release` — close the descriptor, dropping any lock it holds.
+    fn release(&self, fd: Fd) -> FsResult<()>;
+    /// `readdir` — list a directory (sorted by name).
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>>;
+    /// `statfs`.
+    fn statfs(&self) -> FsResult<StatFs>;
+    /// Acquire an advisory lock on the node behind `fd`.
+    fn lock(&self, fd: Fd, kind: LockKind) -> FsResult<()>;
+    /// Release the advisory lock held via `fd`.
+    fn unlock(&self, fd: Fd) -> FsResult<()>;
+}
+
+/// Convenience operations composed from the primitive vocabulary.
+///
+/// These helpers are *not* part of the instrumentable surface — they
+/// expand to primitive calls, each of which is individually intercepted
+/// and counted, exactly like `libc` wrappers over syscalls.
+pub trait FileSystemExt: FileSystem {
+    /// Read an entire file into memory.
+    fn read_to_vec(&self, path: &str) -> FsResult<Vec<u8>> {
+        let meta = self.getattr(path)?;
+        if meta.kind != NodeKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        let fd = self.open(path, OpenFlags::read_only())?;
+        let mut out = vec![0u8; meta.size as usize];
+        let mut done = 0usize;
+        while done < out.len() {
+            let n = self.pread(fd, &mut out[done..], done as u64)?;
+            if n == 0 {
+                out.truncate(done);
+                break;
+            }
+            done += n;
+        }
+        self.release(fd)?;
+        Ok(out)
+    }
+
+    /// Create `path` and write `data` in `chunk`-byte `pwrite` calls.
+    ///
+    /// HPC I/O libraries issue many block-sized writes; writing in
+    /// chunks gives the fault injector a realistic population of write
+    /// instances to sample from (requirement R4: uniform coverage over
+    /// the set of file operations).
+    fn write_file_chunked(&self, path: &str, data: &[u8], chunk: usize) -> FsResult<()> {
+        let chunk = chunk.max(1);
+        let fd = self.create(path, 0o644)?;
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + chunk).min(data.len());
+            let n = self.pwrite(fd, &data[off..end], off as u64)?;
+            if n == 0 {
+                self.release(fd)?;
+                return Err(FsError::Io);
+            }
+            off += n;
+        }
+        self.fsync(fd)?;
+        self.release(fd)?;
+        Ok(())
+    }
+
+    /// Whole-file write in a single `pwrite`.
+    fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        self.write_file_chunked(path, data, data.len().max(1))
+    }
+
+    /// Does the path exist?
+    fn exists(&self, path: &str) -> bool {
+        self.getattr(path).is_ok()
+    }
+
+    /// Read a UTF-8 text file.
+    fn read_to_string(&self, path: &str) -> FsResult<String> {
+        String::from_utf8(self.read_to_vec(path)?).map_err(|_| FsError::Io)
+    }
+
+    /// Recursively create directories (like `mkdir -p`).
+    fn mkdir_all(&self, path: &str) -> FsResult<()> {
+        let comps = crate::path::components(path)?;
+        let mut cur = String::new();
+        for c in &comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.mkdir(&cur, 0o755) {
+                Ok(()) | Err(FsError::Exists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: FileSystem + ?Sized> FileSystemExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_validation() {
+        assert!(OpenFlags::read_only().validate().is_ok());
+        assert!(OpenFlags::write_only().validate().is_ok());
+        assert!(OpenFlags::read_write().validate().is_ok());
+        assert!(OpenFlags::create_truncate().validate().is_ok());
+        assert!(OpenFlags::append().validate().is_ok());
+
+        let no_access = OpenFlags { read: false, write: false, create: false, truncate: false, append: false, excl: false };
+        assert_eq!(no_access.validate(), Err(FsError::InvalidArgument));
+
+        let excl_without_create = OpenFlags { excl: true, ..OpenFlags::read_write() };
+        assert_eq!(excl_without_create.validate(), Err(FsError::InvalidArgument));
+
+        let trunc_readonly = OpenFlags { truncate: true, ..OpenFlags::read_only() };
+        assert_eq!(trunc_readonly.validate(), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn node_kind_data() {
+        assert!(NodeKind::File.has_data());
+        assert!(!NodeKind::Dir.has_data());
+        assert!(!NodeKind::Fifo.has_data());
+        assert!(!NodeKind::CharDev.has_data());
+        assert!(!NodeKind::BlockDev.has_data());
+    }
+}

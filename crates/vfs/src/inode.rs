@@ -1,0 +1,167 @@
+//! Inode table for the in-memory filesystem.
+
+use std::collections::BTreeMap;
+
+use crate::file::SectorFile;
+use crate::fs::{Metadata, NodeKind};
+
+/// Inode number type.
+pub type Ino = u64;
+
+/// Root directory inode number (FUSE convention).
+pub const ROOT_INO: Ino = 1;
+
+/// Node payload: byte contents for files, name→ino map for directories
+/// (a `BTreeMap` so `readdir` is deterministically sorted), nothing for
+/// special nodes.
+#[derive(Debug, Clone)]
+pub enum NodeData {
+    /// Regular file bytes.
+    Bytes(SectorFile),
+    /// Directory entries.
+    Dir(BTreeMap<String, Ino>),
+    /// FIFO / device node — no stored bytes.
+    None,
+}
+
+/// One inode.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: Ino,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Permission bits.
+    pub mode: u32,
+    /// Link count (parent directory references).
+    pub nlink: u32,
+    /// Logical modification stamp.
+    pub mtime: u64,
+    /// Device number for device nodes.
+    pub rdev: u64,
+    /// Payload.
+    pub data: NodeData,
+}
+
+impl Inode {
+    /// New regular file.
+    pub fn file(ino: Ino, mode: u32, mtime: u64) -> Self {
+        Inode { ino, kind: NodeKind::File, mode, nlink: 1, mtime, rdev: 0, data: NodeData::Bytes(SectorFile::new()) }
+    }
+
+    /// New directory.
+    pub fn dir(ino: Ino, mode: u32, mtime: u64) -> Self {
+        Inode { ino, kind: NodeKind::Dir, mode, nlink: 2, mtime, rdev: 0, data: NodeData::Dir(BTreeMap::new()) }
+    }
+
+    /// New special node (FIFO or device).
+    pub fn special(ino: Ino, kind: NodeKind, mode: u32, rdev: u64, mtime: u64) -> Self {
+        debug_assert!(matches!(kind, NodeKind::Fifo | NodeKind::CharDev | NodeKind::BlockDev));
+        Inode { ino, kind, mode, nlink: 1, mtime, rdev, data: NodeData::None }
+    }
+
+    /// Byte size (0 for non-files).
+    pub fn size(&self) -> u64 {
+        match &self.data {
+            NodeData::Bytes(f) => f.len(),
+            _ => 0,
+        }
+    }
+
+    /// Contents as a file, if this is a regular file.
+    pub fn as_file(&self) -> Option<&SectorFile> {
+        match &self.data {
+            NodeData::Bytes(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Mutable contents, if this is a regular file.
+    pub fn as_file_mut(&mut self) -> Option<&mut SectorFile> {
+        match &mut self.data {
+            NodeData::Bytes(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Directory map, if this is a directory.
+    pub fn as_dir(&self) -> Option<&BTreeMap<String, Ino>> {
+        match &self.data {
+            NodeData::Dir(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Mutable directory map, if this is a directory.
+    pub fn as_dir_mut(&mut self) -> Option<&mut BTreeMap<String, Ino>> {
+        match &mut self.data {
+            NodeData::Dir(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Snapshot `stat` metadata.
+    pub fn metadata(&self) -> Metadata {
+        Metadata {
+            ino: self.ino,
+            kind: self.kind,
+            size: self.size(),
+            mode: self.mode,
+            nlink: self.nlink,
+            mtime: self.mtime,
+            rdev: self.rdev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_inode_basics() {
+        let mut ino = Inode::file(5, 0o600, 7);
+        assert_eq!(ino.size(), 0);
+        ino.as_file_mut().unwrap().write_at(b"abc", 0).unwrap();
+        assert_eq!(ino.size(), 3);
+        let m = ino.metadata();
+        assert_eq!(m.ino, 5);
+        assert_eq!(m.mode, 0o600);
+        assert_eq!(m.size, 3);
+        assert_eq!(m.mtime, 7);
+        assert_eq!(m.kind, NodeKind::File);
+        assert!(ino.as_dir().is_none());
+    }
+
+    #[test]
+    fn dir_inode_basics() {
+        let mut d = Inode::dir(1, 0o755, 0);
+        assert!(d.as_file().is_none());
+        d.as_dir_mut().unwrap().insert("a".into(), 2);
+        d.as_dir_mut().unwrap().insert("b".into(), 3);
+        assert_eq!(d.as_dir().unwrap().len(), 2);
+        assert_eq!(d.size(), 0);
+        assert_eq!(d.metadata().nlink, 2);
+    }
+
+    #[test]
+    fn special_inode_basics() {
+        let f = Inode::special(9, NodeKind::Fifo, 0o644, 0, 0);
+        assert_eq!(f.size(), 0);
+        assert!(f.as_file().is_none());
+        assert!(f.as_dir().is_none());
+        let c = Inode::special(10, NodeKind::CharDev, 0o644, 0x0501, 0);
+        assert_eq!(c.metadata().rdev, 0x0501);
+    }
+
+    #[test]
+    fn dir_entries_sorted() {
+        let mut d = Inode::dir(1, 0o755, 0);
+        let m = d.as_dir_mut().unwrap();
+        m.insert("zeta".into(), 4);
+        m.insert("alpha".into(), 2);
+        m.insert("mid".into(), 3);
+        let names: Vec<_> = d.as_dir().unwrap().keys().cloned().collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Interception points on the FFISFS I/O path.
+//!
+//! Figure 3 of the paper shows FFIS "instrumenting" FUSE primitives:
+//! the `FFIS_write` callback may modify the `buffer`, `size` and
+//! `offset` parameters before forwarding to `pwrite`; `FFIS_mknod` may
+//! modify `mode` and `dev` before forwarding to `mknod`/`mkfifo`.
+//! The [`Interceptor`] trait is that instrumentation surface.
+
+use crate::fs::Fd;
+
+/// Enumeration of the instrumentable FUSE primitives.
+///
+/// `Write` covers both the sequential `write` and positioned `pwrite`
+/// entry points — in FUSE both arrive at the same `FFIS_write`
+/// callback, which is why the paper speaks of a single write primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Primitive {
+    /// `getattr`.
+    Getattr,
+    /// `mknod` / `mkfifo`.
+    Mknod,
+    /// `mkdir`.
+    Mkdir,
+    /// `unlink`.
+    Unlink,
+    /// `rmdir`.
+    Rmdir,
+    /// `rename`.
+    Rename,
+    /// `chmod`.
+    Chmod,
+    /// `truncate`.
+    Truncate,
+    /// `create`.
+    Create,
+    /// `open`.
+    Open,
+    /// `read` / `pread`.
+    Read,
+    /// `write` / `pwrite` — the paper's principal injection target.
+    Write,
+    /// `fsync`.
+    Fsync,
+    /// `release`.
+    Release,
+    /// `readdir`.
+    Readdir,
+    /// `statfs`.
+    Statfs,
+    /// advisory `lock`.
+    Lock,
+    /// advisory `unlock`.
+    Unlock,
+}
+
+/// All primitives, in a fixed order usable as a dense index.
+pub const PRIMITIVES: [Primitive; 18] = [
+    Primitive::Getattr,
+    Primitive::Mknod,
+    Primitive::Mkdir,
+    Primitive::Unlink,
+    Primitive::Rmdir,
+    Primitive::Rename,
+    Primitive::Chmod,
+    Primitive::Truncate,
+    Primitive::Create,
+    Primitive::Open,
+    Primitive::Read,
+    Primitive::Write,
+    Primitive::Fsync,
+    Primitive::Release,
+    Primitive::Readdir,
+    Primitive::Statfs,
+    Primitive::Lock,
+    Primitive::Unlock,
+];
+
+impl Primitive {
+    /// Dense index into [`PRIMITIVES`].
+    pub fn index(self) -> usize {
+        PRIMITIVES.iter().position(|&p| p == self).expect("primitive in table")
+    }
+
+    /// FFIS-style name (`FFIS_write`, ... — the paper's Table I naming).
+    pub fn ffis_name(self) -> &'static str {
+        match self {
+            Primitive::Getattr => "FFIS_getattr",
+            Primitive::Mknod => "FFIS_mknod",
+            Primitive::Mkdir => "FFIS_mkdir",
+            Primitive::Unlink => "FFIS_unlink",
+            Primitive::Rmdir => "FFIS_rmdir",
+            Primitive::Rename => "FFIS_rename",
+            Primitive::Chmod => "FFIS_chmod",
+            Primitive::Truncate => "FFIS_truncate",
+            Primitive::Create => "FFIS_create",
+            Primitive::Open => "FFIS_open",
+            Primitive::Read => "FFIS_read",
+            Primitive::Write => "FFIS_write",
+            Primitive::Fsync => "FFIS_fsync",
+            Primitive::Release => "FFIS_release",
+            Primitive::Readdir => "FFIS_readdir",
+            Primitive::Statfs => "FFIS_statfs",
+            Primitive::Lock => "FFIS_lock",
+            Primitive::Unlock => "FFIS_unlock",
+        }
+    }
+
+    /// True for primitives that carry a data buffer toward the device
+    /// (candidates for buffer-level fault models).
+    pub fn carries_write_buffer(self) -> bool {
+        matches!(self, Primitive::Write)
+    }
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.ffis_name())
+    }
+}
+
+/// Context describing one primitive invocation as it crosses FFISFS.
+#[derive(Debug, Clone)]
+pub struct CallContext {
+    /// Which primitive.
+    pub primitive: Primitive,
+    /// Global sequence number across all primitives (1-based).
+    pub seq: u64,
+    /// Dynamic execution count of *this* primitive (1-based) — the
+    /// quantity the paper's I/O profiler measures and the fault
+    /// injector matches against.
+    pub prim_seq: u64,
+    /// Target path, when the primitive is path-addressed.
+    pub path: Option<String>,
+    /// File descriptor, when the primitive is fd-addressed.
+    pub fd: Option<Fd>,
+    /// Byte offset for positioned I/O.
+    pub offset: Option<u64>,
+    /// Buffer length for data-carrying primitives.
+    pub len: usize,
+}
+
+/// What an interceptor tells FFISFS to do with a write-class call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Forward unchanged.
+    Forward,
+    /// Forward a *different* buffer to the device, while reporting
+    /// `reported_len` bytes written back to the caller. Models silent
+    /// bit corruption and shorn writes (the caller believes the full
+    /// write succeeded).
+    Replace {
+        /// Bytes that actually reach the device.
+        buf: Vec<u8>,
+        /// Length reported back to the application.
+        reported_len: usize,
+    },
+    /// Skip the device write entirely and report `reported_len`
+    /// success — the paper's DROPPED WRITE ("the write operation is
+    /// ignored ... sets the return value ... to the original size").
+    Drop {
+        /// Length reported back to the application.
+        reported_len: usize,
+    },
+}
+
+/// Hooks invoked by [`crate::FfisFs`] on every primitive crossing.
+///
+/// All hooks default to pass-through, so an interceptor implements only
+/// what it instruments. Hooks receive `&self`; implementations use
+/// interior mutability (the mount shares one interceptor across the
+/// whole run).
+pub trait Interceptor: Send + Sync {
+    /// Observe any primitive invocation (profiling, tracing).
+    fn on_call(&self, _cx: &CallContext) {}
+
+    /// Intercept a write-class primitive carrying a data buffer.
+    fn on_write(&self, _cx: &CallContext, _buf: &[u8]) -> WriteAction {
+        WriteAction::Forward
+    }
+
+    /// Observe/corrupt the data *returned* by a read-class primitive
+    /// (the paper's abstract: FFIS "plant[s] different I/O related
+    /// faults into the data returned from underlying file systems").
+    /// Called after the inner filesystem filled `buf[..n]`; the hook
+    /// may mutate those bytes in place.
+    fn on_read_data(&self, _cx: &CallContext, _buf: &mut [u8], _n: usize) {}
+
+    /// Rewrite `mknod` parameters (paper Fig. 3b: `mode`, `dev`).
+    fn on_mknod(&self, _cx: &CallContext, _mode: &mut u32, _dev: &mut u64) {}
+
+    /// Rewrite `chmod` parameters.
+    fn on_chmod(&self, _cx: &CallContext, _mode: &mut u32) {}
+
+    /// Rewrite `truncate` parameters.
+    fn on_truncate(&self, _cx: &CallContext, _size: &mut u64) {}
+}
+
+/// A no-op interceptor (useful as a default and in tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullInterceptor;
+
+impl Interceptor for NullInterceptor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_index_is_dense_and_stable() {
+        for (i, p) in PRIMITIVES.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Primitive::Write.index(), 11);
+    }
+
+    #[test]
+    fn ffis_names_unique_and_prefixed() {
+        let mut names: Vec<_> = PRIMITIVES.iter().map(|p| p.ffis_name()).collect();
+        assert!(names.iter().all(|n| n.starts_with("FFIS_")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PRIMITIVES.len());
+    }
+
+    #[test]
+    fn only_write_carries_buffer() {
+        for p in PRIMITIVES {
+            assert_eq!(p.carries_write_buffer(), p == Primitive::Write);
+        }
+    }
+
+    #[test]
+    fn null_interceptor_forwards() {
+        let n = NullInterceptor;
+        let cx = CallContext {
+            primitive: Primitive::Write,
+            seq: 1,
+            prim_seq: 1,
+            path: None,
+            fd: Some(3),
+            offset: Some(0),
+            len: 4,
+        };
+        assert_eq!(n.on_write(&cx, b"data"), WriteAction::Forward);
+    }
+}

@@ -1,0 +1,73 @@
+//! # ffis-vfs — user-space filesystem substrate for FFIS
+//!
+//! The FFIS paper ("Characterizing Impacts of Storage Faults on HPC
+//! Applications", CLUSTER 2021) interposes on application I/O with a
+//! FUSE-based user-space filesystem ("FFISFS"). FUSE's role there is
+//! purely to provide a *chokepoint*: every file-operation primitive
+//! (`open`, `read`, `write`, `mknod`, `chmod`, ...) issued by an
+//! unmodified application passes through user-space callbacks where
+//! faults can be planted (paper §II, §III-A, requirements R1/R2).
+//!
+//! This crate reproduces that chokepoint in-process:
+//!
+//! * [`FileSystem`] — the FUSE primitive vocabulary as an object-safe
+//!   trait. Applications in this workspace are written once against
+//!   `&dyn FileSystem` and never know whether they run on a pristine
+//!   filesystem or a fault-injected mount (transparency, R1).
+//! * [`MemFs`] — the reference implementation: a thread-safe in-memory
+//!   inode filesystem with 512-byte sector granularity on file contents
+//!   (so shorn writes have a physical granularity to respect), POSIX-ish
+//!   semantics (short reads at EOF, `O_APPEND`, advisory file locks used
+//!   by the HDF5 writer's lock/write/unlock protocol).
+//! * [`FfisFs`] — the mountable wrapper ("FFISFS"): forwards every
+//!   primitive to an inner [`FileSystem`] through a chain of
+//!   [`Interceptor`]s, maintains per-primitive dynamic execution
+//!   counters (the I/O profiler's data source), and enforces the
+//!   mount/unmount-per-run lifecycle the paper uses.
+//! * [`Interceptor`] — observe or rewrite a primitive invocation:
+//!   forward unchanged, replace the buffer (bit flips, shorn writes),
+//!   or drop the device write while reporting success (dropped writes).
+//!
+//! The fault *models* themselves live in `ffis-core`; this crate only
+//! provides the mechanism.
+//!
+//! ```
+//! use ffis_vfs::{MemFs, FfisFs, FileSystem, OpenFlags};
+//! use std::sync::Arc;
+//!
+//! let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+//! let fd = ffs.create("/data.bin", 0o644).unwrap();
+//! ffs.pwrite(fd, b"hello storage faults", 0).unwrap();
+//! ffs.release(fd).unwrap();
+//!
+//! let fd = ffs.open("/data.bin", OpenFlags::read_only()).unwrap();
+//! let mut buf = vec![0u8; 20];
+//! let n = ffs.pread(fd, &mut buf, 0).unwrap();
+//! assert_eq!(&buf[..n], b"hello storage faults");
+//! ffs.unmount();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bufio;
+pub mod counting;
+pub mod error;
+pub mod ffisfs;
+pub mod file;
+pub mod fs;
+pub mod inode;
+pub mod interceptor;
+pub mod memfs;
+pub mod path;
+
+pub use bufio::BufFile;
+pub use counting::{TraceInterceptor, TraceRecord};
+pub use error::{FsError, FsResult};
+pub use ffisfs::{CounterSnapshot, FfisFs};
+pub use file::{SectorFile, BLOCK_SIZE, SECTOR_SIZE};
+pub use fs::{
+    DirEntry, Fd, FileSystem, FileSystemExt, LockKind, Metadata, NodeKind, OpenFlags, StatFs,
+};
+pub use interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
+pub use memfs::MemFs;

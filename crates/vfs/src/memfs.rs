@@ -1,0 +1,922 @@
+//! `MemFs` — the reference in-memory filesystem.
+//!
+//! Plays the role of the "underline file system" in Figure 2 of the
+//! paper (the client the FUSE daemon forwards to — ext4/lustre/GPFS in
+//! the authors' deployments). Semantics are deliberately POSIX-ish:
+//! short reads at EOF, sparse writes, `O_APPEND`, advisory `flock`-style
+//! locks, and a logical (not wall-clock) mtime so every campaign run is
+//! bitwise reproducible.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use crate::error::{FsError, FsResult};
+use crate::file::BLOCK_SIZE;
+use crate::fs::{DirEntry, Fd, FileSystem, LockKind, Metadata, NodeKind, OpenFlags, StatFs};
+use crate::inode::{Ino, Inode, NodeData, ROOT_INO};
+use crate::path;
+
+/// Open-descriptor state.
+#[derive(Debug, Clone)]
+struct Handle {
+    ino: Ino,
+    flags: OpenFlags,
+    cursor: u64,
+    /// Lock kind held through this descriptor, if any.
+    lock: Option<LockKind>,
+}
+
+/// Per-inode advisory lock state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LockState {
+    shared: u32,
+    exclusive: bool,
+}
+
+#[derive(Debug)]
+struct MemFsInner {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: Ino,
+    handles: HashMap<Fd, Handle>,
+    next_fd: Fd,
+    locks: HashMap<Ino, LockState>,
+    /// Logical clock; bumped on every mutation.
+    clock: u64,
+}
+
+impl MemFsInner {
+    fn new() -> Self {
+        let mut inodes = HashMap::new();
+        inodes.insert(ROOT_INO, Inode::dir(ROOT_INO, 0o755, 0));
+        MemFsInner { inodes, next_ino: ROOT_INO + 1, handles: HashMap::new(), next_fd: 3, locks: HashMap::new(), clock: 1 }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn alloc_ino(&mut self) -> Ino {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        ino
+    }
+
+    fn alloc_fd(&mut self) -> Fd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        fd
+    }
+
+    /// Resolve a path to an inode number.
+    fn resolve(&self, p: &str) -> FsResult<Ino> {
+        let comps = path::components(p)?;
+        let mut cur = ROOT_INO;
+        for c in &comps {
+            let node = self.inodes.get(&cur).ok_or(FsError::NotFound)?;
+            let dir = node.as_dir().ok_or(FsError::NotADirectory)?;
+            cur = *dir.get(c).ok_or(FsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolve the parent directory of a path; returns (parent ino, final name).
+    fn resolve_parent(&self, p: &str) -> FsResult<(Ino, String)> {
+        let (parent_comps, name) = path::split_parent(p)?;
+        let joined = path::join(&parent_comps);
+        let parent = self.resolve(&joined)?;
+        let node = self.inodes.get(&parent).ok_or(FsError::NotFound)?;
+        if node.as_dir().is_none() {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((parent, name))
+    }
+
+    fn insert_child(&mut self, parent: Ino, name: &str, child: Ino) -> FsResult<()> {
+        let t = self.tick();
+        let dir = self
+            .inodes
+            .get_mut(&parent)
+            .ok_or(FsError::NotFound)?;
+        dir.mtime = t;
+        let map = dir.as_dir_mut().ok_or(FsError::NotADirectory)?;
+        if map.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        map.insert(name.to_string(), child);
+        Ok(())
+    }
+
+    fn handle(&self, fd: Fd) -> FsResult<&Handle> {
+        self.handles.get(&fd).ok_or(FsError::BadFd)
+    }
+}
+
+/// Thread-safe in-memory filesystem. Cheap to construct — campaigns
+/// build a fresh one per injection run, mirroring the paper's
+/// mount/unmount-per-run protocol.
+#[derive(Debug)]
+pub struct MemFs {
+    inner: RwLock<MemFsInner>,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// Empty filesystem containing only `/`.
+    pub fn new() -> Self {
+        MemFs { inner: RwLock::new(MemFsInner::new()) }
+    }
+
+    fn read_lock(&self) -> std::sync::RwLockReadGuard<'_, MemFsInner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_lock(&self) -> std::sync::RwLockWriteGuard<'_, MemFsInner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Direct snapshot of a file's bytes (test/analysis convenience;
+    /// not an instrumented primitive).
+    pub fn snapshot(&self, p: &str) -> FsResult<Vec<u8>> {
+        let g = self.read_lock();
+        let ino = g.resolve(p)?;
+        let node = g.inodes.get(&ino).ok_or(FsError::NotFound)?;
+        node.as_file().map(|f| f.as_bytes().to_vec()).ok_or(FsError::IsADirectory)
+    }
+
+    /// Number of currently open descriptors (leak checking in tests).
+    pub fn open_handles(&self) -> usize {
+        self.read_lock().handles.len()
+    }
+}
+
+impl FileSystem for MemFs {
+    fn getattr(&self, p: &str) -> FsResult<Metadata> {
+        let g = self.read_lock();
+        let ino = g.resolve(p)?;
+        Ok(g.inodes.get(&ino).ok_or(FsError::NotFound)?.metadata())
+    }
+
+    fn mknod(&self, p: &str, kind: NodeKind, mode: u32, dev: u64) -> FsResult<()> {
+        if kind == NodeKind::Dir {
+            return Err(FsError::InvalidArgument);
+        }
+        let mut g = self.write_lock();
+        let (parent, name) = g.resolve_parent(p)?;
+        let ino = g.alloc_ino();
+        let t = g.tick();
+        let node = match kind {
+            NodeKind::File => Inode::file(ino, mode, t),
+            k => Inode::special(ino, k, mode, dev, t),
+        };
+        g.inodes.insert(ino, node);
+        if let Err(e) = g.insert_child(parent, &name, ino) {
+            g.inodes.remove(&ino);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn mkdir(&self, p: &str, mode: u32) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let (parent, name) = g.resolve_parent(p)?;
+        let ino = g.alloc_ino();
+        let t = g.tick();
+        g.inodes.insert(ino, Inode::dir(ino, mode, t));
+        if let Err(e) = g.insert_child(parent, &name, ino) {
+            g.inodes.remove(&ino);
+            return Err(e);
+        }
+        if let Some(pn) = g.inodes.get_mut(&parent) {
+            pn.nlink += 1; // `..` back-reference
+        }
+        Ok(())
+    }
+
+    fn unlink(&self, p: &str) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let (parent, name) = g.resolve_parent(p)?;
+        let child = {
+            let dir = g.inodes.get(&parent).ok_or(FsError::NotFound)?;
+            *dir.as_dir().ok_or(FsError::NotADirectory)?.get(&name).ok_or(FsError::NotFound)?
+        };
+        if g.inodes.get(&child).ok_or(FsError::NotFound)?.kind == NodeKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        let t = g.tick();
+        if let Some(dirnode) = g.inodes.get_mut(&parent) {
+            dirnode.mtime = t;
+            dirnode.as_dir_mut().unwrap().remove(&name);
+        }
+        // Keep the inode alive while any handle references it (POSIX
+        // unlink-while-open), reclaim otherwise.
+        let still_open = g.handles.values().any(|h| h.ino == child);
+        if !still_open {
+            g.inodes.remove(&child);
+            g.locks.remove(&child);
+        } else if let Some(node) = g.inodes.get_mut(&child) {
+            node.nlink = node.nlink.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    fn rmdir(&self, p: &str) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let (parent, name) = g.resolve_parent(p)?;
+        let child = {
+            let dir = g.inodes.get(&parent).ok_or(FsError::NotFound)?;
+            *dir.as_dir().ok_or(FsError::NotADirectory)?.get(&name).ok_or(FsError::NotFound)?
+        };
+        {
+            let node = g.inodes.get(&child).ok_or(FsError::NotFound)?;
+            let map = node.as_dir().ok_or(FsError::NotADirectory)?;
+            if !map.is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+        }
+        let t = g.tick();
+        if let Some(dirnode) = g.inodes.get_mut(&parent) {
+            dirnode.mtime = t;
+            dirnode.nlink = dirnode.nlink.saturating_sub(1);
+            dirnode.as_dir_mut().unwrap().remove(&name);
+        }
+        g.inodes.remove(&child);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let (fparent, fname) = g.resolve_parent(from)?;
+        let (tparent, tname) = g.resolve_parent(to)?;
+        let child = {
+            let dir = g.inodes.get(&fparent).ok_or(FsError::NotFound)?;
+            *dir.as_dir().ok_or(FsError::NotADirectory)?.get(&fname).ok_or(FsError::NotFound)?
+        };
+        // Replace-target semantics: an existing non-directory target is
+        // atomically unlinked; an existing directory target must be empty.
+        if let Some(&existing) = g
+            .inodes
+            .get(&tparent)
+            .and_then(|n| n.as_dir())
+            .and_then(|d| d.get(&tname))
+        {
+            if existing == child {
+                return Ok(());
+            }
+            let enode = g.inodes.get(&existing).ok_or(FsError::NotFound)?;
+            match &enode.data {
+                NodeData::Dir(d) if !d.is_empty() => return Err(FsError::NotEmpty),
+                _ => {}
+            }
+            g.inodes.remove(&existing);
+            g.locks.remove(&existing);
+        }
+        let t = g.tick();
+        if let Some(fp) = g.inodes.get_mut(&fparent) {
+            fp.mtime = t;
+            fp.as_dir_mut().unwrap().remove(&fname);
+        }
+        if let Some(tp) = g.inodes.get_mut(&tparent) {
+            tp.mtime = t;
+            tp.as_dir_mut().unwrap().insert(tname, child);
+        }
+        Ok(())
+    }
+
+    fn chmod(&self, p: &str, mode: u32) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let ino = g.resolve(p)?;
+        let t = g.tick();
+        let node = g.inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
+        node.mode = mode & 0o7777;
+        node.mtime = t;
+        Ok(())
+    }
+
+    fn truncate(&self, p: &str, size: u64) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let ino = g.resolve(p)?;
+        let t = g.tick();
+        let node = g.inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
+        node.mtime = t;
+        node.as_file_mut().ok_or(FsError::IsADirectory)?.truncate(size)
+    }
+
+    fn create(&self, p: &str, mode: u32) -> FsResult<Fd> {
+        let mut g = self.write_lock();
+        let (parent, name) = g.resolve_parent(p)?;
+        let existing = g
+            .inodes
+            .get(&parent)
+            .and_then(|n| n.as_dir())
+            .and_then(|d| d.get(&name))
+            .copied();
+        let ino = match existing {
+            Some(ino) => {
+                let t = g.tick();
+                let node = g.inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
+                let f = node.as_file_mut().ok_or(FsError::IsADirectory)?;
+                f.truncate(0)?;
+                node.mtime = t;
+                ino
+            }
+            None => {
+                let ino = g.alloc_ino();
+                let t = g.tick();
+                g.inodes.insert(ino, Inode::file(ino, mode, t));
+                if let Err(e) = g.insert_child(parent, &name, ino) {
+                    g.inodes.remove(&ino);
+                    return Err(e);
+                }
+                ino
+            }
+        };
+        let fd = g.alloc_fd();
+        g.handles.insert(
+            fd,
+            Handle { ino, flags: OpenFlags::create_truncate(), cursor: 0, lock: None },
+        );
+        Ok(fd)
+    }
+
+    fn open(&self, p: &str, flags: OpenFlags) -> FsResult<Fd> {
+        flags.validate()?;
+        let mut g = self.write_lock();
+        let ino = match g.resolve(p) {
+            Ok(ino) => {
+                if flags.excl && flags.create {
+                    return Err(FsError::Exists);
+                }
+                ino
+            }
+            Err(FsError::NotFound) if flags.create => {
+                let (parent, name) = g.resolve_parent(p)?;
+                let ino = g.alloc_ino();
+                let t = g.tick();
+                g.inodes.insert(ino, Inode::file(ino, 0o644, t));
+                if let Err(e) = g.insert_child(parent, &name, ino) {
+                    g.inodes.remove(&ino);
+                    return Err(e);
+                }
+                ino
+            }
+            Err(e) => return Err(e),
+        };
+        {
+            let node = g.inodes.get(&ino).ok_or(FsError::NotFound)?;
+            if node.kind == NodeKind::Dir {
+                return Err(FsError::IsADirectory);
+            }
+        }
+        if flags.truncate {
+            let t = g.tick();
+            let node = g.inodes.get_mut(&ino).ok_or(FsError::NotFound)?;
+            node.mtime = t;
+            if let Some(f) = node.as_file_mut() {
+                f.truncate(0)?;
+            }
+        }
+        let fd = g.alloc_fd();
+        g.handles.insert(fd, Handle { ino, flags, cursor: 0, lock: None });
+        Ok(fd)
+    }
+
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let mut g = self.write_lock();
+        let (ino, cursor, can_read) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.cursor, h.flags.read)
+        };
+        if !can_read {
+            return Err(FsError::PermissionDenied);
+        }
+        let node = g.inodes.get(&ino).ok_or(FsError::BadFd)?;
+        let file = node.as_file().ok_or(FsError::IllegalSeek)?;
+        let n = file.read_at(buf, cursor);
+        if let Some(h) = g.handles.get_mut(&fd) {
+            h.cursor += n as u64;
+        }
+        Ok(n)
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
+        let g = self.read_lock();
+        let h = g.handle(fd)?;
+        if !h.flags.read {
+            return Err(FsError::PermissionDenied);
+        }
+        let node = g.inodes.get(&h.ino).ok_or(FsError::BadFd)?;
+        let file = node.as_file().ok_or(FsError::IllegalSeek)?;
+        Ok(file.read_at(buf, offset))
+    }
+
+    fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
+        let mut g = self.write_lock();
+        let (ino, mut cursor, flags) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.cursor, h.flags)
+        };
+        if !flags.write {
+            return Err(FsError::ReadOnly);
+        }
+        let t = g.tick();
+        let node = g.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
+        let file = node.as_file_mut().ok_or(FsError::IllegalSeek)?;
+        if flags.append {
+            cursor = file.len();
+        }
+        let n = file.write_at(buf, cursor)?;
+        node.mtime = t;
+        if let Some(h) = g.handles.get_mut(&fd) {
+            h.cursor = cursor + n as u64;
+        }
+        Ok(n)
+    }
+
+    fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
+        let mut g = self.write_lock();
+        let (ino, can_write) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.flags.write)
+        };
+        if !can_write {
+            return Err(FsError::ReadOnly);
+        }
+        let t = g.tick();
+        let node = g.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
+        let file = node.as_file_mut().ok_or(FsError::IllegalSeek)?;
+        let n = file.write_at(buf, offset)?;
+        node.mtime = t;
+        Ok(n)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        let g = self.read_lock();
+        g.handle(fd)?;
+        Ok(())
+    }
+
+    fn release(&self, fd: Fd) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let h = g.handles.remove(&fd).ok_or(FsError::BadFd)?;
+        if let Some(kind) = h.lock {
+            if let Some(state) = g.locks.get_mut(&h.ino) {
+                match kind {
+                    LockKind::Shared => state.shared = state.shared.saturating_sub(1),
+                    LockKind::Exclusive => state.exclusive = false,
+                }
+            }
+        }
+        // Reclaim unlinked-and-now-closed inodes.
+        let orphan = g
+            .inodes
+            .get(&h.ino)
+            .map(|n| n.nlink == 0 && !g.handles.values().any(|x| x.ino == h.ino))
+            .unwrap_or(false);
+        if orphan {
+            g.inodes.remove(&h.ino);
+            g.locks.remove(&h.ino);
+        }
+        Ok(())
+    }
+
+    fn readdir(&self, p: &str) -> FsResult<Vec<DirEntry>> {
+        let g = self.read_lock();
+        let ino = g.resolve(p)?;
+        let node = g.inodes.get(&ino).ok_or(FsError::NotFound)?;
+        let map: &BTreeMap<String, Ino> = node.as_dir().ok_or(FsError::NotADirectory)?;
+        let mut out = Vec::with_capacity(map.len());
+        for (name, child) in map {
+            let cnode = g.inodes.get(child).ok_or(FsError::Io)?;
+            out.push(DirEntry { name: name.clone(), kind: cnode.kind, ino: *child });
+        }
+        Ok(out)
+    }
+
+    fn statfs(&self) -> FsResult<StatFs> {
+        let g = self.read_lock();
+        let bytes_used = g.inodes.values().map(Inode::size).sum();
+        Ok(StatFs { bytes_used, inodes: g.inodes.len() as u64, block_size: BLOCK_SIZE as u64 })
+    }
+
+    fn lock(&self, fd: Fd, kind: LockKind) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let ino = g.handle(fd)?.ino;
+        let state = g.locks.entry(ino).or_default();
+        match kind {
+            LockKind::Shared => {
+                if state.exclusive {
+                    return Err(FsError::Locked);
+                }
+                state.shared += 1;
+            }
+            LockKind::Exclusive => {
+                if state.exclusive || state.shared > 0 {
+                    return Err(FsError::Locked);
+                }
+                state.exclusive = true;
+            }
+        }
+        if let Some(h) = g.handles.get_mut(&fd) {
+            h.lock = Some(kind);
+        }
+        Ok(())
+    }
+
+    fn unlock(&self, fd: Fd) -> FsResult<()> {
+        let mut g = self.write_lock();
+        let (ino, kind) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.lock)
+        };
+        let kind = kind.ok_or(FsError::InvalidArgument)?;
+        if let Some(state) = g.locks.get_mut(&ino) {
+            match kind {
+                LockKind::Shared => state.shared = state.shared.saturating_sub(1),
+                LockKind::Exclusive => state.exclusive = false,
+            }
+        }
+        if let Some(h) = g.handles.get_mut(&fd) {
+            h.lock = None;
+        }
+        Ok(())
+    }
+}
+
+/// Deep-copy the full state of one filesystem into another (used by
+/// tests and the golden-run machinery to compare file trees).
+pub fn copy_tree(src: &dyn FileSystem, dst: &dyn FileSystem, dir: &str) -> FsResult<()> {
+    use crate::fs::FileSystemExt;
+    for entry in src.readdir(dir)? {
+        let p = if dir == "/" { format!("/{}", entry.name) } else { format!("{}/{}", dir, entry.name) };
+        match entry.kind {
+            NodeKind::Dir => {
+                match dst.mkdir(&p, 0o755) {
+                    Ok(()) | Err(FsError::Exists) => {}
+                    Err(e) => return Err(e),
+                }
+                copy_tree(src, dst, &p)?;
+            }
+            NodeKind::File => {
+                let data = src.read_to_vec(&p)?;
+                dst.write_file(&p, &data)?;
+            }
+            k => {
+                let meta = src.getattr(&p)?;
+                dst.mknod(&p, k, meta.mode, meta.rdev)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FileSystemExt;
+
+    fn fs() -> MemFs {
+        MemFs::new()
+    }
+
+    #[test]
+    fn root_exists() {
+        let f = fs();
+        let m = f.getattr("/").unwrap();
+        assert_eq!(m.kind, NodeKind::Dir);
+        assert_eq!(m.ino, ROOT_INO);
+    }
+
+    #[test]
+    fn create_write_read() {
+        let f = fs();
+        let fd = f.create("/a.txt", 0o644).unwrap();
+        assert_eq!(f.pwrite(fd, b"hello", 0).unwrap(), 5);
+        f.release(fd).unwrap();
+        assert_eq!(f.read_to_vec("/a.txt").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let f = fs();
+        f.write_file("/a", b"long content here").unwrap();
+        let fd = f.create("/a", 0o644).unwrap();
+        f.release(fd).unwrap();
+        assert_eq!(f.getattr("/a").unwrap().size, 0);
+    }
+
+    #[test]
+    fn open_missing_fails_without_create() {
+        let f = fs();
+        assert_eq!(f.open("/nope", OpenFlags::read_only()), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn open_create_excl_semantics() {
+        let f = fs();
+        let mut flags = OpenFlags::create_truncate();
+        flags.excl = true;
+        let fd = f.open("/x", flags).unwrap();
+        f.release(fd).unwrap();
+        assert_eq!(f.open("/x", flags), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn sequential_read_write_cursor() {
+        let f = fs();
+        let fd = f.create("/s", 0o644).unwrap();
+        f.write(fd, b"abc").unwrap();
+        f.write(fd, b"def").unwrap();
+        f.release(fd).unwrap();
+        let fd = f.open("/s", OpenFlags::read_only()).unwrap();
+        let mut b = [0u8; 4];
+        assert_eq!(f.read(fd, &mut b).unwrap(), 4);
+        assert_eq!(&b, b"abcd");
+        assert_eq!(f.read(fd, &mut b).unwrap(), 2);
+        assert_eq!(&b[..2], b"ef");
+        assert_eq!(f.read(fd, &mut b).unwrap(), 0);
+        f.release(fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof() {
+        let f = fs();
+        f.write_file("/log", b"one\n").unwrap();
+        let fd = f.open("/log", OpenFlags::append()).unwrap();
+        f.write(fd, b"two\n").unwrap();
+        f.release(fd).unwrap();
+        assert_eq!(f.read_to_string("/log").unwrap(), "one\ntwo\n");
+    }
+
+    #[test]
+    fn write_on_readonly_fd_fails() {
+        let f = fs();
+        f.write_file("/r", b"data").unwrap();
+        let fd = f.open("/r", OpenFlags::read_only()).unwrap();
+        assert_eq!(f.pwrite(fd, b"x", 0), Err(FsError::ReadOnly));
+        assert_eq!(f.write(fd, b"x"), Err(FsError::ReadOnly));
+        f.release(fd).unwrap();
+    }
+
+    #[test]
+    fn read_on_writeonly_fd_fails() {
+        let f = fs();
+        let fd = f.create("/w", 0o644).unwrap();
+        let mut b = [0u8; 1];
+        assert_eq!(f.pread(fd, &mut b, 0), Err(FsError::PermissionDenied));
+        f.release(fd).unwrap();
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        let f = fs();
+        f.mkdir("/d", 0o755).unwrap();
+        f.mkdir("/d/e", 0o755).unwrap();
+        f.write_file("/d/e/x", b"1").unwrap();
+        assert_eq!(f.getattr("/d/e/x").unwrap().size, 1);
+        assert_eq!(f.mkdir("/d", 0o755), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn mkdir_all_creates_chain() {
+        let f = fs();
+        f.mkdir_all("/a/b/c/d").unwrap();
+        assert_eq!(f.getattr("/a/b/c/d").unwrap().kind, NodeKind::Dir);
+        // Idempotent.
+        f.mkdir_all("/a/b/c/d").unwrap();
+    }
+
+    #[test]
+    fn mknod_kinds() {
+        let f = fs();
+        f.mknod("/fifo", NodeKind::Fifo, 0o644, 0).unwrap();
+        f.mknod("/dev", NodeKind::CharDev, 0o600, 0x0102).unwrap();
+        f.mknod("/plain", NodeKind::File, 0o644, 0).unwrap();
+        assert_eq!(f.getattr("/fifo").unwrap().kind, NodeKind::Fifo);
+        assert_eq!(f.getattr("/dev").unwrap().rdev, 0x0102);
+        assert_eq!(f.getattr("/plain").unwrap().kind, NodeKind::File);
+        assert_eq!(f.mknod("/dir", NodeKind::Dir, 0o755, 0), Err(FsError::InvalidArgument));
+        assert_eq!(f.mknod("/fifo", NodeKind::Fifo, 0o644, 0), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn chmod_updates_mode() {
+        let f = fs();
+        f.write_file("/m", b"").unwrap();
+        f.chmod("/m", 0o400).unwrap();
+        assert_eq!(f.getattr("/m").unwrap().mode, 0o400);
+        // Bits above 0o7777 masked off.
+        f.chmod("/m", 0o170644).unwrap();
+        assert_eq!(f.getattr("/m").unwrap().mode, 0o644);
+    }
+
+    #[test]
+    fn truncate_by_path() {
+        let f = fs();
+        f.write_file("/t", b"0123456789").unwrap();
+        f.truncate("/t", 4).unwrap();
+        assert_eq!(f.read_to_vec("/t").unwrap(), b"0123");
+        f.truncate("/t", 8).unwrap();
+        assert_eq!(f.read_to_vec("/t").unwrap(), b"0123\0\0\0\0");
+    }
+
+    #[test]
+    fn unlink_semantics() {
+        let f = fs();
+        f.write_file("/u", b"x").unwrap();
+        f.unlink("/u").unwrap();
+        assert_eq!(f.getattr("/u"), Err(FsError::NotFound));
+        assert_eq!(f.unlink("/u"), Err(FsError::NotFound));
+        f.mkdir("/d", 0o755).unwrap();
+        assert_eq!(f.unlink("/d"), Err(FsError::IsADirectory));
+    }
+
+    #[test]
+    fn unlink_while_open_keeps_data_until_release() {
+        let f = fs();
+        f.write_file("/u", b"alive").unwrap();
+        let fd = f.open("/u", OpenFlags::read_only()).unwrap();
+        f.unlink("/u").unwrap();
+        let mut b = [0u8; 5];
+        assert_eq!(f.pread(fd, &mut b, 0).unwrap(), 5);
+        assert_eq!(&b, b"alive");
+        f.release(fd).unwrap();
+        assert_eq!(f.getattr("/u"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rmdir_semantics() {
+        let f = fs();
+        f.mkdir("/d", 0o755).unwrap();
+        f.write_file("/d/x", b"1").unwrap();
+        assert_eq!(f.rmdir("/d"), Err(FsError::NotEmpty));
+        f.unlink("/d/x").unwrap();
+        f.rmdir("/d").unwrap();
+        assert_eq!(f.getattr("/d"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let f = fs();
+        f.write_file("/a", b"A").unwrap();
+        f.write_file("/b", b"B").unwrap();
+        f.rename("/a", "/c").unwrap();
+        assert!(f.exists("/c"));
+        assert!(!f.exists("/a"));
+        // Replace existing target.
+        f.rename("/c", "/b").unwrap();
+        assert_eq!(f.read_to_vec("/b").unwrap(), b"A");
+        // Into a directory.
+        f.mkdir("/d", 0o755).unwrap();
+        f.rename("/b", "/d/b").unwrap();
+        assert_eq!(f.read_to_vec("/d/b").unwrap(), b"A");
+    }
+
+    #[test]
+    fn readdir_sorted_and_typed() {
+        let f = fs();
+        f.mkdir("/dir", 0o755).unwrap();
+        f.write_file("/zz", b"").unwrap();
+        f.write_file("/aa", b"").unwrap();
+        f.mknod("/ff", NodeKind::Fifo, 0o644, 0).unwrap();
+        let names: Vec<_> = f.readdir("/").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["aa", "dir", "ff", "zz"]);
+        assert_eq!(f.readdir("/zz"), Err(FsError::NotADirectory));
+    }
+
+    #[test]
+    fn statfs_accounting() {
+        let f = fs();
+        f.write_file("/a", &[0u8; 100]).unwrap();
+        f.write_file("/b", &[0u8; 50]).unwrap();
+        let s = f.statfs().unwrap();
+        assert_eq!(s.bytes_used, 150);
+        assert_eq!(s.inodes, 3); // root + 2 files
+        assert_eq!(s.block_size, BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn exclusive_lock_blocks_others() {
+        let f = fs();
+        f.write_file("/l", b"x").unwrap();
+        let fd1 = f.open("/l", OpenFlags::read_write()).unwrap();
+        let fd2 = f.open("/l", OpenFlags::read_only()).unwrap();
+        f.lock(fd1, LockKind::Exclusive).unwrap();
+        assert_eq!(f.lock(fd2, LockKind::Shared), Err(FsError::Locked));
+        assert_eq!(f.lock(fd2, LockKind::Exclusive), Err(FsError::Locked));
+        f.unlock(fd1).unwrap();
+        f.lock(fd2, LockKind::Shared).unwrap();
+        f.unlock(fd2).unwrap();
+        f.release(fd1).unwrap();
+        f.release(fd2).unwrap();
+    }
+
+    #[test]
+    fn shared_locks_coexist_but_block_exclusive() {
+        let f = fs();
+        f.write_file("/l", b"x").unwrap();
+        let fd1 = f.open("/l", OpenFlags::read_only()).unwrap();
+        let fd2 = f.open("/l", OpenFlags::read_only()).unwrap();
+        let fd3 = f.open("/l", OpenFlags::read_write()).unwrap();
+        f.lock(fd1, LockKind::Shared).unwrap();
+        f.lock(fd2, LockKind::Shared).unwrap();
+        assert_eq!(f.lock(fd3, LockKind::Exclusive), Err(FsError::Locked));
+        f.unlock(fd1).unwrap();
+        assert_eq!(f.lock(fd3, LockKind::Exclusive), Err(FsError::Locked));
+        f.unlock(fd2).unwrap();
+        f.lock(fd3, LockKind::Exclusive).unwrap();
+        for fd in [fd1, fd2, fd3] {
+            f.release(fd).unwrap();
+        }
+    }
+
+    #[test]
+    fn release_drops_lock() {
+        let f = fs();
+        f.write_file("/l", b"x").unwrap();
+        let fd1 = f.open("/l", OpenFlags::read_write()).unwrap();
+        f.lock(fd1, LockKind::Exclusive).unwrap();
+        f.release(fd1).unwrap();
+        let fd2 = f.open("/l", OpenFlags::read_write()).unwrap();
+        f.lock(fd2, LockKind::Exclusive).unwrap();
+        f.release(fd2).unwrap();
+    }
+
+    #[test]
+    fn bad_fd_everywhere() {
+        let f = fs();
+        let mut b = [0u8; 1];
+        assert_eq!(f.read(999, &mut b), Err(FsError::BadFd));
+        assert_eq!(f.pread(999, &mut b, 0), Err(FsError::BadFd));
+        assert_eq!(f.write(999, &b), Err(FsError::BadFd));
+        assert_eq!(f.pwrite(999, &b, 0), Err(FsError::BadFd));
+        assert_eq!(f.fsync(999), Err(FsError::BadFd));
+        assert_eq!(f.release(999), Err(FsError::BadFd));
+        assert_eq!(f.lock(999, LockKind::Shared), Err(FsError::BadFd));
+    }
+
+    #[test]
+    fn mtime_advances_monotonically() {
+        let f = fs();
+        f.write_file("/m", b"1").unwrap();
+        let t1 = f.getattr("/m").unwrap().mtime;
+        f.write_file("/m2", b"2").unwrap();
+        let fd = f.open("/m", OpenFlags::write_only()).unwrap();
+        f.pwrite(fd, b"x", 0).unwrap();
+        f.release(fd).unwrap();
+        let t2 = f.getattr("/m").unwrap().mtime;
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn copy_tree_roundtrip() {
+        let a = fs();
+        a.mkdir("/d", 0o755).unwrap();
+        a.write_file("/d/f1", b"one").unwrap();
+        a.write_file("/top", b"two").unwrap();
+        a.mknod("/pipe", NodeKind::Fifo, 0o644, 0).unwrap();
+        let b = fs();
+        copy_tree(&a, &b, "/").unwrap();
+        assert_eq!(b.read_to_vec("/d/f1").unwrap(), b"one");
+        assert_eq!(b.read_to_vec("/top").unwrap(), b"two");
+        assert_eq!(b.getattr("/pipe").unwrap().kind, NodeKind::Fifo);
+    }
+
+    #[test]
+    fn handles_leak_free() {
+        let f = fs();
+        f.write_file("/x", b"abc").unwrap();
+        assert_eq!(f.open_handles(), 0);
+        let fd = f.open("/x", OpenFlags::read_only()).unwrap();
+        assert_eq!(f.open_handles(), 1);
+        f.release(fd).unwrap();
+        assert_eq!(f.open_handles(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_files() {
+        use std::sync::Arc;
+        let f = Arc::new(fs());
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let f = Arc::clone(&f);
+            joins.push(std::thread::spawn(move || {
+                let p = format!("/t{}", i);
+                f.write_file(&p, format!("data-{}", i).as_bytes()).unwrap();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        for i in 0..8 {
+            let p = format!("/t{}", i);
+            assert_eq!(f.read_to_string(&p).unwrap(), format!("data-{}", i));
+        }
+    }
+}

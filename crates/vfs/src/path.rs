@@ -1,0 +1,125 @@
+//! Path normalization for the in-process VFS.
+//!
+//! All [`crate::FileSystem`] primitives take absolute, `/`-separated
+//! paths, as FUSE callbacks do. This module resolves `.` and `..`
+//! lexically and enforces component length limits.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single path component, matching `NAME_MAX`.
+pub const NAME_MAX: usize = 255;
+
+/// Split an absolute path into normalized components.
+///
+/// * `"/"` → `[]` (the root).
+/// * `"/a//b/./c"` → `["a", "b", "c"]`.
+/// * `".."` pops a component; popping past the root is an error, as it
+///   would escape the mount point.
+/// * Relative paths are rejected: a FUSE mount only ever sees absolute
+///   paths below its mount point.
+pub fn components(path: &str) -> FsResult<Vec<String>> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut out: Vec<String> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                if out.pop().is_none() {
+                    return Err(FsError::InvalidArgument);
+                }
+            }
+            name => {
+                if name.len() > NAME_MAX {
+                    return Err(FsError::NameTooLong);
+                }
+                out.push(name.to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Split into (parent components, final name). Errors on the root path,
+/// which has no parent.
+pub fn split_parent(path: &str) -> FsResult<(Vec<String>, String)> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(FsError::InvalidArgument),
+    }
+}
+
+/// Re-join components into a canonical absolute path string.
+pub fn join(components: &[String]) -> String {
+    if components.is_empty() {
+        "/".to_string()
+    } else {
+        let mut s = String::new();
+        for c in components {
+            s.push('/');
+            s.push_str(c);
+        }
+        s
+    }
+}
+
+/// Normalize a path to canonical form (`/a/b/c`).
+pub fn normalize(path: &str) -> FsResult<String> {
+    Ok(join(&components(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert_eq!(components("/").unwrap(), Vec::<String>::new());
+        assert_eq!(components("///").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert_eq!(components("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(components(""), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn dot_and_dotdot_resolve() {
+        assert_eq!(
+            components("/a/./b/../c").unwrap(),
+            vec!["a".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn dotdot_past_root_rejected() {
+        assert_eq!(components("/.."), Err(FsError::InvalidArgument));
+        assert_eq!(components("/a/../.."), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn long_component_rejected() {
+        let long = format!("/{}", "x".repeat(NAME_MAX + 1));
+        assert_eq!(components(&long), Err(FsError::NameTooLong));
+        let ok = format!("/{}", "x".repeat(NAME_MAX));
+        assert!(components(&ok).is_ok());
+    }
+
+    #[test]
+    fn split_parent_basic() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(name, "c");
+        assert_eq!(split_parent("/"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        assert_eq!(normalize("/a//b/./c/").unwrap(), "/a/b/c");
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(join(&components("/x/y").unwrap()), "/x/y");
+    }
+}

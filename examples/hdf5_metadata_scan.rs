@@ -1,0 +1,58 @@
+//! Byte-by-byte HDF5 metadata fault injection (the paper's §IV-D
+//! methodology, Table III at example scale): flips two consecutive
+//! bits in every byte of the plotfile's packed metadata write, runs
+//! the full Nyx pipeline per byte, and attributes outcomes to file-
+//! format fields.
+//!
+//! ```sh
+//! cargo run --release --example hdf5_metadata_scan
+//! ```
+
+use ffis_core::{attribute, fields_with_outcome, scan, FieldMap, FieldSpan, Outcome, ScanConfig, TargetFilter};
+use nyx_sim::{NyxApp, NyxConfig};
+
+fn main() {
+    let mut cfg = NyxConfig { keep_field: false, ..NyxConfig::default() };
+    cfg.field.n = 24;
+    let app = NyxApp::new(cfg);
+
+    let spans: Vec<FieldSpan> = app
+        .metadata_spans()
+        .into_iter()
+        .map(|s| FieldSpan { start: s.start, end: s.end, name: s.name })
+        .collect();
+    let map = FieldMap::new(spans).expect("non-overlapping");
+    println!(
+        "plotfile metadata: {} bytes across {} labelled fields\n",
+        app.metadata_size(),
+        map.spans().len()
+    );
+
+    let scan_cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
+    let result = scan(&app, &scan_cfg).expect("scan");
+    println!(
+        "scanned {} bytes of the penultimate write (offset {:#x})",
+        result.write_len, result.write_offset
+    );
+    println!("{}\n", result.tally);
+
+    let fields = attribute(&result, &map);
+    for outcome in [Outcome::Sdc, Outcome::Crash] {
+        let mut names: Vec<String> = fields_with_outcome(&fields, outcome)
+            .into_iter()
+            .map(|n| {
+                let parts: Vec<&str> = n.split('.').collect();
+                parts[parts.len().saturating_sub(2)..].join(".")
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        println!("{} fields ({}):", outcome.name(), names.len());
+        for n in names.iter().take(12) {
+            println!("  {}", n);
+        }
+        println!();
+    }
+    println!("Paper: SDC 0.2%, benign 85.7%, crash 14.1%; SDC fields include Exponent Bias,");
+    println!("Mantissa Size/Location, Mantissa-Normalization bit 5, and the Address of Raw Data.");
+}

@@ -1,0 +1,277 @@
+//! Property-based tests on the core invariants, spanning the fault
+//! models, the HDF5 substrate, the FITS substrate, and the statistics.
+
+use proptest::prelude::*;
+
+use ffis_core::{wilson, ByteFlip, FaultModel, Mutation, Rng, ShornFill, ShornKeep};
+use ffis_vfs::{FileSystem, FileSystemExt, MemFs, SECTOR_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BIT FLIP flips exactly `bits` consecutive bits, never changes
+    /// the length, and is an involution (applying the same damage
+    /// twice restores the buffer).
+    #[test]
+    fn bitflip_flips_exactly_n_bits(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        bits in 1u32..16,
+        seed in any::<u64>(),
+    ) {
+        let model = FaultModel::BitFlip { bits };
+        let mut rng = Rng::seed_from(seed);
+        match model.apply_to_buffer(&data, &mut rng) {
+            Mutation::Replaced { buf, .. } => {
+                prop_assert_eq!(buf.len(), data.len());
+                let flipped: u32 = buf.iter().zip(&data).map(|(a, b)| (a ^ b).count_ones()).sum();
+                prop_assert_eq!(flipped, bits.min(data.len() as u32 * 8));
+                // Consecutiveness.
+                let mut positions = Vec::new();
+                for (i, (a, b)) in buf.iter().zip(&data).enumerate() {
+                    let x = a ^ b;
+                    for k in 0..8 {
+                        if x & (1 << k) != 0 {
+                            positions.push(i * 8 + k);
+                        }
+                    }
+                }
+                for w in positions.windows(2) {
+                    prop_assert_eq!(w[1], w[0] + 1);
+                }
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// SHORN WRITE preserves a sector-aligned prefix of the affected
+    /// block and never changes bytes outside that block.
+    #[test]
+    fn shorn_write_damage_is_sector_aligned_and_block_local(
+        data in proptest::collection::vec(any::<u8>(), 1..3 * 4096),
+        keep37 in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let keep = if keep37 { ShornKeep::ThreeEighths } else { ShornKeep::SevenEighths };
+        let model = FaultModel::ShornWrite { keep, fill: ShornFill::Zeros };
+        let mut rng = Rng::seed_from(seed);
+        match model.apply_to_buffer(&data, &mut rng) {
+            Mutation::Replaced { buf, .. } => {
+                prop_assert_eq!(buf.len(), data.len());
+                let first_diff = buf.iter().zip(&data).position(|(a, b)| a != b);
+                let last_diff = buf.iter().zip(&data).rposition(|(a, b)| a != b);
+                if let (Some(first), Some(last)) = (first_diff, last_diff) {
+                    // Damage begins on a sector boundary and stays
+                    // within one 4 KiB block.
+                    prop_assert_eq!(first % SECTOR_SIZE, 0, "tear not sector aligned");
+                    prop_assert_eq!(first / 4096, last / 4096, "tear crosses a block");
+                }
+            }
+            Mutation::NotApplicable => {
+                // Legal for very small buffers where nothing tears.
+                prop_assert!(data.len() < 8 * SECTOR_SIZE);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// DROPPED WRITE never mutates — it suppresses.
+    #[test]
+    fn dropped_write_always_drops(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        prop_assert_eq!(
+            FaultModel::dropped_write().apply_to_buffer(&data, &mut rng),
+            Mutation::Dropped
+        );
+    }
+
+    /// ByteFlip::Xor is an involution; Set is idempotent.
+    #[test]
+    fn byteflip_algebra(b in any::<u8>(), m in 1u8..=255, v in any::<u8>()) {
+        let x = ByteFlip::Xor(m);
+        prop_assert_eq!(x.apply(x.apply(b)), b);
+        let s = ByteFlip::Set(v);
+        prop_assert_eq!(s.apply(s.apply(b)), s.apply(b));
+    }
+
+    /// The IEEE f32 codec in hdf5lite round-trips arbitrary finite
+    /// f32 values through decode.
+    #[test]
+    fn floatspec_f32_decode_matches_native(bits in any::<u32>()) {
+        let v = f32::from_bits(bits);
+        prop_assume!(v.is_finite());
+        let spec = hdf5lite::FloatSpec::ieee_f32();
+        let decoded = spec.decode(&v.to_le_bytes()).unwrap();
+        if v == 0.0 {
+            prop_assert_eq!(decoded, 0.0);
+        } else if v.is_subnormal() {
+            // Subnormals decode to ~0 under the normalized model; the
+            // workloads never write them.
+        } else {
+            prop_assert!(
+                (decoded - v as f64).abs() <= (v as f64).abs() * 1e-6,
+                "{} decoded as {}", v, decoded
+            );
+        }
+    }
+
+    /// HDF5 write→read round-trips arbitrary small grids bit-exactly
+    /// (through f32 quantization).
+    #[test]
+    fn hdf5_roundtrip(
+        data in proptest::collection::vec(-1e6f32..1e6, 1..64),
+    ) {
+        let fs = MemFs::new();
+        let dims = [data.len() as u64];
+        let mut b = hdf5lite::FileBuilder::new();
+        b.add_dataset("/g/d", hdf5lite::Dataset::f32("d", &dims, &data)).unwrap();
+        hdf5lite::write_file(&fs, "/t.h5", &b.into_root(), &hdf5lite::WriteOptions::default()).unwrap();
+        let info = hdf5lite::read_dataset(&fs, "/t.h5", "/g/d").unwrap();
+        prop_assert_eq!(info.values.len(), data.len());
+        for (got, want) in info.values.iter().zip(&data) {
+            prop_assert_eq!(*got as f32, *want);
+        }
+    }
+
+    /// FITS round-trips arbitrary small images (including NaN blanks).
+    #[test]
+    fn fits_roundtrip(
+        w in 1usize..20,
+        h in 1usize..20,
+        fill in any::<f64>(),
+    ) {
+        let wcs = fitslite::Wcs {
+            crval1: 210.0, crval2: 54.0, crpix1: 1.0, crpix2: 1.0,
+            cdelt1: -0.001, cdelt2: 0.001,
+        };
+        let mut img = fitslite::FitsImage::blank(w, h, wcs);
+        for i in 0..w * h {
+            img.data[i] = if i % 7 == 0 { f64::NAN } else { fill };
+        }
+        let fs = MemFs::new();
+        fitslite::write_fits(&fs, "/i.fits", &img).unwrap();
+        let back = fitslite::read_fits(&fs, "/i.fits").unwrap();
+        prop_assert_eq!(back.width, w);
+        prop_assert_eq!(back.height, h);
+        for (a, b) in back.data.iter().zip(&img.data) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+
+    /// Wilson intervals always bracket the point estimate and stay in
+    /// [0, 1].
+    #[test]
+    fn wilson_bracket(k in 0u64..=1000, extra in 0u64..1000) {
+        let n = k + extra;
+        let p = wilson(k, n);
+        if n > 0 {
+            prop_assert!(p.lo <= p.p + 1e-12);
+            prop_assert!(p.hi >= p.p - 1e-12);
+            prop_assert!(p.lo >= 0.0 && p.hi <= 1.0);
+        }
+    }
+
+    /// VFS writes round-trip arbitrary content at arbitrary offsets.
+    #[test]
+    fn vfs_sparse_write_roundtrip(
+        content in proptest::collection::vec(any::<u8>(), 1..512),
+        offset in 0u64..10_000,
+    ) {
+        let fs = MemFs::new();
+        let fd = fs.create("/p", 0o644).unwrap();
+        fs.pwrite(fd, &content, offset).unwrap();
+        fs.release(fd).unwrap();
+        let all = fs.read_to_vec("/p").unwrap();
+        prop_assert_eq!(all.len() as u64, offset + content.len() as u64);
+        prop_assert_eq!(&all[offset as usize..], &content[..]);
+        prop_assert!(all[..offset as usize].iter().all(|&b| b == 0));
+    }
+
+    /// The deterministic RNG's gen_range never exceeds its bound.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.gen_range(n) < n);
+        }
+    }
+
+    /// Halo-finder invariants on arbitrary positive grids: halo mass
+    /// is positive, cell counts respect the minimum, the summed halo
+    /// cells never exceed the candidate count, and a global scale
+    /// leaves the catalog structure invariant (threshold is
+    /// mean-relative).
+    #[test]
+    fn halo_finder_invariants(
+        values in proptest::collection::vec(0.01f64..10.0, 64..216),
+        spike_idx in 0usize..64,
+        spike in 500.0f64..5000.0,
+    ) {
+        // Pack into the largest cube that fits.
+        let n = (values.len() as f64).cbrt() as usize;
+        let mut grid = values[..n * n * n].to_vec();
+        let spike_at = spike_idx % grid.len();
+        grid[spike_at] = spike;
+        let cfg = nyx_sim::HaloFinderConfig::default();
+        let cat = nyx_sim::find_halos(&grid, [n; 3], &cfg);
+        let mut cells_total = 0u64;
+        for h in &cat.halos {
+            prop_assert!(h.mass > 0.0);
+            prop_assert!(h.cells >= cfg.min_cells);
+            prop_assert!(h.center.iter().all(|&c| c >= 0.0 && c < n as f64));
+            cells_total += h.cells as u64;
+        }
+        prop_assert!(cells_total <= cat.candidate_cells);
+
+        // Scale invariance (the Exponent-Bias SDC signature).
+        let scaled: Vec<f64> = grid.iter().map(|v| v * 8.0).collect();
+        let cat2 = nyx_sim::find_halos(&scaled, [n; 3], &cfg);
+        prop_assert_eq!(cat2.halos.len(), cat.halos.len());
+        prop_assert_eq!(cat2.candidate_cells, cat.candidate_cells);
+        for (a, b) in cat.halos.iter().zip(&cat2.halos) {
+            prop_assert_eq!(a.cells, b.cells);
+            prop_assert!((b.mass / a.mass - 8.0).abs() < 1e-9);
+        }
+    }
+
+    /// Fletcher-32 detects any single-byte change in arbitrary data.
+    #[test]
+    fn fletcher_detects_byte_changes(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        pos in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let base = hdf5lite::fletcher32(&data);
+        let mut mutated = data.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] ^= xor;
+        prop_assert_ne!(hdf5lite::fletcher32(&mutated), base);
+    }
+
+    /// scalar.dat rendering always re-parses to the same rows.
+    #[test]
+    fn scalar_dat_roundtrip(
+        energies in proptest::collection::vec(-10.0f64..10.0, 25..60),
+    ) {
+        let rows: Vec<qmc_sim::ScalarRow> = energies
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| qmc_sim::ScalarRow {
+                index: i as u64,
+                local_energy: e,
+                variance: e.abs(),
+                weight: 100.0,
+                accept_ratio: 0.5,
+            })
+            .collect();
+        let text = qmc_sim::render_scalar(&rows);
+        let parsed = qmc_sim::parse_scalar(&text, 1).unwrap();
+        prop_assert_eq!(parsed.rows.len(), rows.len());
+        prop_assert_eq!(parsed.skipped, 0);
+        for (a, b) in parsed.rows.iter().zip(&rows) {
+            prop_assert!((a.local_energy - b.local_energy).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate repair integration: inject the paper's six SDC-prone
+//! metadata faults through the FFIS machinery, run the §V-A
+//! detection/auto-correction from hdf5lite, and verify the Nyx halo
+//! analysis fully recovers.
+
+use ffis_core::{locate_write, ByteFaultInjector, ByteFlip, FaultApp, TargetFilter, WritePick};
+use ffis_vfs::{FfisFs, FileSystem, FileSystemExt, MemFs};
+use nyx_sim::{find_halos, FieldConfig, HaloFinderConfig, NyxApp, NyxConfig, DATASET, PLOTFILE};
+use std::sync::Arc;
+
+fn app() -> NyxApp {
+    NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 24, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+/// Produce a faulty plotfile by injecting `flip` at the field named
+/// `needle`, returning a filesystem holding the corrupted file.
+fn corrupted_file(app: &NyxApp, needle: &str, flip: ByteFlip) -> MemFs {
+    let spans = app.metadata_spans();
+    let span = spans.iter().find(|s| s.name.contains(needle)).expect("field exists");
+    let target = TargetFilter::PathSuffix(".h5".into());
+    let (instance, _, _, _) =
+        locate_write(app, &target, WritePick::Penultimate).expect("locatable");
+
+    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+    let inj = Arc::new(ByteFaultInjector::new(target, instance, span.start as usize, flip));
+    ffs.attach(inj.clone());
+    let _ = app.run(&*ffs); // crash outcomes still leave the file behind
+    assert!(inj.record().is_some(), "fault must fire for {}", needle);
+
+    let bytes = ffs.read_to_vec(PLOTFILE).expect("plotfile written");
+    let fs = MemFs::new();
+    fs.mkdir("/run", 0o755).unwrap();
+    fs.write_file(PLOTFILE, &bytes).unwrap();
+    fs
+}
+
+fn catalog_text(fs: &MemFs) -> Option<String> {
+    let info = hdf5lite::read_dataset(fs, PLOTFILE, DATASET).ok()?;
+    let dims = [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
+    Some(find_halos(&info.values, dims, &HaloFinderConfig::default()).render())
+}
+
+#[test]
+fn all_six_sdc_fields_repair_to_golden() {
+    let app = app();
+    let golden = app.run(&MemFs::new()).unwrap();
+    assert!(!golden.catalog.halos.is_empty());
+
+    let cases: [(&str, ByteFlip); 6] = [
+        ("MantissaNormalization", ByteFlip::Xor(0x20)),
+        ("ExponentLocation", ByteFlip::Xor(0x02)),
+        ("MantissaLocation", ByteFlip::Xor(0x02)),
+        ("MantissaSize", ByteFlip::Xor(0x04)),
+        ("ExponentBias", ByteFlip::Xor(0x0C)),
+        ("AddressOfRawData", ByteFlip::Xor(0x40)),
+    ];
+    for (needle, flip) in cases {
+        let fs = corrupted_file(&app, needle, flip);
+        // The corrupted analysis must differ from golden (else the
+        // fault was a no-op and the test is vacuous).
+        let before = catalog_text(&fs);
+        assert_ne!(
+            before.as_deref(),
+            Some(golden.catalog_text.as_str()),
+            "{} fault had no effect",
+            needle
+        );
+
+        let report = hdf5lite::repair_file(&fs, PLOTFILE, DATASET, 1.0)
+            .unwrap_or_else(|e| panic!("{} unrepairable: {}", needle, e));
+        assert!(
+            !report.corrections.is_empty(),
+            "{} produced no corrections (diagnosis {:?})",
+            needle,
+            report.diagnosis
+        );
+        assert!((report.mean_after - 1.0).abs() < 1e-3, "{} mean {}", needle, report.mean_after);
+
+        let after = catalog_text(&fs).expect("repaired file readable");
+        assert_eq!(after, golden.catalog_text, "{} halo analysis not recovered", needle);
+    }
+}
+
+#[test]
+fn repair_is_idempotent() {
+    let app = app();
+    let fs = corrupted_file(&app, "ExponentBias", ByteFlip::Xor(0x0C));
+    let first = hdf5lite::repair_file(&fs, PLOTFILE, DATASET, 1.0).unwrap();
+    assert!(!first.corrections.is_empty());
+    let second = hdf5lite::repair_file(&fs, PLOTFILE, DATASET, 1.0).unwrap();
+    assert!(second.corrections.is_empty(), "second pass should be clean: {:?}", second.corrections);
+    assert_eq!(second.diagnosis, hdf5lite::Diagnosis::Healthy);
+}
+
+#[test]
+fn repair_does_not_touch_healthy_files() {
+    let app = app();
+    let fs = MemFs::new();
+    let golden = app.run(&fs).unwrap();
+    let before = fs.read_to_vec(PLOTFILE).unwrap();
+    let report = hdf5lite::repair_file(&fs, PLOTFILE, DATASET, 1.0).unwrap();
+    assert!(report.corrections.is_empty());
+    assert_eq!(fs.read_to_vec(PLOTFILE).unwrap(), before, "healthy file modified");
+    assert_eq!(catalog_text(&fs).unwrap(), golden.catalog_text);
+}

@@ -1,0 +1,142 @@
+//! End-to-end FFIS workflow integration tests: the full Figure 4
+//! pipeline (generator → profiler → injector → classification) driven
+//! against all three real application workloads at reduced scale.
+
+use ffis_core::prelude::*;
+use ffis_core::{FaultConfig, IoProfiler};
+use ffis_vfs::{MemFs, Primitive};
+use montage_sim::{MontageApp, Stage};
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+use qmc_sim::{DmcConfig, QmcApp, QmcConfig, QmcaConfig, VmcConfig};
+
+fn small_nyx() -> NyxApp {
+    NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 24, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn small_qmc() -> QmcApp {
+    QmcApp::new(QmcConfig {
+        vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+        dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+        qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+        ..Default::default()
+    })
+}
+
+#[test]
+fn generator_profiler_injector_chain_on_nyx() {
+    // Fault generator: user config -> validated signature.
+    let sig = FaultConfig::model("dropped").build().expect("valid signature");
+    assert_eq!(sig.model, FaultModel::DroppedWrite);
+
+    // I/O profiler: fault-free run, dynamic counts.
+    let app = small_nyx();
+    let profiler = IoProfiler::new(Primitive::Write, sig.target.clone());
+    let (profile, golden) = profiler.profile(|fs| {
+        use ffis_core::FaultApp;
+        app.run(fs)
+    }).expect("profiling run");
+    assert!(profile.eligible > 5, "Nyx must issue many writes");
+    assert!(!golden.catalog_text.is_empty());
+
+    // Campaign: inject across the instance space.
+    let cfg = CampaignConfig::new(sig).with_runs(30).with_seed(5);
+    let result = Campaign::new(&app, cfg).run().expect("campaign");
+    assert_eq!(result.tally.total(), 30);
+    assert_eq!(result.profile.eligible, profile.eligible);
+    // Every run fired (instance space matches the profile).
+    assert!(result.runs.iter().all(|r| r.injection.is_some() || r.outcome == Outcome::Crash));
+}
+
+#[test]
+fn all_three_apps_complete_campaigns() {
+    let nyx = small_nyx();
+    let qmc = small_qmc();
+    let montage = MontageApp::paper_default();
+
+    let sig = FaultSignature::on_write(FaultModel::bit_flip());
+    for (name, tally) in [
+        ("NYX", Campaign::new(&nyx, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(1)).run().unwrap().tally),
+        ("QMC", Campaign::new(&qmc, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(2)).run().unwrap().tally),
+        ("MT", Campaign::new(&montage, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(3)).run().unwrap().tally),
+    ] {
+        assert_eq!(tally.total(), 20, "{} incomplete: {}", name, tally);
+    }
+}
+
+#[test]
+fn montage_stage_scoping_respects_filters() {
+    let montage = MontageApp::paper_default();
+    for stage in Stage::ALL {
+        let mut sig = FaultSignature::on_write(FaultModel::bit_flip());
+        sig.target = MontageApp::stage_filter(stage);
+        let cfg = CampaignConfig::new(sig).with_runs(5).with_seed(stage.label().len() as u64);
+        let result = Campaign::new(&montage, cfg).run().expect("stage campaign");
+        for run in &result.runs {
+            if let Some(rec) = &run.injection {
+                let path = rec.path.as_deref().unwrap_or("");
+                assert!(
+                    MontageApp::stage_filter(stage).matches(Some(path)),
+                    "{} injection escaped its stage: {}",
+                    stage.label(),
+                    path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_campaign_runs_are_benign() {
+    // Arm an injector at an instance beyond the write count: no fault
+    // fires and every run must classify benign (the framework itself
+    // introduces no perturbation — transparency, R1).
+    use ffis_core::{ArmedInjector, FaultApp};
+    use std::sync::Arc;
+
+    let app = small_nyx();
+    let golden = app.run(&MemFs::new()).unwrap();
+    for seed in 0..3 {
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature::on_write(FaultModel::bit_flip()),
+            1_000_000,
+            seed,
+        ));
+        let ffs = ffis_vfs::FfisFs::mount(Arc::new(MemFs::new()));
+        ffs.attach(inj.clone());
+        let out = app.run(&*ffs).unwrap();
+        assert!(!inj.fired());
+        assert_eq!(app.classify(&golden, &out), Outcome::Benign);
+    }
+}
+
+#[test]
+fn qmc_outcome_depends_on_which_file_is_hit() {
+    use ffis_core::{ArmedInjector, FaultApp};
+    use std::sync::Arc;
+
+    let app = small_qmc();
+    let golden = app.run(&MemFs::new()).unwrap();
+
+    // Fault scoped to s000 only: the classified s001 is untouched.
+    let mut sig = FaultSignature::on_write(FaultModel::bit_flip());
+    sig.target = TargetFilter::PathContains("s000.scalar".into());
+    let inj = Arc::new(ArmedInjector::new(sig, 1, 11));
+    let ffs = ffis_vfs::FfisFs::mount(Arc::new(MemFs::new()));
+    ffs.attach(inj.clone());
+    let out = app.run(&*ffs).unwrap();
+    assert!(inj.fired());
+    assert_eq!(app.classify(&golden, &out), Outcome::Benign);
+
+    // Fault scoped to s001: the artifact differs.
+    let mut sig = FaultSignature::on_write(FaultModel::bit_flip());
+    sig.target = TargetFilter::PathContains("s001.scalar".into());
+    let inj = Arc::new(ArmedInjector::new(sig, 2, 12));
+    let ffs = ffis_vfs::FfisFs::mount(Arc::new(MemFs::new()));
+    ffs.attach(inj.clone());
+    let out = app.run(&*ffs).unwrap();
+    assert!(inj.fired());
+    assert_ne!(app.classify(&golden, &out), Outcome::Benign);
+}
