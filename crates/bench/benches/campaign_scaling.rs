@@ -19,10 +19,9 @@ fn bench_campaign(c: &mut Criterion) {
         let label = if parallel { "parallel" } else { "serial" };
         group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
             b.iter(|| {
-                let mut cfg =
-                    CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
-                        .with_runs(runs)
-                        .with_seed(3);
+                let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                    .with_runs(runs)
+                    .with_seed(3);
                 cfg.parallel = parallel;
                 Campaign::new(&app, cfg).run().unwrap()
             });

@@ -9,19 +9,12 @@ fn bench_dmc(c: &mut Criterion) {
     let mut group = c.benchmark_group("dmc_walkers");
     group.sample_size(10);
     for &walkers in &[64usize, 256] {
-        let vmc = run_vmc(
-            &wf,
-            &VmcConfig { walkers, warmup: 200, steps: 10, ..Default::default() },
-        );
+        let vmc =
+            run_vmc(&wf, &VmcConfig { walkers, warmup: 200, steps: 10, ..Default::default() });
         let steps = 200usize;
         group.throughput(Throughput::Elements((walkers * steps) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(walkers), &walkers, |b, &walkers| {
-            let cfg = DmcConfig {
-                target_walkers: walkers,
-                warmup: 0,
-                steps,
-                ..Default::default()
-            };
+            let cfg = DmcConfig { target_walkers: walkers, warmup: 0, steps, ..Default::default() };
             b.iter(|| run_dmc(&wf, &vmc.walkers, &cfg).unwrap());
         });
     }

@@ -1,0 +1,98 @@
+//! Fork+replay vs legacy full-rerun metadata scan on the
+//! hdf5lite-backed Nyx workload — the tentpole speedup of the replay
+//! engine. The legacy path re-executes the whole application (HDF5
+//! encode, float packing, halo finding) once per scanned byte; the
+//! fast path forks the pre-injection CoW snapshot and replays only the
+//! trace suffix before verifying.
+//!
+//! Beyond the two criterion timings, the bench asserts the headline
+//! claim directly: the replay scan must run at least 5x faster than
+//! the legacy scan on identical configuration, with identical
+//! outcomes.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_core::{scan_detailed, FlipMode, ScanConfig, TargetFilter};
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+fn cfg(replay: bool, stride: usize) -> ScanConfig {
+    let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
+    cfg.stride = stride;
+    cfg.flip = FlipMode::TwoBitsRandom;
+    cfg.replay = replay;
+    // Serial: measure per-byte work, not rayon scheduling.
+    cfg.parallel = false;
+    cfg
+}
+
+fn bench_scan_replay(c: &mut Criterion) {
+    // `resimulate` charges each legacy rerun its true application
+    // cost (the paper's injection runs execute Nyx end-to-end,
+    // simulation included); the replay path never pays it — that is
+    // precisely the redundant prefix work the engine eliminates.
+    let app = NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 16, ..Default::default() },
+        resimulate: true,
+        ..Default::default()
+    });
+    let stride = 32; // ~68 injected bytes per scan iteration
+
+    let mut group = c.benchmark_group("scan_replay");
+    group.sample_size(10);
+    let bytes_scanned = {
+        let probe = scan_detailed(&app, &cfg(true, stride)).unwrap();
+        assert!(probe.used_replay, "fast path must engage for the bench to be meaningful");
+        probe.runs.len() as u64
+    };
+    group.throughput(Throughput::Elements(bytes_scanned));
+
+    for replay in [false, true] {
+        let label = if replay { "fork_replay" } else { "legacy_rerun" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &replay, |b, &replay| {
+            let c = cfg(replay, stride);
+            b.iter(|| scan_detailed(&app, &c).unwrap());
+        });
+    }
+    group.finish();
+
+    // Headline assertion: >= 5x on identical work, identical outcomes.
+    // Median of several timed pairs so one scheduler stall on a shared
+    // CI runner cannot flake the gate (measured headroom is ~12x).
+    let timed = |replay: bool| {
+        let c = cfg(replay, stride);
+        let start = Instant::now();
+        let result = scan_detailed(&app, &c).unwrap();
+        (start.elapsed(), result)
+    };
+    // One warmup each, then measure.
+    timed(false);
+    timed(true);
+    let mut legacy_times = Vec::new();
+    let mut replay_times = Vec::new();
+    let mut bytes = 0;
+    for _ in 0..3 {
+        let (legacy_t, legacy) = timed(false);
+        let (replay_t, replay) = timed(true);
+        assert_eq!(legacy.tally, replay.tally, "paths must classify identically");
+        legacy_times.push(legacy_t);
+        replay_times.push(replay_t);
+        bytes = legacy.runs.len();
+    }
+    legacy_times.sort();
+    replay_times.sort();
+    let (legacy_t, replay_t) = (legacy_times[1], replay_times[1]);
+    let speedup = legacy_t.as_secs_f64() / replay_t.as_secs_f64().max(1e-12);
+    println!(
+        "scan_replay: legacy {:?} vs fork+replay {:?} over {} bytes (median of 3) -> {:.1}x speedup",
+        legacy_t, replay_t, bytes, speedup
+    );
+    assert!(
+        speedup >= 5.0,
+        "fork+replay must be >= 5x faster than full reruns (got {:.1}x)",
+        speedup
+    );
+}
+
+criterion_group!(benches, bench_scan_replay);
+criterion_main!(benches);

@@ -44,10 +44,8 @@ impl Options {
                     opts.quick = true;
                     continue;
                 }
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{} requires a value", flag))?
-                    .clone();
+                let value =
+                    it.next().ok_or_else(|| format!("--{} requires a value", flag))?.clone();
                 map.insert(flag.to_string(), value);
             } else {
                 positional.push(a.clone());
@@ -92,7 +90,8 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let (o, pos) = parse(&["table3", "--runs", "50", "--seed", "9", "--grid", "32", "--out", "/tmp/x"]);
+        let (o, pos) =
+            parse(&["table3", "--runs", "50", "--seed", "9", "--grid", "32", "--out", "/tmp/x"]);
         assert_eq!(o.runs, 50);
         assert_eq!(o.seed, 9);
         assert_eq!(o.grid, 32);

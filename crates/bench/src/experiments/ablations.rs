@@ -96,7 +96,8 @@ pub fn checksum(opts: &Options) -> Report {
     let mut t = Table::new();
     t.row(&["format", "benign%", "detected%", "SDC%", "crash%", "n"]);
     for sealed in [false, true] {
-        let mut cfg = NyxConfig { keep_field: false, seal_metadata: sealed, ..NyxConfig::default() };
+        let mut cfg =
+            NyxConfig { keep_field: false, seal_metadata: sealed, ..NyxConfig::default() };
         cfg.field.n = if opts.quick { 24 } else { 32 };
         let app = NyxApp::new(cfg);
         let mut scan_cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
@@ -142,7 +143,15 @@ pub fn repair(opts: &Options) -> Report {
     ];
 
     let mut t = Table::new();
-    t.row(&["field", "fault outcome", "diagnosis", "corrections", "mean before", "mean after", "halos recovered"]);
+    t.row(&[
+        "field",
+        "fault outcome",
+        "diagnosis",
+        "corrections",
+        "mean before",
+        "mean after",
+        "halos recovered",
+    ]);
     for (label, needle, flip) in cases {
         let span = map.find(needle)[0].clone();
         // Build a faulty file on a private filesystem (not via the
@@ -160,7 +169,7 @@ pub fn repair(opts: &Options) -> Report {
             ));
             ffs.attach(inj);
             let _ = app.run(&*ffs); // outcome irrelevant; we want the file
-            // Copy the faulty plotfile onto the repair filesystem.
+                                    // Copy the faulty plotfile onto the repair filesystem.
             let bytes = ffs.read_to_vec(nyx_sim::PLOTFILE).expect("plotfile exists");
             fs.mkdir("/run", 0o755).unwrap();
             fs.write_file(nyx_sim::PLOTFILE, &bytes).unwrap();
@@ -171,8 +180,13 @@ pub fn repair(opts: &Options) -> Report {
             // What would the analysis say pre-repair?
             match hdf5lite::read_dataset(&fs, nyx_sim::PLOTFILE, nyx_sim::DATASET) {
                 Ok(info) => {
-                    let dims = [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
-                    let catalog = nyx_sim::find_halos(&info.values, dims, &nyx_sim::HaloFinderConfig::default());
+                    let dims =
+                        [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
+                    let catalog = nyx_sim::find_halos(
+                        &info.values,
+                        dims,
+                        &nyx_sim::HaloFinderConfig::default(),
+                    );
                     let out = nyx_sim::NyxOutput {
                         catalog_text: catalog.render(),
                         catalog,
@@ -188,21 +202,24 @@ pub fn repair(opts: &Options) -> Report {
         match hdf5lite::repair_file(&fs, nyx_sim::PLOTFILE, nyx_sim::DATASET, 1.0) {
             Ok(rep) => {
                 // Post-repair analysis.
-                let recovered = match hdf5lite::read_dataset(&fs, nyx_sim::PLOTFILE, nyx_sim::DATASET) {
-                    Ok(info) => {
-                        let dims =
-                            [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
-                        let catalog = nyx_sim::find_halos(
-                            &info.values,
-                            dims,
-                            &nyx_sim::HaloFinderConfig::default(),
-                        );
-                        catalog.render() == golden.catalog_text
-                    }
-                    Err(_) => false,
-                };
-                let fields: Vec<&str> =
-                    rep.corrections.iter().map(|c| c.field.as_str()).collect();
+                let recovered =
+                    match hdf5lite::read_dataset(&fs, nyx_sim::PLOTFILE, nyx_sim::DATASET) {
+                        Ok(info) => {
+                            let dims = [
+                                info.dims[0] as usize,
+                                info.dims[1] as usize,
+                                info.dims[2] as usize,
+                            ];
+                            let catalog = nyx_sim::find_halos(
+                                &info.values,
+                                dims,
+                                &nyx_sim::HaloFinderConfig::default(),
+                            );
+                            catalog.render() == golden.catalog_text
+                        }
+                        Err(_) => false,
+                    };
+                let fields: Vec<&str> = rep.corrections.iter().map(|c| c.field.as_str()).collect();
                 t.row(&[
                     label,
                     fault_outcome.name(),

@@ -66,9 +66,7 @@ pub fn run_cell_full<A: FaultApp>(
 ) -> Option<ffis_core::CampaignResult> {
     let mut sig = FaultSignature::on_write(model);
     sig.target = target;
-    let cfg = CampaignConfig::new(sig)
-        .with_runs(opts.runs)
-        .with_seed(opts.seed.wrapping_add(salt));
+    let cfg = CampaignConfig::new(sig).with_runs(opts.runs).with_seed(opts.seed.wrapping_add(salt));
     match Campaign::new(app, cfg).run() {
         Ok(r) => Some(r),
         Err(e) => {
@@ -92,25 +90,25 @@ pub fn fig7(opts: &Options) -> Report {
     table.row(&["cell", "model", "benign%", "detected%", "SDC%", "crash%", "n", "SDC CI"]);
     let mut csv = String::from("cell,model,benign,detected,sdc,crash,n\n");
     let mut crash_notes: Vec<String> = Vec::new();
-    let mut record = |cell: &str, label: &str, result: Option<ffis_core::CampaignResult>,
-                      table: &mut Table| {
-        let Some(result) = result else {
-            table.row(&[cell, label, "-", "-", "-", "-", "0", "-"]);
-            return;
+    let mut record =
+        |cell: &str, label: &str, result: Option<ffis_core::CampaignResult>, table: &mut Table| {
+            let Some(result) = result else {
+                table.row(&[cell, label, "-", "-", "-", "-", "0", "-"]);
+                return;
+            };
+            tally_row(table, cell, label, &result.tally);
+            csv.push_str(&result.csv_row(&format!("{},{}", cell, label)));
+            csv.push('\n');
+            if result.tally.crash > 0 {
+                let top: Vec<String> = result
+                    .crash_breakdown()
+                    .into_iter()
+                    .take(2)
+                    .map(|(m, c)| format!("{} ({}x)", m, c))
+                    .collect();
+                crash_notes.push(format!("{} {}: {}", cell, label, top.join("; ")));
+            }
         };
-        tally_row(table, cell, label, &result.tally);
-        csv.push_str(&result.csv_row(&format!("{},{}", cell, label)));
-        csv.push('\n');
-        if result.tally.crash > 0 {
-            let top: Vec<String> = result
-                .crash_breakdown()
-                .into_iter()
-                .take(2)
-                .map(|(m, c)| format!("{} ({}x)", m, c))
-                .collect();
-            crash_notes.push(format!("{} {}: {}", cell, label, top.join("; ")));
-        }
-    };
 
     // NYX.
     let nyx = nyx_app(opts);
@@ -153,7 +151,9 @@ pub fn fig7(opts: &Options) -> Report {
     report.line("NYX BF: 91.1% benign, 0.8% SDC (lowest SDC of the three apps)");
     report.line("NYX SW: 100% benign;  NYX DW: 100% SDC (1000/1000)");
     report.line("QMC BF: ~60% SDC, ~37% benign, 0.8% detected; SW: 54% SDC; DW: 8% SDC, 43% detected, 12% crash");
-    report.line("MT BF SDC by stage: 12.8/8/9/6.8%;  SW: 56.6/40/52.5/48.5%;  DW: 83.5/37.3/98.3/50.4%");
+    report.line(
+        "MT BF SDC by stage: 12.8/8/9/6.8%;  SW: 56.6/40/52.5/48.5%;  DW: 83.5/37.3/98.3/50.4%",
+    );
     report
 }
 
@@ -189,7 +189,13 @@ pub fn protect(opts: &Options) -> Report {
     let protected = ProtectedNyx(nyx_app(opts));
 
     let mut table = Table::new();
-    table.row(&["model", "SDC% (plain)", "SDC% (protected)", "detected% (plain)", "detected% (protected)"]);
+    table.row(&[
+        "model",
+        "SDC% (plain)",
+        "SDC% (protected)",
+        "detected% (plain)",
+        "detected% (protected)",
+    ]);
     for (i, (label, model)) in models().into_iter().enumerate() {
         let plain = run_cell(&nyx, model, TargetFilter::Any, opts, 100 + i as u64);
         let prot = run_cell(&protected, model, TargetFilter::Any, opts, 100 + i as u64);

@@ -148,9 +148,8 @@ pub fn param_faults(opts: &Options) -> Report {
         let mut fc = ffis_core::FaultConfig::model("bitflip");
         fc.primitive = Some(prim.to_string());
         let sig = fc.build().expect("valid");
-        let cfg = CampaignConfig::new(sig)
-            .with_runs(opts.runs.min(300))
-            .with_seed(opts.seed ^ 0x9A7A);
+        let cfg =
+            CampaignConfig::new(sig).with_runs(opts.runs.min(300)).with_seed(opts.seed ^ 0x9A7A);
         match Campaign::new(&StagingApp, cfg).run() {
             Ok(r) => table.row(&[
                 &format!("FFIS_{}", prim),

@@ -122,11 +122,10 @@ pub fn fig6(opts: &Options) -> Report {
 
         // ASCII map of the z-plane with the most golden candidates.
         let plane = (0..n)
-            .max_by_key(|&z| {
-                gmask[z * n * n..(z + 1) * n * n].iter().filter(|&&m| m).count()
-            })
+            .max_by_key(|&z| gmask[z * n * n..(z + 1) * n * n].iter().filter(|&&m| m).count())
             .unwrap_or(n / 2);
-        report.line(format!("candidate map at z = {} ('#' original, 'o' faulty, '@' both):", plane));
+        report
+            .line(format!("candidate map at z = {} ('#' original, 'o' faulty, '@' both):", plane));
         for y in 0..n {
             let mut row = String::with_capacity(n);
             for x in 0..n {
@@ -182,11 +181,7 @@ pub fn fig8(opts: &Options) -> Report {
     let mut t = Table::new();
     t.row(&["log10(mass) bin center", "original count", "faulty count"]);
     for (i, (center, count)) in gh.series().into_iter().enumerate() {
-        t.row(&[
-            &format!("{:.2}", center),
-            &count.to_string(),
-            &fh.counts()[i].to_string(),
-        ]);
+        t.row(&[&format!("{:.2}", center), &count.to_string(), &fh.counts()[i].to_string()]);
     }
     report.line(t.render());
     report.line(format!(
@@ -198,7 +193,8 @@ pub fn fig8(opts: &Options) -> Report {
         outcome.name()
     ));
     report.line("Paper: \"the SDC curve is different from the original curve, especially when the");
-    report.line("mass is relatively large, because halos with larger mass have more halo cells and");
+    report
+        .line("mass is relatively large, because halos with larger mass have more halo cells and");
     report.line("are more susceptible to DROPPED WRITE.\"");
     report
 }
@@ -260,8 +256,11 @@ pub fn fig9(opts: &Options) -> Report {
                 instance,
                 outcome.name()
             ));
-            report.line("Paper: \"there is a black line in the middle of the vortex, which is caused by");
-            report.line("missing a large piece of data due to DROPPED WRITE\"; the faulty min falls");
+            report.line(
+                "Paper: \"there is a black line in the middle of the vortex, which is caused by",
+            );
+            report
+                .line("missing a large piece of data due to DROPPED WRITE\"; the faulty min falls");
             report.line("outside [golden-0.01, golden+0.01], so the case is detected.");
         }
         None => report.line("no visible faulty case found in the scanned instances"),

@@ -135,7 +135,8 @@ pub fn table3(opts: &Options) -> Report {
     report.line(ft.render());
     report.header("Paper reference");
     report.line("SDC 4 (0.2%) | Benign 2085 (85.7%) | Crash 343 (14.1%)");
-    report.line("SDC fields: Bit-5 of Mantissa Normalization, Exponent Location, Mantissa Location,");
+    report
+        .line("SDC fields: Bit-5 of Mantissa Normalization, Exponent Location, Mantissa Location,");
     report.line("            Mantissa Size, Exponent Bias, Address of Raw Data (ARD)");
     report
 }
@@ -178,7 +179,11 @@ pub struct Symptoms {
 }
 
 /// Compare golden and faulty Nyx outputs per the Table IV metrics.
-pub fn analyze_symptoms(golden: &NyxOutput, faulty: Option<&NyxOutput>, outcome: Outcome) -> Symptoms {
+pub fn analyze_symptoms(
+    golden: &NyxOutput,
+    faulty: Option<&NyxOutput>,
+    outcome: Outcome,
+) -> Symptoms {
     let Some(faulty) = faulty else {
         return Symptoms {
             mass: "-".into(),
@@ -214,11 +219,8 @@ pub fn analyze_symptoms(golden: &NyxOutput, faulty: Option<&NyxOutput>, outcome:
     let (mass, location) = if paired == 0 {
         ("no halos to compare".to_string(), "no halos to compare".to_string())
     } else {
-        let ratios: Vec<f64> =
-            (0..paired).map(|i| f.halos[i].mass / g.halos[i].mass).collect();
-        let uniform_ratio = ratios
-            .iter()
-            .all(|r| (r / ratios[0] - 1.0).abs() < 1e-6);
+        let ratios: Vec<f64> = (0..paired).map(|i| f.halos[i].mass / g.halos[i].mass).collect();
+        let uniform_ratio = ratios.iter().all(|r| (r / ratios[0] - 1.0).abs() < 1e-6);
         let mass = if ratios.iter().all(|r| (r - 1.0).abs() < 1e-9) {
             "unchanged".to_string()
         } else if uniform_ratio {
@@ -306,10 +308,15 @@ pub fn table4(opts: &Options) -> Report {
     }
     report.line(t.render());
     report.header("Paper reference (Table IV)");
-    report.line("Mantissa Normalization: mass changed, 45% locations changed, count +24%, avg -> 0.55");
+    report.line(
+        "Mantissa Normalization: mass changed, 45% locations changed, count +24%, avg -> 0.55",
+    );
     report.line("Exponent Location: mass/locations changed, count +20%, avg -> 1.04");
-    report.line("Mantissa Location/Size: mass/locations changed, count varies, avg in [1.04, 1.55]");
-    report.line("Exponent Bias: mass scaled, locations unchanged, count unchanged, avg scaled by 2^k");
+    report
+        .line("Mantissa Location/Size: mass/locations changed, count varies, avg in [1.04, 1.55]");
+    report.line(
+        "Exponent Bias: mass scaled, locations unchanged, count unchanged, avg scaled by 2^k",
+    );
     report.line("ARD: mass unchanged, locations shifted, count unchanged, avg unchanged");
     report
 }

@@ -86,10 +86,8 @@ pub fn grid_to_pgm(values: &[f64], width: usize, height: usize) -> Vec<u8> {
 
 /// Render a log-scaled PGM (better for density fields spanning decades).
 pub fn grid_to_pgm_log(values: &[f64], width: usize, height: usize) -> Vec<u8> {
-    let logged: Vec<f64> = values
-        .iter()
-        .map(|&v| if v.is_finite() && v > 0.0 { v.ln() } else { f64::NAN })
-        .collect();
+    let logged: Vec<f64> =
+        values.iter().map(|&v| if v.is_finite() && v > 0.0 { v.ln() } else { f64::NAN }).collect();
     grid_to_pgm(&logged, width, height)
 }
 

@@ -7,8 +7,11 @@
 use ffis_bench::{experiments, Options};
 
 fn opts() -> Options {
-    let args: Vec<String> =
-        vec!["--quick".into(), "--out".into(), std::env::temp_dir().join("ffis-smoke").to_string_lossy().into_owned()];
+    let args: Vec<String> = vec![
+        "--quick".into(),
+        "--out".into(),
+        std::env::temp_dir().join("ffis-smoke").to_string_lossy().into_owned(),
+    ];
     Options::parse(&args).unwrap().0
 }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use ffis_vfs::{FfisFs, MemFs};
+use ffis_vfs::{FfisFs, Interceptor, MemFs, Primitive, ReplayCursor, TraceOp, TraceRecorder};
 
 use crate::fault::FaultSignature;
 use crate::injector::{ArmedInjector, InjectionRecord};
@@ -35,12 +35,22 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Fan runs out across the rayon thread pool.
     pub parallel: bool,
+    /// Golden-trace replay fast path: instead of re-executing the
+    /// application per injection run, capture its mutating I/O once
+    /// and replay that trace through the armed injector, then run only
+    /// the application's [`FaultApp::verify`] phase. Requires a
+    /// verify-capable app and a `Write`-primitive (buffer-level) fault
+    /// signature; silently falls back to full reruns otherwise
+    /// ([`CampaignResult::used_replay`] reports which path ran).
+    /// Off by default: per-run outcomes are equivalent, but legacy
+    /// full reruns remain the reference semantics.
+    pub replay: bool,
 }
 
 impl CampaignConfig {
     /// Config with paper defaults (1,000 runs, parallel).
     pub fn new(signature: FaultSignature) -> Self {
-        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true }
+        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true, replay: false }
     }
 
     /// Override the run count.
@@ -52,6 +62,12 @@ impl CampaignConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the golden-trace replay fast path.
+    pub fn with_replay(mut self, replay: bool) -> Self {
+        self.replay = replay;
         self
     }
 }
@@ -80,6 +96,9 @@ pub struct CampaignResult {
     pub runs: Vec<RunResult>,
     /// The fault-free profile that sized the injection space.
     pub profile: ProfileReport,
+    /// True when the golden-trace replay fast path executed the
+    /// injection runs; false for legacy full re-execution.
+    pub used_replay: bool,
 }
 
 impl CampaignResult {
@@ -164,35 +183,36 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
 
         // Phase 1+2: golden run doubles as the profiling run — the
         // paper executes the application fault-free once to both count
-        // primitives and capture the reference output.
+        // primitives and capture the reference output. When the replay
+        // fast path is requested, the same run also records the golden
+        // trace.
         let profiler =
             IoProfiler::new(self.config.signature.primitive, self.config.signature.target.clone());
-        let (profile, golden) = profiler
-            .profile(|fs| self.app.run(fs))
+        let recorder = Arc::new(TraceRecorder::new());
+        let extras: Vec<Arc<dyn Interceptor>> =
+            if self.config.replay { vec![recorder.clone()] } else { Vec::new() };
+        let (profile, golden, base) = profiler
+            .profile_with(&extras, |fs| self.app.run(fs))
             .map_err(CampaignError::GoldenRunFailed)?;
         if profile.eligible == 0 {
             return Err(CampaignError::NoEligibleInstances);
         }
 
+        let ops = self
+            .config
+            .replay
+            .then(|| self.replay_plan(recorder.take_ops(), profile.eligible, &golden, &base))
+            .flatten()
+            .map(Arc::new);
+
         // Phase 3: N injection runs.
         let root = Rng::seed_from(self.config.seed);
         let golden = Arc::new(golden);
-        let run_one = |i: usize| -> RunResult {
-            let mut rng = root.child(i as u64);
-            // "generates a random number from 0 to count-1" → 1-based
-            // instance index in [1, count].
-            let target_instance = rng.gen_range(profile.eligible) + 1;
-            let injector = Arc::new(ArmedInjector::new(
-                self.config.signature.clone(),
-                target_instance,
-                rng.next_u64(),
-            ));
-            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
-            ffs.attach(injector.clone());
-            let app_result =
-                catch_unwind(AssertUnwindSafe(|| self.app.run(&*ffs)));
-            ffs.unmount();
-            let injection = injector.record();
+        let finish = |i: usize,
+                      target_instance: u64,
+                      injection: Option<InjectionRecord>,
+                      app_result: std::thread::Result<Result<A::Output, String>>|
+         -> RunResult {
             match app_result {
                 Ok(Ok(faulty)) => RunResult {
                     run: i,
@@ -224,12 +244,39 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 }
             }
         };
+        let run_one = |i: usize| -> RunResult {
+            let mut rng = root.child(i as u64);
+            // "generates a random number from 0 to count-1" → 1-based
+            // instance index in [1, count].
+            let target_instance = rng.gen_range(profile.eligible) + 1;
+            let injector = Arc::new(ArmedInjector::new(
+                self.config.signature.clone(),
+                target_instance,
+                rng.next_u64(),
+            ));
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            ffs.attach(injector.clone());
+            let app_result = match &ops {
+                // Fast path: replay the golden trace through the armed
+                // injector (the fault lands in the same instance it
+                // would during a real execution), then verify.
+                Some(ops) => catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
+                    ReplayCursor::new().replay(&*ffs, ops).map_err(|e| e.to_string())?;
+                    self.app.verify(&*ffs, &golden).expect("replay path is gated on verify support")
+                })),
+                // Reference path: full application re-execution.
+                None => catch_unwind(AssertUnwindSafe(|| self.app.run(&*ffs))),
+            };
+            ffs.unmount();
+            finish(i, target_instance, injector.record(), app_result)
+        };
 
         let runs: Vec<RunResult> = if self.config.parallel {
             (0..self.config.runs).into_par_iter().map(run_one).collect()
         } else {
             (0..self.config.runs).map(run_one).collect()
         };
+        let used_replay = ops.is_some();
 
         let mut tally = OutcomeTally::new();
         for r in &runs {
@@ -241,7 +288,51 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             }
             tally.record(r.outcome);
         }
-        Ok(CampaignResult { tally, runs, profile })
+        Ok(CampaignResult { tally, runs, profile, used_replay })
+    }
+
+    /// Gate and validate the replay fast path. Returns the replayable
+    /// op stream, or `None` to fall back to full re-execution:
+    ///
+    /// * the fault primitive must be `Write`: buffer-level faults
+    ///   (`Replace` keeps the length, `Drop` skips the device write)
+    ///   can never make a replayed op *fail*, so the straight-line
+    ///   trace stays faithful. Parameter faults (mknod/chmod/truncate)
+    ///   could make an op error that the real application would have
+    ///   tolerated and continued past — unknowable from a trace — and
+    ///   read-path faults corrupt data the replay never touches;
+    ///   both fall back.
+    /// * the trace must contain exactly as many eligible writes as the
+    ///   profiler counted — a golden run whose eligible write *failed*
+    ///   (counted when attempted, recorded only on success) would
+    ///   shift replay instance numbering off the legacy path's,
+    /// * the app must expose a [`FaultApp::verify`] phase satisfying
+    ///   the golden-identity law on the captured snapshot,
+    /// * an uninjected full replay must rebuild state that verifies
+    ///   benign (the fidelity self-check).
+    fn replay_plan(
+        &self,
+        ops: Vec<TraceOp>,
+        eligible: u64,
+        golden: &A::Output,
+        golden_fs: &MemFs,
+    ) -> Option<Vec<TraceOp>> {
+        if self.config.signature.primitive != Primitive::Write {
+            return None;
+        }
+        let recorded_eligible = ops
+            .iter()
+            .filter(|op| op.is_write() && self.config.signature.target.matches(op.write_path()))
+            .count() as u64;
+        if recorded_eligible != eligible {
+            return None;
+        }
+        if !crate::outcome::verify_matches_golden(self.app, golden_fs, golden) {
+            return None;
+        }
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        ReplayCursor::new().replay(&*ffs, &ops).ok()?;
+        crate::outcome::verify_matches_golden(self.app, &*ffs, golden).then_some(ops)
     }
 }
 
@@ -301,7 +392,7 @@ mod tests {
         let result = Campaign::new(&ToyApp, cfg).run().unwrap();
         assert_eq!(result.tally.total(), 50);
         assert_eq!(result.profile.eligible, 11); // 10 chunks + 1 log write
-        // Every run fired (profile count == run count space).
+                                                 // Every run fired (profile count == run count space).
         assert_eq!(result.tally.no_fire, 0);
         // A 2-bit flip in /out.dat always changes the file...
         // unless it hit the log write (1 in 11 chance).
@@ -433,7 +524,8 @@ mod tests {
 
     #[test]
     fn no_eligible_instances_is_an_error() {
-        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
+        let cfg =
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
         assert_eq!(
             Campaign::new(&NoIoApp, cfg).run().err(),
             Some(CampaignError::NoEligibleInstances)
@@ -456,7 +548,8 @@ mod tests {
 
     #[test]
     fn golden_failure_is_an_error() {
-        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
+        let cfg =
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip())).with_runs(5);
         match Campaign::new(&BrokenApp, cfg).run() {
             Err(CampaignError::GoldenRunFailed(m)) => assert!(m.contains("always fails")),
             other => panic!("unexpected {:?}", other.map(|r| r.tally)),
@@ -467,10 +560,7 @@ mod tests {
     fn bad_signature_is_an_error() {
         let sig = FaultSignature::on_write(FaultModel::BitFlip { bits: 0 });
         let cfg = CampaignConfig::new(sig).with_runs(1);
-        assert!(matches!(
-            Campaign::new(&ToyApp, cfg).run(),
-            Err(CampaignError::BadSignature(_))
-        ));
+        assert!(matches!(Campaign::new(&ToyApp, cfg).run(), Err(CampaignError::BadSignature(_))));
     }
 
     #[test]

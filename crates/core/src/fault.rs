@@ -264,7 +264,12 @@ impl FaultModel {
     /// of `mknod`/`chmod`/`truncate` — Figure 3b). Only BIT FLIP is
     /// meaningful for scalars; the torn/dropped models leave the value
     /// unchanged and report `NotApplicable`.
-    pub fn apply_to_scalar(&self, value: u64, value_bits: u32, rng: &mut Rng) -> Option<(u64, String)> {
+    pub fn apply_to_scalar(
+        &self,
+        value: u64,
+        value_bits: u32,
+        rng: &mut Rng,
+    ) -> Option<(u64, String)> {
         match *self {
             FaultModel::BitFlip { bits } => {
                 if bits == 0 || value_bits == 0 {
@@ -408,7 +413,9 @@ mod tests {
         let mut last_byte = 0;
         for seed in 0..2000u64 {
             let mut r = Rng::seed_from(seed);
-            if let Mutation::Replaced { buf: out, .. } = FaultModel::bit_flip().apply_to_buffer(&buf, &mut r) {
+            if let Mutation::Replaced { buf: out, .. } =
+                FaultModel::bit_flip().apply_to_buffer(&buf, &mut r)
+            {
                 if out[0] != 0 {
                     first_byte += 1;
                 }
@@ -459,7 +466,8 @@ mod tests {
     fn shorn_three_eighths_keeps_three_sectors() {
         let buf: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i / SECTOR_SIZE) as u8 + 1).collect();
         let mut r = rng();
-        let model = FaultModel::ShornWrite { keep: ShornKeep::ThreeEighths, fill: ShornFill::Zeros };
+        let model =
+            FaultModel::ShornWrite { keep: ShornKeep::ThreeEighths, fill: ShornFill::Zeros };
         match model.apply_to_buffer(&buf, &mut r) {
             Mutation::Replaced { buf: out, .. } => {
                 let kept = 3 * SECTOR_SIZE;
@@ -474,7 +482,8 @@ mod tests {
     fn shorn_random_fill_changes_tail() {
         let buf = vec![0x55u8; BLOCK_SIZE];
         let mut r = rng();
-        let model = FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Random };
+        let model =
+            FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Random };
         match model.apply_to_buffer(&buf, &mut r) {
             Mutation::Replaced { buf: out, .. } => {
                 let tail = &out[7 * SECTOR_SIZE..];

@@ -137,7 +137,9 @@ impl Interceptor for ArmedInjector {
         // Fault lands in either parameter (Fig. 3b shows both `mode`
         // and `dev` instrumented); pick uniformly.
         if rng.chance(0.5) {
-            if let Some((v, d)) = self.signature.model.apply_to_scalar(u64::from(*mode), 12, &mut rng) {
+            if let Some((v, d)) =
+                self.signature.model.apply_to_scalar(u64::from(*mode), 12, &mut rng)
+            {
                 *mode = (v & 0o7777) as u32;
                 self.store_record(cx, instance, format!("mknod.mode {}", d));
             }
@@ -187,7 +189,12 @@ pub struct ReadFaultInjector {
 impl ReadFaultInjector {
     /// Arm for the `target_instance`-th (1-based) matching read,
     /// flipping `bits` consecutive bits of the returned data.
-    pub fn new(filter: crate::fault::TargetFilter, target_instance: u64, bits: u32, seed: u64) -> Self {
+    pub fn new(
+        filter: crate::fault::TargetFilter,
+        target_instance: u64,
+        bits: u32,
+        seed: u64,
+    ) -> Self {
         ReadFaultInjector {
             filter,
             target_instance,
@@ -387,11 +394,8 @@ mod tests {
     #[test]
     fn bitflip_corrupts_exactly_two_bits_and_reports_success() {
         let fs = mount();
-        let inj = Arc::new(ArmedInjector::new(
-            FaultSignature::on_write(FaultModel::bit_flip()),
-            1,
-            99,
-        ));
+        let inj =
+            Arc::new(ArmedInjector::new(FaultSignature::on_write(FaultModel::bit_flip()), 1, 99));
         fs.attach(inj.clone());
         let payload = vec![0u8; 256];
         fs.write_file("/b", &payload).unwrap();
@@ -404,11 +408,8 @@ mod tests {
     #[test]
     fn does_not_fire_when_instance_out_of_range() {
         let fs = mount();
-        let inj = Arc::new(ArmedInjector::new(
-            FaultSignature::on_write(FaultModel::bit_flip()),
-            100,
-            1,
-        ));
+        let inj =
+            Arc::new(ArmedInjector::new(FaultSignature::on_write(FaultModel::bit_flip()), 100, 1));
         fs.attach(inj.clone());
         fs.write_file("/x", b"only one write").unwrap();
         assert!(!inj.fired());
@@ -482,12 +483,8 @@ mod tests {
     #[test]
     fn byte_injector_damages_one_byte_of_one_write() {
         let fs = mount();
-        let inj = Arc::new(ByteFaultInjector::new(
-            TargetFilter::Any,
-            2,
-            5,
-            ByteFlip::Xor(0b0000_0110),
-        ));
+        let inj =
+            Arc::new(ByteFaultInjector::new(TargetFilter::Any, 2, 5, ByteFlip::Xor(0b0000_0110)));
         fs.attach(inj.clone());
         let fd = fs.create("/m", 0o644).unwrap();
         fs.pwrite(fd, &[0u8; 16], 0).unwrap();
@@ -549,12 +546,7 @@ mod tests {
         let fs = mount();
         fs.write_file("/a.h5", &[1u8; 16]).unwrap();
         fs.write_file("/b.log", &[2u8; 16]).unwrap();
-        let inj = Arc::new(ReadFaultInjector::new(
-            TargetFilter::PathSuffix(".h5".into()),
-            2,
-            4,
-            9,
-        ));
+        let inj = Arc::new(ReadFaultInjector::new(TargetFilter::PathSuffix(".h5".into()), 2, 4, 9));
         fs.attach(inj.clone());
         let _ = fs.read_to_vec("/b.log").unwrap(); // not eligible
         let first = fs.read_to_vec("/a.h5").unwrap(); // eligible #1: clean

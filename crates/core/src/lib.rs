@@ -20,6 +20,24 @@
 //! [`metadata_scan`] implements the byte-by-byte scientific-file-format
 //! metadata study of §IV-D.
 //!
+//! ## The fork+replay fast path
+//!
+//! Every injection run repeats the same fault-free prefix before its
+//! fault fires. When an application implements [`FaultApp::verify`]
+//! (the read-back/analysis half of its `run`), both drivers can skip
+//! that redundancy: the golden run's mutating I/O is captured once as
+//! a replayable trace (`ffis_vfs::trace`), each injection run replays
+//! it — through the armed injector — into a copy-on-write
+//! [`ffis_vfs::MemFs::fork`] at raw memcpy speed, and only the verify
+//! phase executes application logic. [`metadata_scan::scan`] goes
+//! further, snapshotting the filesystem immediately before the
+//! metadata write so each scanned byte pays only the fork, the suffix
+//! replay, and the verify phase. Outcomes are byte-identical to full
+//! re-execution (the
+//! engine self-checks per scan and falls back when an app cannot
+//! guarantee it); `benches/scan_replay.rs` measures the speedup and
+//! `tests/replay_equivalence.rs` pins the equivalence.
+//!
 //! ## Fault models (§III-B, Table I)
 //!
 //! | Model | Behaviour |
@@ -33,13 +51,23 @@
 //! use ffis_vfs::{FileSystem, FileSystemExt};
 //!
 //! // A miniature "application": writes a file, reads it back, sums it.
+//! // The read-back half doubles as the `verify` phase, which unlocks
+//! // the golden-trace replay fast path.
 //! struct Sum;
+//! impl Sum {
+//!     fn read_back(&self, fs: &dyn FileSystem) -> Result<u64, String> {
+//!         Ok(fs.read_to_vec("/data").map_err(|e| e.to_string())?
+//!             .iter().map(|&b| b as u64).sum())
+//!     }
+//! }
 //! impl FaultApp for Sum {
 //!     type Output = u64;
 //!     fn run(&self, fs: &dyn FileSystem) -> Result<u64, String> {
 //!         fs.write_file_chunked("/data", &[1u8; 8192], 4096).map_err(|e| e.to_string())?;
-//!         Ok(fs.read_to_vec("/data").map_err(|e| e.to_string())?
-//!             .iter().map(|&b| b as u64).sum())
+//!         self.read_back(fs)
+//!     }
+//!     fn verify(&self, fs: &dyn FileSystem, _golden: &u64) -> Option<Result<u64, String>> {
+//!         Some(self.read_back(fs))
 //!     }
 //!     fn classify(&self, g: &u64, f: &u64) -> Outcome {
 //!         if g == f { Outcome::Benign } else { Outcome::Sdc }
@@ -49,9 +77,16 @@
 //!
 //! let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
 //!     .with_runs(10).with_seed(7);
-//! let result = Campaign::new(&Sum, cfg).run().unwrap();
+//! let result = Campaign::new(&Sum, cfg.clone()).run().unwrap();
 //! assert_eq!(result.tally.total(), 10);
 //! assert_eq!(result.tally.sdc, 10); // every dropped 4 KiB block changes the sum
+//!
+//! // Same campaign on the replay fast path: the application's write
+//! // phase runs once (golden capture); each injection run is a trace
+//! // replay plus `verify`. Outcomes are identical.
+//! let fast = Campaign::new(&Sum, cfg.with_replay(true)).run().unwrap();
+//! assert!(fast.used_replay);
+//! assert_eq!(fast.tally, result.tally);
 //! ```
 
 #![warn(missing_docs)]
@@ -74,8 +109,9 @@ pub use injector::{
     ArmedInjector, ByteFaultInjector, ByteFlip, InjectionRecord, ReadFaultInjector,
 };
 pub use metadata_scan::{
-    attribute, fields_with_outcome, locate_write, run_with_byte_fault, scan, ByteOutcome,
-    FieldMap, FieldOutcome, FieldSpan, FlipMode, ScanConfig, ScanResult, WritePick,
+    attribute, fields_with_outcome, locate_write, run_with_byte_fault, scan, scan_detailed,
+    ByteOutcome, DetailedScanResult, FieldMap, FieldOutcome, FieldSpan, FlipMode, ScanConfig,
+    ScanResult, ScanRun, WritePick,
 };
 pub use outcome::{FaultApp, Outcome, OutcomeTally, OUTCOMES};
 pub use profiler::{EligibleCounter, IoProfiler, ProfileReport};

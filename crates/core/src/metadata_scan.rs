@@ -7,19 +7,45 @@
 //! byte-by-byte."
 //!
 //! The scanner is format-agnostic: it locates a designated write to a
-//! target file (by default the penultimate one), then reruns the
+//! target file (by default the penultimate one), then evaluates the
 //! workload once per buffer byte with a [`ByteFaultInjector`] armed on
 //! that byte, classifying every outcome. A [`FieldMap`] (produced by
 //! the file-format crate from its own layout knowledge) attributes
 //! each byte to a named metadata field, yielding the per-field outcome
 //! tables of the paper.
+//!
+//! ## The fork+replay fast path
+//!
+//! An exhaustive scan is `write_len` complete application executions —
+//! each of which redoes the *identical* fault-free work (field
+//! generation cache aside: HDF5 encoding, checksums, float packing)
+//! before corrupting one byte. When the application exposes a
+//! [`FaultApp::verify`] phase, the scanner instead:
+//!
+//! 1. captures the golden run once, recording its mutating primitives
+//!    as a replayable [`TraceOp`] stream ([`TraceRecorder`]);
+//! 2. rebuilds the filesystem state *just before the metadata write*
+//!    on a bare [`MemFs`] by replaying the trace prefix (raw memcpy,
+//!    no application logic), once;
+//! 3. per scanned byte: [`MemFs::fork`]s that snapshot (O(page
+//!    pointers)), replays only the trace *suffix* through a mounted
+//!    [`FfisFs`] with the byte injector armed, and runs the
+//!    application's `verify` phase.
+//!
+//! Per-byte cost collapses from O(full run) to O(suffix bytes +
+//! verify). The fast path is self-checking: before use, the golden
+//! snapshot must replay and verify to a [`Outcome::Benign`]
+//! classification, otherwise the scanner silently falls back to the
+//! legacy full-rerun path ([`DetailedScanResult::used_replay`] reports
+//! which path ran). An equivalence test in `tests/replay_equivalence.rs`
+//! pins byte-identical outcomes between the two paths.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use ffis_vfs::{FfisFs, MemFs, Primitive};
+use ffis_vfs::{FfisFs, MemFs, Primitive, ReplayCursor, TraceOp, TraceRecorder};
 
 use crate::fault::TargetFilter;
 use crate::injector::{ByteFaultInjector, ByteFlip};
@@ -79,6 +105,10 @@ pub struct ScanConfig {
     pub stride: usize,
     /// Fan bytes out across the rayon pool.
     pub parallel: bool,
+    /// Use the fork+replay fast path when the application supports it
+    /// (see the module docs). Outcomes are byte-identical either way;
+    /// disable only to measure the legacy full-rerun cost.
+    pub replay: bool,
 }
 
 impl ScanConfig {
@@ -91,6 +121,7 @@ impl ScanConfig {
             seed: 0x4D45_5441,
             stride: 1,
             parallel: true,
+            replay: true,
         }
     }
 }
@@ -219,6 +250,29 @@ pub fn fields_with_outcome(fields: &[FieldOutcome], o: Outcome) -> Vec<&str> {
     fields.iter().filter(|f| f.tally.count(o) > 0).map(|f| f.name.as_str()).collect()
 }
 
+/// Resolve a [`WritePick`] against `count` matching writes, returning
+/// a 0-based index.
+fn pick_index(count: usize, pick: WritePick) -> Result<usize, String> {
+    if count == 0 {
+        return Err("no writes match the target filter".to_string());
+    }
+    match pick {
+        WritePick::Last => Ok(count - 1),
+        WritePick::Penultimate => {
+            if count < 2 {
+                return Err("fewer than two matching writes; no penultimate".to_string());
+            }
+            Ok(count - 2)
+        }
+        WritePick::Nth(n) => {
+            if n == 0 || n as usize > count {
+                return Err(format!("write instance {} out of range 1..={}", n, count));
+            }
+            Ok((n - 1) as usize)
+        }
+    }
+}
+
 /// Locate the metadata write: returns `(eligible instance, offset, len)`.
 pub fn locate_write<A: FaultApp>(
     app: &A,
@@ -228,26 +282,121 @@ pub fn locate_write<A: FaultApp>(
     let profiler = IoProfiler::new(Primitive::Write, target.clone());
     let (profile, golden) = profiler.profile(|fs| app.run(fs))?;
     let writes = profile.writes_matching(target);
-    if writes.is_empty() {
-        return Err("no writes match the target filter".to_string());
-    }
-    let idx = match pick {
-        WritePick::Last => writes.len() - 1,
-        WritePick::Penultimate => {
-            if writes.len() < 2 {
-                return Err("fewer than two matching writes; no penultimate".to_string());
-            }
-            writes.len() - 2
-        }
-        WritePick::Nth(n) => {
-            if n == 0 || n as usize > writes.len() {
-                return Err(format!("write instance {} out of range 1..={}", n, writes.len()));
-            }
-            (n - 1) as usize
-        }
-    };
+    let idx = pick_index(writes.len(), pick)?;
     let w = writes[idx];
     Ok((idx as u64 + 1, w.offset.unwrap_or(0), w.len, golden))
+}
+
+/// Everything one golden execution yields for the scanner: the located
+/// metadata write, the reference output, the final filesystem state,
+/// and the replayable op stream.
+struct GoldenCapture<O> {
+    write_instance: u64,
+    write_offset: u64,
+    write_len: usize,
+    golden: O,
+    /// Final golden filesystem (for probing `verify` support).
+    golden_fs: Arc<MemFs>,
+    /// The golden run's mutating primitives, replay-ready.
+    ops: Vec<TraceOp>,
+    /// Matching writes the golden run *attempted* (counted at the
+    /// interceptor, like [`ByteFaultInjector`]'s eligibility counter),
+    /// as opposed to the successful ones present in `ops`. A mismatch
+    /// disables the replay fast path — see [`prepare_replay`].
+    attempted_matching_writes: usize,
+}
+
+/// Run the workload once, fault-free, optionally recording its golden
+/// trace (`record` — skipped for legacy-mode scans, since the trace
+/// clones every write buffer and would pin the workload's full I/O
+/// volume in memory for nothing).
+///
+/// The metadata write is located on the *attempted*-write numbering
+/// (the interceptor-level trace, exactly like [`locate_write`] and
+/// the injectors' eligibility counters), so the legacy per-byte path
+/// targets the same instance it always has even if a matching write
+/// failed during the golden run.
+fn capture_golden<A: FaultApp>(
+    app: &A,
+    target: &TargetFilter,
+    pick: WritePick,
+    record: bool,
+) -> Result<GoldenCapture<A::Output>, String> {
+    let profiler = IoProfiler::new(Primitive::Write, target.clone());
+    let recorder: Arc<TraceRecorder> = Arc::new(TraceRecorder::new());
+    let extras: Vec<Arc<dyn ffis_vfs::Interceptor>> =
+        if record { vec![recorder.clone()] } else { Vec::new() };
+    let (profile, golden, base) = profiler.profile_with(&extras, |fs| app.run(fs))?;
+    let writes = profile.writes_matching(target);
+    let idx = pick_index(writes.len(), pick)?;
+    let w = writes[idx];
+    Ok(GoldenCapture {
+        write_instance: idx as u64 + 1,
+        write_offset: w.offset.unwrap_or(0),
+        write_len: w.len,
+        golden,
+        golden_fs: base,
+        ops: recorder.take_ops(),
+        attempted_matching_writes: writes.len(),
+    })
+}
+
+/// The scanner's replay fast path, prepared once per scan: the
+/// pre-injection snapshot plus the trace suffix that still has to run
+/// per byte.
+struct ReplayPlan {
+    /// Filesystem state immediately before the metadata write, with
+    /// the golden run's descriptors still open.
+    pre: MemFs,
+    /// Descriptor map at the snapshot point.
+    cursor: ReplayCursor,
+    /// Index of the metadata write within the op stream.
+    suffix_start: usize,
+}
+
+/// Build the replay plan, validating it end-to-end on the golden
+/// snapshot (replay the suffix uninjected, verify, and require a
+/// benign classification). Returns `None` — fall back to full reruns —
+/// when the app has no verify phase, when the golden run attempted a
+/// matching write that failed (the success-only trace would then
+/// number instances differently than the injectors do), or when the
+/// self-check fails.
+fn prepare_replay<A: FaultApp>(
+    app: &A,
+    cap: &GoldenCapture<A::Output>,
+    target: &TargetFilter,
+) -> Option<ReplayPlan> {
+    let recorded_matching =
+        cap.ops.iter().filter(|op| op.is_write() && target.matches(op.write_path())).count();
+    if recorded_matching != cap.attempted_matching_writes {
+        return None;
+    }
+    // Probe: does the app expose a verify phase at all, and does it
+    // satisfy the golden-identity law on the final golden state?
+    if !crate::outcome::verify_matches_golden(app, &*cap.golden_fs, &cap.golden) {
+        return None;
+    }
+    // Locate the target write in the op stream.
+    let mut seen = 0u64;
+    let suffix_start = cap.ops.iter().position(|op| {
+        if op.is_write() && target.matches(op.write_path()) {
+            seen += 1;
+            seen == cap.write_instance
+        } else {
+            false
+        }
+    })?;
+    // Rebuild the pre-injection state at memcpy speed.
+    let pre = MemFs::new();
+    let mut cursor = ReplayCursor::new();
+    cursor.replay(&pre, &cap.ops[..suffix_start]).ok()?;
+    let plan = ReplayPlan { pre, cursor, suffix_start };
+    // Self-check: an uninjected suffix replay must verify benign.
+    let ffs = FfisFs::mount(Arc::new(plan.pre.fork()));
+    let mut cur = plan.cursor.clone();
+    cur.seed_mount(&ffs);
+    cur.replay(&*ffs, &cap.ops[plan.suffix_start..]).ok()?;
+    crate::outcome::verify_matches_golden(app, &*ffs, &cap.golden).then_some(plan)
 }
 
 /// Run the workload once with a single byte fault armed; classify.
@@ -259,11 +408,46 @@ pub fn run_with_byte_fault<A: FaultApp>(
     byte_index: usize,
     flip: ByteFlip,
 ) -> (Outcome, Option<A::Output>, Option<String>) {
-    let injector = Arc::new(ByteFaultInjector::new(target.clone(), write_instance, byte_index, flip));
+    let injector =
+        Arc::new(ByteFaultInjector::new(target.clone(), write_instance, byte_index, flip));
     let ffs = FfisFs::mount(Arc::new(MemFs::new()));
     ffs.attach(injector);
     let result = catch_unwind(AssertUnwindSafe(|| app.run(&*ffs)));
     ffs.unmount();
+    classify_run_result(app, golden, result)
+}
+
+/// Fork the pre-injection snapshot, replay the trace suffix with a
+/// byte fault armed, and run the app's verify phase; classify.
+fn replay_with_byte_fault<A: FaultApp>(
+    app: &A,
+    cap: &GoldenCapture<A::Output>,
+    plan: &ReplayPlan,
+    target: &TargetFilter,
+    byte_index: usize,
+    flip: ByteFlip,
+) -> (Outcome, Option<A::Output>, Option<String>) {
+    // The suffix begins at the metadata write, so relative to the
+    // replayed stream the armed instance is always the first match.
+    let injector = Arc::new(ByteFaultInjector::new(target.clone(), 1, byte_index, flip));
+    let ffs = FfisFs::mount(Arc::new(plan.pre.fork()));
+    let mut cursor = plan.cursor.clone();
+    cursor.seed_mount(&ffs);
+    ffs.attach(injector);
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
+        cursor.replay(&*ffs, &cap.ops[plan.suffix_start..]).map_err(|e| e.to_string())?;
+        app.verify(&*ffs, &cap.golden).expect("replay plan exists only for verify-capable apps")
+    }));
+    ffs.unmount();
+    classify_run_result(app, &cap.golden, result)
+}
+
+/// Shared crash/panic classification for both execution strategies.
+fn classify_run_result<A: FaultApp>(
+    app: &A,
+    golden: &A::Output,
+    result: std::thread::Result<Result<A::Output, String>>,
+) -> (Outcome, Option<A::Output>, Option<String>) {
     match result {
         Ok(Ok(faulty)) => {
             let o = app.classify(golden, &faulty);
@@ -281,38 +465,117 @@ pub fn run_with_byte_fault<A: FaultApp>(
     }
 }
 
-/// Execute the full byte-by-byte metadata scan.
-pub fn scan<A: FaultApp>(app: &A, config: &ScanConfig) -> Result<ScanResult, String> {
-    let (write_instance, write_offset, write_len, golden) =
-        locate_write(app, &config.target, config.pick)?;
-    let stride = config.stride.max(1);
-    let indices: Vec<usize> = (0..write_len).step_by(stride).collect();
-    let root = Rng::seed_from(config.seed);
+/// One scanned byte paired with the faulty run's surviving output, so
+/// replay-path classification can be diffed against rerun-path
+/// classification (not just the collapsed [`Outcome`]).
+#[derive(Debug, Clone)]
+pub struct ScanRun<O> {
+    /// Location and classified outcome.
+    pub byte: ByteOutcome,
+    /// Full application output of the faulty run, when it completed.
+    pub output: Option<O>,
+}
 
-    let run_byte = |&byte_index: &usize| -> ByteOutcome {
+/// [`ScanResult`] enriched with per-byte application outputs and the
+/// execution strategy that produced it.
+#[derive(Debug, Clone)]
+pub struct DetailedScanResult<O> {
+    /// Per-byte runs (in byte order).
+    pub runs: Vec<ScanRun<O>>,
+    /// File offset of the metadata write.
+    pub write_offset: u64,
+    /// Length of the metadata write buffer.
+    pub write_len: usize,
+    /// Eligible-instance number of the metadata write.
+    pub write_instance: u64,
+    /// Aggregate tally.
+    pub tally: OutcomeTally,
+    /// True when the fork+replay fast path ran; false when the scan
+    /// fell back to (or was configured for) legacy full reruns.
+    pub used_replay: bool,
+}
+
+impl<O> DetailedScanResult<O> {
+    /// Collapse to the output-free [`ScanResult`].
+    pub fn into_result(self) -> ScanResult {
+        ScanResult {
+            bytes: self.runs.into_iter().map(|r| r.byte).collect(),
+            write_offset: self.write_offset,
+            write_len: self.write_len,
+            write_instance: self.write_instance,
+            tally: self.tally,
+        }
+    }
+}
+
+/// Execute the full byte-by-byte metadata scan, keeping each byte's
+/// application output alongside its classification.
+pub fn scan_detailed<A: FaultApp>(
+    app: &A,
+    config: &ScanConfig,
+) -> Result<DetailedScanResult<A::Output>, String> {
+    let mut cap = capture_golden(app, &config.target, config.pick, config.replay)?;
+    let stride = config.stride.max(1);
+    let indices: Vec<usize> = (0..cap.write_len).step_by(stride).collect();
+    let root = Rng::seed_from(config.seed);
+    let plan = if config.replay { prepare_replay(app, &cap, &config.target) } else { None };
+    if plan.is_none() {
+        // Legacy path: the trace (which holds every write payload) and
+        // the golden filesystem are never consulted again — free them
+        // before the per-byte loop instead of pinning workload-sized
+        // memory for the whole scan.
+        cap.ops = Vec::new();
+        cap.golden_fs = Arc::new(MemFs::new());
+    }
+
+    let run_byte = |&byte_index: &usize| -> ScanRun<A::Output> {
         let mut rng = root.child(byte_index as u64);
         let flip = config.flip.to_flip(&mut rng);
-        let (outcome, _, crash_message) =
-            run_with_byte_fault(app, &golden, &config.target, write_instance, byte_index, flip);
-        ByteOutcome {
-            byte_index,
-            file_offset: write_offset + byte_index as u64,
-            outcome,
-            crash_message,
+        let (outcome, output, crash_message) = match &plan {
+            Some(plan) => replay_with_byte_fault(app, &cap, plan, &config.target, byte_index, flip),
+            None => run_with_byte_fault(
+                app,
+                &cap.golden,
+                &config.target,
+                cap.write_instance,
+                byte_index,
+                flip,
+            ),
+        };
+        ScanRun {
+            byte: ByteOutcome {
+                byte_index,
+                file_offset: cap.write_offset + byte_index as u64,
+                outcome,
+                crash_message,
+            },
+            output,
         }
     };
 
-    let bytes: Vec<ByteOutcome> = if config.parallel {
+    let runs: Vec<ScanRun<A::Output>> = if config.parallel {
         indices.par_iter().map(run_byte).collect()
     } else {
         indices.iter().map(run_byte).collect()
     };
 
     let mut tally = OutcomeTally::new();
-    for b in &bytes {
-        tally.record(b.outcome);
+    for r in &runs {
+        tally.record(r.byte.outcome);
     }
-    Ok(ScanResult { bytes, write_offset, write_len, write_instance, tally })
+    Ok(DetailedScanResult {
+        runs,
+        write_offset: cap.write_offset,
+        write_len: cap.write_len,
+        write_instance: cap.write_instance,
+        tally,
+        used_replay: plan.is_some(),
+    })
+}
+
+/// Execute the full byte-by-byte metadata scan.
+pub fn scan<A: FaultApp>(app: &A, config: &ScanConfig) -> Result<ScanResult, String> {
+    scan_detailed(app, config).map(DetailedScanResult::into_result)
 }
 
 #[cfg(test)]
@@ -335,6 +598,23 @@ mod tests {
 
     const MAGIC: [u8; 4] = *b"MINI";
 
+    /// The read/validate/analyze half of the mini workload, shared by
+    /// the plain and verify-capable test apps.
+    fn mini_read_back(fs: &dyn FileSystem) -> Result<MiniOut, String> {
+        let all = fs.read_to_vec("/d.mini").map_err(|e| e.to_string())?;
+        if all.len() < 49 || all[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        if all[4] != 1 {
+            return Err("unsupported version".into());
+        }
+        let scale = all[5] as u64;
+        let values: Vec<u8> = all[16..48].to_vec();
+        let mean =
+            values.iter().map(|&v| (v as u64 * scale) as f64).sum::<f64>() / values.len() as f64;
+        Ok(MiniOut { values, mean })
+    }
+
     impl FaultApp for MiniFormatApp {
         type Output = MiniOut;
 
@@ -352,18 +632,7 @@ mod tests {
             fs.release(fd).map_err(|e| e.to_string())?;
 
             // Read back with validation (crash on unjustified fields).
-            let all = fs.read_to_vec("/d.mini").map_err(|e| e.to_string())?;
-            if all.len() < 49 || all[..4] != MAGIC {
-                return Err("bad magic".into());
-            }
-            if all[4] != 1 {
-                return Err("unsupported version".into());
-            }
-            let scale = all[5] as u64;
-            let values: Vec<u8> = all[16..48].to_vec();
-            let mean =
-                values.iter().map(|&v| (v as u64 * scale) as f64).sum::<f64>() / values.len() as f64;
-            Ok(MiniOut { values, mean })
+            mini_read_back(fs)
         }
 
         fn classify(&self, golden: &MiniOut, faulty: &MiniOut) -> Outcome {
@@ -443,7 +712,96 @@ mod tests {
         cfg.parallel = false;
         let result = scan(&MiniFormatApp, &cfg).unwrap();
         assert_eq!(result.bytes.len(), 4);
-        assert_eq!(result.bytes.iter().map(|b| b.byte_index).collect::<Vec<_>>(), vec![0, 4, 8, 12]);
+        assert_eq!(
+            result.bytes.iter().map(|b| b.byte_index).collect::<Vec<_>>(),
+            vec![0, 4, 8, 12]
+        );
+    }
+
+    /// The mini workload with a separable verify phase — the shape the
+    /// fork+replay fast path requires.
+    struct MiniVerifyApp;
+
+    impl FaultApp for MiniVerifyApp {
+        type Output = MiniOut;
+
+        fn run(&self, fs: &dyn FileSystem) -> Result<MiniOut, String> {
+            MiniFormatApp.run(fs)
+        }
+
+        fn verify(
+            &self,
+            fs: &dyn FileSystem,
+            _golden: &MiniOut,
+        ) -> Option<Result<MiniOut, String>> {
+            Some(mini_read_back(fs))
+        }
+
+        fn classify(&self, golden: &MiniOut, faulty: &MiniOut) -> Outcome {
+            MiniFormatApp.classify(golden, faulty)
+        }
+
+        fn name(&self) -> String {
+            "MINI-V".into()
+        }
+    }
+
+    #[test]
+    fn replay_fast_path_engages_for_verify_capable_apps() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.parallel = false;
+        cfg.flip = FlipMode::Mask(0xFF);
+        let fast = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
+        assert!(fast.used_replay);
+
+        // Byte-identical to the legacy full-rerun scan.
+        cfg.replay = false;
+        let slow = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
+        assert!(!slow.used_replay);
+        assert_eq!(fast.tally, slow.tally);
+        for (f, s) in fast.runs.iter().zip(&slow.runs) {
+            assert_eq!(f.byte.outcome, s.byte.outcome, "byte {}", f.byte.byte_index);
+            assert_eq!(f.byte.crash_message, s.byte.crash_message);
+        }
+        // And identical to the verify-less app's scan (same format).
+        let plain = scan(
+            &MiniFormatApp,
+            &ScanConfig {
+                parallel: false,
+                flip: FlipMode::Mask(0xFF),
+                ..ScanConfig::new(TargetFilter::Any)
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.tally, plain.tally);
+    }
+
+    #[test]
+    fn replay_fast_path_skipped_for_plain_apps() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.parallel = false;
+        let result = scan_detailed(&MiniFormatApp, &cfg).unwrap();
+        assert!(!result.used_replay, "no verify phase -> legacy reruns");
+    }
+
+    #[test]
+    fn detailed_scan_propagates_faulty_outputs() {
+        let mut cfg = ScanConfig::new(TargetFilter::Any);
+        cfg.parallel = false;
+        cfg.flip = FlipMode::Mask(0xFF);
+        let result = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
+        for r in &result.runs {
+            match r.byte.outcome {
+                Outcome::Crash => assert!(r.output.is_none()),
+                _ => {
+                    let out = r.output.as_ref().expect("non-crash keeps its output");
+                    // The scale byte's output must show the doubled mean.
+                    if r.byte.byte_index == 5 {
+                        assert!(out.mean != 20.0, "corrupted scale must move the mean");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub enum Outcome {
 }
 
 /// All outcomes in reporting order.
-pub const OUTCOMES: [Outcome; 4] = [Outcome::Benign, Outcome::Detected, Outcome::Sdc, Outcome::Crash];
+pub const OUTCOMES: [Outcome; 4] =
+    [Outcome::Benign, Outcome::Detected, Outcome::Sdc, Outcome::Crash];
 
 impl Outcome {
     /// Display name matching the paper's tables.
@@ -62,11 +63,67 @@ pub trait FaultApp: Sync {
     /// Execute the workload on `fs`.
     fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String>;
 
+    /// Optional fast verification phase for replay-based campaigns.
+    ///
+    /// Given a filesystem that *already contains* the workload's
+    /// (possibly fault-corrupted) output files, execute only the
+    /// read-back / post-analysis half of [`FaultApp::run`] and return
+    /// the classification artifacts. The write half is unnecessary:
+    /// the golden-trace replay engine has rebuilt the files at memcpy
+    /// speed, with the armed injector corrupting exactly the targeted
+    /// operation.
+    ///
+    /// Returning `None` (the default) declares that this app has no
+    /// separable verify phase; replay fast paths then fall back to a
+    /// full [`FaultApp::run`] per injection. Implementations must
+    /// satisfy two laws:
+    ///
+    /// * **Golden identity** — `verify` on an uncorrupted snapshot of
+    ///   a golden run must classify [`Outcome::Benign`] against that
+    ///   run's output. The drivers check this once per scan/campaign
+    ///   and refuse the fast path if it fails.
+    /// * **Write-stream data independence** — the byte content of the
+    ///   `run` phase's writes must not depend on data read back
+    ///   *through the filesystem* earlier in the same run. Replay
+    ///   re-issues the golden run's payloads verbatim, so a workload
+    ///   that reads a (possibly corrupted) file mid-run and derives
+    ///   later writes from it would replay golden-derived bytes where
+    ///   a real rerun would write fault-derived ones. This cannot be
+    ///   detected by the runtime self-checks (the divergence only
+    ///   appears under injection) — do not implement `verify` for
+    ///   such a workload. Read-back confined to the verify phase
+    ///   itself (the common write-then-analyze shape) is always safe.
+    fn verify(
+        &self,
+        _fs: &dyn ffis_vfs::FileSystem,
+        _golden: &Self::Output,
+    ) -> Option<Result<Self::Output, String>> {
+        None
+    }
+
     /// Apply the application's outcome-classification rules.
     fn classify(&self, golden: &Self::Output, faulty: &Self::Output) -> Outcome;
 
     /// Short name for report rows ("NYX", "QMC", "MT1", ...).
     fn name(&self) -> String;
+}
+
+/// Shared replay-gate predicate: does the app's [`FaultApp::verify`]
+/// phase, run against `fs`, reproduce the golden classification?
+/// Returns `false` when the app has no verify phase, verify errors, or
+/// the classification is anything but [`Outcome::Benign`]. Both the
+/// campaign and the metadata-scan fast paths use this for the
+/// golden-identity probe *and* the uninjected replay self-check, so
+/// the engagement rules cannot drift apart.
+pub(crate) fn verify_matches_golden<A: FaultApp + ?Sized>(
+    app: &A,
+    fs: &dyn ffis_vfs::FileSystem,
+    golden: &A::Output,
+) -> bool {
+    matches!(
+        app.verify(fs, golden),
+        Some(Ok(out)) if app.classify(golden, &out) == Outcome::Benign
+    )
 }
 
 /// Aggregated outcome counts for a campaign, with Wilson 95% CIs.

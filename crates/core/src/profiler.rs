@@ -105,11 +105,29 @@ impl IoProfiler {
         &self,
         workload: impl FnOnce(&dyn FileSystem) -> Result<T, String>,
     ) -> Result<(ProfileReport, T), String> {
-        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        let (report, out, _fs) = self.profile_with(&[], workload)?;
+        Ok((report, out))
+    }
+
+    /// [`IoProfiler::profile`], additionally attaching `extras`
+    /// interceptors (e.g. a golden-trace
+    /// [`ffis_vfs::TraceRecorder`]) and returning the backing
+    /// filesystem so callers can inspect — or fork — the golden
+    /// state the run produced.
+    pub fn profile_with<T>(
+        &self,
+        extras: &[Arc<dyn Interceptor>],
+        workload: impl FnOnce(&dyn FileSystem) -> Result<T, String>,
+    ) -> Result<(ProfileReport, T, Arc<MemFs>), String> {
+        let base = Arc::new(MemFs::new());
+        let ffs = FfisFs::mount(base.clone());
         let counter = Arc::new(EligibleCounter::new(self.primitive, self.filter.clone()));
         let trace = Arc::new(TraceInterceptor::new());
         ffs.attach(counter.clone());
         ffs.attach(trace.clone());
+        for extra in extras {
+            ffs.attach(extra.clone());
+        }
         let out = workload(&*ffs)?;
         ffs.unmount();
         Ok((
@@ -119,6 +137,7 @@ impl IoProfiler {
                 trace: trace.records(),
             },
             out,
+            base,
         ))
     }
 }

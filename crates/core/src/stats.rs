@@ -209,11 +209,7 @@ impl Histogram {
     pub fn add(&mut self, x: f64) {
         let bins = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
-        let idx = if t < 0.0 {
-            0
-        } else {
-            ((t * bins as f64) as usize).min(bins - 1)
-        };
+        let idx = if t < 0.0 { 0 } else { ((t * bins as f64) as usize).min(bins - 1) };
         self.counts[idx] += 1;
     }
 

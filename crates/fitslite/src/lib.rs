@@ -125,7 +125,10 @@ impl FitsImage {
         let v10 = self.get(x1, y0);
         let v01 = self.get(x0, y1);
         let v11 = self.get(x1, y1);
-        v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy
     }
 
     /// Minimum over non-blank pixels (the statistic Montage's final
@@ -142,11 +145,8 @@ impl FitsImage {
 
 fn card(key: &str, value: &str) -> [u8; CARD_LEN] {
     let mut c = [b' '; CARD_LEN];
-    let text = if value.is_empty() {
-        key.to_string()
-    } else {
-        format!("{:<8}= {:>20}", key, value)
-    };
+    let text =
+        if value.is_empty() { key.to_string() } else { format!("{:<8}= {:>20}", key, value) };
     let bytes = text.as_bytes();
     c[..bytes.len().min(CARD_LEN)].copy_from_slice(&bytes[..bytes.len().min(CARD_LEN)]);
     c
@@ -200,7 +200,10 @@ pub fn write_fits(fs: &dyn FileSystem, path: &str, img: &FitsImage) -> FitsResul
     Ok(())
 }
 
-fn parse_card_value(cards: &std::collections::HashMap<String, String>, key: &str) -> FitsResult<f64> {
+fn parse_card_value(
+    cards: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> FitsResult<f64> {
     cards
         .get(key)
         .ok_or_else(|| FitsError(format!("missing {} card", key)))?
@@ -282,7 +285,8 @@ pub fn parse_fits(bytes: &[u8]) -> FitsResult<FitsImage> {
 
 /// Read an image from the filesystem.
 pub fn read_fits(fs: &dyn FileSystem, path: &str) -> FitsResult<FitsImage> {
-    let bytes = fs.read_to_vec(path).map_err(|e| FitsError(format!("cannot read {}: {}", path, e)))?;
+    let bytes =
+        fs.read_to_vec(path).map_err(|e| FitsError(format!("cannot read {}: {}", path, e)))?;
     parse_fits(&bytes)
 }
 
@@ -292,7 +296,14 @@ mod tests {
     use ffis_vfs::MemFs;
 
     fn wcs() -> Wcs {
-        Wcs { crval1: 210.8, crval2: 54.35, crpix1: 24.5, crpix2: 24.5, cdelt1: -0.001, cdelt2: 0.001 }
+        Wcs {
+            crval1: 210.8,
+            crval2: 54.35,
+            crpix1: 24.5,
+            crpix2: 24.5,
+            cdelt1: -0.001,
+            cdelt2: 0.001,
+        }
     }
 
     fn image() -> FitsImage {

@@ -54,7 +54,10 @@ pub fn pack_seal(metadata_size: u64, checksum: u32) -> Hdf5Result<u64> {
     }
     let units = metadata_size / 8;
     if units > u16::MAX as u64 {
-        return Err(Hdf5Error::new(format!("metadata block too large to seal: {} bytes", metadata_size)));
+        return Err(Hdf5Error::new(format!(
+            "metadata block too large to seal: {} bytes",
+            metadata_size
+        )));
     }
     Ok(((SEAL_MARKER as u64) << 48) | (units << 32) | checksum as u64)
 }
@@ -193,8 +196,7 @@ mod tests {
         let mut sealed = vec![3u8; 256];
         let csum = seal_checksum(&sealed[..128]);
         let word = pack_seal(128, csum).unwrap();
-        sealed[SEAL_OFFSET as usize..SEAL_OFFSET as usize + 8]
-            .copy_from_slice(&word.to_le_bytes());
+        sealed[SEAL_OFFSET as usize..SEAL_OFFSET as usize + 8].copy_from_slice(&word.to_le_bytes());
         assert_eq!(verify_seal(&sealed), Ok(true));
 
         // Corrupt a covered byte: must fail.

@@ -340,7 +340,8 @@ mod tests {
         let (bytes, spans) = encode_metadata(&p);
         let span = spans.iter().find(|s| s.name.contains("ExponentBias")).unwrap();
         assert_eq!(span.end - span.start, 4);
-        let v = u32::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        let v =
+            u32::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
         assert_eq!(v, 127);
     }
 
@@ -349,7 +350,8 @@ mod tests {
         let p = nyx_plan();
         let (bytes, spans) = encode_metadata(&p);
         let span = spans.iter().find(|s| s.name.contains("AddressOfRawData")).unwrap();
-        let v = u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        let v =
+            u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
         assert_eq!(v, p.metadata_size, "ARD equals the metadata size (paper §V-A)");
     }
 
@@ -387,7 +389,8 @@ mod tests {
         let (bytes, spans) = encode_metadata(&nyx_plan());
         let span = spans.iter().find(|s| s.name == "Superblock.EndOfFileAddress").unwrap();
         assert_eq!(span.start, crate::types::EOF_ADDR_OFFSET);
-        let v = u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
+        let v =
+            u64::from_le_bytes(bytes[span.start as usize..span.end as usize].try_into().unwrap());
         assert_eq!(v, UNDEFINED_ADDR);
     }
 
@@ -403,7 +406,9 @@ mod tests {
         let biases: Vec<u32> = spans
             .iter()
             .filter(|s| s.name.contains("ExponentBias"))
-            .map(|s| u32::from_le_bytes(bytes[s.start as usize..s.end as usize].try_into().unwrap()))
+            .map(|s| {
+                u32::from_le_bytes(bytes[s.start as usize..s.end as usize].try_into().unwrap())
+            })
             .collect();
         assert_eq!(biases, vec![127, 1023]);
     }

@@ -233,6 +233,14 @@ impl FloatSpec {
     }
 
     /// Decode a whole raw buffer into `f64`s.
+    ///
+    /// Pristine IEEE layouts take a hardware-conversion fast path
+    /// (bit-identical to the generic field-by-field decode for every
+    /// normal value, zero, and negative zero); any spec a metadata
+    /// fault has perturbed — and the rare subnormal/non-finite
+    /// encodings — go through the general decode, preserving the
+    /// paper's corruption semantics exactly. This is the hottest loop
+    /// of every campaign verify phase.
     pub fn decode_all(&self, raw: &[u8], count: usize) -> Hdf5Result<Vec<f64>> {
         let size = self.size as usize;
         if size == 0 || size > 8 {
@@ -244,6 +252,34 @@ impl FloatSpec {
                 count * size,
                 raw.len()
             )));
+        }
+        if *self == Self::ieee_f32() {
+            let mut out = Vec::with_capacity(count);
+            for chunk in raw[..count * 4].chunks_exact(4) {
+                let bits = u32::from_le_bytes(chunk.try_into().expect("chunks_exact(4)"));
+                let exp = (bits >> 23) & 0xFF;
+                let mant = bits & 0x007F_FFFF;
+                if exp == 255 || (exp == 0 && mant != 0) {
+                    out.push(self.decode(chunk)?);
+                } else {
+                    out.push(f32::from_bits(bits) as f64);
+                }
+            }
+            return Ok(out);
+        }
+        if *self == Self::ieee_f64() {
+            let mut out = Vec::with_capacity(count);
+            for chunk in raw[..count * 8].chunks_exact(8) {
+                let bits = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+                let exp = (bits >> 52) & 0x7FF;
+                let mant = bits & 0x000F_FFFF_FFFF_FFFF;
+                if exp == 0x7FF || (exp == 0 && mant != 0) {
+                    out.push(self.decode(chunk)?);
+                } else {
+                    out.push(f64::from_bits(bits));
+                }
+            }
+            return Ok(out);
         }
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
@@ -272,16 +308,21 @@ mod tests {
     fn ieee_f32_decode_matches_native() {
         let spec = FloatSpec::ieee_f32();
         for v in [
-            0.0f32, 1.0, -1.0, 0.5, 2.0, 3.141_592_7, -123.456, 1e-10, 1e10, 81.66, 0.9983,
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            std::f32::consts::PI,
+            -123.456,
+            1e-10,
+            1e10,
+            81.66,
+            0.9983,
         ] {
             let bytes = v.to_le_bytes();
             let got = spec.decode(&bytes).unwrap();
-            assert!(
-                (got - v as f64).abs() <= (v as f64).abs() * 1e-6,
-                "{} decoded as {}",
-                v,
-                got
-            );
+            assert!((got - v as f64).abs() <= (v as f64).abs() * 1e-6, "{} decoded as {}", v, got);
         }
     }
 
@@ -310,12 +351,7 @@ mod tests {
         for v in [1.0f64, 0.25, -7.5, 81.66, 1234.5678, 1e-5] {
             let bytes = spec.encode(v).unwrap();
             let native = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-            assert!(
-                ((native as f64) - v).abs() <= v.abs() * 1e-6,
-                "{} encoded as {}",
-                v,
-                native
-            );
+            assert!(((native as f64) - v).abs() <= v.abs() * 1e-6, "{} encoded as {}", v, native);
             let back = spec.decode(&bytes).unwrap();
             assert!((back - v).abs() <= v.abs() * 1e-6);
         }
@@ -378,6 +414,43 @@ mod tests {
         let vals = spec.decode_all(&raw, 3).unwrap();
         assert_eq!(vals, vec![1.0, 2.0, 3.0]);
         assert!(spec.decode_all(&raw, 4).is_err());
+    }
+
+    #[test]
+    fn decode_all_fast_path_matches_generic_decode() {
+        // The bulk fast path must agree bit-for-bit with the
+        // field-by-field decode on arbitrary bit patterns — including
+        // the zero/subnormal/non-finite encodings it routes back to
+        // the generic path.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for spec in [FloatSpec::ieee_f32(), FloatSpec::ieee_f64()] {
+            let size = spec.size as usize;
+            let mut raw: Vec<u8> = (0..512 * size).map(|_| next() as u8).collect();
+            // Splice in the edge encodings explicitly.
+            raw[..4].copy_from_slice(&0.0f32.to_le_bytes());
+            raw[4..8].copy_from_slice(&(-0.0f32).to_le_bytes());
+            raw[8..12].copy_from_slice(&1u32.to_le_bytes()); // min subnormal
+            raw[12..16].copy_from_slice(&f32::INFINITY.to_le_bytes());
+            let count = 512;
+            let bulk = spec.decode_all(&raw, count).unwrap();
+            for (i, &b) in bulk.iter().enumerate() {
+                let one = spec.decode(&raw[i * size..(i + 1) * size]).unwrap();
+                assert!(
+                    b.to_bits() == one.to_bits() || (b.is_nan() && one.is_nan()),
+                    "{:?} element {}: bulk {} != generic {}",
+                    spec.size,
+                    i,
+                    b,
+                    one
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! equal to the size of metadata").
 
 use crate::floatspec::FloatSpec;
-use crate::types::{align8, Hdf5Error, Hdf5Result, GROUP_INTERNAL_K, GROUP_LEAF_K, SUPERBLOCK_SIZE};
+use crate::types::{
+    align8, Hdf5Error, Hdf5Result, GROUP_INTERNAL_K, GROUP_LEAF_K, SUPERBLOCK_SIZE,
+};
 
 /// A dataset: name, shape, values, element datatype.
 #[derive(Debug, Clone)]
@@ -41,7 +43,12 @@ impl Dataset {
 
     /// Double-precision dataset from `f64` values.
     pub fn f64(name: &str, dims: &[u64], data: &[f64]) -> Self {
-        Dataset { name: name.to_string(), dims: dims.to_vec(), data: data.to_vec(), dtype: FloatSpec::ieee_f64() }
+        Dataset {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+            data: data.to_vec(),
+            dtype: FloatSpec::ieee_f64(),
+        }
     }
 
     /// Element count implied by the dims.
@@ -127,7 +134,10 @@ impl FileBuilder {
             let idx = match pos {
                 Some(i) => {
                     if !matches!(cursor[i], Node::Group { .. }) {
-                        return Err(Hdf5Error::new(format!("'{}' exists and is not a group", comp)));
+                        return Err(Hdf5Error::new(format!(
+                            "'{}' exists and is not a group",
+                            comp
+                        )));
                     }
                     i
                 }
@@ -473,16 +483,14 @@ mod tests {
         let per_group = GROUP_OHDR_SIZE + BTREE_NODE_SIZE + SNOD_SIZE + HEAP_HEADER_SIZE;
         let heap_root = heap_segment_size(&["native_fields"]);
         let heap_nf = heap_segment_size(&["baryon_density"]);
-        let expect = align8(
-            SUPERBLOCK_SIZE + 2 * per_group + heap_root + heap_nf + dataset_ohdr_size(3),
-        );
+        let expect =
+            align8(SUPERBLOCK_SIZE + 2 * per_group + heap_root + heap_nf + dataset_ohdr_size(3));
         assert_eq!(plan.metadata_size, expect);
         // The paper's comparable file (Nyx via HDF5) had ~2.4 KB of
         // metadata with B-tree nodes dominating; ours lands in the
         // same regime with the default K values.
         assert!(plan.metadata_size > 1500 && plan.metadata_size < 3000, "{}", plan.metadata_size);
-        let btree_share =
-            (2 * (BTREE_NODE_SIZE + SNOD_SIZE)) as f64 / plan.metadata_size as f64;
+        let btree_share = (2 * (BTREE_NODE_SIZE + SNOD_SIZE)) as f64 / plan.metadata_size as f64;
         assert!(btree_share > 0.6, "B-tree+SNOD share = {:.2}", btree_share);
     }
 

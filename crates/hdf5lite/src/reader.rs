@@ -157,7 +157,10 @@ impl H5File {
         let leaf_k = r.u16()?;
         let internal_k = r.u16()?;
         if leaf_k == 0 || leaf_k > 1024 || internal_k == 0 || internal_k > 1024 {
-            return Err(Hdf5Error::new(format!("implausible B-tree K values {}/{}", leaf_k, internal_k)));
+            return Err(Hdf5Error::new(format!(
+                "implausible B-tree K values {}/{}",
+                leaf_k, internal_k
+            )));
         }
         let _flags = r.u32()?;
         let base = r.u64()?;
@@ -265,7 +268,10 @@ impl H5File {
                         return Err(Hdf5Error::new(format!("datatype version {} != 1", ver)));
                     }
                     if class != 1 {
-                        return Err(Hdf5Error::new(format!("datatype class {} is not floating-point", class)));
+                        return Err(Hdf5Error::new(format!(
+                            "datatype class {} is not floating-point",
+                            class
+                        )));
                     }
                     let bf0_off = r.position();
                     let bf0 = r.u8()?;
@@ -324,7 +330,10 @@ impl H5File {
                     }
                     let class = r.u8()?;
                     if class != 1 {
-                        return Err(Hdf5Error::new(format!("layout class {} is not contiguous", class)));
+                        return Err(Hdf5Error::new(format!(
+                            "layout class {} is not contiguous",
+                            class
+                        )));
                     }
                     let ard_off = r.position();
                     let ard = r.u64()?;
@@ -368,10 +377,8 @@ impl H5File {
     /// Children of a group object header: `(name, object header addr)`.
     fn group_children(&self, ohdr_addr: u64) -> Hdf5Result<Vec<(String, u64)>> {
         let msgs = self.parse_object_header(ohdr_addr)?;
-        let Some(Message::SymbolTable { btree, heap }) = msgs
-            .iter()
-            .find(|m| matches!(m, Message::SymbolTable { .. }))
-            .cloned()
+        let Some(Message::SymbolTable { btree, heap }) =
+            msgs.iter().find(|m| matches!(m, Message::SymbolTable { .. })).cloned()
         else {
             return Err(Hdf5Error::new("object is not a group (no symbol table message)"));
         };
@@ -415,11 +422,17 @@ impl H5File {
         }
         let node_type = r.u8()?;
         if node_type != 0 {
-            return Err(Hdf5Error::new(format!("B-tree node type {} is not a group node", node_type)));
+            return Err(Hdf5Error::new(format!(
+                "B-tree node type {} is not a group node",
+                node_type
+            )));
         }
         let level = r.u8()?;
         if level != 0 {
-            return Err(Hdf5Error::new(format!("B-tree level {} unsupported (single-level files)", level)));
+            return Err(Hdf5Error::new(format!(
+                "B-tree level {} unsupported (single-level files)",
+                level
+            )));
         }
         let entries = r.u16()?;
         if entries as usize > 2 * self.group_internal_k as usize {
@@ -491,11 +504,10 @@ impl H5File {
         let mut cur = self.root_ohdr;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             let children = self.group_children(cur)?;
-            cur = children
-                .iter()
-                .find(|(n, _)| n == comp)
-                .map(|&(_, a)| a)
-                .ok_or_else(|| Hdf5Error::new(format!("path component '{}' not found", comp)))?;
+            cur =
+                children.iter().find(|(n, _)| n == comp).map(|&(_, a)| a).ok_or_else(|| {
+                    Hdf5Error::new(format!("path component '{}' not found", comp))
+                })?;
         }
         Ok(cur)
     }
@@ -510,7 +522,9 @@ impl H5File {
         for m in msgs {
             match m {
                 Message::Dataspace { dims: d } => dims = Some(d),
-                Message::Datatype { spec, offsets_partial } => dtype = Some((spec, offsets_partial)),
+                Message::Datatype { spec, offsets_partial } => {
+                    dtype = Some((spec, offsets_partial))
+                }
                 Message::Layout { ard, size, ard_off, size_off } => {
                     layout = Some((ard, size, ard_off, size_off))
                 }
@@ -741,11 +755,7 @@ mod tests {
     fn corrupted_snod_signature_crashes_on_read() {
         let fs = MemFs::new();
         let report = write_nyx(&fs, 4);
-        let span = report
-            .spans
-            .iter()
-            .find(|s| s.name.contains("SNOD.Signature"))
-            .unwrap();
+        let span = report.spans.iter().find(|s| s.name.contains("SNOD.Signature")).unwrap();
         corrupt_at(&fs, "/plt.h5", span.start, 0x01);
         let f = open(&fs, "/plt.h5").unwrap();
         assert!(f.read_dataset("/native_fields/baryon_density").is_err());
@@ -789,11 +799,7 @@ mod tests {
     fn corrupted_normalization_bit5_halves_values() {
         let fs = MemFs::new();
         let report = write_nyx(&fs, 4);
-        let span = report
-            .spans
-            .iter()
-            .find(|s| s.name.contains("MantissaNormalization"))
-            .unwrap();
+        let span = report.spans.iter().find(|s| s.name.contains("MantissaNormalization")).unwrap();
         corrupt_at(&fs, "/plt.h5", span.start, 0x20); // bit 5
         let info = read_dataset(&fs, "/plt.h5", "/native_fields/baryon_density").unwrap();
         // Implied (2) -> none (0): value 1.0 decodes as 0.0 fraction...
@@ -806,11 +812,7 @@ mod tests {
     fn corrupted_size_smaller_crashes_bigger_tolerated() {
         let fs = MemFs::new();
         let report = write_nyx(&fs, 4);
-        let span = report
-            .spans
-            .iter()
-            .find(|s| s.name.contains("SizeOfRawData"))
-            .unwrap();
+        let span = report.spans.iter().find(|s| s.name.contains("SizeOfRawData")).unwrap();
         // Set high bit of byte 1: size += 32768 (bigger) -> still fine.
         corrupt_at(&fs, "/plt.h5", span.start + 1, 0x80);
         let info = read_dataset(&fs, "/plt.h5", "/native_fields/baryon_density").unwrap();
@@ -849,11 +851,7 @@ mod tests {
         let report = write_nyx(&fs, 4);
         let golden = read_dataset(&fs, "/plt.h5", "/native_fields/baryon_density").unwrap();
         // Corrupt a B-tree unused slot byte.
-        let span = report
-            .spans
-            .iter()
-            .find(|s| s.name.contains("BTree.UnusedSlots"))
-            .unwrap();
+        let span = report.spans.iter().find(|s| s.name.contains("BTree.UnusedSlots")).unwrap();
         corrupt_at(&fs, "/plt.h5", span.start + 50, 0xFF);
         let info = read_dataset(&fs, "/plt.h5", "/native_fields/baryon_density").unwrap();
         assert_eq!(info.values, golden.values);

@@ -210,9 +210,8 @@ mod tests {
     /// Data with mean exactly 1.0 (mass conservation).
     fn write_conserved(fs: &MemFs) -> crate::writer::WriteReport {
         let n = 8usize;
-        let mut data: Vec<f32> = (0..n * n * n)
-            .map(|i| 1.0 + 0.25 * ((i % 5) as f32 - 2.0) / 2.0)
-            .collect();
+        let mut data: Vec<f32> =
+            (0..n * n * n).map(|i| 1.0 + 0.25 * ((i % 5) as f32 - 2.0) / 2.0).collect();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
         for v in &mut data {
             *v /= mean;
@@ -277,10 +276,11 @@ mod tests {
         let span = rep.spans.iter().find(|s| s.name.contains("AddressOfRawData")).unwrap();
         corrupt(&fs, span.start, 0b0100_0000); // shift window by 64 bytes
         let report = repair_file(&fs, "/plt.h5", DS, 1.0).unwrap();
-        assert!(report
-            .corrections
-            .iter()
-            .any(|c| c.field.contains("AddressOfRawData")), "{:?}", report.corrections);
+        assert!(
+            report.corrections.iter().any(|c| c.field.contains("AddressOfRawData")),
+            "{:?}",
+            report.corrections
+        );
         assert!((report.mean_after - 1.0).abs() < 1e-4);
         // Values fully restored.
         let after = crate::reader::read_dataset(&fs, "/plt.h5", DS).unwrap();
@@ -295,10 +295,7 @@ mod tests {
         corrupt(&fs, span.start, 0x20);
         let report = repair_file(&fs, "/plt.h5", DS, 1.0).unwrap();
         assert_eq!(report.diagnosis, Diagnosis::FloatFields);
-        assert!(report
-            .corrections
-            .iter()
-            .any(|c| c.field.contains("MantissaNormalization")));
+        assert!(report.corrections.iter().any(|c| c.field.contains("MantissaNormalization")));
         assert!((report.mean_after - 1.0).abs() < 1e-4, "after = {}", report.mean_after);
     }
 
@@ -343,7 +340,8 @@ mod tests {
         use ffis_vfs::FileSystem;
         let fs = MemFs::new();
         let n = 8usize;
-        let mut data: Vec<f32> = (0..n * n * n).map(|i| 1.0 + 0.1 * ((i % 3) as f32 - 1.0)).collect();
+        let mut data: Vec<f32> =
+            (0..n * n * n).map(|i| 1.0 + 0.1 * ((i % 3) as f32 - 1.0)).collect();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
         for v in &mut data {
             *v /= mean;

@@ -121,7 +121,11 @@ pub fn write_file(
             off += n;
             data_writes += 1;
         }
-        data_regions.push(DataRegion { path: dpath, addr: pd.data_addr, size: pd.dataset.data_size() });
+        data_regions.push(DataRegion {
+            path: dpath,
+            addr: pd.data_addr,
+            size: pd.dataset.data_size(),
+        });
     }
 
     // Phase 2: the packed metadata block — the penultimate write.
@@ -301,7 +305,8 @@ mod tests {
         let opts = WriteOptions { seal_metadata: true, ..Default::default() };
         let report = write_file(&fs, "/s.h5", &nyx_root(4), &opts).unwrap();
         // Clean sealed file reads fine.
-        let info = crate::reader::read_dataset(&fs, "/s.h5", "/native_fields/baryon_density").unwrap();
+        let info =
+            crate::reader::read_dataset(&fs, "/s.h5", "/native_fields/baryon_density").unwrap();
         assert_eq!(info.values.len(), 64);
 
         // A silent SDC field (exponent bias) now fails verification.
@@ -321,7 +326,8 @@ mod tests {
     fn unsealed_files_are_unaffected_by_seal_check() {
         let fs = MemFs::new();
         write_file(&fs, "/p.h5", &nyx_root(4), &WriteOptions::default()).unwrap();
-        let info = crate::reader::read_dataset(&fs, "/p.h5", "/native_fields/baryon_density").unwrap();
+        let info =
+            crate::reader::read_dataset(&fs, "/p.h5", "/native_fields/baryon_density").unwrap();
         assert_eq!(info.values.len(), 64);
     }
 }

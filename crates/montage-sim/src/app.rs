@@ -21,8 +21,8 @@ use ffis_vfs::FileSystem;
 use fitslite::FitsImage;
 
 use crate::stages::{
-    m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images, write_raws,
-    FinalImage, PipelineConfig,
+    m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images, write_raws, FinalImage,
+    PipelineConfig,
 };
 
 /// Montage workload configuration.

@@ -157,12 +157,22 @@ pub fn write_raws(fs: &dyn FileSystem, raws: &[FitsImage]) -> Result<(), String>
 }
 
 /// Footprint of an image on the mosaic grid: `(x0, y0, w, h)`.
-fn footprint(img_wcs: &Wcs, size: usize, mwcs: &Wcs, mosaic_size: usize) -> (usize, usize, usize, usize) {
+fn footprint(
+    img_wcs: &Wcs,
+    size: usize,
+    mwcs: &Wcs,
+    mosaic_size: usize,
+) -> (usize, usize, usize, usize) {
     let mut xmin = f64::INFINITY;
     let mut xmax = f64::NEG_INFINITY;
     let mut ymin = f64::INFINITY;
     let mut ymax = f64::NEG_INFINITY;
-    for &(cx, cy) in &[(0.0, 0.0), (size as f64 - 1.0, 0.0), (0.0, size as f64 - 1.0), (size as f64 - 1.0, size as f64 - 1.0)] {
+    for &(cx, cy) in &[
+        (0.0, 0.0),
+        (size as f64 - 1.0, 0.0),
+        (0.0, size as f64 - 1.0),
+        (size as f64 - 1.0, size as f64 - 1.0),
+    ] {
         let (ra, dec) = img_wcs.pix_to_sky(cx, cy);
         let (mx, my) = mwcs.sky_to_pix(ra, dec);
         xmin = xmin.min(mx);
@@ -228,7 +238,10 @@ fn read_proj(fs: &dyn FileSystem, i: usize) -> Result<(FitsImage, FitsImage), St
 
 /// Stage 2 — mDiffExec: difference image for every overlapping pair.
 /// Returns the pair list (the background model's graph edges).
-pub fn m_diff_exec(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<Vec<(usize, usize)>, String> {
+pub fn m_diff_exec(
+    fs: &dyn FileSystem,
+    cfg: &PipelineConfig,
+) -> Result<Vec<(usize, usize)>, String> {
     let mwcs = mosaic_wcs(cfg);
     let n = cfg.n_images();
     let mut projs = Vec::with_capacity(n);
@@ -246,7 +259,8 @@ pub fn m_diff_exec(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<Vec<(usi
             let x0 = ix0.max(jx0).round() as i64;
             let y0 = iy0.max(jy0).round() as i64;
             let x1 = (ix0 + di.width as f64 - 1.0).min(jx0 + dj.width as f64 - 1.0).round() as i64;
-            let y1 = (iy0 + di.height as f64 - 1.0).min(jy0 + dj.height as f64 - 1.0).round() as i64;
+            let y1 =
+                (iy0 + di.height as f64 - 1.0).min(jy0 + dj.height as f64 - 1.0).round() as i64;
             if x1 < x0 || y1 < y0 {
                 continue;
             }
@@ -273,7 +287,8 @@ pub fn m_diff_exec(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<Vec<(usi
                     {
                         continue;
                     }
-                    let (lix, liy, ljx, ljy) = (lix as usize, liy as usize, ljx as usize, ljy as usize);
+                    let (lix, liy, ljx, ljy) =
+                        (lix as usize, liy as usize, ljx as usize, ljy as usize);
                     let vi = di.get(lix, liy);
                     let vj = dj.get(ljx, ljy);
                     let wi = ai.get(lix, liy);
@@ -449,8 +464,7 @@ pub fn m_viewer(fs: &dyn FileSystem, _cfg: &PipelineConfig) -> Result<FinalImage
         return Err(format!("degenerate mosaic stretch range [{}, {}]", min, max));
     }
     let scale = 255.0 / (max - min);
-    let mut bytes =
-        format!("P5 {} {} 255\n", mosaic.width, mosaic.height).into_bytes();
+    let mut bytes = format!("P5 {} {} 255\n", mosaic.width, mosaic.height).into_bytes();
     for &v in &mosaic.data {
         let b = if v.is_finite() { ((v - min) * scale).clamp(0.0, 255.0) as u8 } else { 0 };
         bytes.push(b);

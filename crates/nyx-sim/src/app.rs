@@ -46,6 +46,13 @@ pub struct NyxConfig {
     /// (reproduction extension; quantifies how much of the paper's
     /// metadata SDC exposure a checksummed format removes).
     pub seal_metadata: bool,
+    /// Re-run the (deterministic) field simulation inside every
+    /// [`FaultApp::run`], as the real application binary would — the
+    /// paper's injection runs execute Nyx end-to-end, simulation
+    /// included. Off by default: storage-path-only experiments may
+    /// share the cached field, but replay-vs-rerun comparisons should
+    /// enable this to charge the legacy path its true per-run cost.
+    pub resimulate: bool,
 }
 
 impl Default for NyxConfig {
@@ -56,6 +63,7 @@ impl Default for NyxConfig {
             keep_field: false,
             write_chunk: ffis_vfs::BLOCK_SIZE,
             seal_metadata: false,
+            resimulate: false,
         }
     }
 }
@@ -73,6 +81,7 @@ impl NyxConfig {
             keep_field: false,
             write_chunk: 64 * 1024,
             seal_metadata: false,
+            resimulate: false,
         }
     }
 }
@@ -134,11 +143,8 @@ impl NyxApp {
     pub fn metadata_spans(&self) -> Vec<hdf5lite::Span> {
         let n = self.config.field.n;
         let mut b = FileBuilder::new();
-        b.add_dataset(
-            DATASET,
-            Dataset::f32("baryon_density", &[n as u64; 3], &self.field),
-        )
-        .expect("same tree as run()");
+        b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], &self.field))
+            .expect("same tree as run()");
         let plan = hdf5lite::plan(&b.into_root()).expect("plannable");
         let (_, spans) = hdf5lite::encode_metadata(&plan);
         spans
@@ -150,27 +156,13 @@ impl NyxApp {
     }
 }
 
-impl FaultApp for NyxApp {
-    type Output = NyxOutput;
-
-    fn run(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
-        let n = self.config.field.n;
-        // Write the plotfile through the (possibly fault-injected)
-        // filesystem, exactly as the HDF5 library would.
-        fs.mkdir("/run", 0o755).map_err(|e| e.to_string())?;
-        let mut b = FileBuilder::new();
-        b.add_dataset(
-            DATASET,
-            Dataset::f32("baryon_density", &[n as u64; 3], &self.field),
-        )
-        .map_err(|e| e.to_string())?;
-        let opts = WriteOptions {
-            chunk_size: self.config.write_chunk,
-            seal_metadata: self.config.seal_metadata,
-        };
-        hdf5lite::write_file(fs, PLOTFILE, &b.into_root(), &opts).map_err(|e| e.to_string())?;
-
-        // Post-analysis: read back and find halos.
+impl NyxApp {
+    /// The post-analysis half of a run: read the plotfile back through
+    /// `fs` and run the halo finder. Shared by [`FaultApp::run`] and
+    /// the replay-campaign [`FaultApp::verify`] phase (where the
+    /// plotfile was rebuilt by golden-trace replay rather than by the
+    /// write phase).
+    fn read_back(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
         let info = hdf5lite::read_dataset(fs, PLOTFILE, DATASET).map_err(|e| e.to_string())?;
         if info.dims.len() != 3 {
             return Err(format!("unexpected rank {}", info.dims.len()));
@@ -183,6 +175,46 @@ impl FaultApp for NyxApp {
             field: self.config.keep_field.then_some(info.values),
             dims,
         })
+    }
+}
+
+impl FaultApp for NyxApp {
+    type Output = NyxOutput;
+
+    fn run(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
+        let n = self.config.field.n;
+        // The simulation phase: deterministic, so by default each run
+        // reuses the cached field; `resimulate` re-executes it the way
+        // the real application binary would in every injection run.
+        let resimulated;
+        let field: &[f32] = if self.config.resimulate {
+            resimulated = generate(&self.config.field);
+            &resimulated
+        } else {
+            &self.field
+        };
+        // Write the plotfile through the (possibly fault-injected)
+        // filesystem, exactly as the HDF5 library would.
+        fs.mkdir("/run", 0o755).map_err(|e| e.to_string())?;
+        let mut b = FileBuilder::new();
+        b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], field))
+            .map_err(|e| e.to_string())?;
+        let opts = WriteOptions {
+            chunk_size: self.config.write_chunk,
+            seal_metadata: self.config.seal_metadata,
+        };
+        hdf5lite::write_file(fs, PLOTFILE, &b.into_root(), &opts).map_err(|e| e.to_string())?;
+
+        // Post-analysis: read back and find halos.
+        self.read_back(fs)
+    }
+
+    fn verify(
+        &self,
+        fs: &dyn FileSystem,
+        _golden: &NyxOutput,
+    ) -> Option<Result<NyxOutput, String>> {
+        Some(self.read_back(fs))
     }
 
     fn classify(&self, golden: &NyxOutput, faulty: &NyxOutput) -> Outcome {

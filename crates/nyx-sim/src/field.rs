@@ -58,8 +58,7 @@ pub fn generate(cfg: &FieldConfig) -> Vec<f32> {
     let var_g: f64 = g.iter().map(|v| (v - mean_g) * (v - mean_g)).sum::<f64>() / len as f64;
     let inv_sd = if var_g > 0.0 { 1.0 / var_g.sqrt() } else { 1.0 };
 
-    let mut rho: Vec<f64> =
-        g.iter().map(|&v| (cfg.sigma * (v - mean_g) * inv_sd).exp()).collect();
+    let mut rho: Vec<f64> = g.iter().map(|&v| (cfg.sigma * (v - mean_g) * inv_sd).exp()).collect();
 
     // Mass conservation: normalize the mean to exactly 1.
     let mean_rho: f64 = rho.iter().sum::<f64>() / len as f64;

@@ -231,11 +231,7 @@ mod tests {
         // energy sitting inside [-2.91, -2.90] (exact: -2.90372).
         let app = QmcApp::paper_default();
         let e = app.golden_energy();
-        assert!(
-            (-2.91..=-2.90).contains(&e),
-            "golden DMC energy {} outside the paper window",
-            e
-        );
+        assert!((-2.91..=-2.90).contains(&e), "golden DMC energy {} outside the paper window", e);
     }
 
     #[test]

@@ -84,12 +84,7 @@ fn limited_drift(v: [f64; 3], tau: f64) -> [f64; 3] {
     [v[0] * f, v[1] * f, v[2] * f]
 }
 
-fn drift_move(
-    wf: &TrialWavefunction,
-    w: &Walker,
-    tau: f64,
-    rng: &mut Rng,
-) -> (Walker, f64) {
+fn drift_move(wf: &TrialWavefunction, w: &Walker, tau: f64, rng: &mut Rng) -> (Walker, f64) {
     // Move both electrons with limited drift + diffusion; returns the
     // log of the forward Green-function exponent needed by the
     // Metropolis correction.
@@ -136,14 +131,11 @@ pub fn run_dmc(
         return Err(DmcError("unphysical walker coordinates in checkpoint".into()));
     }
     let mut rng = Rng::seed_from(cfg.seed);
-    let mut walkers: Vec<(Walker, f64, f64)> = initial
-        .iter()
-        .map(|w| (*w, wf.log_psi(w), wf.local_energy(w)))
-        .collect();
+    let mut walkers: Vec<(Walker, f64, f64)> =
+        initial.iter().map(|w| (*w, wf.log_psi(w), wf.local_energy(w))).collect();
 
     // Trial energy initialised from the ensemble average.
-    let mut e_trial =
-        walkers.iter().map(|&(_, _, e)| e).sum::<f64>() / walkers.len() as f64;
+    let mut e_trial = walkers.iter().map(|&(_, _, e)| e).sum::<f64>() / walkers.len() as f64;
     let mut e_running = e_trial;
     let mut rows = Vec::with_capacity(cfg.steps);
 
@@ -201,8 +193,8 @@ pub fn run_dmc(
         // Population control: steer the trial energy toward the
         // running estimate, corrected by the population deviation.
         e_running = 0.99 * e_running + 0.01 * mean;
-        e_trial = e_running
-            - cfg.feedback * (walkers.len() as f64 / cfg.target_walkers as f64).ln();
+        e_trial =
+            e_running - cfg.feedback * (walkers.len() as f64 / cfg.target_walkers as f64).ln();
 
         if step >= cfg.warmup {
             let var = (e2_sum / n_used - mean * mean).max(0.0);

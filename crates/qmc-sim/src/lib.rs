@@ -26,8 +26,8 @@ pub use app::{QmcApp, QmcConfig, QmcOutput, CONFIG, LOG, S000, S001};
 pub use dmc::{run_dmc, DmcConfig, DmcError, DmcResult};
 pub use qmca::{analyze, QmcaConfig, QmcaResult};
 pub use scalar::{
-    parse_checkpoint, parse_scalar, read_checkpoint, read_scalar, render_checkpoint,
-    render_scalar, write_checkpoint, write_scalar, ParsedScalar, ScalarRow, SCALAR_HEADER,
+    parse_checkpoint, parse_scalar, read_checkpoint, read_scalar, render_checkpoint, render_scalar,
+    write_checkpoint, write_scalar, ParsedScalar, ScalarRow, SCALAR_HEADER,
 };
 pub use vmc::{run_vmc, VmcConfig, VmcResult};
 pub use wavefunction::{TrialWavefunction, Walker};

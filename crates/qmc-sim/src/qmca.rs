@@ -40,11 +40,7 @@ pub fn analyze(rows: &[ScalarRow], cfg: &QmcaConfig) -> Result<QmcaResult, Strin
     let cut = (rows.len() as f64 * cfg.equilibration_fraction) as usize;
     let post = &rows[cut.min(rows.len())..];
     if post.len() < cfg.min_rows {
-        return Err(format!(
-            "too few post-equilibration rows: {} < {}",
-            post.len(),
-            cfg.min_rows
-        ));
+        return Err(format!("too few post-equilibration rows: {} < {}", post.len(), cfg.min_rows));
     }
     let series: Vec<f64> = post.iter().map(|r| r.local_energy).collect();
     let (energy, error) = blocking_error(&series);

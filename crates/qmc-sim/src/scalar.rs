@@ -114,7 +114,11 @@ pub fn parse_scalar(text: &str, min_rows: usize) -> Result<ParsedScalar, String>
 }
 
 /// Read and parse a scalar.dat from the filesystem.
-pub fn read_scalar(fs: &dyn FileSystem, path: &str, min_rows: usize) -> Result<ParsedScalar, String> {
+pub fn read_scalar(
+    fs: &dyn FileSystem,
+    path: &str,
+    min_rows: usize,
+) -> Result<ParsedScalar, String> {
     let bytes = fs.read_to_vec(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
     let text = String::from_utf8_lossy(&bytes);
     parse_scalar(&text, min_rows)
@@ -281,10 +285,7 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip() {
         let walkers: Vec<Walker> = (0..100)
-            .map(|i| Walker {
-                r1: [i as f64 * 0.01, 0.5, -0.5],
-                r2: [-0.3, i as f64 * -0.02, 0.7],
-            })
+            .map(|i| Walker { r1: [i as f64 * 0.01, 0.5, -0.5], r2: [-0.3, i as f64 * -0.02, 0.7] })
             .collect();
         let fs = MemFs::new();
         write_checkpoint(&fs, "/He.s000.config.dat", &walkers).unwrap();

@@ -50,8 +50,16 @@ pub fn run_vmc(wf: &TrialWavefunction, cfg: &VmcConfig) -> VmcResult {
     let mut walkers: Vec<Walker> = (0..cfg.walkers)
         .map(|_| loop {
             let w = Walker {
-                r1: [rng.normal_with(0.7, 0.3), rng.normal_with(0.0, 0.3), rng.normal_with(0.0, 0.3)],
-                r2: [rng.normal_with(-0.7, 0.3), rng.normal_with(0.0, 0.3), rng.normal_with(0.0, 0.3)],
+                r1: [
+                    rng.normal_with(0.7, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                ],
+                r2: [
+                    rng.normal_with(-0.7, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                ],
             };
             if w.is_physical() {
                 break w;
@@ -108,11 +116,7 @@ pub fn run_vmc(wf: &TrialWavefunction, cfg: &VmcConfig) -> VmcResult {
         }
     }
 
-    VmcResult {
-        rows,
-        walkers,
-        acceptance: accepted as f64 / attempted.max(1) as f64,
-    }
+    VmcResult { rows, walkers, acceptance: accepted as f64 / attempted.max(1) as f64 }
 }
 
 #[cfg(test)]

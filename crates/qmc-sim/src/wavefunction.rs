@@ -32,11 +32,8 @@ impl Walker {
 
     /// Are all coordinates finite and the electrons separated?
     pub fn is_physical(&self) -> bool {
-        let all_finite = self
-            .r1
-            .iter()
-            .chain(self.r2.iter())
-            .all(|v| v.is_finite() && v.abs() < 1e3);
+        let all_finite =
+            self.r1.iter().chain(self.r2.iter()).all(|v| v.is_finite() && v.abs() < 1e3);
         if !all_finite {
             return false;
         }

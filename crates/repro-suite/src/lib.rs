@@ -1,0 +1,26 @@
+//! # ffis-repro — umbrella crate for the FFIS reproduction workspace
+//!
+//! Reproduction of *"Characterizing Impacts of Storage Faults on HPC
+//! Applications: A Methodology and Insights"* (CLUSTER 2021). This
+//! crate owns the cross-crate examples (`examples/`) and integration
+//! tests (`tests/`) and re-exports the workspace layers:
+//!
+//! * [`ffis_vfs`] — the in-process FFISFS chokepoint: `FileSystem`
+//!   trait, CoW-paged `MemFs` with `fork()`, interceptors, and the
+//!   golden-trace capture/replay engine.
+//! * [`ffis_core`] — fault models, injectors, campaign runner, and the
+//!   byte-by-byte metadata scanner with its fork+replay fast path.
+//! * [`hdf5lite`] / [`fitslite`] — scientific file-format substrates.
+//! * [`nyx_sim`] / [`qmc_sim`] / [`montage_sim`] — the paper's three
+//!   workloads as laptop-scale stand-ins.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ffis_core;
+pub use ffis_vfs;
+pub use fitslite;
+pub use hdf5lite;
+pub use montage_sim;
+pub use nyx_sim;
+pub use qmc_sim;

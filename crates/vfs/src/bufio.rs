@@ -110,8 +110,8 @@ mod tests {
 
     #[test]
     fn flush_boundaries_are_block_sized() {
-        use crate::ffisfs::FfisFs;
         use crate::counting::TraceInterceptor;
+        use crate::ffisfs::FfisFs;
         use crate::interceptor::Primitive;
         use std::sync::Arc;
 

@@ -68,7 +68,12 @@ impl TraceInterceptor {
 
     /// Count crossings of one primitive.
     pub fn count(&self, p: Primitive) -> u64 {
-        self.records.lock().unwrap_or_else(|e| e.into_inner()).iter().filter(|r| r.primitive == p).count() as u64
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|r| r.primitive == p)
+            .count() as u64
     }
 
     /// Clear the trace.

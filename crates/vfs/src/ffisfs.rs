@@ -21,6 +21,7 @@ use std::sync::{Arc, RwLock};
 use crate::error::{FsError, FsResult};
 use crate::fs::{DirEntry, Fd, FileSystem, LockKind, Metadata, NodeKind, OpenFlags, StatFs};
 use crate::interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
+use crate::trace::TraceOp;
 
 /// Snapshot of the per-primitive dynamic execution counters — the
 /// output of the paper's I/O profiler stage.
@@ -42,11 +43,7 @@ impl CounterSnapshot {
 
     /// Iterate `(primitive, count)` pairs with non-zero counts.
     pub fn nonzero(&self) -> impl Iterator<Item = (Primitive, u64)> + '_ {
-        PRIMITIVES
-            .iter()
-            .copied()
-            .map(move |p| (p, self.get(p)))
-            .filter(|&(_, c)| c > 0)
+        PRIMITIVES.iter().copied().map(move |p| (p, self.get(p))).filter(|&(_, c)| c > 0)
     }
 }
 
@@ -57,6 +54,10 @@ pub struct FfisFs {
     mounted: AtomicBool,
     seq: AtomicU64,
     counters: [AtomicU64; PRIMITIVES.len()],
+    /// True when some attached interceptor wants [`TraceOp`]s;
+    /// cached so the hot path skips op materialization (which clones
+    /// write buffers) entirely when nothing records.
+    ops_wanted: AtomicBool,
     /// fd → path, so fd-addressed primitives (write/pwrite/...) carry
     /// their target path in the [`CallContext`] — fault signatures can
     /// then be scoped to specific files, as FFIS scopes injections to
@@ -74,6 +75,7 @@ impl FfisFs {
             mounted: AtomicBool::new(true),
             seq: AtomicU64::new(0),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            ops_wanted: AtomicBool::new(false),
             fd_paths: RwLock::new(HashMap::new()),
         })
     }
@@ -98,11 +100,15 @@ impl FfisFs {
     /// Attach an interceptor. Interceptors run in attachment order;
     /// for write-class calls the first non-`Forward` action wins.
     pub fn attach(&self, i: Arc<dyn Interceptor>) {
+        if i.wants_ops() {
+            self.ops_wanted.store(true, Ordering::SeqCst);
+        }
         self.interceptors.write().unwrap_or_else(|e| e.into_inner()).push(i);
     }
 
     /// Detach all interceptors.
     pub fn clear_interceptors(&self) {
+        self.ops_wanted.store(false, Ordering::SeqCst);
         self.interceptors.write().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
@@ -133,6 +139,32 @@ impl FfisFs {
         self.fd_paths.read().unwrap_or_else(|e| e.into_inner()).get(&fd).cloned()
     }
 
+    /// Register a descriptor that was opened *before* this mount
+    /// existed — i.e. a descriptor carried into a forked filesystem by
+    /// a mid-trace snapshot. Without adoption, fd-addressed primitives
+    /// replayed on that descriptor would cross the mount with no
+    /// target path, making them invisible to path-filtered injectors.
+    /// See [`crate::trace::ReplayCursor::seed_mount`].
+    pub fn adopt_fd(&self, fd: Fd, path: &str) {
+        self.track_fd(fd, path);
+    }
+
+    /// Deliver a [`TraceOp`] to recording interceptors. `build` runs
+    /// only when recording is active, so the hot path never clones
+    /// write buffers.
+    fn emit_op(&self, build: impl FnOnce() -> TraceOp) {
+        if !self.ops_wanted.load(Ordering::Relaxed) {
+            return;
+        }
+        let op = build();
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        for i in guards.iter() {
+            if i.wants_ops() {
+                i.on_op(&op);
+            }
+        }
+    }
+
     fn track_fd(&self, fd: Fd, path: &str) {
         self.fd_paths
             .write()
@@ -156,18 +188,8 @@ impl FfisFs {
         self.check_mounted()?;
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let prim_seq = self.counters[primitive.index()].fetch_add(1, Ordering::SeqCst) + 1;
-        let path = path
-            .map(str::to_string)
-            .or_else(|| fd.and_then(|fd| self.path_of_fd(fd)));
-        let cx = CallContext {
-            primitive,
-            seq,
-            prim_seq,
-            path,
-            fd,
-            offset,
-            len,
-        };
+        let path = path.map(str::to_string).or_else(|| fd.and_then(|fd| self.path_of_fd(fd)));
+        let cx = CallContext { primitive, seq, prim_seq, path, fd, offset, len };
         let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
         for i in guards.iter() {
             i.on_call(&cx);
@@ -197,6 +219,8 @@ impl FileSystem for FfisFs {
 
     fn mknod(&self, path: &str, kind: NodeKind, mode: u32, dev: u64) -> FsResult<()> {
         let cx = self.enter(Primitive::Mknod, Some(path), None, None, 0)?;
+        let issued_mode = mode;
+        let issued_dev = dev;
         let mut mode = mode;
         let mut dev = dev;
         {
@@ -205,31 +229,49 @@ impl FileSystem for FfisFs {
                 i.on_mknod(&cx, &mut mode, &mut dev);
             }
         }
-        self.inner.mknod(path, kind, mode, dev)
+        self.inner.mknod(path, kind, mode, dev)?;
+        // Recorded as-issued (pre-interception): the replay mount's
+        // own interceptors get their chance to rewrite the parameters.
+        self.emit_op(|| TraceOp::Mknod {
+            path: path.to_string(),
+            kind,
+            mode: issued_mode,
+            dev: issued_dev,
+        });
+        Ok(())
     }
 
     fn mkdir(&self, path: &str, mode: u32) -> FsResult<()> {
         self.enter(Primitive::Mkdir, Some(path), None, None, 0)?;
-        self.inner.mkdir(path, mode)
+        self.inner.mkdir(path, mode)?;
+        self.emit_op(|| TraceOp::Mkdir { path: path.to_string(), mode });
+        Ok(())
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         self.enter(Primitive::Unlink, Some(path), None, None, 0)?;
-        self.inner.unlink(path)
+        self.inner.unlink(path)?;
+        self.emit_op(|| TraceOp::Unlink { path: path.to_string() });
+        Ok(())
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
         self.enter(Primitive::Rmdir, Some(path), None, None, 0)?;
-        self.inner.rmdir(path)
+        self.inner.rmdir(path)?;
+        self.emit_op(|| TraceOp::Rmdir { path: path.to_string() });
+        Ok(())
     }
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
         self.enter(Primitive::Rename, Some(from), None, None, 0)?;
-        self.inner.rename(from, to)
+        self.inner.rename(from, to)?;
+        self.emit_op(|| TraceOp::Rename { from: from.to_string(), to: to.to_string() });
+        Ok(())
     }
 
     fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
         let cx = self.enter(Primitive::Chmod, Some(path), None, None, 0)?;
+        let issued_mode = mode;
         let mut mode = mode;
         {
             let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
@@ -237,11 +279,14 @@ impl FileSystem for FfisFs {
                 i.on_chmod(&cx, &mut mode);
             }
         }
-        self.inner.chmod(path, mode)
+        self.inner.chmod(path, mode)?;
+        self.emit_op(|| TraceOp::Chmod { path: path.to_string(), mode: issued_mode });
+        Ok(())
     }
 
     fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
         let cx = self.enter(Primitive::Truncate, Some(path), None, None, 0)?;
+        let issued_size = size;
         let mut size = size;
         {
             let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
@@ -249,13 +294,16 @@ impl FileSystem for FfisFs {
                 i.on_truncate(&cx, &mut size);
             }
         }
-        self.inner.truncate(path, size)
+        self.inner.truncate(path, size)?;
+        self.emit_op(|| TraceOp::Truncate { path: path.to_string(), size: issued_size });
+        Ok(())
     }
 
     fn create(&self, path: &str, mode: u32) -> FsResult<Fd> {
         self.enter(Primitive::Create, Some(path), None, None, 0)?;
         let fd = self.inner.create(path, mode)?;
         self.track_fd(fd, path);
+        self.emit_op(|| TraceOp::Create { path: path.to_string(), mode, fd });
         Ok(fd)
     }
 
@@ -263,6 +311,10 @@ impl FileSystem for FfisFs {
         self.enter(Primitive::Open, Some(path), None, None, 0)?;
         let fd = self.inner.open(path, flags)?;
         self.track_fd(fd, path);
+        // Read-only opens cannot mutate state and are not replayed.
+        if flags.write {
+            self.emit_op(|| TraceOp::Open { path: path.to_string(), flags, fd });
+        }
         Ok(fd)
     }
 
@@ -288,31 +340,47 @@ impl FileSystem for FfisFs {
 
     fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
         let cx = self.enter(Primitive::Write, None, Some(fd), None, buf.len())?;
-        match self.write_action(&cx, buf) {
-            WriteAction::Forward => self.inner.write(fd, buf),
+        let n = match self.write_action(&cx, buf) {
+            WriteAction::Forward => self.inner.write(fd, buf)?,
             WriteAction::Replace { buf: replaced, reported_len } => {
                 self.inner.write(fd, &replaced)?;
-                Ok(reported_len)
+                reported_len
             }
-            WriteAction::Drop { reported_len } => Ok(reported_len),
-        }
+            WriteAction::Drop { reported_len } => reported_len,
+        };
+        self.emit_op(|| TraceOp::Write {
+            fd,
+            path: cx.path.clone(),
+            offset: None,
+            data: buf.to_vec(),
+        });
+        Ok(n)
     }
 
     fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
         let cx = self.enter(Primitive::Write, None, Some(fd), Some(offset), buf.len())?;
-        match self.write_action(&cx, buf) {
-            WriteAction::Forward => self.inner.pwrite(fd, buf, offset),
+        let n = match self.write_action(&cx, buf) {
+            WriteAction::Forward => self.inner.pwrite(fd, buf, offset)?,
             WriteAction::Replace { buf: replaced, reported_len } => {
                 self.inner.pwrite(fd, &replaced, offset)?;
-                Ok(reported_len)
+                reported_len
             }
-            WriteAction::Drop { reported_len } => Ok(reported_len),
-        }
+            WriteAction::Drop { reported_len } => reported_len,
+        };
+        self.emit_op(|| TraceOp::Write {
+            fd,
+            path: cx.path.clone(),
+            offset: Some(offset),
+            data: buf.to_vec(),
+        });
+        Ok(n)
     }
 
     fn fsync(&self, fd: Fd) -> FsResult<()> {
         self.enter(Primitive::Fsync, None, Some(fd), None, 0)?;
-        self.inner.fsync(fd)
+        self.inner.fsync(fd)?;
+        self.emit_op(|| TraceOp::Fsync { fd });
+        Ok(())
     }
 
     fn release(&self, fd: Fd) -> FsResult<()> {
@@ -320,6 +388,7 @@ impl FileSystem for FfisFs {
         let r = self.inner.release(fd);
         if r.is_ok() {
             self.untrack_fd(fd);
+            self.emit_op(|| TraceOp::Release { fd });
         }
         r
     }
@@ -336,12 +405,16 @@ impl FileSystem for FfisFs {
 
     fn lock(&self, fd: Fd, kind: LockKind) -> FsResult<()> {
         self.enter(Primitive::Lock, None, Some(fd), None, 0)?;
-        self.inner.lock(fd, kind)
+        self.inner.lock(fd, kind)?;
+        self.emit_op(|| TraceOp::Lock { fd, kind });
+        Ok(())
     }
 
     fn unlock(&self, fd: Fd) -> FsResult<()> {
         self.enter(Primitive::Unlock, None, Some(fd), None, 0)?;
-        self.inner.unlock(fd)
+        self.inner.unlock(fd)?;
+        self.emit_op(|| TraceOp::Unlock { fd });
+        Ok(())
     }
 }
 

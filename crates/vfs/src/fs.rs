@@ -57,27 +57,62 @@ pub struct OpenFlags {
 impl OpenFlags {
     /// `O_RDONLY`.
     pub fn read_only() -> Self {
-        OpenFlags { read: true, write: false, create: false, truncate: false, append: false, excl: false }
+        OpenFlags {
+            read: true,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+        }
     }
 
     /// `O_WRONLY`.
     pub fn write_only() -> Self {
-        OpenFlags { read: false, write: true, create: false, truncate: false, append: false, excl: false }
+        OpenFlags {
+            read: false,
+            write: true,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+        }
     }
 
     /// `O_RDWR`.
     pub fn read_write() -> Self {
-        OpenFlags { read: true, write: true, create: false, truncate: false, append: false, excl: false }
+        OpenFlags {
+            read: true,
+            write: true,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_TRUNC` — the classic "create for writing".
     pub fn create_truncate() -> Self {
-        OpenFlags { read: false, write: true, create: true, truncate: true, append: false, excl: false }
+        OpenFlags {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+            append: false,
+            excl: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_APPEND` — log-file style.
     pub fn append() -> Self {
-        OpenFlags { read: false, write: true, create: true, truncate: false, append: true, excl: false }
+        OpenFlags {
+            read: false,
+            write: true,
+            create: true,
+            truncate: false,
+            append: true,
+            excl: false,
+        }
     }
 
     /// Validate the combination.
@@ -293,7 +328,14 @@ mod tests {
         assert!(OpenFlags::create_truncate().validate().is_ok());
         assert!(OpenFlags::append().validate().is_ok());
 
-        let no_access = OpenFlags { read: false, write: false, create: false, truncate: false, append: false, excl: false };
+        let no_access = OpenFlags {
+            read: false,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+        };
         assert_eq!(no_access.validate(), Err(FsError::InvalidArgument));
 
         let excl_without_create = OpenFlags { excl: true, ..OpenFlags::read_write() };

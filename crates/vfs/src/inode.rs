@@ -46,12 +46,28 @@ pub struct Inode {
 impl Inode {
     /// New regular file.
     pub fn file(ino: Ino, mode: u32, mtime: u64) -> Self {
-        Inode { ino, kind: NodeKind::File, mode, nlink: 1, mtime, rdev: 0, data: NodeData::Bytes(SectorFile::new()) }
+        Inode {
+            ino,
+            kind: NodeKind::File,
+            mode,
+            nlink: 1,
+            mtime,
+            rdev: 0,
+            data: NodeData::Bytes(SectorFile::new()),
+        }
     }
 
     /// New directory.
     pub fn dir(ino: Ino, mode: u32, mtime: u64) -> Self {
-        Inode { ino, kind: NodeKind::Dir, mode, nlink: 2, mtime, rdev: 0, data: NodeData::Dir(BTreeMap::new()) }
+        Inode {
+            ino,
+            kind: NodeKind::Dir,
+            mode,
+            nlink: 2,
+            mtime,
+            rdev: 0,
+            data: NodeData::Dir(BTreeMap::new()),
+        }
     }
 
     /// New special node (FIFO or device).

@@ -193,6 +193,22 @@ pub trait Interceptor: Send + Sync {
 
     /// Rewrite `truncate` parameters.
     fn on_truncate(&self, _cx: &CallContext, _size: &mut u64) {}
+
+    /// Opt in to [`Interceptor::on_op`] delivery. [`crate::FfisFs`]
+    /// only materializes [`TraceOp`](crate::trace::TraceOp)s (which
+    /// clone write buffers) when at least one attached interceptor
+    /// returns `true`, keeping the interception hot path allocation-
+    /// free for profilers and injectors.
+    fn wants_ops(&self) -> bool {
+        false
+    }
+
+    /// Observe a successful state-mutating primitive as a replayable
+    /// [`TraceOp`](crate::trace::TraceOp) — the golden-trace capture
+    /// surface. Delivered only when [`Interceptor::wants_ops`] is
+    /// `true` for some attached interceptor; the op records the call
+    /// *as the application issued it* (pre-interception).
+    fn on_op(&self, _op: &crate::trace::TraceOp) {}
 }
 
 /// A no-op interceptor (useful as a default and in tests).

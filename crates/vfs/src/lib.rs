@@ -28,6 +28,29 @@
 //!   forward unchanged, replace the buffer (bit flips, shorn writes),
 //!   or drop the device write while reporting success (dropped writes).
 //!
+//! ## Snapshot forking and golden-trace replay
+//!
+//! Injection campaigns repeat the same fault-free prefix thousands of
+//! times. Two mechanisms in this crate collapse that cost:
+//!
+//! * **Copy-on-write forking** — [`MemFs`] stores file contents as
+//!   4-KiB page extents behind `Arc`s ([`SectorFile`]), so
+//!   [`MemFs::fork`] clones a whole filesystem — open descriptors and
+//!   all — by copying page *pointers*. Pages are duplicated lazily on
+//!   first write; an injection run that corrupts one metadata byte
+//!   dirties exactly one page of the shared golden snapshot.
+//! * **Golden-trace capture/replay** ([`trace`]) — a [`TraceRecorder`]
+//!   attached to the golden run captures every state-mutating
+//!   primitive (with its full write payload) as a replayable
+//!   [`TraceOp`] stream; a [`ReplayCursor`] re-issues any slice of
+//!   that stream against a bare [`MemFs`] (snapshot construction at
+//!   memcpy speed) or through a mounted [`FfisFs`] with an armed
+//!   injector (the fault lands in exactly the targeted instance).
+//!
+//! Together they turn a per-run cost of "re-execute the application"
+//! into "fork + replay the post-injection suffix + verify" — see
+//! `ffis_core::metadata_scan` for the end-to-end fast path.
+//!
 //! The fault *models* themselves live in `ffis-core`; this crate only
 //! provides the mechanism.
 //!
@@ -60,6 +83,7 @@ pub mod inode;
 pub mod interceptor;
 pub mod memfs;
 pub mod path;
+pub mod trace;
 
 pub use bufio::BufFile;
 pub use counting::{TraceInterceptor, TraceRecord};
@@ -71,3 +95,4 @@ pub use fs::{
 };
 pub use interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
+pub use trace::{ReplayCursor, ReplayError, TraceOp, TraceRecorder};

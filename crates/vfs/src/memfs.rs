@@ -34,7 +34,7 @@ struct LockState {
     exclusive: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MemFsInner {
     inodes: HashMap<Ino, Inode>,
     next_ino: Ino,
@@ -49,7 +49,14 @@ impl MemFsInner {
     fn new() -> Self {
         let mut inodes = HashMap::new();
         inodes.insert(ROOT_INO, Inode::dir(ROOT_INO, 0o755, 0));
-        MemFsInner { inodes, next_ino: ROOT_INO + 1, handles: HashMap::new(), next_fd: 3, locks: HashMap::new(), clock: 1 }
+        MemFsInner {
+            inodes,
+            next_ino: ROOT_INO + 1,
+            handles: HashMap::new(),
+            next_fd: 3,
+            locks: HashMap::new(),
+            clock: 1,
+        }
     }
 
     fn tick(&mut self) -> u64 {
@@ -95,10 +102,7 @@ impl MemFsInner {
 
     fn insert_child(&mut self, parent: Ino, name: &str, child: Ino) -> FsResult<()> {
         let t = self.tick();
-        let dir = self
-            .inodes
-            .get_mut(&parent)
-            .ok_or(FsError::NotFound)?;
+        let dir = self.inodes.get_mut(&parent).ok_or(FsError::NotFound)?;
         dir.mtime = t;
         let map = dir.as_dir_mut().ok_or(FsError::NotADirectory)?;
         if map.contains_key(name) {
@@ -147,7 +151,29 @@ impl MemFs {
         let g = self.read_lock();
         let ino = g.resolve(p)?;
         let node = g.inodes.get(&ino).ok_or(FsError::NotFound)?;
-        node.as_file().map(|f| f.as_bytes().to_vec()).ok_or(FsError::IsADirectory)
+        node.as_file().map(|f| f.to_vec()).ok_or(FsError::IsADirectory)
+    }
+
+    /// Copy-on-write fork: an independent filesystem sharing all file
+    /// pages with `self` until either side writes.
+    ///
+    /// The clone copies the inode table, directory maps, open-handle
+    /// table, and lock state, but file contents are page-extent `Arc`
+    /// clones ([`crate::SectorFile`]), so the cost is O(inodes + page
+    /// *pointers*) — no file byte is touched. A fork taken mid-run
+    /// (open descriptors and all) is the substrate of the golden-trace
+    /// replay engine: every injection run forks the pristine snapshot
+    /// instead of re-executing the application's fault-free prefix.
+    pub fn fork(&self) -> MemFs {
+        MemFs { inner: RwLock::new(self.read_lock().clone()) }
+    }
+
+    /// Total pages across all regular files whose backing allocation
+    /// is still shared with another fork (CoW accounting; used by
+    /// tests and capacity diagnostics).
+    pub fn shared_pages(&self) -> usize {
+        let g = self.read_lock();
+        g.inodes.values().filter_map(Inode::as_file).map(|f| f.shared_pages()).sum()
     }
 
     /// Number of currently open descriptors (leak checking in tests).
@@ -260,11 +286,8 @@ impl FileSystem for MemFs {
         };
         // Replace-target semantics: an existing non-directory target is
         // atomically unlinked; an existing directory target must be empty.
-        if let Some(&existing) = g
-            .inodes
-            .get(&tparent)
-            .and_then(|n| n.as_dir())
-            .and_then(|d| d.get(&tname))
+        if let Some(&existing) =
+            g.inodes.get(&tparent).and_then(|n| n.as_dir()).and_then(|d| d.get(&tname))
         {
             if existing == child {
                 return Ok(());
@@ -311,12 +334,8 @@ impl FileSystem for MemFs {
     fn create(&self, p: &str, mode: u32) -> FsResult<Fd> {
         let mut g = self.write_lock();
         let (parent, name) = g.resolve_parent(p)?;
-        let existing = g
-            .inodes
-            .get(&parent)
-            .and_then(|n| n.as_dir())
-            .and_then(|d| d.get(&name))
-            .copied();
+        let existing =
+            g.inodes.get(&parent).and_then(|n| n.as_dir()).and_then(|d| d.get(&name)).copied();
         let ino = match existing {
             Some(ino) => {
                 let t = g.tick();
@@ -338,10 +357,8 @@ impl FileSystem for MemFs {
             }
         };
         let fd = g.alloc_fd();
-        g.handles.insert(
-            fd,
-            Handle { ino, flags: OpenFlags::create_truncate(), cursor: 0, lock: None },
-        );
+        g.handles
+            .insert(fd, Handle { ino, flags: OpenFlags::create_truncate(), cursor: 0, lock: None });
         Ok(fd)
     }
 
@@ -554,7 +571,8 @@ impl FileSystem for MemFs {
 pub fn copy_tree(src: &dyn FileSystem, dst: &dyn FileSystem, dir: &str) -> FsResult<()> {
     use crate::fs::FileSystemExt;
     for entry in src.readdir(dir)? {
-        let p = if dir == "/" { format!("/{}", entry.name) } else { format!("{}/{}", dir, entry.name) };
+        let p =
+            if dir == "/" { format!("/{}", entry.name) } else { format!("{}/{}", dir, entry.name) };
         match entry.kind {
             NodeKind::Dir => {
                 match dst.mkdir(&p, 0o755) {
@@ -897,6 +915,67 @@ mod tests {
         assert_eq!(f.open_handles(), 1);
         f.release(fd).unwrap();
         assert_eq!(f.open_handles(), 0);
+    }
+
+    #[test]
+    fn fork_is_independent_and_cow() {
+        let a = fs();
+        a.mkdir("/d", 0o755).unwrap();
+        a.write_file("/d/big", &[3u8; 5 * 4096]).unwrap();
+        a.write_file("/top", b"golden").unwrap();
+
+        let b = a.fork();
+        // Identical view...
+        assert_eq!(b.read_to_vec("/d/big").unwrap(), vec![3u8; 5 * 4096]);
+        assert_eq!(b.read_to_string("/top").unwrap(), "golden");
+        // ...with every data page still shared.
+        assert!(b.shared_pages() >= 6);
+
+        // Divergence is private in both directions.
+        let fd = b.open("/d/big", OpenFlags::write_only()).unwrap();
+        b.pwrite(fd, &[9u8; 4], 4096).unwrap();
+        b.release(fd).unwrap();
+        assert_eq!(a.read_to_vec("/d/big").unwrap()[4096], 3);
+        assert_eq!(b.read_to_vec("/d/big").unwrap()[4096], 9);
+
+        a.unlink("/top").unwrap();
+        assert!(b.exists("/top"));
+        assert!(!a.exists("/top"));
+
+        // Namespace changes in the fork don't leak back.
+        b.write_file("/only-in-b", b"x").unwrap();
+        assert!(!a.exists("/only-in-b"));
+    }
+
+    #[test]
+    fn fork_preserves_open_handles_and_cursors() {
+        let a = fs();
+        a.write_file("/f", b"0123456789").unwrap();
+        let fd = a.open("/f", OpenFlags::read_only()).unwrap();
+        let mut buf = [0u8; 4];
+        a.read(fd, &mut buf).unwrap(); // cursor now 4
+
+        let b = a.fork();
+        // The forked descriptor continues from the same cursor.
+        let mut fb = [0u8; 3];
+        assert_eq!(b.read(fd, &mut fb).unwrap(), 3);
+        assert_eq!(&fb, b"456");
+        // The original's cursor is unaffected by the fork's read.
+        let mut fa = [0u8; 3];
+        assert_eq!(a.read(fd, &mut fa).unwrap(), 3);
+        assert_eq!(&fa, b"456");
+        b.release(fd).unwrap();
+        a.release(fd).unwrap();
+    }
+
+    #[test]
+    fn fork_fd_allocation_stays_deterministic() {
+        let a = fs();
+        let fd1 = a.create("/x", 0o644).unwrap();
+        a.release(fd1).unwrap();
+        let b = a.fork();
+        // Both sides allocate the same next descriptor independently.
+        assert_eq!(a.create("/y", 0o644).unwrap(), b.create("/y", 0o644).unwrap());
     }
 
     #[test]

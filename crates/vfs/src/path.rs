@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn dot_and_dotdot_resolve() {
-        assert_eq!(
-            components("/a/./b/../c").unwrap(),
-            vec!["a".to_string(), "c".to_string()]
-        );
+        assert_eq!(components("/a/./b/../c").unwrap(), vec!["a".to_string(), "c".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Golden-trace capture and replay.
+//!
+//! A fault-injection campaign repeats the *same* fault-free prefix a
+//! thousand times: every run re-executes the application (HDF5
+//! encoding, checksums, float packing, halo finding) up to the
+//! injection point just to rebuild identical filesystem state. This
+//! module removes that redundancy:
+//!
+//! * [`TraceOp`] — one state-mutating primitive invocation with every
+//!   parameter needed to re-issue it (paths, flags, the full write
+//!   buffer, descriptor identity).
+//! * [`TraceRecorder`] — an [`Interceptor`] that captures the golden
+//!   run's mutating operations once, through the
+//!   [`Interceptor::on_op`] hook [`crate::FfisFs`] feeds.
+//! * [`ReplayCursor`] — re-issues a recorded op stream against any
+//!   [`FileSystem`]: a bare [`crate::MemFs`] (building a snapshot at
+//!   raw memcpy speed) or a mounted [`crate::FfisFs`] with an armed
+//!   injector (so the fault lands in exactly the targeted instance
+//!   while every other op replays byte-identically).
+//!
+//! Combined with [`crate::MemFs::fork`], an injection run becomes:
+//! fork the pre-injection snapshot (O(page pointers)), replay the
+//! trace suffix through the injector (O(suffix bytes)), and verify —
+//! instead of re-running the whole application.
+//!
+//! ## Fidelity contract
+//!
+//! The recorder captures operations *as issued by the application*
+//! (pre-interception), only when they succeed, and only when they can
+//! change filesystem state (read-only opens and reads are skipped).
+//! Replay therefore assumes the workload's sequential-`write` cursors
+//! are not advanced by interleaved reads on the same descriptor — true
+//! for every workload in this workspace, which positions data with
+//! `pwrite`.
+//!
+//! Two consequences matter to consumers that must match legacy
+//! re-execution exactly (both are enforced by the gates in
+//! `ffis_core`):
+//!
+//! * ops that *failed* during capture are absent from the trace, while
+//!   interceptor-level counters count every attempt — compare the two
+//!   counts and fall back to re-execution on mismatch;
+//! * replay is straight-line: an op that fails mid-replay aborts with
+//!   a [`ReplayError`] instead of modeling whatever error handling the
+//!   real application would have applied, so only fault models that
+//!   cannot make a replayed op fail (buffer-level write faults —
+//!   `Replace` preserves the length, `Drop` skips the device write)
+//!   are eligible for trace-based campaigns;
+//! * replayed payloads are the golden run's bytes verbatim: a workload
+//!   whose later write *content* depends on data read back through the
+//!   filesystem earlier in the same run is outside the contract (a
+//!   real rerun would derive those writes from fault-corrupted reads).
+//!   `ffis_core::FaultApp::verify` documents this as the
+//!   write-stream-data-independence law an app asserts by opting in.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::error::{FsError, FsResult};
+use crate::ffisfs::FfisFs;
+use crate::fs::{Fd, FileSystem, LockKind, NodeKind, OpenFlags};
+use crate::interceptor::Interceptor;
+
+/// One recorded state-mutating primitive invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// `mknod`.
+    Mknod {
+        /// Target path.
+        path: String,
+        /// Node kind.
+        kind: NodeKind,
+        /// Permission bits.
+        mode: u32,
+        /// Device number.
+        dev: u64,
+    },
+    /// `mkdir`.
+    Mkdir {
+        /// Target path.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// `unlink`.
+    Unlink {
+        /// Target path.
+        path: String,
+    },
+    /// `rmdir`.
+    Rmdir {
+        /// Target path.
+        path: String,
+    },
+    /// `rename`.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// `chmod`.
+    Chmod {
+        /// Target path.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// `truncate` by path.
+    Truncate {
+        /// Target path.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// `create` — returns a descriptor.
+    Create {
+        /// Target path.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+        /// Descriptor the golden run received.
+        fd: Fd,
+    },
+    /// Write-capable `open` — returns a descriptor.
+    Open {
+        /// Target path.
+        path: String,
+        /// Open flags (always write-capable; read-only opens are not
+        /// recorded).
+        flags: OpenFlags,
+        /// Descriptor the golden run received.
+        fd: Fd,
+    },
+    /// `write` / `pwrite` — the payload-carrying op.
+    Write {
+        /// Descriptor (golden-run numbering).
+        fd: Fd,
+        /// Target path at record time (for filter matching without a
+        /// descriptor table).
+        path: Option<String>,
+        /// Byte offset; `None` for sequential cursor writes.
+        offset: Option<u64>,
+        /// The application's buffer, verbatim.
+        data: Vec<u8>,
+    },
+    /// `fsync`.
+    Fsync {
+        /// Descriptor (golden-run numbering).
+        fd: Fd,
+    },
+    /// `release`.
+    Release {
+        /// Descriptor (golden-run numbering).
+        fd: Fd,
+    },
+    /// Advisory `lock`.
+    Lock {
+        /// Descriptor (golden-run numbering).
+        fd: Fd,
+        /// Lock kind.
+        kind: LockKind,
+    },
+    /// Advisory `unlock`.
+    Unlock {
+        /// Descriptor (golden-run numbering).
+        fd: Fd,
+    },
+}
+
+impl TraceOp {
+    /// Is this a `write`/`pwrite` op?
+    pub fn is_write(&self) -> bool {
+        matches!(self, TraceOp::Write { .. })
+    }
+
+    /// Target path of a write op, when tracked at record time.
+    pub fn write_path(&self) -> Option<&str> {
+        match self {
+            TraceOp::Write { path, .. } => path.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Payload length carried toward the device (0 for non-writes).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            TraceOp::Write { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Interceptor capturing every mutating op crossing the mount.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    ops: Mutex<Vec<TraceOp>>,
+}
+
+impl TraceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the recorded golden trace.
+    pub fn ops(&self) -> Vec<TraceOp> {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drain the recorded golden trace without copying it. The trace
+    /// carries every write payload, so consumers that own the recorder
+    /// (the campaign/scan drivers) take it instead of cloning
+    /// workload-sized buffers.
+    pub fn take_ops(&self) -> Vec<TraceOp> {
+        std::mem::take(&mut *self.ops.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of ops recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across recorded writes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|op| op.payload_len() as u64)
+            .sum()
+    }
+}
+
+impl Interceptor for TraceRecorder {
+    fn wants_ops(&self) -> bool {
+        true
+    }
+
+    fn on_op(&self, op: &TraceOp) {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).push(op.clone());
+    }
+}
+
+/// Open-descriptor state carried across a replay.
+#[derive(Debug, Clone)]
+struct ReplayFd {
+    /// Descriptor in the filesystem being replayed into.
+    fd: Fd,
+    /// Path the descriptor addresses.
+    path: String,
+}
+
+/// Replays a [`TraceOp`] stream into a filesystem, mapping golden-run
+/// descriptor numbers to the descriptors the target filesystem hands
+/// out.
+///
+/// A cursor is cheap to [`Clone`]: forked replays share the captured
+/// trace and clone only the (small) descriptor map — the pattern the
+/// metadata scanner uses to replay the same suffix thousands of times
+/// from one mid-run snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayCursor {
+    fds: HashMap<Fd, ReplayFd>,
+}
+
+impl ReplayCursor {
+    /// Cursor with no live descriptors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-issue one recorded op against `fs`.
+    ///
+    /// Ops addressing descriptors this cursor never saw (e.g. a
+    /// `release` of an unrecorded read-only open) are skipped — they
+    /// cannot change state.
+    pub fn step(&mut self, fs: &dyn FileSystem, op: &TraceOp) -> FsResult<()> {
+        match op {
+            TraceOp::Mknod { path, kind, mode, dev } => fs.mknod(path, *kind, *mode, *dev),
+            TraceOp::Mkdir { path, mode } => fs.mkdir(path, *mode),
+            TraceOp::Unlink { path } => fs.unlink(path),
+            TraceOp::Rmdir { path } => fs.rmdir(path),
+            TraceOp::Rename { from, to } => fs.rename(from, to),
+            TraceOp::Chmod { path, mode } => fs.chmod(path, *mode),
+            TraceOp::Truncate { path, size } => fs.truncate(path, *size),
+            TraceOp::Create { path, mode, fd } => {
+                let new = fs.create(path, *mode)?;
+                self.fds.insert(*fd, ReplayFd { fd: new, path: path.clone() });
+                Ok(())
+            }
+            TraceOp::Open { path, flags, fd } => {
+                let new = fs.open(path, *flags)?;
+                self.fds.insert(*fd, ReplayFd { fd: new, path: path.clone() });
+                Ok(())
+            }
+            TraceOp::Write { fd, offset, data, .. } => {
+                let Some(entry) = self.fds.get(fd) else {
+                    return Err(FsError::BadFd);
+                };
+                let n = match offset {
+                    Some(off) => fs.pwrite(entry.fd, data, *off)?,
+                    None => fs.write(entry.fd, data)?,
+                };
+                // Short device writes cannot be hidden from the
+                // original application either; surface them.
+                if n != data.len() {
+                    return Err(FsError::Io);
+                }
+                Ok(())
+            }
+            TraceOp::Fsync { fd } => match self.fds.get(fd) {
+                Some(entry) => fs.fsync(entry.fd),
+                None => Ok(()),
+            },
+            TraceOp::Release { fd } => match self.fds.remove(fd) {
+                Some(entry) => fs.release(entry.fd),
+                None => Ok(()),
+            },
+            TraceOp::Lock { fd, kind } => match self.fds.get(fd) {
+                Some(entry) => fs.lock(entry.fd, *kind),
+                None => Ok(()),
+            },
+            TraceOp::Unlock { fd } => match self.fds.get(fd) {
+                Some(entry) => fs.unlock(entry.fd),
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// Replay a slice of ops in order. On error, reports the index of
+    /// the failing op alongside the error.
+    pub fn replay(&mut self, fs: &dyn FileSystem, ops: &[TraceOp]) -> Result<(), ReplayError> {
+        for (i, op) in ops.iter().enumerate() {
+            self.step(fs, op).map_err(|error| ReplayError { index: i, error })?;
+        }
+        Ok(())
+    }
+
+    /// Register this cursor's live descriptors with a freshly mounted
+    /// [`FfisFs`] so fd-addressed ops replayed through the mount carry
+    /// their target path in the [`crate::CallContext`] — required for
+    /// path-filtered injectors to see suffix writes. Call after
+    /// mounting over a fork that was snapshotted mid-trace.
+    pub fn seed_mount(&self, ffs: &FfisFs) {
+        for entry in self.fds.values() {
+            ffs.adopt_fd(entry.fd, &entry.path);
+        }
+    }
+
+    /// Number of descriptors currently live in the replay.
+    pub fn open_fds(&self) -> usize {
+        self.fds.len()
+    }
+}
+
+/// A replay failure: which op failed and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index of the failing op within the replayed slice.
+    pub index: usize,
+    /// The filesystem error.
+    pub error: FsError,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay op {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FileSystemExt;
+    use crate::memfs::MemFs;
+    use std::sync::Arc;
+
+    /// Run a small workload through a recording mount and return the
+    /// trace plus the final state.
+    fn record_workload() -> (Vec<TraceOp>, Arc<MemFs>) {
+        let base = Arc::new(MemFs::new());
+        let ffs = FfisFs::mount(base.clone());
+        let rec = Arc::new(TraceRecorder::new());
+        ffs.attach(rec.clone());
+
+        ffs.mkdir("/out", 0o755).unwrap();
+        ffs.write_file_chunked("/out/data.bin", &[7u8; 10_000], 4096).unwrap();
+        let fd = ffs.open("/out/data.bin", OpenFlags::read_write()).unwrap();
+        ffs.lock(fd, LockKind::Exclusive).unwrap();
+        ffs.pwrite(fd, b"patch", 100).unwrap();
+        ffs.unlock(fd).unwrap();
+        ffs.release(fd).unwrap();
+        ffs.write_file("/out/log.txt", b"done\n").unwrap();
+        ffs.rename("/out/log.txt", "/out/run.log").unwrap();
+        // Read-back must NOT be recorded.
+        assert_eq!(ffs.read_to_vec("/out/data.bin").unwrap().len(), 10_000);
+        ffs.unmount();
+        (rec.ops(), base)
+    }
+
+    #[test]
+    fn recorder_captures_mutating_ops_only() {
+        let (ops, _) = record_workload();
+        assert!(ops.iter().any(|o| matches!(o, TraceOp::Mkdir { .. })));
+        assert!(ops.iter().any(|o| matches!(o, TraceOp::Lock { .. })));
+        assert!(ops.iter().any(|o| matches!(o, TraceOp::Rename { .. })));
+        // 3 chunks + patch + log = 5 writes; read-only open skipped.
+        assert_eq!(ops.iter().filter(|o| o.is_write()).count(), 5);
+        assert!(ops.iter().all(|o| !matches!(o, TraceOp::Open { flags, .. } if !flags.write)));
+        // Write paths travel with the ops.
+        assert!(ops.iter().filter(|o| o.is_write()).all(|o| o.write_path().is_some()));
+    }
+
+    #[test]
+    fn replay_rebuilds_identical_state() {
+        let (ops, golden) = record_workload();
+        let rebuilt = MemFs::new();
+        ReplayCursor::new().replay(&rebuilt, &ops).unwrap();
+        assert_eq!(
+            rebuilt.snapshot("/out/data.bin").unwrap(),
+            golden.snapshot("/out/data.bin").unwrap()
+        );
+        assert_eq!(rebuilt.snapshot("/out/run.log").unwrap(), b"done\n");
+        assert_eq!(rebuilt.open_handles(), 0, "all recorded fds released");
+    }
+
+    #[test]
+    fn replay_through_mount_counts_primitives() {
+        use crate::interceptor::Primitive;
+        let (ops, _) = record_workload();
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        ReplayCursor::new().replay(&*ffs, &ops).unwrap();
+        assert_eq!(ffs.counters().get(Primitive::Write), 5);
+        assert_eq!(ffs.counters().get(Primitive::Mkdir), 1);
+        // Replay skips the read-only open and the preads.
+        assert_eq!(ffs.counters().get(Primitive::Read), 0);
+    }
+
+    #[test]
+    fn mid_trace_fork_and_suffix_replay() {
+        let (ops, golden) = record_workload();
+        // Split at the patch write (the 4th write).
+        let split =
+            ops.iter().enumerate().filter(|(_, o)| o.is_write()).nth(3).map(|(i, _)| i).unwrap();
+
+        // Build the pre-split snapshot on a bare MemFs.
+        let base = MemFs::new();
+        let mut cursor = ReplayCursor::new();
+        cursor.replay(&base, &ops[..split]).unwrap();
+        assert!(cursor.open_fds() > 0, "split lands inside an open file");
+
+        // Fork twice and replay the suffix through instrumented mounts.
+        for _ in 0..2 {
+            let ffs = FfisFs::mount(Arc::new(base.fork()));
+            let mut c = cursor.clone();
+            c.seed_mount(&ffs);
+            c.replay(&*ffs, &ops[split..]).unwrap();
+            let inner = ffs.inner().clone();
+            let got = {
+                let mut v = vec![0u8; 10];
+                let fd = inner.open("/out/data.bin", OpenFlags::read_only()).unwrap();
+                inner.pread(fd, &mut v, 100).unwrap();
+                inner.release(fd).unwrap();
+                v
+            };
+            assert_eq!(&got[..5], b"patch");
+        }
+
+        // The snapshot itself was never polluted by the suffix.
+        assert!(!base.exists("/out/run.log"));
+        assert_eq!(golden.snapshot("/out/run.log").unwrap(), b"done\n");
+    }
+
+    #[test]
+    fn seeded_mount_carries_paths_for_fd_ops() {
+        let (ops, _) = record_workload();
+        let split = ops.iter().position(|o| o.is_write()).unwrap();
+        let base = MemFs::new();
+        let mut cursor = ReplayCursor::new();
+        cursor.replay(&base, &ops[..split]).unwrap();
+
+        let ffs = FfisFs::mount(Arc::new(base.fork()));
+        cursor.seed_mount(&ffs);
+        let trace = Arc::new(crate::counting::TraceInterceptor::new());
+        ffs.attach(trace.clone());
+        cursor.replay(&*ffs, &ops[split..]).unwrap();
+        let writes = trace.records_of(crate::interceptor::Primitive::Write);
+        assert!(!writes.is_empty());
+        assert!(writes.iter().all(|w| w.path.is_some()), "adopted fds resolve to paths");
+    }
+
+    #[test]
+    fn replay_error_carries_index() {
+        let ops = vec![
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 },
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 }, // EEXIST
+        ];
+        let fs = MemFs::new();
+        let err = ReplayCursor::new().replay(&fs, &ops).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.error, FsError::Exists);
+        assert!(err.to_string().contains("replay op 1"));
+    }
+
+    #[test]
+    fn unknown_fd_write_is_an_error_but_bookkeeping_ops_skip() {
+        let fs = MemFs::new();
+        let mut c = ReplayCursor::new();
+        assert!(c.step(&fs, &TraceOp::Release { fd: 99 }).is_ok());
+        assert!(c.step(&fs, &TraceOp::Fsync { fd: 99 }).is_ok());
+        assert_eq!(
+            c.step(&fs, &TraceOp::Write { fd: 99, path: None, offset: Some(0), data: vec![1] }),
+            Err(FsError::BadFd)
+        );
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        rec.on_op(&TraceOp::Write { fd: 3, path: None, offset: Some(0), data: vec![0; 123] });
+        rec.on_op(&TraceOp::Fsync { fd: 3 });
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.payload_bytes(), 123);
+    }
+
+    #[test]
+    fn take_ops_drains() {
+        let rec = TraceRecorder::new();
+        rec.on_op(&TraceOp::Fsync { fd: 3 });
+        let ops = rec.take_ops();
+        assert_eq!(ops.len(), 1);
+        assert!(rec.is_empty());
+        assert!(rec.take_ops().is_empty());
+    }
+}

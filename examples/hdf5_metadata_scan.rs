@@ -8,7 +8,9 @@
 //! cargo run --release --example hdf5_metadata_scan
 //! ```
 
-use ffis_core::{attribute, fields_with_outcome, scan, FieldMap, FieldSpan, Outcome, ScanConfig, TargetFilter};
+use ffis_core::{
+    attribute, fields_with_outcome, scan, FieldMap, FieldSpan, Outcome, ScanConfig, TargetFilter,
+};
 use nyx_sim::{NyxApp, NyxConfig};
 
 fn main() {

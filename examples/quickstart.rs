@@ -62,9 +62,7 @@ fn main() {
     println!("FFIS quickstart — 200-run campaigns on a toy application\n");
     let app = WithDir(ChecksumApp);
     for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
-        let cfg = CampaignConfig::new(FaultSignature::on_write(model))
-            .with_runs(200)
-            .with_seed(42);
+        let cfg = CampaignConfig::new(FaultSignature::on_write(model)).with_runs(200).with_seed(42);
         let result = Campaign::new(&app, cfg).run().expect("campaign");
         println!("{:<14} {}", model.name(), result.tally);
         println!(

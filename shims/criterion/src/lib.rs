@@ -1,0 +1,263 @@
+//! Minimal, offline drop-in for the subset of
+//! [criterion](https://crates.io/crates/criterion) this workspace's
+//! benches use: groups, `sample_size`, `throughput`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark runs a short warmup, then `sample_size` timed
+//! samples (adaptively batching very fast bodies), and prints a
+//! one-line report with median/mean time and derived throughput.
+//! Honors `FFIS_BENCH_QUICK=1` (used by CI smoke runs) to clamp the
+//! sample count.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name, parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations, filled by `iter`.
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly, measuring each sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warmup: one untimed call (also determines batching for very
+        // fast bodies so Instant overhead stays negligible).
+        let warm_start = Instant::now();
+        black_box(body());
+        let warm = warm_start.elapsed();
+        let batch = if warm < Duration::from_micros(5) { 100 } else { 1 };
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            self.measured.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{} ns", ns)
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{}/s", per_sec / 1e9, unit)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{}/s", per_sec / 1e6, unit)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{}/s", per_sec / 1e3, unit)
+    } else {
+        format!("{:.2} {}/s", per_sec, unit)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Throughput annotation used in the printed report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, run: impl FnOnce(&mut Bencher)) {
+        let quick = std::env::var("FFIS_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        let samples = if quick { self.sample_size.min(3) } else { self.sample_size };
+        let mut b = Bencher { samples, measured: Vec::new() };
+        run(&mut b);
+        if b.measured.is_empty() {
+            println!("{}/{:<28} (no samples)", self.name, label);
+            return;
+        }
+        let mut sorted = b.measured.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let mut line = format!(
+            "{}/{:<28} median {:>10}  mean {:>10}  ({} samples)",
+            self.name,
+            label,
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+        if let Some(t) = self.throughput {
+            let secs = median.as_secs_f64().max(1e-12);
+            let rate = match t {
+                Throughput::Elements(n) => fmt_rate(n as f64 / secs, "elem"),
+                Throughput::Bytes(n) => fmt_rate(n as f64 / secs, "B"),
+            };
+            line.push_str(&format!("  {}", rate));
+        }
+        println!("{}", line);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.to_string();
+        let mut f = f;
+        self.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        self.run_one(&id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is immediate; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {} ==", name);
+        BenchmarkGroup { name, sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Parity with criterion's configuration API (ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (--bench, filters);
+            // this shim runs everything and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_self_test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("write", 16).to_string(), "write/16");
+        assert_eq!(BenchmarkId::from_parameter("serial").to_string(), "serial");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(100)), "100 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

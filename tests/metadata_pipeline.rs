@@ -129,12 +129,8 @@ fn ard_fault_shifts_locations_not_mass() {
     // see, §V-A).
     assert!((faulty.catalog.mean / golden.catalog.mean - 1.0).abs() < 5e-3);
     // At least one halo position moved.
-    let moved = golden
-        .catalog
-        .halos
-        .iter()
-        .zip(&faulty.catalog.halos)
-        .any(|(g, f)| g.center != f.center);
+    let moved =
+        golden.catalog.halos.iter().zip(&faulty.catalog.halos).any(|(g, f)| g.center != f.center);
     assert!(moved, "ARD shift must move halos");
 }
 
@@ -147,14 +143,8 @@ fn scan_against_eof_patch_write_is_mostly_masked() {
     let target = TargetFilter::PathSuffix(".h5".into());
     let (instance, _, _, golden) = locate_write(&a, &target, WritePick::Penultimate).unwrap();
     for byte in hdf5lite::EOF_ADDR_OFFSET..hdf5lite::EOF_ADDR_OFFSET + 8 {
-        let (outcome, _, _) = run_with_byte_fault(
-            &a,
-            &golden,
-            &target,
-            instance,
-            byte as usize,
-            ByteFlip::Xor(0xFF),
-        );
+        let (outcome, _, _) =
+            run_with_byte_fault(&a, &golden, &target, instance, byte as usize, ByteFlip::Xor(0xFF));
         assert_eq!(outcome, Outcome::Benign, "EOF byte {} not masked", byte);
     }
 }

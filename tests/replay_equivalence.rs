@@ -1,0 +1,275 @@
+//! Equivalence guarantees for the fork+replay fast path: on the
+//! hdf5lite-backed Nyx workload, the golden-trace replay engine must
+//! reproduce the legacy full-rerun scan and campaign *byte for byte* —
+//! same outcomes, same injection records, same crash messages, same
+//! application outputs — while skipping the redundant fault-free
+//! application work.
+
+use ffis_core::prelude::*;
+use ffis_core::{scan_detailed, FlipMode, ScanConfig};
+use ffis_vfs::FileSystem;
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+fn app() -> NyxApp {
+    NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 16, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn scan_cfg(replay: bool, stride: usize) -> ScanConfig {
+    let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
+    cfg.stride = stride;
+    cfg.flip = FlipMode::TwoBitsRandom;
+    cfg.replay = replay;
+    cfg
+}
+
+#[test]
+fn replay_scan_equals_legacy_scan_bytewise() {
+    let a = app();
+    let fast = scan_detailed(&a, &scan_cfg(true, 8)).unwrap();
+    let slow = scan_detailed(&a, &scan_cfg(false, 8)).unwrap();
+    assert!(fast.used_replay, "Nyx exposes verify; the fast path must engage");
+    assert!(!slow.used_replay);
+
+    assert_eq!(fast.write_offset, slow.write_offset);
+    assert_eq!(fast.write_len, slow.write_len);
+    assert_eq!(fast.write_instance, slow.write_instance);
+    assert_eq!(fast.tally, slow.tally);
+    assert_eq!(fast.runs.len(), slow.runs.len());
+    for (f, s) in fast.runs.iter().zip(&slow.runs) {
+        assert_eq!(f.byte.byte_index, s.byte.byte_index);
+        assert_eq!(f.byte.file_offset, s.byte.file_offset);
+        assert_eq!(
+            f.byte.outcome, s.byte.outcome,
+            "byte {} diverged: replay={:?} legacy={:?}",
+            f.byte.byte_index, f.byte.outcome, s.byte.outcome
+        );
+        assert_eq!(f.byte.crash_message, s.byte.crash_message, "byte {}", f.byte.byte_index);
+        // The propagated faulty outputs must agree too, not just the
+        // collapsed outcome class.
+        match (&f.output, &s.output) {
+            (Some(fo), Some(so)) => {
+                assert_eq!(fo.catalog_text, so.catalog_text, "byte {}", f.byte.byte_index);
+                assert_eq!(fo.dims, so.dims);
+            }
+            (None, None) => {}
+            other => panic!(
+                "byte {}: output presence diverged ({:?})",
+                f.byte.byte_index,
+                (other.0.is_some(), other.1.is_some())
+            ),
+        }
+    }
+}
+
+#[test]
+fn replay_scan_is_deterministic_serial_vs_parallel() {
+    let a = app();
+    let mut serial = scan_cfg(true, 16);
+    serial.parallel = false;
+    let mut parallel = scan_cfg(true, 16);
+    parallel.parallel = true;
+    let rs = scan_detailed(&a, &serial).unwrap();
+    let rp = scan_detailed(&a, &parallel).unwrap();
+    assert!(rs.used_replay && rp.used_replay);
+    assert_eq!(rs.tally, rp.tally);
+    for (x, y) in rs.runs.iter().zip(&rp.runs) {
+        assert_eq!(x.byte.byte_index, y.byte.byte_index);
+        assert_eq!(x.byte.outcome, y.byte.outcome);
+        assert_eq!(x.byte.crash_message, y.byte.crash_message);
+    }
+}
+
+fn campaign(
+    a: &NyxApp,
+    model: FaultModel,
+    replay: bool,
+    parallel: bool,
+) -> ffis_core::CampaignResult {
+    let mut cfg = CampaignConfig::new(FaultSignature::on_write(model))
+        .with_runs(30)
+        .with_seed(4242)
+        .with_replay(replay);
+    cfg.parallel = parallel;
+    Campaign::new(a, cfg).run().unwrap()
+}
+
+#[test]
+fn replay_campaign_equals_legacy_campaign_for_all_models() {
+    let a = app();
+    for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
+        let fast = campaign(&a, model, true, true);
+        let slow = campaign(&a, model, false, true);
+        assert!(fast.used_replay, "{:?}", model);
+        assert!(!slow.used_replay);
+        assert_eq!(fast.tally, slow.tally, "{:?}", model);
+        assert_eq!(fast.profile.eligible, slow.profile.eligible);
+        for (f, s) in fast.runs.iter().zip(&slow.runs) {
+            assert_eq!(f.outcome, s.outcome, "{:?} run {}", model, f.run);
+            assert_eq!(f.target_instance, s.target_instance);
+            // Full injection-record equality: primitive, instance,
+            // prim_seq, path, offset, len, damage detail.
+            assert_eq!(f.injection, s.injection, "{:?} run {}", model, f.run);
+        }
+    }
+}
+
+#[test]
+fn replay_campaign_is_deterministic_serial_vs_parallel() {
+    let a = app();
+    let serial = campaign(&a, FaultModel::bit_flip(), true, false);
+    let parallel = campaign(&a, FaultModel::bit_flip(), true, true);
+    assert!(serial.used_replay && parallel.used_replay);
+    assert_eq!(serial.tally, parallel.tally);
+    for (x, y) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(x.target_instance, y.target_instance);
+        assert_eq!(x.injection, y.injection);
+    }
+}
+
+/// An app with no verify phase: the fast path must fall back politely.
+struct NoVerifyApp;
+
+impl FaultApp for NoVerifyApp {
+    type Output = Vec<u8>;
+
+    fn run(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
+        use ffis_vfs::FileSystemExt;
+        fs.write_file_chunked("/d.bin", &[3u8; 8192], 4096).map_err(|e| e.to_string())?;
+        fs.write_file("/d.meta", &[7u8; 64]).map_err(|e| e.to_string())?;
+        fs.read_to_vec("/d.bin").map_err(|e| e.to_string())
+    }
+
+    fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
+        if golden == faulty {
+            Outcome::Benign
+        } else {
+            Outcome::Sdc
+        }
+    }
+
+    fn name(&self) -> String {
+        "NOVERIFY".into()
+    }
+}
+
+#[test]
+fn apps_without_verify_fall_back_to_full_reruns() {
+    let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(10)
+        .with_seed(7)
+        .with_replay(true);
+    let result = Campaign::new(&NoVerifyApp, cfg).run().unwrap();
+    assert!(!result.used_replay, "no verify phase -> reference path");
+    assert_eq!(result.tally.total(), 10);
+
+    let mut scfg = ScanConfig::new(TargetFilter::Any);
+    scfg.stride = 16;
+    scfg.replay = true;
+    let scan = scan_detailed(&NoVerifyApp, &scfg).unwrap();
+    assert!(!scan.used_replay);
+    assert_eq!(scan.tally.total(), scan.runs.len() as u64);
+}
+
+/// The no-fire accounting (armed instance never executed) must agree
+/// between the two execution strategies.
+#[test]
+fn replay_campaign_counts_no_fire_like_legacy() {
+    let a = app();
+    let fast = campaign(&a, FaultModel::bit_flip(), true, true);
+    let slow = campaign(&a, FaultModel::bit_flip(), false, true);
+    assert_eq!(fast.tally.no_fire, slow.tally.no_fire);
+}
+
+/// Verify-capable app whose golden run *attempts* an eligible write
+/// that fails (write on a read-only descriptor, error tolerated).
+/// Interceptor-level counters include the attempt; the success-only
+/// golden trace does not — replay instance numbering would diverge
+/// from the injectors', so both fast paths must refuse to engage.
+struct FailedProbeApp;
+
+impl FailedProbeApp {
+    fn read_back(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
+        use ffis_vfs::FileSystemExt;
+        fs.read_to_vec("/probe.bin").map_err(|e| e.to_string())
+    }
+}
+
+impl FaultApp for FailedProbeApp {
+    type Output = Vec<u8>;
+
+    fn run(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
+        use ffis_vfs::{FileSystemExt, OpenFlags};
+        fs.write_file_chunked("/probe.bin", &[5u8; 8192], 4096).map_err(|e| e.to_string())?;
+        // Best-effort probe write on a read-only descriptor: fails
+        // with EROFS, and the app shrugs it off.
+        let fd = fs.open("/probe.bin", OpenFlags::read_only()).map_err(|e| e.to_string())?;
+        let _ = fs.pwrite(fd, b"probe", 0);
+        fs.release(fd).map_err(|e| e.to_string())?;
+        fs.write_file("/probe.meta", &[9u8; 64]).map_err(|e| e.to_string())?;
+        self.read_back(fs)
+    }
+
+    fn verify(&self, fs: &dyn FileSystem, _golden: &Vec<u8>) -> Option<Result<Vec<u8>, String>> {
+        Some(self.read_back(fs))
+    }
+
+    fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
+        if golden == faulty {
+            Outcome::Benign
+        } else {
+            Outcome::Sdc
+        }
+    }
+
+    fn name(&self) -> String {
+        "FAILPROBE".into()
+    }
+}
+
+#[test]
+fn failed_golden_writes_disable_replay_and_paths_still_agree() {
+    let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(20)
+        .with_seed(11)
+        .with_replay(true);
+    let fast = Campaign::new(&FailedProbeApp, cfg.clone()).run().unwrap();
+    assert!(!fast.used_replay, "attempted/recorded write-count mismatch must disable replay");
+    let slow = Campaign::new(&FailedProbeApp, cfg.with_replay(false)).run().unwrap();
+    assert_eq!(fast.tally, slow.tally);
+    for (f, s) in fast.runs.iter().zip(&slow.runs) {
+        assert_eq!(f.target_instance, s.target_instance);
+        assert_eq!(f.injection, s.injection);
+    }
+
+    let mut scfg = ScanConfig::new(TargetFilter::Any);
+    scfg.pick = ffis_core::WritePick::Nth(1);
+    scfg.stride = 512;
+    let scan = scan_detailed(&FailedProbeApp, &scfg).unwrap();
+    assert!(!scan.used_replay, "scan must also fall back on the count mismatch");
+}
+
+/// Parameter faults (mknod/chmod/truncate) can make a replayed op fail
+/// where the real application would have tolerated the error — the
+/// campaign replay gate therefore only admits Write-primitive faults.
+#[test]
+fn param_fault_campaigns_never_use_replay() {
+    use ffis_vfs::Primitive;
+    let a = app();
+    let sig = FaultSignature {
+        model: FaultModel::bit_flip(),
+        primitive: Primitive::Truncate,
+        target: TargetFilter::Any,
+    };
+    let cfg = CampaignConfig::new(sig).with_runs(5).with_seed(3).with_replay(true);
+    // Nyx never truncates, so there are no eligible instances — but
+    // the gate must reject the primitive before anything else runs.
+    match Campaign::new(&a, cfg).run() {
+        Ok(result) => assert!(!result.used_replay),
+        Err(ffis_core::CampaignError::NoEligibleInstances) => {}
+        Err(other) => panic!("unexpected {:?}", other),
+    }
+}

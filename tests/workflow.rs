@@ -34,10 +34,12 @@ fn generator_profiler_injector_chain_on_nyx() {
     // I/O profiler: fault-free run, dynamic counts.
     let app = small_nyx();
     let profiler = IoProfiler::new(Primitive::Write, sig.target.clone());
-    let (profile, golden) = profiler.profile(|fs| {
-        use ffis_core::FaultApp;
-        app.run(fs)
-    }).expect("profiling run");
+    let (profile, golden) = profiler
+        .profile(|fs| {
+            use ffis_core::FaultApp;
+            app.run(fs)
+        })
+        .expect("profiling run");
     assert!(profile.eligible > 5, "Nyx must issue many writes");
     assert!(!golden.catalog_text.is_empty());
 
@@ -58,9 +60,27 @@ fn all_three_apps_complete_campaigns() {
 
     let sig = FaultSignature::on_write(FaultModel::bit_flip());
     for (name, tally) in [
-        ("NYX", Campaign::new(&nyx, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(1)).run().unwrap().tally),
-        ("QMC", Campaign::new(&qmc, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(2)).run().unwrap().tally),
-        ("MT", Campaign::new(&montage, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(3)).run().unwrap().tally),
+        (
+            "NYX",
+            Campaign::new(&nyx, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(1))
+                .run()
+                .unwrap()
+                .tally,
+        ),
+        (
+            "QMC",
+            Campaign::new(&qmc, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(2))
+                .run()
+                .unwrap()
+                .tally,
+        ),
+        (
+            "MT",
+            Campaign::new(&montage, CampaignConfig::new(sig.clone()).with_runs(20).with_seed(3))
+                .run()
+                .unwrap()
+                .tally,
+        ),
     ] {
         assert_eq!(tally.total(), 20, "{} incomplete: {}", name, tally);
     }
