@@ -1,0 +1,97 @@
+//! Checkpointed golden-trace replay vs legacy full-rerun campaigns on
+//! the hdf5lite-backed Nyx workload — the tentpole speedup of the
+//! two-phase application contract. The legacy path re-executes the
+//! whole application (field simulation, HDF5 encode, float packing,
+//! halo finding) once per injection run; the fast path forks the
+//! nearest log-spaced CoW checkpoint preceding each run's target
+//! instance, replays only the trace suffix through the armed
+//! injector, and runs just the analyze phase.
+//!
+//! Beyond the two criterion timings, the bench asserts the headline
+//! claim directly: the replay campaign must run at least 5x faster
+//! than the full-rerun campaign on identical configuration, with
+//! identical tallies.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_core::prelude::*;
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+fn campaign(app: &NyxApp, replay: bool, runs: usize) -> CampaignResult {
+    let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(runs)
+        .with_seed(0xCA3)
+        .with_replay(replay);
+    // Serial: measure per-run work, not rayon scheduling.
+    cfg.parallel = false;
+    Campaign::new(app, cfg).run().unwrap()
+}
+
+fn bench_campaign_replay(c: &mut Criterion) {
+    // `resimulate` charges each legacy rerun its true application
+    // cost (the paper's injection runs execute Nyx end-to-end,
+    // simulation included); the replay path never pays it — that is
+    // precisely the redundant prefix work the engine eliminates.
+    let app = NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 16, ..Default::default() },
+        resimulate: true,
+        ..Default::default()
+    });
+    let runs = 60usize;
+
+    let probe = campaign(&app, true, runs);
+    assert_eq!(probe.mode, ExecutionMode::Replay, "fast path must engage");
+
+    let mut group = c.benchmark_group("campaign_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(runs as u64));
+    for replay in [false, true] {
+        let label = if replay { "checkpointed_replay" } else { "legacy_rerun" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &replay, |b, &replay| {
+            b.iter(|| campaign(&app, replay, runs));
+        });
+    }
+    group.finish();
+
+    // Headline assertion: >= 5x on identical work, identical tallies.
+    // Median of several timed pairs so one scheduler stall on a shared
+    // CI runner cannot flake the gate.
+    let timed = |replay: bool| {
+        let start = Instant::now();
+        let result = campaign(&app, replay, runs);
+        (start.elapsed(), result)
+    };
+    // One warmup each, then measure.
+    timed(false);
+    timed(true);
+    let mut legacy_times = Vec::new();
+    let mut replay_times = Vec::new();
+    for _ in 0..3 {
+        let (legacy_t, legacy) = timed(false);
+        let (replay_t, replay) = timed(true);
+        assert_eq!(legacy.tally, replay.tally, "paths must classify identically");
+        for (l, r) in legacy.runs.iter().zip(&replay.runs) {
+            assert_eq!(l.outcome, r.outcome, "run {}", l.run);
+            assert_eq!(l.injection, r.injection, "run {}", l.run);
+        }
+        legacy_times.push(legacy_t);
+        replay_times.push(replay_t);
+    }
+    legacy_times.sort();
+    replay_times.sort();
+    let (legacy_t, replay_t) = (legacy_times[1], replay_times[1]);
+    let speedup = legacy_t.as_secs_f64() / replay_t.as_secs_f64().max(1e-12);
+    println!(
+        "campaign_replay: legacy {:?} vs checkpointed replay {:?} over {} runs (median of 3) -> {:.1}x speedup",
+        legacy_t, replay_t, runs, speedup
+    );
+    assert!(
+        speedup >= 5.0,
+        "checkpointed replay must be >= 5x faster than full reruns (got {:.1}x)",
+        speedup
+    );
+}
+
+criterion_group!(benches, bench_campaign_replay);
+criterion_main!(benches);

@@ -31,7 +31,7 @@ pub fn nyx_app(opts: &Options) -> NyxApp {
     NyxApp::new(cfg)
 }
 
-fn tally_row(table: &mut Table, cell: &str, model: &str, t: &OutcomeTally) {
+fn tally_row(table: &mut Table, cell: &str, model: &str, t: &OutcomeTally, mode: ExecutionMode) {
     table.row(&[
         cell,
         model,
@@ -41,6 +41,7 @@ fn tally_row(table: &mut Table, cell: &str, model: &str, t: &OutcomeTally) {
         &format!("{:.1}", t.rate_pct(Outcome::Crash)),
         &format!("{}", t.total()),
         &format!("±{:.1}", t.proportion(Outcome::Sdc).error_bar_pct()),
+        &mode.to_string(),
     ]);
 }
 
@@ -87,16 +88,17 @@ pub fn fig7(opts: &Options) -> Report {
     report.blank();
 
     let mut table = Table::new();
-    table.row(&["cell", "model", "benign%", "detected%", "SDC%", "crash%", "n", "SDC CI"]);
-    let mut csv = String::from("cell,model,benign,detected,sdc,crash,n\n");
+    table.row(&["cell", "model", "benign%", "detected%", "SDC%", "crash%", "n", "SDC CI", "exec"]);
+    let mut csv = String::from(ffis_core::CampaignResult::csv_header());
+    csv.push('\n');
     let mut crash_notes: Vec<String> = Vec::new();
     let mut record =
         |cell: &str, label: &str, result: Option<ffis_core::CampaignResult>, table: &mut Table| {
             let Some(result) = result else {
-                table.row(&[cell, label, "-", "-", "-", "-", "0", "-"]);
+                table.row(&[cell, label, "-", "-", "-", "-", "0", "-", "-"]);
                 return;
             };
-            tally_row(table, cell, label, &result.tally);
+            tally_row(table, cell, label, &result.tally, result.mode);
             csv.push_str(&result.csv_row(&format!("{},{}", cell, label)));
             csv.push('\n');
             if result.tally.crash > 0 {
@@ -164,8 +166,16 @@ pub struct ProtectedNyx(pub NyxApp);
 impl FaultApp for ProtectedNyx {
     type Output = nyx_sim::NyxOutput;
 
-    fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String> {
-        self.0.run(fs)
+    fn produce(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<(), String> {
+        self.0.produce(fs)
+    }
+
+    fn analyze(
+        &self,
+        fs: &dyn ffis_vfs::FileSystem,
+        golden: Option<&Self::Output>,
+    ) -> Result<Self::Output, String> {
+        self.0.analyze(fs, golden)
     }
 
     fn classify(&self, golden: &Self::Output, faulty: &Self::Output) -> Outcome {

@@ -100,7 +100,7 @@ pub fn param_faults(opts: &Options) -> Report {
     impl FaultApp for StagingApp {
         type Output = String;
 
-        fn run(&self, fs: &dyn FileSystem) -> Result<String, String> {
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
             fs.mkdir("/stage", 0o755).map_err(|e| e.to_string())?;
             fs.mknod("/stage/control.fifo", NodeKind::Fifo, 0o600, 0).map_err(|e| e.to_string())?;
             fs.mknod("/stage/dev0", NodeKind::CharDev, 0o660, 0x0501).map_err(|e| e.to_string())?;
@@ -110,8 +110,10 @@ pub fn param_faults(opts: &Options) -> Report {
                 fs.chmod(&p, 0o444).map_err(|e| e.to_string())?;
             }
             fs.write_file("/stage/journal.log", &vec![b'j'; 9000]).map_err(|e| e.to_string())?;
-            fs.truncate("/stage/journal.log", 4096).map_err(|e| e.to_string())?;
+            fs.truncate("/stage/journal.log", 4096).map_err(|e| e.to_string())
+        }
 
+        fn analyze(&self, fs: &dyn FileSystem, _golden: Option<&String>) -> Result<String, String> {
             // Report: sorted listing with kind, mode, size, rdev.
             let mut lines = Vec::new();
             for e in fs.readdir("/stage").map_err(|e| e.to_string())? {

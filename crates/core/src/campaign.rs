@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use ffis_vfs::{FfisFs, Interceptor, MemFs, Primitive, ReplayCursor, TraceOp, TraceRecorder};
+use ffis_vfs::{FfisFs, Interceptor, MemFs, Primitive, TraceCheckpoints, TraceOp, TraceRecorder};
 
 use crate::fault::FaultSignature;
 use crate::injector::{ArmedInjector, InjectionRecord};
@@ -35,22 +35,22 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Fan runs out across the rayon thread pool.
     pub parallel: bool,
-    /// Golden-trace replay fast path: instead of re-executing the
-    /// application per injection run, capture its mutating I/O once
-    /// and replay that trace through the armed injector, then run only
-    /// the application's [`FaultApp::verify`] phase. Requires a
-    /// verify-capable app and a `Write`-primitive (buffer-level) fault
-    /// signature; silently falls back to full reruns otherwise
-    /// ([`CampaignResult::used_replay`] reports which path ran).
-    /// Off by default: per-run outcomes are equivalent, but legacy
-    /// full reruns remain the reference semantics.
+    /// Golden-trace replay fast path (default **on**): instead of
+    /// re-executing the application's produce phase per injection run,
+    /// capture its mutating I/O once, fork the nearest log-spaced
+    /// mid-trace checkpoint preceding each run's target instance,
+    /// replay only the trace suffix through the armed injector, and
+    /// run the application's [`FaultApp::analyze`] phase. Per-run
+    /// outcomes, injection records, and crash messages are identical
+    /// to full reruns; [`CampaignResult::mode`] records which strategy
+    /// executed and — when the campaign fell back — why.
     pub replay: bool,
 }
 
 impl CampaignConfig {
-    /// Config with paper defaults (1,000 runs, parallel).
+    /// Config with paper defaults (1,000 runs, parallel, replay on).
     pub fn new(signature: FaultSignature) -> Self {
-        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true, replay: false }
+        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true, replay: true }
     }
 
     /// Override the run count.
@@ -69,6 +69,86 @@ impl CampaignConfig {
     pub fn with_replay(mut self, replay: bool) -> Self {
         self.replay = replay;
         self
+    }
+}
+
+/// Why a campaign configured for replay executed full reruns instead.
+///
+/// The fallback is never silent: the reason is recorded in
+/// [`CampaignResult::mode`] and surfaced by the bench report tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayFallback {
+    /// Replay was disabled in the [`CampaignConfig`].
+    Disabled,
+    /// The fault signature targets a non-`Write` primitive. Parameter
+    /// faults (mknod/chmod/truncate) could make a replayed op *fail*
+    /// where the real application would have tolerated the error and
+    /// continued — unknowable from a trace — and read-path faults
+    /// corrupt data the replay never touches.
+    NonWritePrimitive,
+    /// The application's analyze phase mutated the filesystem during
+    /// the golden run, violating the read-only-analyze law — the
+    /// recorded trace would double-apply those writes.
+    AnalyzeWrites,
+    /// The golden trace recorded a different number of eligible writes
+    /// than the profiler counted (an attempted eligible write failed:
+    /// counted at the interceptor, recorded only on success), so
+    /// replay instance numbering would diverge from the injectors'.
+    TraceMismatch,
+    /// Analyze on the golden run's final filesystem state did not
+    /// classify [`Outcome::Benign`] — the golden-identity law failed.
+    GoldenIdentity,
+    /// The uninjected full replay self-check failed to rebuild state
+    /// that analyzes benign.
+    ReplayCheck,
+}
+
+impl ReplayFallback {
+    /// Short reason token for report tables.
+    pub fn reason(self) -> &'static str {
+        match self {
+            ReplayFallback::Disabled => "disabled",
+            ReplayFallback::NonWritePrimitive => "non-write-primitive",
+            ReplayFallback::AnalyzeWrites => "analyze-writes",
+            ReplayFallback::TraceMismatch => "trace-mismatch",
+            ReplayFallback::GoldenIdentity => "golden-identity",
+            ReplayFallback::ReplayCheck => "replay-check",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
+/// Which execution strategy ran a campaign's injection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Checkpointed golden-trace replay: fork + suffix replay +
+    /// analyze per run.
+    Replay,
+    /// Full application re-execution (produce + analyze) per run.
+    FullRerun {
+        /// Why the replay fast path did not engage.
+        reason: ReplayFallback,
+    },
+}
+
+impl ExecutionMode {
+    /// Did the replay fast path execute the runs?
+    pub fn is_replay(self) -> bool {
+        matches!(self, ExecutionMode::Replay)
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Replay => f.write_str("replay"),
+            ExecutionMode::FullRerun { reason } => write!(f, "rerun({})", reason),
+        }
     }
 }
 
@@ -96,12 +176,16 @@ pub struct CampaignResult {
     pub runs: Vec<RunResult>,
     /// The fault-free profile that sized the injection space.
     pub profile: ProfileReport,
-    /// True when the golden-trace replay fast path executed the
-    /// injection runs; false for legacy full re-execution.
-    pub used_replay: bool,
+    /// The execution strategy that ran the injection runs, including
+    /// the reason when a replay-configured campaign fell back.
+    pub mode: ExecutionMode,
 }
 
 impl CampaignResult {
+    /// Did the checkpointed replay fast path execute the runs?
+    pub fn used_replay(&self) -> bool {
+        self.mode.is_replay()
+    }
     /// Runs with a given outcome.
     pub fn runs_with(&self, o: Outcome) -> impl Iterator<Item = &RunResult> {
         self.runs.iter().filter(move |r| r.outcome == o)
@@ -126,17 +210,35 @@ impl CampaignResult {
         out
     }
 
-    /// One CSV row per outcome class: `label,benign,detected,sdc,crash,n`.
+    /// The header row matching [`CampaignResult::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,benign,detected,sdc,crash,n,mode"
+    }
+
+    /// One CSV row: `label,benign,detected,sdc,crash,n,mode`. Labels
+    /// containing commas, quotes, or newlines are RFC 4180-quoted so
+    /// the row always parses to exactly seven fields.
     pub fn csv_row(&self, label: &str) -> String {
         format!(
-            "{},{},{},{},{},{}",
-            label,
+            "{},{},{},{},{},{},{}",
+            csv_field(label),
             self.tally.benign,
             self.tally.detected,
             self.tally.sdc,
             self.tally.crash,
-            self.tally.total()
+            self.tally.total(),
+            self.mode
         )
+    }
+}
+
+/// RFC 4180 field escaping: quote when the value contains a delimiter,
+/// a quote, or a line break; double embedded quotes.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
     }
 }
 
@@ -184,26 +286,45 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         // Phase 1+2: golden run doubles as the profiling run — the
         // paper executes the application fault-free once to both count
         // primitives and capture the reference output. When the replay
-        // fast path is requested, the same run also records the golden
-        // trace.
+        // fast path is configured (the default), the same run also
+        // records the golden trace, with a watermark between the two
+        // phases so the read-only-analyze law can be checked.
+        let record = self.config.replay && self.config.signature.primitive == Primitive::Write;
         let profiler =
             IoProfiler::new(self.config.signature.primitive, self.config.signature.target.clone());
         let recorder = Arc::new(TraceRecorder::new());
         let extras: Vec<Arc<dyn Interceptor>> =
-            if self.config.replay { vec![recorder.clone()] } else { Vec::new() };
+            if record { vec![recorder.clone()] } else { Vec::new() };
+        let produced_ops = std::cell::Cell::new(0usize);
         let (profile, golden, base) = profiler
-            .profile_with(&extras, |fs| self.app.run(fs))
+            .profile_with(&extras, |fs| {
+                self.app.produce(fs)?;
+                produced_ops.set(recorder.len());
+                self.app.analyze(fs, None)
+            })
             .map_err(CampaignError::GoldenRunFailed)?;
         if profile.eligible == 0 {
             return Err(CampaignError::NoEligibleInstances);
         }
 
-        let ops = self
-            .config
-            .replay
-            .then(|| self.replay_plan(recorder.take_ops(), profile.eligible, &golden, &base))
-            .flatten()
-            .map(Arc::new);
+        let (mode, plan) = if !self.config.replay {
+            (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
+        } else if !record {
+            (ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }, None)
+        } else {
+            let attempted_writes = profile.counters.get(Primitive::Write);
+            match self.replay_plan(
+                recorder.take_ops(),
+                produced_ops.get(),
+                profile.eligible,
+                attempted_writes,
+                &golden,
+                &base,
+            ) {
+                Ok(plan) => (ExecutionMode::Replay, Some(Arc::new(plan))),
+                Err(reason) => (ExecutionMode::FullRerun { reason }, None),
+            }
+        };
 
         // Phase 3: N injection runs.
         let root = Rng::seed_from(self.config.seed);
@@ -249,26 +370,53 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             // "generates a random number from 0 to count-1" → 1-based
             // instance index in [1, count].
             let target_instance = rng.gen_range(profile.eligible) + 1;
-            let injector = Arc::new(ArmedInjector::new(
-                self.config.signature.clone(),
-                target_instance,
-                rng.next_u64(),
-            ));
-            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
-            ffs.attach(injector.clone());
-            let app_result = match &ops {
-                // Fast path: replay the golden trace through the armed
-                // injector (the fault lands in the same instance it
-                // would during a real execution), then verify.
-                Some(ops) => catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
-                    ReplayCursor::new().replay(&*ffs, ops).map_err(|e| e.to_string())?;
-                    self.app.verify(&*ffs, &golden).expect("replay path is gated on verify support")
-                })),
+            let seed = rng.next_u64();
+            match &plan {
+                // Fast path: fork the nearest checkpoint preceding the
+                // target instance, replay only the trace suffix through
+                // the armed injector (the fault lands in the same
+                // instance, with the same record numbering, it would
+                // during a real execution), then analyze.
+                Some(plan) => {
+                    let target_op = plan.eligible_ops[(target_instance - 1) as usize];
+                    let point = plan.cache.nearest_before(target_op);
+                    let already_seen =
+                        plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
+                    let injector = Arc::new(ArmedInjector::resuming(
+                        self.config.signature.clone(),
+                        target_instance,
+                        seed,
+                        already_seen,
+                    ));
+                    let (ffs, mut cursor) = point.mount_fork();
+                    ffs.attach(injector.clone());
+                    let app_result =
+                        catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
+                            cursor
+                                .replay(&*ffs, plan.cache.suffix(point))
+                                .map_err(|e| e.to_string())?;
+                            self.app.analyze(&*ffs, Some(&golden))
+                        }));
+                    ffs.unmount();
+                    finish(i, target_instance, injector.record(), app_result)
+                }
                 // Reference path: full application re-execution.
-                None => catch_unwind(AssertUnwindSafe(|| self.app.run(&*ffs))),
-            };
-            ffs.unmount();
-            finish(i, target_instance, injector.record(), app_result)
+                None => {
+                    let injector = Arc::new(ArmedInjector::new(
+                        self.config.signature.clone(),
+                        target_instance,
+                        seed,
+                    ));
+                    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+                    ffs.attach(injector.clone());
+                    let app_result = catch_unwind(AssertUnwindSafe(|| {
+                        self.app.produce(&*ffs)?;
+                        self.app.analyze(&*ffs, Some(&golden))
+                    }));
+                    ffs.unmount();
+                    finish(i, target_instance, injector.record(), app_result)
+                }
+            }
         };
 
         let runs: Vec<RunResult> = if self.config.parallel {
@@ -276,7 +424,6 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         } else {
             (0..self.config.runs).map(run_one).collect()
         };
-        let used_replay = ops.is_some();
 
         let mut tally = OutcomeTally::new();
         for r in &runs {
@@ -288,52 +435,88 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             }
             tally.record(r.outcome);
         }
-        Ok(CampaignResult { tally, runs, profile, used_replay })
+        Ok(CampaignResult { tally, runs, profile, mode })
     }
 
-    /// Gate and validate the replay fast path. Returns the replayable
-    /// op stream, or `None` to fall back to full re-execution:
+    /// Gate and validate the replay fast path, building the mid-trace
+    /// checkpoint cache. Returns the [`ReplayFallback`] reason — never
+    /// silently — when any law fails:
     ///
-    /// * the fault primitive must be `Write`: buffer-level faults
-    ///   (`Replace` keeps the length, `Drop` skips the device write)
-    ///   can never make a replayed op *fail*, so the straight-line
-    ///   trace stays faithful. Parameter faults (mknod/chmod/truncate)
-    ///   could make an op error that the real application would have
-    ///   tolerated and continued past — unknowable from a trace — and
-    ///   read-path faults corrupt data the replay never touches;
-    ///   both fall back.
+    /// * the analyze phase must not have written during the golden run
+    ///   (the recorded op stream would double-apply those writes);
     /// * the trace must contain exactly as many eligible writes as the
-    ///   profiler counted — a golden run whose eligible write *failed*
-    ///   (counted when attempted, recorded only on success) would
-    ///   shift replay instance numbering off the legacy path's,
-    /// * the app must expose a [`FaultApp::verify`] phase satisfying
-    ///   the golden-identity law on the captured snapshot,
-    /// * an uninjected full replay must rebuild state that verifies
+    ///   profiler counted, *and* as many total writes as the mount's
+    ///   Write counter — a golden run in which any write *attempt*
+    ///   failed (counted when attempted, recorded only on success)
+    ///   would shift replay instance numbering and/or `prim_seq` off
+    ///   the legacy path's;
+    /// * analyze must satisfy the golden-identity law on the captured
+    ///   snapshot;
+    /// * an uninjected full replay must rebuild state that analyzes
     ///   benign (the fidelity self-check).
+    ///
+    /// (The `Write`-primitive gate is applied by the caller before any
+    /// trace is recorded: buffer-level faults — `Replace` keeps the
+    /// length, `Drop` skips the device write — can never make a
+    /// replayed op fail, so the straight-line trace stays faithful.)
     fn replay_plan(
         &self,
         ops: Vec<TraceOp>,
+        produced_ops: usize,
         eligible: u64,
+        attempted_writes: u64,
         golden: &A::Output,
         golden_fs: &MemFs,
-    ) -> Option<Vec<TraceOp>> {
-        if self.config.signature.primitive != Primitive::Write {
-            return None;
+    ) -> Result<ReplayPlan, ReplayFallback> {
+        // Ops recorded after the produce watermark violate the
+        // read-only-analyze law — except state-neutral bookkeeping
+        // (release/fsync/lock/unlock of analyze's own read-only
+        // descriptors, which the recorder logs but a replay skips).
+        let analyze_mutates =
+            ops[produced_ops.min(ops.len())..].iter().any(|op| op.bookkeeping_fd().is_none());
+        if analyze_mutates {
+            return Err(ReplayFallback::AnalyzeWrites);
         }
-        let recorded_eligible = ops
+        let eligible_ops: Vec<usize> = ops
             .iter()
-            .filter(|op| op.is_write() && self.config.signature.target.matches(op.write_path()))
-            .count() as u64;
-        if recorded_eligible != eligible {
-            return None;
+            .enumerate()
+            .filter(|(_, op)| {
+                op.is_write() && self.config.signature.target.matches(op.write_path())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if eligible_ops.len() as u64 != eligible {
+            return Err(ReplayFallback::TraceMismatch);
         }
-        if !crate::outcome::verify_matches_golden(self.app, golden_fs, golden) {
-            return None;
+        // A failed write on a *non-matching* path keeps the eligible
+        // count intact but still advanced the mount's Write counter in
+        // the golden run — replayed writes after it would carry a
+        // `prim_seq` one lower than a real rerun's.
+        if ops.iter().filter(|op| op.is_write()).count() as u64 != attempted_writes {
+            return Err(ReplayFallback::TraceMismatch);
         }
-        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
-        ReplayCursor::new().replay(&*ffs, &ops).ok()?;
-        crate::outcome::verify_matches_golden(self.app, &*ffs, golden).then_some(ops)
+        if !crate::outcome::analyze_matches_golden(self.app, golden_fs, golden) {
+            return Err(ReplayFallback::GoldenIdentity);
+        }
+        let cache = TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?;
+        // Self-check: an uninjected full replay from the zero
+        // checkpoint must rebuild state that analyzes benign.
+        let (ffs, mut cursor) = cache.points()[0].mount_fork();
+        if cursor.replay(&*ffs, cache.ops()).is_err()
+            || !crate::outcome::analyze_matches_golden(self.app, &*ffs, golden)
+        {
+            return Err(ReplayFallback::ReplayCheck);
+        }
+        Ok(ReplayPlan { cache, eligible_ops })
     }
+}
+
+/// The campaign's prepared replay fast path: the checkpointed golden
+/// trace plus the op index of every eligible write (instance `k` is
+/// `eligible_ops[k-1]`).
+struct ReplayPlan {
+    cache: TraceCheckpoints,
+    eligible_ops: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -354,15 +537,24 @@ mod tests {
         checksum: u64,
     }
 
+    const TOY_LEN: usize = 4096 * 10;
+
     impl FaultApp for ToyApp {
         type Output = ToyOutput;
 
-        fn run(&self, fs: &dyn FileSystem) -> Result<ToyOutput, String> {
-            let data: Vec<u8> = (0..4096 * 10).map(|i| (i % 255) as u8).collect();
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            let data: Vec<u8> = (0..TOY_LEN).map(|i| (i % 255) as u8).collect();
             fs.write_file_chunked("/out.dat", &data, 4096).map_err(|e| e.to_string())?;
-            fs.write_file("/run.log", b"ok\n").map_err(|e| e.to_string())?;
+            fs.write_file("/run.log", b"ok\n").map_err(|e| e.to_string())
+        }
+
+        fn analyze(
+            &self,
+            fs: &dyn FileSystem,
+            _golden: Option<&ToyOutput>,
+        ) -> Result<ToyOutput, String> {
             let back = fs.read_to_vec("/out.dat").map_err(|e| e.to_string())?;
-            if back.len() != data.len() {
+            if back.len() != TOY_LEN {
                 return Err("short file".into());
             }
             let checksum = back.iter().map(|&b| b as u64).sum();
@@ -483,8 +675,10 @@ mod tests {
     struct CrashyApp;
     impl FaultApp for CrashyApp {
         type Output = ();
-        fn run(&self, fs: &dyn FileSystem) -> Result<(), String> {
-            fs.write_file("/x", &[7u8; 4096]).map_err(|e| e.to_string())?;
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file("/x", &[7u8; 4096]).map_err(|e| e.to_string())
+        }
+        fn analyze(&self, fs: &dyn FileSystem, _golden: Option<&()>) -> Result<(), String> {
             let back = fs.read_to_vec("/x").map_err(|e| e.to_string())?;
             // Panics on corrupted data — exercises catch_unwind.
             assert!(back.iter().all(|&b| b == 7), "corrupted!");
@@ -511,7 +705,10 @@ mod tests {
     struct NoIoApp;
     impl FaultApp for NoIoApp {
         type Output = ();
-        fn run(&self, _fs: &dyn FileSystem) -> Result<(), String> {
+        fn produce(&self, _fs: &dyn FileSystem) -> Result<(), String> {
+            Ok(())
+        }
+        fn analyze(&self, _fs: &dyn FileSystem, _golden: Option<&()>) -> Result<(), String> {
             Ok(())
         }
         fn classify(&self, _g: &(), _f: &()) -> Outcome {
@@ -535,8 +732,11 @@ mod tests {
     struct BrokenApp;
     impl FaultApp for BrokenApp {
         type Output = ();
-        fn run(&self, _fs: &dyn FileSystem) -> Result<(), String> {
+        fn produce(&self, _fs: &dyn FileSystem) -> Result<(), String> {
             Err("always fails".into())
+        }
+        fn analyze(&self, _fs: &dyn FileSystem, _golden: Option<&()>) -> Result<(), String> {
+            Ok(())
         }
         fn classify(&self, _g: &(), _f: &()) -> Outcome {
             Outcome::Benign
@@ -575,16 +775,136 @@ mod tests {
         assert!(breakdown[0].0.contains("corrupted"));
     }
 
+    /// Minimal RFC 4180 parse of one row (enough for the tests).
+    fn parse_csv_row(row: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        let mut chars = row.chars().peekable();
+        while let Some(c) = chars.next() {
+            match (quoted, c) {
+                (true, '"') if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                (true, '"') => quoted = false,
+                (false, '"') => quoted = true,
+                (false, ',') => fields.push(std::mem::take(&mut cur)),
+                (_, c) => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
     #[test]
-    fn csv_row_format() {
+    fn csv_row_escapes_labels_and_matches_header() {
         let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
             .with_runs(10)
             .with_seed(5);
         let result = Campaign::new(&ToyApp, cfg).run().unwrap();
-        let row = result.csv_row("NYX,BF".trim_matches(',')); // label passthrough
-        let fields: Vec<&str> = row.split(',').collect();
-        assert_eq!(fields.len(), 7); // label carries its own comma here
-        assert_eq!(fields.last().unwrap(), &"10");
+        let columns = CampaignResult::csv_header().split(',').count();
+
+        // A label carrying the CSV delimiter must still parse to
+        // exactly the header's column count, with the label intact.
+        let row = result.csv_row("NYX,BF");
+        let fields = parse_csv_row(&row);
+        assert_eq!(fields.len(), columns, "{}", row);
+        assert_eq!(fields[0], "NYX,BF");
+        assert_eq!(fields[5], "10");
+        assert_eq!(fields[6], "replay");
+
+        // Embedded quotes are doubled per RFC 4180.
+        let row = result.csv_row("say \"hi\", twice");
+        assert!(row.starts_with("\"say \"\"hi\"\", twice\","), "{}", row);
+        assert_eq!(parse_csv_row(&row)[0], "say \"hi\", twice");
+
+        // Plain labels stay unquoted.
+        assert!(result.csv_row("NYX").starts_with("NYX,"));
+    }
+
+    #[test]
+    fn campaigns_default_to_replay_and_record_fallbacks() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(5)
+            .with_seed(6);
+        assert!(cfg.replay, "replay is the default execution mode");
+        let fast = Campaign::new(&ToyApp, cfg.clone()).run().unwrap();
+        assert_eq!(fast.mode, ExecutionMode::Replay);
+        assert!(fast.used_replay());
+
+        let slow = Campaign::new(&ToyApp, cfg.clone().with_replay(false)).run().unwrap();
+        assert_eq!(slow.mode, ExecutionMode::FullRerun { reason: ReplayFallback::Disabled });
+        assert!(!slow.used_replay());
+        assert_eq!(slow.mode.to_string(), "rerun(disabled)");
+
+        // Non-write primitives fall back with the recorded reason.
+        let sig = FaultSignature {
+            model: FaultModel::bit_flip(),
+            primitive: Primitive::Mknod,
+            target: crate::fault::TargetFilter::Any,
+        };
+        let nodes = Campaign::new(&MknodApp, CampaignConfig::new(sig).with_runs(3)).run().unwrap();
+        assert_eq!(
+            nodes.mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }
+        );
+    }
+
+    /// App whose analyze phase violates the read-only law by logging
+    /// through the filesystem under test.
+    struct ChattyAnalyzeApp;
+    impl FaultApp for ChattyAnalyzeApp {
+        type Output = Vec<u8>;
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file_chunked("/d.bin", &[9u8; 8192], 4096).map_err(|e| e.to_string())
+        }
+        fn analyze(
+            &self,
+            fs: &dyn FileSystem,
+            _golden: Option<&Vec<u8>>,
+        ) -> Result<Vec<u8>, String> {
+            fs.write_file("/analyze.log", b"analyzing\n").map_err(|e| e.to_string())?;
+            fs.read_to_vec("/d.bin").map_err(|e| e.to_string())
+        }
+        fn classify(&self, g: &Vec<u8>, f: &Vec<u8>) -> Outcome {
+            if g == f {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+        fn name(&self) -> String {
+            "CHATTY".into()
+        }
+    }
+
+    #[test]
+    fn analyze_writes_disable_replay_with_reason() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(8)
+            .with_seed(21);
+        let result = Campaign::new(&ChattyAnalyzeApp, cfg).run().unwrap();
+        assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::AnalyzeWrites });
+        assert_eq!(result.tally.total(), 8);
+    }
+
+    struct MknodApp;
+    impl FaultApp for MknodApp {
+        type Output = ();
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.mknod("/a", ffis_vfs::NodeKind::Fifo, 0o644, 0).map_err(|e| e.to_string())?;
+            fs.mknod("/b", ffis_vfs::NodeKind::Fifo, 0o644, 0).map_err(|e| e.to_string())
+        }
+        fn analyze(&self, _fs: &dyn FileSystem, _golden: Option<&()>) -> Result<(), String> {
+            Ok(())
+        }
+        fn classify(&self, _g: &(), _f: &()) -> Outcome {
+            Outcome::Benign
+        }
+        fn name(&self) -> String {
+            "MKNOD".into()
+        }
     }
 
     #[test]

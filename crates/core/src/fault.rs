@@ -7,7 +7,7 @@
 //!   buffer passed to `pwrite` (default 2 bits, per §IV-B; footnote 3
 //!   also evaluates a 4-bit variant — exposed here as `bits`).
 //! * [`FaultModel::ShornWrite`] — "completely write the first 3/8th of
-//!   [a] 4KB block or first 7/8th of [a] 4KB block to the device at
+//!   \[a\] 4KB block or first 7/8th of \[a\] 4KB block to the device at
 //!   the granularity of 512B"; the reported size stays the original,
 //!   so the torn tail silently carries *undefined* device data.
 //! * [`FaultModel::DroppedWrite`] — "the write operation is ignored"

@@ -54,11 +54,28 @@ impl ArmedInjector {
     /// eligible invocation, drawing random fault features from a
     /// stream seeded with `seed`.
     pub fn new(signature: FaultSignature, target_instance: u64, seed: u64) -> Self {
+        Self::resuming(signature, target_instance, seed, 0)
+    }
+
+    /// Arm an injector that resumes counting mid-run: `already_seen`
+    /// eligible invocations happened before this mount existed (the
+    /// trace prefix behind a mid-trace checkpoint), so the injector
+    /// still fires at the *absolute* `target_instance`-th eligible
+    /// invocation and records that absolute instance number — the
+    /// checkpointed suffix replay stays indistinguishable from a full
+    /// execution.
+    pub fn resuming(
+        signature: FaultSignature,
+        target_instance: u64,
+        seed: u64,
+        already_seen: u64,
+    ) -> Self {
         debug_assert!(target_instance >= 1, "instances are 1-based");
+        debug_assert!(already_seen < target_instance, "checkpoint must precede the target");
         ArmedInjector {
             signature,
             target_instance,
-            eligible_seen: AtomicU64::new(0),
+            eligible_seen: AtomicU64::new(already_seen),
             rng: Mutex::new(Rng::seed_from(seed)),
             record: Mutex::new(None),
         }

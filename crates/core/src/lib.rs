@@ -20,23 +20,30 @@
 //! [`metadata_scan`] implements the byte-by-byte scientific-file-format
 //! metadata study of §IV-D.
 //!
-//! ## The fork+replay fast path
+//! ## The two-phase contract and the replay fast path
 //!
 //! Every injection run repeats the same fault-free prefix before its
-//! fault fires. When an application implements [`FaultApp::verify`]
-//! (the read-back/analysis half of its `run`), both drivers can skip
-//! that redundancy: the golden run's mutating I/O is captured once as
-//! a replayable trace (`ffis_vfs::trace`), each injection run replays
-//! it — through the armed injector — into a copy-on-write
-//! [`ffis_vfs::MemFs::fork`] at raw memcpy speed, and only the verify
-//! phase executes application logic. [`metadata_scan::scan`] goes
-//! further, snapshotting the filesystem immediately before the
-//! metadata write so each scanned byte pays only the fork, the suffix
-//! replay, and the verify phase. Outcomes are byte-identical to full
-//! re-execution (the
-//! engine self-checks per scan and falls back when an app cannot
-//! guarantee it); `benches/scan_replay.rs` measures the speedup and
-//! `tests/replay_equivalence.rs` pins the equivalence.
+//! fault fires. The application contract makes that redundancy
+//! removable *by construction*: a [`FaultApp`] is two separable
+//! phases — [`FaultApp::produce`] (the write half) and
+//! [`FaultApp::analyze`] (the read-back/classification half) — and
+//! `run` is simply produce-then-analyze. Campaigns default to the
+//! replay strategy: the golden run's mutating I/O is captured once as
+//! a replayable trace (`ffis_vfs::trace`), log-spaced mid-trace
+//! checkpoints fork the rebuilt state
+//! ([`ffis_vfs::TraceCheckpoints`]), and each injection run forks the
+//! nearest checkpoint preceding its target instance, replays only the
+//! trace suffix — through the armed injector — at raw memcpy speed,
+//! and executes application logic only in the analyze phase.
+//! [`metadata_scan::scan`] specializes further, snapshotting
+//! immediately before the (fixed) metadata write. Outcomes, injection
+//! records, and crash messages are byte-identical to full
+//! re-execution; the engine self-checks per campaign/scan and falls
+//! back — recording why in [`campaign::ExecutionMode`] — when a law
+//! is violated. `benches/scan_replay.rs` and
+//! `benches/campaign_replay.rs` measure the speedups and
+//! `tests/replay_equivalence.rs` pins the equivalence across all
+//! three paper workloads.
 //!
 //! ## Fault models (§III-B, Table I)
 //!
@@ -50,24 +57,18 @@
 //! use ffis_core::prelude::*;
 //! use ffis_vfs::{FileSystem, FileSystemExt};
 //!
-//! // A miniature "application": writes a file, reads it back, sums it.
-//! // The read-back half doubles as the `verify` phase, which unlocks
-//! // the golden-trace replay fast path.
+//! // A miniature two-phase "application": produce writes a file;
+//! // analyze reads it back and sums it. Every app written this way is
+//! // replay-capable by construction.
 //! struct Sum;
-//! impl Sum {
-//!     fn read_back(&self, fs: &dyn FileSystem) -> Result<u64, String> {
-//!         Ok(fs.read_to_vec("/data").map_err(|e| e.to_string())?
-//!             .iter().map(|&b| b as u64).sum())
-//!     }
-//! }
 //! impl FaultApp for Sum {
 //!     type Output = u64;
-//!     fn run(&self, fs: &dyn FileSystem) -> Result<u64, String> {
-//!         fs.write_file_chunked("/data", &[1u8; 8192], 4096).map_err(|e| e.to_string())?;
-//!         self.read_back(fs)
+//!     fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+//!         fs.write_file_chunked("/data", &[1u8; 8192], 4096).map_err(|e| e.to_string())
 //!     }
-//!     fn verify(&self, fs: &dyn FileSystem, _golden: &u64) -> Option<Result<u64, String>> {
-//!         Some(self.read_back(fs))
+//!     fn analyze(&self, fs: &dyn FileSystem, _golden: Option<&u64>) -> Result<u64, String> {
+//!         Ok(fs.read_to_vec("/data").map_err(|e| e.to_string())?
+//!             .iter().map(|&b| b as u64).sum())
 //!     }
 //!     fn classify(&self, g: &u64, f: &u64) -> Outcome {
 //!         if g == f { Outcome::Benign } else { Outcome::Sdc }
@@ -75,18 +76,21 @@
 //!     fn name(&self) -> String { "SUM".into() }
 //! }
 //!
+//! // Campaigns run on the checkpointed replay fast path by default:
+//! // produce executes once (golden capture); each injection run forks
+//! // the nearest mid-trace checkpoint, replays the suffix through the
+//! // armed injector, and analyzes.
 //! let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
 //!     .with_runs(10).with_seed(7);
-//! let result = Campaign::new(&Sum, cfg.clone()).run().unwrap();
-//! assert_eq!(result.tally.total(), 10);
-//! assert_eq!(result.tally.sdc, 10); // every dropped 4 KiB block changes the sum
+//! let fast = Campaign::new(&Sum, cfg.clone()).run().unwrap();
+//! assert_eq!(fast.mode, ExecutionMode::Replay);
+//! assert_eq!(fast.tally.sdc, 10); // every dropped 4 KiB block changes the sum
 //!
-//! // Same campaign on the replay fast path: the application's write
-//! // phase runs once (golden capture); each injection run is a trace
-//! // replay plus `verify`. Outcomes are identical.
-//! let fast = Campaign::new(&Sum, cfg.with_replay(true)).run().unwrap();
-//! assert!(fast.used_replay);
-//! assert_eq!(fast.tally, result.tally);
+//! // The reference full-rerun strategy produces identical results —
+//! // and records why it ran.
+//! let slow = Campaign::new(&Sum, cfg.with_replay(false)).run().unwrap();
+//! assert_eq!(slow.mode, ExecutionMode::FullRerun { reason: ReplayFallback::Disabled });
+//! assert_eq!(slow.tally, fast.tally);
 //! ```
 
 #![warn(missing_docs)]
@@ -102,7 +106,10 @@ pub mod profiler;
 pub mod rng;
 pub mod stats;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignError, CampaignResult, RunResult};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode, ReplayFallback,
+    RunResult,
+};
 pub use fault::{FaultModel, FaultSignature, Mutation, ShornFill, ShornKeep, TargetFilter};
 pub use generator::{paper_signatures, FaultConfig};
 pub use injector::{
@@ -120,7 +127,9 @@ pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Propor
 
 /// Convenient glob import for applications and harnesses.
 pub mod prelude {
-    pub use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
+    pub use crate::campaign::{
+        Campaign, CampaignConfig, CampaignResult, ExecutionMode, ReplayFallback,
+    };
     pub use crate::fault::{FaultModel, FaultSignature, ShornFill, ShornKeep, TargetFilter};
     pub use crate::outcome::{FaultApp, Outcome, OutcomeTally};
     pub use crate::rng::Rng;

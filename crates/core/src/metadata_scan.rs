@@ -2,7 +2,7 @@
 //!
 //! "Based on this procedure, FFIS identifies the specific write
 //! operation for metadata (i.e., the penultimate fwrite) and then
-//! perform[s] a fault injection starting from the offset value
+//! perform\[s\] a fault injection starting from the offset value
 //! specified by the fwrite and till the end of the buffer
 //! byte-by-byte."
 //!
@@ -19,25 +19,26 @@
 //! An exhaustive scan is `write_len` complete application executions —
 //! each of which redoes the *identical* fault-free work (field
 //! generation cache aside: HDF5 encoding, checksums, float packing)
-//! before corrupting one byte. When the application exposes a
-//! [`FaultApp::verify`] phase, the scanner instead:
+//! before corrupting one byte. Every application is two-phase by
+//! construction ([`FaultApp::produce`] / [`FaultApp::analyze`]), so
+//! the scanner's default strategy is:
 //!
-//! 1. captures the golden run once, recording its mutating primitives
+//! 1. capture the golden run once, recording its mutating primitives
 //!    as a replayable [`TraceOp`] stream ([`TraceRecorder`]);
-//! 2. rebuilds the filesystem state *just before the metadata write*
+//! 2. rebuild the filesystem state *just before the metadata write*
 //!    on a bare [`MemFs`] by replaying the trace prefix (raw memcpy,
 //!    no application logic), once;
 //! 3. per scanned byte: [`MemFs::fork`]s that snapshot (O(page
 //!    pointers)), replays only the trace *suffix* through a mounted
 //!    [`FfisFs`] with the byte injector armed, and runs the
-//!    application's `verify` phase.
+//!    application's `analyze` phase.
 //!
 //! Per-byte cost collapses from O(full run) to O(suffix bytes +
-//! verify). The fast path is self-checking: before use, the golden
-//! snapshot must replay and verify to a [`Outcome::Benign`]
-//! classification, otherwise the scanner silently falls back to the
-//! legacy full-rerun path ([`DetailedScanResult::used_replay`] reports
-//! which path ran). An equivalence test in `tests/replay_equivalence.rs`
+//! analyze). The fast path is self-checking: before use, the golden
+//! snapshot must replay and analyze to a [`Outcome::Benign`]
+//! classification, otherwise the scanner falls back to the legacy
+//! full-rerun path ([`DetailedScanResult::used_replay`] reports which
+//! path ran). An equivalence test in `tests/replay_equivalence.rs`
 //! pins byte-identical outcomes between the two paths.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,9 +106,11 @@ pub struct ScanConfig {
     pub stride: usize,
     /// Fan bytes out across the rayon pool.
     pub parallel: bool,
-    /// Use the fork+replay fast path when the application supports it
-    /// (see the module docs). Outcomes are byte-identical either way;
-    /// disable only to measure the legacy full-rerun cost.
+    /// Use the fork+replay fast path (see the module docs). Outcomes
+    /// are byte-identical either way; disable only to measure the
+    /// legacy full-rerun cost. The scanner still self-checks and falls
+    /// back when an app's analyze phase breaks the golden-identity
+    /// law.
     pub replay: bool,
 }
 
@@ -280,7 +283,14 @@ pub fn locate_write<A: FaultApp>(
     pick: WritePick,
 ) -> Result<(u64, u64, usize, A::Output), String> {
     let profiler = IoProfiler::new(Primitive::Write, target.clone());
-    let (profile, golden) = profiler.profile(|fs| app.run(fs))?;
+    // Deliberately produce-then-analyze rather than `app.run(fs)`:
+    // drivers always execute the canonical two-phase path, so an app
+    // that (illegally) overrides the provided `run` cannot desync the
+    // golden capture from the analyze-only replay runs.
+    let (profile, golden) = profiler.profile(|fs| {
+        app.produce(fs)?;
+        app.analyze(fs, None)
+    })?;
     let writes = profile.writes_matching(target);
     let idx = pick_index(writes.len(), pick)?;
     let w = writes[idx];
@@ -326,7 +336,10 @@ fn capture_golden<A: FaultApp>(
     let recorder: Arc<TraceRecorder> = Arc::new(TraceRecorder::new());
     let extras: Vec<Arc<dyn ffis_vfs::Interceptor>> =
         if record { vec![recorder.clone()] } else { Vec::new() };
-    let (profile, golden, base) = profiler.profile_with(&extras, |fs| app.run(fs))?;
+    let (profile, golden, base) = profiler.profile_with(&extras, |fs| {
+        app.produce(fs)?;
+        app.analyze(fs, None)
+    })?;
     let writes = profile.writes_matching(target);
     let idx = pick_index(writes.len(), pick)?;
     let w = writes[idx];
@@ -355,12 +368,12 @@ struct ReplayPlan {
 }
 
 /// Build the replay plan, validating it end-to-end on the golden
-/// snapshot (replay the suffix uninjected, verify, and require a
+/// snapshot (replay the suffix uninjected, analyze, and require a
 /// benign classification). Returns `None` — fall back to full reruns —
-/// when the app has no verify phase, when the golden run attempted a
-/// matching write that failed (the success-only trace would then
-/// number instances differently than the injectors do), or when the
-/// self-check fails.
+/// when the golden run attempted a matching write that failed (the
+/// success-only trace would then number instances differently than
+/// the injectors do), when the app's analyze phase violates the
+/// golden-identity law, or when the self-check fails.
 fn prepare_replay<A: FaultApp>(
     app: &A,
     cap: &GoldenCapture<A::Output>,
@@ -371,9 +384,9 @@ fn prepare_replay<A: FaultApp>(
     if recorded_matching != cap.attempted_matching_writes {
         return None;
     }
-    // Probe: does the app expose a verify phase at all, and does it
-    // satisfy the golden-identity law on the final golden state?
-    if !crate::outcome::verify_matches_golden(app, &*cap.golden_fs, &cap.golden) {
+    // Probe: does analyze satisfy the golden-identity law on the
+    // final golden state?
+    if !crate::outcome::analyze_matches_golden(app, &*cap.golden_fs, &cap.golden) {
         return None;
     }
     // Locate the target write in the op stream.
@@ -391,12 +404,12 @@ fn prepare_replay<A: FaultApp>(
     let mut cursor = ReplayCursor::new();
     cursor.replay(&pre, &cap.ops[..suffix_start]).ok()?;
     let plan = ReplayPlan { pre, cursor, suffix_start };
-    // Self-check: an uninjected suffix replay must verify benign.
+    // Self-check: an uninjected suffix replay must analyze benign.
     let ffs = FfisFs::mount(Arc::new(plan.pre.fork()));
     let mut cur = plan.cursor.clone();
     cur.seed_mount(&ffs);
     cur.replay(&*ffs, &cap.ops[plan.suffix_start..]).ok()?;
-    crate::outcome::verify_matches_golden(app, &*ffs, &cap.golden).then_some(plan)
+    crate::outcome::analyze_matches_golden(app, &*ffs, &cap.golden).then_some(plan)
 }
 
 /// Run the workload once with a single byte fault armed; classify.
@@ -412,13 +425,16 @@ pub fn run_with_byte_fault<A: FaultApp>(
         Arc::new(ByteFaultInjector::new(target.clone(), write_instance, byte_index, flip));
     let ffs = FfisFs::mount(Arc::new(MemFs::new()));
     ffs.attach(injector);
-    let result = catch_unwind(AssertUnwindSafe(|| app.run(&*ffs)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        app.produce(&*ffs)?;
+        app.analyze(&*ffs, Some(golden))
+    }));
     ffs.unmount();
     classify_run_result(app, golden, result)
 }
 
 /// Fork the pre-injection snapshot, replay the trace suffix with a
-/// byte fault armed, and run the app's verify phase; classify.
+/// byte fault armed, and run the app's analyze phase; classify.
 fn replay_with_byte_fault<A: FaultApp>(
     app: &A,
     cap: &GoldenCapture<A::Output>,
@@ -436,7 +452,7 @@ fn replay_with_byte_fault<A: FaultApp>(
     ffs.attach(injector);
     let result = catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
         cursor.replay(&*ffs, &cap.ops[plan.suffix_start..]).map_err(|e| e.to_string())?;
-        app.verify(&*ffs, &cap.golden).expect("replay plan exists only for verify-capable apps")
+        app.analyze(&*ffs, Some(&cap.golden))
     }));
     ffs.unmount();
     classify_run_result(app, &cap.golden, result)
@@ -598,8 +614,7 @@ mod tests {
 
     const MAGIC: [u8; 4] = *b"MINI";
 
-    /// The read/validate/analyze half of the mini workload, shared by
-    /// the plain and verify-capable test apps.
+    /// The read/validate half of the mini workload.
     fn mini_read_back(fs: &dyn FileSystem) -> Result<MiniOut, String> {
         let all = fs.read_to_vec("/d.mini").map_err(|e| e.to_string())?;
         if all.len() < 49 || all[..4] != MAGIC {
@@ -618,7 +633,7 @@ mod tests {
     impl FaultApp for MiniFormatApp {
         type Output = MiniOut;
 
-        fn run(&self, fs: &dyn FileSystem) -> Result<MiniOut, String> {
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
             // Write: data at 16.., header at 0 (penultimate), commit.
             let data = [10u8; 32];
             let fd = fs.create("/d.mini", 0o644).map_err(|e| e.to_string())?;
@@ -629,8 +644,14 @@ mod tests {
             header[5] = 2; // scale
             fs.pwrite(fd, &header, 0).map_err(|e| e.to_string())?;
             fs.pwrite(fd, b"C", 48).map_err(|e| e.to_string())?;
-            fs.release(fd).map_err(|e| e.to_string())?;
+            fs.release(fd).map_err(|e| e.to_string())
+        }
 
+        fn analyze(
+            &self,
+            fs: &dyn FileSystem,
+            _golden: Option<&MiniOut>,
+        ) -> Result<MiniOut, String> {
             // Read back with validation (crash on unjustified fields).
             mini_read_back(fs)
         }
@@ -718,70 +739,74 @@ mod tests {
         );
     }
 
-    /// The mini workload with a separable verify phase — the shape the
-    /// fork+replay fast path requires.
-    struct MiniVerifyApp;
-
-    impl FaultApp for MiniVerifyApp {
-        type Output = MiniOut;
-
-        fn run(&self, fs: &dyn FileSystem) -> Result<MiniOut, String> {
-            MiniFormatApp.run(fs)
-        }
-
-        fn verify(
-            &self,
-            fs: &dyn FileSystem,
-            _golden: &MiniOut,
-        ) -> Option<Result<MiniOut, String>> {
-            Some(mini_read_back(fs))
-        }
-
-        fn classify(&self, golden: &MiniOut, faulty: &MiniOut) -> Outcome {
-            MiniFormatApp.classify(golden, faulty)
-        }
-
-        fn name(&self) -> String {
-            "MINI-V".into()
-        }
-    }
-
     #[test]
-    fn replay_fast_path_engages_for_verify_capable_apps() {
+    fn replay_fast_path_engages_by_default() {
         let mut cfg = ScanConfig::new(TargetFilter::Any);
         cfg.parallel = false;
         cfg.flip = FlipMode::Mask(0xFF);
-        let fast = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
-        assert!(fast.used_replay);
+        let fast = scan_detailed(&MiniFormatApp, &cfg).unwrap();
+        assert!(fast.used_replay, "two-phase apps engage the fast path by construction");
 
         // Byte-identical to the legacy full-rerun scan.
         cfg.replay = false;
-        let slow = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
+        let slow = scan_detailed(&MiniFormatApp, &cfg).unwrap();
         assert!(!slow.used_replay);
         assert_eq!(fast.tally, slow.tally);
         for (f, s) in fast.runs.iter().zip(&slow.runs) {
             assert_eq!(f.byte.outcome, s.byte.outcome, "byte {}", f.byte.byte_index);
             assert_eq!(f.byte.crash_message, s.byte.crash_message);
         }
-        // And identical to the verify-less app's scan (same format).
-        let plain = scan(
-            &MiniFormatApp,
-            &ScanConfig {
-                parallel: false,
-                flip: FlipMode::Mask(0xFF),
-                ..ScanConfig::new(TargetFilter::Any)
-            },
-        )
-        .unwrap();
-        assert_eq!(fast.tally, plain.tally);
+    }
+
+    /// An app whose analyze phase mutates its own classified artifact:
+    /// the golden-identity probe must catch it and fall back to full
+    /// reruns rather than classify replayed state with a broken phase.
+    struct SelfMutatingApp;
+
+    impl FaultApp for SelfMutatingApp {
+        type Output = Vec<u8>;
+
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            use ffis_vfs::FileSystemExt;
+            fs.write_file_chunked("/grow.bin", &[4u8; 8192], 4096).map_err(|e| e.to_string())?;
+            fs.write_file("/grow.meta", &[1u8; 32]).map_err(|e| e.to_string())
+        }
+
+        fn analyze(
+            &self,
+            fs: &dyn FileSystem,
+            _golden: Option<&Vec<u8>>,
+        ) -> Result<Vec<u8>, String> {
+            use ffis_vfs::{FileSystemExt, OpenFlags};
+            // Non-idempotent: appends to the artifact it then returns.
+            let len = fs.read_to_vec("/grow.bin").map_err(|e| e.to_string())?.len() as u64;
+            let fd = fs.open("/grow.bin", OpenFlags::read_write()).map_err(|e| e.to_string())?;
+            fs.pwrite(fd, b"!", len).map_err(|e| e.to_string())?;
+            fs.release(fd).map_err(|e| e.to_string())?;
+            fs.read_to_vec("/grow.bin").map_err(|e| e.to_string())
+        }
+
+        fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
+            if golden == faulty {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn name(&self) -> String {
+            "SELFMUT".into()
+        }
     }
 
     #[test]
-    fn replay_fast_path_skipped_for_plain_apps() {
-        let mut cfg = ScanConfig::new(TargetFilter::Any);
+    fn golden_identity_violations_fall_back_to_full_reruns() {
+        let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".meta".into()));
+        cfg.pick = WritePick::Last;
         cfg.parallel = false;
-        let result = scan_detailed(&MiniFormatApp, &cfg).unwrap();
-        assert!(!result.used_replay, "no verify phase -> legacy reruns");
+        let result = scan_detailed(&SelfMutatingApp, &cfg).unwrap();
+        assert!(!result.used_replay, "identity-violating analyze must disable replay");
+        assert_eq!(result.tally.total(), 32);
     }
 
     #[test]
@@ -789,7 +814,7 @@ mod tests {
         let mut cfg = ScanConfig::new(TargetFilter::Any);
         cfg.parallel = false;
         cfg.flip = FlipMode::Mask(0xFF);
-        let result = scan_detailed(&MiniVerifyApp, &cfg).unwrap();
+        let result = scan_detailed(&MiniFormatApp, &cfg).unwrap();
         for r in &result.runs {
             match r.byte.outcome {
                 Outcome::Crash => assert!(r.output.is_none()),

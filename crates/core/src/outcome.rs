@@ -1,6 +1,6 @@
 //! Outcome taxonomy and tallies (paper §II "Application" failures).
 //!
-//! "A failure of an application refers to [the] scenario that the
+//! "A failure of an application refers to \[the\] scenario that the
 //! outcome of the application differs from the expected: the
 //! application either terminates before it finishes (i.e., crash), or
 //! it suffers from data corruption. If the application is able to
@@ -47,58 +47,78 @@ impl std::fmt::Display for Outcome {
     }
 }
 
-/// How an application exposes itself to the campaign runner.
+/// How an application exposes itself to the campaign runner — the
+/// two-phase workload contract.
 ///
-/// `run` executes the *whole* workload — data production through the
-/// filesystem under test, then post-analysis — and returns the
-/// artifacts classification needs. `classify` applies the paper's
-/// per-application rules (§IV-C) to a faulty output given the golden
-/// one. A run returning `Err` is the crash outcome.
+/// Every workload in the paper's methodology has the same shape: a
+/// **produce** phase that writes output files through the filesystem
+/// under test, and an **analyze** phase that reads them back and
+/// derives the artifacts classification needs (§IV-C). Splitting the
+/// contract along that seam makes every application replay-capable by
+/// construction: the golden-trace engine rebuilds produce's filesystem
+/// state at memcpy speed (with the armed injector corrupting exactly
+/// the targeted operation) and then runs only `analyze` — no
+/// application logic is re-executed for the fault-free prefix.
+///
+/// `classify` applies the paper's per-application rules to a faulty
+/// output given the golden one. A phase returning `Err` (or panicking)
+/// is the crash outcome.
+///
+/// ## Laws
+///
+/// * **Write-stream data independence** (`produce`) — the byte content
+///   of produce's writes must not depend on data read back *through
+///   the filesystem* earlier in the same run. Replay re-issues the
+///   golden run's payloads verbatim, so a produce phase that read a
+///   (possibly corrupted) file mid-run and derived later writes from
+///   it would replay golden-derived bytes where a real rerun writes
+///   fault-derived ones. Workloads with on-disk handoffs (QMCPACK's
+///   walker checkpoint, Montage's stage pipeline) write golden-derived
+///   bytes in `produce` and re-derive the dependent artifacts from the
+///   on-disk (possibly corrupted) inputs inside `analyze`.
+/// * **Read-only analyze** — `analyze` must not mutate `fs`. The
+///   campaign driver verifies this on the golden run (the recorded
+///   op stream must not grow during analyze) and falls back to full
+///   reruns if it does.
+/// * **Golden identity** — `analyze` on an uncorrupted snapshot of a
+///   golden run must classify [`Outcome::Benign`] against that run's
+///   output. The drivers check this once per scan/campaign and refuse
+///   the fast path if it fails.
 pub trait FaultApp: Sync {
     /// Everything classification needs (output file bytes, analysis
     /// results, ...). `Sync` because the golden output is shared
     /// across the campaign's worker threads.
     type Output: Send + Sync;
 
-    /// Execute the workload on `fs`.
-    fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String>;
+    /// Phase 1 — write the workload's output files through `fs`.
+    ///
+    /// Subject to the write-stream data-independence law (see the
+    /// trait docs): produce may create directories and stream bytes,
+    /// but must not derive written bytes from data it read back
+    /// through `fs` in the same run.
+    fn produce(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<(), String>;
 
-    /// Optional fast verification phase for replay-based campaigns.
+    /// Phase 2 — read the (possibly fault-corrupted) output files back
+    /// from `fs` and return the classification artifacts.
     ///
-    /// Given a filesystem that *already contains* the workload's
-    /// (possibly fault-corrupted) output files, execute only the
-    /// read-back / post-analysis half of [`FaultApp::run`] and return
-    /// the classification artifacts. The write half is unnecessary:
-    /// the golden-trace replay engine has rebuilt the files at memcpy
-    /// speed, with the armed injector corrupting exactly the targeted
-    /// operation.
-    ///
-    /// Returning `None` (the default) declares that this app has no
-    /// separable verify phase; replay fast paths then fall back to a
-    /// full [`FaultApp::run`] per injection. Implementations must
-    /// satisfy two laws:
-    ///
-    /// * **Golden identity** — `verify` on an uncorrupted snapshot of
-    ///   a golden run must classify [`Outcome::Benign`] against that
-    ///   run's output. The drivers check this once per scan/campaign
-    ///   and refuse the fast path if it fails.
-    /// * **Write-stream data independence** — the byte content of the
-    ///   `run` phase's writes must not depend on data read back
-    ///   *through the filesystem* earlier in the same run. Replay
-    ///   re-issues the golden run's payloads verbatim, so a workload
-    ///   that reads a (possibly corrupted) file mid-run and derives
-    ///   later writes from it would replay golden-derived bytes where
-    ///   a real rerun would write fault-derived ones. This cannot be
-    ///   detected by the runtime self-checks (the divergence only
-    ///   appears under injection) — do not implement `verify` for
-    ///   such a workload. Read-back confined to the verify phase
-    ///   itself (the common write-then-analyze shape) is always safe.
-    fn verify(
+    /// `golden` is `None` during the reference (golden) run and
+    /// `Some` during injection runs; it is an optimization hint — an
+    /// implementation may use it to skip recomputation when read-back
+    /// state matches the golden run — and must return equivalent
+    /// artifacts either way. Must not mutate `fs`.
+    fn analyze(
         &self,
-        _fs: &dyn ffis_vfs::FileSystem,
-        _golden: &Self::Output,
-    ) -> Option<Result<Self::Output, String>> {
-        None
+        fs: &dyn ffis_vfs::FileSystem,
+        golden: Option<&Self::Output>,
+    ) -> Result<Self::Output, String>;
+
+    /// Execute the whole workload: [`FaultApp::produce`] then
+    /// [`FaultApp::analyze`]. Provided; drivers are free to call the
+    /// phases separately, so overriding this with anything other than
+    /// produce-then-analyze violates the contract.
+    fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String> {
+        self.produce(fs)?;
+        self.analyze(fs, None)
     }
 
     /// Apply the application's outcome-classification rules.
@@ -108,21 +128,21 @@ pub trait FaultApp: Sync {
     fn name(&self) -> String;
 }
 
-/// Shared replay-gate predicate: does the app's [`FaultApp::verify`]
+/// Shared replay-gate predicate: does the app's [`FaultApp::analyze`]
 /// phase, run against `fs`, reproduce the golden classification?
-/// Returns `false` when the app has no verify phase, verify errors, or
-/// the classification is anything but [`Outcome::Benign`]. Both the
-/// campaign and the metadata-scan fast paths use this for the
-/// golden-identity probe *and* the uninjected replay self-check, so
-/// the engagement rules cannot drift apart.
-pub(crate) fn verify_matches_golden<A: FaultApp + ?Sized>(
+/// Returns `false` when analyze errors or the classification is
+/// anything but [`Outcome::Benign`]. Both the campaign and the
+/// metadata-scan fast paths use this for the golden-identity probe
+/// *and* the uninjected replay self-check, so the engagement rules
+/// cannot drift apart.
+pub(crate) fn analyze_matches_golden<A: FaultApp + ?Sized>(
     app: &A,
     fs: &dyn ffis_vfs::FileSystem,
     golden: &A::Output,
 ) -> bool {
     matches!(
-        app.verify(fs, golden),
-        Some(Ok(out)) if app.classify(golden, &out) == Outcome::Benign
+        app.analyze(fs, Some(golden)),
+        Ok(out) if app.classify(golden, &out) == Outcome::Benign
     )
 }
 

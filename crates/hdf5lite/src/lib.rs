@@ -1,6 +1,6 @@
 //! # hdf5lite — a from-scratch HDF5 file-format subset
 //!
-//! The paper studies "how [the] certain scientific file format library
+//! The paper studies "how \[the\] certain scientific file format library
 //! handles the storage errors affecting both the file metadata and
 //! application data" for HDF5, the most-used I/O library at NERSC and
 //! the DOE facilities. This crate is a clean-room implementation of

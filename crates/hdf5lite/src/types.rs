@@ -1,6 +1,6 @@
 //! Common types and format constants (HDF5 File Format Specification
 //! v0 subset — the layout version the paper's metadata analysis
-//! references [33]).
+//! references \[33\]).
 
 /// File offsets ("Size of Offsets" = 8 in our superblock).
 pub type Offset = u64;

@@ -4,7 +4,7 @@
 //! "when an HDF5 file is created, the HDF5 library first locks the
 //! file to prevent the concurrent writes from other processes, and
 //! then performs multiple writes to store the raw data; after that,
-//! it packs all metadata and write[s] them to the file and unlocks
+//! it packs all metadata and write\[s\] them to the file and unlocks
 //! the file for later access."
 //!
 //! [`write_file`] reproduces that exact sequence on a

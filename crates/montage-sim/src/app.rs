@@ -17,12 +17,13 @@
 //! [`MontageApp::stage_filter`].
 
 use ffis_core::{FaultApp, Outcome, TargetFilter};
-use ffis_vfs::FileSystem;
-use fitslite::FitsImage;
+use ffis_vfs::{FileSystem, FileSystemExt};
+use fitslite::{parse_fits, render_fits, FitsImage};
 
 use crate::stages::{
-    m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images, write_raws, FinalImage,
-    PipelineConfig,
+    apply_background, coadd, corr_area_path, corr_path, diff_overlaps, diff_path, fit_background,
+    make_raw_images, proj_area_path, proj_path, project_image, raw_path, stretch_mosaic,
+    FinalImage, PipelineConfig, FINAL_IMAGE, MOSAIC, MOSAIC_AREA,
 };
 
 /// Montage workload configuration.
@@ -48,11 +49,102 @@ pub struct MontageOutput {
     pub image: FinalImage,
 }
 
+/// The golden pipeline, computed once at construction: for every file
+/// the pipeline touches, both the exact serialized bytes a fault-free
+/// execution writes (produce streams these; analyze compares read-back
+/// bytes against them) and the parsed image a fault-free execution
+/// would have *read back* before computing the next stage.
+///
+/// Compute always consumes the FITS-roundtripped form
+/// (`parse(render(img))`), exactly as the monolithic pipeline consumed
+/// `read_fits` of what it had just written — the WCS header cards
+/// carry limited decimal precision, so skipping the roundtrip would
+/// drift the downstream arithmetic off the reference trajectory.
+struct GoldenPipeline {
+    raw_bytes: Vec<Vec<u8>>,
+    projs: Vec<(FitsImage, FitsImage)>,
+    proj_bytes: Vec<(Vec<u8>, Vec<u8>)>,
+    pairs: Vec<(usize, usize)>,
+    diff_bytes: Vec<Vec<u8>>,
+    corr_bytes: Vec<(Vec<u8>, Vec<u8>)>,
+    mosaic_bytes: Vec<u8>,
+    mosaic_area_bytes: Vec<u8>,
+    image: FinalImage,
+}
+
+/// Serialize an image and parse it back: the bytes are what the
+/// pipeline writes, the image is what the next stage reads.
+fn roundtrip(img: &FitsImage) -> (Vec<u8>, FitsImage) {
+    let bytes = render_fits(img).expect("golden images are well-formed");
+    let rt = parse_fits(&bytes).expect("render/parse roundtrip");
+    (bytes, rt)
+}
+
+impl GoldenPipeline {
+    fn build(raws: &[FitsImage], cfg: &PipelineConfig) -> Result<GoldenPipeline, String> {
+        let mut raw_bytes = Vec::new();
+        let mut raws_rt = Vec::new();
+        for r in raws {
+            let (b, rt) = roundtrip(r);
+            raw_bytes.push(b);
+            raws_rt.push(rt);
+        }
+
+        let mut projs = Vec::new();
+        let mut proj_bytes = Vec::new();
+        for raw in &raws_rt {
+            let (data, area) = project_image(raw, cfg);
+            let (db, d) = roundtrip(&data);
+            let (ab, a) = roundtrip(&area);
+            projs.push((d, a));
+            proj_bytes.push((db, ab));
+        }
+
+        let mut pairs = Vec::new();
+        let mut diffs = Vec::new();
+        let mut diff_bytes = Vec::new();
+        for (pair, diff) in diff_overlaps(&projs, cfg)? {
+            let (b, d) = roundtrip(&diff);
+            pairs.push(pair);
+            diffs.push(d);
+            diff_bytes.push(b);
+        }
+
+        let planes = fit_background(&pairs, &diffs, cfg.n_images(), cfg)?;
+        let mut corrs = Vec::new();
+        let mut corr_bytes = Vec::new();
+        for ((data, area), plane) in projs.iter().zip(&planes) {
+            let corr = apply_background(data, *plane, cfg);
+            let (cb, c) = roundtrip(&corr);
+            let (ab, a) = roundtrip(area);
+            corrs.push((c, a));
+            corr_bytes.push((cb, ab));
+        }
+
+        let (mosaic, marea) = coadd(&corrs, cfg)?;
+        let (mosaic_bytes, mosaic_rt) = roundtrip(&mosaic);
+        let (mosaic_area_bytes, _) = roundtrip(&marea);
+        let image = stretch_mosaic(&mosaic_rt)?;
+
+        Ok(GoldenPipeline {
+            raw_bytes,
+            projs,
+            proj_bytes,
+            pairs,
+            diff_bytes,
+            corr_bytes,
+            mosaic_bytes,
+            mosaic_area_bytes,
+            image,
+        })
+    }
+}
+
 /// The Montage application.
 pub struct MontageApp {
     config: MontageConfig,
-    /// Deterministic raw observations (inputs; generated once).
-    raws: Vec<FitsImage>,
+    /// Golden stage products (see [`GoldenPipeline`]).
+    golden: GoldenPipeline,
 }
 
 /// The four instrumented stages, in paper order.
@@ -94,10 +186,21 @@ impl Stage {
 }
 
 impl MontageApp {
-    /// Build the app (renders the deterministic raw observations).
+    /// Build the app: renders the deterministic raw observations and
+    /// runs the golden pipeline once, in memory. Panics on a pipeline
+    /// configuration whose golden run cannot complete (no workload to
+    /// inject into) — use [`MontageApp::try_new`] to handle that case.
     pub fn new(config: MontageConfig) -> Self {
+        Self::try_new(config).expect("golden pipeline must run")
+    }
+
+    /// Fallible constructor: returns the golden pipeline's error for
+    /// degenerate configurations (e.g. an overlap threshold that
+    /// leaves no difference pairs) instead of panicking.
+    pub fn try_new(config: MontageConfig) -> Result<Self, String> {
         let raws = make_raw_images(&config.pipeline);
-        MontageApp { config, raws }
+        let golden = GoldenPipeline::build(&raws, &config.pipeline)?;
+        Ok(MontageApp { config, golden })
     }
 
     /// Paper-defaults app.
@@ -124,20 +227,213 @@ impl MontageApp {
     }
 }
 
+/// How deep into the pipeline the first on-disk deviation from the
+/// golden bytes sits — everything downstream is re-derived in memory
+/// from that layer's read-back state.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+enum DirtyLayer {
+    Raw,
+    Proj,
+    Diff,
+    Corr,
+    Mosaic,
+}
+
+/// Read a whole file, with the same error shape `read_fits` produces.
+fn read_bytes(fs: &dyn FileSystem, path: &str) -> Result<Vec<u8>, String> {
+    fs.read_to_vec(path).map_err(|e| format!("cannot read {}: {}", path, e))
+}
+
+fn parse_image(bytes: &[u8]) -> Result<FitsImage, String> {
+    parse_fits(bytes).map_err(|e| e.to_string())
+}
+
+impl MontageApp {
+    /// Locate the first pipeline layer whose on-disk bytes differ from
+    /// the golden run's. Only files some downstream stage *reads* are
+    /// compared (the mosaic area image, for example, has no consumer).
+    fn first_dirty_layer(&self, fs: &dyn FileSystem) -> Result<Option<DirtyLayer>, String> {
+        let g = &self.golden;
+        let n = self.config.pipeline.n_images();
+        for i in 0..n {
+            if read_bytes(fs, &raw_path(i))? != g.raw_bytes[i] {
+                return Ok(Some(DirtyLayer::Raw));
+            }
+        }
+        for i in 0..n {
+            if read_bytes(fs, &proj_path(i))? != g.proj_bytes[i].0
+                || read_bytes(fs, &proj_area_path(i))? != g.proj_bytes[i].1
+            {
+                return Ok(Some(DirtyLayer::Proj));
+            }
+        }
+        for (k, &(i, j)) in g.pairs.iter().enumerate() {
+            if read_bytes(fs, &diff_path(i, j))? != g.diff_bytes[k] {
+                return Ok(Some(DirtyLayer::Diff));
+            }
+        }
+        for i in 0..n {
+            if read_bytes(fs, &corr_path(i))? != g.corr_bytes[i].0
+                || read_bytes(fs, &corr_area_path(i))? != g.corr_bytes[i].1
+            {
+                return Ok(Some(DirtyLayer::Corr));
+            }
+        }
+        if read_bytes(fs, MOSAIC)? != g.mosaic_bytes {
+            return Ok(Some(DirtyLayer::Mosaic));
+        }
+        Ok(None)
+    }
+
+    /// Re-derive the final image from the first dirty layer's on-disk
+    /// state, cascading the (possibly corrupted) values through the
+    /// same stage cores a monolithic execution runs. Each recomputed
+    /// intermediate is FITS-roundtripped before the next stage
+    /// consumes it, because the monolithic pipeline always read its
+    /// inputs back from disk.
+    fn recompute_from(&self, fs: &dyn FileSystem, layer: DirtyLayer) -> Result<FinalImage, String> {
+        let g = &self.golden;
+        let cfg = &self.config.pipeline;
+        let n = cfg.n_images();
+
+        match layer {
+            DirtyLayer::Raw | DirtyLayer::Proj => {
+                let projs: Vec<(FitsImage, FitsImage)> = if layer == DirtyLayer::Raw {
+                    (0..n)
+                        .map(|i| {
+                            let raw = parse_image(&read_bytes(fs, &raw_path(i))?)?;
+                            let (data, area) = project_image(&raw, cfg);
+                            Ok((roundtrip(&data).1, roundtrip(&area).1))
+                        })
+                        .collect::<Result<_, String>>()?
+                } else {
+                    // DirtyLayer::Proj — read back with the same shape
+                    // check mDiffExec applies.
+                    (0..n)
+                        .map(|i| {
+                            let data = parse_image(&read_bytes(fs, &proj_path(i))?)?;
+                            let area = parse_image(&read_bytes(fs, &proj_area_path(i))?)?;
+                            if area.width != data.width || area.height != data.height {
+                                return Err(format!("area/data shape mismatch for image {}", i));
+                            }
+                            Ok((data, area))
+                        })
+                        .collect::<Result<_, String>>()?
+                };
+                let mut pairs = Vec::new();
+                let mut diffs = Vec::new();
+                for (pair, diff) in diff_overlaps(&projs, cfg)? {
+                    pairs.push(pair);
+                    diffs.push(roundtrip(&diff).1);
+                }
+                background_tail(&projs, &pairs, &diffs, cfg)
+            }
+            DirtyLayer::Diff => {
+                let diffs: Vec<FitsImage> = g
+                    .pairs
+                    .iter()
+                    .map(|&(i, j)| parse_image(&read_bytes(fs, &diff_path(i, j))?))
+                    .collect::<Result<_, String>>()?;
+                background_tail(&g.projs, &g.pairs, &diffs, cfg)
+            }
+            DirtyLayer::Corr => {
+                let corrs: Vec<(FitsImage, FitsImage)> = (0..n)
+                    .map(|i| {
+                        Ok((
+                            parse_image(&read_bytes(fs, &corr_path(i))?)?,
+                            parse_image(&read_bytes(fs, &corr_area_path(i))?)?,
+                        ))
+                    })
+                    .collect::<Result<_, String>>()?;
+                coadd_tail(&corrs, cfg)
+            }
+            DirtyLayer::Mosaic => stretch_mosaic(&parse_image(&read_bytes(fs, MOSAIC)?)?),
+        }
+    }
+}
+
+/// The mBgExec → mAdd → viewer tail over in-memory inputs, shared by
+/// every analyze-cascade entry point upstream of the corr layer.
+fn background_tail(
+    projs: &[(FitsImage, FitsImage)],
+    pairs: &[(usize, usize)],
+    diffs: &[FitsImage],
+    cfg: &PipelineConfig,
+) -> Result<FinalImage, String> {
+    let planes = fit_background(pairs, diffs, projs.len(), cfg)?;
+    let corrs: Vec<(FitsImage, FitsImage)> = projs
+        .iter()
+        .zip(&planes)
+        .map(|((data, area), plane)| {
+            let corr = apply_background(data, *plane, cfg);
+            (roundtrip(&corr).1, roundtrip(area).1)
+        })
+        .collect();
+    coadd_tail(&corrs, cfg)
+}
+
+/// The mAdd → viewer tail over in-memory corrected images.
+fn coadd_tail(
+    corrs: &[(FitsImage, FitsImage)],
+    cfg: &PipelineConfig,
+) -> Result<FinalImage, String> {
+    let (mosaic, _) = coadd(corrs, cfg)?;
+    stretch_mosaic(&roundtrip(&mosaic).1)
+}
+
 impl FaultApp for MontageApp {
     type Output = MontageOutput;
 
-    fn run(&self, fs: &dyn FileSystem) -> Result<MontageOutput, String> {
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+        let g = &self.golden;
+        let n = self.config.pipeline.n_images();
+        let w = |path: &str, bytes: &[u8]| -> Result<(), String> {
+            fs.write_file_chunked(path, bytes, ffis_vfs::BLOCK_SIZE).map_err(|e| e.to_string())
+        };
         for d in ["/raw", "/proj", "/diff", "/corr", "/mosaic"] {
             fs.mkdir(d, 0o755).map_err(|e| e.to_string())?;
         }
-        write_raws(fs, &self.raws)?;
-        let cfg = &self.config.pipeline;
-        m_proj_exec(fs, cfg)?;
-        let pairs = m_diff_exec(fs, cfg)?;
-        m_bg_exec(fs, cfg, &pairs)?;
-        m_add(fs, cfg)?;
-        let image = m_viewer(fs, cfg)?;
+        // Stream every stage's golden bytes in pipeline order — the
+        // same files, chunking, and write sequence the monolithic
+        // pipeline issues, without deriving any byte from a read-back
+        // (the write-stream data-independence law). Fault propagation
+        // through the inter-stage files is modelled in `analyze`.
+        for i in 0..n {
+            w(&raw_path(i), &g.raw_bytes[i])?;
+        }
+        for i in 0..n {
+            w(&proj_path(i), &g.proj_bytes[i].0)?;
+            w(&proj_area_path(i), &g.proj_bytes[i].1)?;
+        }
+        for (k, &(i, j)) in g.pairs.iter().enumerate() {
+            w(&diff_path(i, j), &g.diff_bytes[k])?;
+        }
+        for i in 0..n {
+            w(&corr_path(i), &g.corr_bytes[i].0)?;
+            w(&corr_area_path(i), &g.corr_bytes[i].1)?;
+        }
+        w(MOSAIC, &g.mosaic_bytes)?;
+        w(MOSAIC_AREA, &g.mosaic_area_bytes)?;
+        w(FINAL_IMAGE, &g.image.bytes)
+    }
+
+    fn analyze(
+        &self,
+        fs: &dyn FileSystem,
+        _golden: Option<&MontageOutput>,
+    ) -> Result<MontageOutput, String> {
+        let image = match self.first_dirty_layer(fs)? {
+            Some(layer) => self.recompute_from(fs, layer)?,
+            None => {
+                // Every inter-stage input is golden, so the viewer
+                // would have stretched the golden mosaic; the
+                // classified raster is whatever the final-image file
+                // holds (the one write a fault can still have hit).
+                let g = &self.golden.image;
+                let bytes = read_bytes(fs, FINAL_IMAGE)?;
+                FinalImage { bytes, min: g.min, max: g.max, width: g.width, height: g.height }
+            }
+        };
         Ok(MontageOutput { image })
     }
 

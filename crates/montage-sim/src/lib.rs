@@ -28,6 +28,7 @@ pub use app::{MontageApp, MontageConfig, MontageOutput, Stage};
 pub use linalg::{fit_plane, solve};
 pub use sky::{SkyModel, Star, M101_DEC, M101_RA};
 pub use stages::{
-    background_plane, m_add, m_bg_exec, m_diff_exec, m_proj_exec, m_viewer, make_raw_images,
-    mosaic_wcs, raw_wcs, write_raws, FinalImage, PipelineConfig, FINAL_IMAGE, MOSAIC, MOSAIC_AREA,
+    apply_background, background_plane, coadd, diff_overlaps, fit_background, m_add, m_bg_exec,
+    m_diff_exec, m_proj_exec, m_viewer, make_raw_images, mosaic_wcs, project_image, raw_wcs,
+    stretch_mosaic, write_raws, FinalImage, PipelineConfig, FINAL_IMAGE, MOSAIC, MOSAIC_AREA,
 };

@@ -117,27 +117,27 @@ pub fn make_raw_images(cfg: &PipelineConfig) -> Vec<FitsImage> {
         .collect()
 }
 
-fn raw_path(i: usize) -> String {
+pub(crate) fn raw_path(i: usize) -> String {
     format!("/raw/raw_{:02}.fits", i)
 }
 
-fn proj_path(i: usize) -> String {
+pub(crate) fn proj_path(i: usize) -> String {
     format!("/proj/proj_{:02}.fits", i)
 }
 
-fn proj_area_path(i: usize) -> String {
+pub(crate) fn proj_area_path(i: usize) -> String {
     format!("/proj/proj_{:02}_area.fits", i)
 }
 
-fn diff_path(i: usize, j: usize) -> String {
+pub(crate) fn diff_path(i: usize, j: usize) -> String {
     format!("/diff/diff_{:02}_{:02}.fits", i, j)
 }
 
-fn corr_path(i: usize) -> String {
+pub(crate) fn corr_path(i: usize) -> String {
     format!("/corr/corr_{:02}.fits", i)
 }
 
-fn corr_area_path(i: usize) -> String {
+pub(crate) fn corr_area_path(i: usize) -> String {
     format!("/corr/corr_{:02}_area.fits", i)
 }
 
@@ -198,36 +198,45 @@ fn to_mosaic_xy(img: &FitsImage, mwcs: &Wcs, x: usize, y: usize) -> (f64, f64) {
     mwcs.sky_to_pix(ra, dec)
 }
 
+/// mProjExec's per-image core: reproject one raw image onto the
+/// common projection, returning the (data, area) pair. Pure compute —
+/// the fs-level stage and the replay-campaign analyze cascade share
+/// it.
+pub fn project_image(raw: &FitsImage, cfg: &PipelineConfig) -> (FitsImage, FitsImage) {
+    let mwcs = mosaic_wcs(cfg);
+    let (x0, y0, w, h) = footprint(&raw.wcs, cfg.raw_size, &mwcs, cfg.mosaic_size);
+    let swcs = sub_wcs(&mwcs, x0, y0);
+    let mut data = FitsImage::blank(w, h, swcs);
+    let mut area = FitsImage::blank(w, h, swcs);
+    for y in 0..h {
+        for x in 0..w {
+            let (ra, dec) = swcs.pix_to_sky(x as f64, y as f64);
+            let (rx, ry) = raw.wcs.sky_to_pix(ra, dec);
+            let v = raw.sample(rx, ry);
+            if v.is_finite() {
+                data.set(x, y, v);
+                area.set(x, y, 1.0);
+            } else {
+                area.set(x, y, 0.0);
+            }
+        }
+    }
+    (data, area)
+}
+
 /// Stage 1 — mProjExec: reproject each raw image onto the common
 /// projection; emit data + area images.
 pub fn m_proj_exec(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<(), String> {
-    let mwcs = mosaic_wcs(cfg);
     for i in 0..cfg.n_images() {
         let raw = read_fits(fs, &raw_path(i)).map_err(|e| e.to_string())?;
-        let (x0, y0, w, h) = footprint(&raw.wcs, cfg.raw_size, &mwcs, cfg.mosaic_size);
-        let swcs = sub_wcs(&mwcs, x0, y0);
-        let mut data = FitsImage::blank(w, h, swcs);
-        let mut area = FitsImage::blank(w, h, swcs);
-        for y in 0..h {
-            for x in 0..w {
-                let (ra, dec) = swcs.pix_to_sky(x as f64, y as f64);
-                let (rx, ry) = raw.wcs.sky_to_pix(ra, dec);
-                let v = raw.sample(rx, ry);
-                if v.is_finite() {
-                    data.set(x, y, v);
-                    area.set(x, y, 1.0);
-                } else {
-                    area.set(x, y, 0.0);
-                }
-            }
-        }
+        let (data, area) = project_image(&raw, cfg);
         write_fits(fs, &proj_path(i), &data).map_err(|e| e.to_string())?;
         write_fits(fs, &proj_area_path(i), &area).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
-fn read_proj(fs: &dyn FileSystem, i: usize) -> Result<(FitsImage, FitsImage), String> {
+pub(crate) fn read_proj(fs: &dyn FileSystem, i: usize) -> Result<(FitsImage, FitsImage), String> {
     let data = read_fits(fs, &proj_path(i)).map_err(|e| e.to_string())?;
     let area = read_fits(fs, &proj_area_path(i)).map_err(|e| e.to_string())?;
     if area.width != data.width || area.height != data.height {
@@ -236,19 +245,19 @@ fn read_proj(fs: &dyn FileSystem, i: usize) -> Result<(FitsImage, FitsImage), St
     Ok((data, area))
 }
 
-/// Stage 2 — mDiffExec: difference image for every overlapping pair.
-/// Returns the pair list (the background model's graph edges).
-pub fn m_diff_exec(
-    fs: &dyn FileSystem,
+/// One overlapping image pair `(i, j)` with its difference image.
+pub type PairDiff = ((usize, usize), FitsImage);
+
+/// mDiffExec's core: difference image for every overlapping pair of
+/// reprojected images. Returns `(pair, diff)` in pair order. Pure
+/// compute over in-memory projections.
+pub fn diff_overlaps(
+    projs: &[(FitsImage, FitsImage)],
     cfg: &PipelineConfig,
-) -> Result<Vec<(usize, usize)>, String> {
+) -> Result<Vec<PairDiff>, String> {
     let mwcs = mosaic_wcs(cfg);
-    let n = cfg.n_images();
-    let mut projs = Vec::with_capacity(n);
-    for i in 0..n {
-        projs.push(read_proj(fs, i)?);
-    }
-    let mut pairs = Vec::new();
+    let n = projs.len();
+    let mut out = Vec::new();
     for i in 0..n {
         for j in i + 1..n {
             let (di, ai) = &projs[i];
@@ -300,38 +309,56 @@ pub fn m_diff_exec(
                 }
             }
             if count >= cfg.min_overlap_px {
-                write_fits(fs, &diff_path(i, j), &diff).map_err(|e| e.to_string())?;
-                pairs.push((i, j));
+                out.push(((i, j), diff));
             }
         }
     }
-    if pairs.is_empty() {
+    if out.is_empty() {
         return Err("no overlapping pairs found".into());
+    }
+    Ok(out)
+}
+
+/// Stage 2 — mDiffExec: difference image for every overlapping pair.
+/// Returns the pair list (the background model's graph edges).
+pub fn m_diff_exec(
+    fs: &dyn FileSystem,
+    cfg: &PipelineConfig,
+) -> Result<Vec<(usize, usize)>, String> {
+    let n = cfg.n_images();
+    let mut projs = Vec::with_capacity(n);
+    for i in 0..n {
+        projs.push(read_proj(fs, i)?);
+    }
+    let mut pairs = Vec::new();
+    for ((i, j), diff) in diff_overlaps(&projs, cfg)? {
+        write_fits(fs, &diff_path(i, j), &diff).map_err(|e| e.to_string())?;
+        pairs.push((i, j));
     }
     Ok(pairs)
 }
 
-/// Stage 3 — mBgExec (mFitplane + mBgModel + mBgExec): fit a plane to
-/// every difference image, solve the least-squares background model
-/// (image 0 fixed as gauge), and write corrected images.
-pub fn m_bg_exec(
-    fs: &dyn FileSystem,
-    cfg: &PipelineConfig,
+/// mBgExec's model core (mFitplane + mBgModel): fit a plane to every
+/// difference image and solve the least-squares background model
+/// (image 0 fixed as gauge). Returns one correction plane per image.
+/// Pure compute — `n` is the image count.
+pub fn fit_background(
     pairs: &[(usize, usize)],
-) -> Result<(), String> {
+    diffs: &[FitsImage],
+    n: usize,
+    cfg: &PipelineConfig,
+) -> Result<Vec<[f64; 3]>, String> {
     let mwcs = mosaic_wcs(cfg);
-    let n = cfg.n_images();
 
     // Plane fits of every difference image, in mosaic coordinates.
     let mut fits = Vec::with_capacity(pairs.len());
-    for &(i, j) in pairs {
-        let diff = read_fits(fs, &diff_path(i, j)).map_err(|e| e.to_string())?;
+    for (&(i, j), diff) in pairs.iter().zip(diffs) {
         let mut pts = Vec::new();
         for y in 0..diff.height {
             for x in 0..diff.width {
                 let v = diff.get(x, y);
                 if v.is_finite() {
-                    let (mx, my) = to_mosaic_xy(&diff, &mwcs, x, y);
+                    let (mx, my) = to_mosaic_xy(diff, &mwcs, x, y);
                     pts.push((mx, my, v));
                 }
             }
@@ -371,39 +398,65 @@ pub fn m_bg_exec(
             planes[k + 1][c] = v;
         }
     }
+    Ok(planes)
+}
+
+/// mBgExec's per-image core: subtract a correction plane from one
+/// reprojected image. The area image passes through unchanged.
+pub fn apply_background(data: &FitsImage, plane: [f64; 3], cfg: &PipelineConfig) -> FitsImage {
+    let mwcs = mosaic_wcs(cfg);
+    let mut corr = data.clone();
+    for y in 0..corr.height {
+        for x in 0..corr.width {
+            let v = corr.get(x, y);
+            if v.is_finite() {
+                let (mx, my) = to_mosaic_xy(&corr, &mwcs, x, y);
+                corr.set(x, y, v - (plane[0] + plane[1] * mx + plane[2] * my));
+            }
+        }
+    }
+    corr
+}
+
+/// Stage 3 — mBgExec (mFitplane + mBgModel + mBgExec): fit a plane to
+/// every difference image, solve the least-squares background model
+/// (image 0 fixed as gauge), and write corrected images.
+pub fn m_bg_exec(
+    fs: &dyn FileSystem,
+    cfg: &PipelineConfig,
+    pairs: &[(usize, usize)],
+) -> Result<(), String> {
+    let mut diffs = Vec::with_capacity(pairs.len());
+    for &(i, j) in pairs {
+        diffs.push(read_fits(fs, &diff_path(i, j)).map_err(|e| e.to_string())?);
+    }
+    let planes = fit_background(pairs, &diffs, cfg.n_images(), cfg)?;
 
     // Apply corrections.
     for (i, plane) in planes.iter().enumerate() {
         let (data, area) = read_proj(fs, i)?;
-        let mut corr = data.clone();
-        for y in 0..corr.height {
-            for x in 0..corr.width {
-                let v = corr.get(x, y);
-                if v.is_finite() {
-                    let (mx, my) = to_mosaic_xy(&corr, &mwcs, x, y);
-                    corr.set(x, y, v - (plane[0] + plane[1] * mx + plane[2] * my));
-                }
-            }
-        }
+        let corr = apply_background(&data, *plane, cfg);
         write_fits(fs, &corr_path(i), &corr).map_err(|e| e.to_string())?;
         write_fits(fs, &corr_area_path(i), &area).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
-/// Stage 4 — mAdd: area-weighted co-addition into the mosaic.
-pub fn m_add(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<(), String> {
+/// mAdd's core: area-weighted co-addition of corrected images into
+/// the mosaic (data, area) pair. Pure compute.
+pub fn coadd(
+    corrs: &[(FitsImage, FitsImage)],
+    cfg: &PipelineConfig,
+) -> Result<(FitsImage, FitsImage), String> {
     let mwcs = mosaic_wcs(cfg);
     let m = cfg.mosaic_size;
     let mut sum = vec![0.0f64; m * m];
     let mut wsum = vec![0.0f64; m * m];
-    for i in 0..cfg.n_images() {
-        let data = read_fits(fs, &corr_path(i)).map_err(|e| e.to_string())?;
-        let area = read_fits(fs, &corr_area_path(i)).map_err(|e| e.to_string())?;
+    for (i, (data, area)) in corrs.iter().enumerate() {
         if area.width != data.width || area.height != data.height {
             return Err(format!("area/data shape mismatch for corrected image {}", i));
         }
-        let (ox, oy) = to_mosaic_xy(&data, &mwcs, 0, 0);
+        let (ox, oy) = to_mosaic_xy(data, &mwcs, 0, 0);
         for y in 0..data.height {
             for x in 0..data.width {
                 let v = data.get(x, y);
@@ -432,6 +485,18 @@ pub fn m_add(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<(), String> {
             marea.data[idx] = 0.0;
         }
     }
+    Ok((mosaic, marea))
+}
+
+/// Stage 4 — mAdd: area-weighted co-addition into the mosaic.
+pub fn m_add(fs: &dyn FileSystem, cfg: &PipelineConfig) -> Result<(), String> {
+    let mut corrs = Vec::with_capacity(cfg.n_images());
+    for i in 0..cfg.n_images() {
+        let data = read_fits(fs, &corr_path(i)).map_err(|e| e.to_string())?;
+        let area = read_fits(fs, &corr_area_path(i)).map_err(|e| e.to_string())?;
+        corrs.push((data, area));
+    }
+    let (mosaic, marea) = coadd(&corrs, cfg)?;
     write_fits(fs, MOSAIC, &mosaic).map_err(|e| e.to_string())?;
     write_fits(fs, MOSAIC_AREA, &marea).map_err(|e| e.to_string())?;
     Ok(())
@@ -455,9 +520,9 @@ pub struct FinalImage {
     pub height: usize,
 }
 
-/// Final step — generate the stretched image from the mosaic FITS.
-pub fn m_viewer(fs: &dyn FileSystem, _cfg: &PipelineConfig) -> Result<FinalImage, String> {
-    let mosaic = read_fits(fs, MOSAIC).map_err(|e| e.to_string())?;
+/// The viewer's core: min–max stretch of a mosaic into the PGM raster
+/// plus the statistics classification keys on. Pure compute.
+pub fn stretch_mosaic(mosaic: &FitsImage) -> Result<FinalImage, String> {
     let min = mosaic.min();
     let max = mosaic.max();
     if !min.is_finite() || !max.is_finite() || max <= min {
@@ -469,9 +534,17 @@ pub fn m_viewer(fs: &dyn FileSystem, _cfg: &PipelineConfig) -> Result<FinalImage
         let b = if v.is_finite() { ((v - min) * scale).clamp(0.0, 255.0) as u8 } else { 0 };
         bytes.push(b);
     }
-    fs.write_file_chunked(FINAL_IMAGE, &bytes, ffis_vfs::BLOCK_SIZE).map_err(|e| e.to_string())?;
+    Ok(FinalImage { bytes, min, max, width: mosaic.width, height: mosaic.height })
+}
+
+/// Final step — generate the stretched image from the mosaic FITS.
+pub fn m_viewer(fs: &dyn FileSystem, _cfg: &PipelineConfig) -> Result<FinalImage, String> {
+    let mosaic = read_fits(fs, MOSAIC).map_err(|e| e.to_string())?;
+    let image = stretch_mosaic(&mosaic)?;
+    fs.write_file_chunked(FINAL_IMAGE, &image.bytes, ffis_vfs::BLOCK_SIZE)
+        .map_err(|e| e.to_string())?;
     let readback = fs.read_to_vec(FINAL_IMAGE).map_err(|e| e.to_string())?;
-    Ok(FinalImage { bytes: readback, min, max, width: mosaic.width, height: mosaic.height })
+    Ok(FinalImage { bytes: readback, ..image })
 }
 
 #[cfg(test)]

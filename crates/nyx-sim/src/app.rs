@@ -47,7 +47,7 @@ pub struct NyxConfig {
     /// metadata SDC exposure a checksummed format removes).
     pub seal_metadata: bool,
     /// Re-run the (deterministic) field simulation inside every
-    /// [`FaultApp::run`], as the real application binary would — the
+    /// [`FaultApp::produce`], as the real application binary would — the
     /// paper's injection runs execute Nyx end-to-end, simulation
     /// included. Off by default: storage-path-only experiments may
     /// share the cached field, but replay-vs-rerun comparisons should
@@ -158,10 +158,9 @@ impl NyxApp {
 
 impl NyxApp {
     /// The post-analysis half of a run: read the plotfile back through
-    /// `fs` and run the halo finder. Shared by [`FaultApp::run`] and
-    /// the replay-campaign [`FaultApp::verify`] phase (where the
-    /// plotfile was rebuilt by golden-trace replay rather than by the
-    /// write phase).
+    /// `fs` and run the halo finder — the body of
+    /// [`FaultApp::analyze`], whether the plotfile was written by the
+    /// produce phase or rebuilt by golden-trace replay.
     fn read_back(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
         let info = hdf5lite::read_dataset(fs, PLOTFILE, DATASET).map_err(|e| e.to_string())?;
         if info.dims.len() != 3 {
@@ -181,7 +180,7 @@ impl NyxApp {
 impl FaultApp for NyxApp {
     type Output = NyxOutput;
 
-    fn run(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
         let n = self.config.field.n;
         // The simulation phase: deterministic, so by default each run
         // reuses the cached field; `resimulate` re-executes it the way
@@ -204,17 +203,15 @@ impl FaultApp for NyxApp {
             seal_metadata: self.config.seal_metadata,
         };
         hdf5lite::write_file(fs, PLOTFILE, &b.into_root(), &opts).map_err(|e| e.to_string())?;
-
-        // Post-analysis: read back and find halos.
-        self.read_back(fs)
+        Ok(())
     }
 
-    fn verify(
+    fn analyze(
         &self,
         fs: &dyn FileSystem,
-        _golden: &NyxOutput,
-    ) -> Option<Result<NyxOutput, String>> {
-        Some(self.read_back(fs))
+        _golden: Option<&NyxOutput>,
+    ) -> Result<NyxOutput, String> {
+        self.read_back(fs)
     }
 
     fn classify(&self, golden: &NyxOutput, faulty: &NyxOutput) -> Outcome {

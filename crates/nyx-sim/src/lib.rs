@@ -1,6 +1,6 @@
 //! # nyx-sim — the Nyx cosmology workload (paper §IV-C.1)
 //!
-//! A behaviourally faithful, laptop-scale stand-in for Nyx [28]: a
+//! A behaviourally faithful, laptop-scale stand-in for Nyx \[28\]: a
 //! deterministic log-normal baryon-density field with its mean pinned
 //! to 1.0 by mass conservation, written as an HDF5 plotfile
 //! (`/native_fields/baryon_density`) through the filesystem under

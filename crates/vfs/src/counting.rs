@@ -1,7 +1,7 @@
 //! Tracing interceptor: records every primitive crossing.
 //!
 //! The paper's I/O profiler "instruments the primitive inside the FUSE
-//! [interface] and executes the application fault-free to obtain the
+//! \[interface\] and executes the application fault-free to obtain the
 //! total count" (§III-C). [`TraceInterceptor`] captures the full call
 //! stream so the profiler can count primitives *and* the HDF5 metadata
 //! scanner can locate specific writes (the "penultimate fwrite" of

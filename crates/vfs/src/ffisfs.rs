@@ -1,6 +1,6 @@
 //! `FfisFs` — the FFISFS mount layer.
 //!
-//! "FFISFS works similarly to what [a] normal FUSE-based file system
+//! "FFISFS works similarly to what \[a\] normal FUSE-based file system
 //! does: at the time the FFISFS file system is mounted, the file system
 //! handler is registered with the OS kernel. If an application issues,
 //! for example read/write/stat requests for the mounted FFISFS, the
@@ -44,6 +44,12 @@ impl CounterSnapshot {
     /// Iterate `(primitive, count)` pairs with non-zero counts.
     pub fn nonzero(&self) -> impl Iterator<Item = (Primitive, u64)> + '_ {
         PRIMITIVES.iter().copied().map(move |p| (p, self.get(p))).filter(|&(_, c)| c > 0)
+    }
+
+    /// Add `n` to one primitive's count (checkpoint builders
+    /// accumulate replay-issued ops into a snapshot).
+    pub(crate) fn bump(&mut self, p: Primitive, n: u64) {
+        self.counts[p.index()] += n;
     }
 }
 
@@ -110,6 +116,23 @@ impl FfisFs {
     pub fn clear_interceptors(&self) {
         self.ops_wanted.store(false, Ordering::SeqCst);
         self.interceptors.write().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Pre-seed the dynamic execution counters (and the global call
+    /// sequence) with counts accumulated *before* this mount existed —
+    /// i.e. by the trace prefix behind a mid-trace checkpoint. Suffix
+    /// ops replayed through this mount then observe the same
+    /// `prim_seq`/`seq` numbering a full-trace replay would produce,
+    /// so injection records stay comparable across execution
+    /// strategies. See [`crate::trace::TraceCheckpoint::mount_fork`].
+    pub fn preseed_counters(&self, snap: &CounterSnapshot) {
+        for p in PRIMITIVES {
+            let n = snap.get(p);
+            if n > 0 {
+                self.counters[p.index()].fetch_add(n, Ordering::SeqCst);
+            }
+        }
+        self.seq.fetch_add(snap.total(), Ordering::SeqCst);
     }
 
     /// Snapshot the dynamic execution counters.

@@ -1,8 +1,8 @@
 //! Sector-granular, copy-on-write paged file contents.
 //!
 //! SSD partial failures manifest at physical granularities: the paper's
-//! SHORN WRITE model (§III-B, Table I) "completely write[s] the first
-//! 3/8th ... or first 7/8th of [a] 4KB block to the device at the
+//! SHORN WRITE model (§III-B, Table I) "completely write\[s\] the first
+//! 3/8th ... or first 7/8th of \[a\] 4KB block to the device at the
 //! granularity of 512B". [`SectorFile`] therefore exposes the 512-byte
 //! sector / 4-KiB block geometry so fault models can align their damage
 //! the way a real flash translation layer would.

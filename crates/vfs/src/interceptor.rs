@@ -179,7 +179,7 @@ pub trait Interceptor: Send + Sync {
     }
 
     /// Observe/corrupt the data *returned* by a read-class primitive
-    /// (the paper's abstract: FFIS "plant[s] different I/O related
+    /// (the paper's abstract: FFIS "plant\[s\] different I/O related
     /// faults into the data returned from underlying file systems").
     /// Called after the inner filesystem filled `buf[..n]`; the hook
     /// may mutate those bytes in place.

@@ -95,4 +95,6 @@ pub use fs::{
 };
 pub use interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
-pub use trace::{ReplayCursor, ReplayError, TraceOp, TraceRecorder};
+pub use trace::{
+    ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp, TraceRecorder,
+};

@@ -20,8 +20,24 @@
 //!
 //! Combined with [`crate::MemFs::fork`], an injection run becomes:
 //! fork the pre-injection snapshot (O(page pointers)), replay the
-//! trace suffix through the injector (O(suffix bytes)), and verify —
-//! instead of re-running the whole application.
+//! trace suffix through the injector (O(suffix bytes)), and run only
+//! the application's analyze phase — instead of re-running the whole
+//! application.
+//!
+//! ## Mid-trace checkpoints
+//!
+//! The metadata scanner injects into one *fixed* write, so a single
+//! pre-injection snapshot serves every scanned byte. Campaign targets
+//! vary per run; [`TraceCheckpoints`] generalizes the snapshot into a
+//! log-spaced cache over the whole stream. Each [`TraceCheckpoint`]
+//! holds a CoW fork of the filesystem, the descriptor map, and the
+//! per-primitive counts after its prefix; [`TraceCheckpoint::mount_fork`]
+//! rebuilds a mount whose suffix replay is indistinguishable — paths,
+//! instance numbering, `prim_seq` — from a full-trace replay. Because
+//! every run must replay through the end of the trace anyway, the
+//! placement is log-spaced *from the end*: the replayed suffix is at
+//! most ~2× the minimal `n − target` for any target, with O(log n)
+//! snapshots.
 //!
 //! ## Fidelity contract
 //!
@@ -46,20 +62,29 @@
 //!   cannot make a replayed op fail (buffer-level write faults —
 //!   `Replace` preserves the length, `Drop` skips the device write)
 //!   are eligible for trace-based campaigns;
-//! * replayed payloads are the golden run's bytes verbatim: a workload
-//!   whose later write *content* depends on data read back through the
-//!   filesystem earlier in the same run is outside the contract (a
-//!   real rerun would derive those writes from fault-corrupted reads).
-//!   `ffis_core::FaultApp::verify` documents this as the
-//!   write-stream-data-independence law an app asserts by opting in.
+//! * replayed payloads are the golden run's bytes verbatim: this is
+//!   the **write-stream data-independence law** — the byte content a
+//!   workload's produce phase writes must not depend on data read back
+//!   through the filesystem earlier in the same run, because a real
+//!   rerun would derive those writes from fault-corrupted reads while
+//!   a replay re-issues golden-derived ones. Every
+//!   `ffis_core::FaultApp::produce` implementation asserts this law by
+//!   construction (the two-phase contract confines read-back to the
+//!   analyze phase, which never writes); a produce phase that must
+//!   consume its own on-disk output re-derives the dependent artifacts
+//!   inside analyze instead (see `qmc_sim`'s checkpoint handoff and
+//!   `montage_sim`'s stage cascade for the pattern).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use std::sync::Arc;
+
 use crate::error::{FsError, FsResult};
-use crate::ffisfs::FfisFs;
+use crate::ffisfs::{CounterSnapshot, FfisFs};
 use crate::fs::{Fd, FileSystem, LockKind, NodeKind, OpenFlags};
-use crate::interceptor::Interceptor;
+use crate::interceptor::{Interceptor, Primitive};
+use crate::memfs::MemFs;
 
 /// One recorded state-mutating primitive invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,6 +199,27 @@ impl TraceOp {
         matches!(self, TraceOp::Write { .. })
     }
 
+    /// The primitive a replay of this op executes — the counter it
+    /// advances when re-issued through a mounted [`FfisFs`].
+    pub fn primitive(&self) -> Primitive {
+        match self {
+            TraceOp::Mknod { .. } => Primitive::Mknod,
+            TraceOp::Mkdir { .. } => Primitive::Mkdir,
+            TraceOp::Unlink { .. } => Primitive::Unlink,
+            TraceOp::Rmdir { .. } => Primitive::Rmdir,
+            TraceOp::Rename { .. } => Primitive::Rename,
+            TraceOp::Chmod { .. } => Primitive::Chmod,
+            TraceOp::Truncate { .. } => Primitive::Truncate,
+            TraceOp::Create { .. } => Primitive::Create,
+            TraceOp::Open { .. } => Primitive::Open,
+            TraceOp::Write { .. } => Primitive::Write,
+            TraceOp::Fsync { .. } => Primitive::Fsync,
+            TraceOp::Release { .. } => Primitive::Release,
+            TraceOp::Lock { .. } => Primitive::Lock,
+            TraceOp::Unlock { .. } => Primitive::Unlock,
+        }
+    }
+
     /// Target path of a write op, when tracked at record time.
     pub fn write_path(&self) -> Option<&str> {
         match self {
@@ -187,6 +233,23 @@ impl TraceOp {
         match self {
             TraceOp::Write { data, .. } => data.len(),
             _ => 0,
+        }
+    }
+
+    /// The descriptor of a state-neutral bookkeeping op
+    /// (`fsync`/`release`/`lock`/`unlock`), or `None` for every op
+    /// that can change filesystem state. This is the op class
+    /// [`ReplayCursor::step`] silently skips when the descriptor is
+    /// unmapped — checkpoint counter preseeding and the campaign's
+    /// read-only-analyze gate both key off the same predicate so the
+    /// three sites cannot drift apart.
+    pub fn bookkeeping_fd(&self) -> Option<Fd> {
+        match self {
+            TraceOp::Fsync { fd }
+            | TraceOp::Release { fd }
+            | TraceOp::Lock { fd, .. }
+            | TraceOp::Unlock { fd } => Some(*fd),
+            _ => None,
         }
     }
 }
@@ -357,6 +420,15 @@ impl ReplayCursor {
     pub fn open_fds(&self) -> usize {
         self.fds.len()
     }
+
+    /// Does this cursor map golden-run descriptor `fd`? Bookkeeping
+    /// ops (`fsync`/`release`/`lock`/`unlock`) addressing an unmapped
+    /// descriptor are skipped by [`ReplayCursor::step`] without
+    /// touching the filesystem — checkpoint builders use this to count
+    /// only the primitives a replay actually issues.
+    pub fn maps(&self, fd: Fd) -> bool {
+        self.fds.contains_key(&fd)
+    }
 }
 
 /// A replay failure: which op failed and how.
@@ -376,12 +448,154 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// One mid-trace snapshot of a golden replay stream: the filesystem
+/// state, descriptor map, and per-primitive counts after applying
+/// `ops[..index]`.
+///
+/// The filesystem is held behind an [`Arc`] so thousands of injection
+/// runs can [`MemFs::fork`] it concurrently; each fork is O(page
+/// pointers).
+pub struct TraceCheckpoint {
+    index: usize,
+    fs: Arc<MemFs>,
+    cursor: ReplayCursor,
+    counters: CounterSnapshot,
+}
+
+impl TraceCheckpoint {
+    /// Number of ops applied to reach this snapshot (`ops[..index]`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Per-primitive counts of the ops a replay of the prefix issues.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters
+    }
+
+    /// Fork the snapshot and mount it for a suffix replay: the
+    /// returned [`FfisFs`] has the checkpoint's descriptors adopted
+    /// (so fd-addressed suffix ops carry their target path into
+    /// [`crate::CallContext`]) and its per-primitive counters
+    /// pre-seeded with the prefix counts (so suffix ops observe the
+    /// same `prim_seq` numbering a full-trace replay would produce).
+    /// The returned cursor is positioned at `index`; replay
+    /// `ops[index..]` through it.
+    pub fn mount_fork(&self) -> (Arc<FfisFs>, ReplayCursor) {
+        let ffs = FfisFs::mount(Arc::new(self.fs.fork()));
+        let cursor = self.cursor.clone();
+        cursor.seed_mount(&ffs);
+        ffs.preseed_counters(&self.counters);
+        (ffs, cursor)
+    }
+}
+
+/// Log-spaced [`TraceCheckpoint`]s over a golden op stream — the
+/// campaign-side analogue of the metadata scanner's single
+/// pre-injection snapshot.
+///
+/// A campaign run targeting the op at index `t` must replay every op
+/// from its starting snapshot through the end of the trace (`n - c`
+/// ops from a checkpoint at `c ≤ t`), so the best any snapshot can do
+/// for that run is `n - t`. Checkpoints are therefore placed
+/// log-spaced *from the end* — at indices `n - n/2, n - n/4, …` —
+/// which guarantees the replayed suffix is at most ~2× the minimal
+/// possible one for every target, with only O(log n) snapshots held
+/// in memory (each a CoW fork sharing all file pages with its
+/// neighbours).
+pub struct TraceCheckpoints {
+    ops: Vec<TraceOp>,
+    points: Vec<TraceCheckpoint>,
+}
+
+/// Default cap on the number of snapshots [`TraceCheckpoints::build`]
+/// materializes (covers traces up to ~2²⁰ ops at 2×-overshoot).
+pub const DEFAULT_MAX_CHECKPOINTS: usize = 20;
+
+impl TraceCheckpoints {
+    /// Build log-spaced checkpoints with the default cap.
+    pub fn build(ops: Vec<TraceOp>) -> Result<Self, ReplayError> {
+        Self::build_with(ops, DEFAULT_MAX_CHECKPOINTS)
+    }
+
+    /// Build checkpoints at indices `{0} ∪ {n − n/2ᵏ}`, capped at
+    /// `max_points` snapshots, by replaying the stream once on a bare
+    /// [`MemFs`]. Fails with the first replay error (a stream that
+    /// cannot rebuild cleanly cannot anchor injection runs).
+    pub fn build_with(ops: Vec<TraceOp>, max_points: usize) -> Result<Self, ReplayError> {
+        let n = ops.len();
+        let mut wanted = std::collections::BTreeSet::new();
+        wanted.insert(0usize);
+        let mut seg = n;
+        while wanted.len() < max_points.max(1) && seg > 1 {
+            seg /= 2;
+            wanted.insert(n - seg);
+        }
+
+        let working = MemFs::new();
+        let mut cursor = ReplayCursor::new();
+        let mut counters = CounterSnapshot::default();
+        let mut points = Vec::with_capacity(wanted.len().max(1));
+        if n == 0 {
+            // The zero checkpoint always exists, even for an empty
+            // stream (empty filesystem, no descriptors, zero counts).
+            points.push(TraceCheckpoint {
+                index: 0,
+                fs: Arc::new(working.fork()),
+                cursor: cursor.clone(),
+                counters,
+            });
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if wanted.contains(&i) {
+                points.push(TraceCheckpoint {
+                    index: i,
+                    fs: Arc::new(working.fork()),
+                    cursor: cursor.clone(),
+                    counters,
+                });
+            }
+            // Count only primitives the replay actually issues: ops on
+            // descriptors the cursor never saw are skipped by `step`.
+            let issued = match op.bookkeeping_fd() {
+                Some(fd) => cursor.maps(fd),
+                None => true,
+            };
+            cursor.step(&working, op).map_err(|error| ReplayError { index: i, error })?;
+            if issued {
+                counters.bump(op.primitive(), 1);
+            }
+        }
+        Ok(TraceCheckpoints { ops, points })
+    }
+
+    /// The full golden op stream.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// All checkpoints, ascending by index (always starts at 0).
+    pub fn points(&self) -> &[TraceCheckpoint] {
+        &self.points
+    }
+
+    /// The nearest checkpoint at or before op index `target` — the
+    /// starting snapshot for a run injecting into `ops[target]`.
+    pub fn nearest_before(&self, target: usize) -> &TraceCheckpoint {
+        let idx = self.points.partition_point(|p| p.index <= target);
+        &self.points[idx.saturating_sub(1)]
+    }
+
+    /// The trace suffix still to replay from `point`.
+    pub fn suffix(&self, point: &TraceCheckpoint) -> &[TraceOp] {
+        &self.ops[point.index..]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fs::FileSystemExt;
-    use crate::memfs::MemFs;
-    use std::sync::Arc;
 
     /// Run a small workload through a recording mount and return the
     /// trace plus the final state.
@@ -530,6 +744,94 @@ mod tests {
         rec.on_op(&TraceOp::Fsync { fd: 3 });
         assert_eq!(rec.len(), 2);
         assert_eq!(rec.payload_bytes(), 123);
+    }
+
+    #[test]
+    fn checkpoints_are_log_spaced_from_the_end() {
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        let cache = TraceCheckpoints::build(ops).unwrap();
+        let idx: Vec<usize> = cache.points().iter().map(|p| p.index()).collect();
+        assert_eq!(idx[0], 0, "a zero checkpoint always exists");
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending: {:?}", idx);
+        assert!(*idx.last().unwrap() < n);
+        // The 2x-overshoot guarantee: for every target, the suffix
+        // from the nearest checkpoint is at most twice the minimum
+        // possible suffix (n - target), up to the final +-1 segment.
+        for target in 0..n {
+            let c = cache.nearest_before(target).index();
+            assert!(c <= target);
+            assert!(n - c <= 2 * (n - target) + 1, "target {} -> checkpoint {}", target, c);
+        }
+    }
+
+    #[test]
+    fn checkpoint_suffix_replay_matches_full_replay() {
+        let (ops, golden) = record_workload();
+        let cache = TraceCheckpoints::build(ops.clone()).unwrap();
+        assert!(cache.points().len() >= 3, "workload long enough for several checkpoints");
+        for point in cache.points() {
+            let (ffs, mut cursor) = point.mount_fork();
+            cursor.replay(&*ffs, cache.suffix(point)).unwrap();
+            let inner = ffs.inner();
+            for path in ["/out/data.bin", "/out/run.log"] {
+                let got = {
+                    let fd = inner.open(path, OpenFlags::read_only()).unwrap();
+                    let mut v = vec![0u8; golden.snapshot(path).unwrap().len()];
+                    inner.pread(fd, &mut v, 0).unwrap();
+                    inner.release(fd).unwrap();
+                    v
+                };
+                assert_eq!(
+                    got,
+                    golden.snapshot(path).unwrap(),
+                    "checkpoint {} diverged on {}",
+                    point.index(),
+                    path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_mounts_preseed_prim_seq_numbering() {
+        use crate::interceptor::Primitive;
+        let (ops, _) = record_workload();
+        let full_writes = ops.iter().filter(|o| o.is_write()).count() as u64;
+        let cache = TraceCheckpoints::build(ops).unwrap();
+        // From any checkpoint, suffix replay must leave the mount's
+        // Write counter at the same value a full-trace replay reaches,
+        // because the prefix counts were pre-seeded.
+        for point in cache.points() {
+            let (ffs, mut cursor) = point.mount_fork();
+            cursor.replay(&*ffs, cache.suffix(point)).unwrap();
+            assert_eq!(
+                ffs.counters().get(Primitive::Write),
+                full_writes,
+                "checkpoint {}",
+                point.index()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_still_has_the_zero_checkpoint() {
+        let cache = TraceCheckpoints::build(Vec::new()).unwrap();
+        assert_eq!(cache.points().len(), 1);
+        assert_eq!(cache.nearest_before(0).index(), 0);
+        assert!(cache.suffix(cache.nearest_before(0)).is_empty());
+        let (ffs, _) = cache.points()[0].mount_fork();
+        assert_eq!(ffs.counters().total(), 0);
+    }
+
+    #[test]
+    fn checkpoint_build_propagates_replay_errors() {
+        let ops = vec![
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 },
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 },
+        ];
+        let err = TraceCheckpoints::build(ops).err().unwrap();
+        assert_eq!(err.index, 1);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Byte-by-byte HDF5 metadata fault injection (the paper's §IV-D
 //! methodology, Table III at example scale): flips two consecutive
-//! bits in every byte of the plotfile's packed metadata write, runs
-//! the full Nyx pipeline per byte, and attributes outcomes to file-
-//! format fields.
+//! bits in every byte of the plotfile's packed metadata write and
+//! attributes outcomes to file-format fields. Per scanned byte the
+//! scanner forks a CoW snapshot taken just before the metadata write,
+//! replays the trace suffix through the byte injector, and runs only
+//! Nyx's `analyze` phase (read-back + halo finding) — the two-phase
+//! `FaultApp` contract makes that fast path the default.
 //!
 //! ```sh
 //! cargo run --release --example hdf5_metadata_scan

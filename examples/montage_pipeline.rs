@@ -1,6 +1,11 @@
 //! Run the Montage mosaic pipeline clean and with a DROPPED WRITE in
 //! each stage; writes the golden and a faulty mosaic as PGM files
-//! (the paper's Figure 9).
+//! (the paper's Figure 9). `MontageApp::run` is the two-phase
+//! contract's produce-then-analyze: produce streams every stage's
+//! golden FITS bytes through the (possibly fault-injected) mount, and
+//! analyze re-derives the mosaic from the first inter-stage file whose
+//! read-back differs — the same propagation a monolithic pipeline
+//! exhibits, which is what lets campaigns replay it from checkpoints.
 //!
 //! ```sh
 //! cargo run --release --example montage_pipeline

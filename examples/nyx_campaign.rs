@@ -14,8 +14,15 @@ struct ProtectedNyx(NyxApp);
 
 impl FaultApp for ProtectedNyx {
     type Output = NyxOutput;
-    fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<NyxOutput, String> {
-        self.0.run(fs)
+    fn produce(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<(), String> {
+        self.0.produce(fs)
+    }
+    fn analyze(
+        &self,
+        fs: &dyn ffis_vfs::FileSystem,
+        golden: Option<&NyxOutput>,
+    ) -> Result<NyxOutput, String> {
+        self.0.analyze(fs, golden)
     }
     fn classify(&self, g: &NyxOutput, f: &NyxOutput) -> Outcome {
         protected_classify(g, f, MEAN_TOLERANCE)

@@ -1,6 +1,10 @@
 //! Run the QMCPACK-like helium workload: VMC → walker checkpoint →
 //! DMC → QMCA analysis, then show what a SHORN WRITE in each output
-//! file does to the reported energy.
+//! file does to the reported energy. Under the two-phase `FaultApp`
+//! contract the VMC→DMC handoff lives in `analyze`: when the on-disk
+//! walker checkpoint differs from the golden one, DMC restarts from
+//! the stored (corrupted) configuration — so `app.run` below models
+//! exactly the propagation path the paper injects into.
 //!
 //! ```sh
 //! cargo run --release --example qmcpack_energy

@@ -8,18 +8,27 @@
 use ffis_core::prelude::*;
 use ffis_vfs::{FileSystem, FileSystemExt};
 
-/// A miniature application: writes a data file in 4 KiB chunks,
-/// reads it back, and "analyzes" it by summing the bytes.
+/// A miniature two-phase application: `produce` writes a data file in
+/// 4 KiB chunks; `analyze` reads it back and "analyzes" it by summing
+/// the bytes. Splitting along that seam is what lets campaigns run on
+/// the golden-trace replay fast path by default.
 struct ChecksumApp;
 
 impl FaultApp for ChecksumApp {
     type Output = (Vec<u8>, u64);
 
-    fn run(&self, fs: &dyn FileSystem) -> Result<Self::Output, String> {
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
         let data: Vec<u8> = (0..32 * 1024).map(|i| (i % 251) as u8).collect();
-        fs.write_file_chunked("/out/data.bin", &data, 4096).map_err(|e| e.to_string())?;
+        fs.write_file_chunked("/out/data.bin", &data, 4096).map_err(|e| e.to_string())
+    }
+
+    fn analyze(
+        &self,
+        fs: &dyn FileSystem,
+        _golden: Option<&Self::Output>,
+    ) -> Result<Self::Output, String> {
         let back = fs.read_to_vec("/out/data.bin").map_err(|e| e.to_string())?;
-        if back.len() != data.len() {
+        if back.len() != 32 * 1024 {
             return Err("output truncated".into());
         }
         let checksum = back.iter().map(|&b| b as u64).sum();
@@ -47,9 +56,16 @@ fn main() {
     struct WithDir(ChecksumApp);
     impl FaultApp for WithDir {
         type Output = (Vec<u8>, u64);
-        fn run(&self, fs: &dyn FileSystem) -> Result<Self::Output, String> {
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
             fs.mkdir("/out", 0o755).map_err(|e| e.to_string())?;
-            self.0.run(fs)
+            self.0.produce(fs)
+        }
+        fn analyze(
+            &self,
+            fs: &dyn FileSystem,
+            golden: Option<&Self::Output>,
+        ) -> Result<Self::Output, String> {
+            self.0.analyze(fs, golden)
         }
         fn classify(&self, g: &Self::Output, f: &Self::Output) -> Outcome {
             self.0.classify(g, f)
@@ -64,7 +80,7 @@ fn main() {
     for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
         let cfg = CampaignConfig::new(FaultSignature::on_write(model)).with_runs(200).with_seed(42);
         let result = Campaign::new(&app, cfg).run().expect("campaign");
-        println!("{:<14} {}", model.name(), result.tally);
+        println!("{:<14} {}  [{}]", model.name(), result.tally, result.mode);
         println!(
             "  profiled {} eligible write instances; example injection: {}",
             result.profile.eligible,
@@ -78,4 +94,7 @@ fn main() {
     }
     println!("\nBIT FLIP corrupts 2 bits (mostly silent), SHORN WRITE tears a 512 B tail,");
     println!("DROPPED WRITE erases a whole 4 KiB chunk (the checksum detector catches it).");
+    println!("Each campaign ran on the checkpointed replay fast path ([replay] above):");
+    println!("produce executed once, then every injection run forked a mid-trace CoW");
+    println!("checkpoint, replayed the trace suffix through the injector, and analyzed.");
 }

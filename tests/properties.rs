@@ -253,6 +253,83 @@ proptest! {
         prop_assert_ne!(hdf5lite::fletcher32(&mutated), base);
     }
 
+    /// Checkpoint-suffix replay from *every* log-spaced snapshot of a
+    /// randomized workload's golden trace reproduces exactly the same
+    /// filesystem state as a from-scratch full replay — the invariant
+    /// the campaign runner's per-run fork rests on. The workload mixes
+    /// chunked writes, a descriptor held open across other files' I/O
+    /// (so snapshots land inside open-fd regions), patches, truncates,
+    /// and a rename.
+    #[test]
+    fn checkpoint_suffix_replay_reproduces_full_state(
+        seed in any::<u64>(),
+        n_files in 1usize..4,
+        max_points in 2usize..12,
+    ) {
+        use ffis_vfs::{FfisFs, FileSystemExt, OpenFlags, TraceCheckpoints, TraceRecorder};
+        use std::sync::Arc;
+
+        // Record a randomized workload's golden trace.
+        let mut rng = Rng::seed_from(seed);
+        let mut paths: Vec<String> = Vec::new();
+        let recorder = Arc::new(TraceRecorder::new());
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        ffs.attach(recorder.clone());
+        ffs.mkdir("/w", 0o755).unwrap();
+        let held = ffs.create("/w/held.bin", 0o644).unwrap();
+        for f in 0..n_files {
+            let p = format!("/w/f{:02}.dat", f);
+            let len = 1 + rng.gen_range(12_000) as usize;
+            let chunk = 512 * (1 + rng.gen_range(8) as usize);
+            let data: Vec<u8> = (0..len).map(|i| (i as u64 * 31 + f as u64) as u8).collect();
+            ffs.write_file_chunked(&p, &data, chunk).unwrap();
+            // Interleave writes on the held descriptor.
+            ffs.pwrite(held, &[f as u8 + 1; 700], f as u64 * 700).unwrap();
+            if rng.chance(0.5) {
+                ffs.truncate(&p, rng.gen_range(len as u64 + 1)).unwrap();
+            }
+            if rng.chance(0.5) {
+                let fd = ffs.open(&p, OpenFlags::read_write()).unwrap();
+                ffs.pwrite(fd, b"patch", rng.gen_range(len as u64)).unwrap();
+                ffs.release(fd).unwrap();
+            }
+            paths.push(p);
+        }
+        ffs.release(held).unwrap();
+        paths.push("/w/held.bin".into());
+        let last = paths[0].clone();
+        let renamed = format!("{}.renamed", last);
+        ffs.rename(&last, &renamed).unwrap();
+        paths[0] = renamed;
+        ffs.unmount();
+
+        // Reference: from-scratch full replay on a bare MemFs.
+        let ops = recorder.take_ops();
+        let reference = MemFs::new();
+        ffis_vfs::ReplayCursor::new().replay(&reference, &ops).unwrap();
+
+        // Every checkpoint must rebuild identical state via fork +
+        // suffix replay.
+        let cache = TraceCheckpoints::build_with(ops, max_points).unwrap();
+        prop_assert!(cache.points().len() >= 2);
+        for point in cache.points() {
+            let (mount, mut cursor) = point.mount_fork();
+            cursor.replay(&*mount, cache.suffix(point)).unwrap();
+            for p in &paths {
+                let got = mount.read_to_vec(p).map_err(|e| e.to_string());
+                let want = reference.read_to_vec(p).map_err(|e| e.to_string());
+                prop_assert_eq!(
+                    &got, &want,
+                    "checkpoint {} diverged on {}", point.index(), p
+                );
+            }
+            let got_stat = mount.inner().statfs().unwrap();
+            let want_stat = reference.statfs().unwrap();
+            prop_assert_eq!(got_stat.inodes, want_stat.inodes);
+            prop_assert_eq!(got_stat.bytes_used, want_stat.bytes_used);
+        }
+    }
+
     /// scalar.dat rendering always re-parses to the same rows.
     #[test]
     fn scalar_dat_roundtrip(

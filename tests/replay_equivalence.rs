@@ -1,18 +1,31 @@
-//! Equivalence guarantees for the fork+replay fast path: on the
-//! hdf5lite-backed Nyx workload, the golden-trace replay engine must
-//! reproduce the legacy full-rerun scan and campaign *byte for byte* —
-//! same outcomes, same injection records, same crash messages, same
-//! application outputs — while skipping the redundant fault-free
-//! application work.
+//! Equivalence guarantees for the checkpointed replay fast path: on
+//! all three paper workloads (Nyx, QMCPACK, Montage), the golden-trace
+//! replay engine must reproduce the legacy full-rerun scan and
+//! campaign *byte for byte* — same outcomes, same injection records,
+//! same crash messages, same application outputs — while skipping the
+//! redundant fault-free application work. The fallback paths are
+//! exercised too: every fallback must carry its reason in
+//! [`ExecutionMode::FullRerun`], never silently.
 
 use ffis_core::prelude::*;
 use ffis_core::{scan_detailed, FlipMode, ScanConfig};
 use ffis_vfs::FileSystem;
+use montage_sim::MontageApp;
 use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+use qmc_sim::{DmcConfig, QmcApp, QmcConfig, QmcaConfig, VmcConfig};
 
-fn app() -> NyxApp {
+fn nyx() -> NyxApp {
     NyxApp::new(NyxConfig {
         field: FieldConfig { n: 16, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn qmc() -> QmcApp {
+    QmcApp::new(QmcConfig {
+        vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+        dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+        qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
         ..Default::default()
     })
 }
@@ -27,10 +40,10 @@ fn scan_cfg(replay: bool, stride: usize) -> ScanConfig {
 
 #[test]
 fn replay_scan_equals_legacy_scan_bytewise() {
-    let a = app();
+    let a = nyx();
     let fast = scan_detailed(&a, &scan_cfg(true, 8)).unwrap();
     let slow = scan_detailed(&a, &scan_cfg(false, 8)).unwrap();
-    assert!(fast.used_replay, "Nyx exposes verify; the fast path must engage");
+    assert!(fast.used_replay, "two-phase apps engage the fast path by construction");
     assert!(!slow.used_replay);
 
     assert_eq!(fast.write_offset, slow.write_offset);
@@ -66,7 +79,7 @@ fn replay_scan_equals_legacy_scan_bytewise() {
 
 #[test]
 fn replay_scan_is_deterministic_serial_vs_parallel() {
-    let a = app();
+    let a = nyx();
     let mut serial = scan_cfg(true, 16);
     serial.parallel = false;
     let mut parallel = scan_cfg(true, 16);
@@ -82,46 +95,98 @@ fn replay_scan_is_deterministic_serial_vs_parallel() {
     }
 }
 
-fn campaign(
-    a: &NyxApp,
+fn campaign<A: FaultApp>(
+    app: &A,
     model: FaultModel,
+    target: TargetFilter,
+    runs: usize,
     replay: bool,
     parallel: bool,
-) -> ffis_core::CampaignResult {
-    let mut cfg = CampaignConfig::new(FaultSignature::on_write(model))
-        .with_runs(30)
-        .with_seed(4242)
-        .with_replay(replay);
+) -> CampaignResult {
+    let mut sig = FaultSignature::on_write(model);
+    sig.target = target;
+    let mut cfg = CampaignConfig::new(sig).with_runs(runs).with_seed(4242).with_replay(replay);
     cfg.parallel = parallel;
-    Campaign::new(a, cfg).run().unwrap()
+    Campaign::new(app, cfg).run().unwrap()
+}
+
+/// The heart of the equivalence suite: for one app and one fault
+/// model, the checkpointed-replay campaign and the full-rerun campaign
+/// must agree on every per-run artifact — outcome, sampled instance,
+/// full injection record (primitive, instance, prim_seq, path, offset,
+/// len, damage detail), and crash message.
+fn assert_campaign_paths_agree<A: FaultApp>(
+    app: &A,
+    model: FaultModel,
+    target: TargetFilter,
+    runs: usize,
+) {
+    let fast = campaign(app, model, target.clone(), runs, true, true);
+    let slow = campaign(app, model, target, runs, false, true);
+    assert_eq!(fast.mode, ExecutionMode::Replay, "{} {:?}", app.name(), model);
+    assert_eq!(
+        slow.mode,
+        ExecutionMode::FullRerun { reason: ReplayFallback::Disabled },
+        "{} {:?}",
+        app.name(),
+        model
+    );
+    assert_eq!(fast.tally, slow.tally, "{} {:?}", app.name(), model);
+    assert_eq!(fast.profile.eligible, slow.profile.eligible);
+    for (f, s) in fast.runs.iter().zip(&slow.runs) {
+        assert_eq!(f.outcome, s.outcome, "{} {:?} run {}", app.name(), model, f.run);
+        assert_eq!(f.target_instance, s.target_instance);
+        assert_eq!(f.injection, s.injection, "{} {:?} run {}", app.name(), model, f.run);
+        assert_eq!(f.crash_message, s.crash_message, "{} {:?} run {}", app.name(), model, f.run);
+    }
 }
 
 #[test]
-fn replay_campaign_equals_legacy_campaign_for_all_models() {
-    let a = app();
+fn replay_campaign_equals_legacy_campaign_for_nyx() {
+    let a = nyx();
     for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
-        let fast = campaign(&a, model, true, true);
-        let slow = campaign(&a, model, false, true);
-        assert!(fast.used_replay, "{:?}", model);
-        assert!(!slow.used_replay);
-        assert_eq!(fast.tally, slow.tally, "{:?}", model);
-        assert_eq!(fast.profile.eligible, slow.profile.eligible);
-        for (f, s) in fast.runs.iter().zip(&slow.runs) {
-            assert_eq!(f.outcome, s.outcome, "{:?} run {}", model, f.run);
-            assert_eq!(f.target_instance, s.target_instance);
-            // Full injection-record equality: primitive, instance,
-            // prim_seq, path, offset, len, damage detail.
-            assert_eq!(f.injection, s.injection, "{:?} run {}", model, f.run);
-        }
+        assert_campaign_paths_agree(&a, model, TargetFilter::Any, 30);
+    }
+}
+
+#[test]
+fn replay_campaign_equals_legacy_campaign_for_qmc() {
+    let a = qmc();
+    for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
+        assert_campaign_paths_agree(&a, model, TargetFilter::Any, 25);
+    }
+}
+
+#[test]
+fn replay_campaign_equals_legacy_campaign_for_montage() {
+    let a = MontageApp::paper_default();
+    for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
+        assert_campaign_paths_agree(&a, model, TargetFilter::Any, 18);
+    }
+}
+
+#[test]
+fn replay_campaign_equals_legacy_campaign_per_montage_stage() {
+    // The paper's MT1..MT4 cells scope injection to one stage's
+    // output directory; the equivalence must survive path filtering
+    // (instance renumbering against filtered traces).
+    let a = MontageApp::paper_default();
+    for stage in montage_sim::Stage::ALL {
+        assert_campaign_paths_agree(
+            &a,
+            FaultModel::dropped_write(),
+            MontageApp::stage_filter(stage),
+            10,
+        );
     }
 }
 
 #[test]
 fn replay_campaign_is_deterministic_serial_vs_parallel() {
-    let a = app();
-    let serial = campaign(&a, FaultModel::bit_flip(), true, false);
-    let parallel = campaign(&a, FaultModel::bit_flip(), true, true);
-    assert!(serial.used_replay && parallel.used_replay);
+    let a = nyx();
+    let serial = campaign(&a, FaultModel::bit_flip(), TargetFilter::Any, 30, true, false);
+    let parallel = campaign(&a, FaultModel::bit_flip(), TargetFilter::Any, 30, true, true);
+    assert!(serial.used_replay() && parallel.used_replay());
     assert_eq!(serial.tally, parallel.tally);
     for (x, y) in serial.runs.iter().zip(&parallel.runs) {
         assert_eq!(x.outcome, y.outcome);
@@ -130,78 +195,28 @@ fn replay_campaign_is_deterministic_serial_vs_parallel() {
     }
 }
 
-/// An app with no verify phase: the fast path must fall back politely.
-struct NoVerifyApp;
-
-impl FaultApp for NoVerifyApp {
-    type Output = Vec<u8>;
-
-    fn run(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
-        use ffis_vfs::FileSystemExt;
-        fs.write_file_chunked("/d.bin", &[3u8; 8192], 4096).map_err(|e| e.to_string())?;
-        fs.write_file("/d.meta", &[7u8; 64]).map_err(|e| e.to_string())?;
-        fs.read_to_vec("/d.bin").map_err(|e| e.to_string())
-    }
-
-    fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
-        if golden == faulty {
-            Outcome::Benign
-        } else {
-            Outcome::Sdc
-        }
-    }
-
-    fn name(&self) -> String {
-        "NOVERIFY".into()
-    }
-}
-
-#[test]
-fn apps_without_verify_fall_back_to_full_reruns() {
-    let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
-        .with_runs(10)
-        .with_seed(7)
-        .with_replay(true);
-    let result = Campaign::new(&NoVerifyApp, cfg).run().unwrap();
-    assert!(!result.used_replay, "no verify phase -> reference path");
-    assert_eq!(result.tally.total(), 10);
-
-    let mut scfg = ScanConfig::new(TargetFilter::Any);
-    scfg.stride = 16;
-    scfg.replay = true;
-    let scan = scan_detailed(&NoVerifyApp, &scfg).unwrap();
-    assert!(!scan.used_replay);
-    assert_eq!(scan.tally.total(), scan.runs.len() as u64);
-}
-
 /// The no-fire accounting (armed instance never executed) must agree
 /// between the two execution strategies.
 #[test]
 fn replay_campaign_counts_no_fire_like_legacy() {
-    let a = app();
-    let fast = campaign(&a, FaultModel::bit_flip(), true, true);
-    let slow = campaign(&a, FaultModel::bit_flip(), false, true);
+    let a = nyx();
+    let fast = campaign(&a, FaultModel::bit_flip(), TargetFilter::Any, 30, true, true);
+    let slow = campaign(&a, FaultModel::bit_flip(), TargetFilter::Any, 30, false, true);
     assert_eq!(fast.tally.no_fire, slow.tally.no_fire);
 }
 
-/// Verify-capable app whose golden run *attempts* an eligible write
-/// that fails (write on a read-only descriptor, error tolerated).
+/// Two-phase app whose golden run *attempts* an eligible write that
+/// fails (write on a read-only descriptor, error tolerated).
 /// Interceptor-level counters include the attempt; the success-only
 /// golden trace does not — replay instance numbering would diverge
-/// from the injectors', so both fast paths must refuse to engage.
+/// from the injectors', so both fast paths must refuse to engage, with
+/// the campaign recording the `TraceMismatch` reason.
 struct FailedProbeApp;
-
-impl FailedProbeApp {
-    fn read_back(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
-        use ffis_vfs::FileSystemExt;
-        fs.read_to_vec("/probe.bin").map_err(|e| e.to_string())
-    }
-}
 
 impl FaultApp for FailedProbeApp {
     type Output = Vec<u8>;
 
-    fn run(&self, fs: &dyn FileSystem) -> Result<Vec<u8>, String> {
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
         use ffis_vfs::{FileSystemExt, OpenFlags};
         fs.write_file_chunked("/probe.bin", &[5u8; 8192], 4096).map_err(|e| e.to_string())?;
         // Best-effort probe write on a read-only descriptor: fails
@@ -209,12 +224,12 @@ impl FaultApp for FailedProbeApp {
         let fd = fs.open("/probe.bin", OpenFlags::read_only()).map_err(|e| e.to_string())?;
         let _ = fs.pwrite(fd, b"probe", 0);
         fs.release(fd).map_err(|e| e.to_string())?;
-        fs.write_file("/probe.meta", &[9u8; 64]).map_err(|e| e.to_string())?;
-        self.read_back(fs)
+        fs.write_file("/probe.meta", &[9u8; 64]).map_err(|e| e.to_string())
     }
 
-    fn verify(&self, fs: &dyn FileSystem, _golden: &Vec<u8>) -> Option<Result<Vec<u8>, String>> {
-        Some(self.read_back(fs))
+    fn analyze(&self, fs: &dyn FileSystem, _golden: Option<&Vec<u8>>) -> Result<Vec<u8>, String> {
+        use ffis_vfs::FileSystemExt;
+        fs.read_to_vec("/probe.bin").map_err(|e| e.to_string())
     }
 
     fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
@@ -234,10 +249,13 @@ impl FaultApp for FailedProbeApp {
 fn failed_golden_writes_disable_replay_and_paths_still_agree() {
     let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
         .with_runs(20)
-        .with_seed(11)
-        .with_replay(true);
+        .with_seed(11);
     let fast = Campaign::new(&FailedProbeApp, cfg.clone()).run().unwrap();
-    assert!(!fast.used_replay, "attempted/recorded write-count mismatch must disable replay");
+    assert_eq!(
+        fast.mode,
+        ExecutionMode::FullRerun { reason: ReplayFallback::TraceMismatch },
+        "attempted/recorded write-count mismatch must disable replay, with the reason recorded"
+    );
     let slow = Campaign::new(&FailedProbeApp, cfg.with_replay(false)).run().unwrap();
     assert_eq!(fast.tally, slow.tally);
     for (f, s) in fast.runs.iter().zip(&slow.runs) {
@@ -252,13 +270,37 @@ fn failed_golden_writes_disable_replay_and_paths_still_agree() {
     assert!(!scan.used_replay, "scan must also fall back on the count mismatch");
 }
 
+#[test]
+fn failed_nonmatching_writes_also_disable_replay() {
+    // Scope the signature so the failed probe write sits *outside* the
+    // eligible population: the eligible counts then agree between
+    // profiler and trace, but the mount's total Write counter (the
+    // `prim_seq` source) still includes the failed attempt — replay
+    // would renumber `prim_seq` silently, so the gate must refuse.
+    let mut sig = FaultSignature::on_write(FaultModel::bit_flip());
+    sig.target = TargetFilter::PathSuffix(".meta".into());
+    let cfg = CampaignConfig::new(sig).with_runs(10).with_seed(13);
+    let fast = Campaign::new(&FailedProbeApp, cfg.clone()).run().unwrap();
+    assert_eq!(
+        fast.mode,
+        ExecutionMode::FullRerun { reason: ReplayFallback::TraceMismatch },
+        "total-write-count mismatch must disable replay even when eligible counts agree"
+    );
+    let slow = Campaign::new(&FailedProbeApp, cfg.with_replay(false)).run().unwrap();
+    assert_eq!(fast.tally, slow.tally);
+    for (f, s) in fast.runs.iter().zip(&slow.runs) {
+        assert_eq!(f.injection, s.injection);
+    }
+}
+
 /// Parameter faults (mknod/chmod/truncate) can make a replayed op fail
 /// where the real application would have tolerated the error — the
-/// campaign replay gate therefore only admits Write-primitive faults.
+/// campaign replay gate therefore only admits Write-primitive faults,
+/// and says so in the recorded mode.
 #[test]
 fn param_fault_campaigns_never_use_replay() {
     use ffis_vfs::Primitive;
-    let a = app();
+    let a = nyx();
     let sig = FaultSignature {
         model: FaultModel::bit_flip(),
         primitive: Primitive::Truncate,
@@ -268,7 +310,10 @@ fn param_fault_campaigns_never_use_replay() {
     // Nyx never truncates, so there are no eligible instances — but
     // the gate must reject the primitive before anything else runs.
     match Campaign::new(&a, cfg).run() {
-        Ok(result) => assert!(!result.used_replay),
+        Ok(result) => assert_eq!(
+            result.mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }
+        ),
         Err(ffis_core::CampaignError::NoEligibleInstances) => {}
         Err(other) => panic!("unexpected {:?}", other),
     }
