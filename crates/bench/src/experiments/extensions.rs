@@ -4,10 +4,8 @@
 //! fault injection (the abstract's "faults into the data returned
 //! from underlying file systems").
 
-use ffis_core::{FaultApp, IoProfiler, Outcome, OutcomeTally, ReadFaultInjector, TargetFilter};
-use ffis_vfs::{FfisFs, MemFs, Primitive};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use ffis_core::{FaultApp, FaultModel, FaultSignature, IoProfiler, Outcome, TargetFilter};
+use ffis_vfs::Primitive;
 
 use crate::cli::Options;
 use crate::report::{Report, Table};
@@ -62,25 +60,72 @@ pub fn profile(opts: &Options) -> Report {
     report
 }
 
-/// `repro read-faults` — extension campaign: 2-bit flips in the data
-/// returned by reads, uniformly over a workload's read instances.
+/// `repro read-faults` — read-site BIT FLIP campaigns (2-bit flips in
+/// the data returned by reads), uniformly over each workload's
+/// eligible read instances, through the first-class campaign engine:
+/// the exec column records the structural `rerun(read-site-fault)`
+/// fallback on every cell.
 pub fn read_faults(opts: &Options) -> Report {
+    use crate::experiments::campaigns::run_cell_sig;
+
+    let runs = opts.runs.min(400);
     let mut report = Report::new("read_faults");
-    report.line("Extension — read-path BIT FLIP campaigns (faults in data returned by reads)");
-    report.line(format!("(runs per cell: {}, seed {:#x})", opts.runs.min(400), opts.seed));
+    report.line("Extension — read-site BIT FLIP campaigns (faults in data returned by reads)");
+    report.line(format!("(runs per cell: {}, seed {:#x})", runs, opts.seed));
     report.blank();
 
     let nyx = crate::experiments::campaigns::nyx_app(opts);
+    let qmc = qmc_sim::QmcApp::paper_default();
     let montage = montage_sim::MontageApp::paper_default();
 
     let mut table = Table::new();
-    table.row(&["app", "benign%", "detected%", "SDC%", "crash%", "n"]);
-    run_read_campaign(&nyx, opts, &mut table);
-    run_read_campaign(&montage, opts, &mut table);
+    table.row(&["app", "benign%", "detected%", "SDC%", "crash%", "n", "eligible reads", "exec"]);
+    let mut row = |name: String, result: Option<ffis_core::CampaignResult>| match result {
+        Some(r) => table.row(&[
+            &name,
+            &format!("{:.1}", r.tally.rate_pct(Outcome::Benign)),
+            &format!("{:.1}", r.tally.rate_pct(Outcome::Detected)),
+            &format!("{:.1}", r.tally.rate_pct(Outcome::Sdc)),
+            &format!("{:.1}", r.tally.rate_pct(Outcome::Crash)),
+            &r.tally.total().to_string(),
+            &r.profile.eligible.to_string(),
+            &r.mode.to_string(),
+        ]),
+        None => table.row(&[&name, "-", "-", "-", "-", "0", "-", "-"]),
+    };
+    let sig = |target: TargetFilter| {
+        let mut sig = FaultSignature::on_read(FaultModel::bit_flip());
+        sig.target = target;
+        sig
+    };
+    row(nyx.name(), run_cell_sig(&nyx, sig(TargetFilter::Any), runs, opts, 0x5EAD));
+    row(qmc.name(), run_cell_sig(&qmc, sig(TargetFilter::Any), runs, opts, 0x5EAE));
+    row(montage.name(), run_cell_sig(&montage, sig(TargetFilter::Any), runs, opts, 0x5EAF));
+    // Scoped rows: each app's sensitive read channel, via the apps'
+    // own target filters. QMC's checkpoint is the restart handoff —
+    // every fault there lands in the walkers DMC restarts from.
+    row(
+        format!("{} (plotfile)", nyx.name()),
+        run_cell_sig(&nyx, sig(nyx_sim::NyxApp::plotfile_filter()), runs, opts, 0x5EB0),
+    );
+    row(
+        format!("{} (checkpoint)", qmc.name()),
+        run_cell_sig(&qmc, sig(qmc_sim::QmcApp::checkpoint_filter()), runs, opts, 0x5EB1),
+    );
+    row(
+        format!("{} (series)", qmc.name()),
+        run_cell_sig(&qmc, sig(qmc_sim::QmcApp::series_filter()), runs, opts, 0x5EB3),
+    );
+    row(
+        format!("{} (mosaic)", montage.name()),
+        run_cell_sig(&montage, sig(montage_sim::MontageApp::mosaic_filter()), runs, opts, 0x5EB2),
+    );
     report.line(table.render());
     report.line("Reads outnumber writes in multi-stage pipelines, so read-side corruption gives");
     report.line("Montage a larger injection surface than its write side; the stored files stay");
-    report.line("clean, making every non-benign case silent at the device level.");
+    report.line("clean, making every non-benign case silent at the device level. The scoped rows");
+    report.line("isolate each app's sensitive read channel (Nyx plotfile, QMC restart checkpoint,");
+    report.line("Montage mosaic) from its log/ancillary reads.");
     report
 }
 
@@ -169,41 +214,4 @@ pub fn param_faults(opts: &Options) -> Report {
     report.line("rather than data corruption — one reason the paper's data-centric study focuses");
     report.line("its campaigns on FFIS_write.");
     report
-}
-
-fn run_read_campaign<A: FaultApp>(app: &A, opts: &Options, table: &mut Table) {
-    // Profile the read-instance space.
-    let profiler = IoProfiler::new(Primitive::Read, TargetFilter::Any);
-    let Ok((profile, golden)) = profiler.profile(|fs| app.run(fs)) else {
-        table.row(&[&app.name(), "-", "-", "-", "-", "0"]);
-        return;
-    };
-    if profile.eligible == 0 {
-        table.row(&[&app.name(), "-", "-", "-", "-", "0"]);
-        return;
-    }
-
-    let runs = opts.runs.min(400);
-    let root = ffis_core::Rng::seed_from(opts.seed ^ 0x5EAD);
-    let mut tally = OutcomeTally::new();
-    for i in 0..runs {
-        let mut rng = root.child(i as u64);
-        let instance = rng.gen_range(profile.eligible) + 1;
-        let inj = Arc::new(ReadFaultInjector::new(TargetFilter::Any, instance, 2, rng.next_u64()));
-        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
-        ffs.attach(inj);
-        let outcome = match catch_unwind(AssertUnwindSafe(|| app.run(&*ffs))) {
-            Ok(Ok(faulty)) => app.classify(&golden, &faulty),
-            _ => Outcome::Crash,
-        };
-        tally.record(outcome);
-    }
-    table.row(&[
-        &app.name(),
-        &format!("{:.1}", tally.rate_pct(Outcome::Benign)),
-        &format!("{:.1}", tally.rate_pct(Outcome::Detected)),
-        &format!("{:.1}", tally.rate_pct(Outcome::Sdc)),
-        &format!("{:.1}", tally.rate_pct(Outcome::Crash)),
-        &tally.total().to_string(),
-    ]);
 }

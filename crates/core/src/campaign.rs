@@ -17,7 +17,7 @@ use rayon::prelude::*;
 
 use ffis_vfs::{FfisFs, Interceptor, MemFs, Primitive, TraceCheckpoints, TraceOp, TraceRecorder};
 
-use crate::fault::FaultSignature;
+use crate::fault::{FaultSignature, TargetFilter};
 use crate::injector::{ArmedInjector, InjectionRecord};
 use crate::outcome::{FaultApp, Outcome, OutcomeTally};
 use crate::profiler::{IoProfiler, ProfileReport};
@@ -47,10 +47,25 @@ pub struct CampaignConfig {
     pub replay: bool,
 }
 
+/// Default value of [`CampaignConfig::replay`]: `true`, unless the
+/// environment sets `FFIS_REPLAY=0` — the escape hatch CI uses to run
+/// the whole test suite over the full-rerun reference path, keeping it
+/// exercised without a second copy of every campaign test.
+pub fn replay_default() -> bool {
+    std::env::var("FFIS_REPLAY").map(|v| v != "0").unwrap_or(true)
+}
+
 impl CampaignConfig {
-    /// Config with paper defaults (1,000 runs, parallel, replay on).
+    /// Config with paper defaults (1,000 runs, parallel, replay on —
+    /// see [`replay_default`]).
     pub fn new(signature: FaultSignature) -> Self {
-        CampaignConfig { signature, runs: 1000, seed: 0xFF15_0001, parallel: true, replay: true }
+        CampaignConfig {
+            signature,
+            runs: 1000,
+            seed: 0xFF15_0001,
+            parallel: true,
+            replay: replay_default(),
+        }
     }
 
     /// Override the run count.
@@ -83,9 +98,17 @@ pub enum ReplayFallback {
     /// The fault signature targets a non-`Write` primitive. Parameter
     /// faults (mknod/chmod/truncate) could make a replayed op *fail*
     /// where the real application would have tolerated the error and
-    /// continued — unknowable from a trace — and read-path faults
-    /// corrupt data the replay never touches.
+    /// continued — unknowable from a trace.
     NonWritePrimitive,
+    /// The fault signature targets the read site. Read-site faults are
+    /// non-replayable *by construction*: the golden trace records only
+    /// state-mutating ops — every read in it was pristine and left no
+    /// op to replay — so a trace replay neither issues the produce
+    /// phase's reads (the eligible-instance numbering would diverge
+    /// from a real execution's) nor carries the transfer a read fault
+    /// would corrupt. These campaigns run on the sharded full-rerun
+    /// path.
+    ReadSiteFault,
     /// The application's analyze phase mutated the filesystem during
     /// the golden run, violating the read-only-analyze law — the
     /// recorded trace would double-apply those writes.
@@ -109,6 +132,7 @@ impl ReplayFallback {
         match self {
             ReplayFallback::Disabled => "disabled",
             ReplayFallback::NonWritePrimitive => "non-write-primitive",
+            ReplayFallback::ReadSiteFault => "read-site-fault",
             ReplayFallback::AnalyzeWrites => "analyze-writes",
             ReplayFallback::TraceMismatch => "trace-mismatch",
             ReplayFallback::GoldenIdentity => "golden-identity",
@@ -165,6 +189,11 @@ pub struct RunResult {
     pub injection: Option<InjectionRecord>,
     /// Crash message, when the run crashed.
     pub crash_message: Option<String>,
+    /// The execution strategy that produced *this* run. Equal to the
+    /// campaign-level [`CampaignResult::mode`] for single-signature
+    /// campaigns; in a [`MixedCampaign`] it varies per run (write-site
+    /// shards replay, read-site shards rerun).
+    pub mode: ExecutionMode,
 }
 
 /// Full campaign result.
@@ -310,7 +339,12 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         let (mode, plan) = if !self.config.replay {
             (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
         } else if !record {
-            (ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }, None)
+            let reason = if self.config.signature.primitive == Primitive::Read {
+                ReplayFallback::ReadSiteFault
+            } else {
+                ReplayFallback::NonWritePrimitive
+            };
+            (ExecutionMode::FullRerun { reason }, None)
         } else {
             let attempted_writes = profile.counters.get(Primitive::Write);
             match self.replay_plan(
@@ -329,94 +363,22 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         // Phase 3: N injection runs.
         let root = Rng::seed_from(self.config.seed);
         let golden = Arc::new(golden);
-        let finish = |i: usize,
-                      target_instance: u64,
-                      injection: Option<InjectionRecord>,
-                      app_result: std::thread::Result<Result<A::Output, String>>|
-         -> RunResult {
-            match app_result {
-                Ok(Ok(faulty)) => RunResult {
-                    run: i,
-                    outcome: self.app.classify(&golden, &faulty),
-                    target_instance,
-                    injection,
-                    crash_message: None,
-                },
-                Ok(Err(msg)) => RunResult {
-                    run: i,
-                    outcome: Outcome::Crash,
-                    target_instance,
-                    injection,
-                    crash_message: Some(msg),
-                },
-                Err(panic) => {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "panic".to_string());
-                    RunResult {
-                        run: i,
-                        outcome: Outcome::Crash,
-                        target_instance,
-                        injection,
-                        crash_message: Some(msg),
-                    }
-                }
-            }
-        };
         let run_one = |i: usize| -> RunResult {
             let mut rng = root.child(i as u64);
             // "generates a random number from 0 to count-1" → 1-based
             // instance index in [1, count].
             let target_instance = rng.gen_range(profile.eligible) + 1;
             let seed = rng.next_u64();
-            match &plan {
-                // Fast path: fork the nearest checkpoint preceding the
-                // target instance, replay only the trace suffix through
-                // the armed injector (the fault lands in the same
-                // instance, with the same record numbering, it would
-                // during a real execution), then analyze.
-                Some(plan) => {
-                    let target_op = plan.eligible_ops[(target_instance - 1) as usize];
-                    let point = plan.cache.nearest_before(target_op);
-                    let already_seen =
-                        plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
-                    let injector = Arc::new(ArmedInjector::resuming(
-                        self.config.signature.clone(),
-                        target_instance,
-                        seed,
-                        already_seen,
-                    ));
-                    let (ffs, mut cursor) = point.mount_fork();
-                    ffs.attach(injector.clone());
-                    let app_result =
-                        catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
-                            cursor
-                                .replay(&*ffs, plan.cache.suffix(point))
-                                .map_err(|e| e.to_string())?;
-                            self.app.analyze(&*ffs, Some(&golden))
-                        }));
-                    ffs.unmount();
-                    finish(i, target_instance, injector.record(), app_result)
-                }
-                // Reference path: full application re-execution.
-                None => {
-                    let injector = Arc::new(ArmedInjector::new(
-                        self.config.signature.clone(),
-                        target_instance,
-                        seed,
-                    ));
-                    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
-                    ffs.attach(injector.clone());
-                    let app_result = catch_unwind(AssertUnwindSafe(|| {
-                        self.app.produce(&*ffs)?;
-                        self.app.analyze(&*ffs, Some(&golden))
-                    }));
-                    ffs.unmount();
-                    finish(i, target_instance, injector.record(), app_result)
-                }
-            }
+            execute_run(
+                self.app,
+                &self.config.signature,
+                plan.as_deref(),
+                &golden,
+                i,
+                target_instance,
+                seed,
+                mode,
+            )
         };
 
         let runs: Vec<RunResult> = if self.config.parallel {
@@ -425,35 +387,18 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             (0..self.config.runs).map(run_one).collect()
         };
 
-        let mut tally = OutcomeTally::new();
-        for r in &runs {
-            if r.injection.is_none() && r.outcome == Outcome::Benign {
-                // Fault never fired *and* output matched: not a real
-                // trial. (A crash before the fire point still counts —
-                // mount-time effects are real.)
-                tally.no_fire += 1;
-            }
-            tally.record(r.outcome);
-        }
-        Ok(CampaignResult { tally, runs, profile, mode })
+        Ok(CampaignResult { tally: tally_runs(&runs), runs, profile, mode })
     }
 
     /// Gate and validate the replay fast path, building the mid-trace
-    /// checkpoint cache. Returns the [`ReplayFallback`] reason — never
-    /// silently — when any law fails:
-    ///
-    /// * the analyze phase must not have written during the golden run
-    ///   (the recorded op stream would double-apply those writes);
-    /// * the trace must contain exactly as many eligible writes as the
-    ///   profiler counted, *and* as many total writes as the mount's
-    ///   Write counter — a golden run in which any write *attempt*
-    ///   failed (counted when attempted, recorded only on success)
-    ///   would shift replay instance numbering and/or `prim_seq` off
-    ///   the legacy path's;
-    /// * analyze must satisfy the golden-identity law on the captured
-    ///   snapshot;
-    /// * an uninjected full replay must rebuild state that analyzes
-    ///   benign (the fidelity self-check).
+    /// checkpoint cache. The campaign-wide replay laws (read-only
+    /// analyze, attempted-vs-recorded write counts, golden identity,
+    /// uninjected-replay fidelity) live in [`shared_replay_cache`] —
+    /// one implementation, shared with [`MixedCampaign`]'s write-site
+    /// shards so the engagement rules cannot drift apart. This adds
+    /// the per-signature check: the trace must contain exactly as many
+    /// eligible writes as the profiler counted, or replay instance
+    /// numbering would diverge from the injector's.
     ///
     /// (The `Write`-primitive gate is applied by the caller before any
     /// trace is recorded: buffer-level faults — `Replace` keeps the
@@ -468,55 +413,481 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         golden: &A::Output,
         golden_fs: &MemFs,
     ) -> Result<ReplayPlan, ReplayFallback> {
-        // Ops recorded after the produce watermark violate the
-        // read-only-analyze law — except state-neutral bookkeeping
-        // (release/fsync/lock/unlock of analyze's own read-only
-        // descriptors, which the recorder logs but a replay skips).
-        let analyze_mutates =
-            ops[produced_ops.min(ops.len())..].iter().any(|op| op.bookkeeping_fd().is_none());
-        if analyze_mutates {
-            return Err(ReplayFallback::AnalyzeWrites);
-        }
-        let eligible_ops: Vec<usize> = ops
-            .iter()
-            .enumerate()
-            .filter(|(_, op)| {
-                op.is_write() && self.config.signature.target.matches(op.write_path())
-            })
-            .map(|(i, _)| i)
-            .collect();
+        let cache =
+            shared_replay_cache(self.app, ops, produced_ops, attempted_writes, golden, golden_fs)?;
+        let eligible_ops = eligible_write_ops(&cache, &self.config.signature.target);
         if eligible_ops.len() as u64 != eligible {
             return Err(ReplayFallback::TraceMismatch);
-        }
-        // A failed write on a *non-matching* path keeps the eligible
-        // count intact but still advanced the mount's Write counter in
-        // the golden run — replayed writes after it would carry a
-        // `prim_seq` one lower than a real rerun's.
-        if ops.iter().filter(|op| op.is_write()).count() as u64 != attempted_writes {
-            return Err(ReplayFallback::TraceMismatch);
-        }
-        if !crate::outcome::analyze_matches_golden(self.app, golden_fs, golden) {
-            return Err(ReplayFallback::GoldenIdentity);
-        }
-        let cache = TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?;
-        // Self-check: an uninjected full replay from the zero
-        // checkpoint must rebuild state that analyzes benign.
-        let (ffs, mut cursor) = cache.points()[0].mount_fork();
-        if cursor.replay(&*ffs, cache.ops()).is_err()
-            || !crate::outcome::analyze_matches_golden(self.app, &*ffs, golden)
-        {
-            return Err(ReplayFallback::ReplayCheck);
         }
         Ok(ReplayPlan { cache, eligible_ops })
     }
 }
 
+/// Op indices of the trace's eligible writes under `target` (instance
+/// `k` is element `k-1`) — the one definition of write-site
+/// eligibility both campaign drivers index injections with.
+fn eligible_write_ops(cache: &TraceCheckpoints, target: &TargetFilter) -> Vec<usize> {
+    cache
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.is_write() && target.matches(op.write_path()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// The campaign's prepared replay fast path: the checkpointed golden
 /// trace plus the op index of every eligible write (instance `k` is
-/// `eligible_ops[k-1]`).
+/// `eligible_ops[k-1]`). The checkpoint cache sits behind an `Arc` so
+/// a [`MixedCampaign`] can share one cache across all its write-site
+/// shards.
 struct ReplayPlan {
-    cache: TraceCheckpoints,
+    cache: Arc<TraceCheckpoints>,
     eligible_ops: Vec<usize>,
+}
+
+/// Classify one finished application result into a [`RunResult`] —
+/// shared by the single-signature and mixed campaign drivers so crash
+/// capture (messages, panic downcasts) cannot drift between them.
+fn finish_run<A: FaultApp>(
+    app: &A,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    injection: Option<InjectionRecord>,
+    mode: ExecutionMode,
+    app_result: std::thread::Result<Result<A::Output, String>>,
+) -> RunResult {
+    match app_result {
+        Ok(Ok(faulty)) => RunResult {
+            run,
+            outcome: app.classify(golden, &faulty),
+            target_instance,
+            injection,
+            crash_message: None,
+            mode,
+        },
+        Ok(Err(msg)) => RunResult {
+            run,
+            outcome: Outcome::Crash,
+            target_instance,
+            injection,
+            crash_message: Some(msg),
+            mode,
+        },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            RunResult {
+                run,
+                outcome: Outcome::Crash,
+                target_instance,
+                injection,
+                crash_message: Some(msg),
+                mode,
+            }
+        }
+    }
+}
+
+/// Execute one injection run — checkpointed suffix replay when `plan`
+/// is available, full produce+analyze re-execution otherwise — and
+/// classify it. The single-signature [`Campaign`] and the sharded
+/// [`MixedCampaign`] both funnel through here, so replay and rerun
+/// shards of a mixed campaign behave identically to their
+/// single-signature counterparts.
+#[allow(clippy::too_many_arguments)]
+fn execute_run<A: FaultApp>(
+    app: &A,
+    signature: &FaultSignature,
+    plan: Option<&ReplayPlan>,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    seed: u64,
+    mode: ExecutionMode,
+) -> RunResult {
+    match plan {
+        // Fast path: fork the nearest checkpoint preceding the target
+        // instance, replay only the trace suffix through the armed
+        // injector (the fault lands in the same instance, with the
+        // same record numbering, it would during a real execution),
+        // then analyze.
+        Some(plan) => {
+            let target_op = plan.eligible_ops[(target_instance - 1) as usize];
+            let point = plan.cache.nearest_before(target_op);
+            let already_seen = plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
+            let injector = Arc::new(ArmedInjector::resuming(
+                signature.clone(),
+                target_instance,
+                seed,
+                already_seen,
+            ));
+            let (ffs, mut cursor) = point.mount_fork();
+            ffs.attach(injector.clone());
+            let app_result = catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
+                cursor.replay(&*ffs, plan.cache.suffix(point)).map_err(|e| e.to_string())?;
+                app.analyze(&*ffs, Some(golden))
+            }));
+            ffs.unmount();
+            finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
+        }
+        // Reference path: full application re-execution.
+        None => {
+            let injector = Arc::new(ArmedInjector::new(signature.clone(), target_instance, seed));
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            ffs.attach(injector.clone());
+            let app_result = catch_unwind(AssertUnwindSafe(|| {
+                app.produce(&*ffs)?;
+                app.analyze(&*ffs, Some(golden))
+            }));
+            ffs.unmount();
+            finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
+        }
+    }
+}
+
+/// Tally a run sequence, counting the no-fire runs (armed fault never
+/// executed *and* output matched — not a real trial).
+fn tally_runs<'a>(runs: impl IntoIterator<Item = &'a RunResult>) -> OutcomeTally {
+    let mut tally = OutcomeTally::new();
+    for r in runs {
+        if r.injection.is_none() && r.outcome == Outcome::Benign {
+            // A crash before the fire point still counts — mount-time
+            // effects are real.
+            tally.no_fire += 1;
+        }
+        tally.record(r.outcome);
+    }
+    tally
+}
+
+/// Configuration for a [`MixedCampaign`]: several fault signatures —
+/// typically read-site and write-site variants of the same models —
+/// sharing one golden run and one interleaved, seed-deterministic run
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct MixedCampaignConfig {
+    /// The shard signatures. Global run `i` belongs to shard
+    /// `i % signatures.len()` (round-robin), so replay-backed
+    /// write-site runs and rerun-backed read-site runs interleave
+    /// deterministically in run order.
+    pub signatures: Vec<FaultSignature>,
+    /// Total runs across all shards.
+    pub runs: usize,
+    /// Root seed. Shard `s` owns the independent stream
+    /// `root.child(s)`, and its `j`-th run draws from
+    /// `root.child(s).child(j)` — per-shard RNG streams, so a shard's
+    /// instance choices depend only on the root seed and its own run
+    /// schedule, never on sibling shards, scheduling order, or
+    /// [`MixedCampaignConfig::parallel`].
+    pub seed: u64,
+    /// Fan runs out across the rayon thread pool.
+    pub parallel: bool,
+    /// Golden-trace replay for write-site shards. Read-site shards are
+    /// non-replayable by construction and always take the full-rerun
+    /// path with [`ReplayFallback::ReadSiteFault`] recorded.
+    pub replay: bool,
+}
+
+impl MixedCampaignConfig {
+    /// Config with paper defaults (1,000 total runs, parallel, replay
+    /// on for write-site shards).
+    pub fn new(signatures: Vec<FaultSignature>) -> Self {
+        MixedCampaignConfig {
+            signatures,
+            runs: 1000,
+            seed: 0xFF15_0002,
+            parallel: true,
+            replay: replay_default(),
+        }
+    }
+
+    /// Override the total run count.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the write-site replay fast path.
+    pub fn with_replay(mut self, replay: bool) -> Self {
+        self.replay = replay;
+        self
+    }
+}
+
+/// Per-shard summary of a [`MixedCampaignResult`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The shard's fault signature.
+    pub signature: FaultSignature,
+    /// Eligible-instance count for the shard's `(primitive, target)`
+    /// scope, measured on the shared golden run.
+    pub eligible: u64,
+    /// The execution strategy the shard's runs took.
+    pub mode: ExecutionMode,
+    /// Outcome tally over the shard's runs only.
+    pub tally: OutcomeTally,
+}
+
+/// Result of a mixed campaign.
+#[derive(Debug, Clone)]
+pub struct MixedCampaignResult {
+    /// Outcome tally across all shards.
+    pub tally: OutcomeTally,
+    /// Per-run results in global run order; [`RunResult::mode`] tells
+    /// which strategy produced each run.
+    pub runs: Vec<RunResult>,
+    /// The shared fault-free profile.
+    pub profile: ProfileReport,
+    /// Per-shard signatures, eligible counts, modes, and tallies.
+    pub shards: Vec<ShardReport>,
+}
+
+impl MixedCampaignResult {
+    /// Runs belonging to shard `s` (in run order).
+    pub fn shard_runs(&self, s: usize) -> impl Iterator<Item = &RunResult> {
+        let k = self.shards.len();
+        self.runs.iter().filter(move |r| r.run % k == s)
+    }
+}
+
+/// The one implementation of the campaign-wide replay laws — called
+/// by [`Campaign::run`]'s `replay_plan` and checked once per
+/// [`MixedCampaign`] golden trace, so the engagement rules cannot
+/// drift between the drivers. Returns the [`ReplayFallback`] reason —
+/// never silently — when any law fails:
+///
+/// * the analyze phase must not have written during the golden run
+///   (the recorded op stream would double-apply those writes);
+/// * the trace must record exactly as many writes as the mount's
+///   Write counter attempted — a failed write attempt (counted when
+///   attempted, recorded only on success) would shift replayed
+///   `prim_seq` numbering off a real rerun's;
+/// * analyze must satisfy the golden-identity law on the captured
+///   snapshot;
+/// * an uninjected full replay must rebuild state that analyzes
+///   benign (the fidelity self-check).
+///
+/// Per-signature eligible-write numbering is validated separately by
+/// each caller against its target filter ([`eligible_write_ops`]).
+fn shared_replay_cache<A: FaultApp>(
+    app: &A,
+    ops: Vec<TraceOp>,
+    produced_ops: usize,
+    attempted_writes: u64,
+    golden: &A::Output,
+    golden_fs: &MemFs,
+) -> Result<Arc<TraceCheckpoints>, ReplayFallback> {
+    // Ops recorded after the produce watermark violate the
+    // read-only-analyze law — except state-neutral bookkeeping
+    // (release/fsync/lock/unlock of analyze's own read-only
+    // descriptors, which the recorder logs but a replay skips).
+    let analyze_mutates =
+        ops[produced_ops.min(ops.len())..].iter().any(|op| op.bookkeeping_fd().is_none());
+    if analyze_mutates {
+        return Err(ReplayFallback::AnalyzeWrites);
+    }
+    if ops.iter().filter(|op| op.is_write()).count() as u64 != attempted_writes {
+        return Err(ReplayFallback::TraceMismatch);
+    }
+    if !crate::outcome::analyze_matches_golden(app, golden_fs, golden) {
+        return Err(ReplayFallback::GoldenIdentity);
+    }
+    let cache = TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?;
+    let (ffs, mut cursor) = cache.points()[0].mount_fork();
+    if cursor.replay(&*ffs, cache.ops()).is_err()
+        || !crate::outcome::analyze_matches_golden(app, &*ffs, golden)
+    {
+        return Err(ReplayFallback::ReplayCheck);
+    }
+    Ok(Arc::new(cache))
+}
+
+/// One prepared shard of a mixed campaign.
+struct Shard {
+    signature: FaultSignature,
+    eligible: u64,
+    mode: ExecutionMode,
+    plan: Option<ReplayPlan>,
+}
+
+/// Campaign driver interleaving several fault signatures over one
+/// golden run — the engine behind mixed read+write characterization.
+///
+/// Write-site shards ride the checkpointed golden-trace replay exactly
+/// like a single-signature [`Campaign`]; read-site shards take the
+/// full-rerun path (recording [`ReplayFallback::ReadSiteFault`]), and
+/// the round-robin schedule interleaves the two strategies
+/// deterministically: rerunning the same config — serial or parallel —
+/// reproduces every outcome, per-run [`ExecutionMode`], and instance
+/// choice.
+pub struct MixedCampaign<'a, A: FaultApp> {
+    app: &'a A,
+    config: MixedCampaignConfig,
+}
+
+impl<'a, A: FaultApp> MixedCampaign<'a, A> {
+    /// New mixed campaign over `app`.
+    pub fn new(app: &'a A, config: MixedCampaignConfig) -> Self {
+        MixedCampaign { app, config }
+    }
+
+    /// Execute the whole workflow.
+    pub fn run(&self) -> Result<MixedCampaignResult, CampaignError> {
+        let k = self.config.signatures.len();
+        if k == 0 {
+            return Err(CampaignError::BadSignature(
+                "mixed campaign needs at least one signature".into(),
+            ));
+        }
+        for sig in &self.config.signatures {
+            sig.validate().map_err(CampaignError::BadSignature)?;
+        }
+
+        // One shared golden/profiling run. The trace interceptor
+        // records every primitive crossing, so each shard's eligible
+        // population is derived from the same execution; the op
+        // recorder is attached only when some write-site shard can use
+        // the replay fast path.
+        let record = self.config.replay
+            && self.config.signatures.iter().any(|s| s.primitive == Primitive::Write);
+        let profiler = IoProfiler::new(Primitive::Write, TargetFilter::Any);
+        let recorder = Arc::new(TraceRecorder::new());
+        let extras: Vec<Arc<dyn Interceptor>> =
+            if record { vec![recorder.clone()] } else { Vec::new() };
+        let produced_ops = std::cell::Cell::new(0usize);
+        let (profile, golden, base) = profiler
+            .profile_with(&extras, |fs| {
+                self.app.produce(fs)?;
+                produced_ops.set(recorder.len());
+                self.app.analyze(fs, None)
+            })
+            .map_err(CampaignError::GoldenRunFailed)?;
+
+        let eligible: Vec<u64> = self
+            .config
+            .signatures
+            .iter()
+            .map(|sig| {
+                profile
+                    .trace
+                    .iter()
+                    .filter(|r| r.in_scope(sig.primitive, |p| sig.target.matches(p)))
+                    .count() as u64
+            })
+            .collect();
+        if eligible.contains(&0) {
+            return Err(CampaignError::NoEligibleInstances);
+        }
+
+        let cache: Result<Arc<TraceCheckpoints>, ReplayFallback> = if !record {
+            Err(ReplayFallback::Disabled)
+        } else {
+            shared_replay_cache(
+                self.app,
+                recorder.take_ops(),
+                produced_ops.get(),
+                profile.counters.get(Primitive::Write),
+                &golden,
+                &base,
+            )
+        };
+
+        let shards: Vec<Shard> = self
+            .config
+            .signatures
+            .iter()
+            .zip(&eligible)
+            .map(|(sig, &elig)| {
+                let (mode, plan) = if !self.config.replay {
+                    (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
+                } else {
+                    match sig.primitive {
+                        Primitive::Read => (
+                            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault },
+                            None,
+                        ),
+                        Primitive::Write => match &cache {
+                            Ok(cache) => {
+                                let eligible_ops = eligible_write_ops(cache, &sig.target);
+                                if eligible_ops.len() as u64 != elig {
+                                    (
+                                        ExecutionMode::FullRerun {
+                                            reason: ReplayFallback::TraceMismatch,
+                                        },
+                                        None,
+                                    )
+                                } else {
+                                    (
+                                        ExecutionMode::Replay,
+                                        Some(ReplayPlan { cache: cache.clone(), eligible_ops }),
+                                    )
+                                }
+                            }
+                            Err(reason) => (ExecutionMode::FullRerun { reason: *reason }, None),
+                        },
+                        _ => (
+                            ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive },
+                            None,
+                        ),
+                    }
+                };
+                Shard { signature: sig.clone(), eligible: elig, mode, plan }
+            })
+            .collect();
+
+        // Per-shard RNG streams off the root.
+        let root = Rng::seed_from(self.config.seed);
+        let shard_roots: Vec<Rng> = (0..k).map(|s| root.child(s as u64)).collect();
+        let golden = Arc::new(golden);
+
+        let run_one = |i: usize| -> RunResult {
+            let s = i % k;
+            let shard = &shards[s];
+            let mut rng = shard_roots[s].child((i / k) as u64);
+            let target_instance = rng.gen_range(shard.eligible) + 1;
+            let seed = rng.next_u64();
+            execute_run(
+                self.app,
+                &shard.signature,
+                shard.plan.as_ref(),
+                &golden,
+                i,
+                target_instance,
+                seed,
+                shard.mode,
+            )
+        };
+
+        let runs: Vec<RunResult> = if self.config.parallel {
+            (0..self.config.runs).into_par_iter().map(run_one).collect()
+        } else {
+            (0..self.config.runs).map(run_one).collect()
+        };
+
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, shard)| ShardReport {
+                signature: shard.signature,
+                eligible: shard.eligible,
+                mode: shard.mode,
+                tally: tally_runs(runs.iter().filter(|r| r.run % k == s)),
+            })
+            .collect();
+
+        Ok(MixedCampaignResult { tally: tally_runs(&runs), runs, profile, shards })
+    }
 }
 
 #[cfg(test)]
@@ -801,7 +1172,8 @@ mod tests {
     fn csv_row_escapes_labels_and_matches_header() {
         let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
             .with_runs(10)
-            .with_seed(5);
+            .with_seed(5)
+            .with_replay(true);
         let result = Campaign::new(&ToyApp, cfg).run().unwrap();
         let columns = CampaignResult::csv_header().split(',').count();
 
@@ -825,10 +1197,17 @@ mod tests {
 
     #[test]
     fn campaigns_default_to_replay_and_record_fallbacks() {
+        if std::env::var_os("FFIS_REPLAY").is_none() {
+            // The CI rerun job sets FFIS_REPLAY=0 to drive the whole
+            // suite through the full-rerun path; absent that override,
+            // replay is the default.
+            let default_cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()));
+            assert!(default_cfg.replay, "replay is the default execution mode");
+        }
         let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
             .with_runs(5)
-            .with_seed(6);
-        assert!(cfg.replay, "replay is the default execution mode");
+            .with_seed(6)
+            .with_replay(true);
         let fast = Campaign::new(&ToyApp, cfg.clone()).run().unwrap();
         assert_eq!(fast.mode, ExecutionMode::Replay);
         assert!(fast.used_replay());
@@ -844,7 +1223,10 @@ mod tests {
             primitive: Primitive::Mknod,
             target: crate::fault::TargetFilter::Any,
         };
-        let nodes = Campaign::new(&MknodApp, CampaignConfig::new(sig).with_runs(3)).run().unwrap();
+        let nodes =
+            Campaign::new(&MknodApp, CampaignConfig::new(sig).with_runs(3).with_replay(true))
+                .run()
+                .unwrap();
         assert_eq!(
             nodes.mode,
             ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }
@@ -883,7 +1265,8 @@ mod tests {
     fn analyze_writes_disable_replay_with_reason() {
         let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
             .with_runs(8)
-            .with_seed(21);
+            .with_seed(21)
+            .with_replay(true);
         let result = Campaign::new(&ChattyAnalyzeApp, cfg).run().unwrap();
         assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::AnalyzeWrites });
         assert_eq!(result.tally.total(), 8);
@@ -905,6 +1288,144 @@ mod tests {
         fn name(&self) -> String {
             "MKNOD".into()
         }
+    }
+
+    #[test]
+    fn read_site_campaigns_full_rerun_with_reason() {
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+            .with_runs(12)
+            .with_seed(31)
+            .with_replay(true);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault });
+        assert_eq!(result.mode.to_string(), "rerun(read-site-fault)");
+        assert_eq!(result.tally.total(), 12);
+        // ToyApp's analyze reads /out.dat back in one pread.
+        assert_eq!(result.profile.eligible, 1);
+        for r in &result.runs {
+            assert_eq!(r.mode, result.mode, "per-run mode mirrors the campaign mode");
+            let rec = r.injection.as_ref().expect("single-instance space always fires");
+            assert_eq!(rec.primitive, Primitive::Read);
+        }
+        // A 2-bit flip in the returned data always perturbs the
+        // checksum/file comparison: nothing is benign.
+        assert_eq!(result.tally.benign, 0, "{}", result.tally);
+    }
+
+    #[test]
+    fn dropped_read_leaves_stale_zeroed_buffer() {
+        // ToyApp reads into a zeroed buffer; DROPPED READ hands that
+        // stale buffer back with full success, so analyze sees an
+        // all-zero file of the right length -> the checksum detector
+        // fires on every run.
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::dropped_write()))
+            .with_runs(6)
+            .with_seed(33);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(result.tally.detected, 6, "{}", result.tally);
+        for r in &result.runs {
+            let rec = r.injection.as_ref().unwrap();
+            assert!(rec.detail.contains("dropped read"), "{}", rec.detail);
+        }
+    }
+
+    #[test]
+    fn single_signature_runs_carry_campaign_mode() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(5)
+            .with_seed(34)
+            .with_replay(true);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(result.mode, ExecutionMode::Replay);
+        assert!(result.runs.iter().all(|r| r.mode == ExecutionMode::Replay));
+    }
+
+    fn mixed_cfg(parallel: bool) -> MixedCampaignConfig {
+        let mut cfg = MixedCampaignConfig::new(vec![
+            FaultSignature::on_write(FaultModel::bit_flip()),
+            FaultSignature::on_read(FaultModel::bit_flip()),
+            FaultSignature::on_read(FaultModel::dropped_write()),
+        ])
+        .with_runs(24)
+        .with_seed(35)
+        .with_replay(true);
+        cfg.parallel = parallel;
+        cfg
+    }
+
+    #[test]
+    fn mixed_campaign_interleaves_replay_and_rerun() {
+        let result = MixedCampaign::new(&ToyApp, mixed_cfg(true)).run().unwrap();
+        assert_eq!(result.runs.len(), 24);
+        assert_eq!(result.shards.len(), 3);
+        assert_eq!(result.shards[0].mode, ExecutionMode::Replay);
+        assert_eq!(
+            result.shards[1].mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
+        );
+        assert_eq!(
+            result.shards[2].mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
+        );
+        assert_eq!(result.shards[0].eligible, 11);
+        assert_eq!(result.shards[1].eligible, 1);
+        // Round-robin schedule: run i belongs to shard i % 3, and its
+        // recorded mode matches its shard's strategy.
+        for r in &result.runs {
+            assert_eq!(r.mode, result.shards[r.run % 3].mode, "run {}", r.run);
+        }
+        // Shard tallies partition the global tally.
+        let mut merged = OutcomeTally::new();
+        for s in &result.shards {
+            assert_eq!(s.tally.total(), 8);
+            merged.merge(&s.tally);
+        }
+        assert_eq!(merged, result.tally);
+        assert_eq!(result.shard_runs(1).count(), 8);
+    }
+
+    #[test]
+    fn mixed_campaign_is_deterministic_across_parallelism_and_reruns() {
+        let a = MixedCampaign::new(&ToyApp, mixed_cfg(false)).run().unwrap();
+        let b = MixedCampaign::new(&ToyApp, mixed_cfg(true)).run().unwrap();
+        let c = MixedCampaign::new(&ToyApp, mixed_cfg(true)).run().unwrap();
+        for other in [&b, &c] {
+            assert_eq!(a.tally, other.tally);
+            for (x, y) in a.runs.iter().zip(&other.runs) {
+                assert_eq!(x.run, y.run);
+                assert_eq!(x.outcome, y.outcome);
+                assert_eq!(x.target_instance, y.target_instance);
+                assert_eq!(x.mode, y.mode);
+                assert_eq!(x.injection, y.injection);
+                assert_eq!(x.crash_message, y.crash_message);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_campaign_with_replay_off_reruns_everything() {
+        let result = MixedCampaign::new(&ToyApp, mixed_cfg(true).with_replay(false)).run().unwrap();
+        for s in &result.shards {
+            assert_eq!(s.mode, ExecutionMode::FullRerun { reason: ReplayFallback::Disabled });
+        }
+    }
+
+    #[test]
+    fn mixed_campaign_rejects_empty_and_invalid_signatures() {
+        let empty = MixedCampaignConfig::new(Vec::new()).with_runs(1);
+        assert!(matches!(
+            MixedCampaign::new(&ToyApp, empty).run(),
+            Err(CampaignError::BadSignature(_))
+        ));
+        let invalid =
+            MixedCampaignConfig::new(vec![FaultSignature::on_write(FaultModel::BitFlip {
+                bits: 0,
+            })])
+            .with_runs(1);
+        assert!(matches!(
+            MixedCampaign::new(&ToyApp, invalid).run(),
+            Err(CampaignError::BadSignature(_))
+        ));
     }
 
     #[test]

@@ -12,9 +12,50 @@
 //!   so the torn tail silently carries *undefined* device data.
 //! * [`FaultModel::DroppedWrite`] — "the write operation is ignored"
 //!   while success is reported.
+//!
+//! Each model can be hosted at either **injection site** of the data
+//! path ([`InjectionSite`]): the write site (the paper's principal
+//! campaigns — corrupt what reaches the device) or the read site
+//! (corrupt what the device *returns* while the stored bytes stay
+//! pristine — the uncorrectable-read-error regime that slips past the
+//! device ECC). At the read site the torn and dropped models go by
+//! their read names, SHORN READ and DROPPED READ; the site-aware
+//! [`FaultModel::label_at`] / [`FaultModel::name_at`] /
+//! [`FaultModel::feature_description_at`] render either vocabulary.
 
 use crate::rng::Rng;
 use ffis_vfs::{Primitive, BLOCK_SIZE, SECTOR_SIZE};
+
+/// Which side of the data path hosts the fault: the buffer travelling
+/// *to* the device (write site) or the buffer returned *from* it
+/// (read site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionSite {
+    /// Corrupt the data handed to the device (`FFIS_write` and the
+    /// scalar-parameter primitives). Persistent: the damage lands on
+    /// the device and every later read observes it.
+    Write,
+    /// Corrupt the data returned to the application (`FFIS_read`).
+    /// Transient: the device state stays byte-identical; only this
+    /// transfer's copy is damaged.
+    Read,
+}
+
+impl InjectionSite {
+    /// Lower-case site token used in reports.
+    pub fn token(self) -> &'static str {
+        match self {
+            InjectionSite::Write => "write",
+            InjectionSite::Read => "read",
+        }
+    }
+}
+
+impl std::fmt::Display for InjectionSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
 
 /// How much of each 4 KiB block a shorn write persists (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,36 +138,73 @@ impl FaultModel {
     }
 
     /// Short label used in result tables ("BF", "SW", "DW" — the
-    /// abbreviations of Figure 7).
+    /// abbreviations of Figure 7). Write-site vocabulary; read-site
+    /// tables use [`FaultModel::label_at`].
     pub fn label(&self) -> &'static str {
-        match self {
-            FaultModel::BitFlip { .. } => "BF",
-            FaultModel::ShornWrite { .. } => "SW",
-            FaultModel::DroppedWrite => "DW",
+        self.label_at(InjectionSite::Write)
+    }
+
+    /// Site-aware short label: BIT FLIP is "BF" at either site, while
+    /// the torn and dropped models read "SR" / "DR" at the read site.
+    pub fn label_at(&self, site: InjectionSite) -> &'static str {
+        match (self, site) {
+            (FaultModel::BitFlip { .. }, _) => "BF",
+            (FaultModel::ShornWrite { .. }, InjectionSite::Write) => "SW",
+            (FaultModel::ShornWrite { .. }, InjectionSite::Read) => "SR",
+            (FaultModel::DroppedWrite, InjectionSite::Write) => "DW",
+            (FaultModel::DroppedWrite, InjectionSite::Read) => "DR",
         }
     }
 
-    /// Human-readable name matching the paper's typography.
+    /// Human-readable name matching the paper's typography (write-site
+    /// vocabulary; read-site tables use [`FaultModel::name_at`]).
     pub fn name(&self) -> &'static str {
-        match self {
-            FaultModel::BitFlip { .. } => "BIT FLIP",
-            FaultModel::ShornWrite { .. } => "SHORN WRITE",
-            FaultModel::DroppedWrite => "DROPPED WRITE",
+        self.name_at(InjectionSite::Write)
+    }
+
+    /// Site-aware display name ("SHORN WRITE" vs "SHORN READ", ...).
+    pub fn name_at(&self, site: InjectionSite) -> &'static str {
+        match (self, site) {
+            (FaultModel::BitFlip { .. }, _) => "BIT FLIP",
+            (FaultModel::ShornWrite { .. }, InjectionSite::Write) => "SHORN WRITE",
+            (FaultModel::ShornWrite { .. }, InjectionSite::Read) => "SHORN READ",
+            (FaultModel::DroppedWrite, InjectionSite::Write) => "DROPPED WRITE",
+            (FaultModel::DroppedWrite, InjectionSite::Read) => "DROPPED READ",
         }
     }
 
-    /// Table I "Features" column text.
+    /// Table I "Features" column text (write-site vocabulary).
     pub fn feature_description(&self) -> String {
-        match self {
-            FaultModel::BitFlip { bits } => {
+        self.feature_description_at(InjectionSite::Write)
+    }
+
+    /// Site-aware Table I "Features" text: the read-site rows describe
+    /// the damage to the *returned* buffer rather than the device.
+    pub fn feature_description_at(&self, site: InjectionSite) -> String {
+        match (self, site) {
+            (FaultModel::BitFlip { bits }, InjectionSite::Write) => {
                 format!("flip consecutive multiple bits ({} bits)", bits)
             }
-            FaultModel::ShornWrite { keep, fill } => format!(
+            (FaultModel::BitFlip { bits }, InjectionSite::Read) => format!(
+                "flip consecutive multiple bits ({} bits) in the data returned by the read",
+                bits
+            ),
+            (FaultModel::ShornWrite { keep, fill }, InjectionSite::Write) => format!(
                 "completely write the first {}/8th of 4KB block to the device at the granularity of 512B (torn fill: {:?})",
                 keep.sectors_kept(),
                 fill
             ),
-            FaultModel::DroppedWrite => "the write operation is ignored".to_string(),
+            (FaultModel::ShornWrite { keep, fill }, InjectionSite::Read) => format!(
+                "return only the first {}/8th of a 4KB block of the read buffer intact at the granularity of 512B (torn fill: {:?}); the device bytes stay pristine",
+                keep.sectors_kept(),
+                fill
+            ),
+            (FaultModel::DroppedWrite, InjectionSite::Write) => {
+                "the write operation is ignored".to_string()
+            }
+            (FaultModel::DroppedWrite, InjectionSite::Read) => {
+                "the read transfer is ignored: the application keeps its stale buffer while full success is reported".to_string()
+            }
         }
     }
 }
@@ -285,6 +363,65 @@ impl FaultModel {
     }
 }
 
+/// What a read-site fault application did to the buffer a read is
+/// about to return (for injection records). The device state is never
+/// touched by construction — read faults damage only the copy handed
+/// back to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadMutation {
+    /// The returned bytes were mutated in place; the reported length
+    /// stays the device's.
+    Corrupted {
+        /// Description of the damage (bit position, torn range, ...).
+        detail: String,
+    },
+    /// The transfer was dropped: the application keeps its stale
+    /// pre-call buffer while full success is reported — DROPPED READ.
+    Dropped {
+        /// Description of the drop.
+        detail: String,
+    },
+    /// Model could not apply (e.g. empty transfer); forward unchanged.
+    NotApplicable,
+}
+
+impl FaultModel {
+    /// Apply the model to the `n` bytes a read is returning, mutating
+    /// `buf[..n]` in place (Figure 3a's instrumentation mirrored onto
+    /// the return path: the mutation is what FFIS hands back to the
+    /// application, while the device bytes stay pristine).
+    ///
+    /// * BIT FLIP — flip `bits` consecutive bits of the returned data.
+    /// * SHORN READ — one 4 KiB block of the returned buffer arrives
+    ///   torn at 512 B sector granularity (same tear geometry as the
+    ///   write-site model, applied to the transfer instead of the
+    ///   device).
+    /// * DROPPED READ — the transfer is ignored; the caller applies
+    ///   the stale-buffer semantics ([`ReadMutation::Dropped`]).
+    pub fn apply_to_read(&self, buf: &mut [u8], n: usize, rng: &mut Rng) -> ReadMutation {
+        if n == 0 {
+            // A zero-length transfer (EOF probe) carries nothing any
+            // model could damage — DROPPED READ included, so an armed
+            // fault on such an instance counts as no-fire exactly like
+            // the other models.
+            return ReadMutation::NotApplicable;
+        }
+        if let FaultModel::DroppedWrite = self {
+            return ReadMutation::Dropped { detail: "dropped read (stale buffer)".into() };
+        }
+        // BIT FLIP and SHORN READ share the exact buffer-damage
+        // geometry of their write-site counterparts.
+        match self.apply_to_buffer(&buf[..n], rng) {
+            Mutation::Replaced { buf: out, detail } => {
+                buf[..n].copy_from_slice(&out);
+                ReadMutation::Corrupted { detail }
+            }
+            Mutation::NotApplicable => ReadMutation::NotApplicable,
+            Mutation::Dropped => unreachable!("dropped handled above"),
+        }
+    }
+}
+
 /// A complete fault signature: model + primitive + target scope
 /// (paper §III-C: "the fault model, the file system primitive where
 /// the fault would be injected ... and the choice of the feature").
@@ -307,9 +444,40 @@ impl FaultSignature {
         FaultSignature { model, primitive: Primitive::Write, target: TargetFilter::Any }
     }
 
-    /// Injectable primitives (buffer- or scalar-carrying).
+    /// Read-site signature: the given model on `FFIS_read`, across all
+    /// files — the model damages the data *returned* to the
+    /// application while the device bytes stay pristine.
+    pub fn on_read(model: FaultModel) -> Self {
+        FaultSignature { model, primitive: Primitive::Read, target: TargetFilter::Any }
+    }
+
+    /// Which side of the data path this signature injects into,
+    /// derived from the hosting primitive.
+    pub fn site(&self) -> InjectionSite {
+        if self.primitive == Primitive::Read {
+            InjectionSite::Read
+        } else {
+            InjectionSite::Write
+        }
+    }
+
+    /// Site-aware short label for result tables ("BF"/"SW"/"DW" at the
+    /// write site, "BF"/"SR"/"DR" at the read site).
+    pub fn label(&self) -> &'static str {
+        self.model.label_at(self.site())
+    }
+
+    /// Injectable primitives (buffer- or scalar-carrying, plus the
+    /// read return path).
     pub fn primitive_is_injectable(p: Primitive) -> bool {
-        matches!(p, Primitive::Write | Primitive::Mknod | Primitive::Chmod | Primitive::Truncate)
+        matches!(
+            p,
+            Primitive::Write
+                | Primitive::Read
+                | Primitive::Mknod
+                | Primitive::Chmod
+                | Primitive::Truncate
+        )
     }
 
     /// Validate the signature.
@@ -317,9 +485,14 @@ impl FaultSignature {
         if !Self::primitive_is_injectable(self.primitive) {
             return Err(format!("{} is not an injectable primitive", self.primitive));
         }
-        if self.primitive != Primitive::Write && !matches!(self.model, FaultModel::BitFlip { .. }) {
+        // The buffer-carrying primitives (write and read) host all
+        // three models; the scalar-parameter primitives host BIT FLIP
+        // only.
+        if !matches!(self.primitive, Primitive::Write | Primitive::Read)
+            && !matches!(self.model, FaultModel::BitFlip { .. })
+        {
             return Err(format!(
-                "{} only hosts BIT FLIP faults (shorn/dropped writes are write-path models)",
+                "{} only hosts BIT FLIP faults (shorn/dropped models need a data buffer)",
                 self.primitive
             ));
         }
@@ -334,7 +507,7 @@ impl FaultSignature {
 
 impl std::fmt::Display for FaultSignature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} on {} ({})", self.model.name(), self.primitive, self.target)
+        write!(f, "{} on {} ({})", self.model.name_at(self.site()), self.primitive, self.target)
     }
 }
 
@@ -590,5 +763,102 @@ mod tests {
         assert_eq!(FaultModel::bit_flip().name(), "BIT FLIP");
         assert!(FaultModel::bit_flip().feature_description().contains("2 bits"));
         assert!(FaultModel::shorn_write().feature_description().contains("7/8th"));
+    }
+
+    #[test]
+    fn site_aware_labels_and_names() {
+        use InjectionSite::{Read, Write};
+        // Write-site vocabulary is untouched by the site refactor.
+        assert_eq!(FaultModel::shorn_write().label_at(Write), "SW");
+        assert_eq!(FaultModel::dropped_write().label_at(Write), "DW");
+        assert_eq!(FaultModel::shorn_write().name_at(Write), "SHORN WRITE");
+        // Read-site vocabulary: SR / DR, BIT FLIP stays BF.
+        assert_eq!(FaultModel::bit_flip().label_at(Read), "BF");
+        assert_eq!(FaultModel::shorn_write().label_at(Read), "SR");
+        assert_eq!(FaultModel::dropped_write().label_at(Read), "DR");
+        assert_eq!(FaultModel::shorn_write().name_at(Read), "SHORN READ");
+        assert_eq!(FaultModel::dropped_write().name_at(Read), "DROPPED READ");
+        let feat = FaultModel::shorn_write().feature_description_at(Read);
+        assert!(feat.contains("pristine"), "{}", feat);
+        assert!(FaultModel::dropped_write().feature_description_at(Read).contains("stale"));
+        assert_eq!(InjectionSite::Read.to_string(), "read");
+        assert_eq!(InjectionSite::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn read_signatures_validate_and_display_site_vocabulary() {
+        for model in
+            [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()]
+        {
+            let sig = FaultSignature::on_read(model);
+            assert!(sig.validate().is_ok(), "{:?}", model);
+            assert_eq!(sig.site(), InjectionSite::Read);
+        }
+        assert_eq!(
+            FaultSignature::on_write(FaultModel::shorn_write()).site(),
+            InjectionSite::Write
+        );
+        assert_eq!(FaultSignature::on_read(FaultModel::shorn_write()).label(), "SR");
+        assert_eq!(FaultSignature::on_write(FaultModel::shorn_write()).label(), "SW");
+        let display = FaultSignature::on_read(FaultModel::dropped_write()).to_string();
+        assert!(display.contains("DROPPED READ on FFIS_read"), "{}", display);
+        let display = FaultSignature::on_write(FaultModel::dropped_write()).to_string();
+        assert!(display.contains("DROPPED WRITE on FFIS_write"), "{}", display);
+    }
+
+    #[test]
+    fn read_bitflip_flips_exactly_n_bits_within_transfer() {
+        let mut buf = vec![0u8; 64];
+        let mut r = rng();
+        match FaultModel::bit_flip().apply_to_read(&mut buf, 32, &mut r) {
+            ReadMutation::Corrupted { detail } => {
+                let flipped: u32 = buf.iter().map(|b| b.count_ones()).sum();
+                assert_eq!(flipped, 2, "{}", detail);
+                assert!(buf[32..].iter().all(|&b| b == 0), "damage confined to the transfer");
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn shorn_read_tears_returned_block_sector_aligned() {
+        let mut buf: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+        let original = buf.clone();
+        let mut r = rng();
+        let model =
+            FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Zeros };
+        match model.apply_to_read(&mut buf, BLOCK_SIZE, &mut r) {
+            ReadMutation::Corrupted { .. } => {
+                let kept = 7 * SECTOR_SIZE;
+                assert_eq!(&buf[..kept], &original[..kept]);
+                assert!(buf[kept..].iter().all(|&b| b == 0));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dropped_read_reports_drop_and_empty_transfer_not_applicable() {
+        let mut buf = vec![7u8; 16];
+        let mut r = rng();
+        match FaultModel::dropped_write().apply_to_read(&mut buf, 16, &mut r) {
+            ReadMutation::Dropped { detail } => assert!(detail.contains("stale")),
+            other => panic!("unexpected {:?}", other),
+        }
+        // The model itself never touches the buffer — the mount's
+        // stale-restore applies the drop.
+        assert!(buf.iter().all(|&b| b == 7));
+        // Zero-length transfers are NotApplicable for every model,
+        // DROPPED READ included (no-fire, same as the other models).
+        for model in
+            [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()]
+        {
+            assert_eq!(
+                model.apply_to_read(&mut buf, 0, &mut r),
+                ReadMutation::NotApplicable,
+                "{:?}",
+                model
+            );
+        }
     }
 }

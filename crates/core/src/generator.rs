@@ -19,6 +19,9 @@ use crate::fault::{FaultModel, FaultSignature, ShornFill, ShornKeep, TargetFilte
 pub struct FaultConfig {
     /// Fault model name: `"bitflip"`, `"shorn"`, `"dropped"` (also
     /// accepts the paper's display names and `BF`/`SW`/`DW` labels).
+    /// The read-site spellings — `"SR"`/`"shorn read"`,
+    /// `"DR"`/`"dropped read"` — select the same torn/dropped models
+    /// *and* default the primitive to `FFIS_read`.
     pub model: String,
     /// BIT FLIP: number of consecutive bits (default 2).
     pub bits: Option<u32>,
@@ -63,9 +66,14 @@ impl FaultConfig {
 
     /// Build and validate the fault signature.
     pub fn build(&self) -> Result<FaultSignature, String> {
-        let model = match self.model.to_ascii_lowercase().replace([' ', '_', '-'], "").as_str() {
+        // Read-site model spellings imply the read primitive (unless
+        // one was named explicitly).
+        let mut read_site_model = false;
+        let norm = self.model.to_ascii_lowercase().replace([' ', '_', '-'], "");
+        let model = match norm.as_str() {
             "bitflip" | "bf" => FaultModel::BitFlip { bits: self.bits.unwrap_or(2) },
-            "shorn" | "shornwrite" | "sw" => {
+            "shorn" | "shornwrite" | "sw" | "shornread" | "sr" => {
+                read_site_model = matches!(norm.as_str(), "shornread" | "sr");
                 let keep = match self.keep.as_deref().unwrap_or("7/8") {
                     "3/8" => ShornKeep::ThreeEighths,
                     "7/8" => ShornKeep::SevenEighths,
@@ -80,16 +88,22 @@ impl FaultConfig {
                 FaultModel::ShornWrite { keep, fill }
             }
             "dropped" | "droppedwrite" | "dw" => FaultModel::DroppedWrite,
+            "droppedread" | "dr" => {
+                read_site_model = true;
+                FaultModel::DroppedWrite
+            }
             other => return Err(format!("unknown fault model '{}'", other)),
         };
+        let default_primitive = if read_site_model { "read" } else { "write" };
         let primitive = match self
             .primitive
             .as_deref()
-            .unwrap_or("write")
+            .unwrap_or(default_primitive)
             .to_ascii_lowercase()
             .trim_start_matches("ffis_")
         {
             "write" | "pwrite" => Primitive::Write,
+            "read" | "pread" => Primitive::Read,
             "mknod" => Primitive::Mknod,
             "chmod" => Primitive::Chmod,
             "truncate" => Primitive::Truncate,
@@ -115,6 +129,16 @@ pub fn paper_signatures() -> [FaultSignature; 3] {
         FaultSignature::on_write(FaultModel::bit_flip()),
         FaultSignature::on_write(FaultModel::shorn_write()),
         FaultSignature::on_write(FaultModel::dropped_write()),
+    ]
+}
+
+/// The read-site mirror of [`paper_signatures`]: BF / SR / DR on
+/// `FFIS_read`, in the same model order.
+pub fn read_signatures() -> [FaultSignature; 3] {
+    [
+        FaultSignature::on_read(FaultModel::bit_flip()),
+        FaultSignature::on_read(FaultModel::shorn_write()),
+        FaultSignature::on_read(FaultModel::dropped_write()),
     ]
 }
 
@@ -207,6 +231,41 @@ mod tests {
         let mut c = FaultConfig::model("dropped");
         c.path_suffix = Some(".h5".into());
         assert_eq!(c.build().unwrap().target, TargetFilter::PathSuffix(".h5".into()));
+    }
+
+    #[test]
+    fn read_site_spellings_imply_read_primitive() {
+        for name in ["SR", "shorn read", "shorn_read"] {
+            let sig = FaultConfig::model(name).build().unwrap();
+            assert!(matches!(sig.model, FaultModel::ShornWrite { .. }), "{}", name);
+            assert_eq!(sig.primitive, Primitive::Read, "{}", name);
+            assert_eq!(sig.label(), "SR");
+        }
+        for name in ["DR", "dropped read"] {
+            let sig = FaultConfig::model(name).build().unwrap();
+            assert_eq!(sig.model, FaultModel::DroppedWrite, "{}", name);
+            assert_eq!(sig.primitive, Primitive::Read, "{}", name);
+            assert_eq!(sig.label(), "DR");
+        }
+        // Explicit primitive choice beats the spelling's default.
+        let mut c = FaultConfig::model("bitflip");
+        c.primitive = Some("read".into());
+        assert_eq!(c.build().unwrap().primitive, Primitive::Read);
+        let mut c = FaultConfig::model("SR");
+        c.primitive = Some("write".into());
+        assert_eq!(c.build().unwrap().primitive, Primitive::Write);
+    }
+
+    #[test]
+    fn read_signatures_order() {
+        let sigs = read_signatures();
+        assert_eq!(sigs[0].label(), "BF");
+        assert_eq!(sigs[1].label(), "SR");
+        assert_eq!(sigs[2].label(), "DR");
+        for s in &sigs {
+            assert!(s.validate().is_ok());
+            assert_eq!(s.primitive, Primitive::Read);
+        }
     }
 
     #[test]

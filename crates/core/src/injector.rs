@@ -15,9 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use ffis_vfs::{CallContext, Interceptor, Primitive, WriteAction};
+use ffis_vfs::{CallContext, Interceptor, Primitive, ReadAction, WriteAction};
 
-use crate::fault::{FaultSignature, Mutation};
+use crate::fault::{FaultModel, FaultSignature, Mutation, ReadMutation};
 use crate::rng::Rng;
 
 /// What actually happened when the fault fired.
@@ -45,6 +45,15 @@ pub struct ArmedInjector {
     signature: FaultSignature,
     target_instance: u64,
     eligible_seen: AtomicU64,
+    /// Global call-sequence number of the armed read crossing (0 =
+    /// none armed yet). Read-site eligibility is counted at call
+    /// *entry* ([`Interceptor::on_call`], before the inner op — the
+    /// same attempt-based numbering the profiler uses), while the
+    /// mutation can only apply after the inner read filled the buffer;
+    /// the `seq` ties the two halves to the same crossing, so a read
+    /// that *fails* still consumes its instance instead of silently
+    /// shifting every later one off the profiled space.
+    armed_read_seq: AtomicU64,
     rng: Mutex<Rng>,
     record: Mutex<Option<InjectionRecord>>,
 }
@@ -76,6 +85,7 @@ impl ArmedInjector {
             signature,
             target_instance,
             eligible_seen: AtomicU64::new(already_seen),
+            armed_read_seq: AtomicU64::new(0),
             rng: Mutex::new(Rng::seed_from(seed)),
             record: Mutex::new(None),
         }
@@ -123,6 +133,57 @@ impl ArmedInjector {
 }
 
 impl Interceptor for ArmedInjector {
+    fn on_call(&self, cx: &CallContext) {
+        // Read-site eligibility counts *attempts* at call entry,
+        // mirroring the profiler's `EligibleCounter` (and the write
+        // site, whose on_write hook also runs before the inner op) —
+        // see `armed_read_seq`.
+        if self.signature.primitive != Primitive::Read || cx.primitive != Primitive::Read {
+            return;
+        }
+        if !self.signature.target.matches(cx.path.as_deref()) {
+            return;
+        }
+        let k = self.eligible_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if k == self.target_instance {
+            self.armed_read_seq.store(cx.seq, Ordering::SeqCst);
+        }
+    }
+
+    fn wants_read_snapshot(&self, cx: &CallContext) -> bool {
+        // Only DROPPED READ needs the pre-call buffer (to hand the
+        // application its stale bytes back), and only for the single
+        // armed crossing — every other read of the run skips the copy.
+        matches!(self.signature.model, FaultModel::DroppedWrite)
+            && self.armed_read_seq.load(Ordering::SeqCst) == cx.seq
+    }
+
+    fn on_read(&self, cx: &CallContext, buf: &mut [u8], n: usize) -> ReadAction {
+        if self.armed_read_seq.load(Ordering::SeqCst) != cx.seq {
+            return ReadAction::Forward;
+        }
+        let mutation = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            self.signature.model.apply_to_read(buf, n, &mut rng)
+        };
+        match mutation {
+            ReadMutation::Corrupted { detail } => {
+                self.store_record(cx, self.target_instance, detail);
+                // The application sees the device's byte count — the
+                // corruption is silent at the filesystem interface.
+                ReadAction::Forward
+            }
+            ReadMutation::Dropped { detail } => {
+                self.store_record(cx, self.target_instance, detail);
+                // Stale buffer, full success reported: the mirror of
+                // DROPPED WRITE's "ignored ... sets the return value
+                // to the original size".
+                ReadAction::Stale { reported_len: n }
+            }
+            ReadMutation::NotApplicable => ReadAction::Forward,
+        }
+    }
+
     fn on_write(&self, cx: &CallContext, buf: &[u8]) -> WriteAction {
         let Some(instance) = self.hit(cx, Primitive::Write) else {
             return WriteAction::Forward;
@@ -189,77 +250,11 @@ impl Interceptor for ArmedInjector {
     }
 }
 
-/// Read-path fault injector: flips bits in the data *returned* to the
-/// application by the `target_instance`-th eligible read (the paper's
-/// abstract-level capability of planting faults "into the data
-/// returned from underlying file systems" — modelling uncorrectable
-/// read errors that slip past the device ECC).
-pub struct ReadFaultInjector {
-    filter: crate::fault::TargetFilter,
-    target_instance: u64,
-    bits: u32,
-    eligible_seen: AtomicU64,
-    rng: Mutex<Rng>,
-    record: Mutex<Option<InjectionRecord>>,
-}
-
-impl ReadFaultInjector {
-    /// Arm for the `target_instance`-th (1-based) matching read,
-    /// flipping `bits` consecutive bits of the returned data.
-    pub fn new(
-        filter: crate::fault::TargetFilter,
-        target_instance: u64,
-        bits: u32,
-        seed: u64,
-    ) -> Self {
-        ReadFaultInjector {
-            filter,
-            target_instance,
-            bits: bits.max(1),
-            eligible_seen: AtomicU64::new(0),
-            rng: Mutex::new(Rng::seed_from(seed)),
-            record: Mutex::new(None),
-        }
-    }
-
-    /// The injection record, if the fault fired.
-    pub fn record(&self) -> Option<InjectionRecord> {
-        self.record.lock().unwrap_or_else(|e| e.into_inner()).clone()
-    }
-
-    /// Eligible reads observed.
-    pub fn eligible_seen(&self) -> u64 {
-        self.eligible_seen.load(Ordering::SeqCst)
-    }
-}
-
-impl Interceptor for ReadFaultInjector {
-    fn on_read_data(&self, cx: &CallContext, buf: &mut [u8], n: usize) {
-        if cx.primitive != Primitive::Read || !self.filter.matches(cx.path.as_deref()) {
-            return;
-        }
-        let k = self.eligible_seen.fetch_add(1, Ordering::SeqCst) + 1;
-        if k != self.target_instance || n == 0 {
-            return;
-        }
-        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
-        let total_bits = n as u64 * 8;
-        let width = u64::from(self.bits).min(total_bits);
-        let start = rng.gen_range(total_bits - width + 1);
-        for b in start..start + width {
-            buf[(b / 8) as usize] ^= 1u8 << (b % 8);
-        }
-        *self.record.lock().unwrap_or_else(|e| e.into_inner()) = Some(InjectionRecord {
-            primitive: Primitive::Read,
-            instance: k,
-            prim_seq: cx.prim_seq,
-            path: cx.path.clone(),
-            offset: cx.offset,
-            len: n,
-            detail: format!("read bitflip bits={} at bit {}", width, start),
-        });
-    }
-}
+// (The former `ReadFaultInjector` — a bitflip-only read injector with
+// success-based instance counting — is subsumed by arming an
+// [`ArmedInjector`] with `FaultSignature::on_read`, which hosts all
+// three models and counts eligible reads at call entry, matching the
+// profiler.)
 
 /// Byte-precise flip applied to one byte of one specific write —
 /// the HDF5 metadata-scan workhorse (§IV-D: "perform a fault injection
@@ -542,28 +537,116 @@ mod tests {
     }
 
     #[test]
-    fn read_injector_corrupts_returned_data_not_the_file() {
-        let fs = mount();
-        fs.write_file("/r", &[0u8; 1024]).unwrap();
-        let inj = Arc::new(ReadFaultInjector::new(TargetFilter::Any, 1, 2, 5));
-        fs.attach(inj.clone());
-        let data = fs.read_to_vec("/r").unwrap();
-        let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
-        assert_eq!(flipped, 2, "exactly two bits corrupted in the returned data");
-        let rec = inj.record().unwrap();
-        assert_eq!(rec.primitive, Primitive::Read);
-        assert!(rec.detail.contains("read bitflip"));
-        // The stored file is untouched: a second (uninjected) read is clean.
-        let again = fs.read_to_vec("/r").unwrap();
-        assert!(again.iter().all(|&b| b == 0));
+    fn armed_injector_read_site_corrupts_transfer_not_device() {
+        use crate::fault::FaultSignature;
+        for model in
+            [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()]
+        {
+            let fs = mount();
+            // Non-uniform payload: SHORN READ's stale fill replicates a
+            // neighbouring sector, which is invisible on constant data.
+            let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+            fs.write_file("/d.bin", &payload).unwrap();
+            let inj = Arc::new(ArmedInjector::new(FaultSignature::on_read(model), 1, 77));
+            fs.attach(inj.clone());
+            let corrupted = fs.read_to_vec("/d.bin").unwrap();
+            let rec = inj.record().unwrap_or_else(|| panic!("{:?} must fire", model));
+            assert_eq!(rec.primitive, Primitive::Read);
+            assert_eq!(rec.instance, 1);
+            assert_ne!(corrupted, payload, "{:?} must damage the returned data", model);
+            // The device is pristine: the next (uninjected) read of the
+            // same mount returns the original bytes.
+            assert_eq!(fs.read_to_vec("/d.bin").unwrap(), payload, "{:?}", model);
+        }
     }
 
     #[test]
-    fn read_injector_respects_instance_and_filter() {
+    fn dropped_read_restores_stale_caller_buffer() {
+        use crate::fault::FaultSignature;
+        use ffis_vfs::OpenFlags;
+        let fs = mount();
+        fs.write_file("/s.bin", &[1u8; 64]).unwrap();
+        let inj = Arc::new(ArmedInjector::new(
+            FaultSignature::on_read(FaultModel::dropped_write()),
+            1,
+            3,
+        ));
+        fs.attach(inj.clone());
+        let fd = fs.open("/s.bin", OpenFlags::read_only()).unwrap();
+        // The caller's buffer carries stale application data (0xEE);
+        // the dropped transfer must hand exactly those bytes back while
+        // reporting full success.
+        let mut buf = [0xEEu8; 64];
+        let n = fs.pread(fd, &mut buf, 0).unwrap();
+        fs.release(fd).unwrap();
+        assert_eq!(n, 64, "success reported for the full transfer");
+        assert!(buf.iter().all(|&b| b == 0xEE), "stale buffer preserved");
+        assert!(inj.record().unwrap().detail.contains("dropped read"));
+    }
+
+    #[test]
+    fn read_site_instance_counting_spans_produce_and_analyze_reads() {
+        use crate::fault::FaultSignature;
+        let fs = mount();
+        fs.write_file("/a", &[1u8; 32]).unwrap();
+        fs.write_file("/b", &[2u8; 32]).unwrap();
+        let inj =
+            Arc::new(ArmedInjector::new(FaultSignature::on_read(FaultModel::bit_flip()), 3, 11));
+        fs.attach(inj.clone());
+        let _ = fs.read_to_vec("/a").unwrap(); // eligible #1
+        let _ = fs.read_to_vec("/b").unwrap(); // eligible #2
+        let third = fs.read_to_vec("/a").unwrap(); // eligible #3: fires
+        assert!(inj.fired());
+        assert_eq!(inj.eligible_seen(), 3);
+        assert_ne!(third, vec![1u8; 32]);
+    }
+
+    #[test]
+    fn failed_read_attempts_consume_their_instance_like_the_profiler() {
+        use crate::fault::FaultSignature;
+        // The profiler counts read *attempts* (on_call fires at entry,
+        // before the inner op), so the injector must too: a failed
+        // read consumes its eligible instance.
+        let fs = mount();
+        fs.write_file("/ok.bin", &[3u8; 16]).unwrap();
+
+        // Armed on instance 1 — which turns out to be a failing read
+        // (bad descriptor): the fault can never apply, so the run is a
+        // no-fire, not a shifted hit on the next read.
+        let inj =
+            Arc::new(ArmedInjector::new(FaultSignature::on_read(FaultModel::bit_flip()), 1, 21));
+        fs.attach(inj.clone());
+        let mut buf = [0u8; 4];
+        assert!(fs.pread(9999, &mut buf, 0).is_err(), "bad descriptor read must fail");
+        let clean = fs.read_to_vec("/ok.bin").unwrap();
+        assert_eq!(clean, vec![3u8; 16], "instance 2 is untouched");
+        assert_eq!(inj.eligible_seen(), 2, "failed attempt + successful read both counted");
+        assert!(!inj.fired(), "a fault armed on a failed read never fires");
+
+        // Armed on instance 2 with the same call pattern: the fault
+        // lands on the first *successful* read, exactly where the
+        // profiled numbering says instance 2 sits.
+        let fs = mount();
+        fs.write_file("/ok.bin", &[3u8; 16]).unwrap();
+        let inj =
+            Arc::new(ArmedInjector::new(FaultSignature::on_read(FaultModel::bit_flip()), 2, 21));
+        fs.attach(inj.clone());
+        let mut buf = [0u8; 4];
+        assert!(fs.pread(9999, &mut buf, 0).is_err());
+        let corrupted = fs.read_to_vec("/ok.bin").unwrap();
+        assert_ne!(corrupted, vec![3u8; 16]);
+        assert_eq!(inj.record().unwrap().instance, 2);
+    }
+
+    #[test]
+    fn read_site_injector_respects_path_filter() {
+        use crate::fault::FaultSignature;
         let fs = mount();
         fs.write_file("/a.h5", &[1u8; 16]).unwrap();
         fs.write_file("/b.log", &[2u8; 16]).unwrap();
-        let inj = Arc::new(ReadFaultInjector::new(TargetFilter::PathSuffix(".h5".into()), 2, 4, 9));
+        let mut sig = FaultSignature::on_read(FaultModel::bit_flip());
+        sig.target = TargetFilter::PathSuffix(".h5".into());
+        let inj = Arc::new(ArmedInjector::new(sig, 2, 9));
         fs.attach(inj.clone());
         let _ = fs.read_to_vec("/b.log").unwrap(); // not eligible
         let first = fs.read_to_vec("/a.h5").unwrap(); // eligible #1: clean
@@ -571,5 +654,6 @@ mod tests {
         let second = fs.read_to_vec("/a.h5").unwrap(); // eligible #2: corrupted
         assert_ne!(second, first);
         assert_eq!(inj.eligible_seen(), 2);
+        assert_eq!(inj.record().unwrap().path.as_deref(), Some("/a.h5"));
     }
 }

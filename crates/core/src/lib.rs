@@ -81,7 +81,7 @@
 //! // the nearest mid-trace checkpoint, replays the suffix through the
 //! // armed injector, and analyzes.
 //! let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
-//!     .with_runs(10).with_seed(7);
+//!     .with_runs(10).with_seed(7).with_replay(true);
 //! let fast = Campaign::new(&Sum, cfg.clone()).run().unwrap();
 //! assert_eq!(fast.mode, ExecutionMode::Replay);
 //! assert_eq!(fast.tally.sdc, 10); // every dropped 4 KiB block changes the sum
@@ -107,14 +107,16 @@ pub mod rng;
 pub mod stats;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode, ReplayFallback,
-    RunResult,
+    replay_default, Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode,
+    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunResult,
+    ShardReport,
 };
-pub use fault::{FaultModel, FaultSignature, Mutation, ShornFill, ShornKeep, TargetFilter};
-pub use generator::{paper_signatures, FaultConfig};
-pub use injector::{
-    ArmedInjector, ByteFaultInjector, ByteFlip, InjectionRecord, ReadFaultInjector,
+pub use fault::{
+    FaultModel, FaultSignature, InjectionSite, Mutation, ReadMutation, ShornFill, ShornKeep,
+    TargetFilter,
 };
+pub use generator::{paper_signatures, read_signatures, FaultConfig};
+pub use injector::{ArmedInjector, ByteFaultInjector, ByteFlip, InjectionRecord};
 pub use metadata_scan::{
     attribute, fields_with_outcome, locate_write, run_with_byte_fault, scan, scan_detailed,
     ByteOutcome, DetailedScanResult, FieldMap, FieldOutcome, FieldSpan, FlipMode, ScanConfig,
@@ -128,9 +130,12 @@ pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Propor
 /// Convenient glob import for applications and harnesses.
 pub mod prelude {
     pub use crate::campaign::{
-        Campaign, CampaignConfig, CampaignResult, ExecutionMode, ReplayFallback,
+        Campaign, CampaignConfig, CampaignResult, ExecutionMode, MixedCampaign,
+        MixedCampaignConfig, MixedCampaignResult, ReplayFallback,
     };
-    pub use crate::fault::{FaultModel, FaultSignature, ShornFill, ShornKeep, TargetFilter};
+    pub use crate::fault::{
+        FaultModel, FaultSignature, InjectionSite, ShornFill, ShornKeep, TargetFilter,
+    };
     pub use crate::outcome::{FaultApp, Outcome, OutcomeTally};
     pub use crate::rng::Rng;
 }

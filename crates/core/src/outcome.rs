@@ -84,6 +84,20 @@ impl std::fmt::Display for Outcome {
 ///   golden run must classify [`Outcome::Benign`] against that run's
 ///   output. The drivers check this once per scan/campaign and refuse
 ///   the fast path if it fails.
+///
+/// ## Read-site campaigns
+///
+/// Read-site fault signatures ([`crate::FaultSignature::on_read`])
+/// corrupt the data a read *returns* while the on-device bytes stay
+/// pristine, so they exercise `analyze`'s (and any produce-phase)
+/// read-back paths rather than the stored artifacts. Such campaigns
+/// always execute full produce+analyze reruns: the golden trace
+/// records only mutating ops, so a replay neither issues the produce
+/// phase's reads nor carries the transfer the fault would damage (see
+/// [`crate::ReplayFallback::ReadSiteFault`]). Eligible-read instance
+/// numbering spans the whole run — produce's reads and analyze's reads
+/// count through the same `FFIS_read` counter, exactly as in the
+/// golden profiling run.
 pub trait FaultApp: Sync {
     /// Everything classification needs (output file bytes, analysis
     /// results, ...). `Sync` because the golden output is shared

@@ -208,7 +208,11 @@ impl MontageApp {
         Self::new(MontageConfig::default())
     }
 
-    /// Fault-target filter scoping injections to one stage's writes.
+    /// Fault-target filter scoping injections to one stage's output
+    /// directory. The same filter serves both sites: at the write site
+    /// it selects the stage's *writes*; at the read site it selects
+    /// the downstream stage's *read-back* of those files (analyze
+    /// re-reads every layer, so each directory hosts eligible reads).
     pub fn stage_filter(stage: Stage) -> TargetFilter {
         TargetFilter::PathContains(
             match stage {
@@ -219,6 +223,13 @@ impl MontageApp {
             }
             .to_string(),
         )
+    }
+
+    /// Fault-target filter scoping injections to the co-added mosaic —
+    /// the artifact the final image-generation step reads, i.e. the
+    /// read-site surface closest to the classified output.
+    pub fn mosaic_filter() -> TargetFilter {
+        TargetFilter::PathContains("/mosaic/".to_string())
     }
 
     /// Table II row.
@@ -499,6 +510,10 @@ mod tests {
         assert!(filters[2].matches(Some("/corr/corr_05_area.fits")));
         assert!(filters[3].matches(Some("/mosaic/mosaic.fits")));
         assert!(!filters[3].matches(Some("/raw/raw_00.fits")));
+        let mosaic = MontageApp::mosaic_filter();
+        assert!(mosaic.matches(Some(MOSAIC)));
+        assert!(mosaic.matches(Some(MOSAIC_AREA)));
+        assert!(!mosaic.matches(Some("/corr/corr_00.fits")));
     }
 
     #[test]

@@ -135,6 +135,14 @@ impl NyxApp {
         ("Nyx", "Astrophysics", "Adaptive mesh refinement (AMR) based cosmological simulation")
     }
 
+    /// Fault-target filter scoping injections to the HDF5 plotfile —
+    /// the workload's sole storage artifact, and the file the halo
+    /// finder reads back, so the same filter addresses both write-site
+    /// and read-site campaigns.
+    pub fn plotfile_filter() -> ffis_core::TargetFilter {
+        ffis_core::TargetFilter::PathSuffix(".h5".into())
+    }
+
     /// The byte-exact metadata field map of the plotfile this app
     /// writes (paper §IV-D: "we refer to the HDF5 File Format
     /// Specification to capture the field information of each metadata
@@ -308,5 +316,13 @@ mod tests {
         assert_eq!(name, "Nyx");
         assert_eq!(domain, "Astrophysics");
         assert!(method.contains("cosmological"));
+    }
+
+    #[test]
+    fn plotfile_filter_addresses_the_plotfile_only() {
+        let f = NyxApp::plotfile_filter();
+        assert!(f.matches(Some(PLOTFILE)));
+        assert!(!f.matches(Some("/run/notes.txt")));
+        assert!(!f.matches(None));
     }
 }

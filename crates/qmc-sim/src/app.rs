@@ -127,6 +127,21 @@ impl QmcApp {
         analyze(&self.golden_dmc_rows, &self.config.qmca).expect("golden analyzable").energy
     }
 
+    /// Fault-target filter scoping injections to the walker checkpoint
+    /// (`He.s000.config.dat`) — the VMC→DMC handoff where storage
+    /// faults propagate into the physics. At the read site this is the
+    /// restart channel: a corrupted checkpoint *read* re-derives the
+    /// whole DMC series even though the stored bytes are pristine.
+    pub fn checkpoint_filter() -> ffis_core::TargetFilter {
+        ffis_core::TargetFilter::PathContains("config".into())
+    }
+
+    /// Fault-target filter scoping injections to the scalar series
+    /// files (`He.s00*.scalar.dat`) — the QMCA analysis inputs.
+    pub fn series_filter() -> ffis_core::TargetFilter {
+        ffis_core::TargetFilter::PathContains(".scalar.dat".into())
+    }
+
     fn dmc_rows_for(&self, checkpoint: &[u8]) -> Result<Vec<ScalarRow>, String> {
         if checkpoint == self.checkpoint_bytes.as_slice() {
             // Untampered checkpoint: the deterministic DMC trajectory
@@ -344,5 +359,18 @@ mod tests {
         let (name, domain, _) = QmcApp::describe();
         assert_eq!(name, "QMCPACK");
         assert_eq!(domain, "Quantum Chemistry");
+    }
+
+    #[test]
+    fn target_filters_address_the_right_artifacts() {
+        let cp = QmcApp::checkpoint_filter();
+        assert!(cp.matches(Some(CONFIG)));
+        assert!(!cp.matches(Some(S000)));
+        assert!(!cp.matches(Some(S001)));
+        let series = QmcApp::series_filter();
+        assert!(series.matches(Some(S000)));
+        assert!(series.matches(Some(S001)));
+        assert!(!series.matches(Some(CONFIG)));
+        assert!(!series.matches(Some(LOG)));
     }
 }

@@ -31,6 +31,19 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
+    /// Does this crossing fall in an injection scope — the given
+    /// primitive, with a path accepted by `path_matches`? Campaign
+    /// drivers size per-signature eligible-instance populations by
+    /// folding this over a golden trace, so write-site and read-site
+    /// scopes are counted by one predicate.
+    pub fn in_scope(
+        &self,
+        primitive: Primitive,
+        path_matches: impl FnOnce(Option<&str>) -> bool,
+    ) -> bool {
+        self.primitive == primitive && path_matches(self.path.as_deref())
+    }
+
     fn from_cx(cx: &CallContext) -> Self {
         TraceRecord {
             primitive: cx.primitive,
@@ -130,6 +143,28 @@ mod tests {
         assert!(!trace.records().is_empty());
         trace.reset();
         assert!(trace.records().is_empty());
+    }
+
+    #[test]
+    fn in_scope_matches_primitive_and_path() {
+        let fs = FfisFs::mount(Arc::new(MemFs::new()));
+        let trace = Arc::new(TraceInterceptor::new());
+        fs.attach(trace.clone());
+        fs.write_file("/a.h5", b"x").unwrap();
+        let _ = fs.read_to_vec("/a.h5").unwrap();
+        let recs = trace.records();
+        let writes = recs.iter().filter(|r| r.in_scope(Primitive::Write, |_| true)).count();
+        assert_eq!(writes as u64, trace.count(Primitive::Write));
+        let h5_reads = recs
+            .iter()
+            .filter(|r| r.in_scope(Primitive::Read, |p| p.is_some_and(|p| p.ends_with(".h5"))))
+            .count();
+        assert_eq!(h5_reads as u64, trace.count(Primitive::Read));
+        let log_reads = recs
+            .iter()
+            .filter(|r| r.in_scope(Primitive::Read, |p| p.is_some_and(|p| p.ends_with(".log"))))
+            .count();
+        assert_eq!(log_reads, 0);
     }
 
     #[test]

@@ -20,7 +20,9 @@ use std::sync::{Arc, RwLock};
 
 use crate::error::{FsError, FsResult};
 use crate::fs::{DirEntry, Fd, FileSystem, LockKind, Metadata, NodeKind, OpenFlags, StatFs};
-use crate::interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
+use crate::interceptor::{
+    CallContext, Interceptor, Primitive, ReadAction, WriteAction, PRIMITIVES,
+};
 use crate::trace::TraceOp;
 
 /// Snapshot of the per-primitive dynamic execution counters — the
@@ -232,6 +234,63 @@ impl FfisFs {
         }
         WriteAction::Forward
     }
+
+    /// Ask the interceptor chain whether this read crossing needs a
+    /// pre-call buffer snapshot ([`ReadAction::Stale`]'s restore
+    /// source). Runs after [`Interceptor::on_call`], so an injector
+    /// can answer `true` for exactly its armed instance and no other
+    /// read of the run pays the copy.
+    fn read_snapshot_wanted(&self, cx: &CallContext) -> bool {
+        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+        guards.iter().any(|i| i.wants_read_snapshot(cx))
+    }
+
+    /// Run the read-action pipeline over the filled buffer and apply
+    /// the winning action, returning the byte count reported to the
+    /// caller (never more than the inner filesystem's `n` — a fault
+    /// can lie about content, not conjure bytes). `pre` is the
+    /// pre-call snapshot of the buffer (present when some interceptor
+    /// opted in via [`Interceptor::wants_read_snapshot`]); a stale
+    /// region beyond the reported length — or a dropped transfer — is
+    /// restored from it, degrading to zeros without one.
+    fn finish_read(
+        &self,
+        cx: &CallContext,
+        buf: &mut [u8],
+        n: usize,
+        pre: Option<Vec<u8>>,
+    ) -> usize {
+        let action = {
+            let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
+            let mut action = ReadAction::Forward;
+            for i in guards.iter() {
+                match i.on_read(cx, buf, n) {
+                    ReadAction::Forward => continue,
+                    other => {
+                        action = other;
+                        break;
+                    }
+                }
+            }
+            action
+        };
+        let restore = |buf: &mut [u8], from: usize| match &pre {
+            Some(pre) => buf[from..n].copy_from_slice(&pre[from..n]),
+            None => buf[from..n].fill(0),
+        };
+        match action {
+            ReadAction::Forward => n,
+            ReadAction::Stale { reported_len } => {
+                restore(buf, 0);
+                reported_len.min(n)
+            }
+            ReadAction::Short { reported_len } => {
+                let keep = reported_len.min(n);
+                restore(buf, keep);
+                keep
+            }
+        }
+    }
 }
 
 impl FileSystem for FfisFs {
@@ -343,22 +402,16 @@ impl FileSystem for FfisFs {
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
         let cx = self.enter(Primitive::Read, None, Some(fd), None, buf.len())?;
+        let pre = self.read_snapshot_wanted(&cx).then(|| buf.to_vec());
         let n = self.inner.read(fd, buf)?;
-        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
-        for i in guards.iter() {
-            i.on_read_data(&cx, buf, n);
-        }
-        Ok(n)
+        Ok(self.finish_read(&cx, buf, n, pre))
     }
 
     fn pread(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
         let cx = self.enter(Primitive::Read, None, Some(fd), Some(offset), buf.len())?;
+        let pre = self.read_snapshot_wanted(&cx).then(|| buf.to_vec());
         let n = self.inner.pread(fd, buf, offset)?;
-        let guards = self.interceptors.read().unwrap_or_else(|e| e.into_inner());
-        for i in guards.iter() {
-            i.on_read_data(&cx, buf, n);
-        }
-        Ok(n)
+        Ok(self.finish_read(&cx, buf, n, pre))
     }
 
     fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
@@ -604,6 +657,48 @@ mod tests {
         fs.pread(fd, &mut b, 4).unwrap();
         fs.release(fd).unwrap();
         assert_eq!(fs.counters().get(Primitive::Read), 2);
+    }
+
+    /// Interceptor driving the read-action pipeline directly: drops
+    /// the first read (stale restore) and shortens the second.
+    struct ReadActor;
+    impl Interceptor for ReadActor {
+        fn wants_read_snapshot(&self, cx: &CallContext) -> bool {
+            cx.prim_seq == 1
+        }
+        fn on_read(&self, cx: &CallContext, _buf: &mut [u8], _n: usize) -> ReadAction {
+            match cx.prim_seq {
+                1 => ReadAction::Stale { reported_len: usize::MAX }, // clamped to n
+                2 => ReadAction::Short { reported_len: 2 },
+                _ => ReadAction::Forward,
+            }
+        }
+    }
+
+    #[test]
+    fn read_actions_restore_stale_bytes_and_clamp_lengths() {
+        let fs = mounted();
+        fs.write_file("/r", b"abcdef").unwrap();
+        fs.attach(Arc::new(ReadActor));
+        let fd = fs.open("/r", OpenFlags::read_only()).unwrap();
+        // Read #1: dropped transfer — pre-call bytes restored, success
+        // reported for the full (clamped) inner count.
+        let mut buf = [0x11u8; 6];
+        assert_eq!(fs.pread(fd, &mut buf, 0).unwrap(), 6);
+        assert_eq!(buf, [0x11u8; 6], "stale caller bytes restored");
+        // Read #2: short transfer — prefix delivered, tail zeroed
+        // (this crossing opted out of the snapshot).
+        let mut buf = [0x22u8; 6];
+        assert_eq!(fs.pread(fd, &mut buf, 0).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ab");
+        assert!(buf[2..].iter().all(|&b| b == 0), "tail zeroed without a snapshot");
+        // Read #3: forward — clean.
+        let mut buf = [0u8; 6];
+        assert_eq!(fs.pread(fd, &mut buf, 0).unwrap(), 6);
+        assert_eq!(&buf, b"abcdef");
+        fs.release(fd).unwrap();
+        // The device never changed.
+        assert_eq!(fs.read_to_vec("/r").unwrap(), b"abcdef");
     }
 
     #[test]

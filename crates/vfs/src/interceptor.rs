@@ -139,6 +139,51 @@ pub struct CallContext {
     pub len: usize,
 }
 
+/// What an interceptor tells FFISFS to do with the data a read-class
+/// primitive is about to return.
+///
+/// The hook runs *after* the inner filesystem filled the caller's
+/// buffer, so the on-device state is untouchable from here by
+/// construction: read-site faults corrupt only the copy handed back to
+/// the application — the silent-data-corruption-on-read regime, where
+/// the stored bytes stay pristine and a later clean read would succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadAction {
+    /// Deliver the (possibly in-place mutated) buffer with the inner
+    /// filesystem's byte count. BIT FLIP and SHORN READ mutate
+    /// `buf[..n]` in place and return this.
+    Forward,
+    /// Drop the device transfer: restore the caller's buffer to its
+    /// pre-call bytes (the stale application buffer an ignored DMA
+    /// leaves behind) while reporting `reported_len` bytes read — the
+    /// DROPPED READ mirror of DROPPED WRITE's "ignored, success
+    /// reported". Requires a pre-call snapshot; interceptors returning
+    /// this must opt in via [`Interceptor::wants_read_snapshot`]
+    /// (without one the mount degrades the stale region to zeros).
+    /// The reported length is clamped to the inner filesystem's byte
+    /// count — a fault can lie about content, not conjure bytes the
+    /// device never transferred.
+    Stale {
+        /// Length reported back to the application.
+        reported_len: usize,
+    },
+    /// Report a short transfer: deliver only `reported_len` bytes
+    /// (clamped to the inner count) of the filled buffer; the tail
+    /// beyond it is restored/zeroed like [`ReadAction::Stale`].
+    ///
+    /// Cursor caveat: on the *sequential* `read` path the inner
+    /// filesystem has already advanced the descriptor cursor by the
+    /// full inner count — the short report models a device that
+    /// transferred and then discarded the tail, not a POSIX short read
+    /// a caller could resume from. Positioned `pread` (what every
+    /// workload in this workspace uses) has no cursor and is
+    /// unaffected.
+    Short {
+        /// Length reported back to the application.
+        reported_len: usize,
+    },
+}
+
 /// What an interceptor tells FFISFS to do with a write-class call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WriteAction {
@@ -178,12 +223,26 @@ pub trait Interceptor: Send + Sync {
         WriteAction::Forward
     }
 
-    /// Observe/corrupt the data *returned* by a read-class primitive
-    /// (the paper's abstract: FFIS "plant\[s\] different I/O related
-    /// faults into the data returned from underlying file systems").
-    /// Called after the inner filesystem filled `buf[..n]`; the hook
-    /// may mutate those bytes in place.
-    fn on_read_data(&self, _cx: &CallContext, _buf: &mut [u8], _n: usize) {}
+    /// Intercept the data *returned* by a read-class primitive (the
+    /// paper's abstract: FFIS "plant\[s\] different I/O related faults
+    /// into the data returned from underlying file systems"). Called
+    /// after the inner filesystem filled `buf[..n]`; the hook may
+    /// mutate those bytes in place and/or change the reported transfer
+    /// via the returned [`ReadAction`]. The first non-`Forward` action
+    /// wins, mirroring [`Interceptor::on_write`].
+    fn on_read(&self, _cx: &CallContext, _buf: &mut [u8], _n: usize) -> ReadAction {
+        ReadAction::Forward
+    }
+
+    /// Opt in to a pre-call buffer snapshot for *this* read crossing.
+    /// [`crate::FfisFs`] asks after [`Interceptor::on_call`] ran (so
+    /// an injector already knows whether this crossing is its armed
+    /// instance) and copies the caller's buffer only on a `true`, so
+    /// [`ReadAction::Stale`] can restore the exact stale bytes without
+    /// taxing any other read of the run.
+    fn wants_read_snapshot(&self, _cx: &CallContext) -> bool {
+        false
+    }
 
     /// Rewrite `mknod` parameters (paper Fig. 3b: `mode`, `dev`).
     fn on_mknod(&self, _cx: &CallContext, _mode: &mut u32, _dev: &mut u64) {}

@@ -26,7 +26,9 @@
 //!   mount/unmount-per-run lifecycle the paper uses.
 //! * [`Interceptor`] — observe or rewrite a primitive invocation:
 //!   forward unchanged, replace the buffer (bit flips, shorn writes),
-//!   or drop the device write while reporting success (dropped writes).
+//!   drop the device write while reporting success (dropped writes),
+//!   or corrupt the data *returned* by a read while the stored bytes
+//!   stay pristine ([`ReadAction`] — the read-site fault surface).
 //!
 //! ## Snapshot forking and golden-trace replay
 //!
@@ -93,7 +95,7 @@ pub use file::{SectorFile, BLOCK_SIZE, SECTOR_SIZE};
 pub use fs::{
     DirEntry, Fd, FileSystem, FileSystemExt, LockKind, Metadata, NodeKind, OpenFlags, StatFs,
 };
-pub use interceptor::{CallContext, Interceptor, Primitive, WriteAction, PRIMITIVES};
+pub use interceptor::{CallContext, Interceptor, Primitive, ReadAction, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
 pub use trace::{
     ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp, TraceRecorder,

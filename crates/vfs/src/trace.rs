@@ -49,6 +49,32 @@
 //! for every workload in this workspace, which positions data with
 //! `pwrite`.
 //!
+//! ### Why read-site faults are non-replayable
+//!
+//! The golden trace records *pristine* reads — or rather, it records
+//! no reads at all: a read cannot change filesystem state, so the
+//! recorder skips it, and every byte the golden run read was by
+//! definition uncorrupted. That makes read-site fault signatures
+//! non-replayable **by construction**, on three independent grounds:
+//!
+//! * a replay re-issues only the mutating op stream, so the produce
+//!   phase's reads never happen during replay — the k-th eligible
+//!   `FFIS_read` of a real execution and of a replay+analyze run are
+//!   different calls, and instance numbering (the quantity the
+//!   injector fires on) diverges;
+//! * the artifact a read fault damages is the *transfer*, which exists
+//!   only while the application actually issues the read — there is no
+//!   recorded op whose replay could carry the corruption;
+//! * even if analyze-phase reads were intercepted during a replayed
+//!   run, a produce-phase read fault could steer the real
+//!   application's control flow (error handling, retries) in ways no
+//!   trace of the fault-free run can predict.
+//!
+//! Campaign drivers therefore route read-site signatures through full
+//! produce+analyze reruns and record
+//! `ffis_core::ReplayFallback::ReadSiteFault` — the fallback is
+//! structural, not a failed self-check.
+//!
 //! Two consequences matter to consumers that must match legacy
 //! re-execution exactly (both are enforced by the gates in
 //! `ffis_core`):

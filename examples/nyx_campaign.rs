@@ -61,6 +61,29 @@ fn main() {
         );
     }
 
+    println!("\nread-site mirror (BF/SR/DR on FFIS_read, 60 full-rerun runs each):");
+    println!(
+        "{:<14} {:>8} {:>10} {:>7} {:>7}   exec",
+        "model", "benign%", "detected%", "SDC%", "crash%"
+    );
+    for model in [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()] {
+        let sig = FaultSignature::on_read(model);
+        let name = model.name_at(sig.site());
+        // Read-site faults are non-replayable by construction: the
+        // campaign takes the full-rerun path and records why.
+        let campaign_cfg = CampaignConfig::new(sig).with_runs(60).with_seed(7);
+        let r = Campaign::new(&app, campaign_cfg).run().expect("read campaign");
+        println!(
+            "{:<14} {:>8.1} {:>10.1} {:>7.1} {:>7.1}   {}",
+            name,
+            r.tally.rate_pct(Outcome::Benign),
+            r.tally.rate_pct(Outcome::Detected),
+            r.tally.rate_pct(Outcome::Sdc),
+            r.tally.rate_pct(Outcome::Crash),
+            r.mode,
+        );
+    }
+
     println!("\nwith the average-value-based protection (§V-A):");
     let protected = ProtectedNyx(app);
     let model = FaultModel::dropped_write();

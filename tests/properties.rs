@@ -330,6 +330,113 @@ proptest! {
         }
     }
 
+    /// Read-site faults corrupt computation, never the device: for
+    /// every read-site model (BIT FLIP, SHORN READ in all fill
+    /// variants, DROPPED READ), a run with an armed read injector
+    /// leaves the post-`produce` filesystem byte-identical to the
+    /// golden run's — same file bytes, same inode/byte accounting.
+    #[test]
+    fn read_site_faults_leave_device_state_pristine(
+        model_idx in 0usize..5,
+        instance in 1u64..=3,
+        seed in any::<u64>(),
+    ) {
+        use ffis_core::{ArmedInjector, FaultSignature};
+        use ffis_vfs::FfisFs;
+        use std::sync::Arc;
+
+        let models = [
+            FaultModel::bit_flip(),
+            FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Stale },
+            FaultModel::ShornWrite { keep: ShornKeep::ThreeEighths, fill: ShornFill::Zeros },
+            FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Random },
+            FaultModel::dropped_write(),
+        ];
+        let model = models[model_idx];
+
+        let paths = ["/w/a.dat", "/w/b.dat", "/w/c.dat"];
+        let produce = |fs: &dyn FileSystem| {
+            fs.mkdir("/w", 0o755).unwrap();
+            for (i, p) in paths.iter().enumerate() {
+                let data: Vec<u8> =
+                    (0..4096 * (i + 1)).map(|b| (b as u64 * 37 + i as u64) as u8).collect();
+                fs.write_file_chunked(p, &data, 2048).unwrap();
+            }
+        };
+        let analyze = |fs: &dyn FileSystem| -> u64 {
+            paths
+                .iter()
+                .map(|p| {
+                    fs.read_to_vec(p)
+                        .map(|v| v.iter().map(|&b| u64::from(b)).sum::<u64>())
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+
+        // Golden run on a clean mount.
+        let golden_base = Arc::new(MemFs::new());
+        let golden_mount = FfisFs::mount(golden_base.clone());
+        produce(&*golden_mount);
+        let golden_sum = analyze(&*golden_mount);
+
+        // Injected run: a read-site fault armed on one of the three
+        // analyze-phase reads.
+        let base = Arc::new(MemFs::new());
+        let mount = FfisFs::mount(base.clone());
+        let inj = Arc::new(ArmedInjector::new(FaultSignature::on_read(model), instance, seed));
+        mount.attach(inj.clone());
+        produce(&*mount);
+        let faulty_sum = analyze(&*mount);
+        prop_assert!(inj.fired(), "instance {} of 3 eligible reads must fire", instance);
+        // The computation is corrupted (except stale-fill tears whose
+        // replicated sector happens to match) ...
+        if matches!(model, FaultModel::BitFlip { .. } | FaultModel::DroppedWrite) {
+            prop_assert!(golden_sum != faulty_sum, "{:?} must perturb the read-back", model);
+        }
+        // ... but the device never is: every stored byte and the
+        // global accounting are identical to the golden run's.
+        for p in &paths {
+            prop_assert_eq!(
+                golden_base.read_to_vec(p).unwrap(),
+                base.read_to_vec(p).unwrap(),
+                "{:?} leaked onto the device at {}",
+                model,
+                p
+            );
+        }
+        let g = golden_base.statfs().unwrap();
+        let f = base.statfs().unwrap();
+        prop_assert_eq!(g.inodes, f.inodes);
+        prop_assert_eq!(g.bytes_used, f.bytes_used);
+    }
+
+    /// `apply_to_read` damage is confined to the transfer: bytes past
+    /// `n` (the filled region) are never touched, and the buffer
+    /// length never changes.
+    #[test]
+    fn read_mutations_confined_to_transfer(
+        data in proptest::collection::vec(any::<u8>(), 1..8192),
+        model_idx in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        use ffis_core::ReadMutation;
+        let model = [
+            FaultModel::bit_flip(),
+            FaultModel::ShornWrite { keep: ShornKeep::SevenEighths, fill: ShornFill::Random },
+        ][model_idx];
+        let n = data.len() / 2;
+        let mut buf = data.clone();
+        let mut rng = Rng::seed_from(seed);
+        match model.apply_to_read(&mut buf, n, &mut rng) {
+            ReadMutation::Corrupted { .. } | ReadMutation::NotApplicable => {
+                prop_assert_eq!(buf.len(), data.len());
+                prop_assert_eq!(&buf[n..], &data[n..], "tail beyond the transfer untouched");
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
     /// scalar.dat rendering always re-parses to the same rows.
     #[test]
     fn scalar_dat_roundtrip(

@@ -1,0 +1,239 @@
+//! Differential pinning of the write-path campaigns across the
+//! read-site refactor, plus determinism guarantees for mixed
+//! read+write campaigns.
+//!
+//! The read-site fault work reshapes `FaultModel` naming, the
+//! interceptor read surface, and the campaign driver. These tests pin
+//! the *seeded* write-path behavior — outcome tallies, per-run
+//! injection records, and crash messages — for the existing BF/SW/DW
+//! campaigns on all three paper workloads, so any behavioral drift on
+//! the write path shows up as a failed pin, not a silent shift in the
+//! fig7 numbers.
+//!
+//! The pins are execution-strategy independent: the digests exclude
+//! [`ExecutionMode`], so the same constants must hold when CI forces
+//! the full-rerun path with `FFIS_REPLAY=0` (the replay/rerun
+//! equivalence is pinned separately in `replay_equivalence.rs`).
+
+use ffis_core::prelude::*;
+use ffis_core::CampaignResult;
+use montage_sim::MontageApp;
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+use qmc_sim::{DmcConfig, QmcApp, QmcConfig, QmcaConfig, VmcConfig};
+
+fn nyx() -> NyxApp {
+    NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 16, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn qmc() -> QmcApp {
+    QmcApp::new(QmcConfig {
+        vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+        dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+        qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+        ..Default::default()
+    })
+}
+
+/// FNV-1a over every strategy-independent per-run artifact.
+fn digest(result: &CampaignResult) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for r in &result.runs {
+        eat(&(r.run as u64).to_le_bytes());
+        eat(r.outcome.name().as_bytes());
+        eat(&r.target_instance.to_le_bytes());
+        match &r.injection {
+            Some(i) => {
+                eat(i.primitive.ffis_name().as_bytes());
+                eat(&i.instance.to_le_bytes());
+                eat(&i.prim_seq.to_le_bytes());
+                eat(i.path.as_deref().unwrap_or("-").as_bytes());
+                eat(&i.offset.unwrap_or(u64::MAX).to_le_bytes());
+                eat(&(i.len as u64).to_le_bytes());
+                eat(i.detail.as_bytes());
+            }
+            None => eat(b"no-fire"),
+        }
+        eat(r.crash_message.as_deref().unwrap_or("-").as_bytes());
+    }
+    h
+}
+
+/// One pinned cell: `(model label, benign, detected, sdc, crash,
+/// no_fire, digest)`.
+type Pin = (&'static str, u64, u64, u64, u64, u64, u64);
+
+fn run_write_cell<A: FaultApp>(app: &A, model: FaultModel, runs: usize) -> CampaignResult {
+    let cfg = CampaignConfig::new(FaultSignature::on_write(model)).with_runs(runs).with_seed(4242);
+    Campaign::new(app, cfg).run().unwrap()
+}
+
+fn assert_pins<A: FaultApp>(app: &A, runs: usize, pins: &[Pin; 3]) {
+    let models = [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()];
+    let mut got = Vec::new();
+    for (model, pin) in models.into_iter().zip(pins) {
+        let r = run_write_cell(app, model, runs);
+        got.push((
+            pin.0,
+            r.tally.benign,
+            r.tally.detected,
+            r.tally.sdc,
+            r.tally.crash,
+            r.tally.no_fire,
+            digest(&r),
+        ));
+    }
+    let rows: Vec<String> = got
+        .iter()
+        .map(|g| {
+            format!("(\"{}\", {}, {}, {}, {}, {}, {:#018X}),", g.0, g.1, g.2, g.3, g.4, g.5, g.6)
+        })
+        .collect();
+    assert_eq!(
+        &got[..],
+        &pins[..],
+        "{} drifted from the pinned seeded write-path behavior.\nactual rows:\n{}",
+        app.name(),
+        rows.join("\n")
+    );
+}
+
+#[test]
+fn nyx_write_campaigns_pinned() {
+    assert_pins(
+        &nyx(),
+        24,
+        &[
+            ("BF", 20, 0, 0, 4, 0, 0xA22F0AFA9A868E2F),
+            ("SW", 21, 0, 0, 3, 0, 0x47E0D64B7DD7C6FC),
+            ("DW", 8, 0, 2, 14, 0, 0x99FF8A516AB86DD4),
+        ],
+    );
+}
+
+#[test]
+fn qmc_write_campaigns_pinned() {
+    assert_pins(
+        &qmc(),
+        20,
+        &[
+            ("BF", 7, 13, 0, 0, 0, 0x42E87A86744BA08C),
+            ("SW", 7, 13, 0, 0, 0, 0x17D4FE28EB3DB346),
+            ("DW", 4, 11, 0, 5, 0, 0xCA311790CA5CA56B),
+        ],
+    );
+}
+
+/// Acceptance: read-site campaigns on all three apps run the
+/// full-rerun path with the structural reason on every run, and the
+/// CSV row carries it.
+#[test]
+fn read_site_campaigns_full_rerun_on_all_three_apps() {
+    fn check<A: FaultApp>(app: &A, runs: usize) {
+        // Replay is explicitly requested: the recorded fallback must be
+        // the structural read-site reason, not "disabled" (which is
+        // what the FFIS_REPLAY=0 CI default would report).
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+            .with_runs(runs)
+            .with_seed(4242)
+            .with_replay(true);
+        let result = Campaign::new(app, cfg).run().unwrap();
+        assert_eq!(
+            result.mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault },
+            "{}",
+            app.name()
+        );
+        assert_eq!(result.tally.total() as usize, runs);
+        for r in &result.runs {
+            assert_eq!(r.mode, result.mode, "{} run {}", app.name(), r.run);
+        }
+        let row = result.csv_row(&app.name());
+        assert!(row.ends_with("rerun(read-site-fault)"), "{}", row);
+    }
+    check(&nyx(), 8);
+    check(&qmc(), 6);
+    check(&MontageApp::paper_default(), 5);
+}
+
+/// A seeded campaign mixing read- and write-site signatures yields the
+/// same result — outcomes, per-run [`ExecutionMode`], instance
+/// numbering, injection records — run twice and across `parallel`
+/// on/off.
+#[test]
+fn mixed_read_write_campaign_is_deterministic() {
+    use ffis_core::{MixedCampaign, MixedCampaignConfig};
+
+    let app = nyx();
+    let mk = |parallel: bool| {
+        let mut cfg = MixedCampaignConfig::new(vec![
+            FaultSignature::on_write(FaultModel::bit_flip()),
+            FaultSignature::on_read(FaultModel::bit_flip()),
+            FaultSignature::on_write(FaultModel::dropped_write()),
+            FaultSignature::on_read(FaultModel::dropped_write()),
+        ])
+        .with_runs(16)
+        .with_seed(777)
+        .with_replay(true);
+        cfg.parallel = parallel;
+        MixedCampaign::new(&app, cfg).run().unwrap()
+    };
+
+    let a = mk(true);
+    // The schedule interleaves strategies run-by-run: write shards
+    // replay, read shards rerun with the structural reason.
+    assert_eq!(a.shards[0].mode, ExecutionMode::Replay);
+    assert_eq!(
+        a.shards[1].mode,
+        ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
+    );
+    assert_eq!(a.shards[2].mode, ExecutionMode::Replay);
+    assert_eq!(
+        a.shards[3].mode,
+        ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
+    );
+    for r in &a.runs {
+        assert_eq!(r.mode, a.shards[r.run % 4].mode, "run {}", r.run);
+    }
+
+    let b = mk(true); // run twice
+    let c = mk(false); // parallel off
+    for other in [&b, &c] {
+        assert_eq!(a.tally, other.tally);
+        assert_eq!(a.runs.len(), other.runs.len());
+        for (x, y) in a.runs.iter().zip(&other.runs) {
+            assert_eq!(x.run, y.run);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.target_instance, y.target_instance);
+            assert_eq!(x.mode, y.mode);
+            assert_eq!(x.injection, y.injection);
+            assert_eq!(x.crash_message, y.crash_message);
+        }
+        for (s, t) in a.shards.iter().zip(&other.shards) {
+            assert_eq!(s.eligible, t.eligible);
+            assert_eq!(s.mode, t.mode);
+            assert_eq!(s.tally, t.tally);
+        }
+    }
+}
+
+#[test]
+fn montage_write_campaigns_pinned() {
+    assert_pins(
+        &MontageApp::paper_default(),
+        12,
+        &[
+            ("BF", 10, 0, 2, 0, 0, 0xEE802CFD59525396),
+            ("SW", 4, 3, 5, 0, 0, 0xEA549AE391419E34),
+            ("DW", 0, 2, 2, 8, 0, 0x813934E121DDE67C),
+        ],
+    );
+}

@@ -249,7 +249,8 @@ impl FaultApp for FailedProbeApp {
 fn failed_golden_writes_disable_replay_and_paths_still_agree() {
     let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
         .with_runs(20)
-        .with_seed(11);
+        .with_seed(11)
+        .with_replay(true);
     let fast = Campaign::new(&FailedProbeApp, cfg.clone()).run().unwrap();
     assert_eq!(
         fast.mode,
@@ -279,7 +280,7 @@ fn failed_nonmatching_writes_also_disable_replay() {
     // would renumber `prim_seq` silently, so the gate must refuse.
     let mut sig = FaultSignature::on_write(FaultModel::bit_flip());
     sig.target = TargetFilter::PathSuffix(".meta".into());
-    let cfg = CampaignConfig::new(sig).with_runs(10).with_seed(13);
+    let cfg = CampaignConfig::new(sig).with_runs(10).with_seed(13).with_replay(true);
     let fast = Campaign::new(&FailedProbeApp, cfg.clone()).run().unwrap();
     assert_eq!(
         fast.mode,
