@@ -42,7 +42,7 @@ fn bench_scan_replay(c: &mut Criterion) {
     group.sample_size(10);
     let bytes_scanned = {
         let probe = scan_detailed(&app, &cfg(true, stride)).unwrap();
-        assert!(probe.used_replay, "fast path must engage for the bench to be meaningful");
+        assert!(probe.used_replay(), "fast path must engage for the bench to be meaningful");
         probe.runs.len() as u64
     };
     group.throughput(Throughput::Elements(bytes_scanned));

@@ -12,6 +12,10 @@ pub struct Options {
     pub seed: u64,
     /// Nyx grid side for campaign experiments.
     pub grid: usize,
+    /// Was `--grid` given explicitly? Scale-regime experiments default
+    /// to the paper's n=192 grid *unless* the operator pinned one, so
+    /// scale runs never require code edits (`repro scale --grid 64`).
+    pub grid_explicit: bool,
     /// Output directory for reports/artifacts.
     pub out: PathBuf,
     /// Quick mode: smaller workloads and fewer runs (CI-friendly).
@@ -24,6 +28,7 @@ impl Default for Options {
             runs: 1000,
             seed: 0xFF15_2021,
             grid: 96,
+            grid_explicit: false,
             out: PathBuf::from("results"),
             quick: false,
         }
@@ -59,6 +64,7 @@ impl Options {
         }
         if let Some(v) = map.get("grid") {
             opts.grid = v.parse().map_err(|_| format!("bad --grid '{}'", v))?;
+            opts.grid_explicit = true;
         }
         if let Some(v) = map.get("out") {
             opts.out = PathBuf::from(v);
@@ -95,8 +101,17 @@ mod tests {
         assert_eq!(o.runs, 50);
         assert_eq!(o.seed, 9);
         assert_eq!(o.grid, 32);
+        assert!(o.grid_explicit);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert_eq!(pos, vec!["table3"]);
+    }
+
+    #[test]
+    fn grid_defaults_are_not_explicit() {
+        let (o, _) = parse(&["scale"]);
+        assert!(!o.grid_explicit);
+        let (o, _) = parse(&["scale", "--runs", "5"]);
+        assert!(!o.grid_explicit);
     }
 
     #[test]

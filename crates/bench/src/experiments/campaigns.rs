@@ -1,7 +1,10 @@
 //! Figure 7 — the main characterization — and the average-value
 //! protection variant (the figure's footnote).
 
+use std::sync::Arc;
+
 use ffis_core::prelude::*;
+use ffis_vfs::CheckpointStore;
 use montage_sim::{MontageApp, Stage};
 use nyx_sim::{NyxApp, NyxConfig};
 use qmc_sim::QmcApp;
@@ -56,15 +59,18 @@ fn tally_row(table: &mut Table, cell: &str, model: &str, t: &OutcomeTally, mode:
     ]);
 }
 
-/// One campaign cell.
+/// One campaign cell. `store` shares one built checkpoint cache
+/// across every cell over the same deterministic golden run (pass a
+/// per-app store when running several models against one workload).
 pub fn run_cell<A: FaultApp>(
     app: &A,
     model: FaultModel,
     target: TargetFilter,
     opts: &Options,
     salt: u64,
+    store: Option<&Arc<CheckpointStore>>,
 ) -> OutcomeTally {
-    run_cell_full(app, model, target, opts, salt).map(|r| r.tally).unwrap_or_default()
+    run_cell_full(app, model, target, opts, salt, store).map(|r| r.tally).unwrap_or_default()
 }
 
 /// One campaign cell, returning the full result (per-run records,
@@ -75,10 +81,11 @@ pub fn run_cell_full<A: FaultApp>(
     target: TargetFilter,
     opts: &Options,
     salt: u64,
+    store: Option<&Arc<CheckpointStore>>,
 ) -> Option<ffis_core::CampaignResult> {
     let mut sig = FaultSignature::on_write(model);
     sig.target = target;
-    run_cell_sig(app, sig, opts.runs, opts, salt)
+    run_cell_sig(app, sig, opts.runs, opts, salt, store)
 }
 
 /// One campaign cell for an arbitrary (write- or read-site) fault
@@ -89,8 +96,12 @@ pub fn run_cell_sig<A: FaultApp>(
     runs: usize,
     opts: &Options,
     salt: u64,
+    store: Option<&Arc<CheckpointStore>>,
 ) -> Option<ffis_core::CampaignResult> {
-    let cfg = CampaignConfig::new(sig).with_runs(runs).with_seed(opts.seed.wrapping_add(salt));
+    let mut cfg = CampaignConfig::new(sig).with_runs(runs).with_seed(opts.seed.wrapping_add(salt));
+    if let Some(store) = store {
+        cfg = cfg.with_checkpoints(store.clone());
+    }
     match Campaign::new(app, cfg).run() {
         Ok(r) => Some(r),
         Err(e) => {
@@ -115,42 +126,77 @@ pub fn fig7(opts: &Options) -> Report {
     let mut csv = String::from(ffis_core::CampaignResult::csv_header());
     csv.push('\n');
     let mut crash_notes: Vec<String> = Vec::new();
-    let mut record =
-        |cell: &str, label: &str, result: Option<ffis_core::CampaignResult>, table: &mut Table| {
-            let Some(result) = result else {
-                table.row(&[cell, label, "-", "-", "-", "-", "0", "-", "-"]);
-                return;
-            };
-            tally_row(table, cell, label, &result.tally, result.mode);
-            csv.push_str(&result.csv_row(&format!("{},{}", cell, label)));
-            csv.push('\n');
-            if result.tally.crash > 0 {
-                let top: Vec<String> = result
-                    .crash_breakdown()
-                    .into_iter()
-                    .take(2)
-                    .map(|(m, c)| format!("{} ({}x)", m, c))
-                    .collect();
-                crash_notes.push(format!("{} {}: {}", cell, label, top.join("; ")));
-            }
+    // Per-app Σ rows fold the cell tallies with OutcomeTally::merge
+    // instead of re-walking run vectors (which a bounded-reservoir
+    // campaign no longer retains in full).
+    let mut group_tally = OutcomeTally::new();
+    let mut record = |cell: &str,
+                      label: &str,
+                      result: Option<ffis_core::CampaignResult>,
+                      table: &mut Table|
+     -> Option<OutcomeTally> {
+        let Some(result) = result else {
+            table.row(&[cell, label, "-", "-", "-", "-", "0", "-", "-"]);
+            return None;
         };
-
-    // NYX.
-    let nyx = nyx_app(opts);
-    for (i, (label, model)) in models().into_iter().enumerate() {
-        let r = run_cell_full(&nyx, model, TargetFilter::Any, opts, 100 + i as u64);
-        record("NYX", label, r, &mut table);
+        tally_row(table, cell, label, &result.tally, result.mode);
+        csv.push_str(&result.csv_row(&format!("{},{}", cell, label)));
+        csv.push('\n');
+        if result.tally.crash > 0 {
+            let top: Vec<String> = result
+                .crash_breakdown()
+                .into_iter()
+                .take(2)
+                .map(|(m, c)| format!("{} ({}x)", m, c))
+                .collect();
+            crash_notes.push(format!("{} {}: {}", cell, label, top.join("; ")));
+        }
+        Some(result.tally)
+    };
+    fn sigma_row(table: &mut Table, cell: &str, t: &OutcomeTally) {
+        table.row(&[
+            cell,
+            "Σ",
+            &format!("{:.1}", t.rate_pct(Outcome::Benign)),
+            &format!("{:.1}", t.rate_pct(Outcome::Detected)),
+            &format!("{:.1}", t.rate_pct(Outcome::Sdc)),
+            &format!("{:.1}", t.rate_pct(Outcome::Crash)),
+            &format!("{}", t.total()),
+            &format!("±{:.1}", t.proportion(Outcome::Sdc).error_bar_pct()),
+            "-",
+        ]);
     }
+
+    // One checkpoint store per workload: the write-model campaigns
+    // over one deterministic app record identical golden traces, so
+    // the first cell builds the checkpoint cache and the others share
+    // it through the engine.
+    let nyx = nyx_app(opts);
+    let nyx_store = Arc::new(CheckpointStore::new());
+    for (i, (label, model)) in models().into_iter().enumerate() {
+        let r =
+            run_cell_full(&nyx, model, TargetFilter::Any, opts, 100 + i as u64, Some(&nyx_store));
+        if let Some(t) = record("NYX", label, r, &mut table) {
+            group_tally.merge(&t);
+        }
+    }
+    sigma_row(&mut table, "NYX", &std::mem::take(&mut group_tally));
 
     // QMC.
     let qmc = QmcApp::paper_default();
+    let qmc_store = Arc::new(CheckpointStore::new());
     for (i, (label, model)) in models().into_iter().enumerate() {
-        let r = run_cell_full(&qmc, model, TargetFilter::Any, opts, 200 + i as u64);
-        record("QMC", label, r, &mut table);
+        let r =
+            run_cell_full(&qmc, model, TargetFilter::Any, opts, 200 + i as u64, Some(&qmc_store));
+        if let Some(t) = record("QMC", label, r, &mut table) {
+            group_tally.merge(&t);
+        }
     }
+    sigma_row(&mut table, "QMC", &std::mem::take(&mut group_tally));
 
-    // MT1..MT4.
+    // MT1..MT4 — all twelve cells share one golden-trace store.
     let montage = MontageApp::paper_default();
+    let montage_store = Arc::new(CheckpointStore::new());
     for (s, stage) in Stage::ALL.into_iter().enumerate() {
         for (i, (label, model)) in models().into_iter().enumerate() {
             let r = run_cell_full(
@@ -159,9 +205,13 @@ pub fn fig7(opts: &Options) -> Report {
                 MontageApp::stage_filter(stage),
                 opts,
                 300 + 10 * s as u64 + i as u64,
+                Some(&montage_store),
             );
-            record(stage.label(), label, r, &mut table);
+            if let Some(t) = record(stage.label(), label, r, &mut table) {
+                group_tally.merge(&t);
+            }
         }
+        sigma_row(&mut table, stage.label(), &std::mem::take(&mut group_tally));
     }
 
     // Read-site rows (reproduction extension): the same models hosted
@@ -169,20 +219,49 @@ pub fn fig7(opts: &Options) -> Report {
     // runs the full-rerun path and the exec column reads
     // rerun(read-site-fault).
     for (i, (label, model)) in read_models().into_iter().enumerate() {
-        let r = run_cell_sig(&nyx, FaultSignature::on_read(model), opts.runs, opts, 400 + i as u64);
-        record("NYX", label, r, &mut table);
+        let r = run_cell_sig(
+            &nyx,
+            FaultSignature::on_read(model),
+            opts.runs,
+            opts,
+            400 + i as u64,
+            None,
+        );
+        let _ = record("NYX", label, r, &mut table);
     }
     for (i, (label, model)) in read_models().into_iter().enumerate() {
-        let r = run_cell_sig(&qmc, FaultSignature::on_read(model), opts.runs, opts, 500 + i as u64);
-        record("QMC", label, r, &mut table);
+        let r = run_cell_sig(
+            &qmc,
+            FaultSignature::on_read(model),
+            opts.runs,
+            opts,
+            500 + i as u64,
+            None,
+        );
+        let _ = record("QMC", label, r, &mut table);
     }
     for (i, (label, model)) in read_models().into_iter().enumerate() {
-        let r =
-            run_cell_sig(&montage, FaultSignature::on_read(model), opts.runs, opts, 600 + i as u64);
-        record("MT", label, r, &mut table);
+        let r = run_cell_sig(
+            &montage,
+            FaultSignature::on_read(model),
+            opts.runs,
+            opts,
+            600 + i as u64,
+            None,
+        );
+        let _ = record("MT", label, r, &mut table);
     }
 
     report.line(table.render());
+    report.line(format!(
+        "(checkpoint sharing: NYX {}b/{}h, QMC {}b/{}h, MT {}b/{}h — builds/hits per store)",
+        nyx_store.builds(),
+        nyx_store.hits(),
+        qmc_store.builds(),
+        qmc_store.hits(),
+        montage_store.builds(),
+        montage_store.hits()
+    ));
     crate::report::save_bytes(&opts.out, "fig7.csv", csv.as_bytes()).ok();
     if !crash_notes.is_empty() {
         report.header("Crash-source breakdown (top messages per cell)");
@@ -332,6 +411,10 @@ pub fn protect(opts: &Options) -> Report {
 
     let nyx = nyx_app(opts);
     let protected = ProtectedNyx(nyx_app(opts));
+    // Plain and protected Nyx produce byte-identical golden traces
+    // (only classification differs), so all six campaigns share one
+    // checkpoint build.
+    let store = Arc::new(CheckpointStore::new());
 
     let mut table = Table::new();
     table.row(&[
@@ -342,8 +425,9 @@ pub fn protect(opts: &Options) -> Report {
         "detected% (protected)",
     ]);
     for (i, (label, model)) in models().into_iter().enumerate() {
-        let plain = run_cell(&nyx, model, TargetFilter::Any, opts, 100 + i as u64);
-        let prot = run_cell(&protected, model, TargetFilter::Any, opts, 100 + i as u64);
+        let plain = run_cell(&nyx, model, TargetFilter::Any, opts, 100 + i as u64, Some(&store));
+        let prot =
+            run_cell(&protected, model, TargetFilter::Any, opts, 100 + i as u64, Some(&store));
         table.row(&[
             label,
             &format!("{:.1}", plain.rate_pct(Outcome::Sdc)),

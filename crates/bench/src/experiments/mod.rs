@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod campaigns;
 pub mod extensions;
 pub mod figures;
+pub mod scale;
 pub mod tables;
 
 use crate::cli::Options;
@@ -48,6 +49,7 @@ pub fn run(name: &str, opts: &Options) -> Result<Report, String> {
         "read-faults" => extensions::read_faults(opts),
         "checksum" => ablations::checksum(opts),
         "param-faults" => extensions::param_faults(opts),
+        "scale" => scale::scale(opts),
         other => return Err(format!("unknown experiment '{}'", other)),
     })
 }

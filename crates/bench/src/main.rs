@@ -10,7 +10,10 @@ fn usage() -> String {
     for name in experiments::ALL {
         s.push_str(&format!("  {}\n", name));
     }
-    s.push_str("  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  all        (everything above)\n");
+    s.push_str(
+        "  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  scale      \
+         (n=192 paper regime unless --grid given)\n  all        (everything above except scale)\n",
+    );
     s
 }
 

@@ -13,10 +13,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use rayon::prelude::*;
+use ffis_vfs::{
+    CheckpointStore, FfisFs, Interceptor, MemFs, Primitive, TraceCheckpoints, TraceOp,
+    TraceRecorder,
+};
 
-use ffis_vfs::{FfisFs, Interceptor, MemFs, Primitive, TraceCheckpoints, TraceOp, TraceRecorder};
-
+use crate::engine::{self, EngineConfig, ExecutionPlan, PlannedRun, RunRecord, RunStrategy};
 use crate::fault::{FaultSignature, TargetFilter};
 use crate::injector::{ArmedInjector, InjectionRecord};
 use crate::outcome::{FaultApp, Outcome, OutcomeTally};
@@ -45,6 +47,21 @@ pub struct CampaignConfig {
     /// to full reruns; [`CampaignResult::mode`] records which strategy
     /// executed and — when the campaign fell back — why.
     pub replay: bool,
+    /// Retain at most this many full [`RunResult`]s in
+    /// [`CampaignResult::runs`] (`None`, the default, keeps every
+    /// run). The kept set is a seed-stable reservoir chosen at plan
+    /// time, so it is identical across reruns and `parallel` on/off;
+    /// tallies always cover every run. Bound this for paper-scale
+    /// campaigns (n=192 grids × 1,000 runs) where the buffered
+    /// per-run records — crash messages, injection records — would
+    /// otherwise dominate memory.
+    pub keep_runs: Option<usize>,
+    /// Shared [`CheckpointStore`]: campaigns whose golden runs record
+    /// byte-identical traces (the common repro-experiment case — one
+    /// campaign per fault model over one deterministic workload) share
+    /// one built [`TraceCheckpoints`] through it instead of each
+    /// rebuilding its own. `None` builds privately, as before.
+    pub checkpoints: Option<Arc<CheckpointStore>>,
 }
 
 /// Default value of [`CampaignConfig::replay`]: `true`, unless the
@@ -65,6 +82,8 @@ impl CampaignConfig {
             seed: 0xFF15_0001,
             parallel: true,
             replay: replay_default(),
+            keep_runs: None,
+            checkpoints: None,
         }
     }
 
@@ -83,6 +102,20 @@ impl CampaignConfig {
     /// Enable or disable the golden-trace replay fast path.
     pub fn with_replay(mut self, replay: bool) -> Self {
         self.replay = replay;
+        self
+    }
+
+    /// Bound the retained per-run records (see
+    /// [`CampaignConfig::keep_runs`]).
+    pub fn with_keep_runs(mut self, keep_runs: Option<usize>) -> Self {
+        self.keep_runs = keep_runs;
+        self
+    }
+
+    /// Share a [`CheckpointStore`] across campaigns (see
+    /// [`CampaignConfig::checkpoints`]).
+    pub fn with_checkpoints(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoints = Some(store);
         self
     }
 }
@@ -199,9 +232,11 @@ pub struct RunResult {
 /// Full campaign result.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
-    /// Outcome tally with CI accessors.
+    /// Outcome tally with CI accessors. Always covers every executed
+    /// run, even those whose full records were not retained.
     pub tally: OutcomeTally,
-    /// Per-run results (in run order).
+    /// Retained per-run results (in run order). All runs unless
+    /// [`CampaignConfig::keep_runs`] bounded the reservoir.
     pub runs: Vec<RunResult>,
     /// The fault-free profile that sized the injection space.
     pub profile: ProfileReport,
@@ -360,34 +395,61 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             }
         };
 
-        // Phase 3: N injection runs.
+        // Phase 3: N injection runs through the shared engine. Every
+        // random draw happens here, at plan time, from the same
+        // per-run child streams as always: run `i` draws from
+        // `root.child(i)`.
         let root = Rng::seed_from(self.config.seed);
         let golden = Arc::new(golden);
-        let run_one = |i: usize| -> RunResult {
-            let mut rng = root.child(i as u64);
-            // "generates a random number from 0 to count-1" → 1-based
-            // instance index in [1, count].
-            let target_instance = rng.gen_range(profile.eligible) + 1;
-            let seed = rng.next_u64();
-            execute_run(
+        let fallback = match mode {
+            ExecutionMode::Replay => None,
+            ExecutionMode::FullRerun { reason } => Some(reason),
+        };
+        let planned: Vec<PlannedRun<InjectionSpec>> = (0..self.config.runs)
+            .map(|i| {
+                let mut rng = root.child(i as u64);
+                // "generates a random number from 0 to count-1" →
+                // 1-based instance index in [1, count].
+                let target_instance = rng.gen_range(profile.eligible) + 1;
+                let seed = rng.next_u64();
+                let strategy = match (&plan, fallback) {
+                    (Some(p), _) => p.strategy_for(target_instance),
+                    (None, Some(reason)) => RunStrategy::Rerun { reason },
+                    (None, None) => unreachable!("replay mode always carries a plan"),
+                };
+                PlannedRun {
+                    index: i,
+                    shard: 0,
+                    strategy,
+                    spec: InjectionSpec { target_instance, seed },
+                }
+            })
+            .collect();
+        let eplan = ExecutionPlan::new(planned, 1);
+        let engine_cfg = EngineConfig {
+            parallel: self.config.parallel,
+            keep_runs: self.config.keep_runs,
+            keep_seed: self.config.seed,
+        };
+        let out = engine::execute(&eplan, &engine_cfg, |pr| {
+            let result = execute_run(
                 self.app,
                 &self.config.signature,
                 plan.as_deref(),
+                pr.strategy,
                 &golden,
-                i,
-                target_instance,
-                seed,
-                mode,
-            )
-        };
+                pr.index,
+                pr.spec.target_instance,
+                pr.spec.seed,
+            );
+            RunRecord {
+                outcome: result.outcome,
+                fired: result.injection.is_some(),
+                payload: result,
+            }
+        });
 
-        let runs: Vec<RunResult> = if self.config.parallel {
-            (0..self.config.runs).into_par_iter().map(run_one).collect()
-        } else {
-            (0..self.config.runs).map(run_one).collect()
-        };
-
-        Ok(CampaignResult { tally: tally_runs(&runs), runs, profile, mode })
+        Ok(CampaignResult { tally: out.tally, runs: out.kept, profile, mode })
     }
 
     /// Gate and validate the replay fast path, building the mid-trace
@@ -413,14 +475,30 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         golden: &A::Output,
         golden_fs: &MemFs,
     ) -> Result<ReplayPlan, ReplayFallback> {
-        let cache =
-            shared_replay_cache(self.app, ops, produced_ops, attempted_writes, golden, golden_fs)?;
+        let cache = shared_replay_cache(
+            self.app,
+            ops,
+            produced_ops,
+            attempted_writes,
+            golden,
+            golden_fs,
+            self.config.checkpoints.as_deref(),
+        )?;
         let eligible_ops = eligible_write_ops(&cache, &self.config.signature.target);
         if eligible_ops.len() as u64 != eligible {
             return Err(ReplayFallback::TraceMismatch);
         }
         Ok(ReplayPlan { cache, eligible_ops })
     }
+}
+
+/// Plan-time per-run data of an injection campaign: the uniformly
+/// drawn 1-based target instance and the injector's seed, both fixed
+/// before execution starts (engine law 2).
+#[derive(Debug, Clone, Copy)]
+struct InjectionSpec {
+    target_instance: u64,
+    seed: u64,
 }
 
 /// Op indices of the trace's eligible writes under `target` (instance
@@ -444,6 +522,20 @@ fn eligible_write_ops(cache: &TraceCheckpoints, target: &TargetFilter) -> Vec<us
 struct ReplayPlan {
     cache: Arc<TraceCheckpoints>,
     eligible_ops: Vec<usize>,
+}
+
+impl ReplayPlan {
+    /// Resolve the planned strategy for one target instance: the
+    /// nearest checkpoint preceding its trace op, and the suffix
+    /// length the run will replay from there (the scheduler's cost
+    /// key).
+    fn strategy_for(&self, target_instance: u64) -> RunStrategy {
+        let target_op = self.eligible_ops[(target_instance - 1) as usize];
+        let points = self.cache.points();
+        let checkpoint = points.partition_point(|p| p.index() <= target_op).saturating_sub(1);
+        let suffix_len = self.cache.ops().len() - points[checkpoint].index();
+        RunStrategy::Replay { checkpoint, suffix_len }
+    }
 }
 
 /// Classify one finished application result into a [`RunResult`] —
@@ -493,32 +585,32 @@ fn finish_run<A: FaultApp>(
     }
 }
 
-/// Execute one injection run — checkpointed suffix replay when `plan`
-/// is available, full produce+analyze re-execution otherwise — and
-/// classify it. The single-signature [`Campaign`] and the sharded
-/// [`MixedCampaign`] both funnel through here, so replay and rerun
-/// shards of a mixed campaign behave identically to their
-/// single-signature counterparts.
+/// Execute one injection run — checkpointed suffix replay when the
+/// planned strategy is `Replay`, full produce+analyze re-execution
+/// otherwise — and classify it. The single-signature [`Campaign`] and
+/// the sharded [`MixedCampaign`] both funnel through here (via the
+/// engine executor), so replay and rerun shards of a mixed campaign
+/// behave identically to their single-signature counterparts.
 #[allow(clippy::too_many_arguments)]
 fn execute_run<A: FaultApp>(
     app: &A,
     signature: &FaultSignature,
     plan: Option<&ReplayPlan>,
+    strategy: RunStrategy,
     golden: &A::Output,
     run: usize,
     target_instance: u64,
     seed: u64,
-    mode: ExecutionMode,
 ) -> RunResult {
-    match plan {
-        // Fast path: fork the nearest checkpoint preceding the target
-        // instance, replay only the trace suffix through the armed
-        // injector (the fault lands in the same instance, with the
-        // same record numbering, it would during a real execution),
-        // then analyze.
-        Some(plan) => {
-            let target_op = plan.eligible_ops[(target_instance - 1) as usize];
-            let point = plan.cache.nearest_before(target_op);
+    let mode = strategy.mode();
+    match (strategy, plan) {
+        // Fast path: fork the planner-chosen checkpoint (the nearest
+        // one preceding the target instance), replay only the trace
+        // suffix through the armed injector (the fault lands in the
+        // same instance, with the same record numbering, it would
+        // during a real execution), then analyze.
+        (RunStrategy::Replay { checkpoint, .. }, Some(plan)) => {
+            let point = &plan.cache.points()[checkpoint];
             let already_seen = plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
             let injector = Arc::new(ArmedInjector::resuming(
                 signature.clone(),
@@ -535,8 +627,10 @@ fn execute_run<A: FaultApp>(
             ffs.unmount();
             finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
         }
-        // Reference path: full application re-execution.
-        None => {
+        // Reference path: full application re-execution. (A `Replay`
+        // strategy without a plan cannot be planned — the strategies
+        // are derived from the plan itself.)
+        (RunStrategy::Replay { .. }, None) | (RunStrategy::Rerun { .. }, _) => {
             let injector = Arc::new(ArmedInjector::new(signature.clone(), target_instance, seed));
             let ffs = FfisFs::mount(Arc::new(MemFs::new()));
             ffs.attach(injector.clone());
@@ -548,21 +642,6 @@ fn execute_run<A: FaultApp>(
             finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
         }
     }
-}
-
-/// Tally a run sequence, counting the no-fire runs (armed fault never
-/// executed *and* output matched — not a real trial).
-fn tally_runs<'a>(runs: impl IntoIterator<Item = &'a RunResult>) -> OutcomeTally {
-    let mut tally = OutcomeTally::new();
-    for r in runs {
-        if r.injection.is_none() && r.outcome == Outcome::Benign {
-            // A crash before the fire point still counts — mount-time
-            // effects are real.
-            tally.no_fire += 1;
-        }
-        tally.record(r.outcome);
-    }
-    tally
 }
 
 /// Configuration for a [`MixedCampaign`]: several fault signatures —
@@ -591,6 +670,13 @@ pub struct MixedCampaignConfig {
     /// non-replayable by construction and always take the full-rerun
     /// path with [`ReplayFallback::ReadSiteFault`] recorded.
     pub replay: bool,
+    /// Retain at most this many full [`RunResult`]s (see
+    /// [`CampaignConfig::keep_runs`]); shard tallies always cover
+    /// every run.
+    pub keep_runs: Option<usize>,
+    /// Shared [`CheckpointStore`] (see
+    /// [`CampaignConfig::checkpoints`]).
+    pub checkpoints: Option<Arc<CheckpointStore>>,
 }
 
 impl MixedCampaignConfig {
@@ -603,6 +689,8 @@ impl MixedCampaignConfig {
             seed: 0xFF15_0002,
             parallel: true,
             replay: replay_default(),
+            keep_runs: None,
+            checkpoints: None,
         }
     }
 
@@ -621,6 +709,20 @@ impl MixedCampaignConfig {
     /// Enable or disable the write-site replay fast path.
     pub fn with_replay(mut self, replay: bool) -> Self {
         self.replay = replay;
+        self
+    }
+
+    /// Bound the retained per-run records (see
+    /// [`CampaignConfig::keep_runs`]).
+    pub fn with_keep_runs(mut self, keep_runs: Option<usize>) -> Self {
+        self.keep_runs = keep_runs;
+        self
+    }
+
+    /// Share a [`CheckpointStore`] across campaigns (see
+    /// [`CampaignConfig::checkpoints`]).
+    pub fn with_checkpoints(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoints = Some(store);
         self
     }
 }
@@ -642,10 +744,12 @@ pub struct ShardReport {
 /// Result of a mixed campaign.
 #[derive(Debug, Clone)]
 pub struct MixedCampaignResult {
-    /// Outcome tally across all shards.
+    /// Outcome tally across all shards (the shard tallies merged);
+    /// always covers every executed run.
     pub tally: OutcomeTally,
-    /// Per-run results in global run order; [`RunResult::mode`] tells
-    /// which strategy produced each run.
+    /// Retained per-run results in global run order (all runs unless
+    /// [`MixedCampaignConfig::keep_runs`] bounded the reservoir);
+    /// [`RunResult::mode`] tells which strategy produced each run.
     pub runs: Vec<RunResult>,
     /// The shared fault-free profile.
     pub profile: ProfileReport,
@@ -687,6 +791,7 @@ fn shared_replay_cache<A: FaultApp>(
     attempted_writes: u64,
     golden: &A::Output,
     golden_fs: &MemFs,
+    store: Option<&CheckpointStore>,
 ) -> Result<Arc<TraceCheckpoints>, ReplayFallback> {
     // Ops recorded after the produce watermark violate the
     // read-only-analyze law — except state-neutral bookkeeping
@@ -703,14 +808,23 @@ fn shared_replay_cache<A: FaultApp>(
     if !crate::outcome::analyze_matches_golden(app, golden_fs, golden) {
         return Err(ReplayFallback::GoldenIdentity);
     }
-    let cache = TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?;
+    // Checkpoint construction goes through the shared store when one
+    // is configured: identical golden traces (several fault models
+    // over one deterministic workload) then share a single built
+    // cache. The per-campaign laws above and the fidelity self-check
+    // below still run for every campaign — sharing only skips the
+    // redundant prefix replays that build the snapshots.
+    let cache = match store {
+        Some(store) => store.get_or_build(ops).map_err(|_| ReplayFallback::ReplayCheck)?,
+        None => Arc::new(TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?),
+    };
     let (ffs, mut cursor) = cache.points()[0].mount_fork();
     if cursor.replay(&*ffs, cache.ops()).is_err()
         || !crate::outcome::analyze_matches_golden(app, &*ffs, golden)
     {
         return Err(ReplayFallback::ReplayCheck);
     }
-    Ok(Arc::new(cache))
+    Ok(cache)
 }
 
 /// One prepared shard of a mixed campaign.
@@ -800,6 +914,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 profile.counters.get(Primitive::Write),
                 &golden,
                 &base,
+                self.config.checkpoints.as_deref(),
             )
         };
 
@@ -846,47 +961,73 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             })
             .collect();
 
-        // Per-shard RNG streams off the root.
+        // Per-shard RNG streams off the root. Every random draw
+        // happens at plan time: global run `i` belongs to shard
+        // `i % k` and draws from `root.child(shard).child(i / k)`,
+        // exactly as before the engine refactor.
         let root = Rng::seed_from(self.config.seed);
         let shard_roots: Vec<Rng> = (0..k).map(|s| root.child(s as u64)).collect();
         let golden = Arc::new(golden);
 
-        let run_one = |i: usize| -> RunResult {
-            let s = i % k;
-            let shard = &shards[s];
-            let mut rng = shard_roots[s].child((i / k) as u64);
-            let target_instance = rng.gen_range(shard.eligible) + 1;
-            let seed = rng.next_u64();
-            execute_run(
+        let planned: Vec<PlannedRun<InjectionSpec>> = (0..self.config.runs)
+            .map(|i| {
+                let s = i % k;
+                let shard = &shards[s];
+                let mut rng = shard_roots[s].child((i / k) as u64);
+                let target_instance = rng.gen_range(shard.eligible) + 1;
+                let seed = rng.next_u64();
+                let strategy = match (&shard.plan, shard.mode) {
+                    (Some(p), _) => p.strategy_for(target_instance),
+                    (None, ExecutionMode::FullRerun { reason }) => RunStrategy::Rerun { reason },
+                    (None, ExecutionMode::Replay) => {
+                        unreachable!("replay-mode shards always carry a plan")
+                    }
+                };
+                PlannedRun {
+                    index: i,
+                    shard: s,
+                    strategy,
+                    spec: InjectionSpec { target_instance, seed },
+                }
+            })
+            .collect();
+        let eplan = ExecutionPlan::new(planned, k);
+        let engine_cfg = EngineConfig {
+            parallel: self.config.parallel,
+            keep_runs: self.config.keep_runs,
+            keep_seed: self.config.seed,
+        };
+        let out = engine::execute(&eplan, &engine_cfg, |pr| {
+            let shard = &shards[pr.shard];
+            let result = execute_run(
                 self.app,
                 &shard.signature,
                 shard.plan.as_ref(),
+                pr.strategy,
                 &golden,
-                i,
-                target_instance,
-                seed,
-                shard.mode,
-            )
-        };
-
-        let runs: Vec<RunResult> = if self.config.parallel {
-            (0..self.config.runs).into_par_iter().map(run_one).collect()
-        } else {
-            (0..self.config.runs).map(run_one).collect()
-        };
+                pr.index,
+                pr.spec.target_instance,
+                pr.spec.seed,
+            );
+            RunRecord {
+                outcome: result.outcome,
+                fired: result.injection.is_some(),
+                payload: result,
+            }
+        });
 
         let shards = shards
             .into_iter()
-            .enumerate()
-            .map(|(s, shard)| ShardReport {
+            .zip(&out.shard_tallies)
+            .map(|(shard, tally)| ShardReport {
                 signature: shard.signature,
                 eligible: shard.eligible,
                 mode: shard.mode,
-                tally: tally_runs(runs.iter().filter(|r| r.run % k == s)),
+                tally: *tally,
             })
             .collect();
 
-        Ok(MixedCampaignResult { tally: tally_runs(&runs), runs, profile, shards })
+        Ok(MixedCampaignResult { tally: out.tally, runs: out.kept, profile, shards })
     }
 }
 

@@ -1,0 +1,180 @@
+//! The executor layer: one serial/parallel fan-out shared by every
+//! campaign frontend.
+
+use rayon::prelude::*;
+
+use super::planner::{ExecutionPlan, PlannedRun};
+use super::sink::{reservoir_mask, RunSink};
+use crate::outcome::{Outcome, OutcomeTally};
+
+/// Execution knobs shared by every frontend.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Fan the schedule out across the rayon thread pool.
+    pub parallel: bool,
+    /// Retain at most this many full run records (`None` = all). The
+    /// kept set is a seed-stable reservoir chosen at plan time;
+    /// tallies always cover every run.
+    pub keep_runs: Option<usize>,
+    /// Seed the reservoir derives from (the campaign's root seed).
+    pub keep_seed: u64,
+}
+
+/// What a frontend's run function hands back to the engine: the
+/// classification the sink tallies, whether the armed fault fired (the
+/// `no_fire` law input), and the full record — which the executor
+/// drops *immediately, inside the worker* unless the reservoir keeps
+/// this index, so per-run record memory never accumulates past the
+/// keep bound.
+pub struct RunRecord<R> {
+    /// Classified outcome of the run.
+    pub outcome: Outcome,
+    /// Did the armed injector fire?
+    pub fired: bool,
+    /// The frontend's full run record.
+    pub payload: R,
+}
+
+/// Aggregated engine output.
+#[derive(Debug, Clone)]
+pub struct EngineResult<R> {
+    /// Retained run records, in run-index order; bounded by
+    /// [`EngineConfig::keep_runs`].
+    pub kept: Vec<R>,
+    /// Per-shard tallies over *all* runs (kept or not).
+    pub shard_tallies: Vec<OutcomeTally>,
+    /// Global tally: the shard tallies merged.
+    pub tally: OutcomeTally,
+    /// Total runs executed.
+    pub scheduled: usize,
+}
+
+/// Execute every planned run — in schedule order serially, fanned out
+/// over the schedule in parallel — and stream the results through the
+/// sink. `run_fn` receives each [`PlannedRun`] exactly once; results
+/// land in index-addressed slots, so serial and parallel execution are
+/// byte-identical (engine law 3).
+pub fn execute<S, R, F>(plan: &ExecutionPlan<S>, cfg: &EngineConfig, run_fn: F) -> EngineResult<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(&PlannedRun<S>) -> RunRecord<R> + Sync,
+{
+    let keep = reservoir_mask(cfg.keep_seed, plan.len(), cfg.keep_runs);
+    let exec_one = |pos: &usize| -> (usize, usize, Outcome, bool, Option<R>) {
+        let pr = &plan.runs()[*pos];
+        let rec = run_fn(pr);
+        // The keep decision happens here, in the worker: a dropped
+        // record frees its buffers before the next run starts.
+        let payload =
+            if keep.as_ref().is_none_or(|m| m[pr.index]) { Some(rec.payload) } else { None };
+        (pr.index, pr.shard, rec.outcome, rec.fired, payload)
+    };
+    let summaries: Vec<(usize, usize, Outcome, bool, Option<R>)> = if cfg.parallel {
+        plan.schedule().par_iter().map(exec_one).collect()
+    } else {
+        plan.schedule().iter().map(exec_one).collect()
+    };
+
+    let mut sink = RunSink::new(plan.shards());
+    let scheduled = summaries.len();
+    for (index, shard, outcome, fired, payload) in summaries {
+        sink.absorb(index, shard, outcome, fired, payload);
+    }
+    let (kept, shard_tallies, tally) = sink.finish();
+    EngineResult { kept, shard_tallies, tally, scheduled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::planner::RunStrategy;
+    use super::*;
+    use crate::campaign::ReplayFallback;
+
+    fn plan(n: usize) -> ExecutionPlan<u64> {
+        let runs = (0..n)
+            .map(|index| PlannedRun {
+                index,
+                shard: index % 3,
+                // Reverse suffix lengths so the schedule differs from
+                // index order — exercising slot addressing.
+                strategy: if index % 2 == 0 {
+                    RunStrategy::Replay { checkpoint: 0, suffix_len: n - index }
+                } else {
+                    RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault }
+                },
+                spec: index as u64 * 10,
+            })
+            .collect();
+        ExecutionPlan::new(runs, 3)
+    }
+
+    fn run_one(pr: &PlannedRun<u64>) -> RunRecord<(usize, u64)> {
+        let outcome = match pr.index % 4 {
+            0 => Outcome::Benign,
+            1 => Outcome::Detected,
+            2 => Outcome::Sdc,
+            _ => Outcome::Crash,
+        };
+        RunRecord { outcome, fired: !pr.index.is_multiple_of(5), payload: (pr.index, pr.spec) }
+    }
+
+    #[test]
+    fn serial_equals_parallel_and_results_are_index_ordered() {
+        let p = plan(23);
+        let mk = |parallel| {
+            execute(&p, &EngineConfig { parallel, keep_runs: None, keep_seed: 9 }, run_one)
+        };
+        let a = mk(false);
+        let b = mk(true);
+        assert_eq!(a.kept, b.kept);
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(a.shard_tallies, b.shard_tallies);
+        assert_eq!(a.scheduled, 23);
+        for (i, &(index, spec)) in a.kept.iter().enumerate() {
+            assert_eq!(index, i, "kept results in run-index order");
+            assert_eq!(spec, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn bounded_keep_is_a_stable_subset_with_full_tallies() {
+        let p = plan(40);
+        let all =
+            execute(&p, &EngineConfig { parallel: false, keep_runs: None, keep_seed: 7 }, run_one);
+        let some = execute(
+            &p,
+            &EngineConfig { parallel: true, keep_runs: Some(6), keep_seed: 7 },
+            run_one,
+        );
+        assert_eq!(some.kept.len(), 6);
+        assert_eq!(some.tally, all.tally, "tallies cover dropped runs too");
+        assert_eq!(some.shard_tallies, all.shard_tallies);
+        // Kept records are a subsequence of the keep-all records.
+        let mut cursor = all.kept.iter();
+        for k in &some.kept {
+            assert!(cursor.any(|a| a == k), "kept record {:?} missing from keep-all order", k);
+        }
+        // Stable across reruns and parallelism.
+        let again = execute(
+            &p,
+            &EngineConfig { parallel: false, keep_runs: Some(6), keep_seed: 7 },
+            run_one,
+        );
+        assert_eq!(some.kept, again.kept);
+    }
+
+    #[test]
+    fn no_fire_law_is_applied_per_shard() {
+        let p = plan(10);
+        let out =
+            execute(&p, &EngineConfig { parallel: false, keep_runs: None, keep_seed: 0 }, |pr| {
+                RunRecord { outcome: Outcome::Benign, fired: pr.index != 0, payload: () }
+            });
+        // Run 0 (shard 0) is the only unfired benign run.
+        assert_eq!(out.shard_tallies[0].no_fire, 1);
+        assert_eq!(out.shard_tallies[1].no_fire, 0);
+        assert_eq!(out.tally.no_fire, 1);
+        assert_eq!(out.tally.benign, 10);
+    }
+}

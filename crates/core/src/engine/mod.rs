@@ -1,0 +1,67 @@
+//! The shared campaign execution engine: **planner → executor → sink**.
+//!
+//! The paper's methodology is one pipeline — profile → inject × N →
+//! classify → tally — but the repo grew three hand-rolled copies of
+//! its execution half ([`crate::Campaign`], [`crate::MixedCampaign`],
+//! [`crate::metadata_scan::scan_detailed`]), each with its own
+//! serial/parallel branches, replay/rerun dispatch, and a fully
+//! materialized result vector. This module is the one implementation
+//! all three frontends now ride:
+//!
+//! * **Planner** ([`ExecutionPlan`]) — maps every scheduled run
+//!   `(shard, index, spec)` to a [`RunStrategy`] — `Replay` with its
+//!   starting checkpoint and suffix length, or `Rerun` with the
+//!   recorded [`crate::ReplayFallback`] reason — *up front*, before
+//!   anything executes, and fixes a wall-clock-optimizing schedule:
+//!   replay runs shortest-suffix-first, rerun runs interleaved
+//!   proportionally so the expensive re-executions start early instead
+//!   of queuing behind the cheap replays.
+//! * **Executor** ([`execute`]) — one serial/parallel (rayon) fan-out
+//!   over the schedule. Results are keyed by run index, never by
+//!   completion order.
+//! * **Sink** ([`RunSink`]) — streaming aggregation: per-shard
+//!   [`crate::OutcomeTally`]s fold online (`OutcomeTally::record` per
+//!   run, `OutcomeTally::merge` across shards), and full run records
+//!   are retained only for a seed-stable bounded reservoir
+//!   ([`reservoir_mask`]) so a paper-scale campaign holds
+//!   O(`keep_runs`) — not O(runs) — record memory.
+//!
+//! ## Engine laws
+//!
+//! These mirror the fidelity contract of `ffis_vfs::trace`; the
+//! property tests in `tests/properties.rs` pin them:
+//!
+//! 1. **Single emission** — the plan contains each `(shard, index)`
+//!    pair exactly once, and the schedule is a permutation of the
+//!    plan: every planned run executes exactly once.
+//! 2. **Plan-time randomness** — all per-run random draws (target
+//!    instance, injection seed, flip mask) happen while *building* the
+//!    plan, from per-run child streams (`root.child(shard).child(run)`
+//!    in the sharded drivers, `root.child(run)` in the
+//!    single-signature driver). Execution order can never affect a
+//!    draw.
+//! 3. **Order independence** — the schedule is a pure wall-clock
+//!    optimization. Serial and parallel execution of the same plan
+//!    produce byte-identical tallies, kept records, injection records,
+//!    and crash messages, because every result lands in its
+//!    index-addressed slot and the sink's retention set is chosen at
+//!    plan time ([`reservoir_mask`] is a function of seed and counts
+//!    only, never of completion order).
+//! 4. **Sink bounds** — the sink retains at most `keep_runs` full run
+//!    records (default: all, preserving the historical API); dropped
+//!    records still contribute to every tally, which is therefore
+//!    always computed over *all* runs. `no_fire` accounting (armed
+//!    fault never executed *and* output matched) is part of the sink,
+//!    so the one definition serves every frontend.
+//! 5. **Strategy fidelity** — `Replay` and `Rerun` produce
+//!    byte-identical run results for the same `(signature, instance,
+//!    seed)` (pinned by `tests/replay_equivalence.rs`), so the
+//!    scheduler may mix the two strategies freely within one campaign.
+
+mod executor;
+mod planner;
+mod sink;
+
+pub use executor::{execute, EngineConfig, EngineResult, RunRecord};
+pub use planner::{ExecutionPlan, PlannedRun, RunStrategy};
+pub use sink::{reservoir_mask, RunSink};

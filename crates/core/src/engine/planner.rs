@@ -1,0 +1,225 @@
+//! The planner layer: per-run strategies resolved up front, plus the
+//! wall-clock-optimizing schedule.
+
+use crate::campaign::{ExecutionMode, ReplayFallback};
+
+/// How one scheduled run will execute, resolved at plan time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStrategy {
+    /// Checkpointed golden-trace replay: fork checkpoint `checkpoint`
+    /// (a position into the trace cache's checkpoint list) and replay
+    /// the `suffix_len`-op trace suffix through the armed injector.
+    Replay {
+        /// Position of the starting snapshot in
+        /// `TraceCheckpoints::points()`.
+        checkpoint: usize,
+        /// Ops left to replay from that snapshot — the run's cost
+        /// proxy, which the scheduler sorts ascending.
+        suffix_len: usize,
+    },
+    /// Full application re-execution, with the recorded reason the
+    /// replay fast path did not engage.
+    Rerun {
+        /// Why this run re-executes instead of replaying.
+        reason: ReplayFallback,
+    },
+}
+
+impl RunStrategy {
+    /// Does this run take the replay fast path?
+    pub fn is_replay(self) -> bool {
+        matches!(self, RunStrategy::Replay { .. })
+    }
+
+    /// The [`ExecutionMode`] this strategy records on its run result.
+    pub fn mode(self) -> ExecutionMode {
+        match self {
+            RunStrategy::Replay { .. } => ExecutionMode::Replay,
+            RunStrategy::Rerun { reason } => ExecutionMode::FullRerun { reason },
+        }
+    }
+}
+
+/// One fully planned run: its result slot (`index`), its shard, its
+/// resolved [`RunStrategy`], and the frontend-specific spec (target
+/// instance + injection seed for campaigns, byte index + flip for the
+/// metadata scanner) whose random draws were made at plan time.
+#[derive(Debug, Clone)]
+pub struct PlannedRun<S> {
+    /// Result-order position; `plan.runs()[i].index == i` always.
+    pub index: usize,
+    /// Owning shard (0 for single-signature frontends).
+    pub shard: usize,
+    /// Resolved execution strategy.
+    pub strategy: RunStrategy,
+    /// Frontend-specific per-run data.
+    pub spec: S,
+}
+
+/// The complete, immutable plan of a campaign's execution phase.
+///
+/// `runs` is in result order (law 1: each `(shard, index)` exactly
+/// once); `schedule` is the execution-order permutation the executor
+/// walks. The schedule depends only on the planned strategies — never
+/// on `parallel`, thread count, or timing — so plan order is
+/// reproducible by construction (law 3).
+#[derive(Debug)]
+pub struct ExecutionPlan<S> {
+    runs: Vec<PlannedRun<S>>,
+    schedule: Vec<usize>,
+    shards: usize,
+}
+
+impl<S> ExecutionPlan<S> {
+    /// Build the plan: validate result ordering and fix the schedule —
+    /// replay runs shortest-suffix-first (cheap forks drain the pool
+    /// densely), rerun runs interleaved proportionally (the expensive
+    /// re-executions start early rather than queuing at either end).
+    pub fn new(runs: Vec<PlannedRun<S>>, shards: usize) -> Self {
+        // Law 1 is load-bearing for slot addressing and the keep mask;
+        // validate it in release builds too (O(n), negligible next to
+        // the runs themselves).
+        assert!(
+            runs.iter().enumerate().all(|(i, r)| r.index == i && r.shard < shards.max(1)),
+            "planned runs must arrive in result order with in-range shards"
+        );
+        let mut replay: Vec<usize> = Vec::new();
+        let mut rerun: Vec<usize> = Vec::new();
+        for (i, r) in runs.iter().enumerate() {
+            match r.strategy {
+                RunStrategy::Replay { .. } => replay.push(i),
+                RunStrategy::Rerun { .. } => rerun.push(i),
+            }
+        }
+        replay.sort_by_key(|&i| match runs[i].strategy {
+            RunStrategy::Replay { suffix_len, .. } => (suffix_len, i),
+            RunStrategy::Rerun { .. } => unreachable!("partitioned above"),
+        });
+        let schedule = interleave(&replay, &rerun);
+        ExecutionPlan { runs, schedule, shards }
+    }
+
+    /// All planned runs, in result order.
+    pub fn runs(&self) -> &[PlannedRun<S>] {
+        &self.runs
+    }
+
+    /// Execution order: a permutation of `0..runs().len()`.
+    pub fn schedule(&self) -> &[usize] {
+        &self.schedule
+    }
+
+    /// Number of shards the plan spans.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total scheduled runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// Proportional two-stream merge: at every position, take from the
+/// stream whose progress fraction is behind (ties prefer `a`), so `b`
+/// items spread evenly through `a` instead of clumping.
+fn interleave(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            // (i+1)/|a| <= (j+1)/|b|  ⇔  (i+1)·|b| <= (j+1)·|a|
+            (i + 1) * b.len() <= (j + 1) * a.len()
+        };
+        if take_a {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planned(strategies: Vec<RunStrategy>) -> ExecutionPlan<()> {
+        let runs = strategies
+            .into_iter()
+            .enumerate()
+            .map(|(index, strategy)| PlannedRun { index, shard: index % 2, strategy, spec: () })
+            .collect();
+        ExecutionPlan::new(runs, 2)
+    }
+
+    #[test]
+    fn schedule_is_a_permutation() {
+        let plan = planned(vec![
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 10 },
+            RunStrategy::Rerun { reason: ReplayFallback::Disabled },
+            RunStrategy::Replay { checkpoint: 1, suffix_len: 3 },
+            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 7 },
+        ]);
+        let mut seen = plan.schedule().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.shards(), 2);
+    }
+
+    #[test]
+    fn replay_runs_schedule_shortest_suffix_first() {
+        let plan = planned(vec![
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 10 },
+            RunStrategy::Replay { checkpoint: 1, suffix_len: 3 },
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 7 },
+        ]);
+        assert_eq!(plan.schedule(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn reruns_interleave_proportionally() {
+        let plan = planned(vec![
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 1 },
+            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 2 },
+            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 3 },
+            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+        ]);
+        // Equal stream lengths alternate, starting with replay.
+        assert_eq!(plan.schedule(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn all_rerun_plan_keeps_index_order() {
+        let plan = planned(vec![RunStrategy::Rerun { reason: ReplayFallback::Disabled }; 4]);
+        assert_eq!(plan.schedule(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn strategy_mode_mapping() {
+        assert_eq!(
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 1 }.mode(),
+            ExecutionMode::Replay
+        );
+        assert!(RunStrategy::Replay { checkpoint: 0, suffix_len: 1 }.is_replay());
+        assert_eq!(
+            RunStrategy::Rerun { reason: ReplayFallback::Disabled }.mode(),
+            ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }
+        );
+    }
+}

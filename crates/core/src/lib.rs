@@ -18,7 +18,15 @@
 //! [`campaign`] orchestrates them into statistically significant
 //! campaigns (1,000 runs with ~1–2% error bars at 95% confidence), and
 //! [`metadata_scan`] implements the byte-by-byte scientific-file-format
-//! metadata study of §IV-D.
+//! metadata study of §IV-D. All three campaign frontends —
+//! [`Campaign`], [`MixedCampaign`], and [`metadata_scan::scan_detailed`]
+//! — execute through the shared [`engine`] (planner → executor →
+//! sink): per-run strategies and random draws are resolved up front,
+//! one serial/parallel fan-out schedules replay runs
+//! shortest-suffix-first with reruns interleaved, and tallies stream
+//! through a sink whose full-record retention can be bounded
+//! (`CampaignConfig::keep_runs`) for paper-scale grids; see the
+//! [`engine`] module docs for the engine laws.
 //!
 //! ## The two-phase contract and the replay fast path
 //!
@@ -97,6 +105,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod engine;
 pub mod fault;
 pub mod generator;
 pub mod injector;
@@ -111,6 +120,7 @@ pub use campaign::{
     MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunResult,
     ShardReport,
 };
+pub use engine::{ExecutionPlan, PlannedRun, RunStrategy};
 pub use fault::{
     FaultModel, FaultSignature, InjectionSite, Mutation, ReadMutation, ShornFill, ShornKeep,
     TargetFilter,

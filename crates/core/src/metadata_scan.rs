@@ -44,10 +44,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use rayon::prelude::*;
-
 use ffis_vfs::{FfisFs, MemFs, Primitive, ReplayCursor, TraceOp, TraceRecorder};
 
+use crate::campaign::{replay_default, ExecutionMode, ReplayFallback};
+use crate::engine::{self, EngineConfig, ExecutionPlan, PlannedRun, RunRecord, RunStrategy};
 use crate::fault::TargetFilter;
 use crate::injector::{ByteFaultInjector, ByteFlip};
 use crate::outcome::{FaultApp, Outcome, OutcomeTally};
@@ -115,7 +115,10 @@ pub struct ScanConfig {
 }
 
 impl ScanConfig {
-    /// Paper defaults: penultimate write, 2-bit flips, exhaustive.
+    /// Paper defaults: penultimate write, 2-bit flips, exhaustive,
+    /// replay on (unless `FFIS_REPLAY=0` — see
+    /// [`crate::campaign::replay_default`], the same override the
+    /// campaign drivers honor).
     pub fn new(target: TargetFilter) -> Self {
         ScanConfig {
             target,
@@ -124,7 +127,7 @@ impl ScanConfig {
             seed: 0x4D45_5441,
             stride: 1,
             parallel: true,
-            replay: true,
+            replay: replay_default(),
         }
     }
 }
@@ -369,47 +372,55 @@ struct ReplayPlan {
 
 /// Build the replay plan, validating it end-to-end on the golden
 /// snapshot (replay the suffix uninjected, analyze, and require a
-/// benign classification). Returns `None` — fall back to full reruns —
-/// when the golden run attempted a matching write that failed (the
-/// success-only trace would then number instances differently than
-/// the injectors do), when the app's analyze phase violates the
-/// golden-identity law, or when the self-check fails.
+/// benign classification). Returns the [`ReplayFallback`] reason —
+/// fall back to full reruns — when the golden run attempted a matching
+/// write that failed (the success-only trace would then number
+/// instances differently than the injectors do), when the app's
+/// analyze phase violates the golden-identity law, or when the
+/// self-check fails.
 fn prepare_replay<A: FaultApp>(
     app: &A,
     cap: &GoldenCapture<A::Output>,
     target: &TargetFilter,
-) -> Option<ReplayPlan> {
+) -> Result<ReplayPlan, ReplayFallback> {
     let recorded_matching =
         cap.ops.iter().filter(|op| op.is_write() && target.matches(op.write_path())).count();
     if recorded_matching != cap.attempted_matching_writes {
-        return None;
+        return Err(ReplayFallback::TraceMismatch);
     }
     // Probe: does analyze satisfy the golden-identity law on the
     // final golden state?
     if !crate::outcome::analyze_matches_golden(app, &*cap.golden_fs, &cap.golden) {
-        return None;
+        return Err(ReplayFallback::GoldenIdentity);
     }
     // Locate the target write in the op stream.
     let mut seen = 0u64;
-    let suffix_start = cap.ops.iter().position(|op| {
-        if op.is_write() && target.matches(op.write_path()) {
-            seen += 1;
-            seen == cap.write_instance
-        } else {
-            false
-        }
-    })?;
+    let suffix_start = cap
+        .ops
+        .iter()
+        .position(|op| {
+            if op.is_write() && target.matches(op.write_path()) {
+                seen += 1;
+                seen == cap.write_instance
+            } else {
+                false
+            }
+        })
+        .ok_or(ReplayFallback::TraceMismatch)?;
     // Rebuild the pre-injection state at memcpy speed.
     let pre = MemFs::new();
     let mut cursor = ReplayCursor::new();
-    cursor.replay(&pre, &cap.ops[..suffix_start]).ok()?;
+    cursor.replay(&pre, &cap.ops[..suffix_start]).map_err(|_| ReplayFallback::ReplayCheck)?;
     let plan = ReplayPlan { pre, cursor, suffix_start };
     // Self-check: an uninjected suffix replay must analyze benign.
     let ffs = FfisFs::mount(Arc::new(plan.pre.fork()));
     let mut cur = plan.cursor.clone();
     cur.seed_mount(&ffs);
-    cur.replay(&*ffs, &cap.ops[plan.suffix_start..]).ok()?;
-    crate::outcome::analyze_matches_golden(app, &*ffs, &cap.golden).then_some(plan)
+    cur.replay(&*ffs, &cap.ops[plan.suffix_start..]).map_err(|_| ReplayFallback::ReplayCheck)?;
+    if !crate::outcome::analyze_matches_golden(app, &*ffs, &cap.golden) {
+        return Err(ReplayFallback::ReplayCheck);
+    }
+    Ok(plan)
 }
 
 /// Run the workload once with a single byte fault armed; classify.
@@ -506,12 +517,20 @@ pub struct DetailedScanResult<O> {
     pub write_instance: u64,
     /// Aggregate tally.
     pub tally: OutcomeTally,
-    /// True when the fork+replay fast path ran; false when the scan
-    /// fell back to (or was configured for) legacy full reruns.
-    pub used_replay: bool,
+    /// The execution strategy, with the recorded reason when a
+    /// replay-configured scan fell back — the same vocabulary the
+    /// campaign drivers report.
+    pub mode: ExecutionMode,
 }
 
 impl<O> DetailedScanResult<O> {
+    /// Did the fork+replay fast path run? (`false`: the scan fell back
+    /// to — or was configured for — legacy full reruns; the reason is
+    /// in [`DetailedScanResult::mode`].)
+    pub fn used_replay(&self) -> bool {
+        self.mode.is_replay()
+    }
+
     /// Collapse to the output-free [`ScanResult`].
     pub fn into_result(self) -> ScanResult {
         ScanResult {
@@ -525,7 +544,13 @@ impl<O> DetailedScanResult<O> {
 }
 
 /// Execute the full byte-by-byte metadata scan, keeping each byte's
-/// application output alongside its classification.
+/// application output alongside its classification. The scan is a
+/// thin frontend over the shared [`crate::engine`]: every byte's flip
+/// is drawn at plan time from `root.child(byte_index)` (exactly the
+/// historical stream), the strategy — one shared pre-write snapshot,
+/// or full reruns with a recorded reason — is resolved up front, and
+/// the tally streams through the engine sink. Scans retain every
+/// per-byte run: the byte map *is* the product.
 pub fn scan_detailed<A: FaultApp>(
     app: &A,
     config: &ScanConfig,
@@ -534,7 +559,13 @@ pub fn scan_detailed<A: FaultApp>(
     let stride = config.stride.max(1);
     let indices: Vec<usize> = (0..cap.write_len).step_by(stride).collect();
     let root = Rng::seed_from(config.seed);
-    let plan = if config.replay { prepare_replay(app, &cap, &config.target) } else { None };
+    let plan = if config.replay {
+        prepare_replay(app, &cap, &config.target)
+    } else {
+        Err(ReplayFallback::Disabled)
+    };
+    let reason = plan.as_ref().err().copied();
+    let plan = plan.ok();
     if plan.is_none() {
         // Legacy path: the trace (which holds every write payload) and
         // the golden filesystem are never consulted again — free them
@@ -544,9 +575,35 @@ pub fn scan_detailed<A: FaultApp>(
         cap.golden_fs = Arc::new(MemFs::new());
     }
 
-    let run_byte = |&byte_index: &usize| -> ScanRun<A::Output> {
-        let mut rng = root.child(byte_index as u64);
-        let flip = config.flip.to_flip(&mut rng);
+    let planned: Vec<PlannedRun<ByteSpec>> = indices
+        .iter()
+        .enumerate()
+        .map(|(index, &byte_index)| {
+            let mut rng = root.child(byte_index as u64);
+            let flip = config.flip.to_flip(&mut rng);
+            let strategy = match (&plan, reason) {
+                // One pre-write snapshot serves every byte: the
+                // suffix starts at the metadata write for all of them.
+                (Some(p), _) => RunStrategy::Replay {
+                    checkpoint: 0,
+                    suffix_len: cap.ops.len() - p.suffix_start,
+                },
+                (None, Some(reason)) => RunStrategy::Rerun { reason },
+                (None, None) => unreachable!("no plan implies a recorded reason"),
+            };
+            PlannedRun { index, shard: 0, strategy, spec: ByteSpec { byte_index, flip } }
+        })
+        .collect();
+    let mode = match (planned.first(), reason) {
+        (Some(pr), _) => pr.strategy.mode(),
+        (None, Some(reason)) => ExecutionMode::FullRerun { reason },
+        (None, None) => ExecutionMode::Replay,
+    };
+    let eplan = ExecutionPlan::new(planned, 1);
+    let engine_cfg =
+        EngineConfig { parallel: config.parallel, keep_runs: None, keep_seed: config.seed };
+    let out = engine::execute(&eplan, &engine_cfg, |pr| {
+        let ByteSpec { byte_index, flip } = pr.spec;
         let (outcome, output, crash_message) = match &plan {
             Some(plan) => replay_with_byte_fault(app, &cap, plan, &config.target, byte_index, flip),
             None => run_with_byte_fault(
@@ -558,7 +615,7 @@ pub fn scan_detailed<A: FaultApp>(
                 flip,
             ),
         };
-        ScanRun {
+        let payload = ScanRun {
             byte: ByteOutcome {
                 byte_index,
                 file_offset: cap.write_offset + byte_index as u64,
@@ -566,27 +623,28 @@ pub fn scan_detailed<A: FaultApp>(
                 crash_message,
             },
             output,
-        }
-    };
+        };
+        // Byte injectors always fire (the byte is always within the
+        // scanned buffer), so the no-fire law never triggers here.
+        RunRecord { outcome, fired: true, payload }
+    });
 
-    let runs: Vec<ScanRun<A::Output>> = if config.parallel {
-        indices.par_iter().map(run_byte).collect()
-    } else {
-        indices.iter().map(run_byte).collect()
-    };
-
-    let mut tally = OutcomeTally::new();
-    for r in &runs {
-        tally.record(r.byte.outcome);
-    }
     Ok(DetailedScanResult {
-        runs,
+        runs: out.kept,
         write_offset: cap.write_offset,
         write_len: cap.write_len,
         write_instance: cap.write_instance,
-        tally,
-        used_replay: plan.is_some(),
+        tally: out.tally,
+        mode,
     })
+}
+
+/// Plan-time per-byte data of a metadata scan: the byte under fault
+/// and the seeded flip damage (drawn at plan time, engine law 2).
+#[derive(Debug, Clone, Copy)]
+struct ByteSpec {
+    byte_index: usize,
+    flip: ByteFlip,
 }
 
 /// Execute the full byte-by-byte metadata scan.
@@ -744,13 +802,18 @@ mod tests {
         let mut cfg = ScanConfig::new(TargetFilter::Any);
         cfg.parallel = false;
         cfg.flip = FlipMode::Mask(0xFF);
+        // Explicit rather than the default, which the FFIS_REPLAY=0 CI
+        // rerun job flips to false.
+        cfg.replay = true;
         let fast = scan_detailed(&MiniFormatApp, &cfg).unwrap();
-        assert!(fast.used_replay, "two-phase apps engage the fast path by construction");
+        assert!(fast.used_replay(), "two-phase apps engage the fast path by construction");
+        assert_eq!(fast.mode, ExecutionMode::Replay);
 
         // Byte-identical to the legacy full-rerun scan.
         cfg.replay = false;
         let slow = scan_detailed(&MiniFormatApp, &cfg).unwrap();
-        assert!(!slow.used_replay);
+        assert!(!slow.used_replay());
+        assert_eq!(slow.mode, ExecutionMode::FullRerun { reason: ReplayFallback::Disabled });
         assert_eq!(fast.tally, slow.tally);
         for (f, s) in fast.runs.iter().zip(&slow.runs) {
             assert_eq!(f.byte.outcome, s.byte.outcome, "byte {}", f.byte.byte_index);
@@ -804,8 +867,13 @@ mod tests {
         let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".meta".into()));
         cfg.pick = WritePick::Last;
         cfg.parallel = false;
+        cfg.replay = true;
         let result = scan_detailed(&SelfMutatingApp, &cfg).unwrap();
-        assert!(!result.used_replay, "identity-violating analyze must disable replay");
+        assert!(!result.used_replay(), "identity-violating analyze must disable replay");
+        assert_eq!(
+            result.mode,
+            ExecutionMode::FullRerun { reason: ReplayFallback::GoldenIdentity }
+        );
         assert_eq!(result.tally.total(), 32);
     }
 

@@ -98,5 +98,6 @@ pub use fs::{
 pub use interceptor::{CallContext, Interceptor, Primitive, ReadAction, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
 pub use trace::{
-    ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp, TraceRecorder,
+    CheckpointStore, ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp,
+    TraceRecorder,
 };

@@ -618,6 +618,194 @@ impl TraceCheckpoints {
     }
 }
 
+/// FNV-1a accumulator for trace fingerprinting.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+    fn eat_str(&mut self, s: &str) {
+        self.eat_u64(s.len() as u64);
+        self.eat(s.as_bytes());
+    }
+}
+
+/// Content fingerprint of a golden op stream: every field of every op,
+/// in order, including full write payloads. Campaigns whose golden
+/// runs are byte-identical (the common case: several fault models over
+/// one deterministic workload) hash to the same key.
+fn trace_fingerprint(ops: &[TraceOp]) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(ops.len() as u64);
+    for op in ops {
+        match op {
+            TraceOp::Mknod { path, kind, mode, dev } => {
+                h.eat(b"N");
+                h.eat_str(path);
+                h.eat_u64(*kind as u64);
+                h.eat_u64(u64::from(*mode));
+                h.eat_u64(*dev);
+            }
+            TraceOp::Mkdir { path, mode } => {
+                h.eat(b"D");
+                h.eat_str(path);
+                h.eat_u64(u64::from(*mode));
+            }
+            TraceOp::Unlink { path } => {
+                h.eat(b"U");
+                h.eat_str(path);
+            }
+            TraceOp::Rmdir { path } => {
+                h.eat(b"d");
+                h.eat_str(path);
+            }
+            TraceOp::Rename { from, to } => {
+                h.eat(b"R");
+                h.eat_str(from);
+                h.eat_str(to);
+            }
+            TraceOp::Chmod { path, mode } => {
+                h.eat(b"C");
+                h.eat_str(path);
+                h.eat_u64(u64::from(*mode));
+            }
+            TraceOp::Truncate { path, size } => {
+                h.eat(b"T");
+                h.eat_str(path);
+                h.eat_u64(*size);
+            }
+            TraceOp::Create { path, mode, fd } => {
+                h.eat(b"c");
+                h.eat_str(path);
+                h.eat_u64(u64::from(*mode));
+                h.eat_u64(*fd);
+            }
+            TraceOp::Open { path, flags, fd } => {
+                h.eat(b"O");
+                h.eat_str(path);
+                let bits = u64::from(flags.read)
+                    | u64::from(flags.write) << 1
+                    | u64::from(flags.create) << 2
+                    | u64::from(flags.truncate) << 3
+                    | u64::from(flags.append) << 4
+                    | u64::from(flags.excl) << 5;
+                h.eat_u64(bits);
+                h.eat_u64(*fd);
+            }
+            TraceOp::Write { fd, path, offset, data } => {
+                h.eat(b"W");
+                h.eat_u64(*fd);
+                match path {
+                    Some(p) => h.eat_str(p),
+                    None => h.eat(b"-"),
+                }
+                h.eat_u64(offset.map_or(u64::MAX, |o| o));
+                h.eat_u64(data.len() as u64);
+                h.eat(data);
+            }
+            TraceOp::Fsync { fd } => {
+                h.eat(b"F");
+                h.eat_u64(*fd);
+            }
+            TraceOp::Release { fd } => {
+                h.eat(b"r");
+                h.eat_u64(*fd);
+            }
+            TraceOp::Lock { fd, kind } => {
+                h.eat(b"L");
+                h.eat_u64(*fd);
+                h.eat_u64(matches!(kind, LockKind::Exclusive) as u64);
+            }
+            TraceOp::Unlock { fd } => {
+                h.eat(b"l");
+                h.eat_u64(*fd);
+            }
+        }
+    }
+    h.0
+}
+
+/// A concurrent memoizing store of built [`TraceCheckpoints`], keyed
+/// by golden-trace content.
+///
+/// Building a checkpoint cache replays the whole trace once and forks
+/// O(log n) CoW snapshots. A repro experiment runs *several* campaigns
+/// over the same deterministic workload (one per fault model), and
+/// every one of them records an identical golden trace — so the store
+/// lets them share a single [`TraceCheckpoints`] instead of each
+/// rebuilding its own: the first [`CheckpointStore::get_or_build`]
+/// with a given trace builds, every later identical trace returns the
+/// same [`Arc`].
+///
+/// Lookups key on a content fingerprint of the full op stream
+/// (including write payloads) and verify the hit's ops compare equal
+/// before returning it, so a fingerprint collision can never hand a
+/// campaign someone else's checkpoints — it just builds fresh,
+/// uncached.
+#[derive(Default)]
+pub struct CheckpointStore {
+    cache: Mutex<HashMap<u64, Arc<TraceCheckpoints>>>,
+    builds: std::sync::atomic::AtomicUsize,
+    hits: std::sync::atomic::AtomicUsize,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared checkpoints for `ops`: a cached instance when an
+    /// identical trace was built before, a fresh build otherwise.
+    pub fn get_or_build(&self, ops: Vec<TraceOp>) -> Result<Arc<TraceCheckpoints>, ReplayError> {
+        use std::sync::atomic::Ordering;
+        let key = trace_fingerprint(&ops);
+        if let Some(hit) = self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            // Equality check defuses fingerprint collisions: on a
+            // mismatch fall through and build fresh (uncached — the
+            // slot is taken).
+            if hit.ops() == &ops[..] {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.clone());
+            }
+        }
+        let built = Arc::new(TraceCheckpoints::build(ops)?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.entry(key).or_insert_with(|| built.clone());
+        Ok(built)
+    }
+
+    /// Number of checkpoint caches built (cache misses).
+    pub fn builds(&self) -> usize {
+        self.builds.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("builds", &self.builds())
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use ffis_core::{wilson, ByteFlip, FaultModel, Mutation, Rng, ShornFill, ShornKeep};
+use ffis_core::engine::{ExecutionPlan, PlannedRun, RunStrategy};
+use ffis_core::{
+    wilson, ByteFlip, FaultModel, Mutation, ReplayFallback, Rng, ShornFill, ShornKeep,
+};
 use ffis_vfs::{FileSystem, FileSystemExt, MemFs, SECTOR_SIZE};
 
 proptest! {
@@ -437,6 +440,77 @@ proptest! {
         }
     }
 
+    /// Engine law 1 + 3 (planner half): for arbitrary mixes of replay
+    /// and rerun strategies over arbitrary shard counts, the plan
+    /// emits each `(shard, run)` exactly once, the schedule is a
+    /// permutation of the runs, rebuilding the plan reproduces the
+    /// identical schedule (plan order cannot depend on `parallel` —
+    /// the planner never even sees it), replay runs are scheduled
+    /// shortest-suffix-first, and rerun runs keep their relative
+    /// index order.
+    #[test]
+    fn execution_plan_emits_each_run_once_with_deterministic_schedule(
+        raw in proptest::collection::vec(any::<u64>(), 0..200),
+        shards in 1usize..5,
+    ) {
+        // Derive an arbitrary replay/rerun mix from the raw words.
+        let strategies: Vec<RunStrategy> = raw
+            .iter()
+            .map(|&w| match w % 3 {
+                0 => RunStrategy::Replay {
+                    checkpoint: (w >> 2) as usize % 8,
+                    suffix_len: 1 + (w >> 5) as usize % 2000,
+                },
+                1 => RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+                _ => RunStrategy::Rerun { reason: ReplayFallback::Disabled },
+            })
+            .collect();
+        let mk = || {
+            let runs: Vec<PlannedRun<u64>> = strategies
+                .iter()
+                .enumerate()
+                .map(|(index, &strategy)| PlannedRun {
+                    index,
+                    shard: index % shards,
+                    strategy,
+                    spec: index as u64,
+                })
+                .collect();
+            ExecutionPlan::new(runs, shards)
+        };
+        let plan = mk();
+        // Each (shard, run) exactly once, in result order.
+        for (i, r) in plan.runs().iter().enumerate() {
+            prop_assert_eq!(r.index, i);
+            prop_assert_eq!(r.shard, i % shards);
+        }
+        // Schedule is a permutation.
+        let mut seen = plan.schedule().to_vec();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..strategies.len()).collect::<Vec<_>>());
+        // Deterministic rebuild (no dependence on execution knobs).
+        let rebuilt = mk();
+        prop_assert_eq!(plan.schedule(), rebuilt.schedule());
+        // Replay subsequence: suffix lengths nondecreasing; rerun
+        // subsequence: index order preserved.
+        let mut last_suffix = 0usize;
+        let mut last_rerun = None::<usize>;
+        for &pos in plan.schedule() {
+            match plan.runs()[pos].strategy {
+                RunStrategy::Replay { suffix_len, .. } => {
+                    prop_assert!(suffix_len >= last_suffix, "replay not shortest-suffix-first");
+                    last_suffix = suffix_len;
+                }
+                RunStrategy::Rerun { .. } => {
+                    if let Some(prev) = last_rerun {
+                        prop_assert!(pos > prev, "rerun relative order changed");
+                    }
+                    last_rerun = Some(pos);
+                }
+            }
+        }
+    }
+
     /// scalar.dat rendering always re-parses to the same rows.
     #[test]
     fn scalar_dat_roundtrip(
@@ -460,5 +534,134 @@ proptest! {
         for (a, b) in parsed.rows.iter().zip(&rows) {
             prop_assert!((a.local_energy - b.local_energy).abs() < 1e-9);
         }
+    }
+}
+
+/// Small paper-workload presets for the engine-level properties (the
+/// same scales the differential pins use).
+mod engine_apps {
+    pub fn nyx() -> nyx_sim::NyxApp {
+        nyx_sim::NyxApp::new(nyx_sim::NyxConfig {
+            field: nyx_sim::FieldConfig { n: 12, ..Default::default() },
+            ..Default::default()
+        })
+    }
+
+    pub fn qmc() -> qmc_sim::QmcApp {
+        qmc_sim::QmcApp::new(qmc_sim::QmcConfig {
+            vmc: qmc_sim::VmcConfig { walkers: 32, warmup: 50, steps: 60, ..Default::default() },
+            dmc: qmc_sim::DmcConfig {
+                target_walkers: 32,
+                warmup: 0,
+                steps: 80,
+                ..Default::default()
+            },
+            qmca: qmc_sim::QmcaConfig { equilibration_fraction: 0.2, min_rows: 10 },
+            ..Default::default()
+        })
+    }
+
+    pub fn montage() -> montage_sim::MontageApp {
+        montage_sim::MontageApp::paper_default()
+    }
+}
+
+proptest! {
+    // App-level properties execute real campaigns; a handful of seeded
+    // cases keeps them meaningful without dominating the suite.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Engine law 3, end to end on all three paper apps: a mixed
+    /// campaign (replay-backed write shard interleaved with a
+    /// rerun-backed read shard) produces byte-identical tallies,
+    /// outcomes, instance choices, injection records, and crash
+    /// messages with `parallel` on and off, for arbitrary seeds.
+    #[test]
+    fn engine_serial_equals_parallel_on_all_three_apps(
+        seed in any::<u64>(),
+        runs in 4usize..8,
+    ) {
+        use ffis_core::{FaultSignature, MixedCampaign, MixedCampaignConfig};
+
+        // A macro (not a generic fn) so prop_assert's early return
+        // lands in the enclosing property body for each app.
+        macro_rules! check {
+            ($app:expr) => {{
+                let app = $app;
+                let mk = |parallel: bool| {
+                    let mut cfg = MixedCampaignConfig::new(vec![
+                        FaultSignature::on_write(FaultModel::bit_flip()),
+                        FaultSignature::on_read(FaultModel::bit_flip()),
+                    ])
+                    .with_runs(runs)
+                    .with_seed(seed)
+                    .with_replay(true);
+                    cfg.parallel = parallel;
+                    MixedCampaign::new(&app, cfg).run().unwrap()
+                };
+                let serial = mk(false);
+                let parallel = mk(true);
+                prop_assert_eq!(serial.tally, parallel.tally);
+                prop_assert_eq!(serial.runs.len(), parallel.runs.len());
+                for (x, y) in serial.runs.iter().zip(&parallel.runs) {
+                    prop_assert_eq!(x.run, y.run);
+                    prop_assert_eq!(x.outcome, y.outcome);
+                    prop_assert_eq!(x.target_instance, y.target_instance);
+                    prop_assert_eq!(x.mode, y.mode);
+                    prop_assert_eq!(&x.injection, &y.injection);
+                    prop_assert_eq!(&x.crash_message, &y.crash_message);
+                }
+                for (s, t) in serial.shards.iter().zip(&parallel.shards) {
+                    prop_assert_eq!(s.eligible, t.eligible);
+                    prop_assert_eq!(s.mode, t.mode);
+                    prop_assert_eq!(s.tally, t.tally);
+                }
+            }};
+        }
+
+        check!(engine_apps::nyx());
+        check!(engine_apps::qmc());
+        check!(engine_apps::montage());
+    }
+
+    /// Engine law 4: bounding the record reservoir never changes a
+    /// campaign's tally, and the kept records are a seed-stable
+    /// subsequence of the keep-all campaign's records — identical
+    /// content at the selected indices, identical selection across
+    /// reruns.
+    #[test]
+    fn bounded_reservoir_is_a_stable_subset_with_identical_tallies(
+        seed in any::<u64>(),
+        runs in 8usize..20,
+        keep in 1usize..6,
+    ) {
+        use ffis_core::{Campaign, CampaignConfig, FaultSignature};
+
+        let app = engine_apps::nyx();
+        let mk = |keep_runs: Option<usize>| {
+            let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(runs)
+                .with_seed(seed)
+                .with_keep_runs(keep_runs);
+            Campaign::new(&app, cfg).run().unwrap()
+        };
+        let all = mk(None);
+        let bounded = mk(Some(keep));
+        prop_assert_eq!(all.runs.len(), runs);
+        prop_assert_eq!(bounded.runs.len(), keep.min(runs));
+        prop_assert_eq!(all.tally, bounded.tally, "tallies must cover dropped runs");
+        // Each kept record equals the keep-all record at its index.
+        for r in &bounded.runs {
+            let full = &all.runs[r.run];
+            prop_assert_eq!(r.outcome, full.outcome);
+            prop_assert_eq!(r.target_instance, full.target_instance);
+            prop_assert_eq!(&r.injection, &full.injection);
+            prop_assert_eq!(&r.crash_message, &full.crash_message);
+        }
+        // Seed-stable selection.
+        let again = mk(Some(keep));
+        let kept: Vec<usize> = bounded.runs.iter().map(|r| r.run).collect();
+        let kept_again: Vec<usize> = again.runs.iter().map(|r| r.run).collect();
+        prop_assert_eq!(kept, kept_again);
     }
 }

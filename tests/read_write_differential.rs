@@ -37,34 +37,43 @@ fn qmc() -> QmcApp {
     })
 }
 
+/// FNV-1a accumulator shared by every pin digest in this file.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
 /// FNV-1a over every strategy-independent per-run artifact.
 fn digest(result: &CampaignResult) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
+    let mut h = Fnv::new();
     for r in &result.runs {
-        eat(&(r.run as u64).to_le_bytes());
-        eat(r.outcome.name().as_bytes());
-        eat(&r.target_instance.to_le_bytes());
+        h.eat(&(r.run as u64).to_le_bytes());
+        h.eat(r.outcome.name().as_bytes());
+        h.eat(&r.target_instance.to_le_bytes());
         match &r.injection {
             Some(i) => {
-                eat(i.primitive.ffis_name().as_bytes());
-                eat(&i.instance.to_le_bytes());
-                eat(&i.prim_seq.to_le_bytes());
-                eat(i.path.as_deref().unwrap_or("-").as_bytes());
-                eat(&i.offset.unwrap_or(u64::MAX).to_le_bytes());
-                eat(&(i.len as u64).to_le_bytes());
-                eat(i.detail.as_bytes());
+                h.eat(i.primitive.ffis_name().as_bytes());
+                h.eat(&i.instance.to_le_bytes());
+                h.eat(&i.prim_seq.to_le_bytes());
+                h.eat(i.path.as_deref().unwrap_or("-").as_bytes());
+                h.eat(&i.offset.unwrap_or(u64::MAX).to_le_bytes());
+                h.eat(&(i.len as u64).to_le_bytes());
+                h.eat(i.detail.as_bytes());
             }
-            None => eat(b"no-fire"),
+            None => h.eat(b"no-fire"),
         }
-        eat(r.crash_message.as_deref().unwrap_or("-").as_bytes());
+        h.eat(r.crash_message.as_deref().unwrap_or("-").as_bytes());
     }
-    h
+    h.0
 }
 
 /// One pinned cell: `(model label, benign, detected, sdc, crash,
@@ -224,6 +233,108 @@ fn mixed_read_write_campaign_is_deterministic() {
         }
     }
 }
+
+/// The engine refactor routes [`MixedCampaign`] through the shared
+/// planner/executor/sink; this pins its seeded behavior — per-shard
+/// tallies plus the strategy-independent FNV digest over every run —
+/// so the interleaved schedule can never silently reorder or reseed
+/// runs. The digest excludes [`ExecutionMode`], so the same constants
+/// hold under `FFIS_REPLAY=0` (all shards rerun) by the replay
+/// equivalence law.
+#[test]
+fn mixed_campaign_pinned_through_engine() {
+    use ffis_core::{MixedCampaign, MixedCampaignConfig};
+
+    let app = nyx();
+    let cfg = MixedCampaignConfig::new(vec![
+        FaultSignature::on_write(FaultModel::bit_flip()),
+        FaultSignature::on_read(FaultModel::bit_flip()),
+        FaultSignature::on_write(FaultModel::dropped_write()),
+        FaultSignature::on_read(FaultModel::dropped_write()),
+    ])
+    .with_runs(16)
+    .with_seed(4242);
+    let result = MixedCampaign::new(&app, cfg).run().unwrap();
+
+    let got_shards: Vec<(u64, u64, u64, u64)> = result
+        .shards
+        .iter()
+        .map(|s| (s.tally.benign, s.tally.detected, s.tally.sdc, s.tally.crash))
+        .collect();
+    let mixed = CampaignResult {
+        tally: result.tally,
+        runs: result.runs.clone(),
+        profile: result.profile.clone(),
+        mode: ExecutionMode::Replay,
+    };
+    let got_digest = digest(&mixed);
+    assert_eq!(
+        (&got_shards[..], got_digest),
+        (&MIXED_PIN_SHARDS[..], MIXED_PIN_DIGEST),
+        "mixed campaign drifted from its pinned seeded behavior.\nactual shards: {:?}\nactual digest: {:#018X}",
+        got_shards,
+        got_digest
+    );
+}
+
+/// Pinned per-shard `(benign, detected, sdc, crash)` counts for
+/// [`mixed_campaign_pinned_through_engine`].
+const MIXED_PIN_SHARDS: [(u64, u64, u64, u64); 4] =
+    [(1, 0, 0, 3), (4, 0, 0, 0), (2, 0, 2, 0), (0, 0, 0, 4)];
+/// Pinned run digest for [`mixed_campaign_pinned_through_engine`].
+const MIXED_PIN_DIGEST: u64 = 0x5858_4833_D706_06D6;
+
+/// The metadata scanner now executes through the same engine; this
+/// pins a seeded byte scan on the Nyx plotfile — tally plus an FNV
+/// digest over `(byte index, file offset, outcome, crash message)` —
+/// under *both* execution strategies, which must agree with each other
+/// and with the pin (so `FFIS_REPLAY=0` runs reproduce it too).
+#[test]
+fn scan_detailed_pinned_through_engine() {
+    use ffis_core::{scan_detailed, ScanConfig, TargetFilter};
+
+    let app = nyx();
+    let run = |replay: bool| {
+        let mut cfg = ScanConfig::new(TargetFilter::PathSuffix(".h5".into()));
+        cfg.stride = 7;
+        cfg.replay = replay;
+        scan_detailed(&app, &cfg).unwrap()
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert!(fast.used_replay() && !slow.used_replay());
+
+    let scan_digest = |r: &ffis_core::DetailedScanResult<nyx_sim::NyxOutput>| -> u64 {
+        let mut h = Fnv::new();
+        for b in r.runs.iter().map(|run| &run.byte) {
+            h.eat(&(b.byte_index as u64).to_le_bytes());
+            h.eat(&b.file_offset.to_le_bytes());
+            h.eat(b.outcome.name().as_bytes());
+            h.eat(b.crash_message.as_deref().unwrap_or("-").as_bytes());
+        }
+        h.0
+    };
+    let (df, ds) = (scan_digest(&fast), scan_digest(&slow));
+    assert_eq!(df, ds, "replay and rerun scans must digest identically");
+    assert_eq!(fast.tally, slow.tally);
+    let got = (
+        fast.tally.benign,
+        fast.tally.detected,
+        fast.tally.sdc,
+        fast.tally.crash,
+        fast.write_instance,
+        df,
+    );
+    assert_eq!(
+        got, SCAN_PIN,
+        "metadata scan drifted from its pinned seeded behavior.\nactual: ({}, {}, {}, {}, {}, {:#018X})",
+        got.0, got.1, got.2, got.3, got.4, got.5
+    );
+}
+
+/// Pinned `(benign, detected, sdc, crash, write_instance, digest)` for
+/// [`scan_detailed_pinned_through_engine`].
+const SCAN_PIN: (u64, u64, u64, u64, u64, u64) = (271, 0, 0, 41, 5, 0xD8BC_0A5D_7850_AB0C);
 
 #[test]
 fn montage_write_campaigns_pinned() {

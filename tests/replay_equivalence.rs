@@ -43,8 +43,8 @@ fn replay_scan_equals_legacy_scan_bytewise() {
     let a = nyx();
     let fast = scan_detailed(&a, &scan_cfg(true, 8)).unwrap();
     let slow = scan_detailed(&a, &scan_cfg(false, 8)).unwrap();
-    assert!(fast.used_replay, "two-phase apps engage the fast path by construction");
-    assert!(!slow.used_replay);
+    assert!(fast.used_replay(), "two-phase apps engage the fast path by construction");
+    assert!(!slow.used_replay());
 
     assert_eq!(fast.write_offset, slow.write_offset);
     assert_eq!(fast.write_len, slow.write_len);
@@ -86,7 +86,7 @@ fn replay_scan_is_deterministic_serial_vs_parallel() {
     parallel.parallel = true;
     let rs = scan_detailed(&a, &serial).unwrap();
     let rp = scan_detailed(&a, &parallel).unwrap();
-    assert!(rs.used_replay && rp.used_replay);
+    assert!(rs.used_replay() && rp.used_replay());
     assert_eq!(rs.tally, rp.tally);
     for (x, y) in rs.runs.iter().zip(&rp.runs) {
         assert_eq!(x.byte.byte_index, y.byte.byte_index);
@@ -268,7 +268,7 @@ fn failed_golden_writes_disable_replay_and_paths_still_agree() {
     scfg.pick = ffis_core::WritePick::Nth(1);
     scfg.stride = 512;
     let scan = scan_detailed(&FailedProbeApp, &scfg).unwrap();
-    assert!(!scan.used_replay, "scan must also fall back on the count mismatch");
+    assert!(!scan.used_replay(), "scan must also fall back on the count mismatch");
 }
 
 #[test]
