@@ -215,9 +215,11 @@ pub fn fig7(opts: &Options) -> Report {
     }
 
     // Read-site rows (reproduction extension): the same models hosted
-    // on FFIS_read — non-replayable by construction, so every cell
-    // runs the full-rerun path and the exec column reads
-    // rerun(read-site-fault).
+    // on FFIS_read. All three apps declare produce_read_count == 0, so
+    // every eligible read is analyze-phase and the exec column reads
+    // analyze-only (the fast path that skips produce entirely);
+    // produce-phase targets would surface as rerun(produce-read-fault)
+    // instead — never silently.
     for (i, (label, model)) in read_models().into_iter().enumerate() {
         let r = run_cell_sig(
             &nyx,
@@ -282,11 +284,11 @@ pub fn fig7(opts: &Options) -> Report {
 /// `repro read-vs-write` — the read-site characterization extension:
 /// for each paper workload, one seeded [`MixedCampaign`] hosts the
 /// write-site models (BF/SW/DW, replay-backed) and their read-site
-/// mirrors (BF/SR/DR, sharded full-rerun) over the *same* golden run,
-/// and the table pairs each model's two sites. Read-site rows carry
-/// `rerun(read-site-fault)` in the exec column; the device state stays
-/// pristine on every read-site run, so all damage there is
-/// transfer-level.
+/// mirrors (BF/SR/DR, analyze-only — every target fires during
+/// analyze on these apps) over the *same* golden run, and the table
+/// pairs each model's two sites. Read-site rows carry `analyze-only`
+/// in the exec column; the device state stays pristine on every
+/// read-site run, so all damage there is transfer-level.
 pub fn read_vs_write(opts: &Options) -> Report {
     use ffis_core::{MixedCampaign, MixedCampaignConfig};
 

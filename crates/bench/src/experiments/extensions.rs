@@ -63,8 +63,9 @@ pub fn profile(opts: &Options) -> Report {
 /// `repro read-faults` — read-site BIT FLIP campaigns (2-bit flips in
 /// the data returned by reads), uniformly over each workload's
 /// eligible read instances, through the first-class campaign engine:
-/// the exec column records the structural `rerun(read-site-fault)`
-/// fallback on every cell.
+/// the exec column records `analyze-only` on every cell (all three
+/// apps read only during analyze), or the phase-aware fallback reason
+/// when the fast path cannot engage.
 pub fn read_faults(opts: &Options) -> Report {
     use crate::experiments::campaigns::run_cell_sig;
 

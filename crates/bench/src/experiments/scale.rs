@@ -2,18 +2,26 @@
 //! (n=192 by default) driven through the streaming engine with bounded
 //! run-record retention and a shared checkpoint store.
 //!
-//! This is the ROADMAP "Scale experiments" item made executable: the
-//! three write-site fault models run as full campaigns against the Nyx
-//! paper-regime preset at the requested grid, and the experiment
+//! This is the ROADMAP "Scale experiments" item made executable — and,
+//! since the analyze-only read path landed, the read-model rows of the
+//! paper's campaign matrix run at the same grid: the three write-site
+//! fault models execute as replay-backed campaigns, their read-site
+//! mirrors (r:BF / r:SR / r:DR) as analyze-only campaigns, and the
+//! summary pairs each model's two sites by runs/s. The experiment
 //! *asserts* the engine's scale contracts instead of just reporting
 //! them — the retained run records never exceed the
 //! [`SCALE_KEEP_RUNS`] reservoir bound while the tallies still cover
-//! every run, and the three campaigns share a single checkpoint-cache
-//! build through the [`CheckpointStore`].
+//! every run, the three write campaigns share a single
+//! checkpoint-cache build through the [`CheckpointStore`], and (when
+//! the fast paths are enabled) every read campaign engages
+//! `analyze-only` rather than silently rerunning.
 //!
 //! `--grid`/`--runs` plumb straight through (`repro scale --grid 64
 //! --runs 96` is the CI smoke configuration); without an explicit
-//! `--grid` the experiment picks the paper-scale n=192.
+//! `--grid` the experiment picks the paper-scale n=192. The measured
+//! numbers are also written as machine-readable JSON
+//! (`BENCH_scale.json` in `--out`) for the CI perf-trajectory
+//! artifact.
 
 use std::mem::size_of;
 use std::sync::Arc;
@@ -23,8 +31,9 @@ use ffis_core::prelude::*;
 use ffis_core::RunResult;
 use ffis_vfs::CheckpointStore;
 
+use crate::bench_json;
 use crate::cli::Options;
-use crate::experiments::campaigns::{models, nyx_app};
+use crate::experiments::campaigns::{models, nyx_app, read_models};
 use crate::report::{Report, Table};
 
 /// Record-retention bound for scale campaigns: the seed-stable
@@ -43,6 +52,17 @@ fn record_bytes(r: &RunResult) -> usize {
             .map_or(0, |i| i.detail.len() + i.path.as_ref().map_or(0, |p| p.len()))
 }
 
+/// One executed cell's numbers, kept for the paired summary and the
+/// JSON artifact.
+struct CellStats {
+    label: &'static str,
+    site: InjectionSite,
+    mode: String,
+    wall_s: f64,
+    runs_per_s: f64,
+    total: u64,
+}
+
 /// The scale experiment (see the module docs).
 pub fn scale(opts: &Options) -> Report {
     let n = if opts.grid_explicit || opts.quick { opts.grid } else { 192 };
@@ -59,10 +79,12 @@ pub fn scale(opts: &Options) -> Report {
 
     let app = nyx_app(&scale_opts);
     let store = Arc::new(CheckpointStore::new());
+    let fast_paths = ffis_core::replay_default();
 
     let mut table = Table::new();
     table.row(&[
         "model",
+        "site",
         "benign%",
         "detected%",
         "SDC%",
@@ -75,12 +97,33 @@ pub fn scale(opts: &Options) -> Report {
         "runs/s",
     ]);
     let mut total_runs = 0u64;
-    for (i, (label, model)) in models().into_iter().enumerate() {
-        let cfg = CampaignConfig::new(FaultSignature::on_write(model))
+    let mut stats: Vec<CellStats> = Vec::new();
+
+    // The full campaign matrix at scale: the three write-site models
+    // (replay-backed, sharing one checkpoint build) and their
+    // read-site mirrors (analyze-only, no checkpoints needed — the
+    // golden state is the checkpoint).
+    let cells: Vec<(&'static str, FaultSignature, u64)> = models()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, model))| (label, FaultSignature::on_write(model), 900 + i as u64))
+        .chain(
+            read_models()
+                .into_iter()
+                .enumerate()
+                .map(|(i, (label, model))| (label, FaultSignature::on_read(model), 950 + i as u64)),
+        )
+        .collect();
+
+    for (label, sig, salt) in cells {
+        let site = sig.site();
+        let mut cfg = CampaignConfig::new(sig)
             .with_runs(opts.runs)
-            .with_seed(opts.seed.wrapping_add(900 + i as u64))
-            .with_keep_runs(Some(SCALE_KEEP_RUNS))
-            .with_checkpoints(store.clone());
+            .with_seed(opts.seed.wrapping_add(salt))
+            .with_keep_runs(Some(SCALE_KEEP_RUNS));
+        if site == InjectionSite::Write {
+            cfg = cfg.with_checkpoints(store.clone());
+        }
         let started = Instant::now();
         let result = match Campaign::new(&app, cfg).run() {
             Ok(r) => r,
@@ -92,7 +135,9 @@ pub fn scale(opts: &Options) -> Report {
         let wall = started.elapsed().as_secs_f64();
 
         // The engine's scale contracts, asserted where the numbers are
-        // produced: bounded record retention, full-coverage tallies.
+        // produced: bounded record retention, full-coverage tallies,
+        // and — when the fast paths are on — no silent fallback to
+        // full reruns on either site.
         assert!(
             result.runs.len() <= SCALE_KEEP_RUNS,
             "{}: retained {} run records, reservoir bound is {}",
@@ -106,11 +151,28 @@ pub fn scale(opts: &Options) -> Report {
             "{}: tally must cover every run, kept or dropped",
             label
         );
+        if fast_paths {
+            match site {
+                InjectionSite::Write => assert_eq!(
+                    result.mode,
+                    ExecutionMode::Replay,
+                    "{}: write-site scale cells must replay",
+                    label
+                ),
+                InjectionSite::Read => assert_eq!(
+                    result.mode,
+                    ExecutionMode::AnalyzeOnly,
+                    "{}: read-site scale cells must run analyze-only",
+                    label
+                ),
+            }
+        }
 
         let kept_bytes: usize = result.runs.iter().map(record_bytes).sum();
         let t = &result.tally;
         table.row(&[
             label,
+            site.token(),
             &format!("{:.1}", t.rate_pct(Outcome::Benign)),
             &format!("{:.1}", t.rate_pct(Outcome::Detected)),
             &format!("{:.1}", t.rate_pct(Outcome::Sdc)),
@@ -123,10 +185,20 @@ pub fn scale(opts: &Options) -> Report {
             &format!("{:.1}", opts.runs as f64 / wall.max(1e-9)),
         ]);
         total_runs += t.total();
+        stats.push(CellStats {
+            label,
+            site,
+            mode: result.mode.to_string(),
+            wall_s: wall,
+            runs_per_s: opts.runs as f64 / wall.max(1e-9),
+            total: t.total(),
+        });
     }
 
-    // Checkpoint sharing across the three campaigns: one build, the
-    // rest hits (identical deterministic golden traces).
+    // Checkpoint sharing across the three write campaigns: one build,
+    // the rest hits (identical deterministic golden traces). Read
+    // campaigns never touch the store — the golden snapshot is their
+    // checkpoint.
     assert!(
         store.builds() <= 1,
         "the three write-model campaigns must share one checkpoint build, got {}",
@@ -135,14 +207,63 @@ pub fn scale(opts: &Options) -> Report {
 
     report.line(table.render());
     report.line(format!(
-        "(checkpoint store: {} build, {} hits across 3 campaigns; {} total runs; record \
+        "(checkpoint store: {} build, {} hits across 3 write campaigns; {} total runs; record \
          memory bounded at keep_runs={} per campaign — dropped records freed in the worker)",
         store.builds(),
         store.hits(),
         total_runs,
         SCALE_KEEP_RUNS
     ));
-    report.line("Read-site campaigns at this scale stay on the full-rerun regime (non-replayable");
-    report.line("by construction); the planner interleaves them with replay shards when mixed.");
+
+    // Paired read-vs-write throughput: the ISSUE target is read-site
+    // campaign throughput within ~2x of write-site replay throughput
+    // (it was unboundedly worse in the full-rerun regime).
+    report.header("Paired read-vs-write throughput (runs/s)");
+    let mut pairs = Table::new();
+    pairs.row(&["model", "write runs/s", "read runs/s", "read/write"]);
+    for ((wl, _), (rl, _)) in models().into_iter().zip(read_models()) {
+        let w = stats.iter().find(|s| s.label == wl && s.site == InjectionSite::Write);
+        let r = stats.iter().find(|s| s.label == rl && s.site == InjectionSite::Read);
+        if let (Some(w), Some(r)) = (w, r) {
+            pairs.row(&[
+                &format!("{} / {}", wl, rl),
+                &format!("{:.1}", w.runs_per_s),
+                &format!("{:.1}", r.runs_per_s),
+                &format!("{:.2}x", r.runs_per_s / w.runs_per_s.max(1e-9)),
+            ]);
+        }
+    }
+    report.line(pairs.render());
+    report.line("Read rows ride the analyze-only fast path: fork the golden post-produce state,");
+    report.line("pre-seed the phase-boundary counters, and run only analyze with the fault armed");
+    report.line("— produce-phase read targets (none on Nyx) would rerun as produce-read-fault.");
+
+    // Machine-readable artifact for the CI perf trajectory.
+    let cells_json: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            bench_json::object(&[
+                ("model", bench_json::string(s.label)),
+                ("site", bench_json::string(s.site.token())),
+                ("exec", bench_json::string(&s.mode)),
+                ("runs", bench_json::number(s.total as f64)),
+                ("wall_s", bench_json::number(s.wall_s)),
+                ("runs_per_s", bench_json::number(s.runs_per_s)),
+            ])
+        })
+        .collect();
+    let json = bench_json::object(&[
+        ("bench", bench_json::string("scale")),
+        ("grid", bench_json::number(n as f64)),
+        ("runs_per_cell", bench_json::number(opts.runs as f64)),
+        ("keep_runs", bench_json::number(SCALE_KEEP_RUNS as f64)),
+        ("checkpoint_builds", bench_json::number(store.builds() as f64)),
+        ("checkpoint_hits", bench_json::number(store.hits() as f64)),
+        ("total_runs", bench_json::number(total_runs as f64)),
+        ("cells", bench_json::array(&cells_json)),
+    ]);
+    if let Some(path) = bench_json::save_in(&opts.out, "BENCH_scale.json", &json) {
+        report.line(format!("(machine-readable numbers: {})", path.display()));
+    }
     report
 }

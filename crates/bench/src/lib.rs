@@ -12,6 +12,7 @@
 //! repro all [--quick] [--runs N] [--seed S] [--grid G] [--out DIR]
 //! ```
 
+pub mod bench_json;
 pub mod cli;
 pub mod experiments;
 pub mod report;

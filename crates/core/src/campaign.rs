@@ -14,8 +14,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use ffis_vfs::{
-    CheckpointStore, FfisFs, Interceptor, MemFs, Primitive, TraceCheckpoints, TraceOp,
-    TraceRecorder,
+    CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, Primitive, ReadLedger,
+    TraceCheckpoints, TraceOp, TraceRecorder,
 };
 
 use crate::engine::{self, EngineConfig, ExecutionPlan, PlannedRun, RunRecord, RunStrategy};
@@ -133,15 +133,16 @@ pub enum ReplayFallback {
     /// where the real application would have tolerated the error and
     /// continued — unknowable from a trace.
     NonWritePrimitive,
-    /// The fault signature targets the read site. Read-site faults are
-    /// non-replayable *by construction*: the golden trace records only
-    /// state-mutating ops — every read in it was pristine and left no
-    /// op to replay — so a trace replay neither issues the produce
-    /// phase's reads (the eligible-instance numbering would diverge
-    /// from a real execution's) nor carries the transfer a read fault
-    /// would corrupt. These campaigns run on the sharded full-rerun
-    /// path.
-    ReadSiteFault,
+    /// The fault signature targets a **produce-phase** read instance.
+    /// Produce-phase read faults are non-replayable *by construction*:
+    /// the fault fires while the application is still writing, so the
+    /// rest of the run is downstream of the corrupted transfer and
+    /// only a full produce+analyze rerun can model it (the golden
+    /// trace records no reads to replay, and no checkpoint of the
+    /// fault-free run can predict the steered control flow). Runs
+    /// targeting **analyze-phase** read instances do not fall back at
+    /// all — they take the [`ExecutionMode::AnalyzeOnly`] fast path.
+    ProduceReadFault,
     /// The application's analyze phase mutated the filesystem during
     /// the golden run, violating the read-only-analyze law — the
     /// recorded trace would double-apply those writes.
@@ -165,7 +166,7 @@ impl ReplayFallback {
         match self {
             ReplayFallback::Disabled => "disabled",
             ReplayFallback::NonWritePrimitive => "non-write-primitive",
-            ReplayFallback::ReadSiteFault => "read-site-fault",
+            ReplayFallback::ProduceReadFault => "produce-read-fault",
             ReplayFallback::AnalyzeWrites => "analyze-writes",
             ReplayFallback::TraceMismatch => "trace-mismatch",
             ReplayFallback::GoldenIdentity => "golden-identity",
@@ -186,11 +187,26 @@ pub enum ExecutionMode {
     /// Checkpointed golden-trace replay: fork + suffix replay +
     /// analyze per run.
     Replay,
+    /// Analyze-only re-execution for analyze-phase read-site faults:
+    /// fork the golden post-produce filesystem, pre-seed the fresh
+    /// mount's counters with the golden produce-phase
+    /// [`CounterSnapshot`], and run only [`FaultApp::analyze`] live
+    /// with the fault armed. Byte-equivalent to a full rerun because
+    /// read faults never touch device state and produce's writes are
+    /// data-independent by law.
+    AnalyzeOnly,
     /// Full application re-execution (produce + analyze) per run.
     FullRerun {
         /// Why the replay fast path did not engage.
         reason: ReplayFallback,
     },
+    /// Read-site campaign whose eligible instances straddle the phase
+    /// seam: analyze-phase targets execute [`ExecutionMode::AnalyzeOnly`],
+    /// produce-phase targets execute full reruns with
+    /// [`ReplayFallback::ProduceReadFault`] recorded. Per-run
+    /// [`RunResult::mode`] tells which strategy produced each run, so
+    /// nothing is silent.
+    PhaseSplit,
 }
 
 impl ExecutionMode {
@@ -198,13 +214,26 @@ impl ExecutionMode {
     pub fn is_replay(self) -> bool {
         matches!(self, ExecutionMode::Replay)
     }
+
+    /// Does this mode skip re-executing the produce phase (replay or
+    /// analyze-only) for at least some runs?
+    pub fn is_fast_path(self) -> bool {
+        matches!(
+            self,
+            ExecutionMode::Replay | ExecutionMode::AnalyzeOnly | ExecutionMode::PhaseSplit
+        )
+    }
 }
 
 impl std::fmt::Display for ExecutionMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecutionMode::Replay => f.write_str("replay"),
+            ExecutionMode::AnalyzeOnly => f.write_str("analyze-only"),
             ExecutionMode::FullRerun { reason } => write!(f, "rerun({})", reason),
+            ExecutionMode::PhaseSplit => {
+                f.write_str("split(analyze-only|rerun(produce-read-fault))")
+            }
         }
     }
 }
@@ -349,22 +378,34 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
 
         // Phase 1+2: golden run doubles as the profiling run — the
         // paper executes the application fault-free once to both count
-        // primitives and capture the reference output. When the replay
-        // fast path is configured (the default), the same run also
-        // records the golden trace, with a watermark between the two
-        // phases so the read-only-analyze law can be checked.
-        let record = self.config.replay && self.config.signature.primitive == Primitive::Write;
+        // primitives and capture the reference output. When a fast
+        // path is configured (the default), the same run also records
+        // the golden trace (with a watermark between the two phases so
+        // the read-only-analyze law can be checked) and — for
+        // read-site signatures — the read ledger plus the
+        // phase-boundary counter snapshot the analyze-only strategy
+        // pre-seeds its mounts with.
+        let site_write = self.config.signature.primitive == Primitive::Write;
+        let site_read = self.config.signature.primitive == Primitive::Read;
+        let record = self.config.replay && (site_write || site_read);
         let profiler =
             IoProfiler::new(self.config.signature.primitive, self.config.signature.target.clone());
         let recorder = Arc::new(TraceRecorder::new());
-        let extras: Vec<Arc<dyn Interceptor>> =
-            if record { vec![recorder.clone()] } else { Vec::new() };
+        let ledger = Arc::new(ReadLedger::new());
+        let extras: Vec<Arc<dyn Interceptor>> = match (record, site_read) {
+            (false, _) => Vec::new(),
+            (true, false) => vec![recorder.clone()],
+            (true, true) => vec![recorder.clone(), ledger.clone()],
+        };
         let produced_ops = std::cell::Cell::new(0usize);
+        let boundary = std::cell::Cell::new(CounterSnapshot::default());
         let (profile, golden, base) = profiler
-            .profile_with(&extras, |fs| {
-                self.app.produce(fs)?;
+            .profile_with_mount(&extras, |ffs| {
+                self.app.produce(ffs)?;
                 produced_ops.set(recorder.len());
-                self.app.analyze(fs, None)
+                ledger.mark_produce_end();
+                boundary.set(ffs.counters());
+                self.app.analyze(ffs, None)
             })
             .map_err(CampaignError::GoldenRunFailed)?;
         if profile.eligible == 0 {
@@ -373,14 +414,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
 
         let (mode, plan) = if !self.config.replay {
             (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
-        } else if !record {
-            let reason = if self.config.signature.primitive == Primitive::Read {
-                ReplayFallback::ReadSiteFault
-            } else {
-                ReplayFallback::NonWritePrimitive
-            };
-            (ExecutionMode::FullRerun { reason }, None)
-        } else {
+        } else if site_write {
             let attempted_writes = profile.counters.get(Primitive::Write);
             match self.replay_plan(
                 recorder.take_ops(),
@@ -390,9 +424,28 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 &golden,
                 &base,
             ) {
-                Ok(plan) => (ExecutionMode::Replay, Some(Arc::new(plan))),
+                Ok(plan) => (ExecutionMode::Replay, Some(Arc::new(CampaignPlan::Replay(plan)))),
                 Err(reason) => (ExecutionMode::FullRerun { reason }, None),
             }
+        } else if site_read {
+            let basis = analyze_only_basis(
+                self.app,
+                &recorder.take_ops(),
+                produced_ops.get(),
+                &ledger,
+                boundary.get(),
+                &profile,
+                &golden,
+                &base,
+            );
+            match basis.and_then(|basis| {
+                analyze_only_plan(basis, &ledger, &self.config.signature.target, profile.eligible)
+            }) {
+                Ok(plan) => (plan.campaign_mode(), Some(Arc::new(CampaignPlan::AnalyzeOnly(plan)))),
+                Err(reason) => (ExecutionMode::FullRerun { reason }, None),
+            }
+        } else {
+            (ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }, None)
         };
 
         // Phase 3: N injection runs through the shared engine. Every
@@ -402,8 +455,8 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         let root = Rng::seed_from(self.config.seed);
         let golden = Arc::new(golden);
         let fallback = match mode {
-            ExecutionMode::Replay => None,
             ExecutionMode::FullRerun { reason } => Some(reason),
+            _ => None,
         };
         let planned: Vec<PlannedRun<InjectionSpec>> = (0..self.config.runs)
             .map(|i| {
@@ -415,7 +468,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 let strategy = match (&plan, fallback) {
                     (Some(p), _) => p.strategy_for(target_instance),
                     (None, Some(reason)) => RunStrategy::Rerun { reason },
-                    (None, None) => unreachable!("replay mode always carries a plan"),
+                    (None, None) => unreachable!("fast-path modes always carry a plan"),
                 };
                 PlannedRun {
                     index: i,
@@ -538,6 +591,162 @@ impl ReplayPlan {
     }
 }
 
+/// The validated per-campaign basis of the analyze-only read-site fast
+/// path: the golden post-produce filesystem (read-only analyze means
+/// the golden run's *final* state is byte-identical to its
+/// post-produce state) and the phase-boundary counter snapshot every
+/// analyze-only mount pre-seeds. Shards of a [`MixedCampaign`] share
+/// one basis behind `Arc`s; the per-signature phase split lives in
+/// [`AnalyzeOnlyPlan`].
+#[derive(Clone)]
+struct AnalyzeOnlyBasis {
+    base: Arc<MemFs>,
+    boundary: CounterSnapshot,
+}
+
+/// A read-site campaign's prepared fast path: the shared
+/// [`AnalyzeOnlyBasis`] plus the signature's phase seam in eligible
+/// instance space — instances `1..=produce_eligible` fire during
+/// produce (full rerun, [`ReplayFallback::ProduceReadFault`]), later
+/// instances fire during analyze ([`RunStrategy::AnalyzeOnly`]).
+struct AnalyzeOnlyPlan {
+    basis: AnalyzeOnlyBasis,
+    produce_eligible: u64,
+    eligible: u64,
+}
+
+impl AnalyzeOnlyPlan {
+    /// The campaign-level [`ExecutionMode`] the phase seam implies.
+    fn campaign_mode(&self) -> ExecutionMode {
+        if self.produce_eligible == 0 {
+            ExecutionMode::AnalyzeOnly
+        } else if self.produce_eligible >= self.eligible {
+            ExecutionMode::FullRerun { reason: ReplayFallback::ProduceReadFault }
+        } else {
+            ExecutionMode::PhaseSplit
+        }
+    }
+
+    /// Resolve the planned strategy for one target instance by its
+    /// side of the phase seam.
+    fn strategy_for(&self, target_instance: u64) -> RunStrategy {
+        if target_instance <= self.produce_eligible {
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault }
+        } else {
+            RunStrategy::AnalyzeOnly
+        }
+    }
+}
+
+/// A campaign's prepared fast path — checkpointed trace replay for
+/// write-site signatures, analyze-only re-execution for read-site
+/// ones. [`execute_run`] dispatches on the planned [`RunStrategy`]
+/// and reaches back into the matching plan variant.
+enum CampaignPlan {
+    Replay(ReplayPlan),
+    AnalyzeOnly(AnalyzeOnlyPlan),
+}
+
+impl CampaignPlan {
+    fn strategy_for(&self, target_instance: u64) -> RunStrategy {
+        match self {
+            CampaignPlan::Replay(p) => p.strategy_for(target_instance),
+            CampaignPlan::AnalyzeOnly(p) => p.strategy_for(target_instance),
+        }
+    }
+}
+
+/// The one implementation of the campaign-wide **analyze-only laws** —
+/// validated once per golden run and shared by [`Campaign`] and
+/// [`MixedCampaign`] so the engagement rules cannot drift apart.
+/// Returns the [`ReplayFallback`] reason — never silently — when any
+/// law fails:
+///
+/// * the analyze phase must not have mutated the filesystem during
+///   the golden run (same predicate as the replay gate: recorded ops
+///   past the produce watermark, bookkeeping excepted) — otherwise
+///   the golden final state is not the post-produce state and forking
+///   it would double-apply analyze's writes;
+/// * the application's declared phase-boundary read count
+///   ([`FaultApp::produce_read_count`]), when present, must match the
+///   ledger's measured produce-phase count;
+/// * the ledger must have seen every `FFIS_read` the mount counted
+///   (a divergence means the golden read stream is not the one the
+///   planner is slicing);
+/// * re-executing analyze on a pre-seeded fork of the golden state —
+///   uninjected — must classify benign (golden identity) *and*
+///   re-issue the exact golden analyze-phase read stream: same
+///   `prim_seq`/`seq` numbering, same addressing, same returned
+///   lengths, same content fingerprints. This is the analyze-only
+///   analogue of the uninjected-replay self-check.
+#[allow(clippy::too_many_arguments)]
+fn analyze_only_basis<A: FaultApp>(
+    app: &A,
+    ops: &[TraceOp],
+    produced_ops: usize,
+    ledger: &ReadLedger,
+    boundary: CounterSnapshot,
+    profile: &ProfileReport,
+    golden: &A::Output,
+    golden_fs: &Arc<MemFs>,
+) -> Result<AnalyzeOnlyBasis, ReplayFallback> {
+    let analyze_mutates =
+        ops[produced_ops.min(ops.len())..].iter().any(|op| op.bookkeeping_fd().is_none());
+    if analyze_mutates {
+        return Err(ReplayFallback::AnalyzeWrites);
+    }
+    if let Some(declared) = app.produce_read_count() {
+        if declared != ledger.produce_reads() as u64 {
+            return Err(ReplayFallback::TraceMismatch);
+        }
+    }
+    if ledger.len() as u64 != profile.counters.get(Primitive::Read) {
+        return Err(ReplayFallback::TraceMismatch);
+    }
+
+    // The self-check: fork the golden state, pre-seed the boundary
+    // counters, and run analyze uninjected with a fresh ledger
+    // attached. Classification must be benign and the re-executed read
+    // stream must reproduce the golden analyze-phase stream exactly.
+    let ffs = FfisFs::mount(Arc::new(golden_fs.fork()));
+    ffs.preseed_counters(&boundary);
+    let check = Arc::new(ReadLedger::new());
+    ffs.attach(check.clone());
+    let ok = crate::outcome::analyze_matches_golden(app, &*ffs, golden);
+    ffs.unmount();
+    if !ok {
+        return Err(ReplayFallback::GoldenIdentity);
+    }
+    let golden_reads = ledger.records();
+    let golden_analyze = &golden_reads[ledger.produce_reads()..];
+    if check.records() != golden_analyze {
+        return Err(ReplayFallback::ReplayCheck);
+    }
+    Ok(AnalyzeOnlyBasis { base: golden_fs.clone(), boundary })
+}
+
+/// Per-signature half of the analyze-only gate: slice the golden read
+/// ledger by the signature's target filter, locate the phase seam in
+/// eligible instance space, and cross-check the eligible count against
+/// the profiler's (the read-site analogue of the write path's
+/// trace-vs-profiler instance check).
+fn analyze_only_plan(
+    basis: AnalyzeOnlyBasis,
+    ledger: &ReadLedger,
+    target: &TargetFilter,
+    eligible: u64,
+) -> Result<AnalyzeOnlyPlan, ReplayFallback> {
+    let records = ledger.records();
+    let produce_len = ledger.produce_reads();
+    let matching = records.iter().filter(|r| target.matches(r.path.as_deref())).count() as u64;
+    if matching != eligible {
+        return Err(ReplayFallback::TraceMismatch);
+    }
+    let produce_eligible =
+        records[..produce_len].iter().filter(|r| target.matches(r.path.as_deref())).count() as u64;
+    Ok(AnalyzeOnlyPlan { basis, produce_eligible, eligible })
+}
+
 /// Classify one finished application result into a [`RunResult`] —
 /// shared by the single-signature and mixed campaign drivers so crash
 /// capture (messages, panic downcasts) cannot drift between them.
@@ -586,16 +795,17 @@ fn finish_run<A: FaultApp>(
 }
 
 /// Execute one injection run — checkpointed suffix replay when the
-/// planned strategy is `Replay`, full produce+analyze re-execution
-/// otherwise — and classify it. The single-signature [`Campaign`] and
-/// the sharded [`MixedCampaign`] both funnel through here (via the
-/// engine executor), so replay and rerun shards of a mixed campaign
-/// behave identically to their single-signature counterparts.
+/// planned strategy is `Replay`, analyze-only re-execution when it is
+/// `AnalyzeOnly`, full produce+analyze re-execution otherwise — and
+/// classify it. The single-signature [`Campaign`] and the sharded
+/// [`MixedCampaign`] both funnel through here (via the engine
+/// executor), so every strategy behaves identically across the
+/// drivers.
 #[allow(clippy::too_many_arguments)]
 fn execute_run<A: FaultApp>(
     app: &A,
     signature: &FaultSignature,
-    plan: Option<&ReplayPlan>,
+    plan: Option<&CampaignPlan>,
     strategy: RunStrategy,
     golden: &A::Output,
     run: usize,
@@ -604,12 +814,12 @@ fn execute_run<A: FaultApp>(
 ) -> RunResult {
     let mode = strategy.mode();
     match (strategy, plan) {
-        // Fast path: fork the planner-chosen checkpoint (the nearest
-        // one preceding the target instance), replay only the trace
-        // suffix through the armed injector (the fault lands in the
-        // same instance, with the same record numbering, it would
-        // during a real execution), then analyze.
-        (RunStrategy::Replay { checkpoint, .. }, Some(plan)) => {
+        // Write-site fast path: fork the planner-chosen checkpoint
+        // (the nearest one preceding the target instance), replay only
+        // the trace suffix through the armed injector (the fault lands
+        // in the same instance, with the same record numbering, it
+        // would during a real execution), then analyze.
+        (RunStrategy::Replay { checkpoint, .. }, Some(CampaignPlan::Replay(plan))) => {
             let point = &plan.cache.points()[checkpoint];
             let already_seen = plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
             let injector = Arc::new(ArmedInjector::resuming(
@@ -627,10 +837,32 @@ fn execute_run<A: FaultApp>(
             ffs.unmount();
             finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
         }
-        // Reference path: full application re-execution. (A `Replay`
-        // strategy without a plan cannot be planned — the strategies
-        // are derived from the plan itself.)
-        (RunStrategy::Replay { .. }, None) | (RunStrategy::Rerun { .. }, _) => {
+        // Read-site fast path: the golden post-produce state *is* the
+        // checkpoint. Fork it, pre-seed the phase-boundary counters
+        // (so the armed crossing observes full-execution
+        // `prim_seq`/`seq` numbering), arm the injector with the
+        // produce-phase eligible reads already "seen", and run only
+        // analyze — live, so the transfer the fault corrupts actually
+        // exists.
+        (RunStrategy::AnalyzeOnly, Some(CampaignPlan::AnalyzeOnly(plan))) => {
+            let injector = Arc::new(ArmedInjector::resuming(
+                signature.clone(),
+                target_instance,
+                seed,
+                plan.produce_eligible,
+            ));
+            let ffs = FfisFs::mount(Arc::new(plan.basis.base.fork()));
+            ffs.preseed_counters(&plan.basis.boundary);
+            ffs.attach(injector.clone());
+            let app_result = catch_unwind(AssertUnwindSafe(|| app.analyze(&*ffs, Some(golden))));
+            ffs.unmount();
+            finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
+        }
+        // Reference path: full application re-execution. (A fast
+        // strategy without its matching plan cannot be planned — the
+        // strategies are derived from the plan itself.)
+        (RunStrategy::Replay { .. } | RunStrategy::AnalyzeOnly, _)
+        | (RunStrategy::Rerun { .. }, _) => {
             let injector = Arc::new(ArmedInjector::new(signature.clone(), target_instance, seed));
             let ffs = FfisFs::mount(Arc::new(MemFs::new()));
             ffs.attach(injector.clone());
@@ -666,9 +898,11 @@ pub struct MixedCampaignConfig {
     pub seed: u64,
     /// Fan runs out across the rayon thread pool.
     pub parallel: bool,
-    /// Golden-trace replay for write-site shards. Read-site shards are
-    /// non-replayable by construction and always take the full-rerun
-    /// path with [`ReplayFallback::ReadSiteFault`] recorded.
+    /// Fast paths for the shards: golden-trace replay for write-site
+    /// shards, analyze-only re-execution for read-site shards whose
+    /// targets fire during analyze. Produce-phase read targets always
+    /// take the full-rerun path with
+    /// [`ReplayFallback::ProduceReadFault`] recorded.
     pub replay: bool,
     /// Retain at most this many full [`RunResult`]s (see
     /// [`CampaignConfig::keep_runs`]); shard tallies always cover
@@ -832,7 +1066,7 @@ struct Shard {
     signature: FaultSignature,
     eligible: u64,
     mode: ExecutionMode,
-    plan: Option<ReplayPlan>,
+    plan: Option<CampaignPlan>,
 }
 
 /// Campaign driver interleaving several fault signatures over one
@@ -840,11 +1074,12 @@ struct Shard {
 ///
 /// Write-site shards ride the checkpointed golden-trace replay exactly
 /// like a single-signature [`Campaign`]; read-site shards take the
-/// full-rerun path (recording [`ReplayFallback::ReadSiteFault`]), and
-/// the round-robin schedule interleaves the two strategies
-/// deterministically: rerunning the same config — serial or parallel —
-/// reproduces every outcome, per-run [`ExecutionMode`], and instance
-/// choice.
+/// analyze-only fast path for analyze-phase targets and the full-rerun
+/// path (recording [`ReplayFallback::ProduceReadFault`]) for
+/// produce-phase ones, and the round-robin schedule interleaves the
+/// strategies deterministically: rerunning the same config — serial or
+/// parallel — reproduces every outcome, per-run [`ExecutionMode`], and
+/// instance choice.
 pub struct MixedCampaign<'a, A: FaultApp> {
     app: &'a A,
     config: MixedCampaignConfig,
@@ -871,20 +1106,35 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
         // One shared golden/profiling run. The trace interceptor
         // records every primitive crossing, so each shard's eligible
         // population is derived from the same execution; the op
-        // recorder is attached only when some write-site shard can use
-        // the replay fast path.
-        let record = self.config.replay
+        // recorder is attached when any shard can use a fast path
+        // (write shards need the trace to replay, read shards need it
+        // for the read-only-analyze law), and the read ledger when
+        // some read-site shard may qualify for analyze-only
+        // re-execution.
+        let wants_write_fast = self.config.replay
             && self.config.signatures.iter().any(|s| s.primitive == Primitive::Write);
+        let wants_read_fast = self.config.replay
+            && self.config.signatures.iter().any(|s| s.primitive == Primitive::Read);
+        let record = wants_write_fast || wants_read_fast;
         let profiler = IoProfiler::new(Primitive::Write, TargetFilter::Any);
         let recorder = Arc::new(TraceRecorder::new());
-        let extras: Vec<Arc<dyn Interceptor>> =
-            if record { vec![recorder.clone()] } else { Vec::new() };
+        let ledger = Arc::new(ReadLedger::new());
+        let mut extras: Vec<Arc<dyn Interceptor>> = Vec::new();
+        if record {
+            extras.push(recorder.clone());
+        }
+        if wants_read_fast {
+            extras.push(ledger.clone());
+        }
         let produced_ops = std::cell::Cell::new(0usize);
+        let boundary = std::cell::Cell::new(CounterSnapshot::default());
         let (profile, golden, base) = profiler
-            .profile_with(&extras, |fs| {
-                self.app.produce(fs)?;
+            .profile_with_mount(&extras, |ffs| {
+                self.app.produce(ffs)?;
                 produced_ops.set(recorder.len());
-                self.app.analyze(fs, None)
+                ledger.mark_produce_end();
+                boundary.set(ffs.counters());
+                self.app.analyze(ffs, None)
             })
             .map_err(CampaignError::GoldenRunFailed)?;
 
@@ -904,12 +1154,30 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             return Err(CampaignError::NoEligibleInstances);
         }
 
-        let cache: Result<Arc<TraceCheckpoints>, ReplayFallback> = if !record {
+        // The golden trace is taken once and serves both fast paths:
+        // the analyze-only basis borrows it (read-only-analyze law),
+        // the write-site checkpoint cache consumes it.
+        let ops = recorder.take_ops();
+        let basis: Result<AnalyzeOnlyBasis, ReplayFallback> = if !wants_read_fast {
+            Err(ReplayFallback::Disabled)
+        } else {
+            analyze_only_basis(
+                self.app,
+                &ops,
+                produced_ops.get(),
+                &ledger,
+                boundary.get(),
+                &profile,
+                &golden,
+                &base,
+            )
+        };
+        let cache: Result<Arc<TraceCheckpoints>, ReplayFallback> = if !wants_write_fast {
             Err(ReplayFallback::Disabled)
         } else {
             shared_replay_cache(
                 self.app,
-                recorder.take_ops(),
+                ops,
                 produced_ops.get(),
                 profile.counters.get(Primitive::Write),
                 &golden,
@@ -928,10 +1196,15 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                     (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
                 } else {
                     match sig.primitive {
-                        Primitive::Read => (
-                            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault },
-                            None,
-                        ),
+                        Primitive::Read => match basis
+                            .clone()
+                            .and_then(|b| analyze_only_plan(b, &ledger, &sig.target, elig))
+                        {
+                            Ok(plan) => {
+                                (plan.campaign_mode(), Some(CampaignPlan::AnalyzeOnly(plan)))
+                            }
+                            Err(reason) => (ExecutionMode::FullRerun { reason }, None),
+                        },
                         Primitive::Write => match &cache {
                             Ok(cache) => {
                                 let eligible_ops = eligible_write_ops(cache, &sig.target);
@@ -945,7 +1218,10 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                                 } else {
                                     (
                                         ExecutionMode::Replay,
-                                        Some(ReplayPlan { cache: cache.clone(), eligible_ops }),
+                                        Some(CampaignPlan::Replay(ReplayPlan {
+                                            cache: cache.clone(),
+                                            eligible_ops,
+                                        })),
                                     )
                                 }
                             }
@@ -979,9 +1255,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 let strategy = match (&shard.plan, shard.mode) {
                     (Some(p), _) => p.strategy_for(target_instance),
                     (None, ExecutionMode::FullRerun { reason }) => RunStrategy::Rerun { reason },
-                    (None, ExecutionMode::Replay) => {
-                        unreachable!("replay-mode shards always carry a plan")
-                    }
+                    (None, _) => unreachable!("fast-path shards always carry a plan"),
                 };
                 PlannedRun {
                     index: i,
@@ -1432,14 +1706,17 @@ mod tests {
     }
 
     #[test]
-    fn read_site_campaigns_full_rerun_with_reason() {
+    fn read_site_campaigns_take_the_analyze_only_fast_path() {
         let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
             .with_runs(12)
             .with_seed(31)
             .with_replay(true);
         let result = Campaign::new(&ToyApp, cfg).run().unwrap();
-        assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault });
-        assert_eq!(result.mode.to_string(), "rerun(read-site-fault)");
+        // ToyApp's produce issues no read-back, so every eligible read
+        // is analyze-phase and the whole campaign skips produce.
+        assert_eq!(result.mode, ExecutionMode::AnalyzeOnly);
+        assert_eq!(result.mode.to_string(), "analyze-only");
+        assert!(result.mode.is_fast_path() && !result.mode.is_replay());
         assert_eq!(result.tally.total(), 12);
         // ToyApp's analyze reads /out.dat back in one pread.
         assert_eq!(result.profile.eligible, 1);
@@ -1451,6 +1728,170 @@ mod tests {
         // A 2-bit flip in the returned data always perturbs the
         // checksum/file comparison: nothing is benign.
         assert_eq!(result.tally.benign, 0, "{}", result.tally);
+    }
+
+    #[test]
+    fn analyze_only_equals_full_rerun_run_for_run() {
+        let mk = |replay: bool| {
+            Campaign::new(
+                &ToyApp,
+                CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+                    .with_runs(16)
+                    .with_seed(41)
+                    .with_replay(replay),
+            )
+            .run()
+            .unwrap()
+        };
+        let fast = mk(true);
+        let slow = mk(false);
+        assert_eq!(fast.mode, ExecutionMode::AnalyzeOnly);
+        assert_eq!(slow.mode, ExecutionMode::FullRerun { reason: ReplayFallback::Disabled });
+        assert_eq!(fast.tally, slow.tally);
+        for (f, s) in fast.runs.iter().zip(&slow.runs) {
+            assert_eq!(f.outcome, s.outcome, "run {}", f.run);
+            assert_eq!(f.target_instance, s.target_instance);
+            assert_eq!(f.injection, s.injection, "run {}", f.run);
+            assert_eq!(f.crash_message, s.crash_message, "run {}", f.run);
+        }
+    }
+
+    /// Toy workload whose produce phase reads its own output back
+    /// (without deriving any written byte from it — the
+    /// data-independence law holds), so the eligible-read space
+    /// straddles the phase seam: one produce-phase read, then
+    /// analyze's reads.
+    struct ProduceReaderApp;
+
+    impl FaultApp for ProduceReaderApp {
+        type Output = Vec<u8>;
+
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file_chunked("/a.bin", &[7u8; 4096], 4096).map_err(|e| e.to_string())?;
+            // Best-effort verification read; the workload tolerates a
+            // corrupted read-back and writes fixed bytes regardless.
+            let _ = fs.read_to_vec("/a.bin");
+            fs.write_file("/b.bin", &[9u8; 64]).map_err(|e| e.to_string())
+        }
+
+        fn analyze(&self, fs: &dyn FileSystem, _g: Option<&Vec<u8>>) -> Result<Vec<u8>, String> {
+            let mut out = fs.read_to_vec("/a.bin").map_err(|e| e.to_string())?;
+            out.extend(fs.read_to_vec("/b.bin").map_err(|e| e.to_string())?);
+            Ok(out)
+        }
+
+        fn classify(&self, g: &Vec<u8>, f: &Vec<u8>) -> Outcome {
+            if g == f {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn produce_read_count(&self) -> Option<u64> {
+            Some(1)
+        }
+
+        fn name(&self) -> String {
+            "PRODREAD".into()
+        }
+    }
+
+    #[test]
+    fn phase_straddling_read_campaign_splits_per_run() {
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+            .with_runs(30)
+            .with_seed(51)
+            .with_replay(true);
+        let result = Campaign::new(&ProduceReaderApp, cfg.clone()).run().unwrap();
+        // 1 produce-phase read + 2 analyze-phase reads.
+        assert_eq!(result.profile.eligible, 3);
+        assert_eq!(result.mode, ExecutionMode::PhaseSplit);
+        assert_eq!(result.mode.to_string(), "split(analyze-only|rerun(produce-read-fault))");
+        let mut saw = (false, false);
+        for r in &result.runs {
+            match r.target_instance {
+                1 => {
+                    assert_eq!(
+                        r.mode,
+                        ExecutionMode::FullRerun { reason: ReplayFallback::ProduceReadFault },
+                        "produce-phase target must rerun (run {})",
+                        r.run
+                    );
+                    saw.0 = true;
+                }
+                _ => {
+                    assert_eq!(r.mode, ExecutionMode::AnalyzeOnly, "run {}", r.run);
+                    saw.1 = true;
+                }
+            }
+        }
+        assert!(saw.0 && saw.1, "30 runs over 3 instances hit both phases");
+
+        // Both strategies agree with the all-rerun reference run for
+        // run: tallies, records, messages.
+        let slow = Campaign::new(&ProduceReaderApp, cfg.with_replay(false)).run().unwrap();
+        assert_eq!(result.tally, slow.tally);
+        for (f, s) in result.runs.iter().zip(&slow.runs) {
+            assert_eq!(f.outcome, s.outcome, "run {}", f.run);
+            assert_eq!(f.injection, s.injection, "run {}", f.run);
+            assert_eq!(f.crash_message, s.crash_message, "run {}", f.run);
+        }
+    }
+
+    /// App that *lies* about its phase-boundary read count: the
+    /// declaration cross-check must disable the fast path with the
+    /// recorded reason rather than trust it.
+    struct WrongDeclarationApp;
+
+    impl FaultApp for WrongDeclarationApp {
+        type Output = Vec<u8>;
+
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file("/d.bin", &[3u8; 512]).map_err(|e| e.to_string())
+        }
+
+        fn analyze(&self, fs: &dyn FileSystem, _g: Option<&Vec<u8>>) -> Result<Vec<u8>, String> {
+            fs.read_to_vec("/d.bin").map_err(|e| e.to_string())
+        }
+
+        fn classify(&self, g: &Vec<u8>, f: &Vec<u8>) -> Outcome {
+            if g == f {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn produce_read_count(&self) -> Option<u64> {
+            Some(5) // produce actually issues zero reads
+        }
+
+        fn name(&self) -> String {
+            "LIAR".into()
+        }
+    }
+
+    #[test]
+    fn wrong_declared_boundary_count_disables_the_fast_path() {
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+            .with_runs(4)
+            .with_seed(61)
+            .with_replay(true);
+        let result = Campaign::new(&WrongDeclarationApp, cfg).run().unwrap();
+        assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::TraceMismatch });
+        assert_eq!(result.tally.total(), 4);
+    }
+
+    #[test]
+    fn read_site_analyze_writes_disable_the_fast_path_with_reason() {
+        let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
+            .with_runs(6)
+            .with_seed(62)
+            .with_replay(true);
+        let result = Campaign::new(&ChattyAnalyzeApp, cfg).run().unwrap();
+        assert_eq!(result.mode, ExecutionMode::FullRerun { reason: ReplayFallback::AnalyzeWrites });
+        assert_eq!(result.tally.total(), 6);
     }
 
     #[test]
@@ -1500,14 +1941,10 @@ mod tests {
         assert_eq!(result.runs.len(), 24);
         assert_eq!(result.shards.len(), 3);
         assert_eq!(result.shards[0].mode, ExecutionMode::Replay);
-        assert_eq!(
-            result.shards[1].mode,
-            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
-        );
-        assert_eq!(
-            result.shards[2].mode,
-            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
-        );
+        // ToyApp's produce never reads, so the read shards qualify for
+        // the analyze-only fast path in full.
+        assert_eq!(result.shards[1].mode, ExecutionMode::AnalyzeOnly);
+        assert_eq!(result.shards[2].mode, ExecutionMode::AnalyzeOnly);
         assert_eq!(result.shards[0].eligible, 11);
         assert_eq!(result.shards[1].eligible, 1);
         // Round-robin schedule: run i belongs to shard i % 3, and its

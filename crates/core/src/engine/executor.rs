@@ -101,7 +101,7 @@ mod tests {
                 strategy: if index % 2 == 0 {
                     RunStrategy::Replay { checkpoint: 0, suffix_len: n - index }
                 } else {
-                    RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault }
+                    RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault }
                 },
                 spec: index as u64 * 10,
             })

@@ -17,6 +17,13 @@ pub enum RunStrategy {
         /// proxy, which the scheduler sorts ascending.
         suffix_len: usize,
     },
+    /// Analyze-only re-execution for an analyze-phase read-site
+    /// target: fork the golden post-produce filesystem, pre-seed the
+    /// mount's counters with the golden produce-phase counts, and run
+    /// only the application's analyze phase with the fault armed. No
+    /// trace is replayed at all — the golden state *is* the
+    /// checkpoint.
+    AnalyzeOnly,
     /// Full application re-execution, with the recorded reason the
     /// replay fast path did not engage.
     Rerun {
@@ -31,10 +38,17 @@ impl RunStrategy {
         matches!(self, RunStrategy::Replay { .. })
     }
 
+    /// Does this run skip re-executing the produce phase (replay or
+    /// analyze-only)?
+    pub fn is_fast(self) -> bool {
+        !matches!(self, RunStrategy::Rerun { .. })
+    }
+
     /// The [`ExecutionMode`] this strategy records on its run result.
     pub fn mode(self) -> ExecutionMode {
         match self {
             RunStrategy::Replay { .. } => ExecutionMode::Replay,
+            RunStrategy::AnalyzeOnly => ExecutionMode::AnalyzeOnly,
             RunStrategy::Rerun { reason } => ExecutionMode::FullRerun { reason },
         }
     }
@@ -72,9 +86,11 @@ pub struct ExecutionPlan<S> {
 
 impl<S> ExecutionPlan<S> {
     /// Build the plan: validate result ordering and fix the schedule —
-    /// replay runs shortest-suffix-first (cheap forks drain the pool
-    /// densely), rerun runs interleaved proportionally (the expensive
-    /// re-executions start early rather than queuing at either end).
+    /// fast runs (replay and analyze-only) shortest-work-first (cheap
+    /// forks drain the pool densely; analyze-only runs replay no trace
+    /// at all and sort ahead of every suffix replay), rerun runs
+    /// interleaved proportionally (the expensive re-executions start
+    /// early rather than queuing at either end).
     pub fn new(runs: Vec<PlannedRun<S>>, shards: usize) -> Self {
         // Law 1 is load-bearing for slot addressing and the keep mask;
         // validate it in release builds too (O(n), negligible next to
@@ -83,19 +99,22 @@ impl<S> ExecutionPlan<S> {
             runs.iter().enumerate().all(|(i, r)| r.index == i && r.shard < shards.max(1)),
             "planned runs must arrive in result order with in-range shards"
         );
-        let mut replay: Vec<usize> = Vec::new();
+        let mut fast: Vec<usize> = Vec::new();
         let mut rerun: Vec<usize> = Vec::new();
         for (i, r) in runs.iter().enumerate() {
             match r.strategy {
-                RunStrategy::Replay { .. } => replay.push(i),
+                RunStrategy::Replay { .. } | RunStrategy::AnalyzeOnly => fast.push(i),
                 RunStrategy::Rerun { .. } => rerun.push(i),
             }
         }
-        replay.sort_by_key(|&i| match runs[i].strategy {
+        fast.sort_by_key(|&i| match runs[i].strategy {
             RunStrategy::Replay { suffix_len, .. } => (suffix_len, i),
+            // An analyze-only run replays zero trace ops; its cost key
+            // is the minimum.
+            RunStrategy::AnalyzeOnly => (0, i),
             RunStrategy::Rerun { .. } => unreachable!("partitioned above"),
         });
-        let schedule = interleave(&replay, &rerun);
+        let schedule = interleave(&fast, &rerun);
         ExecutionPlan { runs, schedule, shards }
     }
 
@@ -170,7 +189,7 @@ mod tests {
             RunStrategy::Replay { checkpoint: 0, suffix_len: 10 },
             RunStrategy::Rerun { reason: ReplayFallback::Disabled },
             RunStrategy::Replay { checkpoint: 1, suffix_len: 3 },
-            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
             RunStrategy::Replay { checkpoint: 0, suffix_len: 7 },
         ]);
         let mut seen = plan.schedule().to_vec();
@@ -194,14 +213,31 @@ mod tests {
     fn reruns_interleave_proportionally() {
         let plan = planned(vec![
             RunStrategy::Replay { checkpoint: 0, suffix_len: 1 },
-            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
             RunStrategy::Replay { checkpoint: 0, suffix_len: 2 },
-            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
             RunStrategy::Replay { checkpoint: 0, suffix_len: 3 },
-            RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
         ]);
         // Equal stream lengths alternate, starting with replay.
         assert_eq!(plan.schedule(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn analyze_only_runs_schedule_with_the_fast_class() {
+        let plan = planned(vec![
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 5 },
+            RunStrategy::AnalyzeOnly,
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
+            RunStrategy::AnalyzeOnly,
+        ]);
+        // Analyze-only runs carry the minimum cost key, so they lead
+        // the fast stream (in index order), ahead of suffix replays;
+        // the rerun interleaves proportionally.
+        assert_eq!(plan.schedule(), &[1, 3, 0, 2]);
+        assert!(RunStrategy::AnalyzeOnly.is_fast());
+        assert!(!RunStrategy::AnalyzeOnly.is_replay());
+        assert!(!RunStrategy::Rerun { reason: ReplayFallback::Disabled }.is_fast());
     }
 
     #[test]

@@ -44,14 +44,22 @@
 //! trace suffix — through the armed injector — at raw memcpy speed,
 //! and executes application logic only in the analyze phase.
 //! [`metadata_scan::scan`] specializes further, snapshotting
-//! immediately before the (fixed) metadata write. Outcomes, injection
+//! immediately before the (fixed) metadata write. Read-site campaigns
+//! have their own fast path: the golden run's read ledger
+//! ([`ffis_vfs::ReadLedger`]) locates the produce/analyze seam in the
+//! eligible-read instance space, and analyze-phase targets skip
+//! produce entirely ([`campaign::ExecutionMode::AnalyzeOnly`] — fork
+//! the golden post-produce state, pre-seed the phase-boundary
+//! counters, run only analyze with the fault armed), while
+//! produce-phase targets rerun under
+//! [`campaign::ReplayFallback::ProduceReadFault`]. Outcomes, injection
 //! records, and crash messages are byte-identical to full
 //! re-execution; the engine self-checks per campaign/scan and falls
 //! back — recording why in [`campaign::ExecutionMode`] — when a law
-//! is violated. `benches/scan_replay.rs` and
-//! `benches/campaign_replay.rs` measure the speedups and
-//! `tests/replay_equivalence.rs` pins the equivalence across all
-//! three paper workloads.
+//! is violated. `benches/scan_replay.rs`, `benches/campaign_replay.rs`
+//! and `benches/read_replay.rs` measure the speedups and
+//! `tests/replay_equivalence.rs` plus the analyze-only differential
+//! pins hold the equivalence across all three paper workloads.
 //!
 //! ## Fault models (§III-B, Table I)
 //!

@@ -90,14 +90,29 @@ impl std::fmt::Display for Outcome {
 /// Read-site fault signatures ([`crate::FaultSignature::on_read`])
 /// corrupt the data a read *returns* while the on-device bytes stay
 /// pristine, so they exercise `analyze`'s (and any produce-phase)
-/// read-back paths rather than the stored artifacts. Such campaigns
-/// always execute full produce+analyze reruns: the golden trace
-/// records only mutating ops, so a replay neither issues the produce
-/// phase's reads nor carries the transfer the fault would damage (see
-/// [`crate::ReplayFallback::ReadSiteFault`]). Eligible-read instance
-/// numbering spans the whole run — produce's reads and analyze's reads
-/// count through the same `FFIS_read` counter, exactly as in the
-/// golden profiling run.
+/// read-back paths rather than the stored artifacts. Eligible-read
+/// instance numbering spans the whole run — produce's reads and
+/// analyze's reads count through the same `FFIS_read` counter,
+/// exactly as in the golden profiling run — and the phase seam in
+/// that instance space decides the execution strategy:
+///
+/// * **analyze-phase targets** skip produce entirely: the driver
+///   forks the golden post-produce filesystem, pre-seeds the fresh
+///   mount's counters with the golden produce-phase counts, and runs
+///   only `analyze` live with the fault armed
+///   ([`crate::ExecutionMode::AnalyzeOnly`]) — byte-equivalent to a
+///   full rerun because read faults never touch device state and
+///   produce's writes are data-independent by law;
+/// * **produce-phase targets** stay on full produce+analyze reruns
+///   ([`crate::ReplayFallback::ProduceReadFault`]): the fault fires
+///   while the application is still writing, and no checkpoint of the
+///   fault-free run can model the control flow downstream of the
+///   corrupted transfer.
+///
+/// The golden run's read ledger ([`ffis_vfs::ReadLedger`]) measures
+/// the seam; [`FaultApp::produce_read_count`] lets an application
+/// *declare* it, and the drivers cross-check declaration against
+/// measurement before trusting the fast path.
 pub trait FaultApp: Sync {
     /// Everything classification needs (output file bytes, analysis
     /// results, ...). `Sync` because the golden output is shared
@@ -133,6 +148,25 @@ pub trait FaultApp: Sync {
     fn run(&self, fs: &dyn ffis_vfs::FileSystem) -> Result<Self::Output, String> {
         self.produce(fs)?;
         self.analyze(fs, None)
+    }
+
+    /// The number of `FFIS_read` calls this application's
+    /// [`FaultApp::produce`] phase issues — the **phase-boundary read
+    /// count** of the two-phase contract.
+    ///
+    /// `Some(0)` asserts that produce performs no read-back at all
+    /// (true of every paper workload in this workspace: their write
+    /// streams are data-independent by law, and their inter-stage
+    /// handoffs are re-examined inside `analyze`), which makes *every*
+    /// read-site fault an analyze-phase fault — eligible for the
+    /// analyze-only fast path. `None` (the default) leaves the count
+    /// undeclared: the campaign drivers still measure the boundary
+    /// from the golden run's [`ffis_vfs::ReadLedger`] either way, and
+    /// use a declaration only as a cross-check — a mismatch between
+    /// the declared and measured counts disables the fast path with
+    /// [`crate::ReplayFallback::TraceMismatch`] recorded.
+    fn produce_read_count(&self) -> Option<u64> {
+        None
     }
 
     /// Apply the application's outcome-classification rules.

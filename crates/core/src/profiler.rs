@@ -119,6 +119,20 @@ impl IoProfiler {
         extras: &[Arc<dyn Interceptor>],
         workload: impl FnOnce(&dyn FileSystem) -> Result<T, String>,
     ) -> Result<(ProfileReport, T, Arc<MemFs>), String> {
+        self.profile_with_mount(extras, |ffs| workload(ffs))
+    }
+
+    /// [`IoProfiler::profile_with`], handing the workload the mounted
+    /// [`FfisFs`] itself instead of the erased `&dyn FileSystem`, so a
+    /// two-phase campaign driver can snapshot the mount's counters at
+    /// the produce/analyze boundary ([`FfisFs::counters`]) — the
+    /// phase-boundary [`CounterSnapshot`] that analyze-only read-site
+    /// runs pre-seed their fresh mounts with.
+    pub fn profile_with_mount<T>(
+        &self,
+        extras: &[Arc<dyn Interceptor>],
+        workload: impl FnOnce(&FfisFs) -> Result<T, String>,
+    ) -> Result<(ProfileReport, T, Arc<MemFs>), String> {
         let base = Arc::new(MemFs::new());
         let ffs = FfisFs::mount(base.clone());
         let counter = Arc::new(EligibleCounter::new(self.primitive, self.filter.clone()));
@@ -128,7 +142,7 @@ impl IoProfiler {
         for extra in extras {
             ffs.attach(extra.clone());
         }
-        let out = workload(&*ffs)?;
+        let out = workload(&ffs)?;
         ffs.unmount();
         Ok((
             ProfileReport {

@@ -448,6 +448,17 @@ impl FaultApp for MontageApp {
         Ok(MontageOutput { image })
     }
 
+    /// Produce streams every stage's golden bytes in pipeline order
+    /// without reading any inter-stage file back (the write-stream
+    /// data-independence law); the inter-stage *reads* — and the fault
+    /// cascade through them — all happen inside [`FaultApp::analyze`],
+    /// so every read-site fault is an analyze-phase fault. (A
+    /// monolithic Montage would read between stages; this split is
+    /// exactly what the two-phase contract trades that for.)
+    fn produce_read_count(&self) -> Option<u64> {
+        Some(0)
+    }
+
     fn classify(&self, golden: &MontageOutput, faulty: &MontageOutput) -> Outcome {
         if golden.image.bytes == faulty.image.bytes {
             return Outcome::Benign;

@@ -232,6 +232,14 @@ impl FaultApp for NyxApp {
         }
     }
 
+    /// Nyx's produce phase streams the plotfile out and never reads it
+    /// back — the halo finder's read-back lives entirely in
+    /// [`FaultApp::analyze`] — so every read-site fault is an
+    /// analyze-phase fault, eligible for the analyze-only fast path.
+    fn produce_read_count(&self) -> Option<u64> {
+        Some(0)
+    }
+
     fn name(&self) -> String {
         "NYX".into()
     }

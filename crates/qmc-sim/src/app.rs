@@ -223,6 +223,15 @@ impl FaultApp for QmcApp {
         Ok(QmcOutput { s001_bytes, qmca })
     }
 
+    /// Produce streams the VMC/DMC products from memoized golden
+    /// state and never reads through the filesystem — the VMC→DMC
+    /// handoff is re-examined *from storage* inside
+    /// [`FaultApp::analyze`] — so every read-site fault (checkpoint
+    /// restarts included) is an analyze-phase fault.
+    fn produce_read_count(&self) -> Option<u64> {
+        Some(0)
+    }
+
     fn classify(&self, golden: &QmcOutput, faulty: &QmcOutput) -> Outcome {
         if golden.s001_bytes == faulty.s001_bytes {
             return Outcome::Benign;

@@ -98,6 +98,6 @@ pub use fs::{
 pub use interceptor::{CallContext, Interceptor, Primitive, ReadAction, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
 pub use trace::{
-    CheckpointStore, ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp,
-    TraceRecorder,
+    CheckpointStore, ReadLedger, ReadRecord, ReplayCursor, ReplayError, TraceCheckpoint,
+    TraceCheckpoints, TraceOp, TraceRecorder,
 };

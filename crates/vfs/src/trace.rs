@@ -49,31 +49,59 @@
 //! for every workload in this workspace, which positions data with
 //! `pwrite`.
 //!
-//! ### Why read-site faults are non-replayable
+//! ### Why read-site faults are non-replayable — the refined claim
 //!
 //! The golden trace records *pristine* reads — or rather, it records
 //! no reads at all: a read cannot change filesystem state, so the
 //! recorder skips it, and every byte the golden run read was by
-//! definition uncorrupted. That makes read-site fault signatures
-//! non-replayable **by construction**, on three independent grounds:
+//! definition uncorrupted. The original conclusion — "read-site fault
+//! signatures are non-replayable by construction" — is therefore true
+//! of *trace replay*, but it is not the whole story. Eligible reads
+//! split along the two-phase contract's seam, and the seam decides:
 //!
-//! * a replay re-issues only the mutating op stream, so the produce
-//!   phase's reads never happen during replay — the k-th eligible
-//!   `FFIS_read` of a real execution and of a replay+analyze run are
-//!   different calls, and instance numbering (the quantity the
-//!   injector fires on) diverges;
-//! * the artifact a read fault damages is the *transfer*, which exists
-//!   only while the application actually issues the read — there is no
-//!   recorded op whose replay could carry the corruption;
-//! * even if analyze-phase reads were intercepted during a replayed
-//!   run, a produce-phase read fault could steer the real
-//!   application's control flow (error handling, retries) in ways no
-//!   trace of the fault-free run can predict.
+//! * **Produce-phase read faults stay non-replayable.** The fault
+//!   fires while the application is still writing, so the rest of the
+//!   run is downstream of the corrupted transfer; only a full
+//!   produce+analyze rerun can model it. Campaign drivers record
+//!   `ffis_core::ReplayFallback::ProduceReadFault` for these targets —
+//!   structural, not a failed self-check.
+//! * **Analyze-phase read faults are exactly re-executable from the
+//!   golden checkpoint.** A read fault never touches device state, and
+//!   produce's writes are data-independent by law — so a rerun's
+//!   produce phase rebuilds *byte-for-byte* the filesystem the golden
+//!   run already left behind. Forking that state ([`crate::MemFs::fork`]
+//!   of the golden snapshot), pre-seeding the mount's counters with
+//!   the golden produce-phase [`CounterSnapshot`]
+//!   ([`crate::FfisFs::preseed_counters`]), and arming the injector
+//!   with the produce-phase eligible-read count already "seen"
+//!   reproduces a full rerun's analyze phase exactly — instance
+//!   numbering, `prim_seq`, `seq` and all. This is the
+//!   `AnalyzeOnly` strategy in `ffis_core`, and the [`ReadLedger`]
+//!   below is the instrument that locates the phase seam in the
+//!   eligible-read instance space.
 //!
-//! Campaign drivers therefore route read-site signatures through full
-//! produce+analyze reruns and record
-//! `ffis_core::ReplayFallback::ReadSiteFault` — the fallback is
-//! structural, not a failed self-check.
+//! The three original grounds map onto the refined taxonomy like so:
+//!
+//! * *"a replay re-issues only the mutating op stream, so instance
+//!   numbering diverges"* — true for trace replay; the analyze-only
+//!   path does not replay the trace at all. It re-executes analyze
+//!   live on the forked golden state, and counter pre-seeding keeps
+//!   the numbering identical to a full execution's. Produce-phase
+//!   reads never happen on this path either — which is exactly why
+//!   only *analyze-phase* targets are eligible for it.
+//! * *"the artifact a read fault damages is the transfer, which exists
+//!   only while the application actually issues the read"* — the
+//!   analyze-only run *does* issue its reads (analyze executes live),
+//!   so the transfer exists and the armed injector corrupts it as in
+//!   any rerun. For produce-phase targets the transfer still only
+//!   exists inside a full rerun: `ProduceReadFault`.
+//! * *"a produce-phase read fault could steer the real application's
+//!   control flow in ways no trace of the fault-free run can predict"*
+//!   — this ground is untouched and is the `ProduceReadFault` fallback
+//!   verbatim. Analyze-phase faults fire after produce finished, so
+//!   there is no produce control flow left to steer; whatever they
+//!   steer inside analyze happens identically in the live analyze the
+//!   fast path runs.
 //!
 //! Two consequences matter to consumers that must match legacy
 //! re-execution exactly (both are enforced by the gates in
@@ -618,6 +646,141 @@ impl TraceCheckpoints {
     }
 }
 
+/// One eligible `FFIS_read` crossing observed by a [`ReadLedger`]:
+/// the call identity (numbering, addressing) plus a content
+/// fingerprint of the bytes the read returned.
+///
+/// Entries are appended at call *entry* (the attempt-based numbering
+/// the profiler and the armed injector both use), so a read that fails
+/// still occupies its slot — `returned` stays `None` and the
+/// fingerprint stays at the FNV offset basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Per-primitive dynamic count of this `FFIS_read` (1-based).
+    pub prim_seq: u64,
+    /// Global call-sequence number of the crossing.
+    pub seq: u64,
+    /// Target path, when the descriptor is tracked by the mount.
+    pub path: Option<String>,
+    /// Byte offset for positioned reads (`None` = cursor read).
+    pub offset: Option<u64>,
+    /// Requested buffer length.
+    pub len: usize,
+    /// Bytes the inner filesystem returned; `None` when the read
+    /// failed (the crossing was counted but never filled a buffer).
+    pub returned: Option<usize>,
+    /// FNV-1a over the returned bytes (offset basis when none).
+    pub fingerprint: u64,
+}
+
+/// The trace capture's **read ledger**: counts and fingerprints every
+/// `FFIS_read` crossing the mount, with a phase watermark separating
+/// the produce-phase reads from the analyze-phase reads.
+///
+/// The golden trace deliberately records no reads (they cannot change
+/// state), which is what makes read-site faults non-*replayable* — but
+/// the campaign planner still needs to know, for a read-site signature
+/// targeting eligible instance *k*, whether that instance fires during
+/// produce or during analyze. The ledger answers that: attach it to
+/// the golden run alongside the [`TraceRecorder`], call
+/// [`ReadLedger::mark_produce_end`] at the phase boundary, and the
+/// entry index space splits into `[0, produce_reads)` (produce-phase)
+/// and `[produce_reads, len)` (analyze-phase). Fingerprints let the
+/// drivers verify that a re-executed analyze phase re-issues the exact
+/// golden read stream before trusting the fast path.
+#[derive(Debug)]
+pub struct ReadLedger {
+    entries: Mutex<Vec<ReadRecord>>,
+    /// Entry count at the produce/analyze boundary; `usize::MAX`
+    /// until [`ReadLedger::mark_produce_end`] runs (conservatively:
+    /// every read counts as produce-phase when unmarked).
+    boundary: std::sync::atomic::AtomicUsize,
+}
+
+impl Default for ReadLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadLedger {
+    /// Empty ledger, boundary unmarked.
+    pub fn new() -> Self {
+        ReadLedger {
+            entries: Mutex::new(Vec::new()),
+            boundary: std::sync::atomic::AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Mark the produce/analyze phase boundary at the current entry
+    /// count and return it. Call between the two phases of the golden
+    /// run.
+    pub fn mark_produce_end(&self) -> usize {
+        let n = self.len();
+        self.boundary.store(n, std::sync::atomic::Ordering::SeqCst);
+        n
+    }
+
+    /// Number of reads issued during the produce phase. When the
+    /// boundary was never marked, every recorded read counts as
+    /// produce-phase (the conservative answer: nothing qualifies for
+    /// an analyze-only re-execution).
+    pub fn produce_reads(&self) -> usize {
+        self.boundary.load(std::sync::atomic::Ordering::SeqCst).min(self.len())
+    }
+
+    /// Snapshot the recorded entries (in call order).
+    pub fn records(&self) -> Vec<ReadRecord> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of reads recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no read has crossed the mount yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Interceptor for ReadLedger {
+    fn on_call(&self, cx: &crate::interceptor::CallContext) {
+        if cx.primitive != Primitive::Read {
+            return;
+        }
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).push(ReadRecord {
+            prim_seq: cx.prim_seq,
+            seq: cx.seq,
+            path: cx.path.clone(),
+            offset: cx.offset,
+            len: cx.len,
+            returned: None,
+            fingerprint: Fnv::new().0,
+        });
+    }
+
+    fn on_read(
+        &self,
+        cx: &crate::interceptor::CallContext,
+        buf: &mut [u8],
+        n: usize,
+    ) -> crate::interceptor::ReadAction {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        // The matching entry is almost always the last one (golden
+        // runs are single-threaded); search backwards by `seq` to stay
+        // correct regardless.
+        if let Some(entry) = entries.iter_mut().rev().find(|e| e.seq == cx.seq) {
+            let mut h = Fnv::new();
+            h.eat(&buf[..n]);
+            entry.returned = Some(n);
+            entry.fingerprint = h.0;
+        }
+        crate::interceptor::ReadAction::Forward
+    }
+}
+
 /// FNV-1a accumulator for trace fingerprinting.
 struct Fnv(u64);
 
@@ -1046,6 +1209,66 @@ mod tests {
         ];
         let err = TraceCheckpoints::build(ops).err().unwrap();
         assert_eq!(err.index, 1);
+    }
+
+    #[test]
+    fn read_ledger_counts_and_fingerprints_per_phase() {
+        let base = Arc::new(MemFs::new());
+        let ffs = FfisFs::mount(base.clone());
+        let ledger = Arc::new(ReadLedger::new());
+        ffs.attach(ledger.clone());
+
+        // "Produce": one write, one read-back.
+        ffs.write_file_chunked("/d.bin", &[3u8; 4096], 4096).unwrap();
+        assert_eq!(ffs.read_to_vec("/d.bin").unwrap().len(), 4096);
+        assert_eq!(ledger.mark_produce_end(), 1);
+
+        // "Analyze": two reads, one of them failing (bad descriptor).
+        let mut buf = [0u8; 8];
+        assert!(ffs.pread(9999, &mut buf, 0).is_err());
+        assert_eq!(ffs.read_to_vec("/d.bin").unwrap().len(), 4096);
+        ffs.unmount();
+
+        let entries = ledger.records();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(ledger.produce_reads(), 1);
+        // Entries carry the profiler's attempt-based numbering.
+        assert_eq!(entries[0].prim_seq, 1);
+        assert_eq!(entries[1].prim_seq, 2);
+        assert_eq!(entries[2].prim_seq, 3);
+        // The failed attempt occupies its slot with no returned bytes.
+        assert_eq!(entries[1].returned, None);
+        assert_eq!(entries[1].fingerprint, Fnv::new().0);
+        // Successful reads of the same bytes fingerprint identically.
+        assert_eq!(entries[0].returned, entries[2].returned);
+        assert_eq!(entries[0].fingerprint, entries[2].fingerprint);
+        assert_ne!(entries[0].fingerprint, Fnv::new().0);
+        // Paths resolve through the mount's fd tracking.
+        assert_eq!(entries[0].path.as_deref(), Some("/d.bin"));
+    }
+
+    #[test]
+    fn read_ledger_unmarked_boundary_is_conservative() {
+        let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+        let ledger = Arc::new(ReadLedger::new());
+        ffs.attach(ledger.clone());
+        ffs.write_file("/x", b"abc").unwrap();
+        let _ = ffs.read_to_vec("/x").unwrap();
+        // Never marked: every read counts as produce-phase.
+        assert_eq!(ledger.produce_reads(), ledger.len());
+        assert!(!ledger.is_empty());
+        // Default must share new()'s unmarked-boundary invariant.
+        let defaulted = ReadLedger::default();
+        defaulted.on_call(&crate::interceptor::CallContext {
+            primitive: Primitive::Read,
+            seq: 1,
+            prim_seq: 1,
+            path: None,
+            fd: Some(3),
+            offset: Some(0),
+            len: 4,
+        });
+        assert_eq!(defaulted.produce_reads(), 1, "unmarked Default ledger is conservative");
     }
 
     #[test]

@@ -440,28 +440,117 @@ proptest! {
         }
     }
 
-    /// Engine law 1 + 3 (planner half): for arbitrary mixes of replay
-    /// and rerun strategies over arbitrary shard counts, the plan
-    /// emits each `(shard, run)` exactly once, the schedule is a
-    /// permutation of the runs, rebuilding the plan reproduces the
-    /// identical schedule (plan order cannot depend on `parallel` —
-    /// the planner never even sees it), replay runs are scheduled
-    /// shortest-suffix-first, and rerun runs keep their relative
-    /// index order.
+    /// The analyze-only numbering law: for a randomized two-phase
+    /// workload (produce writes files and best-effort reads some
+    /// back; analyze reads everything), arming the injector on *every*
+    /// analyze-phase target instance through a pre-seeded fork of the
+    /// golden post-produce state yields an injection record —
+    /// instance, `prim_seq`, path, offset, length, damage detail —
+    /// byte-identical to a full produce+analyze re-execution armed on
+    /// the same absolute instance. This is the mechanism under
+    /// `RunStrategy::AnalyzeOnly`, tested below the campaign driver.
+    #[test]
+    fn preseeded_read_numbering_matches_full_run_for_every_target(
+        seed in any::<u64>(),
+        n_files in 1usize..4,
+        produce_readback in 0usize..3,
+    ) {
+        use ffis_core::{ArmedInjector, FaultSignature};
+        use ffis_vfs::{FfisFs, ReadLedger};
+        use std::sync::Arc;
+
+        let files: Vec<(String, usize)> =
+            (0..n_files).map(|f| (format!("/p/f{:02}.bin", f), 700 * (f + 1))).collect();
+        let produce = |fs: &dyn FileSystem| {
+            fs.mkdir("/p", 0o755).unwrap();
+            for (p, len) in &files {
+                let data: Vec<u8> = (0..*len).map(|i| (i as u64 * 13) as u8).collect();
+                fs.write_file_chunked(p, &data, 512).unwrap();
+            }
+            // Best-effort verification read-back: data ignored, so the
+            // write stream stays data-independent.
+            for (p, _) in files.iter().take(produce_readback.min(n_files)) {
+                let _ = fs.read_to_vec(p);
+            }
+        };
+        let analyze = |fs: &dyn FileSystem| {
+            for (p, _) in &files {
+                let _ = fs.read_to_vec(p);
+            }
+        };
+
+        // Golden run with the read ledger and the phase-boundary
+        // counter snapshot — exactly what the campaign driver records.
+        let base = Arc::new(MemFs::new());
+        let ffs = FfisFs::mount(base.clone());
+        let ledger = Arc::new(ReadLedger::new());
+        ffs.attach(ledger.clone());
+        produce(&*ffs);
+        ledger.mark_produce_end();
+        let boundary = ffs.counters();
+        analyze(&*ffs);
+        ffs.unmount();
+
+        let eligible = ledger.len() as u64;
+        let produce_eligible = ledger.produce_reads() as u64;
+        prop_assert_eq!(produce_eligible as usize, produce_readback.min(n_files));
+        prop_assert!(eligible > produce_eligible, "analyze always reads");
+
+        let sig = FaultSignature::on_read(FaultModel::bit_flip());
+        for k in 1..=eligible {
+            // Reference: full re-execution armed on absolute instance k.
+            let full_inj = Arc::new(ArmedInjector::new(sig.clone(), k, seed));
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            ffs.attach(full_inj.clone());
+            produce(&*ffs);
+            analyze(&*ffs);
+            ffs.unmount();
+            let full = full_inj.record();
+            prop_assert!(full.is_some(), "instance {} must fire on the full run", k);
+
+            // Analyze-phase targets: fork the golden state, pre-seed
+            // the boundary counters, resume eligible counting past the
+            // produce-phase reads, run only analyze.
+            if k > produce_eligible {
+                let fast_inj =
+                    Arc::new(ArmedInjector::resuming(sig.clone(), k, seed, produce_eligible));
+                let ffs = FfisFs::mount(Arc::new(base.fork()));
+                ffs.preseed_counters(&boundary);
+                ffs.attach(fast_inj.clone());
+                analyze(&*ffs);
+                ffs.unmount();
+                prop_assert_eq!(
+                    fast_inj.record(), full,
+                    "instance {} numbering diverged between the paths", k
+                );
+            }
+        }
+    }
+
+    /// Engine law 1 + 3 (planner half): for arbitrary mixes of replay,
+    /// analyze-only, and rerun strategies over arbitrary shard counts,
+    /// the plan emits each `(shard, run)` exactly once, the schedule
+    /// is a permutation of the runs, rebuilding the plan reproduces
+    /// the identical schedule (plan order cannot depend on `parallel`
+    /// — the planner never even sees it), fast runs are scheduled
+    /// shortest-work-first, and rerun runs keep their relative index
+    /// order.
     #[test]
     fn execution_plan_emits_each_run_once_with_deterministic_schedule(
         raw in proptest::collection::vec(any::<u64>(), 0..200),
         shards in 1usize..5,
     ) {
-        // Derive an arbitrary replay/rerun mix from the raw words.
+        // Derive an arbitrary replay/analyze-only/rerun mix from the
+        // raw words.
         let strategies: Vec<RunStrategy> = raw
             .iter()
-            .map(|&w| match w % 3 {
+            .map(|&w| match w % 4 {
                 0 => RunStrategy::Replay {
                     checkpoint: (w >> 2) as usize % 8,
                     suffix_len: 1 + (w >> 5) as usize % 2000,
                 },
-                1 => RunStrategy::Rerun { reason: ReplayFallback::ReadSiteFault },
+                1 => RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
+                2 => RunStrategy::AnalyzeOnly,
                 _ => RunStrategy::Rerun { reason: ReplayFallback::Disabled },
             })
             .collect();
@@ -491,15 +580,20 @@ proptest! {
         // Deterministic rebuild (no dependence on execution knobs).
         let rebuilt = mk();
         prop_assert_eq!(plan.schedule(), rebuilt.schedule());
-        // Replay subsequence: suffix lengths nondecreasing; rerun
-        // subsequence: index order preserved.
-        let mut last_suffix = 0usize;
+        // Fast subsequence (replay + analyze-only): cost keys
+        // nondecreasing, with analyze-only runs (zero trace ops to
+        // replay) ahead of every suffix replay; rerun subsequence:
+        // index order preserved.
+        let mut last_cost = 0usize;
         let mut last_rerun = None::<usize>;
         for &pos in plan.schedule() {
             match plan.runs()[pos].strategy {
                 RunStrategy::Replay { suffix_len, .. } => {
-                    prop_assert!(suffix_len >= last_suffix, "replay not shortest-suffix-first");
-                    last_suffix = suffix_len;
+                    prop_assert!(suffix_len >= last_cost, "fast runs not shortest-work-first");
+                    last_cost = suffix_len;
+                }
+                RunStrategy::AnalyzeOnly => {
+                    prop_assert_eq!(last_cost, 0, "analyze-only runs lead the fast stream");
                 }
                 RunStrategy::Rerun { .. } => {
                     if let Some(prev) = last_rerun {

@@ -141,36 +141,91 @@ fn qmc_write_campaigns_pinned() {
     );
 }
 
-/// Acceptance: read-site campaigns on all three apps run the
-/// full-rerun path with the structural reason on every run, and the
-/// CSV row carries it.
+/// Acceptance: read-site campaigns on all three apps take the
+/// analyze-only fast path (their produce phases issue no read-back,
+/// declared via `produce_read_count` and verified by the golden read
+/// ledger) on every run, and the CSV row carries the mode.
 #[test]
-fn read_site_campaigns_full_rerun_on_all_three_apps() {
+fn read_site_campaigns_analyze_only_on_all_three_apps() {
     fn check<A: FaultApp>(app: &A, runs: usize) {
-        // Replay is explicitly requested: the recorded fallback must be
-        // the structural read-site reason, not "disabled" (which is
-        // what the FFIS_REPLAY=0 CI default would report).
+        // The fast path is explicitly requested: the recorded mode
+        // must be the analyze-only strategy, not "rerun(disabled)"
+        // (which is what the FFIS_REPLAY=0 CI default would report).
         let cfg = CampaignConfig::new(FaultSignature::on_read(FaultModel::bit_flip()))
             .with_runs(runs)
             .with_seed(4242)
             .with_replay(true);
         let result = Campaign::new(app, cfg).run().unwrap();
-        assert_eq!(
-            result.mode,
-            ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault },
-            "{}",
-            app.name()
-        );
+        assert_eq!(result.mode, ExecutionMode::AnalyzeOnly, "{}", app.name());
         assert_eq!(result.tally.total() as usize, runs);
         for r in &result.runs {
             assert_eq!(r.mode, result.mode, "{} run {}", app.name(), r.run);
         }
         let row = result.csv_row(&app.name());
-        assert!(row.ends_with("rerun(read-site-fault)"), "{}", row);
+        assert!(row.ends_with("analyze-only"), "{}", row);
     }
     check(&nyx(), 8);
     check(&qmc(), 6);
     check(&MontageApp::paper_default(), 5);
+}
+
+/// The analyze-only differential pin: for every app × read-site model,
+/// the analyze-only fast path and the full-rerun reference path must
+/// agree **byte for byte** — tallies, target instances, full injection
+/// records, crash messages, and the FNV digest over all of them. Both
+/// paths are requested explicitly, so the same constants hold under
+/// `FFIS_REPLAY=0` (where the suite default would disable the fast
+/// path) and the replay default alike.
+#[test]
+fn analyze_only_equals_full_rerun_on_all_three_apps() {
+    fn check<A: FaultApp>(app: &A, runs: usize) {
+        for model in
+            [FaultModel::bit_flip(), FaultModel::shorn_write(), FaultModel::dropped_write()]
+        {
+            let mk = |replay: bool| {
+                let cfg = CampaignConfig::new(FaultSignature::on_read(model))
+                    .with_runs(runs)
+                    .with_seed(4242)
+                    .with_replay(replay);
+                Campaign::new(app, cfg).run().unwrap()
+            };
+            let fast = mk(true);
+            let slow = mk(false);
+            assert_eq!(fast.mode, ExecutionMode::AnalyzeOnly, "{} {:?}", app.name(), model);
+            assert_eq!(
+                slow.mode,
+                ExecutionMode::FullRerun { reason: ReplayFallback::Disabled },
+                "{} {:?}",
+                app.name(),
+                model
+            );
+            assert_eq!(fast.tally, slow.tally, "{} {:?}", app.name(), model);
+            assert_eq!(fast.profile.eligible, slow.profile.eligible);
+            for (f, s) in fast.runs.iter().zip(&slow.runs) {
+                assert_eq!(f.outcome, s.outcome, "{} {:?} run {}", app.name(), model, f.run);
+                assert_eq!(f.target_instance, s.target_instance);
+                assert_eq!(f.injection, s.injection, "{} {:?} run {}", app.name(), model, f.run);
+                assert_eq!(
+                    f.crash_message,
+                    s.crash_message,
+                    "{} {:?} run {}",
+                    app.name(),
+                    model,
+                    f.run
+                );
+            }
+            assert_eq!(
+                digest(&fast),
+                digest(&slow),
+                "{} {:?}: strategy-independent digests must collide",
+                app.name(),
+                model
+            );
+        }
+    }
+    check(&nyx(), 12);
+    check(&qmc(), 8);
+    check(&MontageApp::paper_default(), 6);
 }
 
 /// A seeded campaign mixing read- and write-site signatures yields the
@@ -198,17 +253,12 @@ fn mixed_read_write_campaign_is_deterministic() {
 
     let a = mk(true);
     // The schedule interleaves strategies run-by-run: write shards
-    // replay, read shards rerun with the structural reason.
+    // replay, read shards take the analyze-only fast path (Nyx's
+    // produce issues no read-back).
     assert_eq!(a.shards[0].mode, ExecutionMode::Replay);
-    assert_eq!(
-        a.shards[1].mode,
-        ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
-    );
+    assert_eq!(a.shards[1].mode, ExecutionMode::AnalyzeOnly);
     assert_eq!(a.shards[2].mode, ExecutionMode::Replay);
-    assert_eq!(
-        a.shards[3].mode,
-        ExecutionMode::FullRerun { reason: ReplayFallback::ReadSiteFault }
-    );
+    assert_eq!(a.shards[3].mode, ExecutionMode::AnalyzeOnly);
     for r in &a.runs {
         assert_eq!(r.mode, a.shards[r.run % 4].mode, "run {}", r.run);
     }
