@@ -1,0 +1,92 @@
+//! Run-journal overhead on the checkpointed-replay campaign path —
+//! the durability tax of appending one CRC-framed record per
+//! completed run, flushed incrementally.
+//!
+//! Beyond the two criterion timings, the bench asserts the acceptance
+//! claim directly: a journaled campaign must finish within 5% of an
+//! unjournaled one on identical configuration, with byte-identical
+//! tallies and run digests. The assertion runs at the n=64 grid (the
+//! CI scale smoke) — already *harsher* than the paper's n=192 scale
+//! preset, whose per-run work is ~27x larger still while the journal
+//! append cost (one small framed write per completed run, ~tens of
+//! microseconds) stays constant — so margin here implies margin there.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffis_core::prelude::*;
+use nyx_sim::{FieldConfig, NyxApp, NyxConfig};
+
+const RUNS: usize = 80;
+
+fn campaign(app: &NyxApp, journal: Option<&std::path::Path>) -> CampaignResult {
+    let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(RUNS)
+        .with_seed(0x10A7)
+        .with_replay(true);
+    // Serial: measure per-run work, not rayon scheduling.
+    cfg.parallel = false;
+    if let Some(path) = journal {
+        cfg = cfg.with_journal(path);
+    }
+    Campaign::new(app, cfg).run().unwrap()
+}
+
+fn bench_journal_overhead(c: &mut Criterion) {
+    let app = NyxApp::new(NyxConfig {
+        field: FieldConfig { n: 64, ..Default::default() },
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("ffis-journal-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jpath = dir.join("bench.journal");
+
+    // Durability must not change a single byte of the result.
+    let plain = campaign(&app, None);
+    let journaled = campaign(&app, Some(&jpath));
+    assert_eq!(plain.tally, journaled.tally, "journaling changed the tally");
+    assert_eq!(plain.run_digest(), journaled.run_digest(), "journaling changed the run digest");
+
+    let mut group = c.benchmark_group("journal_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(RUNS as u64));
+    for with_journal in [false, true] {
+        let label = if with_journal { "journaled" } else { "plain" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &with_journal, |b, &wj| {
+            b.iter(|| campaign(&app, if wj { Some(jpath.as_path()) } else { None }));
+        });
+    }
+    group.finish();
+
+    // The acceptance assertion: best-of-5 wall time within 5%.
+    let best = |journal: Option<&std::path::Path>| -> Duration {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                campaign(&app, journal);
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let t_plain = best(None);
+    let t_journal = best(Some(&jpath));
+    let overhead = t_journal.as_secs_f64() / t_plain.as_secs_f64() - 1.0;
+    println!(
+        "journal overhead: plain {:.1?}, journaled {:.1?} ({:+.2}%)",
+        t_plain,
+        t_journal,
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "journal overhead {:.2}% exceeds the 5% budget (plain {:?}, journaled {:?})",
+        overhead * 100.0,
+        t_plain,
+        t_journal
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_journal_overhead);
+criterion_main!(benches);

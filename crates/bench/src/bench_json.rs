@@ -22,6 +22,11 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Render a JSON boolean.
+pub fn bool(v: bool) -> String {
+    if v { "true" } else { "false" }.to_string()
+}
+
 /// Render a JSON string with the mandatory escapes.
 pub fn string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -85,6 +90,8 @@ mod tests {
         assert_eq!(number(5.0), "5");
         assert_eq!(number(5.25), "5.25");
         assert_eq!(number(f64::NAN), "null");
+        assert_eq!(bool(true), "true");
+        assert_eq!(bool(false), "false");
         assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(array(&[number(1.0), string("x")]), "[1,\"x\"]");
         assert_eq!(object(&[("n", number(2.0)), ("s", string("v"))]), "{\"n\":2,\"s\":\"v\"}");

@@ -2,6 +2,16 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+use ffis_core::CancelToken;
+
+/// Smallest Nyx grid the paper workloads run on: the fig8 golden run
+/// needs at least a 16³ field to host its halo statistics, and no
+/// harness preset goes lower (CI smoke uses 64, quick caps at 48).
+/// Anything smaller is a configuration error, reported as such instead
+/// of a mid-experiment panic.
+pub const MIN_GRID: usize = 16;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -20,6 +30,20 @@ pub struct Options {
     pub out: PathBuf,
     /// Quick mode: smaller workloads and fewer runs (CI-friendly).
     pub quick: bool,
+    /// Directory for per-campaign run journals (`--journal DIR`).
+    /// Campaign-grade experiments write one append-only journal per
+    /// cell there; with [`Options::resume`] an interrupted invocation
+    /// picks up where it stopped.
+    pub journal: Option<PathBuf>,
+    /// Resume from existing journals in [`Options::journal`]
+    /// (`--resume`). Safe to pass unconditionally: missing journal
+    /// files start fresh, and a journal from a different configuration
+    /// is rejected with a clear error.
+    pub resume: bool,
+    /// Cooperative cancellation token, wired to Ctrl-C by the `repro`
+    /// binary. Not a CLI flag; experiments thread it into their
+    /// campaigns.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl Default for Options {
@@ -31,6 +55,9 @@ impl Default for Options {
             grid_explicit: false,
             out: PathBuf::from("results"),
             quick: false,
+            journal: None,
+            resume: false,
+            cancel: None,
         }
     }
 }
@@ -49,6 +76,10 @@ impl Options {
                     opts.quick = true;
                     continue;
                 }
+                if flag == "resume" {
+                    opts.resume = true;
+                    continue;
+                }
                 let value =
                     it.next().ok_or_else(|| format!("--{} requires a value", flag))?.clone();
                 map.insert(flag.to_string(), value);
@@ -58,16 +89,29 @@ impl Options {
         }
         if let Some(v) = map.get("runs") {
             opts.runs = v.parse().map_err(|_| format!("bad --runs '{}'", v))?;
+            if opts.runs == 0 {
+                return Err("--runs must be at least 1".into());
+            }
         }
         if let Some(v) = map.get("seed") {
             opts.seed = v.parse().map_err(|_| format!("bad --seed '{}'", v))?;
         }
         if let Some(v) = map.get("grid") {
             opts.grid = v.parse().map_err(|_| format!("bad --grid '{}'", v))?;
+            if opts.grid < MIN_GRID {
+                return Err(format!(
+                    "--grid {} is below the minimum {} (the paper workloads need at least a \
+                     {MIN_GRID}\u{b3} field)",
+                    opts.grid, MIN_GRID
+                ));
+            }
             opts.grid_explicit = true;
         }
         if let Some(v) = map.get("out") {
             opts.out = PathBuf::from(v);
+        }
+        if let Some(v) = map.get("journal") {
+            opts.journal = Some(PathBuf::from(v));
         }
         if opts.quick {
             opts.runs = opts.runs.min(120);
@@ -128,5 +172,34 @@ mod tests {
         assert!(Options::parse(&args).is_err());
         let bad: Vec<String> = vec!["--runs".into(), "abc".into()];
         assert!(Options::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_runs_is_a_clear_error_not_a_panic() {
+        let args: Vec<String> = vec!["scale".into(), "--runs".into(), "0".into()];
+        let err = Options::parse(&args).unwrap_err();
+        assert!(err.contains("--runs must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn undersized_grid_is_a_clear_error_not_a_panic() {
+        for g in ["0", "1", "8", "12", "15"] {
+            let args: Vec<String> = vec!["fig8".into(), "--grid".into(), g.into()];
+            let err = Options::parse(&args).unwrap_err();
+            assert!(err.contains("below the minimum"), "grid {g}: {err}");
+        }
+        let args: Vec<String> = vec!["fig8".into(), "--grid".into(), "16".into()];
+        assert!(Options::parse(&args).is_ok());
+    }
+
+    #[test]
+    fn journal_and_resume_flags_parse() {
+        let (o, pos) = parse(&["scale", "--journal", "/tmp/j", "--resume"]);
+        assert_eq!(o.journal, Some(PathBuf::from("/tmp/j")));
+        assert!(o.resume);
+        assert_eq!(pos, vec!["scale"]);
+        let (o, _) = parse(&["scale"]);
+        assert_eq!(o.journal, None);
+        assert!(!o.resume);
     }
 }

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ffis_core::prelude::*;
-use ffis_core::RunResult;
+use ffis_core::{CompletionStatus, RunResult};
 use ffis_vfs::CheckpointStore;
 
 use crate::bench_json;
@@ -61,6 +61,12 @@ struct CellStats {
     wall_s: f64,
     runs_per_s: f64,
     total: u64,
+    plan_fingerprint: u64,
+    run_digest: u64,
+    executed: usize,
+    resumed: usize,
+    complete: bool,
+    journal: Option<String>,
 }
 
 /// The scale experiment (see the module docs).
@@ -116,6 +122,10 @@ pub fn scale(opts: &Options) -> Report {
         .collect();
 
     for (label, sig, salt) in cells {
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            report.line(format!("{} skipped: interrupted", label));
+            continue;
+        }
         let site = sig.site();
         let mut cfg = CampaignConfig::new(sig)
             .with_runs(opts.runs)
@@ -123,6 +133,19 @@ pub fn scale(opts: &Options) -> Report {
             .with_keep_runs(Some(SCALE_KEEP_RUNS));
         if site == InjectionSite::Write {
             cfg = cfg.with_checkpoints(store.clone());
+        }
+        // Durability plumbing: one journal per cell under --journal,
+        // resumed on --resume; Ctrl-C stops between runs with
+        // everything completed so far already journaled.
+        let journal_path = opts.journal.as_ref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            dir.join(format!("scale_{}_{}.journal", label.replace(':', "-"), site.token()))
+        });
+        if let Some(path) = &journal_path {
+            cfg = cfg.with_journal(path).with_resume(opts.resume);
+        }
+        if let Some(cancel) = &opts.cancel {
+            cfg = cfg.with_cancel(cancel.clone());
         }
         let started = Instant::now();
         let result = match Campaign::new(&app, cfg).run() {
@@ -137,7 +160,10 @@ pub fn scale(opts: &Options) -> Report {
         // The engine's scale contracts, asserted where the numbers are
         // produced: bounded record retention, full-coverage tallies,
         // and — when the fast paths are on — no silent fallback to
-        // full reruns on either site.
+        // full reruns on either site. An interrupted cell legitimately
+        // covers only its completed runs, so the coverage assert is
+        // conditional on completion.
+        let complete = result.status == CompletionStatus::Complete;
         assert!(
             result.runs.len() <= SCALE_KEEP_RUNS,
             "{}: retained {} run records, reservoir bound is {}",
@@ -145,12 +171,22 @@ pub fn scale(opts: &Options) -> Report {
             result.runs.len(),
             SCALE_KEEP_RUNS
         );
-        assert_eq!(
-            result.tally.total() as usize,
-            opts.runs,
-            "{}: tally must cover every run, kept or dropped",
-            label
-        );
+        if complete {
+            assert_eq!(
+                result.tally.total() as usize,
+                opts.runs,
+                "{}: tally must cover every run, kept or dropped",
+                label
+            );
+        } else {
+            report.line(format!(
+                "{} interrupted after {} of {} runs (journaled: {}) — rerun with --resume",
+                label,
+                result.tally.total(),
+                opts.runs,
+                journal_path.is_some()
+            ));
+        }
         if fast_paths {
             match site {
                 InjectionSite::Write => assert_eq!(
@@ -192,6 +228,12 @@ pub fn scale(opts: &Options) -> Report {
             wall_s: wall,
             runs_per_s: opts.runs as f64 / wall.max(1e-9),
             total: t.total(),
+            plan_fingerprint: result.plan_fingerprint,
+            run_digest: result.run_digest(),
+            executed: result.executed,
+            resumed: result.resumed,
+            complete,
+            journal: journal_path.map(|p| p.display().to_string()),
         });
     }
 
@@ -238,7 +280,10 @@ pub fn scale(opts: &Options) -> Report {
     report.line("pre-seed the phase-boundary counters, and run only analyze with the fault armed");
     report.line("— produce-phase read targets (none on Nyx) would rerun as produce-read-fault.");
 
-    // Machine-readable artifact for the CI perf trajectory.
+    // Machine-readable artifact for the CI perf trajectory, including
+    // the run/commit metadata that identifies each cell's plan: the
+    // journal schema, the plan fingerprint a resume must match, and
+    // the run digest the resume-law CI job diffs against its control.
     let cells_json: Vec<String> = stats
         .iter()
         .map(|s| {
@@ -249,12 +294,26 @@ pub fn scale(opts: &Options) -> Report {
                 ("runs", bench_json::number(s.total as f64)),
                 ("wall_s", bench_json::number(s.wall_s)),
                 ("runs_per_s", bench_json::number(s.runs_per_s)),
+                ("plan_fingerprint", bench_json::string(&format!("{:#018x}", s.plan_fingerprint))),
+                ("run_digest", bench_json::string(&format!("{:#018x}", s.run_digest))),
+                ("executed", bench_json::number(s.executed as f64)),
+                ("resumed", bench_json::number(s.resumed as f64)),
+                ("complete", bench_json::bool(s.complete)),
+                (
+                    "journal",
+                    s.journal.as_deref().map_or_else(|| "null".to_string(), bench_json::string),
+                ),
             ])
         })
         .collect();
     let json = bench_json::object(&[
         ("bench", bench_json::string("scale")),
+        (
+            "journal_schema",
+            bench_json::number(f64::from(ffis_core::engine::journal::JOURNAL_SCHEMA)),
+        ),
         ("grid", bench_json::number(n as f64)),
+        ("seed", bench_json::number(opts.seed as f64)),
         ("runs_per_cell", bench_json::number(opts.runs as f64)),
         ("keep_runs", bench_json::number(SCALE_KEEP_RUNS as f64)),
         ("checkpoint_builds", bench_json::number(store.builds() as f64)),
@@ -264,6 +323,26 @@ pub fn scale(opts: &Options) -> Report {
     ]);
     if let Some(path) = bench_json::save_in(&opts.out, "BENCH_scale.json", &json) {
         report.line(format!("(machine-readable numbers: {})", path.display()));
+    }
+
+    // DIGESTS.txt: one deterministic `label site fingerprint digest`
+    // line per completed cell — what the CI resume-smoke job diffs
+    // between its killed-and-resumed pass and its uninterrupted
+    // control.
+    let mut digests = String::new();
+    for s in stats.iter().filter(|s| s.complete) {
+        digests.push_str(&format!(
+            "{} {} {:#018x} {:#018x}\n",
+            s.label,
+            s.site.token(),
+            s.plan_fingerprint,
+            s.run_digest
+        ));
+    }
+    let digests_path = opts.out.join("DIGESTS.txt");
+    if std::fs::create_dir_all(&opts.out).is_ok() && std::fs::write(&digests_path, &digests).is_ok()
+    {
+        report.line(format!("(per-cell run digests: {})", digests_path.display()));
     }
     report
 }

@@ -1,10 +1,15 @@
 //! `repro` — regenerate every table and figure of the paper.
 
+use std::sync::Arc;
+use std::sync::OnceLock;
+
 use ffis_bench::{experiments, Options};
+use ffis_core::CancelToken;
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: repro <experiment> [--runs N] [--seed S] [--grid G] [--out DIR] [--quick]\n\n\
+        "usage: repro <experiment> [--runs N] [--seed S] [--grid G] [--out DIR] [--quick]\n\
+         \u{20}                    [--journal DIR] [--resume]\n\n\
          experiments:\n",
     );
     for name in experiments::ALL {
@@ -12,14 +17,47 @@ fn usage() -> String {
     }
     s.push_str(
         "  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  scale      \
-         (n=192 paper regime unless --grid given)\n  all        (everything above except scale)\n",
+         (n=192 paper regime unless --grid given)\n  all        (everything above except scale)\n\n\
+         durability:\n  --journal DIR   write per-campaign run journals under DIR\n  \
+         --resume        resume from existing journals (safe with no journal present)\n  \
+         Ctrl-C          graceful stop: completed runs are journaled, partial tallies reported\n",
     );
     s
 }
 
+/// The one Ctrl-C token, shared with every campaign of the invocation.
+static CANCEL: OnceLock<Arc<CancelToken>> = OnceLock::new();
+
+const SIGINT: i32 = 2;
+const SIG_DFL: usize = 0;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// First Ctrl-C requests a graceful stop (an atomic store — async
+/// -signal-safe); the handler then restores the default disposition so
+/// a second Ctrl-C kills the process outright.
+extern "C" fn on_sigint(_sig: i32) {
+    if let Some(cancel) = CANCEL.get() {
+        cancel.cancel();
+    }
+    unsafe {
+        signal(SIGINT, SIG_DFL);
+    }
+}
+
+fn install_sigint() -> Arc<CancelToken> {
+    let cancel = CANCEL.get_or_init(CancelToken::new).clone();
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    cancel
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, positional) = match Options::parse(&args) {
+    let (mut opts, positional) = match Options::parse(&args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {}\n\n{}", e, usage());
@@ -30,6 +68,8 @@ fn main() {
         eprintln!("{}", usage());
         std::process::exit(2);
     };
+    let cancel = install_sigint();
+    opts.cancel = Some(cancel.clone());
 
     let names: Vec<&str> = if cmd == "all" {
         let mut v: Vec<&str> = experiments::ALL.to_vec();
@@ -40,6 +80,9 @@ fn main() {
     };
 
     for name in names {
+        if cancel.is_cancelled() {
+            break;
+        }
         let started = std::time::Instant::now();
         match experiments::run(name, &opts) {
             Ok(report) => {
@@ -53,5 +96,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if cancel.is_cancelled() {
+        eprintln!(
+            "interrupted: completed runs {} — rerun with --resume to continue",
+            if opts.journal.is_some() { "are journaled" } else { "were reported (no --journal)" }
+        );
+        std::process::exit(130);
     }
 }

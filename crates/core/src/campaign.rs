@@ -10,15 +10,22 @@
 //! so the campaign fans out across cores with rayon — the paper runs
 //! its campaigns on a 24-core node.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ffis_vfs::{
     CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, Primitive, ReadLedger,
-    TraceCheckpoints, TraceOp, TraceRecorder,
+    TraceCheckpoints, TraceOp, TraceRecorder, PRIMITIVES,
 };
 
-use crate::engine::{self, EngineConfig, ExecutionPlan, PlannedRun, RunRecord, RunStrategy};
+use crate::engine::journal::{wire, JournalEntry};
+use crate::engine::{
+    self, CancelToken, CompletionStatus, Durability, EngineConfig, ExecutionPlan, JournalError,
+    JournalMeta, PlannedRun, RunJournal, RunRecord, RunStrategy,
+};
 use crate::fault::{FaultSignature, TargetFilter};
 use crate::injector::{ArmedInjector, InjectionRecord};
 use crate::outcome::{FaultApp, Outcome, OutcomeTally};
@@ -62,6 +69,34 @@ pub struct CampaignConfig {
     /// one built [`TraceCheckpoints`] through it instead of each
     /// rebuilding its own. `None` builds privately, as before.
     pub checkpoints: Option<Arc<CheckpointStore>>,
+    /// Write every completed run to a [`RunJournal`] at this path. The
+    /// journal is an append-only CRC-framed log flushed per run, so a
+    /// killed campaign loses at most the runs in flight.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal at [`CampaignConfig::journal`] when it
+    /// already exists: journaled runs feed the tally at cost 0 and
+    /// only the pending set executes. The journal header must match
+    /// this campaign's plan fingerprint, seed, and run count — a
+    /// mismatch is a [`CampaignError::Journal`] error, never a silent
+    /// splice. A missing journal file starts fresh (so `--resume` is
+    /// safe to pass unconditionally).
+    pub resume: bool,
+    /// Cooperative cancellation token, checked between runs. On
+    /// cancellation the campaign flushes completed runs to the journal
+    /// and returns partial tallies with
+    /// [`CompletionStatus::Interrupted`].
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Per-run I/O-op fuel budget: each injection run's mount unwinds
+    /// into crash classification ([`RunAborted::FuelExhausted`]) after
+    /// this many primitive crossings. Deterministic — fuel counts
+    /// crossings, not seconds — so the resume law holds for aborted
+    /// runs. `None` (default) disables the watchdog. The golden run is
+    /// never fueled: it must finish for a campaign to exist at all.
+    pub fuel: Option<u64>,
+    /// Wall-clock backstop per run, enforced at primitive crossings
+    /// ([`RunAborted::DeadlineExceeded`]). Non-deterministic; off by
+    /// default. Prefer [`CampaignConfig::fuel`].
+    pub wall_limit: Option<Duration>,
 }
 
 /// Default value of [`CampaignConfig::replay`]: `true`, unless the
@@ -84,6 +119,11 @@ impl CampaignConfig {
             replay: replay_default(),
             keep_runs: None,
             checkpoints: None,
+            journal: None,
+            resume: false,
+            cancel: None,
+            fuel: None,
+            wall_limit: None,
         }
     }
 
@@ -116,6 +156,41 @@ impl CampaignConfig {
     /// [`CampaignConfig::checkpoints`]).
     pub fn with_checkpoints(mut self, store: Arc<CheckpointStore>) -> Self {
         self.checkpoints = Some(store);
+        self
+    }
+
+    /// Journal completed runs to `path` (see
+    /// [`CampaignConfig::journal`]).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resume from an existing journal (see
+    /// [`CampaignConfig::resume`]).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (see
+    /// [`CampaignConfig::cancel`]).
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Arm the per-run I/O-op fuel watchdog (see
+    /// [`CampaignConfig::fuel`]).
+    pub fn with_fuel(mut self, budget: u64) -> Self {
+        self.fuel = Some(budget);
+        self
+    }
+
+    /// Arm the per-run wall-clock backstop (see
+    /// [`CampaignConfig::wall_limit`]).
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
         self
     }
 }
@@ -238,8 +313,55 @@ impl std::fmt::Display for ExecutionMode {
     }
 }
 
+/// Why a watchdog aborted a wedged injection run.
+///
+/// An aborted run is *data*, not an error: corrupted metadata steering
+/// an application into an unbounded I/O loop is a real failure
+/// manifestation, and the paper's scheme files it under crash. The
+/// watchdogs unwind the run into the normal crash classification path
+/// and record the trigger here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunAborted {
+    /// The run exhausted its I/O-op fuel budget
+    /// ([`CampaignConfig::fuel`]). Deterministic: the abort lands at
+    /// the same primitive crossing on every execution.
+    FuelExhausted {
+        /// The budget that ran out.
+        budget: u64,
+    },
+    /// The run outlived its wall-clock deadline
+    /// ([`CampaignConfig::wall_limit`]). Non-deterministic backstop.
+    DeadlineExceeded {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl RunAborted {
+    /// Short reason token for report tables.
+    pub fn reason(self) -> &'static str {
+        match self {
+            RunAborted::FuelExhausted { .. } => "fuel-exhausted",
+            RunAborted::DeadlineExceeded { .. } => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for RunAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunAborted::FuelExhausted { budget } => {
+                write!(f, "aborted: I/O fuel exhausted (budget {budget} ops)")
+            }
+            RunAborted::DeadlineExceeded { limit_ms } => {
+                write!(f, "aborted: wall-clock deadline exceeded ({limit_ms} ms)")
+            }
+        }
+    }
+}
+
 /// Result of one injection run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Run index within the campaign.
     pub run: usize,
@@ -256,6 +378,188 @@ pub struct RunResult {
     /// campaigns; in a [`MixedCampaign`] it varies per run (write-site
     /// shards replay, read-site shards rerun).
     pub mode: ExecutionMode,
+    /// Set when a liveness watchdog aborted this run (always paired
+    /// with [`Outcome::Crash`] and a synthesized crash message).
+    pub aborted: Option<RunAborted>,
+}
+
+/// Stable wire code for a [`ReplayFallback`] (journal payload encoding).
+fn fallback_code(f: ReplayFallback) -> u8 {
+    match f {
+        ReplayFallback::Disabled => 0,
+        ReplayFallback::NonWritePrimitive => 1,
+        ReplayFallback::ProduceReadFault => 2,
+        ReplayFallback::AnalyzeWrites => 3,
+        ReplayFallback::TraceMismatch => 4,
+        ReplayFallback::GoldenIdentity => 5,
+        ReplayFallback::ReplayCheck => 6,
+    }
+}
+
+fn fallback_from_code(c: u8) -> Option<ReplayFallback> {
+    Some(match c {
+        0 => ReplayFallback::Disabled,
+        1 => ReplayFallback::NonWritePrimitive,
+        2 => ReplayFallback::ProduceReadFault,
+        3 => ReplayFallback::AnalyzeWrites,
+        4 => ReplayFallback::TraceMismatch,
+        5 => ReplayFallback::GoldenIdentity,
+        6 => ReplayFallback::ReplayCheck,
+        _ => return None,
+    })
+}
+
+impl RunResult {
+    /// Serialize the journal payload: everything the engine frame
+    /// (`index`, `outcome`, `fired`) does not already carry. The
+    /// encoding uses the journal's [`wire`] helpers; bumping its shape
+    /// requires bumping [`crate::engine::journal::JOURNAL_SCHEMA`].
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        wire::put_u64(&mut buf, self.target_instance);
+        match &self.injection {
+            None => buf.push(0),
+            Some(i) => {
+                buf.push(1);
+                buf.push(i.primitive.index() as u8);
+                wire::put_u64(&mut buf, i.instance);
+                wire::put_u64(&mut buf, i.prim_seq);
+                wire::put_opt_str(&mut buf, i.path.as_deref());
+                match i.offset {
+                    None => buf.push(0),
+                    Some(o) => {
+                        buf.push(1);
+                        wire::put_u64(&mut buf, o);
+                    }
+                }
+                wire::put_u64(&mut buf, i.len as u64);
+                wire::put_str(&mut buf, &i.detail);
+            }
+        }
+        wire::put_opt_str(&mut buf, self.crash_message.as_deref());
+        match self.mode {
+            ExecutionMode::Replay => buf.push(0),
+            ExecutionMode::AnalyzeOnly => buf.push(1),
+            ExecutionMode::FullRerun { reason } => {
+                buf.push(2);
+                buf.push(fallback_code(reason));
+            }
+            ExecutionMode::PhaseSplit => buf.push(3),
+        }
+        match self.aborted {
+            None => buf.push(0),
+            Some(RunAborted::FuelExhausted { budget }) => {
+                buf.push(1);
+                wire::put_u64(&mut buf, budget);
+            }
+            Some(RunAborted::DeadlineExceeded { limit_ms }) => {
+                buf.push(2);
+                wire::put_u64(&mut buf, limit_ms);
+            }
+        }
+        buf
+    }
+
+    /// Decode one journaled run. `None` means the payload is corrupt
+    /// or inconsistent (e.g. `fired` without an injection record) —
+    /// the resume path drops such entries and re-executes the run.
+    fn decode(entry: &JournalEntry) -> Option<RunResult> {
+        let mut r = wire::Reader::new(&entry.payload);
+        let target_instance = r.u64()?;
+        let injection = match r.u8()? {
+            0 => None,
+            1 => {
+                let primitive = *PRIMITIVES.get(r.u8()? as usize)?;
+                let instance = r.u64()?;
+                let prim_seq = r.u64()?;
+                let path = r.opt_str()?;
+                let offset = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    _ => return None,
+                };
+                let len = r.u64()? as usize;
+                let detail = r.str()?;
+                Some(InjectionRecord { primitive, instance, prim_seq, path, offset, len, detail })
+            }
+            _ => return None,
+        };
+        if injection.is_some() != entry.fired {
+            return None;
+        }
+        let crash_message = r.opt_str()?;
+        let mode = match r.u8()? {
+            0 => ExecutionMode::Replay,
+            1 => ExecutionMode::AnalyzeOnly,
+            2 => ExecutionMode::FullRerun { reason: fallback_from_code(r.u8()?)? },
+            3 => ExecutionMode::PhaseSplit,
+            _ => return None,
+        };
+        let aborted = match r.u8()? {
+            0 => None,
+            1 => Some(RunAborted::FuelExhausted { budget: r.u64()? }),
+            2 => Some(RunAborted::DeadlineExceeded { limit_ms: r.u64()? }),
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(RunResult {
+            run: entry.index,
+            outcome: entry.outcome,
+            target_instance,
+            injection,
+            crash_message,
+            mode,
+            aborted,
+        })
+    }
+}
+
+/// FNV-1a, the workspace's standing digest primitive (the same
+/// parameters the differential test suites pin campaign behavior
+/// with).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+}
+
+/// FNV-1a digest over retained run records: run index, outcome,
+/// target instance, the full injection record (or the `no-fire`
+/// marker), and the crash message. Byte-compatible with the digest the
+/// read/write differential suite pins, so resume-law tests can compare
+/// an interrupted+resumed campaign against an uninterrupted control
+/// with one number.
+fn digest_runs(runs: &[RunResult]) -> u64 {
+    let mut h = Fnv::new();
+    for r in runs {
+        h.eat(&(r.run as u64).to_le_bytes());
+        h.eat(r.outcome.name().as_bytes());
+        h.eat(&r.target_instance.to_le_bytes());
+        match &r.injection {
+            Some(i) => {
+                h.eat(i.primitive.ffis_name().as_bytes());
+                h.eat(&i.instance.to_le_bytes());
+                h.eat(&i.prim_seq.to_le_bytes());
+                h.eat(i.path.as_deref().unwrap_or("-").as_bytes());
+                h.eat(&i.offset.unwrap_or(u64::MAX).to_le_bytes());
+                h.eat(&(i.len as u64).to_le_bytes());
+                h.eat(i.detail.as_bytes());
+            }
+            None => h.eat(b"no-fire"),
+        }
+        h.eat(r.crash_message.as_deref().unwrap_or("-").as_bytes());
+    }
+    h.0
 }
 
 /// Full campaign result.
@@ -272,12 +576,33 @@ pub struct CampaignResult {
     /// The execution strategy that ran the injection runs, including
     /// the reason when a replay-configured campaign fell back.
     pub mode: ExecutionMode,
+    /// FNV-1a fingerprint of the execution plan (every run's index,
+    /// shard, target instance, injector seed, and strategy). Bound
+    /// into the journal header: resume refuses a journal whose
+    /// fingerprint differs.
+    pub plan_fingerprint: u64,
+    /// Did the plan drain fully, or did cancellation stop it early?
+    /// Tallies always cover exactly the completed (executed + resumed)
+    /// runs.
+    pub status: CompletionStatus,
+    /// Runs this invocation actually executed (excludes journaled
+    /// ones).
+    pub executed: usize,
+    /// Runs replayed from the journal at cost 0.
+    pub resumed: usize,
 }
 
 impl CampaignResult {
     /// Did the checkpointed replay fast path execute the runs?
     pub fn used_replay(&self) -> bool {
         self.mode.is_replay()
+    }
+
+    /// FNV-1a digest over the retained run records — the one number
+    /// the resume law compares: an interrupted+resumed campaign must
+    /// digest identically to an uninterrupted control.
+    pub fn run_digest(&self) -> u64 {
+        digest_runs(&self.runs)
     }
     /// Runs with a given outcome.
     pub fn runs_with(&self, o: Outcome) -> impl Iterator<Item = &RunResult> {
@@ -344,6 +669,9 @@ pub enum CampaignError {
     GoldenRunFailed(String),
     /// The profiler found no eligible instance to inject into.
     NoEligibleInstances,
+    /// The run journal could not be created or resumed (plan
+    /// fingerprint mismatch, corrupt header, I/O failure).
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -354,6 +682,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::NoEligibleInstances => {
                 f.write_str("no eligible primitive instances to inject into")
             }
+            CampaignError::Journal(e) => write!(f, "run journal: {}", e),
         }
     }
 }
@@ -478,13 +807,41 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 }
             })
             .collect();
+        let fingerprint = plan_fingerprint(&planned, 1);
+        let meta = JournalMeta {
+            fingerprint,
+            seed: self.config.seed,
+            runs: self.config.runs as u64,
+            shards: 1,
+            context: format!("app={} mode={} eligible={}", self.app.name(), mode, profile.eligible),
+        };
+        let (journal, resumed) =
+            open_journal(self.config.journal.as_deref(), self.config.resume, meta)?;
         let eplan = ExecutionPlan::new(planned, 1);
         let engine_cfg = EngineConfig {
             parallel: self.config.parallel,
             keep_runs: self.config.keep_runs,
             keep_seed: self.config.seed,
         };
-        let out = engine::execute(&eplan, &engine_cfg, |pr| {
+        let liveness = Liveness { fuel: self.config.fuel, wall: self.config.wall_limit };
+        let persist_fn = journal.as_ref().map(|j| {
+            move |index: usize, outcome: Outcome, fired: bool, r: &RunResult| {
+                j.lock().unwrap_or_else(|e| e.into_inner()).append(
+                    index,
+                    outcome,
+                    fired,
+                    &r.encode(),
+                );
+            }
+        });
+        let durability = Durability {
+            resumed,
+            cancel: self.config.cancel.as_deref(),
+            persist: persist_fn
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
+        };
+        let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let result = execute_run(
                 self.app,
                 &self.config.signature,
@@ -494,6 +851,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 pr.index,
                 pr.spec.target_instance,
                 pr.spec.seed,
+                liveness,
             );
             RunRecord {
                 outcome: result.outcome,
@@ -502,7 +860,16 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             }
         });
 
-        Ok(CampaignResult { tally: out.tally, runs: out.kept, profile, mode })
+        Ok(CampaignResult {
+            tally: out.tally,
+            runs: out.kept,
+            profile,
+            mode,
+            plan_fingerprint: fingerprint,
+            status: out.status,
+            executed: out.executed,
+            resumed: out.resumed,
+        })
     }
 
     /// Gate and validate the replay fast path, building the mid-trace
@@ -552,6 +919,83 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
 struct InjectionSpec {
     target_instance: u64,
     seed: u64,
+}
+
+/// FNV-1a fingerprint of an execution plan: shard count, run count,
+/// and every run's `(index, shard, target instance, injector seed,
+/// strategy)`. Because all random draws happen at plan time (engine
+/// law 2), two invocations with the same configuration fingerprint
+/// identically — and any change to grid, seed, signature, strategy
+/// regime, or run count changes the fingerprint, which is exactly the
+/// set of things a journal resume must refuse to splice across.
+fn plan_fingerprint(planned: &[PlannedRun<InjectionSpec>], shards: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(&(shards as u64).to_le_bytes());
+    h.eat(&(planned.len() as u64).to_le_bytes());
+    for pr in planned {
+        h.eat(&(pr.index as u64).to_le_bytes());
+        h.eat(&(pr.shard as u64).to_le_bytes());
+        h.eat(&pr.spec.target_instance.to_le_bytes());
+        h.eat(&pr.spec.seed.to_le_bytes());
+        match pr.strategy {
+            RunStrategy::Replay { checkpoint, suffix_len } => {
+                h.eat(&[0]);
+                h.eat(&(checkpoint as u64).to_le_bytes());
+                h.eat(&(suffix_len as u64).to_le_bytes());
+            }
+            RunStrategy::AnalyzeOnly => h.eat(&[1]),
+            RunStrategy::Rerun { reason } => h.eat(&[2, fallback_code(reason)]),
+        }
+    }
+    h.0
+}
+
+/// Per-run watchdog bundle, armed on every injection run's mount —
+/// never on the golden run, which must complete for the campaign to
+/// exist at all.
+#[derive(Debug, Clone, Copy)]
+struct Liveness {
+    fuel: Option<u64>,
+    wall: Option<Duration>,
+}
+
+impl Liveness {
+    fn arm(&self, ffs: &FfisFs) {
+        if let Some(budget) = self.fuel {
+            ffs.set_fuel(budget);
+        }
+        if let Some(limit) = self.wall {
+            ffs.set_deadline(limit);
+        }
+    }
+}
+
+/// Open (create or resume) the configured journal and decode any
+/// journaled runs — the one implementation both campaign drivers use,
+/// so resume validation cannot drift between them. Resume with no
+/// journal file on disk starts fresh; entries whose payload fails to
+/// decode are dropped (the run re-executes) rather than trusted.
+#[allow(clippy::type_complexity)]
+fn open_journal(
+    path: Option<&std::path::Path>,
+    resume: bool,
+    meta: JournalMeta,
+) -> Result<(Option<Mutex<RunJournal>>, HashMap<usize, (Outcome, bool, RunResult)>), CampaignError>
+{
+    let Some(path) = path else {
+        return Ok((None, HashMap::new()));
+    };
+    if resume && path.exists() {
+        let (journal, entries) = RunJournal::resume(path, &meta).map_err(CampaignError::Journal)?;
+        let resumed = entries
+            .values()
+            .filter_map(|e| RunResult::decode(e).map(|r| (e.index, (e.outcome, e.fired, r))))
+            .collect();
+        Ok((Some(Mutex::new(journal)), resumed))
+    } else {
+        let journal = RunJournal::create(path, meta).map_err(CampaignError::Journal)?;
+        Ok((Some(Mutex::new(journal)), HashMap::new()))
+    }
 }
 
 /// Op indices of the trace's eligible writes under `target` (instance
@@ -767,6 +1211,7 @@ fn finish_run<A: FaultApp>(
             injection,
             crash_message: None,
             mode,
+            aborted: None,
         },
         Ok(Err(msg)) => RunResult {
             run,
@@ -775,11 +1220,24 @@ fn finish_run<A: FaultApp>(
             injection,
             crash_message: Some(msg),
             mode,
+            aborted: None,
         },
         Err(panic) => {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
+            // Watchdog unwinds carry typed payloads; check them before
+            // the generic message downcasts so an aborted run is
+            // attributed to its trigger, not filed as an anonymous
+            // panic.
+            let aborted = panic
+                .downcast_ref::<ffis_vfs::FuelExhausted>()
+                .map(|fe| RunAborted::FuelExhausted { budget: fe.budget })
+                .or_else(|| {
+                    panic
+                        .downcast_ref::<ffis_vfs::DeadlineExceeded>()
+                        .map(|de| RunAborted::DeadlineExceeded { limit_ms: de.limit_ms })
+                });
+            let msg = aborted
+                .map(|a| a.to_string())
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "panic".to_string());
             RunResult {
@@ -789,6 +1247,7 @@ fn finish_run<A: FaultApp>(
                 injection,
                 crash_message: Some(msg),
                 mode,
+                aborted,
             }
         }
     }
@@ -811,6 +1270,7 @@ fn execute_run<A: FaultApp>(
     run: usize,
     target_instance: u64,
     seed: u64,
+    liveness: Liveness,
 ) -> RunResult {
     let mode = strategy.mode();
     match (strategy, plan) {
@@ -829,6 +1289,7 @@ fn execute_run<A: FaultApp>(
                 already_seen,
             ));
             let (ffs, mut cursor) = point.mount_fork();
+            liveness.arm(&ffs);
             ffs.attach(injector.clone());
             let app_result = catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
                 cursor.replay(&*ffs, plan.cache.suffix(point)).map_err(|e| e.to_string())?;
@@ -852,6 +1313,7 @@ fn execute_run<A: FaultApp>(
                 plan.produce_eligible,
             ));
             let ffs = FfisFs::mount(Arc::new(plan.basis.base.fork()));
+            liveness.arm(&ffs);
             ffs.preseed_counters(&plan.basis.boundary);
             ffs.attach(injector.clone());
             let app_result = catch_unwind(AssertUnwindSafe(|| app.analyze(&*ffs, Some(golden))));
@@ -865,6 +1327,7 @@ fn execute_run<A: FaultApp>(
         | (RunStrategy::Rerun { .. }, _) => {
             let injector = Arc::new(ArmedInjector::new(signature.clone(), target_instance, seed));
             let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            liveness.arm(&ffs);
             ffs.attach(injector.clone());
             let app_result = catch_unwind(AssertUnwindSafe(|| {
                 app.produce(&*ffs)?;
@@ -911,6 +1374,19 @@ pub struct MixedCampaignConfig {
     /// Shared [`CheckpointStore`] (see
     /// [`CampaignConfig::checkpoints`]).
     pub checkpoints: Option<Arc<CheckpointStore>>,
+    /// Journal completed runs to this path (see
+    /// [`CampaignConfig::journal`]).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal (see
+    /// [`CampaignConfig::resume`]).
+    pub resume: bool,
+    /// Cooperative cancellation token (see [`CampaignConfig::cancel`]).
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Per-run I/O-op fuel budget (see [`CampaignConfig::fuel`]).
+    pub fuel: Option<u64>,
+    /// Per-run wall-clock backstop (see
+    /// [`CampaignConfig::wall_limit`]).
+    pub wall_limit: Option<Duration>,
 }
 
 impl MixedCampaignConfig {
@@ -925,6 +1401,11 @@ impl MixedCampaignConfig {
             replay: replay_default(),
             keep_runs: None,
             checkpoints: None,
+            journal: None,
+            resume: false,
+            cancel: None,
+            fuel: None,
+            wall_limit: None,
         }
     }
 
@@ -959,6 +1440,41 @@ impl MixedCampaignConfig {
         self.checkpoints = Some(store);
         self
     }
+
+    /// Journal completed runs to `path` (see
+    /// [`CampaignConfig::journal`]).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resume from an existing journal (see
+    /// [`CampaignConfig::resume`]).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (see
+    /// [`CampaignConfig::cancel`]).
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Arm the per-run I/O-op fuel watchdog (see
+    /// [`CampaignConfig::fuel`]).
+    pub fn with_fuel(mut self, budget: u64) -> Self {
+        self.fuel = Some(budget);
+        self
+    }
+
+    /// Arm the per-run wall-clock backstop (see
+    /// [`CampaignConfig::wall_limit`]).
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
 }
 
 /// Per-shard summary of a [`MixedCampaignResult`].
@@ -989,6 +1505,16 @@ pub struct MixedCampaignResult {
     pub profile: ProfileReport,
     /// Per-shard signatures, eligible counts, modes, and tallies.
     pub shards: Vec<ShardReport>,
+    /// FNV-1a fingerprint of the execution plan (see
+    /// [`CampaignResult::plan_fingerprint`]).
+    pub plan_fingerprint: u64,
+    /// Did the plan drain fully, or did cancellation stop it early?
+    pub status: CompletionStatus,
+    /// Runs this invocation actually executed (excludes journaled
+    /// ones).
+    pub executed: usize,
+    /// Runs replayed from the journal at cost 0.
+    pub resumed: usize,
 }
 
 impl MixedCampaignResult {
@@ -996,6 +1522,12 @@ impl MixedCampaignResult {
     pub fn shard_runs(&self, s: usize) -> impl Iterator<Item = &RunResult> {
         let k = self.shards.len();
         self.runs.iter().filter(move |r| r.run % k == s)
+    }
+
+    /// FNV-1a digest over the retained run records (see
+    /// [`CampaignResult::run_digest`]).
+    pub fn run_digest(&self) -> u64 {
+        digest_runs(&self.runs)
     }
 }
 
@@ -1265,13 +1797,41 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 }
             })
             .collect();
+        let fingerprint = plan_fingerprint(&planned, k);
+        let meta = JournalMeta {
+            fingerprint,
+            seed: self.config.seed,
+            runs: self.config.runs as u64,
+            shards: k as u32,
+            context: format!("app={} shards={}", self.app.name(), k),
+        };
+        let (journal, resumed) =
+            open_journal(self.config.journal.as_deref(), self.config.resume, meta)?;
         let eplan = ExecutionPlan::new(planned, k);
         let engine_cfg = EngineConfig {
             parallel: self.config.parallel,
             keep_runs: self.config.keep_runs,
             keep_seed: self.config.seed,
         };
-        let out = engine::execute(&eplan, &engine_cfg, |pr| {
+        let liveness = Liveness { fuel: self.config.fuel, wall: self.config.wall_limit };
+        let persist_fn = journal.as_ref().map(|j| {
+            move |index: usize, outcome: Outcome, fired: bool, r: &RunResult| {
+                j.lock().unwrap_or_else(|e| e.into_inner()).append(
+                    index,
+                    outcome,
+                    fired,
+                    &r.encode(),
+                );
+            }
+        });
+        let durability = Durability {
+            resumed,
+            cancel: self.config.cancel.as_deref(),
+            persist: persist_fn
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
+        };
+        let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let shard = &shards[pr.shard];
             let result = execute_run(
                 self.app,
@@ -1282,6 +1842,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 pr.index,
                 pr.spec.target_instance,
                 pr.spec.seed,
+                liveness,
             );
             RunRecord {
                 outcome: result.outcome,
@@ -1301,7 +1862,16 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             })
             .collect();
 
-        Ok(MixedCampaignResult { tally: out.tally, runs: out.kept, profile, shards })
+        Ok(MixedCampaignResult {
+            tally: out.tally,
+            runs: out.kept,
+            profile,
+            shards,
+            plan_fingerprint: fingerprint,
+            status: out.status,
+            executed: out.executed,
+            resumed: out.resumed,
+        })
     }
 }
 
@@ -2016,6 +2586,280 @@ mod tests {
         assert_eq!(detected.len() as u64, result.tally.detected);
         for r in detected {
             assert_eq!(r.outcome, Outcome::Detected);
+        }
+    }
+
+    fn tmp_journal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ffis-campaign-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("run.journal")
+    }
+
+    /// An application whose analyze phase wedges in an unbounded I/O
+    /// loop whenever the data it reads back is corrupted — the paper's
+    /// "corrupted metadata steers the application into a hang" failure
+    /// mode, reduced to its essence.
+    struct LoopyApp;
+
+    impl FaultApp for LoopyApp {
+        type Output = Vec<u8>;
+
+        fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+            fs.write_file("/data", &[7u8; 4096]).map_err(|e| e.to_string())
+        }
+
+        fn analyze(&self, fs: &dyn FileSystem, _g: Option<&Vec<u8>>) -> Result<Vec<u8>, String> {
+            let back = fs.read_to_vec("/data").map_err(|e| e.to_string())?;
+            while back.iter().any(|&b| b != 7) {
+                // Corrupted state: poll the file forever, like an
+                // application spinning on a consistency marker that
+                // will never appear.
+                let _ = fs.read_to_vec("/data");
+            }
+            Ok(back)
+        }
+
+        fn classify(&self, golden: &Vec<u8>, faulty: &Vec<u8>) -> Outcome {
+            if golden == faulty {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+
+        fn name(&self) -> String {
+            "LOOPY".into()
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_aborts_wedged_runs_into_crash() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(4)
+            .with_seed(11)
+            .with_fuel(10_000);
+        let result = Campaign::new(&LoopyApp, cfg).run().unwrap();
+        assert_eq!(result.tally.crash, 4, "{}", result.tally);
+        for r in &result.runs {
+            assert_eq!(r.aborted, Some(RunAborted::FuelExhausted { budget: 10_000 }));
+            assert!(
+                r.crash_message.as_deref().unwrap().contains("fuel exhausted"),
+                "{:?}",
+                r.crash_message
+            );
+        }
+        // Fuel exhaustion is deterministic: the same config reproduces
+        // the same aborts.
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(4)
+            .with_seed(11)
+            .with_fuel(10_000);
+        let again = Campaign::new(&LoopyApp, cfg).run().unwrap();
+        assert_eq!(result.runs, again.runs);
+    }
+
+    #[test]
+    fn fuel_budget_is_invisible_to_healthy_runs() {
+        let base = || {
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(20)
+                .with_seed(12)
+        };
+        let plain = Campaign::new(&ToyApp, base()).run().unwrap();
+        let fueled = Campaign::new(&ToyApp, base().with_fuel(1_000_000)).run().unwrap();
+        assert_eq!(plain.runs, fueled.runs);
+        assert_eq!(plain.tally, fueled.tally);
+    }
+
+    #[test]
+    fn wall_clock_backstop_aborts_with_deadline_reason() {
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(2)
+            .with_seed(13)
+            .with_wall_limit(Duration::ZERO);
+        let result = Campaign::new(&ToyApp, cfg).run().unwrap();
+        // A zero deadline trips at the first primitive crossing of
+        // every injection run.
+        assert_eq!(result.tally.crash, 2);
+        for r in &result.runs {
+            assert_eq!(r.aborted, Some(RunAborted::DeadlineExceeded { limit_ms: 0 }));
+        }
+    }
+
+    #[test]
+    fn run_result_payload_codec_roundtrips() {
+        let samples = vec![
+            RunResult {
+                run: 3,
+                outcome: Outcome::Sdc,
+                target_instance: 7,
+                injection: Some(InjectionRecord {
+                    primitive: Primitive::Write,
+                    instance: 7,
+                    prim_seq: 21,
+                    path: Some("/out.dat".into()),
+                    offset: Some(8192),
+                    len: 4096,
+                    detail: "flip bits 3,4".into(),
+                }),
+                crash_message: None,
+                mode: ExecutionMode::Replay,
+                aborted: None,
+            },
+            RunResult {
+                run: 0,
+                outcome: Outcome::Benign,
+                target_instance: 1,
+                injection: None,
+                crash_message: None,
+                mode: ExecutionMode::FullRerun { reason: ReplayFallback::ProduceReadFault },
+                aborted: None,
+            },
+            RunResult {
+                run: 9,
+                outcome: Outcome::Crash,
+                target_instance: 2,
+                injection: Some(InjectionRecord {
+                    primitive: Primitive::Read,
+                    instance: 2,
+                    prim_seq: 5,
+                    path: None,
+                    offset: None,
+                    len: 0,
+                    detail: "dropped read".into(),
+                }),
+                crash_message: Some("aborted: I/O fuel exhausted (budget 500 ops)".into()),
+                mode: ExecutionMode::AnalyzeOnly,
+                aborted: Some(RunAborted::FuelExhausted { budget: 500 }),
+            },
+        ];
+        for r in samples {
+            let entry = JournalEntry {
+                index: r.run,
+                outcome: r.outcome,
+                fired: r.injection.is_some(),
+                payload: r.encode(),
+            };
+            assert_eq!(RunResult::decode(&entry).as_ref(), Some(&r));
+        }
+        // fired must agree with the injection record.
+        let benign = RunResult {
+            run: 0,
+            outcome: Outcome::Benign,
+            target_instance: 1,
+            injection: None,
+            crash_message: None,
+            mode: ExecutionMode::Replay,
+            aborted: None,
+        };
+        let lying = JournalEntry {
+            index: 0,
+            outcome: Outcome::Benign,
+            fired: true,
+            payload: benign.encode(),
+        };
+        assert_eq!(RunResult::decode(&lying), None);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_byte_identically() {
+        let path = tmp_journal("single-resume");
+        let base = || {
+            let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+                .with_runs(30)
+                .with_seed(14);
+            cfg.parallel = false;
+            cfg
+        };
+        let control = Campaign::new(&ToyApp, base()).run().unwrap();
+        assert_eq!(control.status, CompletionStatus::Complete);
+        assert_eq!(control.executed, 30);
+        assert_eq!(control.resumed, 0);
+
+        // Interrupt after 9 runs. `resume` on a missing journal file
+        // starts fresh, so the flag is safe to pass unconditionally.
+        let cancel = CancelToken::after_runs(9);
+        let cfg = base().with_journal(&path).with_resume(true).with_cancel(cancel);
+        let interrupted = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(interrupted.status, CompletionStatus::Interrupted);
+        assert_eq!(interrupted.executed, 9);
+        assert_eq!(interrupted.tally.total(), 9, "partial tallies cover completed runs only");
+
+        // Resume: journaled runs replay at cost 0, the rest execute.
+        let cfg = base().with_journal(&path).with_resume(true);
+        let resumed = Campaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(resumed.status, CompletionStatus::Complete);
+        assert_eq!(resumed.resumed, 9, "journaled runs are not re-executed");
+        assert_eq!(resumed.executed, 21);
+        assert_eq!(resumed.plan_fingerprint, control.plan_fingerprint);
+        assert_eq!(resumed.tally, control.tally);
+        assert_eq!(resumed.runs, control.runs, "resume law: byte-identical records");
+        assert_eq!(resumed.run_digest(), control.run_digest());
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_plan() {
+        let path = tmp_journal("plan-mismatch");
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(5)
+            .with_seed(15)
+            .with_journal(&path);
+        Campaign::new(&ToyApp, cfg).run().unwrap();
+
+        // Same journal, different seed → different plan fingerprint.
+        let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+            .with_runs(5)
+            .with_seed(16)
+            .with_journal(&path)
+            .with_resume(true);
+        let err = Campaign::new(&ToyApp, cfg).run().unwrap_err();
+        assert!(matches!(err, CampaignError::Journal(JournalError::PlanMismatch { .. })), "{err}");
+        assert!(err.to_string().contains("does not match this campaign"), "{err}");
+    }
+
+    #[test]
+    fn completed_campaign_resumes_without_reexecuting_anything() {
+        let path = tmp_journal("noop-resume");
+        let base = || {
+            CampaignConfig::new(FaultSignature::on_write(FaultModel::dropped_write()))
+                .with_runs(12)
+                .with_seed(17)
+                .with_journal(&path)
+                .with_resume(true)
+        };
+        let first = Campaign::new(&ToyApp, base()).run().unwrap();
+        assert_eq!(first.executed, 12);
+        let second = Campaign::new(&ToyApp, base()).run().unwrap();
+        assert_eq!(second.executed, 0, "fully journaled campaign re-executes nothing");
+        assert_eq!(second.resumed, 12);
+        assert_eq!(second.runs, first.runs);
+        assert_eq!(second.run_digest(), first.run_digest());
+    }
+
+    #[test]
+    fn mixed_campaign_resumes_byte_identically() {
+        let path = tmp_journal("mixed-resume");
+        let base = || mixed_cfg(false).with_seed(18);
+        let control = MixedCampaign::new(&ToyApp, base()).run().unwrap();
+        assert_eq!(control.status, CompletionStatus::Complete);
+
+        let cancel = CancelToken::after_runs(7);
+        let cfg = base().with_journal(&path).with_resume(true).with_cancel(cancel);
+        let interrupted = MixedCampaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(interrupted.status, CompletionStatus::Interrupted);
+        assert_eq!(interrupted.executed, 7);
+
+        let cfg = base().with_journal(&path).with_resume(true);
+        let resumed = MixedCampaign::new(&ToyApp, cfg).run().unwrap();
+        assert_eq!(resumed.status, CompletionStatus::Complete);
+        assert_eq!(resumed.resumed, 7);
+        assert_eq!(resumed.executed, 17);
+        assert_eq!(resumed.tally, control.tally);
+        assert_eq!(resumed.runs, control.runs);
+        assert_eq!(resumed.run_digest(), control.run_digest());
+        for (a, b) in resumed.shards.iter().zip(&control.shards) {
+            assert_eq!(a.tally, b.tally);
         }
     }
 }

@@ -1,8 +1,11 @@
 //! The executor layer: one serial/parallel fan-out shared by every
 //! campaign frontend.
 
+use std::collections::HashMap;
+
 use rayon::prelude::*;
 
+use super::control::{CancelToken, CompletionStatus};
 use super::planner::{ExecutionPlan, PlannedRun};
 use super::sink::{reservoir_mask, RunSink};
 use crate::outcome::{Outcome, OutcomeTally};
@@ -41,13 +44,53 @@ pub struct EngineResult<R> {
     /// Retained run records, in run-index order; bounded by
     /// [`EngineConfig::keep_runs`].
     pub kept: Vec<R>,
-    /// Per-shard tallies over *all* runs (kept or not).
+    /// Per-shard tallies over *all* completed runs (kept or not).
     pub shard_tallies: Vec<OutcomeTally>,
     /// Global tally: the shard tallies merged.
     pub tally: OutcomeTally,
-    /// Total runs executed.
+    /// Total runs in the plan.
     pub scheduled: usize,
+    /// Runs actually executed by this invocation (excludes resumed
+    /// and cancellation-skipped runs) — the resume-law tests assert
+    /// journaled runs are *not* re-executed through this counter.
+    pub executed: usize,
+    /// Runs replayed from a journal at cost 0.
+    pub resumed: usize,
+    /// Did the plan drain fully, or did cancellation stop it early?
+    pub status: CompletionStatus,
 }
+
+/// Durability hooks for [`execute_durable`]: journaled results to
+/// replay, a cooperative cancel token, and a persistence callback.
+///
+/// The engine stays serialization-agnostic — the frontend decodes its
+/// journal into `resumed` and encodes each completed run inside
+/// `persist` (typically appending to a `Mutex<RunJournal>`; the
+/// parallel fan-out calls it from worker threads).
+pub struct Durability<'a, R> {
+    /// Journal-recovered results keyed by plan index. These indices
+    /// are *not* re-executed: their results feed the sink directly,
+    /// which is sound because a run's result depends only on its
+    /// plan-time spec (engine laws 2 and 3).
+    pub resumed: HashMap<usize, (Outcome, bool, R)>,
+    /// Cooperative cancellation, checked before each run starts.
+    pub cancel: Option<&'a CancelToken>,
+    /// Called once per *executed* run, from the worker that ran it,
+    /// before the run counts as complete.
+    #[allow(clippy::type_complexity)]
+    pub persist: Option<&'a (dyn Fn(usize, Outcome, bool, &R) + Sync)>,
+}
+
+impl<R> Default for Durability<'_, R> {
+    fn default() -> Self {
+        Durability { resumed: HashMap::new(), cancel: None, persist: None }
+    }
+}
+
+/// What one executed run contributes to the sink — `(index, shard,
+/// outcome, fired, kept payload)` — or `None` when cancellation
+/// tripped before the run started.
+type RunSummary<R> = Option<(usize, usize, Outcome, bool, Option<R>)>;
 
 /// Execute every planned run — in schedule order serially, fanned out
 /// over the schedule in parallel — and stream the results through the
@@ -60,29 +103,83 @@ where
     R: Send,
     F: Fn(&PlannedRun<S>) -> RunRecord<R> + Sync,
 {
+    execute_durable(plan, cfg, Durability::default(), run_fn)
+}
+
+/// [`execute`] with durability: resume journaled indices at cost 0,
+/// persist each completed run, and stop early (between runs) on
+/// cancellation — the engine's half of the resume law (engine law 6).
+pub fn execute_durable<S, R, F>(
+    plan: &ExecutionPlan<S>,
+    cfg: &EngineConfig,
+    durability: Durability<'_, R>,
+    run_fn: F,
+) -> EngineResult<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(&PlannedRun<S>) -> RunRecord<R> + Sync,
+{
+    let Durability { mut resumed, cancel, persist } = durability;
+    // A journal can only hold indices of the plan it fingerprints,
+    // but a decoded index is still external input: drop any that
+    // cannot address a slot rather than panicking on it.
+    resumed.retain(|&index, _| index < plan.len());
     let keep = reservoir_mask(cfg.keep_seed, plan.len(), cfg.keep_runs);
-    let exec_one = |pos: &usize| -> (usize, usize, Outcome, bool, Option<R>) {
+    let keep_index = |index: usize| keep.as_ref().is_none_or(|m| m[index]);
+
+    // Pending = schedule order minus the journal-recovered indices.
+    let pending: Vec<usize> = plan
+        .schedule()
+        .iter()
+        .copied()
+        .filter(|&pos| !resumed.contains_key(&plan.runs()[pos].index))
+        .collect();
+
+    // `None` = skipped because cancellation tripped before the run
+    // started; the run is simply absent from the sink.
+    let exec_one = |pos: &usize| -> Option<(usize, usize, Outcome, bool, Option<R>)> {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         let pr = &plan.runs()[*pos];
         let rec = run_fn(pr);
+        if let Some(persist) = persist {
+            persist(pr.index, rec.outcome, rec.fired, &rec.payload);
+        }
+        if let Some(cancel) = cancel {
+            cancel.note_run_complete();
+        }
         // The keep decision happens here, in the worker: a dropped
         // record frees its buffers before the next run starts.
-        let payload =
-            if keep.as_ref().is_none_or(|m| m[pr.index]) { Some(rec.payload) } else { None };
-        (pr.index, pr.shard, rec.outcome, rec.fired, payload)
+        let payload = if keep_index(pr.index) { Some(rec.payload) } else { None };
+        Some((pr.index, pr.shard, rec.outcome, rec.fired, payload))
     };
-    let summaries: Vec<(usize, usize, Outcome, bool, Option<R>)> = if cfg.parallel {
-        plan.schedule().par_iter().map(exec_one).collect()
+    let summaries: Vec<RunSummary<R>> = if cfg.parallel {
+        pending.par_iter().map(exec_one).collect()
     } else {
-        plan.schedule().iter().map(exec_one).collect()
+        pending.iter().map(exec_one).collect()
     };
 
     let mut sink = RunSink::new(plan.shards());
-    let scheduled = summaries.len();
-    for (index, shard, outcome, fired, payload) in summaries {
+    let scheduled = plan.len();
+    let resumed_count = resumed.len();
+    for (index, (outcome, fired, payload)) in resumed {
+        let shard = plan.runs()[index].shard;
+        sink.absorb(index, shard, outcome, fired, keep_index(index).then_some(payload));
+    }
+    let mut executed = 0usize;
+    for (index, shard, outcome, fired, payload) in summaries.into_iter().flatten() {
+        executed += 1;
         sink.absorb(index, shard, outcome, fired, payload);
     }
+    let status = if executed + resumed_count == scheduled {
+        CompletionStatus::Complete
+    } else {
+        CompletionStatus::Interrupted
+    };
     let (kept, shard_tallies, tally) = sink.finish();
-    EngineResult { kept, shard_tallies, tally, scheduled }
+    EngineResult { kept, shard_tallies, tally, scheduled, executed, resumed: resumed_count, status }
 }
 
 #[cfg(test)]
@@ -162,6 +259,92 @@ mod tests {
             run_one,
         );
         assert_eq!(some.kept, again.kept);
+    }
+
+    #[test]
+    fn resumed_indices_are_not_reexecuted_and_results_match() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let p = plan(23);
+        let cfg = EngineConfig { parallel: false, keep_runs: None, keep_seed: 9 };
+        let full = execute(&p, &cfg, run_one);
+        assert_eq!(full.status, CompletionStatus::Complete);
+        assert_eq!(full.executed, 23);
+        assert_eq!(full.resumed, 0);
+
+        // Pretend runs 0..11 were journaled by a previous process.
+        let resumed: HashMap<usize, (Outcome, bool, (usize, u64))> = p.runs()[..11]
+            .iter()
+            .map(|pr| {
+                let rec = run_one(pr);
+                (pr.index, (rec.outcome, rec.fired, rec.payload))
+            })
+            .collect();
+        let calls = AtomicUsize::new(0);
+        let out =
+            execute_durable(&p, &cfg, Durability { resumed, cancel: None, persist: None }, |pr| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert!(pr.index >= 11, "journaled index {} re-executed", pr.index);
+                run_one(pr)
+            });
+        assert_eq!(calls.load(Ordering::SeqCst), 12);
+        assert_eq!(out.executed, 12);
+        assert_eq!(out.resumed, 11);
+        assert_eq!(out.status, CompletionStatus::Complete);
+        assert_eq!(out.kept, full.kept, "resume law: byte-identical kept records");
+        assert_eq!(out.tally, full.tally);
+        assert_eq!(out.shard_tallies, full.shard_tallies);
+    }
+
+    #[test]
+    fn cancellation_stops_between_runs_with_partial_tallies() {
+        let p = plan(20);
+        let cancel = super::super::control::CancelToken::after_runs(7);
+        let out = execute_durable(
+            &p,
+            &EngineConfig { parallel: false, keep_runs: None, keep_seed: 1 },
+            Durability { resumed: HashMap::new(), cancel: Some(&cancel), persist: None },
+            run_one,
+        );
+        assert_eq!(out.status, CompletionStatus::Interrupted);
+        assert_eq!(out.executed, 7);
+        assert_eq!(out.tally.total(), 7, "tallies cover only completed runs");
+        assert_eq!(out.scheduled, 20);
+    }
+
+    #[test]
+    fn persist_sees_every_executed_run_exactly_once() {
+        use std::sync::Mutex;
+        let p = plan(15);
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let persist = |index: usize, _o: Outcome, _f: bool, _r: &(usize, u64)| {
+            seen.lock().unwrap().push(index);
+        };
+        let out = execute_durable(
+            &p,
+            &EngineConfig { parallel: true, keep_runs: Some(3), keep_seed: 5 },
+            Durability { resumed: HashMap::new(), cancel: None, persist: Some(&persist) },
+            run_one,
+        );
+        assert_eq!(out.executed, 15);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_range_resumed_indices_are_ignored() {
+        let p = plan(5);
+        let mut resumed = HashMap::new();
+        resumed.insert(99usize, (Outcome::Benign, true, (99usize, 0u64)));
+        let out = execute_durable(
+            &p,
+            &EngineConfig { parallel: false, keep_runs: None, keep_seed: 0 },
+            Durability { resumed, cancel: None, persist: None },
+            run_one,
+        );
+        assert_eq!(out.resumed, 0);
+        assert_eq!(out.executed, 5);
+        assert_eq!(out.status, CompletionStatus::Complete);
     }
 
     #[test]

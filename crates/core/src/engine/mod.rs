@@ -57,11 +57,45 @@
 //!    byte-identical run results for the same `(signature, instance,
 //!    seed)` (pinned by `tests/replay_equivalence.rs`), so the
 //!    scheduler may mix the two strategies freely within one campaign.
+//! 6. **Resume law** — *interrupted + resumed == uninterrupted, byte
+//!    for byte.* A campaign killed at any point and resumed from its
+//!    [`RunJournal`] produces tallies, kept records, injection
+//!    records, and run digests identical to an uninterrupted run.
+//!    This follows from laws 2 and 3: a run's result is a pure
+//!    function of its plan-time spec, so journaled results can feed
+//!    the sink directly and only the pending set re-executes
+//!    ([`execute_durable`] asserts journaled indices are never run
+//!    again). Pinned by `tests/resume_durability.rs` (which SIGKILLs
+//!    a child mid-campaign) and the kill-point proptest in
+//!    `tests/properties.rs`.
+//!
+//! ## Liveness: fuel budgets and cancellation
+//!
+//! Two mechanisms keep a campaign from wedging or losing work:
+//!
+//! * **I/O-op fuel** (`ffis_vfs::FfisFs::set_fuel`) — each injection
+//!   run's mount gets a budget of primitive crossings; a run wedged in
+//!   an I/O loop by corrupted data exhausts it and unwinds into the
+//!   normal crash classification as a
+//!   [`crate::RunAborted::FuelExhausted`] outcome. Fuel counts
+//!   crossings, not seconds, so exhaustion is deterministic and the
+//!   resume law still holds for aborted runs. An optional wall-clock
+//!   deadline backstops the parallel path (non-deterministic, off by
+//!   default; a run that loops without ever touching the mount is
+//!   beyond both detectors).
+//! * **Cooperative cancellation** ([`CancelToken`]) — checked between
+//!   runs, never mid-run: an interrupted campaign flushes every
+//!   completed record to its journal and reports partial tallies with
+//!   [`CompletionStatus::Interrupted`].
 
+mod control;
 mod executor;
+pub mod journal;
 mod planner;
 mod sink;
 
-pub use executor::{execute, EngineConfig, EngineResult, RunRecord};
+pub use control::{CancelToken, CompletionStatus};
+pub use executor::{execute, execute_durable, Durability, EngineConfig, EngineResult, RunRecord};
+pub use journal::{JournalEntry, JournalError, JournalMeta, RunJournal};
 pub use planner::{ExecutionPlan, PlannedRun, RunStrategy};
 pub use sink::{reservoir_mask, RunSink};

@@ -125,10 +125,13 @@ pub mod stats;
 
 pub use campaign::{
     replay_default, Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode,
-    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunResult,
+    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted, RunResult,
     ShardReport,
 };
-pub use engine::{ExecutionPlan, PlannedRun, RunStrategy};
+pub use engine::{
+    CancelToken, CompletionStatus, ExecutionPlan, JournalEntry, JournalError, JournalMeta,
+    PlannedRun, RunJournal, RunStrategy,
+};
 pub use fault::{
     FaultModel, FaultSignature, InjectionSite, Mutation, ReadMutation, ShornFill, ShornKeep,
     TargetFilter,
@@ -149,8 +152,9 @@ pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Propor
 pub mod prelude {
     pub use crate::campaign::{
         Campaign, CampaignConfig, CampaignResult, ExecutionMode, MixedCampaign,
-        MixedCampaignConfig, MixedCampaignResult, ReplayFallback,
+        MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted,
     };
+    pub use crate::engine::{CancelToken, CompletionStatus};
     pub use crate::fault::{
         FaultModel, FaultSignature, InjectionSite, ShornFill, ShornKeep, TargetFilter,
     };

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use crate::error::{FsError, FsResult};
 use crate::fs::{DirEntry, Fd, FileSystem, LockKind, Metadata, NodeKind, OpenFlags, StatFs};
@@ -55,6 +56,37 @@ impl CounterSnapshot {
     }
 }
 
+/// Panic payload thrown by [`FfisFs`] when an armed I/O-op fuel
+/// budget runs out ([`FfisFs::set_fuel`]).
+///
+/// Fuel exhaustion is the mount's deterministic hang detector: a run
+/// wedged in an I/O loop (an infinite retry induced by corrupted
+/// data) keeps crossing the mount, burns its budget, and unwinds here
+/// — landing in the campaign's existing `catch_unwind` crash
+/// classification instead of hanging the executor. Because the budget
+/// counts primitive crossings, not wall-clock time, the same run
+/// exhausts at the same crossing on every machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuelExhausted {
+    /// The budget that was armed ([`FfisFs::set_fuel`]).
+    pub budget: u64,
+}
+
+/// Panic payload thrown by [`FfisFs`] when the optional wall-clock
+/// backstop elapses ([`FfisFs::set_deadline`]).
+///
+/// Unlike [`FuelExhausted`] this is *not* deterministic — it exists as
+/// a second line of defense for the parallel path, where a run hung
+/// *between* mount crossings (a pure CPU spin) would never burn fuel.
+/// It only fires when the hung run eventually crosses the mount again;
+/// a loop that performs no I/O at all is out of reach of both
+/// detectors by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The armed limit, in milliseconds.
+    pub limit_ms: u64,
+}
+
 /// The FFISFS mount: an interceptable pass-through [`FileSystem`].
 pub struct FfisFs {
     inner: Arc<dyn FileSystem>,
@@ -71,6 +103,14 @@ pub struct FfisFs {
     /// then be scoped to specific files, as FFIS scopes injections to
     /// files residing in the FFISFS mount point.
     fd_paths: RwLock<HashMap<Fd, String>>,
+    /// Remaining I/O-op fuel; `u64::MAX` means no budget armed.
+    fuel: AtomicU64,
+    /// The armed budget (for the panic payload); `u64::MAX` = unarmed.
+    fuel_budget: AtomicU64,
+    /// Wall-clock backstop: `(deadline, limit_ms)` when armed.
+    deadline: RwLock<Option<(Instant, u64)>>,
+    /// Cached "deadline armed" flag so the hot path skips the lock.
+    deadline_armed: AtomicBool,
 }
 
 impl FfisFs {
@@ -85,7 +125,67 @@ impl FfisFs {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             ops_wanted: AtomicBool::new(false),
             fd_paths: RwLock::new(HashMap::new()),
+            fuel: AtomicU64::new(u64::MAX),
+            fuel_budget: AtomicU64::new(u64::MAX),
+            deadline: RwLock::new(None),
+            deadline_armed: AtomicBool::new(false),
         })
+    }
+
+    /// Arm an I/O-op fuel budget: the mount allows `budget` further
+    /// primitive crossings, then unwinds with a [`FuelExhausted`]
+    /// panic payload on the crossing after the budget is spent. The
+    /// paper's fault models can corrupt data into shapes that send an
+    /// analysis phase into an unbounded I/O loop; fuel turns that hang
+    /// into a deterministic, classifiable abort (see
+    /// `ffis_core::RunAborted`). A budget of `u64::MAX` disarms.
+    pub fn set_fuel(&self, budget: u64) {
+        self.fuel.store(budget, Ordering::SeqCst);
+        self.fuel_budget.store(budget, Ordering::SeqCst);
+    }
+
+    /// Remaining fuel, or `None` when no budget is armed.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        let b = self.fuel_budget.load(Ordering::SeqCst);
+        (b != u64::MAX).then(|| self.fuel.load(Ordering::SeqCst))
+    }
+
+    /// Arm the wall-clock backstop: any primitive crossing after
+    /// `limit` has elapsed (measured from now) unwinds with a
+    /// [`DeadlineExceeded`] panic payload. Non-deterministic by
+    /// nature — prefer [`FfisFs::set_fuel`]; this exists so a parallel
+    /// campaign has a second, time-based bound.
+    pub fn set_deadline(&self, limit: Duration) {
+        let limit_ms = limit.as_millis().min(u64::MAX as u128) as u64;
+        *self.deadline.write().unwrap_or_else(|e| e.into_inner()) =
+            Some((Instant::now() + limit, limit_ms));
+        self.deadline_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Burn one unit of fuel and check the deadline; unwinds with
+    /// [`FuelExhausted`] / [`DeadlineExceeded`] when a bound is hit.
+    /// Runs on every primitive crossing, before the interceptors —
+    /// a wedged run cannot fire further faults once out of fuel.
+    fn check_liveness(&self) {
+        if self.fuel_budget.load(Ordering::Relaxed) != u64::MAX {
+            let spent = self
+                .fuel
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_err();
+            if spent {
+                std::panic::panic_any(FuelExhausted {
+                    budget: self.fuel_budget.load(Ordering::SeqCst),
+                });
+            }
+        }
+        if self.deadline_armed.load(Ordering::Relaxed) {
+            let armed = *self.deadline.read().unwrap_or_else(|e| e.into_inner());
+            if let Some((deadline, limit_ms)) = armed {
+                if Instant::now() >= deadline {
+                    std::panic::panic_any(DeadlineExceeded { limit_ms });
+                }
+            }
+        }
     }
 
     /// Unmount: all subsequent primitives fail with `ENODEV`. Ends an
@@ -211,6 +311,7 @@ impl FfisFs {
         len: usize,
     ) -> FsResult<CallContext> {
         self.check_mounted()?;
+        self.check_liveness();
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let prim_seq = self.counters[primitive.index()].fetch_add(1, Ordering::SeqCst) + 1;
         let path = path.map(str::to_string).or_else(|| fd.and_then(|fd| self.path_of_fd(fd)));
@@ -724,6 +825,63 @@ mod tests {
         assert_eq!(writes[0].path.as_deref(), Some("/deep.h5"));
         // After release the mapping is gone.
         assert_eq!(fs.path_of_fd(fd), None);
+    }
+
+    #[test]
+    fn fuel_budget_unwinds_after_exhaustion() {
+        let fs = mounted();
+        fs.set_fuel(3);
+        assert_eq!(fs.fuel_remaining(), Some(3));
+        // create + 2 pwrites = 3 crossings: exactly the budget.
+        let fd = fs.create("/f", 0o644).unwrap();
+        fs.pwrite(fd, b"a", 0).unwrap();
+        fs.pwrite(fd, b"b", 1).unwrap();
+        assert_eq!(fs.fuel_remaining(), Some(0));
+        // The 4th crossing unwinds with the typed payload.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fs.pwrite(fd, b"c", 2);
+        }))
+        .unwrap_err();
+        let payload = err.downcast_ref::<FuelExhausted>().expect("typed payload");
+        assert_eq!(payload.budget, 3);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_deterministic_across_runs() {
+        let survived = |budget: u64| {
+            let fs = mounted();
+            fs.set_fuel(budget);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fs.write_file_chunked("/f", &[0u8; 16], 4).unwrap();
+            }))
+            .is_ok()
+        };
+        // Same workload, same budget → same verdict, every time.
+        for _ in 0..3 {
+            assert!(!survived(2));
+            assert!(survived(64));
+        }
+    }
+
+    #[test]
+    fn unarmed_mount_never_burns_fuel() {
+        let fs = mounted();
+        assert_eq!(fs.fuel_remaining(), None);
+        fs.write_file("/a", b"x").unwrap();
+        assert_eq!(fs.fuel_remaining(), None);
+    }
+
+    #[test]
+    fn deadline_backstop_unwinds_on_late_crossing() {
+        let fs = mounted();
+        fs.set_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fs.getattr("/");
+        }))
+        .unwrap_err();
+        let payload = err.downcast_ref::<DeadlineExceeded>().expect("typed payload");
+        assert_eq!(payload.limit_ms, 0);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod trace;
 pub use bufio::BufFile;
 pub use counting::{TraceInterceptor, TraceRecord};
 pub use error::{FsError, FsResult};
-pub use ffisfs::{CounterSnapshot, FfisFs};
+pub use ffisfs::{CounterSnapshot, DeadlineExceeded, FfisFs, FuelExhausted};
 pub use file::{SectorFile, BLOCK_SIZE, SECTOR_SIZE};
 pub use fs::{
     DirEntry, Fd, FileSystem, FileSystemExt, LockKind, Metadata, NodeKind, OpenFlags, StatFs,

@@ -718,6 +718,81 @@ proptest! {
         check!(engine_apps::montage());
     }
 
+    /// Engine law 6 (the resume law) at a random kill point: journal a
+    /// full mixed campaign, truncate the journal to its state after
+    /// the k-th record — plus an optional torn partial frame — exactly
+    /// what a process killed mid-append leaves behind, and resume.
+    /// Tallies, per-run records, and the FNV run digest must be
+    /// byte-identical to the uninterrupted result, on all three paper
+    /// apps, serial and parallel.
+    #[test]
+    fn resume_from_any_kill_point_matches_the_uninterrupted_run(
+        seed in any::<u64>(),
+        kill_sel in any::<proptest::sample::Index>(),
+        tear in 0u64..6,
+        parallel in any::<bool>(),
+    ) {
+        use ffis_core::engine::journal;
+        use ffis_core::{CompletionStatus, FaultSignature, MixedCampaign, MixedCampaignConfig};
+
+        macro_rules! check {
+            ($name:expr, $app:expr) => {{
+                let app = $app;
+                let dir = std::env::temp_dir().join(format!(
+                    "ffis-resume-prop-{}-{}-{}-{}",
+                    std::process::id(), $name, seed, parallel
+                ));
+                std::fs::create_dir_all(&dir).unwrap();
+                let jpath = dir.join("mixed.journal");
+                let mk = |journaled: bool, resume: bool| {
+                    let mut cfg = MixedCampaignConfig::new(vec![
+                        FaultSignature::on_write(FaultModel::bit_flip()),
+                        FaultSignature::on_read(FaultModel::bit_flip()),
+                    ])
+                    .with_runs(4)
+                    .with_seed(seed)
+                    .with_replay(true);
+                    cfg.parallel = parallel;
+                    if journaled {
+                        cfg = cfg.with_journal(&jpath).with_resume(resume);
+                    }
+                    MixedCampaign::new(&app, cfg).run().unwrap()
+                };
+                let control = mk(false, false);
+                let full = mk(true, false);
+                prop_assert_eq!(full.run_digest(), control.run_digest());
+
+                // Emulate death after k complete records (k ≥ 1; the
+                // journal scan exposes each record's end offset for
+                // exactly this), leaving a torn partial frame behind
+                // when the kill point sits mid-append.
+                let (_meta, ends) = journal::scan(&jpath).unwrap();
+                prop_assert_eq!(ends.len(), control.runs.len());
+                let k = 1 + kill_sel.index(ends.len());
+                let cut =
+                    if k < ends.len() { ends[k - 1] + tear.min(7) } else { ends[k - 1] };
+                let file = std::fs::OpenOptions::new().write(true).open(&jpath).unwrap();
+                file.set_len(cut).unwrap();
+                drop(file);
+
+                let resumed = mk(true, true);
+                prop_assert_eq!(resumed.status, CompletionStatus::Complete);
+                prop_assert_eq!(resumed.resumed, k, "the torn tail must not count");
+                prop_assert_eq!(resumed.executed, control.runs.len() - k);
+                prop_assert_eq!(&resumed.tally, &control.tally);
+                prop_assert_eq!(resumed.run_digest(), control.run_digest());
+                for (x, y) in resumed.runs.iter().zip(&control.runs) {
+                    prop_assert_eq!(x, y, "resume law: records byte-identical");
+                }
+                std::fs::remove_dir_all(&dir).ok();
+            }};
+        }
+
+        check!("nyx", engine_apps::nyx());
+        check!("qmc", engine_apps::qmc());
+        check!("montage", engine_apps::montage());
+    }
+
     /// Engine law 4: bounding the record reservoir never changes a
     /// campaign's tally, and the kept records are a seed-stable
     /// subsequence of the keep-all campaign's records — identical

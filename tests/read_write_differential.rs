@@ -316,6 +316,10 @@ fn mixed_campaign_pinned_through_engine() {
         runs: result.runs.clone(),
         profile: result.profile.clone(),
         mode: ExecutionMode::Replay,
+        plan_fingerprint: result.plan_fingerprint,
+        status: result.status,
+        executed: result.executed,
+        resumed: result.resumed,
     };
     let got_digest = digest(&mixed);
     assert_eq!(

@@ -1,0 +1,270 @@
+//! Durability integration suite — the resume law under real process
+//! death, journal corruption, and configuration drift.
+//!
+//! Engine law 6 (the resume law): a campaign interrupted at *any*
+//! point and resumed from its journal produces tallies, per-run
+//! records, and an FNV run digest byte-identical to an uninterrupted
+//! campaign's. The lib tests pin the law under cooperative
+//! cancellation; this suite pins it under SIGKILL — a child process
+//! killed mid-campaign with no chance to flush anything beyond the
+//! per-append journal writes — plus torn-tail corruption and
+//! plan-fingerprint drift.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffis_core::engine::journal;
+use ffis_core::{
+    Campaign, CampaignConfig, CampaignError, CampaignResult, CancelToken, CompletionStatus,
+    FaultApp, FaultModel, FaultSignature, JournalError, Outcome,
+};
+use ffis_vfs::{FileSystem, FileSystemExt};
+
+/// A deliberately paced two-phase workload: `analyze` sleeps a few
+/// milliseconds per run so the parent has a wide window to SIGKILL a
+/// child mid-campaign. Pacing never enters the data path, so paced and
+/// unpaced campaigns over the same seed are byte-identical.
+struct PacedApp {
+    pace: Duration,
+}
+
+const PACED_LEN: usize = 4096 * 6;
+
+#[derive(Clone)]
+struct PacedOutput {
+    bytes: Vec<u8>,
+    checksum: u64,
+}
+
+impl FaultApp for PacedApp {
+    type Output = PacedOutput;
+
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+        let data: Vec<u8> = (0..PACED_LEN).map(|i| (i as u64 * 29 % 251) as u8).collect();
+        fs.write_file_chunked("/out.bin", &data, 4096).map_err(|e| e.to_string())?;
+        fs.write_file("/meta.log", b"paced\n").map_err(|e| e.to_string())
+    }
+
+    fn analyze(
+        &self,
+        fs: &dyn FileSystem,
+        _golden: Option<&PacedOutput>,
+    ) -> Result<PacedOutput, String> {
+        if !self.pace.is_zero() {
+            std::thread::sleep(self.pace);
+        }
+        let bytes = fs.read_to_vec("/out.bin").map_err(|e| e.to_string())?;
+        if bytes.len() != PACED_LEN {
+            return Err(format!("short read: {}", bytes.len()));
+        }
+        let checksum = bytes.iter().map(|&b| u64::from(b)).sum();
+        Ok(PacedOutput { bytes, checksum })
+    }
+
+    fn classify(&self, golden: &PacedOutput, faulty: &PacedOutput) -> Outcome {
+        if golden.bytes == faulty.bytes {
+            Outcome::Benign
+        } else if faulty.checksum.abs_diff(golden.checksum) > 500 {
+            Outcome::Detected
+        } else {
+            Outcome::Sdc
+        }
+    }
+
+    fn name(&self) -> String {
+        "PACED".into()
+    }
+}
+
+const RUNS: usize = 48;
+const SEED: u64 = 0xD00D_F005;
+
+fn campaign(
+    pace: Duration,
+    journal: Option<&Path>,
+    resume: bool,
+    cancel: Option<Arc<CancelToken>>,
+) -> Result<CampaignResult, CampaignError> {
+    let mut cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(RUNS)
+        .with_seed(SEED);
+    if let Some(j) = journal {
+        cfg = cfg.with_journal(j).with_resume(resume);
+    }
+    if let Some(c) = cancel {
+        cfg = cfg.with_cancel(c);
+    }
+    Campaign::new(&PacedApp { pace }, cfg).run()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ffis-resume-durability-{}-{}",
+        std::process::id(),
+        name
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Re-exec marker: when set, this test binary is the *victim* — it
+/// runs the journaled campaign until the parent SIGKILLs it.
+const CHILD_ENV: &str = "FFIS_RESUME_DURABILITY_CHILD";
+
+#[test]
+fn sigkill_mid_campaign_then_resume_matches_uninterrupted() {
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        // Child mode: run the paced, journaled campaign. The parent
+        // kills us partway through; exiting cleanly is also fine (the
+        // resume below then simply replays a complete journal).
+        let _ = campaign(Duration::from_millis(4), Some(Path::new(&path)), false, None);
+        std::process::exit(0);
+    }
+
+    let dir = tmp_dir("sigkill");
+    let jpath = dir.join("campaign.journal");
+    let control = campaign(Duration::ZERO, None, false, None).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(&exe)
+        .args([
+            "--exact",
+            "sigkill_mid_campaign_then_resume_matches_uninterrupted",
+            "--test-threads",
+            "1",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, &jpath)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait until the journal shows real progress, then SIGKILL — no
+    // destructors, no final flush, exactly the failure the journal
+    // exists for.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut seen = 0usize;
+    loop {
+        if let Ok((_, ends)) = journal::scan(&jpath) {
+            seen = ends.len();
+            if seen >= 8 {
+                break;
+            }
+        }
+        if matches!(child.try_wait(), Ok(Some(_))) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(seen >= 1, "child never journaled a record");
+
+    let resumed = campaign(Duration::ZERO, Some(&jpath), true, None).unwrap();
+    assert_eq!(resumed.status, CompletionStatus::Complete);
+    assert!(resumed.resumed >= 1, "nothing was replayed from the journal");
+    assert_eq!(resumed.executed + resumed.resumed, RUNS, "every run accounted for exactly once");
+    assert_eq!(resumed.tally, control.tally);
+    assert_eq!(resumed.runs.len(), control.runs.len());
+    assert_eq!(resumed.runs, control.runs, "resume law: per-run records byte-identical");
+    assert_eq!(resumed.run_digest(), control.run_digest());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_journal_tail_is_discarded_and_the_affected_run_reexecutes() {
+    let dir = tmp_dir("torn");
+    let jpath = dir.join("campaign.journal");
+    let control = campaign(Duration::ZERO, None, false, None).unwrap();
+    let full = campaign(Duration::ZERO, Some(&jpath), false, None).unwrap();
+    assert_eq!(full.status, CompletionStatus::Complete);
+    assert_eq!(full.run_digest(), control.run_digest());
+
+    // Tear the final record mid-frame, as a crash mid-append would.
+    let len = std::fs::metadata(&jpath).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&jpath).unwrap();
+    file.set_len(len - 7).unwrap();
+    drop(file);
+
+    let resumed = campaign(Duration::ZERO, Some(&jpath), true, None).unwrap();
+    assert_eq!(resumed.status, CompletionStatus::Complete);
+    assert_eq!(resumed.executed, 1, "exactly the torn record's run re-executes");
+    assert_eq!(resumed.resumed, RUNS - 1);
+    assert_eq!(resumed.tally, control.tally);
+    assert_eq!(resumed.run_digest(), control.run_digest());
+
+    // A CRC-corrupt tail frame (bit rot rather than a tear) is
+    // likewise discarded, never decoded.
+    let mut bytes = std::fs::read(&jpath).unwrap();
+    let n = bytes.len();
+    bytes[n - 3] ^= 0xFF;
+    std::fs::write(&jpath, &bytes).unwrap();
+    let resumed = campaign(Duration::ZERO, Some(&jpath), true, None).unwrap();
+    assert_eq!(resumed.status, CompletionStatus::Complete);
+    assert_eq!(resumed.executed, 1);
+    assert_eq!(resumed.tally, control.tally);
+    assert_eq!(resumed.run_digest(), control.run_digest());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_a_different_plan_is_rejected_not_merged() {
+    let dir = tmp_dir("mismatch");
+    let jpath = dir.join("campaign.journal");
+    campaign(Duration::ZERO, Some(&jpath), false, None).unwrap();
+
+    // Same journal, drifted campaign (different seed): refused with a
+    // typed error, not silently blended into wrong results.
+    let cfg = CampaignConfig::new(FaultSignature::on_write(FaultModel::bit_flip()))
+        .with_runs(RUNS)
+        .with_seed(SEED + 1)
+        .with_journal(&jpath)
+        .with_resume(true);
+    let err = Campaign::new(&PacedApp { pace: Duration::ZERO }, cfg).run().unwrap_err();
+    match err {
+        CampaignError::Journal(JournalError::PlanMismatch { .. }) => {}
+        other => panic!("expected PlanMismatch, got: {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_completed_journal_resumes_without_reexecuting_anything() {
+    let dir = tmp_dir("noop");
+    let jpath = dir.join("campaign.journal");
+    let full = campaign(Duration::ZERO, Some(&jpath), false, None).unwrap();
+    assert_eq!(full.executed, RUNS);
+    assert_eq!(full.resumed, 0);
+
+    let again = campaign(Duration::ZERO, Some(&jpath), true, None).unwrap();
+    assert_eq!(again.status, CompletionStatus::Complete);
+    assert_eq!(again.executed, 0, "journaled runs must not re-execute");
+    assert_eq!(again.resumed, RUNS);
+    assert_eq!(again.tally, full.tally);
+    assert_eq!(again.run_digest(), full.run_digest());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cooperative_cancellation_reports_partial_tallies_then_resumes() {
+    let dir = tmp_dir("cancel");
+    let jpath = dir.join("campaign.journal");
+    let control = campaign(Duration::ZERO, None, false, None).unwrap();
+
+    let first =
+        campaign(Duration::ZERO, Some(&jpath), false, Some(CancelToken::after_runs(10))).unwrap();
+    assert_eq!(first.status, CompletionStatus::Interrupted);
+    assert_eq!(first.executed, 10);
+    assert_eq!(first.tally.total(), 10, "partial tallies cover exactly the completed runs");
+
+    let resumed = campaign(Duration::ZERO, Some(&jpath), true, None).unwrap();
+    assert_eq!(resumed.status, CompletionStatus::Complete);
+    assert_eq!(resumed.resumed, 10);
+    assert_eq!(resumed.executed, RUNS - 10);
+    assert_eq!(resumed.tally, control.tally);
+    assert_eq!(resumed.run_digest(), control.run_digest());
+    std::fs::remove_dir_all(&dir).ok();
+}
