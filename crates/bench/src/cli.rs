@@ -6,12 +6,10 @@ use std::sync::Arc;
 
 use ffis_core::CancelToken;
 
-/// Smallest Nyx grid the paper workloads run on: the fig8 golden run
-/// needs at least a 16³ field to host its halo statistics, and no
-/// harness preset goes lower (CI smoke uses 64, quick caps at 48).
-/// Anything smaller is a configuration error, reported as such instead
-/// of a mid-experiment panic.
-pub const MIN_GRID: usize = 16;
+/// Smallest Nyx grid the paper workloads run on — re-exported from the
+/// core job layer so the CLI flag validation and the daemon's HTTP 400
+/// validation share one floor (see `ffis_core::engine::job`).
+pub use ffis_core::MIN_GRID;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use ffis_core::prelude::*;
 use ffis_vfs::CheckpointStore;
 use montage_sim::{MontageApp, Stage};
-use nyx_sim::{NyxApp, NyxConfig};
+use nyx_sim::NyxApp;
 use qmc_sim::QmcApp;
 
 use crate::cli::Options;
@@ -37,12 +37,11 @@ pub fn read_models() -> [(&'static str, FaultModel); 3] {
 /// it the metadata-write hit probability, i.e. the crash share) stays
 /// at the paper-scale proportion for smaller `--grid` values.
 pub fn nyx_app(opts: &Options) -> NyxApp {
-    let mut cfg = NyxConfig::paper_scale();
-    cfg.field.n = opts.grid;
-    let scale = (opts.grid as f64 / 96.0).powi(3);
-    let chunk = (64.0 * 1024.0 * scale / 4096.0).round().max(1.0) as usize * 4096;
-    cfg.write_chunk = chunk;
-    NyxApp::new(cfg)
+    // One grid/volume scaling rule for the whole workspace: the
+    // harness and the daemon's spec executor must agree byte-for-byte
+    // on what "Nyx at grid n" means, or an HTTP-submitted campaign
+    // would diverge from its in-process control.
+    ffis_daemon::apps::nyx_at_grid(opts.grid)
 }
 
 fn tally_row(table: &mut Table, cell: &str, model: &str, t: &OutcomeTally, mode: ExecutionMode) {

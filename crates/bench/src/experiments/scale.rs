@@ -28,12 +28,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ffis_core::prelude::*;
-use ffis_core::{CompletionStatus, RunResult};
+use ffis_core::{CampaignSpec, CompletionStatus, RunResult};
+use ffis_daemon::{execute_spec, ExecHooks};
 use ffis_vfs::CheckpointStore;
 
 use crate::bench_json;
 use crate::cli::Options;
-use crate::experiments::campaigns::{models, nyx_app, read_models};
+use crate::experiments::campaigns::{models, read_models};
 use crate::report::{Report, Table};
 
 /// Record-retention bound for scale campaigns: the seed-stable
@@ -72,8 +73,6 @@ struct CellStats {
 /// The scale experiment (see the module docs).
 pub fn scale(opts: &Options) -> Report {
     let n = if opts.grid_explicit || opts.quick { opts.grid } else { 192 };
-    let mut scale_opts = opts.clone();
-    scale_opts.grid = n;
 
     let mut report = Report::new("scale");
     report.line("Scale regime — Nyx paper preset through the streaming planner/executor engine");
@@ -83,7 +82,6 @@ pub fn scale(opts: &Options) -> Report {
     ));
     report.blank();
 
-    let app = nyx_app(&scale_opts);
     let store = Arc::new(CheckpointStore::new());
     let fast_paths = ffis_core::replay_default();
 
@@ -105,35 +103,39 @@ pub fn scale(opts: &Options) -> Report {
     let mut total_runs = 0u64;
     let mut stats: Vec<CellStats> = Vec::new();
 
-    // The full campaign matrix at scale: the three write-site models
+    // The full campaign matrix at scale, as the same [`CampaignSpec`]s
+    // a daemon submission would carry: the three write-site models
     // (replay-backed, sharing one checkpoint build) and their
     // read-site mirrors (analyze-only, no checkpoints needed — the
-    // golden state is the checkpoint).
-    let cells: Vec<(&'static str, FaultSignature, u64)> = models()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (label, model))| (label, FaultSignature::on_write(model), 900 + i as u64))
-        .chain(
-            read_models()
-                .into_iter()
-                .enumerate()
-                .map(|(i, (label, model))| (label, FaultSignature::on_read(model), 950 + i as u64)),
-        )
-        .collect();
+    // golden state is the checkpoint). The CI daemon-smoke job submits
+    // these exact specs over HTTP and diffs the digests against this
+    // in-process run.
+    let cells: [(&'static str, &'static str, &'static str, u64); 6] = [
+        ("BF", "BF", "write", 900),
+        ("SW", "SW", "write", 901),
+        ("DW", "DW", "write", 902),
+        ("r:BF", "BF", "read", 950),
+        ("r:SR", "SW", "read", 951),
+        ("r:DR", "DW", "read", 952),
+    ];
 
-    for (label, sig, salt) in cells {
+    for (label, model, site_name, salt) in cells {
         if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
             report.line(format!("{} skipped: interrupted", label));
             continue;
         }
-        let site = sig.site();
-        let mut cfg = CampaignConfig::new(sig)
-            .with_runs(opts.runs)
-            .with_seed(opts.seed.wrapping_add(salt))
-            .with_keep_runs(Some(SCALE_KEEP_RUNS));
-        if site == InjectionSite::Write {
-            cfg = cfg.with_checkpoints(store.clone());
-        }
+        let mut spec = CampaignSpec::new("nyx", model);
+        spec.site = site_name.into();
+        spec.grid = n;
+        spec.runs = opts.runs;
+        spec.seed = opts.seed.wrapping_add(salt);
+        spec.keep_runs = Some(SCALE_KEEP_RUNS);
+        spec.journal = opts.journal.is_some();
+        spec.resume = opts.resume;
+        // The DIGESTS vocabulary is the spec's own label — pinned so a
+        // daemon-submitted cell reports under the same name.
+        assert_eq!(spec.label(), label, "cell label drifted from the spec vocabulary");
+        let site = spec.injection_site().expect("static cell sites are valid");
         // Durability plumbing: one journal per cell under --journal,
         // resumed on --resume; Ctrl-C stops between runs with
         // everything completed so far already journaled.
@@ -141,14 +143,14 @@ pub fn scale(opts: &Options) -> Report {
             let _ = std::fs::create_dir_all(dir);
             dir.join(format!("scale_{}_{}.journal", label.replace(':', "-"), site.token()))
         });
-        if let Some(path) = &journal_path {
-            cfg = cfg.with_journal(path).with_resume(opts.resume);
-        }
-        if let Some(cancel) = &opts.cancel {
-            cfg = cfg.with_cancel(cancel.clone());
-        }
+        let hooks = ExecHooks {
+            journal: journal_path.clone(),
+            cancel: opts.cancel.clone(),
+            checkpoints: (site == InjectionSite::Write).then(|| store.clone()),
+            observer: None,
+        };
         let started = Instant::now();
-        let result = match Campaign::new(&app, cfg).run() {
+        let result = match execute_spec(&spec, &hooks) {
             Ok(r) => r,
             Err(e) => {
                 report.line(format!("{} failed: {}", label, e));

@@ -14,6 +14,7 @@
 
 pub mod bench_json;
 pub mod cli;
+pub mod daemon_cli;
 pub mod experiments;
 pub mod report;
 

@@ -18,6 +18,8 @@ fn usage() -> String {
     s.push_str(
         "  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  scale      \
          (n=192 paper regime unless --grid given)\n  all        (everything above except scale)\n\n\
+         daemon:\n  repro daemon serve|submit|status|watch|cancel|jobs|health\n  \
+         campaign-as-a-service: persistent job queue + REST/NDJSON API (see `repro daemon`)\n\n\
          durability:\n  --journal DIR   write per-campaign run journals under DIR\n  \
          --resume        resume from existing journals (safe with no journal present)\n  \
          Ctrl-C          graceful stop: completed runs are journaled, partial tallies reported\n",
@@ -29,21 +31,24 @@ fn usage() -> String {
 static CANCEL: OnceLock<Arc<CancelToken>> = OnceLock::new();
 
 const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
 const SIG_DFL: usize = 0;
 
 extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
 }
 
-/// First Ctrl-C requests a graceful stop (an atomic store — async
-/// -signal-safe); the handler then restores the default disposition so
-/// a second Ctrl-C kills the process outright.
+/// First Ctrl-C (or SIGTERM — the daemon's service-manager stop)
+/// requests a graceful stop (an atomic store — async-signal-safe); the
+/// handler then restores the default dispositions so a second signal
+/// kills the process outright.
 extern "C" fn on_sigint(_sig: i32) {
     if let Some(cancel) = CANCEL.get() {
         cancel.cancel();
     }
     unsafe {
         signal(SIGINT, SIG_DFL);
+        signal(SIGTERM, SIG_DFL);
     }
 }
 
@@ -51,12 +56,19 @@ fn install_sigint() -> Arc<CancelToken> {
     let cancel = CANCEL.get_or_init(CancelToken::new).clone();
     unsafe {
         signal(SIGINT, on_sigint as *const () as usize);
+        signal(SIGTERM, on_sigint as *const () as usize);
     }
     cancel
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The daemon subcommands have their own flag grammar (`--addr`,
+    // `--digest`, …) — route them before Options parsing.
+    if args.first().map(String::as_str) == Some("daemon") {
+        let cancel = install_sigint();
+        std::process::exit(ffis_bench::daemon_cli::run(&args[1..], &cancel));
+    }
     let (mut opts, positional) = match Options::parse(&args) {
         Ok(x) => x,
         Err(e) => {

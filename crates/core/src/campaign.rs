@@ -24,7 +24,7 @@ use ffis_vfs::{
 use crate::engine::journal::{wire, JournalEntry};
 use crate::engine::{
     self, CancelToken, CompletionStatus, Durability, EngineConfig, ExecutionPlan, JournalError,
-    JournalMeta, PlannedRun, RunJournal, RunRecord, RunStrategy,
+    JournalMeta, PlannedRun, RunEvent, RunJournal, RunRecord, RunStrategy,
 };
 use crate::fault::{FaultSignature, TargetFilter};
 use crate::injector::{ArmedInjector, InjectionRecord};
@@ -97,6 +97,44 @@ pub struct CampaignConfig {
     /// ([`RunAborted::DeadlineExceeded`]). Non-deterministic; off by
     /// default. Prefer [`CampaignConfig::fuel`].
     pub wall_limit: Option<Duration>,
+    /// Live run-event observer (see [`RunObserver`]): called once per
+    /// plan index — journal-resumed runs first, in index order, then
+    /// each executed run from the worker that ran it. The daemon's
+    /// NDJSON stream and live tally counters hang off this; it never
+    /// affects results.
+    pub observer: Option<RunObserver>,
+}
+
+/// A shareable live run callback: `(result, resumed)` per plan index,
+/// resumed runs flagged `true`. Runs the reservoir drops are still
+/// observed — the observer is the engine's event tap
+/// ([`crate::engine::RunEvent`]), not the retention set.
+///
+/// Callbacks run on engine worker threads (possibly concurrently when
+/// [`CampaignConfig::parallel`] is set), so they must be cheap and
+/// internally synchronized.
+#[derive(Clone)]
+pub struct RunObserver(Arc<ObserverFn>);
+
+/// The boxed callback type behind [`RunObserver`].
+type ObserverFn = dyn Fn(&RunResult, bool) + Send + Sync;
+
+impl RunObserver {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&RunResult, bool) + Send + Sync + 'static) -> Self {
+        RunObserver(Arc::new(f))
+    }
+
+    /// Invoke the callback for one run.
+    pub fn call(&self, result: &RunResult, resumed: bool) {
+        (self.0)(result, resumed)
+    }
+}
+
+impl std::fmt::Debug for RunObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RunObserver(..)")
+    }
 }
 
 /// Default value of [`CampaignConfig::replay`]: `true`, unless the
@@ -124,6 +162,7 @@ impl CampaignConfig {
             cancel: None,
             fuel: None,
             wall_limit: None,
+            observer: None,
         }
     }
 
@@ -191,6 +230,13 @@ impl CampaignConfig {
     /// [`CampaignConfig::wall_limit`]).
     pub fn with_wall_limit(mut self, limit: Duration) -> Self {
         self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Attach a live run-event observer (see
+    /// [`CampaignConfig::observer`]).
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -834,12 +880,18 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 );
             }
         });
+        let observe_fn = self
+            .config
+            .observer
+            .as_ref()
+            .map(|obs| move |ev: RunEvent<'_, RunResult>| obs.call(ev.payload, ev.resumed));
         let durability = Durability {
             resumed,
             cancel: self.config.cancel.as_deref(),
             persist: persist_fn
                 .as_ref()
                 .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
+            observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
         };
         let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let result = execute_run(
@@ -1387,6 +1439,8 @@ pub struct MixedCampaignConfig {
     /// Per-run wall-clock backstop (see
     /// [`CampaignConfig::wall_limit`]).
     pub wall_limit: Option<Duration>,
+    /// Live run-event observer (see [`CampaignConfig::observer`]).
+    pub observer: Option<RunObserver>,
 }
 
 impl MixedCampaignConfig {
@@ -1406,6 +1460,7 @@ impl MixedCampaignConfig {
             cancel: None,
             fuel: None,
             wall_limit: None,
+            observer: None,
         }
     }
 
@@ -1473,6 +1528,13 @@ impl MixedCampaignConfig {
     /// [`CampaignConfig::wall_limit`]).
     pub fn with_wall_limit(mut self, limit: Duration) -> Self {
         self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Attach a live run-event observer (see
+    /// [`CampaignConfig::observer`]).
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -1824,12 +1886,18 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 );
             }
         });
+        let observe_fn = self
+            .config
+            .observer
+            .as_ref()
+            .map(|obs| move |ev: RunEvent<'_, RunResult>| obs.call(ev.payload, ev.resumed));
         let durability = Durability {
             resumed,
             cancel: self.config.cancel.as_deref(),
             persist: persist_fn
                 .as_ref()
                 .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
+            observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
         };
         let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let shard = &shards[pr.shard];

@@ -60,8 +60,35 @@ pub struct EngineResult<R> {
     pub status: CompletionStatus,
 }
 
+/// One run's contribution as it lands, streamed to
+/// [`Durability::observe`] — the event feed the daemon's NDJSON
+/// `/jobs/:id/stream` endpoint and live tally counters hang off.
+///
+/// Observation is a tap on the sink layer, not part of it: the engine
+/// emits exactly one event per plan index (resumed indices included,
+/// so a subscriber's event-derived tally matches the final
+/// [`OutcomeTally`] even across a resume) and never lets the observer
+/// alter what the sink absorbs.
+pub struct RunEvent<'a, R> {
+    /// Plan index of the run.
+    pub index: usize,
+    /// Shard the run belongs to.
+    pub shard: usize,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Did the armed injector fire?
+    pub fired: bool,
+    /// `true` when the result was replayed from a journal at cost 0
+    /// rather than executed by this invocation.
+    pub resumed: bool,
+    /// The frontend's full run record (borrowed; dropped records are
+    /// observable even when the reservoir does not keep them).
+    pub payload: &'a R,
+}
+
 /// Durability hooks for [`execute_durable`]: journaled results to
-/// replay, a cooperative cancel token, and a persistence callback.
+/// replay, a cooperative cancel token, a persistence callback, and a
+/// run-event observer.
 ///
 /// The engine stays serialization-agnostic — the frontend decodes its
 /// journal into `resumed` and encodes each completed run inside
@@ -79,11 +106,16 @@ pub struct Durability<'a, R> {
     /// before the run counts as complete.
     #[allow(clippy::type_complexity)]
     pub persist: Option<&'a (dyn Fn(usize, Outcome, bool, &R) + Sync)>,
+    /// Called once per plan index: for resumed indices up front (in
+    /// index order, before any pending run executes), then for each
+    /// executed run from the worker that ran it, after `persist`.
+    #[allow(clippy::type_complexity)]
+    pub observe: Option<&'a (dyn Fn(RunEvent<'_, R>) + Sync)>,
 }
 
 impl<R> Default for Durability<'_, R> {
     fn default() -> Self {
-        Durability { resumed: HashMap::new(), cancel: None, persist: None }
+        Durability { resumed: HashMap::new(), cancel: None, persist: None, observe: None }
     }
 }
 
@@ -120,11 +152,31 @@ where
     R: Send,
     F: Fn(&PlannedRun<S>) -> RunRecord<R> + Sync,
 {
-    let Durability { mut resumed, cancel, persist } = durability;
+    let Durability { mut resumed, cancel, persist, observe } = durability;
     // A journal can only hold indices of the plan it fingerprints,
     // but a decoded index is still external input: drop any that
     // cannot address a slot rather than panicking on it.
     resumed.retain(|&index, _| index < plan.len());
+
+    // Resumed indices are observed first, in index order: a stream
+    // subscriber sees the journal-recovered prefix before any newly
+    // executed run, so its event-derived tally converges on the final
+    // one regardless of where the previous process died.
+    if let Some(observe) = observe {
+        let mut journaled: Vec<usize> = resumed.keys().copied().collect();
+        journaled.sort_unstable();
+        for index in journaled {
+            let (outcome, fired, payload) = &resumed[&index];
+            observe(RunEvent {
+                index,
+                shard: plan.runs()[index].shard,
+                outcome: *outcome,
+                fired: *fired,
+                resumed: true,
+                payload,
+            });
+        }
+    }
     let keep = reservoir_mask(cfg.keep_seed, plan.len(), cfg.keep_runs);
     let keep_index = |index: usize| keep.as_ref().is_none_or(|m| m[index]);
 
@@ -146,6 +198,16 @@ where
         let rec = run_fn(pr);
         if let Some(persist) = persist {
             persist(pr.index, rec.outcome, rec.fired, &rec.payload);
+        }
+        if let Some(observe) = observe {
+            observe(RunEvent {
+                index: pr.index,
+                shard: pr.shard,
+                outcome: rec.outcome,
+                fired: rec.fired,
+                resumed: false,
+                payload: &rec.payload,
+            });
         }
         if let Some(cancel) = cancel {
             cancel.note_run_complete();
@@ -280,12 +342,16 @@ mod tests {
             })
             .collect();
         let calls = AtomicUsize::new(0);
-        let out =
-            execute_durable(&p, &cfg, Durability { resumed, cancel: None, persist: None }, |pr| {
+        let out = execute_durable(
+            &p,
+            &cfg,
+            Durability { resumed, cancel: None, persist: None, observe: None },
+            |pr| {
                 calls.fetch_add(1, Ordering::SeqCst);
                 assert!(pr.index >= 11, "journaled index {} re-executed", pr.index);
                 run_one(pr)
-            });
+            },
+        );
         assert_eq!(calls.load(Ordering::SeqCst), 12);
         assert_eq!(out.executed, 12);
         assert_eq!(out.resumed, 11);
@@ -302,7 +368,12 @@ mod tests {
         let out = execute_durable(
             &p,
             &EngineConfig { parallel: false, keep_runs: None, keep_seed: 1 },
-            Durability { resumed: HashMap::new(), cancel: Some(&cancel), persist: None },
+            Durability {
+                resumed: HashMap::new(),
+                cancel: Some(&cancel),
+                persist: None,
+                observe: None,
+            },
             run_one,
         );
         assert_eq!(out.status, CompletionStatus::Interrupted);
@@ -322,13 +393,68 @@ mod tests {
         let out = execute_durable(
             &p,
             &EngineConfig { parallel: true, keep_runs: Some(3), keep_seed: 5 },
-            Durability { resumed: HashMap::new(), cancel: None, persist: Some(&persist) },
+            Durability {
+                resumed: HashMap::new(),
+                cancel: None,
+                persist: Some(&persist),
+                observe: None,
+            },
             run_one,
         );
         assert_eq!(out.executed, 15);
         let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();
         assert_eq!(seen, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observe_sees_every_index_once_resumed_prefix_first() {
+        use std::sync::Mutex;
+        let p = plan(17);
+        let cfg = EngineConfig { parallel: true, keep_runs: Some(4), keep_seed: 3 };
+        // Runs 0..6 journaled; the rest execute live.
+        let resumed: HashMap<usize, (Outcome, bool, (usize, u64))> = p.runs()[..6]
+            .iter()
+            .map(|pr| {
+                let rec = run_one(pr);
+                (pr.index, (rec.outcome, rec.fired, rec.payload))
+            })
+            .collect();
+        let events: Mutex<Vec<(usize, bool, u64)>> = Mutex::new(Vec::new());
+        let observe = |ev: RunEvent<'_, (usize, u64)>| {
+            assert_eq!(ev.payload.0, ev.index, "payload borrowed for the right index");
+            assert_eq!(ev.shard, ev.index % 3);
+            events.lock().unwrap().push((ev.index, ev.resumed, ev.payload.1));
+        };
+        let out = execute_durable(
+            &p,
+            &cfg,
+            Durability { resumed, cancel: None, persist: None, observe: Some(&observe) },
+            run_one,
+        );
+        assert_eq!(out.executed, 11);
+        assert_eq!(out.resumed, 6);
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), 17, "one event per plan index, kept or dropped");
+        // Journal-recovered prefix first, in index order.
+        let head: Vec<usize> = events[..6].iter().map(|e| e.0).collect();
+        assert_eq!(head, (0..6).collect::<Vec<_>>());
+        assert!(events[..6].iter().all(|e| e.1), "prefix events flagged resumed");
+        assert!(events[6..].iter().all(|e| !e.1), "live events flagged executed");
+        let mut indices: Vec<usize> = events.iter().map(|e| e.0).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..17).collect::<Vec<_>>());
+        // Event-derived tallies equal the sink's (observation is a tap,
+        // not a filter).
+        let mut tally = OutcomeTally::default();
+        for &(index, _, _) in &events {
+            let rec = run_one(&p.runs()[index]);
+            if !rec.fired && rec.outcome == Outcome::Benign {
+                tally.no_fire += 1;
+            }
+            tally.record(rec.outcome);
+        }
+        assert_eq!(tally, out.tally);
     }
 
     #[test]
@@ -339,7 +465,7 @@ mod tests {
         let out = execute_durable(
             &p,
             &EngineConfig { parallel: false, keep_runs: None, keep_seed: 0 },
-            Durability { resumed, cancel: None, persist: None },
+            Durability { resumed, cancel: None, persist: None, observe: None },
             run_one,
         );
         assert_eq!(out.resumed, 0);

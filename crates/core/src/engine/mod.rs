@@ -88,14 +88,30 @@
 //!   completed record to its journal and reports partial tallies with
 //!   [`CompletionStatus::Interrupted`].
 
+//!
+//! ## The job layer
+//!
+//! [`job`] is the engine's service-facing vocabulary: one serializable
+//! [`job::CampaignSpec`] shared by the `ffis-daemon`
+//! REST API, the `repro daemon` CLI flags, and `repro scale`, plus the
+//! [`job::JobState`]/[`job::JobFailure`]
+//! lifecycle types a job queue parks campaigns in. The live event feed
+//! those services stream ([`RunEvent`] via [`Durability::observe`])
+//! taps the sink layer: one event per plan index, resumed prefix
+//! first, so an event-derived tally always converges on the final one.
+
 mod control;
 mod executor;
+pub mod job;
 pub mod journal;
 mod planner;
 mod sink;
 
 pub use control::{CancelToken, CompletionStatus};
-pub use executor::{execute, execute_durable, Durability, EngineConfig, EngineResult, RunRecord};
+pub use executor::{
+    execute, execute_durable, Durability, EngineConfig, EngineResult, RunEvent, RunRecord,
+};
+pub use job::{CampaignSpec, JobFailure, JobState, MIN_GRID};
 pub use journal::{JournalEntry, JournalError, JournalMeta, RunJournal};
 pub use planner::{ExecutionPlan, PlannedRun, RunStrategy};
 pub use sink::{reservoir_mask, RunSink};

@@ -125,12 +125,12 @@ pub mod stats;
 
 pub use campaign::{
     replay_default, Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode,
-    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted, RunResult,
-    ShardReport,
+    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted,
+    RunObserver, RunResult, ShardReport,
 };
 pub use engine::{
-    CancelToken, CompletionStatus, ExecutionPlan, JournalEntry, JournalError, JournalMeta,
-    PlannedRun, RunJournal, RunStrategy,
+    CampaignSpec, CancelToken, CompletionStatus, ExecutionPlan, JobFailure, JobState, JournalEntry,
+    JournalError, JournalMeta, PlannedRun, RunJournal, RunStrategy, MIN_GRID,
 };
 pub use fault::{
     FaultModel, FaultSignature, InjectionSite, Mutation, ReadMutation, ShornFill, ShornKeep,

@@ -1,0 +1,227 @@
+//! The daemon's application registry: resolve a [`CampaignSpec`]'s
+//! `app` name and execute the spec through the in-process campaign
+//! engine.
+//!
+//! This is the *one* spec-to-campaign translation in the workspace —
+//! the daemon's workers, the `repro daemon submit --local` fallback,
+//! and `repro scale`'s cells all call [`execute_spec`], so an HTTP
+//! submission and an in-process run of the same spec are the same
+//! campaign by construction (the end-to-end byte-identity the
+//! integration suite pins).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ffis_core::engine::job::CampaignSpec;
+use ffis_core::{
+    Campaign, CampaignConfig, CampaignError, CampaignResult, CancelToken, FaultApp, Outcome,
+    RunObserver,
+};
+use ffis_vfs::{CheckpointStore, FileSystem, FileSystemExt};
+use montage_sim::MontageApp;
+use nyx_sim::{NyxApp, NyxConfig};
+use qmc_sim::QmcApp;
+
+/// Application names [`execute_spec`] resolves.
+pub const APPS: [&str; 4] = ["nyx", "qmc", "montage", "paced"];
+
+/// Validate the spec's `app` against the registry (the daemon answers
+/// HTTP 400 with this message at submit time, so an unknown app never
+/// occupies a queue slot).
+pub fn check_app(spec: &CampaignSpec) -> Result<(), String> {
+    let name = spec.app.to_ascii_lowercase();
+    if APPS.contains(&name.as_str()) {
+        Ok(())
+    } else {
+        Err(format!("unknown application '{}' (expected one of: {})", spec.app, APPS.join(", ")))
+    }
+}
+
+/// The Nyx workload at grid side `n` — the same grid/volume scaling
+/// `repro` uses everywhere: the sieve-buffer write size scales with
+/// the grid volume so the data-write count (and with it the
+/// metadata-write hit probability, i.e. the crash share) stays at the
+/// paper-scale proportion for smaller grids.
+pub fn nyx_at_grid(grid: usize) -> NyxApp {
+    let mut cfg = NyxConfig::paper_scale();
+    cfg.field.n = grid;
+    let scale = (grid as f64 / 96.0).powi(3);
+    let chunk = (64.0 * 1024.0 * scale / 4096.0).round().max(1.0) as usize * 4096;
+    cfg.write_chunk = chunk;
+    NyxApp::new(cfg)
+}
+
+/// Execution environment the job runner supplies around a spec: where
+/// to journal, whether to share checkpoints, how to cancel, and the
+/// live event tap. All optional — `ExecHooks::default()` runs the
+/// spec bare.
+#[derive(Default)]
+pub struct ExecHooks {
+    /// Journal path (the daemon keeps one per job directory). `None`
+    /// disables journaling even if the spec asks for it — there is
+    /// nowhere to put the file.
+    pub journal: Option<PathBuf>,
+    /// Cooperative cancellation token.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Shared checkpoint store (reused across jobs of the same
+    /// app/grid).
+    pub checkpoints: Option<Arc<CheckpointStore>>,
+    /// Live run-event observer.
+    pub observer: Option<RunObserver>,
+}
+
+/// Run a validated spec through the campaign engine. The spec's
+/// `journal`/`resume` flags gate durability; `hooks.journal` supplies
+/// the path.
+pub fn execute_spec(
+    spec: &CampaignSpec,
+    hooks: &ExecHooks,
+) -> Result<CampaignResult, CampaignError> {
+    check_app(spec).map_err(CampaignError::BadSignature)?;
+    let signature = spec.signature().map_err(CampaignError::BadSignature)?;
+    let mut cfg = CampaignConfig::new(signature)
+        .with_runs(spec.runs)
+        .with_seed(spec.seed)
+        .with_keep_runs(spec.keep_runs);
+    cfg.parallel = spec.parallel;
+    if let Some(budget) = spec.fuel {
+        cfg = cfg.with_fuel(budget);
+    }
+    if let Some(ms) = spec.wall_limit_ms {
+        cfg = cfg.with_wall_limit(Duration::from_millis(ms));
+    }
+    if spec.journal {
+        if let Some(path) = &hooks.journal {
+            cfg = cfg.with_journal(path).with_resume(spec.resume);
+        }
+    }
+    if let Some(store) = &hooks.checkpoints {
+        cfg = cfg.with_checkpoints(Arc::clone(store));
+    }
+    if let Some(cancel) = &hooks.cancel {
+        cfg = cfg.with_cancel(Arc::clone(cancel));
+    }
+    if let Some(observer) = &hooks.observer {
+        cfg = cfg.with_observer(observer.clone());
+    }
+    match spec.app.to_ascii_lowercase().as_str() {
+        "nyx" => Campaign::new(&nyx_at_grid(spec.grid), cfg).run(),
+        "qmc" => Campaign::new(&QmcApp::paper_default(), cfg).run(),
+        "montage" => Campaign::new(&MontageApp::paper_default(), cfg).run(),
+        "paced" => Campaign::new(&PacedApp, cfg).run(),
+        other => Err(CampaignError::BadSignature(format!("unknown application '{}'", other))),
+    }
+}
+
+/// A deliberately slow synthetic workload for daemon tests and CI
+/// smoke: `analyze` sleeps a few milliseconds per run, giving kill-
+/// and cancel-mid-job tests a wide window, while the data path stays
+/// fully deterministic (pacing never touches the bytes, so paced
+/// campaigns over one seed are byte-identical regardless of timing).
+#[derive(Default)]
+pub struct PacedApp;
+
+/// Per-run analyze pacing.
+const PACE: Duration = Duration::from_millis(3);
+const PACED_LEN: usize = 4096 * 6;
+
+/// Analyze artifacts of one [`PacedApp`] run.
+#[derive(Clone)]
+pub struct PacedOutput {
+    bytes: Vec<u8>,
+    checksum: u64,
+}
+
+impl FaultApp for PacedApp {
+    type Output = PacedOutput;
+
+    fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
+        let data: Vec<u8> = (0..PACED_LEN).map(|i| (i as u64 * 31 % 251) as u8).collect();
+        fs.write_file_chunked("/out.bin", &data, 4096).map_err(|e| e.to_string())?;
+        fs.write_file("/meta.log", b"paced\n").map_err(|e| e.to_string())
+    }
+
+    fn analyze(
+        &self,
+        fs: &dyn FileSystem,
+        _golden: Option<&PacedOutput>,
+    ) -> Result<PacedOutput, String> {
+        std::thread::sleep(PACE);
+        let bytes = fs.read_to_vec("/out.bin").map_err(|e| e.to_string())?;
+        if bytes.len() != PACED_LEN {
+            return Err(format!("short read: {}", bytes.len()));
+        }
+        let checksum = bytes.iter().map(|&b| u64::from(b)).sum();
+        Ok(PacedOutput { bytes, checksum })
+    }
+
+    fn classify(&self, golden: &PacedOutput, faulty: &PacedOutput) -> Outcome {
+        if golden.bytes == faulty.bytes {
+            Outcome::Benign
+        } else if faulty.checksum.abs_diff(golden.checksum) > 500 {
+            Outcome::Detected
+        } else {
+            Outcome::Sdc
+        }
+    }
+
+    fn name(&self) -> String {
+        "PACED".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn small_spec(app: &str) -> CampaignSpec {
+        let mut spec = CampaignSpec::new(app, "BF");
+        spec.grid = 16;
+        spec.runs = 8;
+        spec.seed = 11;
+        spec.journal = false;
+        spec
+    }
+
+    #[test]
+    fn unknown_apps_are_rejected_by_name() {
+        let spec = small_spec("nonesuch");
+        let err = check_app(&spec).unwrap_err();
+        assert!(err.contains("unknown application 'nonesuch'"), "{err}");
+        assert!(matches!(
+            execute_spec(&spec, &ExecHooks::default()),
+            Err(CampaignError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn paced_campaigns_are_deterministic_and_observable() {
+        let spec = small_spec("paced");
+        let a = execute_spec(&spec, &ExecHooks::default()).unwrap();
+        let events: Arc<Mutex<Vec<(usize, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let hooks = ExecHooks {
+            observer: Some(RunObserver::new(move |r, resumed| {
+                sink.lock().unwrap().push((r.run, resumed));
+            })),
+            ..ExecHooks::default()
+        };
+        let b = execute_spec(&spec, &hooks).unwrap();
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(a.run_digest(), b.run_digest());
+        let mut seen: Vec<usize> = events.lock().unwrap().iter().map(|&(run, _)| run).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..spec.runs).collect::<Vec<_>>());
+        assert!(events.lock().unwrap().iter().all(|&(_, resumed)| !resumed));
+    }
+
+    #[test]
+    fn nyx_specs_execute_at_small_grids() {
+        let mut spec = small_spec("nyx");
+        spec.runs = 4;
+        let result = execute_spec(&spec, &ExecHooks::default()).unwrap();
+        assert_eq!(result.tally.total(), 4);
+    }
+}

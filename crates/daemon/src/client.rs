@@ -1,0 +1,280 @@
+//! The thin client: a blocking HTTP/1.1 client over [`TcpStream`]
+//! for the daemon's REST/NDJSON surface. `repro daemon submit|status|
+//! watch|cancel|jobs` and the integration suite both drive the
+//! daemon exclusively through this module, so the wire format is
+//! exercised on every test run.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ffis_core::engine::job::CampaignSpec;
+
+use crate::api::{self, JobView, StreamEvent};
+use crate::json::{self, Json};
+
+/// Connect timeout for every request.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A client bound to one daemon address (`host:port`).
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// `GET /healthz` → `(running, queued, max_concurrent)`.
+    pub fn health(&self) -> Result<(u64, u64, u64), String> {
+        let value = self.request_json("GET", "/api/v0/healthz", None)?;
+        let get = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        Ok((get("running"), get("queued"), get("max_concurrent")))
+    }
+
+    /// `POST /jobs` → job id.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<u64, String> {
+        let body = api::spec_to_json(spec).render();
+        let value = self.request_json("POST", "/api/v0/jobs", Some(&body))?;
+        value.get("id").and_then(Json::as_u64).ok_or_else(|| "submit reply without id".into())
+    }
+
+    /// `GET /jobs/:id`.
+    pub fn job(&self, id: u64) -> Result<JobView, String> {
+        let value = self.request_json("GET", &format!("/api/v0/jobs/{}", id), None)?;
+        api::job_from_json(&value)
+    }
+
+    /// `GET /jobs`.
+    pub fn jobs(&self) -> Result<Vec<JobView>, String> {
+        let value = self.request_json("GET", "/api/v0/jobs", None)?;
+        let items = value.as_arr().ok_or("jobs reply is not an array")?;
+        items.iter().map(api::job_from_json).collect()
+    }
+
+    /// `DELETE /jobs/:id` → the view after cancellation.
+    pub fn cancel(&self, id: u64) -> Result<JobView, String> {
+        let value = self.request_json("DELETE", &format!("/api/v0/jobs/{}", id), None)?;
+        api::job_from_json(&value)
+    }
+
+    /// `GET /bench` → artifact names.
+    pub fn bench_list(&self) -> Result<Vec<String>, String> {
+        let value = self.request_json("GET", "/api/v0/bench", None)?;
+        let items = value.as_arr().ok_or("bench reply is not an array")?;
+        Ok(items.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+    }
+
+    /// `GET /jobs/:id/stream`: decode the chunked NDJSON stream,
+    /// calling `on_event` for every line, and return the terminal
+    /// view from the `done` event. The connection stays open for the
+    /// job's whole lifetime.
+    pub fn watch(
+        &self,
+        id: u64,
+        mut on_event: impl FnMut(&StreamEvent),
+    ) -> Result<JobView, String> {
+        let mut stream = self.connect()?;
+        let path = format!("/api/v0/jobs/{}/stream", id);
+        write!(stream, "GET {} HTTP/1.1\r\nHost: ffis\r\nConnection: close\r\n\r\n", path)
+            .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let (status, chunked, content_length) = read_head(&mut reader)?;
+        if status != 200 {
+            let body = read_body(&mut reader, chunked, content_length)?;
+            return Err(error_message(status, &body));
+        }
+        let body = read_body(&mut reader, chunked, content_length)?;
+        let text = String::from_utf8_lossy(&body);
+        let mut done = None;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let event = api::stream_event(line)?;
+            if let StreamEvent::Done(view) = &event {
+                done = Some(view.clone());
+            }
+            on_event(&event);
+        }
+        done.ok_or_else(|| "stream ended without a done event".into())
+    }
+
+    /// `watch`, but incremental: events are delivered as each chunk
+    /// arrives rather than after the stream closes. This is what the
+    /// CLI `repro daemon watch` uses to print runs live.
+    pub fn watch_live(
+        &self,
+        id: u64,
+        mut on_event: impl FnMut(&StreamEvent),
+    ) -> Result<JobView, String> {
+        let mut stream = self.connect()?;
+        let path = format!("/api/v0/jobs/{}/stream", id);
+        write!(stream, "GET {} HTTP/1.1\r\nHost: ffis\r\nConnection: close\r\n\r\n", path)
+            .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let (status, chunked, content_length) = read_head(&mut reader)?;
+        if status != 200 {
+            let body = read_body(&mut reader, chunked, content_length)?;
+            return Err(error_message(status, &body));
+        }
+        let mut done = None;
+        let mut pending = String::new();
+        let mut visit = |line: &str| -> Result<(), String> {
+            if line.trim().is_empty() {
+                return Ok(());
+            }
+            let event = api::stream_event(line)?;
+            if let StreamEvent::Done(view) = &event {
+                done = Some(view.clone());
+            }
+            on_event(&event);
+            Ok(())
+        };
+        if chunked {
+            while let Some(chunk) = read_chunk(&mut reader)? {
+                pending.push_str(&String::from_utf8_lossy(&chunk));
+                while let Some(pos) = pending.find('\n') {
+                    let line: String = pending.drain(..=pos).collect();
+                    visit(line.trim_end())?;
+                }
+            }
+        } else {
+            let body = read_body(&mut reader, false, content_length)?;
+            pending.push_str(&String::from_utf8_lossy(&body));
+        }
+        for line in pending.lines() {
+            visit(line)?;
+        }
+        done.ok_or_else(|| "stream ended without a done event".into())
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let mut last = String::from("no address resolved");
+        let addrs = std::net::ToSocketAddrs::to_socket_addrs(&self.addr)
+            .map_err(|e| format!("resolve {}: {}", self.addr, e))?;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(format!("connect {}: {}", self.addr, last))
+    }
+
+    fn request_json(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, String> {
+        let mut stream = self.connect()?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+        let body_bytes = body.unwrap_or("").as_bytes();
+        write!(
+            stream,
+            "{} {} HTTP/1.1\r\nHost: ffis\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            method,
+            path,
+            body_bytes.len()
+        )
+        .map_err(|e| e.to_string())?;
+        stream.write_all(body_bytes).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let (status, chunked, content_length) = read_head(&mut reader)?;
+        let body = read_body(&mut reader, chunked, content_length)?;
+        let text = String::from_utf8_lossy(&body);
+        let value =
+            json::parse(&text).map_err(|e| format!("HTTP {}: unparseable body ({})", status, e))?;
+        if (200..300).contains(&status) {
+            Ok(value)
+        } else {
+            Err(error_message(status, &body))
+        }
+    }
+}
+
+fn error_message(status: u16, body: &[u8]) -> String {
+    let text = String::from_utf8_lossy(body);
+    let detail = json::parse(&text)
+        .ok()
+        .and_then(|v| v.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| text.trim().to_string());
+    format!("HTTP {}: {}", status, detail)
+}
+
+/// Parse the status line and headers; returns `(status, chunked,
+/// content_length)`.
+fn read_head<R: BufRead>(reader: &mut R) -> Result<(u16, bool, Option<usize>), String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {:?}", line.trim()))?;
+    let mut chunked = false;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => chunked = true,
+                "content-length" => content_length = value.parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    Ok((status, chunked, content_length))
+}
+
+/// Read one chunk of a chunked body; `None` at the terminal chunk.
+fn read_chunk<R: BufRead>(reader: &mut R) -> Result<Option<Vec<u8>>, String> {
+    let mut size_line = String::new();
+    reader.read_line(&mut size_line).map_err(|e| e.to_string())?;
+    let size_line = size_line.trim();
+    if size_line.is_empty() {
+        // Tolerate a stray CRLF between chunks.
+        return read_chunk(reader);
+    }
+    let size = usize::from_str_radix(size_line.split(';').next().unwrap_or(""), 16)
+        .map_err(|_| format!("bad chunk size {:?}", size_line))?;
+    if size == 0 {
+        let mut trailer = String::new();
+        let _ = reader.read_line(&mut trailer);
+        return Ok(None);
+    }
+    let mut chunk = vec![0u8; size];
+    reader.read_exact(&mut chunk).map_err(|e| e.to_string())?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf).map_err(|e| e.to_string())?;
+    Ok(Some(chunk))
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    chunked: bool,
+    content_length: Option<usize>,
+) -> Result<Vec<u8>, String> {
+    if chunked {
+        let mut body = Vec::new();
+        while let Some(chunk) = read_chunk(reader)? {
+            body.extend_from_slice(&chunk);
+        }
+        Ok(body)
+    } else if let Some(len) = content_length {
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+        Ok(body)
+    } else {
+        let mut body = Vec::new();
+        match reader.read_to_end(&mut body) {
+            Ok(_) => Ok(body),
+            // Connection: close without a length — a torn read still
+            // yields what arrived.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(body),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! A small HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! The workspace is offline — no tokio, no hyper — and the daemon's
+//! needs are modest: short JSON request/response exchanges plus one
+//! long-lived chunked NDJSON stream per watcher. So this is the
+//! simplest server that does that correctly:
+//!
+//! * a **bounded worker pool** (blocking I/O, one connection per
+//!   worker at a time; excess connections queue in a bounded channel,
+//!   and beyond that in the kernel accept backlog),
+//! * `Connection: close` semantics (one exchange per connection — the
+//!   thin client opens cheap local connections per call),
+//! * hard caps on header and body size, and read timeouts on request
+//!   parsing, so a stalled or hostile peer cannot wedge a worker
+//!   forever (streaming responses clear the timeout — a watcher may
+//!   idle as long as the job runs),
+//! * a poll-based accept loop (non-blocking accept + shutdown flag)
+//!   so the daemon can stop serving without a self-connection trick.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Request line + headers cap — far beyond any client of this API.
+const MAX_HEAD: usize = 16 * 1024;
+/// Body cap: a `CampaignSpec` is a few hundred bytes; a megabyte is
+/// generous headroom, and anything larger is not a spec.
+const MAX_BODY: usize = 1024 * 1024;
+/// How long a connection may take to deliver its request.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// Request target, query string stripped.
+    pub path: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// The body writer a [`Reply::Stream`] hands the connection: it owns
+/// the stream for the job's lifetime, writing one NDJSON line per
+/// chunk.
+pub type StreamBody = Box<dyn FnOnce(&mut LineStream<'_>) -> io::Result<()> + Send>;
+
+/// What a handler tells the server to send.
+pub enum Reply {
+    /// A JSON document with this status code.
+    Json(u16, Json),
+    /// A raw body with an explicit content type (used to serve the
+    /// `BENCH_*.json` report files verbatim).
+    Raw(u16, &'static str, Vec<u8>),
+    /// `Transfer-Encoding: chunked` NDJSON: the closure drives the
+    /// stream, writing one line per chunk, for as long as it likes.
+    Stream(StreamBody),
+}
+
+impl Reply {
+    /// A `{"error": message}` document with this status code.
+    pub fn error(status: u16, message: impl Into<String>) -> Reply {
+        Reply::Json(status, Json::Obj(vec![("error".into(), Json::Str(message.into()))]))
+    }
+}
+
+/// Writer side of a [`Reply::Stream`]: one NDJSON line per chunk,
+/// flushed eagerly so watchers see events as they happen.
+pub struct LineStream<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl LineStream<'_> {
+    /// Send one line (newline appended) as one chunk.
+    pub fn line(&mut self, line: &str) -> io::Result<()> {
+        write!(self.stream, "{:x}\r\n", line.len() + 1)?;
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn write_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    length: Option<usize>,
+) -> io::Result<()> {
+    write!(stream, "HTTP/1.1 {} {}\r\n", status, status_text(status))?;
+    write!(stream, "Content-Type: {}\r\n", content_type)?;
+    match length {
+        Some(n) => write!(stream, "Content-Length: {}\r\n", n)?,
+        None => write!(stream, "Transfer-Encoding: chunked\r\n")?,
+    }
+    write!(stream, "Connection: close\r\n\r\n")
+}
+
+fn parse_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise up to the blank line; BufReader makes this cheap
+    // and never over-reads into the body.
+    loop {
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line)?;
+        if line.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let blank = line == b"\r\n" || line == b"\n";
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+        }
+        if blank {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+    }
+    let path = target.split('?').next().unwrap_or("/").to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Reply) {
+    let request = match parse_request(&mut stream) {
+        Ok(r) => r,
+        Err(_) => {
+            // Unparseable request: best-effort 400, then hang up.
+            let body = b"{\"error\":\"malformed request\"}";
+            let _ = write_head(&mut stream, 400, "application/json", Some(body.len()))
+                .and_then(|()| stream.write_all(body));
+            return;
+        }
+    };
+    match handler(&request) {
+        Reply::Json(status, value) => {
+            let body = value.render();
+            let _ = write_head(&mut stream, status, "application/json", Some(body.len()))
+                .and_then(|()| stream.write_all(body.as_bytes()));
+        }
+        Reply::Raw(status, content_type, body) => {
+            let _ = write_head(&mut stream, status, content_type, Some(body.len()))
+                .and_then(|()| stream.write_all(&body));
+        }
+        Reply::Stream(drive) => {
+            // A watcher may sit on the stream for the whole campaign.
+            let _ = stream.set_read_timeout(None);
+            if write_head(&mut stream, 200, "application/x-ndjson", None).is_err() {
+                return;
+            }
+            let mut lines = LineStream { stream: &mut stream };
+            if drive(&mut lines).is_ok() {
+                let _ = stream.write_all(b"0\r\n\r\n");
+            }
+        }
+    }
+}
+
+/// The server: a bound listener plus the worker pool `serve` runs.
+pub struct HttpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Bind (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(HttpServer { listener, addr })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept until `shutdown` is set, dispatching connections to
+    /// `workers` pool threads. Returns once the flag is observed and
+    /// every in-flight connection has finished.
+    pub fn serve(
+        self,
+        workers: usize,
+        handler: Arc<dyn Fn(&Request) -> Reply + Send + Sync>,
+        shutdown: Arc<AtomicBool>,
+    ) -> io::Result<()> {
+        let workers = workers.max(1);
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = sync_channel::<TcpStream>(workers * 2);
+        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+        let pool: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only to receive; disconnection
+                    // (sender dropped at shutdown) ends the worker.
+                    let conn = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                        Ok(conn) => conn,
+                        Err(_) => return,
+                    };
+                    let _ = conn.set_nodelay(true);
+                    handle_connection(conn, handler.as_ref());
+                })
+            })
+            .collect();
+
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((conn, _)) => {
+                    let mut pending = conn;
+                    // The queue is bounded; while it is full, poll for
+                    // space (still honoring shutdown).
+                    loop {
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(back)) => {
+                                if shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                pending = back;
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exchange(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn start(
+        handler: impl Fn(&Request) -> Reply + Send + Sync + 'static,
+    ) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let join = std::thread::spawn(move || {
+            server.serve(2, Arc::new(handler), flag).unwrap();
+        });
+        (addr, shutdown, join)
+    }
+
+    #[test]
+    fn request_response_and_clean_shutdown() {
+        let (addr, shutdown, join) = start(|req| match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/ping") => Reply::Json(200, Json::Str("pong".into())),
+            ("POST", "/echo") => Reply::Raw(200, "text/plain", req.body.clone()),
+            _ => Reply::error(404, "no such route"),
+        });
+        let out = exchange(addr, "GET /ping?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.ends_with("\"pong\""), "{out}");
+        let out = exchange(addr, "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert!(out.ends_with("hello"), "{out}");
+        let out = exchange(addr, "GET /missing HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        let out = exchange(addr, "garbage\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        shutdown.store(true, Ordering::SeqCst);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_stream_delivers_lines() {
+        let (addr, shutdown, join) = start(|_req| {
+            Reply::Stream(Box::new(|s| {
+                s.line("{\"n\":1}")?;
+                s.line("{\"n\":2}")
+            }))
+        });
+        let out = exchange(addr, "GET /stream HTTP/1.1\r\n\r\n");
+        assert!(out.contains("Transfer-Encoding: chunked"), "{out}");
+        assert!(out.contains("{\"n\":1}\n"), "{out}");
+        assert!(out.contains("{\"n\":2}\n"), "{out}");
+        assert!(out.ends_with("0\r\n\r\n"), "{out}");
+        shutdown.store(true, Ordering::SeqCst);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let (addr, shutdown, join) = start(|_req| Reply::Json(200, Json::Null));
+        // No terminating blank line: the server trips the head cap
+        // mid-parse (and the client never has unread bytes in flight,
+        // so the 400 arrives without a reset race).
+        let big = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n", "x".repeat(MAX_HEAD));
+        let out = exchange(addr, &big);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        shutdown.store(true, Ordering::SeqCst);
+        join.join().unwrap();
+    }
+}

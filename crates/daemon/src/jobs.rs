@@ -1,0 +1,378 @@
+//! The persistent job queue: accepted specs on disk, a FIFO admission
+//! queue, a bounded worker pool executing campaigns, live per-run
+//! event fan-out to stream subscribers, and crash-safe recovery.
+//!
+//! ## Disk layout (`<root>/jobs/<id>/`)
+//!
+//! | file | written | meaning |
+//! |---|---|---|
+//! | `spec.json` | at submit | the accepted [`CampaignSpec`] |
+//! | `run.journal` | per run | the engine's CRC-framed [`RunJournal`](ffis_core::engine::journal::RunJournal) |
+//! | `result.json` | at terminal state | final [`JobView`] (`complete`/`failed`) |
+//! | `cancelled` | on `DELETE` | operator cancelled; do not auto-resume |
+//!
+//! The queue is persistent *by construction*: a job is its spec file
+//! plus its journal. [`JobQueue::open`] re-lists the directory, loads
+//! terminal results as-is, and re-enqueues every non-terminal job with
+//! resume forced on — the engine's resume law (law 6) then makes
+//! recovery byte-identical, whether the daemon was killed mid-run or
+//! cleanly interrupted. A job cancelled by the operator is the one
+//! non-terminal state that does **not** auto-resume (the `cancelled`
+//! marker); its journal stays on disk, so resubmitting the same spec
+//! directory would still resume it.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ffis_core::engine::job::{CampaignSpec, JobFailure, JobState};
+use ffis_core::{CancelToken, CompletionStatus, RunObserver};
+use ffis_vfs::CheckpointStore;
+
+use crate::api::{self, JobView};
+use crate::apps::{check_app, execute_spec, ExecHooks};
+use crate::json;
+
+struct Job {
+    view: JobView,
+    cancel: Arc<CancelToken>,
+    /// Operator cancellation (`DELETE`) — distinguishes "do not
+    /// auto-resume" from a daemon interruption.
+    cancelled: bool,
+    /// Live NDJSON lines fan out to these; cleared (disconnecting the
+    /// receivers) after the `done` line.
+    subscribers: Vec<Sender<String>>,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    fifo: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// The queue (shared between the HTTP server and the worker pool).
+pub struct JobQueue {
+    root: PathBuf,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    running_now: AtomicUsize,
+    max_concurrent: AtomicUsize,
+    /// One shared checkpoint store per `(app, grid)`: concurrent and
+    /// successive jobs over the same golden run share one built
+    /// checkpoint cache.
+    stores: Mutex<HashMap<(String, usize), Arc<CheckpointStore>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobQueue {
+    /// Open (or create) a queue root, recover persisted jobs, and
+    /// start `workers` executor threads (the admission cap: at most
+    /// that many jobs run concurrently; the rest wait in FIFO order).
+    pub fn open(root: &Path, workers: usize) -> io::Result<Arc<JobQueue>> {
+        let jobs_dir = root.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+        let queue = Arc::new(JobQueue {
+            root: root.to_path_buf(),
+            inner: Mutex::new(Inner { jobs: BTreeMap::new(), fifo: VecDeque::new(), next_id: 1 }),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            running_now: AtomicUsize::new(0),
+            max_concurrent: AtomicUsize::new(0),
+            stores: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        queue.recover(&jobs_dir)?;
+        let mut pool = queue.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..workers.max(1) {
+            let q = Arc::clone(&queue);
+            pool.push(std::thread::spawn(move || q.worker_loop()));
+        }
+        drop(pool);
+        Ok(queue)
+    }
+
+    /// Re-list the jobs directory: terminal results load as-is,
+    /// cancelled jobs surface as `interrupted`, and everything else —
+    /// queued or killed mid-run — re-enqueues with resume forced on.
+    fn recover(&self, jobs_dir: &Path) -> io::Result<()> {
+        let mut ids: Vec<u64> = std::fs::read_dir(jobs_dir)?
+            .filter_map(|e| e.ok()?.file_name().to_str()?.parse().ok())
+            .collect();
+        ids.sort_unstable();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for id in ids {
+            let dir = jobs_dir.join(id.to_string());
+            let spec = match std::fs::read_to_string(dir.join("spec.json"))
+                .map_err(|e| e.to_string())
+                .and_then(|text| json::parse(&text))
+                .and_then(|v| api::spec_from_json(&v))
+            {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("[ffis-daemon] skipping job {}: unreadable spec: {}", id, e);
+                    continue;
+                }
+            };
+            inner.next_id = inner.next_id.max(id + 1);
+            let view = match std::fs::read_to_string(dir.join("result.json")) {
+                Ok(text) => match json::parse(&text).and_then(|v| api::job_from_json(&v)) {
+                    Ok(view) => view,
+                    Err(e) => {
+                        eprintln!(
+                            "[ffis-daemon] job {}: corrupt result.json ({}); re-running",
+                            id, e
+                        );
+                        JobView::queued(id, spec)
+                    }
+                },
+                Err(_) => JobView::queued(id, spec),
+            };
+            let mut job = Job {
+                view,
+                cancel: CancelToken::new(),
+                cancelled: dir.join("cancelled").exists(),
+                subscribers: Vec::new(),
+            };
+            if job.view.state.is_active() {
+                if job.cancelled {
+                    job.view.state = JobState::Interrupted;
+                } else {
+                    // Resume law: re-execution replays the journal and
+                    // finishes the pending set, byte-identically.
+                    job.view.state = JobState::Queued;
+                    job.view.spec.resume = true;
+                    inner.fifo.push_back(id);
+                }
+            }
+            inner.jobs.insert(id, job);
+        }
+        Ok(())
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.root.join("jobs").join(id.to_string())
+    }
+
+    /// Accept a validated spec: persist it, assign an id, enqueue.
+    pub fn submit(&self, spec: CampaignSpec) -> Result<u64, String> {
+        spec.validate()?;
+        check_app(&spec)?;
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("daemon is shutting down".into());
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("persist job {}: {}", id, e))?;
+        std::fs::write(dir.join("spec.json"), api::spec_to_json(&spec).render())
+            .map_err(|e| format!("persist job {}: {}", id, e))?;
+        inner.jobs.insert(
+            id,
+            Job {
+                view: JobView::queued(id, spec),
+                cancel: CancelToken::new(),
+                cancelled: false,
+                subscribers: Vec::new(),
+            },
+        );
+        inner.fifo.push_back(id);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot one job.
+    pub fn job(&self, id: u64) -> Option<JobView> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.jobs.get(&id).map(|j| j.view.clone())
+    }
+
+    /// Snapshot every job, id-ordered.
+    pub fn jobs(&self) -> Vec<JobView> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.jobs.values().map(|j| j.view.clone()).collect()
+    }
+
+    /// `(running, queued, max ever concurrent)` — the health numbers.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (
+            self.running_now.load(Ordering::SeqCst),
+            inner.fifo.len(),
+            self.max_concurrent.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Cancel a job: a queued job is interrupted immediately; a
+    /// running one gets its token cancelled and parks as
+    /// `interrupted` when the in-flight run finishes. Terminal jobs
+    /// are unchanged. Returns the (possibly updated) view.
+    pub fn cancel(&self, id: u64) -> Option<JobView> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = self.job_dir(id);
+        let job = inner.jobs.get_mut(&id)?;
+        if job.view.state.is_active() {
+            job.cancelled = true;
+            job.cancel.cancel();
+            let _ = std::fs::write(dir.join("cancelled"), b"");
+            if job.view.state == JobState::Queued {
+                job.view.state = JobState::Interrupted;
+                let done = api::done_line(&job.view);
+                for tx in job.subscribers.drain(..) {
+                    let _ = tx.send(done.clone());
+                }
+            }
+        }
+        Some(job.view.clone())
+    }
+
+    /// Subscribe to a job's event stream: the snapshot to send first,
+    /// plus a receiver of NDJSON lines. For a terminal job the
+    /// receiver is already disconnected — the stream is just
+    /// `snapshot` + `done`.
+    pub fn subscribe(&self, id: u64) -> Option<(JobView, Receiver<String>)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let job = inner.jobs.get_mut(&id)?;
+        let (tx, rx) = channel();
+        if job.view.state.is_active() {
+            job.subscribers.push(tx);
+        } else {
+            let _ = tx.send(api::done_line(&job.view));
+        }
+        Some((job.view.clone(), rx))
+    }
+
+    /// Graceful shutdown: stop admitting, cancel every active job,
+    /// and join the workers. In-flight runs finish (cancellation is
+    /// between-runs), journals are already flushed per run, and
+    /// interrupted jobs resume on the next `open` of the same root.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            for job in inner.jobs.values_mut() {
+                if job.view.state.is_active() {
+                    job.cancel.cancel();
+                }
+            }
+            // Queued jobs will not run in this process; park them as
+            // interrupted (their files make them resume next start).
+            let queued: Vec<u64> = inner.fifo.drain(..).collect();
+            for id in queued {
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    if job.view.state == JobState::Queued {
+                        job.view.state = JobState::Interrupted;
+                        let done = api::done_line(&job.view);
+                        for tx in job.subscribers.drain(..) {
+                            let _ = tx.send(done.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+
+    fn checkpoint_store(&self, spec: &CampaignSpec) -> Arc<CheckpointStore> {
+        let key = (spec.app.to_ascii_lowercase(), spec.grid);
+        let mut stores = self.stores.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(stores.entry(key).or_insert_with(|| Arc::new(CheckpointStore::new())))
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let claimed = {
+                let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(id) = inner.fifo.pop_front() {
+                        match inner.jobs.get_mut(&id) {
+                            Some(job) if job.view.state == JobState::Queued => {
+                                job.view.state = JobState::Running;
+                                break Some((id, job.view.spec.clone(), Arc::clone(&job.cancel)));
+                            }
+                            // Cancelled while queued (or gone): skip.
+                            _ => continue,
+                        }
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some((id, spec, cancel)) = claimed else { return };
+            let now = self.running_now.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max_concurrent.fetch_max(now, Ordering::SeqCst);
+            self.run_job(id, spec, cancel);
+            self.running_now.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn run_job(self: &Arc<Self>, id: u64, spec: CampaignSpec, cancel: Arc<CancelToken>) {
+        let dir = self.job_dir(id);
+        let queue = Arc::clone(self);
+        let observer = RunObserver::new(move |result, resumed| {
+            let mut inner = queue.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                if resumed {
+                    job.view.resumed += 1;
+                } else {
+                    job.view.executed += 1;
+                }
+                api::fold_run_event(
+                    &mut job.view.tally,
+                    result.outcome,
+                    result.injection.is_some(),
+                );
+                api::aborted_counters(&mut job.view, result.aborted.as_ref());
+                let line = api::run_line(result, resumed);
+                job.subscribers.retain(|tx| tx.send(line.clone()).is_ok());
+            }
+        });
+        let hooks = ExecHooks {
+            journal: spec.journal.then(|| dir.join("run.journal")),
+            cancel: Some(cancel),
+            checkpoints: Some(self.checkpoint_store(&spec)),
+            observer: Some(observer),
+        };
+        let outcome = execute_spec(&spec, &hooks);
+
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = inner.jobs.get_mut(&id) else { return };
+        match outcome {
+            Ok(result) => {
+                job.view.executed = result.executed;
+                job.view.resumed = result.resumed;
+                job.view.tally = result.tally;
+                job.view.plan_fingerprint = Some(result.plan_fingerprint);
+                if result.status == CompletionStatus::Complete {
+                    job.view.state = JobState::Complete;
+                    job.view.run_digest = Some(result.run_digest());
+                } else {
+                    job.view.state = JobState::Interrupted;
+                }
+            }
+            Err(e) => {
+                job.view.state = JobState::Failed;
+                job.view.failure = Some(JobFailure::from_campaign_error(&e));
+            }
+        }
+        if matches!(job.view.state, JobState::Complete | JobState::Failed) {
+            let _ = std::fs::write(dir.join("result.json"), api::job_to_json(&job.view).render());
+        }
+        let done = api::done_line(&job.view);
+        for tx in job.subscribers.drain(..) {
+            let _ = tx.send(done.clone());
+        }
+    }
+}
