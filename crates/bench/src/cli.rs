@@ -38,6 +38,13 @@ pub struct Options {
     /// files start fresh, and a journal from a different configuration
     /// is rejected with a clear error.
     pub resume: bool,
+    /// Worker *processes* for the distributed fan-out (`--workers N`).
+    /// `1` (the default) runs everything in-process; `N > 1` makes
+    /// `repro scale` shard each campaign's run plan by index range
+    /// across `N` spawned worker processes sharing a disk-backed
+    /// checkpoint store, and write `BENCH_distributed.json` (engine
+    /// law 7: the results are byte-identical either way).
+    pub workers: usize,
     /// Cooperative cancellation token, wired to Ctrl-C by the `repro`
     /// binary. Not a CLI flag; experiments thread it into their
     /// campaigns.
@@ -55,6 +62,7 @@ impl Default for Options {
             quick: false,
             journal: None,
             resume: false,
+            workers: 1,
             cancel: None,
         }
     }
@@ -110,6 +118,12 @@ impl Options {
         }
         if let Some(v) = map.get("journal") {
             opts.journal = Some(PathBuf::from(v));
+        }
+        if let Some(v) = map.get("workers") {
+            opts.workers = v.parse().map_err(|_| format!("bad --workers '{}'", v))?;
+            if opts.workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
         }
         if opts.quick {
             opts.runs = opts.runs.min(120);
@@ -188,6 +202,17 @@ mod tests {
         }
         let args: Vec<String> = vec!["fig8".into(), "--grid".into(), "16".into()];
         assert!(Options::parse(&args).is_ok());
+    }
+
+    #[test]
+    fn workers_flag_parses_and_rejects_zero() {
+        let (o, _) = parse(&["scale", "--workers", "4"]);
+        assert_eq!(o.workers, 4);
+        let (o, _) = parse(&["scale"]);
+        assert_eq!(o.workers, 1);
+        let args: Vec<String> = vec!["scale".into(), "--workers".into(), "0".into()];
+        let err = Options::parse(&args).unwrap_err();
+        assert!(err.contains("--workers must be at least 1"), "{err}");
     }
 
     #[test]

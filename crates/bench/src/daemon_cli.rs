@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro daemon serve  [--root DIR] [--addr H:P] [--workers N] [--bench DIR]
+//!                     [--retain N] [--fanout N]
 //! repro daemon submit --app nyx --model BF [--site write|read] [--grid G]
 //!                     [--runs N] [--seed S] [--keep-runs K] [--fuel F]
 //!                     [--wall-limit-ms M] [--no-journal] [--serial]
@@ -52,6 +53,10 @@ pub fn run(args: &[String], cancel: &Arc<CancelToken>) -> i32 {
         "cancel" => with_id(&positional, &flags, cancel_job),
         "jobs" => jobs(&flags),
         "health" => health(&flags),
+        // Hidden: one fan-out worker shard (spawned by a distributed
+        // coordinator, never typed by hand — its stdout is the
+        // machine-readable stats line the coordinator parses).
+        "worker" => ffis_daemon::distributed::worker_cli(&flags),
         other => Err(format!("unknown daemon subcommand '{}'\n\n{}", other, usage())),
     };
     match result {
@@ -66,6 +71,7 @@ pub fn run(args: &[String], cancel: &Arc<CancelToken>) -> i32 {
 fn usage() -> &'static str {
     "usage: repro daemon <serve|submit|status|watch|cancel|jobs|health> [flags]\n\
      \u{20} serve   --root DIR --addr H:P --workers N --bench DIR\n\
+     \u{20}         [--retain N: GC old terminal job dirs] [--fanout N: worker processes per job]\n\
      \u{20} submit  --app A --model M [--site S] [--grid G] [--runs N] [--seed S]\n\
      \u{20}         [--keep-runs K] [--fuel F] [--wall-limit-ms M] [--no-journal]\n\
      \u{20}         [--serial] [--addr H:P | --local [--root DIR]]\n\
@@ -123,6 +129,15 @@ fn serve(flags: &HashMap<String, String>, cancel: &Arc<CancelToken>) -> Result<i
         }
     }
     config.bench_dir = Some(flags.get("bench").map(String::as_str).unwrap_or("results").into());
+    if let Some(v) = flags.get("retain") {
+        config.retain = Some(v.parse().map_err(|_| format!("bad --retain '{}'", v))?);
+    }
+    if let Some(v) = flags.get("fanout") {
+        config.fanout = v.parse().map_err(|_| format!("bad --fanout '{}'", v))?;
+        if config.fanout == 0 {
+            return Err("--fanout must be at least 1".into());
+        }
+    }
     let mut daemon = Daemon::start(config.clone()).map_err(|e| e.to_string())?;
     // The address line is the serve handshake: scripts (and the CI
     // daemon-smoke job) wait for it before submitting.

@@ -22,14 +22,28 @@
 //! numbers are also written as machine-readable JSON
 //! (`BENCH_scale.json` in `--out`) for the CI perf-trajectory
 //! artifact.
+//!
+//! With `--workers N` (N > 1) the whole matrix runs *distributed*:
+//! each cell's run plan is sharded by index range across N spawned
+//! worker processes sharing one disk-backed content-addressed
+//! checkpoint store under `--out/store`, the workers' journal
+//! segments are merged, and the final result is re-derived through
+//! the engine's resume path. Engine law 7 makes that byte-identical
+//! to the in-process run — same tallies, same `DIGESTS.txt` — which
+//! the experiment *asserts* by rerunning two cells as serial controls
+//! (the CPU-bound nyx BF cell and a latency-bound paced cell whose
+//! fan-out speedup survives even a single-core host). The per-cell
+//! speedups and the shared store's dedup accounting land in
+//! `BENCH_distributed.json`.
 
 use std::mem::size_of;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use ffis_core::prelude::*;
-use ffis_core::{CampaignSpec, CompletionStatus, RunResult};
-use ffis_daemon::{execute_spec, ExecHooks};
+use ffis_core::{CampaignResult, CampaignSpec, CompletionStatus, RunResult};
+use ffis_daemon::{execute_spec, run_distributed, self_worker_cmd, ExecHooks, StoreTotals};
 use ffis_vfs::CheckpointStore;
 
 use crate::bench_json;
@@ -84,6 +98,37 @@ pub fn scale(opts: &Options) -> Report {
 
     let store = Arc::new(CheckpointStore::new());
     let fast_paths = ffis_core::replay_default();
+
+    // Distributed fan-out (`--workers N`): shard every cell across N
+    // worker processes re-invoking this same binary's hidden
+    // `daemon worker` subcommand. If we cannot even name our own
+    // executable there is nothing to spawn — say so once and run
+    // in-process rather than dying.
+    let worker_cmd: Option<Vec<String>> = if opts.workers > 1 {
+        match self_worker_cmd() {
+            Ok(cmd) => Some(cmd),
+            Err(e) => {
+                report.line(format!(
+                    "--workers {}: cannot locate own executable ({}); running in-process",
+                    opts.workers, e
+                ));
+                None
+            }
+        }
+    } else {
+        None
+    };
+    if worker_cmd.is_some() {
+        report.line(format!(
+            "(distributed: {} worker processes per cell, shared disk checkpoint store under {})",
+            opts.workers,
+            opts.out.join("store").display()
+        ));
+        report.blank();
+    }
+    let fan_root = opts.out.join("fanout");
+    let fan_store_dir = opts.out.join("store");
+    let mut fan_store = StoreTotals::default();
 
     let mut table = Table::new();
     table.row(&[
@@ -143,14 +188,24 @@ pub fn scale(opts: &Options) -> Report {
             let _ = std::fs::create_dir_all(dir);
             dir.join(format!("scale_{}_{}.journal", label.replace(':', "-"), site.token()))
         });
-        let hooks = ExecHooks {
-            journal: journal_path.clone(),
-            cancel: opts.cancel.clone(),
-            checkpoints: (site == InjectionSite::Write).then(|| store.clone()),
-            observer: None,
-        };
+        let work_dir = fan_root.join(format!("{}_{}", label.replace(':', "-"), site.token()));
         let started = Instant::now();
-        let result = match execute_spec(&spec, &hooks) {
+        let exec = match worker_cmd.as_deref() {
+            Some(cmd) => {
+                distribute_cell(&spec, opts, cmd, &work_dir, &fan_store_dir, &mut fan_store)
+            }
+            None => {
+                let hooks = ExecHooks {
+                    journal: journal_path.clone(),
+                    cancel: opts.cancel.clone(),
+                    checkpoints: (site == InjectionSite::Write).then(|| store.clone()),
+                    observer: None,
+                    index_range: None,
+                };
+                execute_spec(&spec, &hooks).map_err(|e| e.to_string())
+            }
+        };
+        let result = match exec {
             Ok(r) => r,
             Err(e) => {
                 report.line(format!("{} failed: {}", label, e));
@@ -186,7 +241,7 @@ pub fn scale(opts: &Options) -> Report {
                 label,
                 result.tally.total(),
                 opts.runs,
-                journal_path.is_some()
+                journal_path.is_some() || worker_cmd.is_some()
             ));
         }
         if fast_paths {
@@ -235,14 +290,22 @@ pub fn scale(opts: &Options) -> Report {
             executed: result.executed,
             resumed: result.resumed,
             complete,
-            journal: journal_path.map(|p| p.display().to_string()),
+            journal: if worker_cmd.is_some() {
+                // Distributed cells are journal-carried by construction:
+                // the merged segment file is the cell's journal.
+                Some(work_dir.join("merged.journal").display().to_string())
+            } else {
+                journal_path.map(|p| p.display().to_string())
+            },
         });
     }
 
     // Checkpoint sharing across the three write campaigns: one build,
     // the rest hits (identical deterministic golden traces). Read
     // campaigns never touch the store — the golden snapshot is their
-    // checkpoint.
+    // checkpoint. (In distributed mode the in-process store sits idle;
+    // the workers' shared disk store carries the same contract as
+    // content dedup, asserted below.)
     assert!(
         store.builds() <= 1,
         "the three write-model campaigns must share one checkpoint build, got {}",
@@ -250,14 +313,42 @@ pub fn scale(opts: &Options) -> Report {
     );
 
     report.line(table.render());
-    report.line(format!(
-        "(checkpoint store: {} build, {} hits across 3 write campaigns; {} total runs; record \
-         memory bounded at keep_runs={} per campaign — dropped records freed in the worker)",
-        store.builds(),
-        store.hits(),
-        total_runs,
-        SCALE_KEEP_RUNS
-    ));
+    if worker_cmd.is_some() {
+        // Fresh builds put checkpoint pages; identical page extents
+        // (across the set's snapshots and across racing workers) dedup
+        // to one stored blob. A rerun over an already-populated store
+        // legitimately loads instead of putting, so the >1 assert only
+        // fires when bytes actually flowed.
+        if fan_store.physical_bytes > 0 {
+            assert!(
+                fan_store.dedup_ratio() > 1.0,
+                "shared store saw fresh builds but no page dedup (logical {} / physical {})",
+                fan_store.logical_bytes,
+                fan_store.physical_bytes
+            );
+        }
+        report.line(format!(
+            "(shared disk checkpoint store: {} builds, {} disk loads across {} workers per cell; \
+             {} unique blobs, {:.2}x page dedup — {} logical / {} physical bytes; {} total runs)",
+            fan_store.builds,
+            fan_store.disk_hits,
+            opts.workers,
+            fan_store.blobs,
+            fan_store.dedup_ratio(),
+            fan_store.logical_bytes,
+            fan_store.physical_bytes,
+            total_runs
+        ));
+    } else {
+        report.line(format!(
+            "(checkpoint store: {} build, {} hits across 3 write campaigns; {} total runs; record \
+             memory bounded at keep_runs={} per campaign — dropped records freed in the worker)",
+            store.builds(),
+            store.hits(),
+            total_runs,
+            SCALE_KEEP_RUNS
+        ));
+    }
 
     // Paired read-vs-write throughput: the ISSUE target is read-site
     // campaign throughput within ~2x of write-site replay throughput
@@ -346,5 +437,250 @@ pub fn scale(opts: &Options) -> Report {
     {
         report.line(format!("(per-cell run digests: {})", digests_path.display()));
     }
+
+    if let Some(cmd) = worker_cmd.as_deref() {
+        distributed_summary(
+            opts,
+            n,
+            cmd,
+            &fan_root,
+            &fan_store_dir,
+            fan_store,
+            &stats,
+            &mut report,
+        );
+    }
     report
+}
+
+/// Run one matrix cell through the multi-process fan-out: journaling
+/// forced on (segments live under `work_dir`), the workers sharing
+/// the disk checkpoint store under `store_dir`, and the fan-out's
+/// store accounting folded into `totals`. Any failure is the cell's
+/// failure — a distributed invocation never silently mixes regimes by
+/// falling back in-process mid-matrix.
+fn distribute_cell(
+    spec: &CampaignSpec,
+    opts: &Options,
+    worker_cmd: &[String],
+    work_dir: &Path,
+    store_dir: &Path,
+    totals: &mut StoreTotals,
+) -> Result<CampaignResult, String> {
+    let mut spec = spec.clone();
+    spec.journal = true;
+    let hooks = ExecHooks {
+        journal: None,
+        cancel: opts.cancel.clone(),
+        checkpoints: None,
+        observer: None,
+        index_range: None,
+    };
+    let report = run_distributed(&spec, opts.workers, work_dir, Some(store_dir), worker_cmd, hooks)
+        .map_err(|e| e.to_string())?;
+    totals.merge(&report.store);
+    Ok(report.result)
+}
+
+/// Execute `spec` in-process with a fresh memory checkpoint store and
+/// no journal — the serial side of a speedup measurement — returning
+/// the completed result and its wall-clock seconds.
+fn serial_control(spec: &CampaignSpec, opts: &Options) -> Result<(CampaignResult, f64), String> {
+    let hooks = ExecHooks {
+        journal: None,
+        cancel: opts.cancel.clone(),
+        checkpoints: Some(Arc::new(CheckpointStore::new())),
+        observer: None,
+        index_range: None,
+    };
+    let started = Instant::now();
+    let result = execute_spec(spec, &hooks).map_err(|e| e.to_string())?;
+    if result.status != CompletionStatus::Complete {
+        return Err("interrupted".into());
+    }
+    Ok((result, started.elapsed().as_secs_f64()))
+}
+
+/// One serial-vs-distributed measurement row of
+/// `BENCH_distributed.json`. The digests are asserted equal before a
+/// row is admitted, so `digest_match` in the artifact is always the
+/// literal truth.
+struct SpeedCell {
+    app: &'static str,
+    model: &'static str,
+    site: &'static str,
+    runs: usize,
+    wall_serial_s: f64,
+    wall_distributed_s: f64,
+    plan_fingerprint: u64,
+    run_digest: u64,
+}
+
+impl SpeedCell {
+    fn speedup(&self) -> f64 {
+        self.wall_serial_s / self.wall_distributed_s.max(1e-9)
+    }
+}
+
+/// The distributed section of the scale report: rerun two cells as
+/// serial controls, assert byte-identity against the fan-out (engine
+/// law 7), and write `BENCH_distributed.json`. The nyx row is
+/// CPU-bound (its speedup honestly tracks the host's cores); the
+/// paced row is latency-bound, so the fan-out's overlap shows even on
+/// a single-core host.
+#[allow(clippy::too_many_arguments)]
+fn distributed_summary(
+    opts: &Options,
+    n: usize,
+    worker_cmd: &[String],
+    fan_root: &Path,
+    store_dir: &Path,
+    mut fan_store: StoreTotals,
+    stats: &[CellStats],
+    report: &mut Report,
+) {
+    if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        report.line("distributed speedup section skipped: interrupted");
+        return;
+    }
+    report
+        .header(&format!("Distributed fan-out — {} worker processes (engine law 7)", opts.workers));
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut speed: Vec<SpeedCell> = Vec::new();
+
+    // nyx BF write: the distributed wall is the matrix cell's own —
+    // only the serial control runs here. Journal flags don't enter the
+    // plan, so law 7 demands the control reproduce the fan-out's
+    // fingerprint and digest exactly.
+    if let Some(d) =
+        stats.iter().find(|s| s.label == "BF" && s.site == InjectionSite::Write && s.complete)
+    {
+        let mut cspec = CampaignSpec::new("nyx", "BF");
+        cspec.site = "write".into();
+        cspec.grid = n;
+        cspec.runs = opts.runs;
+        cspec.seed = opts.seed.wrapping_add(900);
+        cspec.keep_runs = Some(SCALE_KEEP_RUNS);
+        match serial_control(&cspec, opts) {
+            Ok((serial, wall)) => {
+                assert_eq!(
+                    (serial.plan_fingerprint, serial.run_digest()),
+                    (d.plan_fingerprint, d.run_digest),
+                    "law 7 violated: nyx BF fan-out diverged from its serial control"
+                );
+                speed.push(SpeedCell {
+                    app: "nyx",
+                    model: "BF",
+                    site: "write",
+                    runs: opts.runs,
+                    wall_serial_s: wall,
+                    wall_distributed_s: d.wall_s,
+                    plan_fingerprint: d.plan_fingerprint,
+                    run_digest: d.run_digest,
+                });
+            }
+            Err(e) => report.line(format!("nyx serial control skipped: {}", e)),
+        }
+    }
+
+    // paced: both sides measured here, work dir wiped first so the row
+    // times a cold fan-out rather than a segment resume.
+    if !opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        let mut pspec = CampaignSpec::new("paced", "BF");
+        pspec.site = "write".into();
+        pspec.runs = opts.runs;
+        pspec.seed = opts.seed.wrapping_add(970);
+        pspec.keep_runs = Some(SCALE_KEEP_RUNS);
+        let work_dir = fan_root.join("paced_speedup");
+        let _ = std::fs::remove_dir_all(&work_dir);
+        let serial = serial_control(&pspec, opts);
+        let started = Instant::now();
+        let dist = distribute_cell(&pspec, opts, worker_cmd, &work_dir, store_dir, &mut fan_store);
+        let dist_wall = started.elapsed().as_secs_f64();
+        match (serial, dist) {
+            (Ok((s, s_wall)), Ok(d)) if d.status == CompletionStatus::Complete => {
+                assert_eq!(
+                    (s.plan_fingerprint, s.run_digest()),
+                    (d.plan_fingerprint, d.run_digest()),
+                    "law 7 violated: paced fan-out diverged from its serial control"
+                );
+                speed.push(SpeedCell {
+                    app: "paced",
+                    model: "BF",
+                    site: "write",
+                    runs: opts.runs,
+                    wall_serial_s: s_wall,
+                    wall_distributed_s: dist_wall,
+                    plan_fingerprint: d.plan_fingerprint,
+                    run_digest: d.run_digest(),
+                });
+            }
+            (Err(e), _) => report.line(format!("paced serial control skipped: {}", e)),
+            (_, Err(e)) => report.line(format!("paced fan-out skipped: {}", e)),
+            _ => report.line("paced speedup row skipped: interrupted"),
+        }
+    }
+
+    let mut t = Table::new();
+    t.row(&["app", "model", "site", "runs", "serial s", "distributed s", "speedup", "digest"]);
+    for c in &speed {
+        t.row(&[
+            c.app,
+            c.model,
+            c.site,
+            &c.runs.to_string(),
+            &format!("{:.2}", c.wall_serial_s),
+            &format!("{:.2}", c.wall_distributed_s),
+            &format!("{:.2}x", c.speedup()),
+            "match",
+        ]);
+    }
+    report.line(t.render());
+    report.line(format!(
+        "(host cores: {} — the nyx row is CPU-bound and tracks them; the paced row is \
+         latency-bound and measures the fan-out overlap directly)",
+        cores
+    ));
+
+    let cells_json: Vec<String> = speed
+        .iter()
+        .map(|c| {
+            bench_json::object(&[
+                ("app", bench_json::string(c.app)),
+                ("model", bench_json::string(c.model)),
+                ("site", bench_json::string(c.site)),
+                ("runs", bench_json::number(c.runs as f64)),
+                ("wall_serial_s", bench_json::number(c.wall_serial_s)),
+                ("wall_distributed_s", bench_json::number(c.wall_distributed_s)),
+                ("speedup", bench_json::number(c.speedup())),
+                ("plan_fingerprint", bench_json::string(&format!("{:#018x}", c.plan_fingerprint))),
+                ("run_digest", bench_json::string(&format!("{:#018x}", c.run_digest))),
+                ("digest_match", bench_json::bool(true)),
+            ])
+        })
+        .collect();
+    let json = bench_json::object(&[
+        ("bench", bench_json::string("distributed")),
+        ("workers", bench_json::number(opts.workers as f64)),
+        ("cores", bench_json::number(cores as f64)),
+        ("grid", bench_json::number(n as f64)),
+        ("runs_per_cell", bench_json::number(opts.runs as f64)),
+        ("cells", bench_json::array(&cells_json)),
+        (
+            "store",
+            bench_json::object(&[
+                ("builds", bench_json::number(fan_store.builds as f64)),
+                ("disk_hits", bench_json::number(fan_store.disk_hits as f64)),
+                ("blobs", bench_json::number(fan_store.blobs as f64)),
+                ("logical_bytes", bench_json::number(fan_store.logical_bytes as f64)),
+                ("physical_bytes", bench_json::number(fan_store.physical_bytes as f64)),
+                ("dedup_hits", bench_json::number(fan_store.dedup_hits as f64)),
+                ("dedup_ratio", bench_json::number(fan_store.dedup_ratio())),
+                ("corrupt_discards", bench_json::number(fan_store.corrupt_discards as f64)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = bench_json::save_in(&opts.out, "BENCH_distributed.json", &json) {
+        report.line(format!("(distributed numbers: {})", path.display()));
+    }
 }

@@ -9,7 +9,7 @@ use ffis_core::CancelToken;
 fn usage() -> String {
     let mut s = String::from(
         "usage: repro <experiment> [--runs N] [--seed S] [--grid G] [--out DIR] [--quick]\n\
-         \u{20}                    [--journal DIR] [--resume]\n\n\
+         \u{20}                    [--journal DIR] [--resume] [--workers N]\n\n\
          experiments:\n",
     );
     for name in experiments::ALL {
@@ -22,7 +22,10 @@ fn usage() -> String {
          campaign-as-a-service: persistent job queue + REST/NDJSON API (see `repro daemon`)\n\n\
          durability:\n  --journal DIR   write per-campaign run journals under DIR\n  \
          --resume        resume from existing journals (safe with no journal present)\n  \
-         Ctrl-C          graceful stop: completed runs are journaled, partial tallies reported\n",
+         Ctrl-C          graceful stop: completed runs are journaled, partial tallies reported\n\n\
+         distribution:\n  --workers N     (scale only) shard each campaign across N worker \
+         processes\n  \
+         \u{20}                sharing a disk checkpoint store; writes BENCH_distributed.json\n",
     );
     s
 }

@@ -1,0 +1,49 @@
+//! The true multi-*process* distributed differential: run the real
+//! `repro` binary once with `--workers 2` (spawning real worker
+//! processes over a shared disk checkpoint store) and once
+//! single-process, and demand byte-identical `DIGESTS.txt` — engine
+//! law 7 at the outermost boundary the project has. This is the same
+//! comparison the `distributed-smoke` CI job makes at grid 64.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn out_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffis-distproc-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn repro_scale(out: &Path, extra: &[&str]) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["scale", "--grid", "16", "--runs", "8", "--seed", "42", "--out"])
+        .arg(out)
+        .args(extra);
+    let status = cmd.status().expect("repro binary runs");
+    assert!(status.success(), "repro scale {:?} failed", extra);
+}
+
+#[test]
+fn worker_processes_reproduce_the_single_process_digests() {
+    let dist = out_dir("dist");
+    let ctrl = out_dir("ctrl");
+    repro_scale(&dist, &["--workers", "2"]);
+    repro_scale(&ctrl, &[]);
+
+    let dist_digests = std::fs::read_to_string(dist.join("DIGESTS.txt")).unwrap();
+    let ctrl_digests = std::fs::read_to_string(ctrl.join("DIGESTS.txt")).unwrap();
+    assert!(!dist_digests.is_empty(), "distributed run produced no digests");
+    assert_eq!(dist_digests, ctrl_digests, "law 7 violated across process boundaries");
+
+    // The distributed invocation also leaves its measurement artifact,
+    // with the digest-equality asserts already passed in-process.
+    let bench = std::fs::read_to_string(dist.join("BENCH_distributed.json")).unwrap();
+    for needle in [r#""bench":"distributed""#, r#""workers":2"#, r#""digest_match":true"#] {
+        assert!(bench.contains(needle), "{} missing in {}", needle, bench);
+    }
+    // And the single-process control must not claim one.
+    assert!(!ctrl.join("BENCH_distributed.json").exists());
+
+    let _ = std::fs::remove_dir_all(&dist);
+    let _ = std::fs::remove_dir_all(&ctrl);
+}

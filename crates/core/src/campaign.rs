@@ -103,6 +103,13 @@ pub struct CampaignConfig {
     /// NDJSON stream and live tally counters hang off this; it never
     /// affects results.
     pub observer: Option<RunObserver>,
+    /// Execute only the half-open plan-index range `[start, end)` —
+    /// this process's shard of a distributed fan-out (engine law 7).
+    /// Planning, the golden run, and the journal header are identical
+    /// across workers (the plan is always built whole); only execution
+    /// and completion accounting restrict to the range. `None` (the
+    /// default) runs the whole plan.
+    pub index_range: Option<(usize, usize)>,
 }
 
 /// A shareable live run callback: `(result, resumed)` per plan index,
@@ -163,6 +170,7 @@ impl CampaignConfig {
             fuel: None,
             wall_limit: None,
             observer: None,
+            index_range: None,
         }
     }
 
@@ -175,6 +183,13 @@ impl CampaignConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Execute only a plan-index range (see
+    /// [`CampaignConfig::index_range`]).
+    pub fn with_index_range(mut self, range: Option<(usize, usize)>) -> Self {
+        self.index_range = range;
         self
     }
 
@@ -892,6 +907,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 .as_ref()
                 .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
             observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
+            index_range: self.config.index_range,
         };
         let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let result = execute_run(
@@ -1441,6 +1457,10 @@ pub struct MixedCampaignConfig {
     pub wall_limit: Option<Duration>,
     /// Live run-event observer (see [`CampaignConfig::observer`]).
     pub observer: Option<RunObserver>,
+    /// Execute only a plan-index range (see
+    /// [`CampaignConfig::index_range`]): this process's shard of a
+    /// distributed fan-out.
+    pub index_range: Option<(usize, usize)>,
 }
 
 impl MixedCampaignConfig {
@@ -1461,6 +1481,7 @@ impl MixedCampaignConfig {
             fuel: None,
             wall_limit: None,
             observer: None,
+            index_range: None,
         }
     }
 
@@ -1473,6 +1494,13 @@ impl MixedCampaignConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Execute only a plan-index range (see
+    /// [`CampaignConfig::index_range`]).
+    pub fn with_index_range(mut self, range: Option<(usize, usize)>) -> Self {
+        self.index_range = range;
         self
     }
 
@@ -1898,6 +1926,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 .as_ref()
                 .map(|f| f as &(dyn Fn(usize, Outcome, bool, &RunResult) + Sync)),
             observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
+            index_range: self.config.index_range,
         };
         let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
             let shard = &shards[pr.shard];

@@ -111,11 +111,26 @@ pub struct Durability<'a, R> {
     /// executed run from the worker that ran it, after `persist`.
     #[allow(clippy::type_complexity)]
     pub observe: Option<&'a (dyn Fn(RunEvent<'_, R>) + Sync)>,
+    /// Restrict execution to the half-open plan-index range `[start,
+    /// end)` — one fan-out worker's shard of a distributed campaign
+    /// (engine law 7). Indices outside the range are neither executed
+    /// nor resumed, and completion is judged against the range: the
+    /// result is [`CompletionStatus::Complete`] when every *in-range*
+    /// index landed, so a worker's partial sink reports honestly while
+    /// the coordinator owns the whole-plan merge. `None` = the whole
+    /// plan (the single-process default).
+    pub index_range: Option<(usize, usize)>,
 }
 
 impl<R> Default for Durability<'_, R> {
     fn default() -> Self {
-        Durability { resumed: HashMap::new(), cancel: None, persist: None, observe: None }
+        Durability {
+            resumed: HashMap::new(),
+            cancel: None,
+            persist: None,
+            observe: None,
+            index_range: None,
+        }
     }
 }
 
@@ -152,11 +167,15 @@ where
     R: Send,
     F: Fn(&PlannedRun<S>) -> RunRecord<R> + Sync,
 {
-    let Durability { mut resumed, cancel, persist, observe } = durability;
+    let Durability { mut resumed, cancel, persist, observe, index_range } = durability;
+    let in_range =
+        |index: usize| index_range.is_none_or(|(start, end)| index >= start && index < end);
     // A journal can only hold indices of the plan it fingerprints,
     // but a decoded index is still external input: drop any that
-    // cannot address a slot rather than panicking on it.
-    resumed.retain(|&index, _| index < plan.len());
+    // cannot address a slot rather than panicking on it. A fan-out
+    // worker additionally ignores journaled results outside its shard
+    // — they belong to (and are re-merged by) the coordinator.
+    resumed.retain(|&index, _| index < plan.len() && in_range(index));
 
     // Resumed indices are observed first, in index order: a stream
     // subscriber sees the journal-recovered prefix before any newly
@@ -180,12 +199,16 @@ where
     let keep = reservoir_mask(cfg.keep_seed, plan.len(), cfg.keep_runs);
     let keep_index = |index: usize| keep.as_ref().is_none_or(|m| m[index]);
 
-    // Pending = schedule order minus the journal-recovered indices.
+    // Pending = schedule order minus the journal-recovered indices,
+    // restricted to this worker's shard of the plan.
     let pending: Vec<usize> = plan
         .schedule()
         .iter()
         .copied()
-        .filter(|&pos| !resumed.contains_key(&plan.runs()[pos].index))
+        .filter(|&pos| {
+            let index = plan.runs()[pos].index;
+            in_range(index) && !resumed.contains_key(&index)
+        })
         .collect();
 
     // `None` = skipped because cancellation tripped before the run
@@ -235,7 +258,13 @@ where
         executed += 1;
         sink.absorb(index, shard, outcome, fired, payload);
     }
-    let status = if executed + resumed_count == scheduled {
+    // Completion is judged against what this invocation was asked to
+    // cover: the whole plan, or one worker's index range.
+    let target = match index_range {
+        Some((start, end)) => end.min(plan.len()).saturating_sub(start.min(plan.len())),
+        None => scheduled,
+    };
+    let status = if executed + resumed_count == target {
         CompletionStatus::Complete
     } else {
         CompletionStatus::Interrupted
@@ -345,7 +374,7 @@ mod tests {
         let out = execute_durable(
             &p,
             &cfg,
-            Durability { resumed, cancel: None, persist: None, observe: None },
+            Durability { resumed, cancel: None, persist: None, observe: None, index_range: None },
             |pr| {
                 calls.fetch_add(1, Ordering::SeqCst);
                 assert!(pr.index >= 11, "journaled index {} re-executed", pr.index);
@@ -373,6 +402,7 @@ mod tests {
                 cancel: Some(&cancel),
                 persist: None,
                 observe: None,
+                index_range: None,
             },
             run_one,
         );
@@ -398,6 +428,7 @@ mod tests {
                 cancel: None,
                 persist: Some(&persist),
                 observe: None,
+                index_range: None,
             },
             run_one,
         );
@@ -429,7 +460,13 @@ mod tests {
         let out = execute_durable(
             &p,
             &cfg,
-            Durability { resumed, cancel: None, persist: None, observe: Some(&observe) },
+            Durability {
+                resumed,
+                cancel: None,
+                persist: None,
+                observe: Some(&observe),
+                index_range: None,
+            },
             run_one,
         );
         assert_eq!(out.executed, 11);
@@ -465,12 +502,75 @@ mod tests {
         let out = execute_durable(
             &p,
             &EngineConfig { parallel: false, keep_runs: None, keep_seed: 0 },
-            Durability { resumed, cancel: None, persist: None, observe: None },
+            Durability { resumed, cancel: None, persist: None, observe: None, index_range: None },
             run_one,
         );
         assert_eq!(out.resumed, 0);
         assert_eq!(out.executed, 5);
         assert_eq!(out.status, CompletionStatus::Complete);
+    }
+
+    #[test]
+    fn index_range_executes_only_its_shard_and_completes_relative_to_it() {
+        use super::super::planner::index_ranges;
+        use std::sync::Mutex;
+        let p = plan(23);
+        let cfg = EngineConfig { parallel: false, keep_runs: None, keep_seed: 9 };
+        let full = execute(&p, &cfg, run_one);
+
+        // Run each worker's range in isolation, journaling via persist.
+        type SegmentMap = HashMap<usize, (Outcome, bool, (usize, u64))>;
+        let journal: Mutex<SegmentMap> = Mutex::new(HashMap::new());
+        for range in index_ranges(p.len(), 3) {
+            let persist = |index: usize, o: Outcome, f: bool, r: &(usize, u64)| {
+                journal.lock().unwrap().insert(index, (o, f, *r));
+            };
+            let out = execute_durable(
+                &p,
+                &cfg,
+                Durability {
+                    resumed: HashMap::new(),
+                    cancel: None,
+                    persist: Some(&persist),
+                    observe: None,
+                    index_range: Some(range),
+                },
+                |pr| {
+                    assert!(
+                        pr.index >= range.0 && pr.index < range.1,
+                        "index {} escaped range {range:?}",
+                        pr.index
+                    );
+                    run_one(pr)
+                },
+            );
+            assert_eq!(out.status, CompletionStatus::Complete, "complete relative to the range");
+            assert_eq!(out.executed, range.1 - range.0);
+            assert_eq!(out.resumed, 0);
+            assert_eq!(
+                out.tally.total() as usize,
+                range.1 - range.0,
+                "partial tally covers the shard"
+            );
+        }
+
+        // The coordinator's merge: feed every worker's journaled
+        // results back as resumed — nothing re-executes, and the
+        // result is byte-identical to the single-process run (law 7).
+        let resumed = journal.into_inner().unwrap();
+        assert_eq!(resumed.len(), 23, "ranges partition the plan exactly");
+        let out = execute_durable(
+            &p,
+            &cfg,
+            Durability { resumed, cancel: None, persist: None, observe: None, index_range: None },
+            |pr| panic!("index {} re-executed after distributed merge", pr.index),
+        );
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.resumed, 23);
+        assert_eq!(out.status, CompletionStatus::Complete);
+        assert_eq!(out.kept, full.kept);
+        assert_eq!(out.tally, full.tally);
+        assert_eq!(out.shard_tallies, full.shard_tallies);
     }
 
     #[test]

@@ -494,6 +494,54 @@ impl Iterator for RecordScan<'_> {
     }
 }
 
+/// Merge per-worker journal segments of one distributed campaign into
+/// a single whole-plan journal at `dest` (engine law 7's coordinator
+/// half).
+///
+/// Every segment must carry a header identical to `expected` — all
+/// workers executed shards of the *same* plan — otherwise the merge is
+/// rejected with [`JournalError::PlanMismatch`] (or the segment's own
+/// header error) and `dest` is left unwritten. Records are merged
+/// index-addressed, first-wins on duplicates (matching
+/// [`RunJournal::resume`]'s scan), written in index order, and the
+/// count of distinct merged records is returned. Torn segment tails
+/// are skipped exactly as resume would skip them: the missing runs
+/// simply stay pending in the merged journal. `dest` must not name one
+/// of the segments.
+pub fn merge_segments(
+    dest: &Path,
+    expected: &JournalMeta,
+    segments: &[PathBuf],
+) -> Result<u64, JournalError> {
+    let mut entries: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+    for segment in segments {
+        let mut bytes = Vec::new();
+        File::open(segment)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| JournalError::Io(format!("{}: {e}", segment.display())))?;
+        let (meta, body_start) = decode_header(&bytes)?;
+        if meta != *expected {
+            return Err(JournalError::PlanMismatch {
+                found: meta.fingerprint,
+                expected: expected.fingerprint,
+            });
+        }
+        for (entry, _) in RecordScan::new(&bytes[body_start..]) {
+            entries.entry(entry.index).or_insert(entry);
+        }
+    }
+    let mut merged = RunJournal::create(dest, expected.clone())?;
+    for (index, entry) in &entries {
+        if !merged.append(*index, entry.outcome, entry.fired, &entry.payload) {
+            return Err(JournalError::Io(format!(
+                "{}: append failed while merging segments",
+                dest.display()
+            )));
+        }
+    }
+    Ok(entries.len() as u64)
+}
+
 /// Scan a journal file without resuming it: header metadata plus the
 /// byte offset where each complete record *ends*. Offset `k` of the
 /// returned vector is where a journal holding exactly `k + 1` records
@@ -681,6 +729,65 @@ mod tests {
         drop(f);
         let (_, entries) = RunJournal::resume(&path, &meta()).unwrap();
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn merge_segments_is_index_addressed_and_first_wins() {
+        let dir = std::env::temp_dir().join(format!("ffis-journal-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg_a = dir.join("seg-a.journal");
+        let seg_b = dir.join("seg-b.journal");
+        let dest = dir.join("merged.journal");
+
+        // Worker A covers [0, 4), worker B [4, 8) — plus a duplicate
+        // of index 3 in B that the merge must ignore (first wins).
+        let mut a = RunJournal::create(&seg_a, meta()).unwrap();
+        for i in 0..4usize {
+            a.append(i, Outcome::Benign, true, format!("a-{i}").as_bytes());
+        }
+        drop(a);
+        let mut b = RunJournal::create(&seg_b, meta()).unwrap();
+        b.append(3, Outcome::Crash, true, b"b-dup-3");
+        for i in 4..8usize {
+            b.append(i, Outcome::Sdc, false, format!("b-{i}").as_bytes());
+        }
+        drop(b);
+
+        let merged = merge_segments(&dest, &meta(), &[seg_a.clone(), seg_b.clone()]).unwrap();
+        assert_eq!(merged, 8);
+        let (j, entries) = RunJournal::resume(&dest, &meta()).unwrap();
+        assert_eq!(j.records(), 8);
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries[&3].payload, b"a-3", "first segment wins the duplicate index");
+        assert_eq!(entries[&6].outcome, Outcome::Sdc);
+        assert!(!entries[&6].fired);
+
+        // A segment from a different plan poisons the whole merge.
+        let alien = dir.join("alien.journal");
+        let other = JournalMeta { fingerprint: 99, ..meta() };
+        RunJournal::create(&alien, other).unwrap();
+        let err = merge_segments(&dest, &meta(), &[seg_a, alien]).unwrap_err();
+        assert!(matches!(err, JournalError::PlanMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_segments_skips_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("ffis-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let seg = dir.join("seg.journal");
+        let mut j = RunJournal::create(&seg, meta()).unwrap();
+        j.append(0, Outcome::Benign, true, b"ok");
+        j.append(1, Outcome::Benign, true, b"torn");
+        drop(j);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 2).unwrap();
+
+        let dest = dir.join("merged.journal");
+        assert_eq!(merge_segments(&dest, &meta(), &[seg]).unwrap(), 1);
+        let (_, entries) = RunJournal::resume(&dest, &meta()).unwrap();
+        assert_eq!(entries.len(), 1, "the torn run stays pending, not corrupted");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

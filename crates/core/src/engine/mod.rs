@@ -68,6 +68,26 @@
 //!    again). Pinned by `tests/resume_durability.rs` (which SIGKILLs
 //!    a child mid-campaign) and the kill-point proptest in
 //!    `tests/properties.rs`.
+//! 7. **Distributed merge law** — *serial == parallel == distributed,
+//!    byte for byte.* Sharding a plan by index range
+//!    ([`index_ranges`]) across worker processes, executing each range
+//!    with [`Durability::index_range`] against its own journal
+//!    segment, merging the segments index-addressed
+//!    ([`journal::merge_segments`], first-wins like resume), and
+//!    resuming the merged journal produces tallies, kept records, and
+//!    run digests identical to the single-process campaign. This is
+//!    laws 2, 3, and 6 composed: ranges partition the plan (each index
+//!    lands exactly once), every run's result is a pure function of
+//!    its plan-time spec (so *which process* executes it cannot matter
+//!    — workers share checkpoints through the content-addressed
+//!    `ffis_vfs::CheckpointStore` disk tier, which is verified-or-
+//!    rebuilt and therefore semantically invisible), and the
+//!    coordinator's final resume re-derives the result from the merged
+//!    journal exactly as a crash-resume would. A worker judges
+//!    [`CompletionStatus`] against its own range, so partial sinks
+//!    report honestly; only the coordinator speaks for the whole plan.
+//!    Pinned by the distributed differential tests in
+//!    `crates/daemon/tests/` and the `distributed-smoke` CI job.
 //!
 //! ## Liveness: fuel budgets and cancellation
 //!
@@ -112,6 +132,6 @@ pub use executor::{
     execute, execute_durable, Durability, EngineConfig, EngineResult, RunEvent, RunRecord,
 };
 pub use job::{CampaignSpec, JobFailure, JobState, MIN_GRID};
-pub use journal::{JournalEntry, JournalError, JournalMeta, RunJournal};
-pub use planner::{ExecutionPlan, PlannedRun, RunStrategy};
+pub use journal::{merge_segments, JournalEntry, JournalError, JournalMeta, RunJournal};
+pub use planner::{index_ranges, ExecutionPlan, PlannedRun, RunStrategy};
 pub use sink::{reservoir_mask, RunSink};

@@ -144,6 +144,35 @@ impl<S> ExecutionPlan<S> {
     }
 }
 
+/// Shard a plan of `total` runs across `workers` processes:
+/// contiguous, non-overlapping, half-open `[start, end)` ranges that
+/// cover `0..total` exactly, longest-first (the first `total % workers`
+/// ranges hold one extra run). Empty ranges are never produced —
+/// `workers > total` yields `total` singleton ranges — so a
+/// coordinator can spawn one worker per returned range without
+/// special-casing idle processes.
+///
+/// Because every run's result is a pure function of its plan-time spec
+/// (engine laws 2 and 3), partitioning by index range is *complete*
+/// and *disjoint*: merging the per-range journals index-addressed
+/// reproduces the single-process campaign byte for byte (law 7).
+pub fn index_ranges(total: usize, workers: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(total);
+    let base = total / workers;
+    let extra = total % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
 /// Proportional two-stream merge: at every position, take from the
 /// stream whose progress fraction is behind (ties prefer `a`), so `b`
 /// items spread evenly through `a` instead of clumping.
@@ -244,6 +273,30 @@ mod tests {
     fn all_rerun_plan_keeps_index_order() {
         let plan = planned(vec![RunStrategy::Rerun { reason: ReplayFallback::Disabled }; 4]);
         assert_eq!(plan.schedule(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn index_ranges_partition_exactly() {
+        for total in [0usize, 1, 2, 5, 64, 192, 193] {
+            for workers in [0usize, 1, 2, 3, 7, 200] {
+                let ranges = index_ranges(total, workers);
+                if total == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), workers.max(1).min(total));
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, total);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+                assert!(ranges.iter().all(|&(s, e)| s < e), "no empty range");
+                let lens: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "near-even split: {lens:?}");
+            }
+        }
+        assert_eq!(index_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct ExecHooks {
     pub checkpoints: Option<Arc<CheckpointStore>>,
     /// Live run-event observer.
     pub observer: Option<RunObserver>,
+    /// Restrict execution to the half-open plan-index range
+    /// `[start, end)` — the distributed fan-out's worker shard.
+    /// Planning, the golden run, and the journal header stay those of
+    /// the *full* plan (engine law 7), so segments from different
+    /// workers merge index-addressed.
+    pub index_range: Option<(usize, usize)>,
 }
 
 /// Run a validated spec through the campaign engine. The spec's
@@ -83,7 +89,8 @@ pub fn execute_spec(
     let mut cfg = CampaignConfig::new(signature)
         .with_runs(spec.runs)
         .with_seed(spec.seed)
-        .with_keep_runs(spec.keep_runs);
+        .with_keep_runs(spec.keep_runs)
+        .with_index_range(hooks.index_range);
     cfg.parallel = spec.parallel;
     if let Some(budget) = spec.fuel {
         cfg = cfg.with_fuel(budget);

@@ -195,7 +195,18 @@ fn error_message(status: u16, body: &[u8]) -> String {
         .ok()
         .and_then(|v| v.get("error").and_then(Json::as_str).map(str::to_string))
         .unwrap_or_else(|| text.trim().to_string());
-    format!("HTTP {}: {}", status, detail)
+    // Mirror the server's body-framing rejects with actionable advice:
+    // this client always sends Content-Length-framed bodies, so a 411
+    // or 501 here means some other intermediary or caller re-framed
+    // the request.
+    match status {
+        411 | 501 => format!(
+            "HTTP {}: {} (the daemon only accepts Content-Length-framed request bodies; \
+             chunked and other transfer codings are not supported)",
+            status, detail
+        ),
+        _ => format!("HTTP {}: {}", status, detail),
+    }
 }
 
 /// Parse the status line and headers; returns `(status, chunked,

@@ -94,9 +94,26 @@ fn status_text(code: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        411 => "Length Required",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Response",
+    }
+}
+
+/// Why a request never reached the handler: either the socket/framing
+/// failed ([`ParseError::Io`], answered 400) or the request was
+/// well-formed but asked for something this server deliberately does
+/// not speak ([`ParseError::Reject`], answered with its own status).
+enum ParseError {
+    Io,
+    Reject(u16, String),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(_: io::Error) -> ParseError {
+        ParseError::Io
     }
 }
 
@@ -115,8 +132,8 @@ fn write_head(
     write!(stream, "Connection: close\r\n\r\n")
 }
 
-fn parse_request(stream: &mut TcpStream) -> io::Result<Request> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+fn parse_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).map_err(ParseError::from)?;
     let mut reader = BufReader::new(stream);
     let mut head = Vec::new();
     // Read byte-wise up to the blank line; BufReader makes this cheap
@@ -125,12 +142,12 @@ fn parse_request(stream: &mut TcpStream) -> io::Result<Request> {
         let mut line = Vec::new();
         reader.read_until(b'\n', &mut line)?;
         if line.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+            return Err(ParseError::Io);
         }
         let blank = line == b"\r\n" || line == b"\n";
         head.extend_from_slice(&line);
         if head.len() > MAX_HEAD {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+            return Err(ParseError::Io);
         }
         if blank {
             break;
@@ -143,21 +160,47 @@ fn parse_request(stream: &mut TcpStream) -> io::Result<Request> {
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     let target = parts.next().unwrap_or("");
     if method.is_empty() || !target.starts_with('/') {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+        return Err(ParseError::Io);
     }
     let path = target.split('?').next().unwrap_or("/").to_string();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut transfer_encoding: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| ParseError::Io)?);
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                transfer_encoding = Some(value.trim().to_string());
             }
         }
     }
+    // Request bodies are Content-Length-framed only. A chunked (or any
+    // other transfer-coded) body would otherwise parse as *empty* and
+    // fail downstream with a misleading spec-validation error — say
+    // what is actually unsupported instead.
+    if let Some(encoding) = transfer_encoding {
+        return Err(ParseError::Reject(
+            501,
+            format!(
+                "Transfer-Encoding '{}' is not implemented; send a Content-Length-framed body",
+                encoding
+            ),
+        ));
+    }
+    let content_length = match (content_length, method.as_str()) {
+        (Some(n), _) => n,
+        // Body-bearing methods must declare their length explicitly.
+        (None, "POST" | "PUT" | "PATCH") => {
+            return Err(ParseError::Reject(
+                411,
+                format!("{} requires a Content-Length header", method),
+            ));
+        }
+        (None, _) => 0,
+    };
     if content_length > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "request body too large"));
+        return Err(ParseError::Io);
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -167,7 +210,15 @@ fn parse_request(stream: &mut TcpStream) -> io::Result<Request> {
 fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Reply) {
     let request = match parse_request(&mut stream) {
         Ok(r) => r,
-        Err(_) => {
+        Err(ParseError::Reject(status, message)) => {
+            // Understood but unsupported: answer with the specific
+            // status so the client can say what to change.
+            let body = Json::Obj(vec![("error".into(), Json::Str(message))]).render();
+            let _ = write_head(&mut stream, status, "application/json", Some(body.len()))
+                .and_then(|()| stream.write_all(body.as_bytes()));
+            return;
+        }
+        Err(ParseError::Io) => {
             // Unparseable request: best-effort 400, then hang up.
             let body = b"{\"error\":\"malformed request\"}";
             let _ = write_head(&mut stream, 400, "application/json", Some(body.len()))
@@ -341,6 +392,31 @@ mod tests {
         assert!(out.contains("{\"n\":1}\n"), "{out}");
         assert!(out.contains("{\"n\":2}\n"), "{out}");
         assert!(out.ends_with("0\r\n\r\n"), "{out}");
+        shutdown.store(true, Ordering::SeqCst);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn transfer_coded_bodies_get_501_and_lengthless_posts_411() {
+        let (addr, shutdown, join) = start(|req| Reply::Raw(200, "text/plain", req.body.clone()));
+        // A chunked POST would otherwise be read as an *empty* body and
+        // fail downstream with a misleading validation error.
+        let out = exchange(
+            addr,
+            "POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        );
+        assert!(out.starts_with("HTTP/1.1 501 Not Implemented"), "{out}");
+        assert!(out.contains("Transfer-Encoding 'chunked' is not implemented"), "{out}");
+        // Exotic codings are equally unimplemented, not silently empty.
+        let out = exchange(addr, "POST /jobs HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 501"), "{out}");
+        // Body-bearing methods must declare a length.
+        let out = exchange(addr, "POST /jobs HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 411 Length Required"), "{out}");
+        assert!(out.contains("POST requires a Content-Length"), "{out}");
+        // GET without a length stays fine — there is no body to frame.
+        let out = exchange(addr, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
         shutdown.store(true, Ordering::SeqCst);
         join.join().unwrap();
     }

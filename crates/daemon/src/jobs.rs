@@ -35,7 +35,37 @@ use ffis_vfs::CheckpointStore;
 
 use crate::api::{self, JobView};
 use crate::apps::{check_app, execute_spec, ExecHooks};
+use crate::distributed::{self, run_distributed};
 use crate::json;
+
+/// Queue tuning beyond the admission cap — all optional; the
+/// defaults reproduce the historical single-process, keep-everything
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct QueueOptions {
+    /// Keep at most this many **terminal** (`complete`/`failed`) job
+    /// directories; older terminal jobs are garbage-collected at
+    /// startup and whenever a job reaches a terminal state. Jobs that
+    /// are queued, running, or interrupted — anything that may still
+    /// resume — are never collected. `None` keeps everything.
+    pub retain: Option<usize>,
+    /// Worker *processes* per job (engine law 7 fan-out). `1` runs
+    /// jobs in-process; `N > 1` shards each journaled job's run plan
+    /// across `N` spawned workers sharing the disk-backed checkpoint
+    /// store, then merges and resumes. Requires [`QueueOptions::
+    /// worker_cmd`] (or a host binary with a `daemon worker`
+    /// subcommand, the [`distributed::self_worker_cmd`] default).
+    pub fanout: usize,
+    /// Argv prefix for one worker process; defaults to re-invoking
+    /// the current executable's `daemon worker` subcommand.
+    pub worker_cmd: Option<Vec<String>>,
+}
+
+impl Default for QueueOptions {
+    fn default() -> Self {
+        QueueOptions { retain: None, fanout: 1, worker_cmd: None }
+    }
+}
 
 struct Job {
     view: JobView,
@@ -64,8 +94,11 @@ pub struct JobQueue {
     max_concurrent: AtomicUsize,
     /// One shared checkpoint store per `(app, grid)`: concurrent and
     /// successive jobs over the same golden run share one built
-    /// checkpoint cache.
+    /// checkpoint cache. Stores are disk-backed under
+    /// `<root>/store/<app>-g<grid>`, so the cache also survives
+    /// daemon restarts and is shared with fan-out worker processes.
     stores: Mutex<HashMap<(String, usize), Arc<CheckpointStore>>>,
+    options: QueueOptions,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -74,6 +107,16 @@ impl JobQueue {
     /// start `workers` executor threads (the admission cap: at most
     /// that many jobs run concurrently; the rest wait in FIFO order).
     pub fn open(root: &Path, workers: usize) -> io::Result<Arc<JobQueue>> {
+        Self::open_with(root, workers, QueueOptions::default())
+    }
+
+    /// [`JobQueue::open`] with explicit [`QueueOptions`] (retention
+    /// cap, fan-out width, worker command).
+    pub fn open_with(
+        root: &Path,
+        workers: usize,
+        options: QueueOptions,
+    ) -> io::Result<Arc<JobQueue>> {
         let jobs_dir = root.join("jobs");
         std::fs::create_dir_all(&jobs_dir)?;
         let queue = Arc::new(JobQueue {
@@ -84,9 +127,14 @@ impl JobQueue {
             running_now: AtomicUsize::new(0),
             max_concurrent: AtomicUsize::new(0),
             stores: Mutex::new(HashMap::new()),
+            options,
             workers: Mutex::new(Vec::new()),
         });
         queue.recover(&jobs_dir)?;
+        // Retention runs before any new work: a restart over a full
+        // disk should free space first, and recovery has just parked
+        // every resumable job where the GC cannot touch it.
+        queue.gc_terminal();
         let mut pool = queue.workers.lock().unwrap_or_else(|e| e.into_inner());
         for _ in 0..workers.max(1) {
             let q = Arc::clone(&queue);
@@ -283,10 +331,43 @@ impl JobQueue {
         }
     }
 
+    /// Disk directory of the shared checkpoint store for this spec's
+    /// `(app, grid)` — the same directory fan-out worker processes
+    /// mount.
+    fn store_dir(&self, spec: &CampaignSpec) -> PathBuf {
+        self.root.join("store").join(format!("{}-g{}", spec.app.to_ascii_lowercase(), spec.grid))
+    }
+
     fn checkpoint_store(&self, spec: &CampaignSpec) -> Arc<CheckpointStore> {
         let key = (spec.app.to_ascii_lowercase(), spec.grid);
+        let dir = self.store_dir(spec);
         let mut stores = self.stores.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(stores.entry(key).or_insert_with(|| Arc::new(CheckpointStore::new())))
+        Arc::clone(stores.entry(key).or_insert_with(|| distributed::open_store(&dir)))
+    }
+
+    /// Enforce [`QueueOptions::retain`]: drop the oldest terminal
+    /// (`complete`/`failed`) job directories beyond the cap. Anything
+    /// that may still resume — queued, running, interrupted, or
+    /// cancelled jobs — is never touched: a job is only collectable
+    /// once its `result.json` is the complete record of its outcome.
+    fn gc_terminal(&self) {
+        let Some(retain) = self.options.retain else { return };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut terminal: Vec<u64> = inner
+            .jobs
+            .iter()
+            .filter(|(_, job)| matches!(job.view.state, JobState::Complete | JobState::Failed))
+            .map(|(&id, _)| id)
+            .collect();
+        terminal.sort_unstable();
+        let excess = terminal.len().saturating_sub(retain);
+        for id in terminal.into_iter().take(excess) {
+            if let Err(e) = std::fs::remove_dir_all(self.job_dir(id)) {
+                eprintln!("[ffis-daemon] retention: could not remove job {}: {}", id, e);
+                continue;
+            }
+            inner.jobs.remove(&id);
+        }
     }
 
     fn worker_loop(self: Arc<Self>) {
@@ -339,13 +420,57 @@ impl JobQueue {
                 job.subscribers.retain(|tx| tx.send(line.clone()).is_ok());
             }
         });
-        let hooks = ExecHooks {
-            journal: spec.journal.then(|| dir.join("run.journal")),
-            cancel: Some(cancel),
-            checkpoints: Some(self.checkpoint_store(&spec)),
-            observer: Some(observer),
-        };
-        let outcome = execute_spec(&spec, &hooks);
+        // Fan-out (engine law 7): shard journaled multi-run jobs
+        // across worker processes sharing the disk store, merge the
+        // segments, and resume — byte-identical to the in-process
+        // path, which stays the fallback if the fan-out cannot even
+        // start (missing worker binary, unwritable work dir).
+        let fanout = self.options.fanout.min(spec.runs);
+        let mut outcome = None;
+        if fanout > 1 && spec.journal {
+            let worker_cmd =
+                self.options.worker_cmd.clone().or_else(|| distributed::self_worker_cmd().ok());
+            if let Some(cmd) = worker_cmd {
+                // The coordinator overrides `journal`/`index_range`;
+                // the observer rides the final merged-resume pass, so
+                // stream subscribers still see one event per index.
+                let hooks = ExecHooks {
+                    journal: None,
+                    cancel: Some(Arc::clone(&cancel)),
+                    checkpoints: Some(self.checkpoint_store(&spec)),
+                    observer: Some(observer.clone()),
+                    index_range: None,
+                };
+                match run_distributed(
+                    &spec,
+                    fanout,
+                    &dir.join("fanout"),
+                    Some(&self.store_dir(&spec)),
+                    &cmd,
+                    hooks,
+                ) {
+                    Ok(report) => outcome = Some(Ok(report.result)),
+                    // A campaign failure from the final pass is the
+                    // job's real outcome; only orchestration failures
+                    // fall back to the in-process path.
+                    Err(distributed::FanoutError::Campaign(e)) => outcome = Some(Err(e)),
+                    Err(distributed::FanoutError::Setup(e)) => eprintln!(
+                        "[ffis-daemon] job {}: fan-out unavailable ({}); running in-process",
+                        id, e
+                    ),
+                }
+            }
+        }
+        let outcome = outcome.unwrap_or_else(|| {
+            let hooks = ExecHooks {
+                journal: spec.journal.then(|| dir.join("run.journal")),
+                cancel: Some(cancel),
+                checkpoints: Some(self.checkpoint_store(&spec)),
+                observer: Some(observer),
+                index_range: None,
+            };
+            execute_spec(&spec, &hooks)
+        });
 
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Some(job) = inner.jobs.get_mut(&id) else { return };
@@ -367,12 +492,19 @@ impl JobQueue {
                 job.view.failure = Some(JobFailure::from_campaign_error(&e));
             }
         }
-        if matches!(job.view.state, JobState::Complete | JobState::Failed) {
+        let terminal = matches!(job.view.state, JobState::Complete | JobState::Failed);
+        if terminal {
             let _ = std::fs::write(dir.join("result.json"), api::job_to_json(&job.view).render());
         }
         let done = api::done_line(&job.view);
         for tx in job.subscribers.drain(..) {
             let _ = tx.send(done.clone());
+        }
+        drop(inner);
+        if terminal {
+            // This job just became collectable; an older terminal job
+            // may now exceed the retention cap.
+            self.gc_terminal();
         }
     }
 }

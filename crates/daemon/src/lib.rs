@@ -65,6 +65,7 @@
 pub mod api;
 pub mod apps;
 pub mod client;
+pub mod distributed;
 pub mod http;
 pub mod jobs;
 pub mod json;
@@ -73,5 +74,6 @@ pub mod server;
 pub use api::{JobView, StreamEvent};
 pub use apps::{execute_spec, ExecHooks, PacedApp};
 pub use client::Client;
-pub use jobs::JobQueue;
+pub use distributed::{run_distributed, self_worker_cmd, FanoutReport, StoreTotals, WorkerStats};
+pub use jobs::{JobQueue, QueueOptions};
 pub use server::{Daemon, DaemonConfig};

@@ -37,13 +37,30 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Directory scanned for `BENCH_*.json` artifacts (`GET /bench`).
     pub bench_dir: Option<PathBuf>,
+    /// Terminal job-directory retention cap (`--retain N`): keep at
+    /// most this many `complete`/`failed` job directories, collecting
+    /// the oldest first. Resumable jobs are never collected. `None`
+    /// keeps everything.
+    pub retain: Option<usize>,
+    /// Worker *processes* per job (`--fanout N`): `N > 1` shards each
+    /// journaled job's run plan across `N` spawned worker processes
+    /// that share the disk-backed checkpoint store (engine law 7).
+    /// `1` runs jobs in-process.
+    pub fanout: usize,
 }
 
 impl DaemonConfig {
     /// A config rooted at `root` on an ephemeral localhost port with
     /// two worker slots.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        DaemonConfig { root: root.into(), addr: "127.0.0.1:0".into(), workers: 2, bench_dir: None }
+        DaemonConfig {
+            root: root.into(),
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            bench_dir: None,
+            retain: None,
+            fanout: 1,
+        }
     }
 }
 
@@ -59,7 +76,12 @@ pub struct Daemon {
 impl Daemon {
     /// Bind, recover the queue (resuming interrupted jobs), and serve.
     pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
-        let queue = JobQueue::open(&config.root, config.workers)?;
+        let options = crate::jobs::QueueOptions {
+            retain: config.retain,
+            fanout: config.fanout,
+            worker_cmd: None,
+        };
+        let queue = JobQueue::open_with(&config.root, config.workers, options)?;
         let server = HttpServer::bind(&config.addr)?;
         let addr = server.addr();
         let stop = Arc::new(AtomicBool::new(false));

@@ -1,0 +1,485 @@
+//! Content-addressed blob storage for checkpoint state.
+//!
+//! The checkpoint disk tier stores every 4-KiB page extent (and every
+//! trace write payload chunk) as one **blob** addressed by the SHA-256
+//! of its bytes. Content addressing is what makes the store cheap at
+//! campaign scale: the log-spaced checkpoints of one trace share
+//! almost all of their pages (a checkpoint at index *i* and one at
+//! index *j* differ only in the pages written between them), and
+//! campaigns over the same deterministic workload produce identical
+//! golden state — so a page is written to disk once no matter how many
+//! checkpoints, campaigns, or daemon jobs reference it.
+//!
+//! Durability follows the run journal's discipline: every blob file is
+//! CRC-framed, writes go through a temp file + atomic rename (so a
+//! concurrent writer or a crash can never expose a half-written blob
+//! under its final name), and a corrupt frame is **deleted and treated
+//! as a miss** — the caller rebuilds the state and rewrites the blob;
+//! corruption never crashes a campaign.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::wire;
+
+/// Content address of a blob: SHA-256 over its bytes.
+pub type BlobHash = [u8; 32];
+
+/// Magic prefix of a framed blob file.
+const BLOB_MAGIC: &[u8; 8] = b"FFISBLB1";
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Local to
+/// this crate — `ffis-core`'s run journal carries its own copy — so
+/// the VFS layer stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 content hash (FIPS 180-4). Hand-rolled — the workspace is
+/// offline, and the 64-bit FNV used for trace fingerprints is too
+/// collision-prone to address content that is *reconstructed from* its
+/// hash rather than merely cache-keyed by it.
+pub fn sha256(data: &[u8]) -> BlobHash {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let bitlen = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bitlen.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 =
+                hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(SHA256_K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Lower-case hex rendering of a blob hash (blob file names).
+pub fn hash_hex(hash: &BlobHash) -> String {
+    let mut s = String::with_capacity(64);
+    for b in hash {
+        use std::fmt::Write as _;
+        let _ = write!(s, "{:02x}", b);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Deduplication and durability accounting for a [`BlobStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlobStats {
+    /// Unique blobs currently indexed in memory.
+    pub blobs: usize,
+    /// Total bytes offered to [`BlobStore::put`] (before dedup).
+    pub logical_bytes: u64,
+    /// Bytes actually retained for unique blobs (after dedup).
+    pub physical_bytes: u64,
+    /// `put` calls answered by an existing blob (content dedup).
+    pub dedup_hits: u64,
+    /// Blobs faulted in from the disk tier by [`BlobStore::get`].
+    pub disk_loads: u64,
+    /// Corrupt disk frames discarded (deleted, treated as a miss).
+    pub corrupt_discards: u64,
+}
+
+impl BlobStats {
+    /// Logical-over-physical byte ratio: how many times each stored
+    /// byte was referenced. `1.0` means no content was shared; the
+    /// checkpoint workload sits well above 1 because log-spaced
+    /// checkpoints share most of their pages.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+}
+
+/// A content-addressed blob store: memory tier always, disk tier when
+/// constructed with a directory.
+///
+/// Disk layout: `<dir>/<first 2 hex chars>/<64 hex chars>.blob`, each
+/// file framed as `magic | len u32 | crc32 u32 | bytes`. Writers land
+/// frames via temp-file + rename, so concurrent processes sharing one
+/// store directory race idempotently (same content ⇒ same name ⇒ same
+/// bytes). Readers verify the frame CRC *and* re-hash the payload
+/// against its address before trusting it; any mismatch deletes the
+/// file and reports a miss.
+#[derive(Debug)]
+pub struct BlobStore {
+    mem: Mutex<HashMap<BlobHash, Arc<Vec<u8>>>>,
+    dir: Option<PathBuf>,
+    logical_bytes: AtomicU64,
+    physical_bytes: AtomicU64,
+    dedup_hits: AtomicU64,
+    disk_loads: AtomicU64,
+    corrupt_discards: AtomicU64,
+}
+
+impl Default for BlobStore {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl BlobStore {
+    /// Memory-only store (no persistence).
+    pub fn in_memory() -> Self {
+        BlobStore {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+            logical_bytes: AtomicU64::new(0),
+            physical_bytes: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            corrupt_discards: AtomicU64::new(0),
+        }
+    }
+
+    /// Disk-backed store rooted at `dir` (created if missing). The
+    /// directory may be shared by any number of processes.
+    pub fn at_dir(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = Self::in_memory();
+        store.dir = Some(dir.to_path_buf());
+        Ok(store)
+    }
+
+    /// The disk-tier root, when this store has one.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn blob_path(&self, hash: &BlobHash) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let hex = hash_hex(hash);
+        Some(dir.join(&hex[..2]).join(format!("{}.blob", hex)))
+    }
+
+    /// Store `bytes`, returning their content address. Identical
+    /// content is stored once; repeats count as dedup hits.
+    pub fn put(&self, bytes: &[u8]) -> BlobHash {
+        let hash = sha256(bytes);
+        self.logical_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        {
+            let mut mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+            if mem.contains_key(&hash) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return hash;
+            }
+            mem.insert(hash, Arc::new(bytes.to_vec()));
+        }
+        self.physical_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        if let Some(path) = self.blob_path(&hash) {
+            // Best-effort persistence: a failed disk write degrades the
+            // store to its memory tier, never a campaign.
+            let _ = write_frame(&path, bytes);
+        }
+        hash
+    }
+
+    /// Fetch a blob by content address: memory tier first, then the
+    /// disk tier (verifying frame CRC and content hash; corrupt frames
+    /// are deleted and miss). `None` means the content must be
+    /// rebuilt.
+    pub fn get(&self, hash: &BlobHash) -> Option<Arc<Vec<u8>>> {
+        if let Some(hit) = self.mem.lock().unwrap_or_else(|e| e.into_inner()).get(hash) {
+            return Some(hit.clone());
+        }
+        let path = self.blob_path(hash)?;
+        let raw = std::fs::read(&path).ok()?;
+        match decode_frame(&raw) {
+            Some(bytes) if sha256(&bytes) == *hash => {
+                let blob = Arc::new(bytes);
+                let mut mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+                let entry = mem.entry(*hash).or_insert_with(|| blob.clone()).clone();
+                drop(mem);
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            _ => {
+                // Torn or bit-rotted frame: drop it so the rebuild's
+                // rewrite starts clean.
+                let _ = std::fs::remove_file(&path);
+                self.corrupt_discards.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Is `hash` resident in the memory tier? (Accounting/tests; does
+    /// not consult the disk tier.)
+    pub fn contains(&self, hash: &BlobHash) -> bool {
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).contains_key(hash)
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> BlobStats {
+        BlobStats {
+            blobs: self.mem.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            physical_bytes: self.physical_bytes.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            corrupt_discards: self.corrupt_discards.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Write one CRC-framed blob file via temp + atomic rename. The temp
+/// name embeds the pid so concurrent writers in different processes
+/// never collide mid-write.
+fn write_frame(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if path.exists() {
+        return Ok(()); // Content-addressed: an existing file is this file.
+    }
+    let parent = path.parent().expect("blob paths have a shard directory");
+    std::fs::create_dir_all(parent)?;
+    let mut frame = Vec::with_capacity(bytes.len() + 16);
+    frame.extend_from_slice(BLOB_MAGIC);
+    wire::put_u32(&mut frame, bytes.len() as u32);
+    wire::put_u32(&mut frame, crc32(bytes));
+    frame.extend_from_slice(bytes);
+    let tmp = parent.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("blob")
+    ));
+    std::fs::write(&tmp, &frame)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Decode a framed blob file; `None` on any structural or CRC damage.
+fn decode_frame(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut r = wire::Reader::new(raw);
+    if r.bytes(BLOB_MAGIC.len())? != BLOB_MAGIC {
+        return None;
+    }
+    let len = r.u32()? as usize;
+    let crc = r.u32()?;
+    let bytes = r.bytes(len)?;
+    if r.remaining() != 0 || crc32(bytes) != crc {
+        return None;
+    }
+    Some(bytes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vectors() {
+        // FIPS 180-4 test vectors.
+        assert_eq!(
+            hash_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hash_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // A multi-block message (> 64 bytes).
+        assert_eq!(
+            hash_hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn put_get_dedup_in_memory() {
+        let store = BlobStore::in_memory();
+        let a = store.put(&[1u8; 4096]);
+        let b = store.put(&[1u8; 4096]);
+        let c = store.put(&[2u8; 4096]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.get(&a).unwrap().as_slice(), &[1u8; 4096][..]);
+        let stats = store.stats();
+        assert_eq!(stats.blobs, 2);
+        assert_eq!(stats.logical_bytes, 3 * 4096);
+        assert_eq!(stats.physical_bytes, 2 * 4096);
+        assert_eq!(stats.dedup_hits, 1);
+        assert!(stats.dedup_ratio() > 1.0);
+    }
+
+    #[test]
+    fn missing_blob_is_none() {
+        let store = BlobStore::in_memory();
+        assert!(store.get(&sha256(b"never stored")).is_none());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffis-blobs-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_tier_survives_process_restart() {
+        let dir = temp_dir("restart");
+        let hash = {
+            let store = BlobStore::at_dir(&dir).unwrap();
+            store.put(b"persist me")
+        };
+        // A fresh store (fresh "process") faults the blob in from disk.
+        let store2 = BlobStore::at_dir(&dir).unwrap();
+        assert!(!store2.contains(&hash));
+        assert_eq!(store2.get(&hash).unwrap().as_slice(), b"persist me");
+        assert_eq!(store2.stats().disk_loads, 1);
+        assert!(store2.contains(&hash));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_is_deleted_and_misses() {
+        let dir = temp_dir("corrupt");
+        let store = BlobStore::at_dir(&dir).unwrap();
+        let hash = store.put(b"will be damaged");
+        let path = store.blob_path(&hash).unwrap();
+        assert!(path.exists());
+
+        // Flip one payload byte on disk: CRC (and content hash) break.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let fresh = BlobStore::at_dir(&dir).unwrap();
+        assert!(fresh.get(&hash).is_none());
+        assert_eq!(fresh.stats().corrupt_discards, 1);
+        assert!(!path.exists(), "corrupt frame deleted");
+        // Re-putting rewrites the frame and get works again.
+        fresh.put(b"will be damaged");
+        let again = BlobStore::at_dir(&dir).unwrap();
+        assert_eq!(again.get(&hash).unwrap().as_slice(), b"will be damaged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_truncated_frame_is_deleted_and_misses() {
+        let dir = temp_dir("torn");
+        let store = BlobStore::at_dir(&dir).unwrap();
+        let hash = store.put(&[9u8; 1000]);
+        let path = store.blob_path(&hash).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        // Simulate a torn write: only half the frame made it to disk.
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let fresh = BlobStore::at_dir(&dir).unwrap();
+        assert!(fresh.get(&hash).is_none());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn content_hash_mismatch_is_rejected_even_with_valid_crc() {
+        let dir = temp_dir("addr");
+        let store = BlobStore::at_dir(&dir).unwrap();
+        let hash = store.put(b"original");
+        let path = store.blob_path(&hash).unwrap();
+        // A structurally valid frame holding *different* content under
+        // this address (e.g. a botched manual copy) must not be served.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(BLOB_MAGIC);
+        wire::put_u32(&mut frame, 5);
+        wire::put_u32(&mut frame, crc32(b"wrong"));
+        frame.extend_from_slice(b"wrong");
+        std::fs::write(&path, &frame).unwrap();
+        let fresh = BlobStore::at_dir(&dir).unwrap();
+        assert!(fresh.get(&hash).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

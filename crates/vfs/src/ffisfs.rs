@@ -54,6 +54,18 @@ impl CounterSnapshot {
     pub(crate) fn bump(&mut self, p: Primitive, n: u64) {
         self.counts[p.index()] += n;
     }
+
+    /// Raw counts in [`PRIMITIVES`] order (checkpoint serialization).
+    pub(crate) fn to_raw(self) -> [u64; PRIMITIVES.len()] {
+        self.counts
+    }
+
+    /// Rebuild from raw counts in [`PRIMITIVES`] order; `None` when
+    /// the slice length disagrees (a corrupt or cross-version image).
+    pub(crate) fn from_raw(counts: &[u64]) -> Option<Self> {
+        let counts: [u64; PRIMITIVES.len()] = counts.try_into().ok()?;
+        Some(CounterSnapshot { counts })
+    }
 }
 
 /// Panic payload thrown by [`FfisFs`] when an armed I/O-op fuel

@@ -33,11 +33,11 @@ pub const BLOCK_SIZE: usize = 4096;
 pub const MAX_FILE_SIZE: u64 = 1 << 32; // 4 GiB
 
 /// One copy-on-write page extent.
-type Page = [u8; BLOCK_SIZE];
+pub(crate) type Page = [u8; BLOCK_SIZE];
 
 /// The shared all-zeros page backing sparse regions. Every hole in
 /// every file aliases this single allocation until first written.
-fn zero_page() -> &'static Arc<Page> {
+pub(crate) fn zero_page() -> &'static Arc<Page> {
     static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
     ZERO.get_or_init(|| Arc::new([0u8; BLOCK_SIZE]))
 }
@@ -199,6 +199,33 @@ impl SectorFile {
         }
         self.len = size;
         Ok(())
+    }
+
+    /// The raw page extents backing this file, in order (content
+    /// addressing: the checkpoint disk tier hashes and stores each
+    /// page individually).
+    pub(crate) fn pages(&self) -> &[Arc<Page>] {
+        &self.pages
+    }
+
+    /// Reassemble a file from page extents + length (the checkpoint
+    /// disk tier's load path). Returns `None` when the parts violate
+    /// the type's invariants — page count must exactly cover `len`,
+    /// the capacity limit must hold, and the bytes of the last page at
+    /// or beyond `len` must be zero — so a corrupt image decodes to
+    /// "rebuild", never to a malformed file.
+    pub(crate) fn from_pages(pages: Vec<Arc<Page>>, len: u64) -> Option<Self> {
+        if len > MAX_FILE_SIZE || pages.len() != (len as usize).div_ceil(BLOCK_SIZE) {
+            return None;
+        }
+        let tail = len as usize % BLOCK_SIZE;
+        if tail != 0 {
+            let last = pages.last().expect("tail != 0 implies a last page");
+            if last[tail..].iter().any(|&b| b != 0) {
+                return None;
+            }
+        }
+        Some(SectorFile { pages, len })
     }
 
     /// Copy the full contents out as a contiguous vector.
@@ -366,6 +393,21 @@ mod tests {
         let mut d = SectorFile::from_bytes(vec![1, 2, 3]);
         d.truncate(2).unwrap();
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn pages_roundtrip_via_from_pages() {
+        let f = SectorFile::from_bytes((0..10_000).map(|i| (i % 251) as u8).collect());
+        let rebuilt = SectorFile::from_pages(f.pages().to_vec(), f.len()).unwrap();
+        assert_eq!(f, rebuilt);
+        // Page count must exactly cover the declared length.
+        assert!(SectorFile::from_pages(f.pages().to_vec(), f.len() + BLOCK_SIZE as u64).is_none());
+        assert!(SectorFile::from_pages(f.pages().to_vec(), 1).is_none());
+        // Stale bytes past `len` in the last page violate the
+        // zero-beyond-len invariant and must be rejected.
+        let mut dirty = f.pages().to_vec();
+        Arc::make_mut(dirty.last_mut().unwrap())[BLOCK_SIZE - 1] = 7;
+        assert!(SectorFile::from_pages(dirty, f.len()).is_none());
     }
 
     #[test]

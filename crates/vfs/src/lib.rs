@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod blobs;
 pub mod bufio;
 pub mod counting;
 pub mod error;
@@ -86,7 +87,9 @@ pub mod interceptor;
 pub mod memfs;
 pub mod path;
 pub mod trace;
+mod wire;
 
+pub use blobs::{BlobHash, BlobStats, BlobStore};
 pub use bufio::BufFile;
 pub use counting::{TraceInterceptor, TraceRecord};
 pub use error::{FsError, FsResult};

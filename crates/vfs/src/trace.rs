@@ -130,15 +130,18 @@
 //!   `montage_sim`'s stage cascade for the pattern).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
-use std::sync::Arc;
-
+use crate::blobs::{crc32, BlobStats, BlobStore};
 use crate::error::{FsError, FsResult};
 use crate::ffisfs::{CounterSnapshot, FfisFs};
+use crate::file::{Page, BLOCK_SIZE};
 use crate::fs::{Fd, FileSystem, LockKind, NodeKind, OpenFlags};
 use crate::interceptor::{Interceptor, Primitive};
-use crate::memfs::MemFs;
+use crate::memfs::{self, MemFs};
+use crate::wire;
 
 /// One recorded state-mutating primitive invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -898,8 +901,342 @@ fn trace_fingerprint(ops: &[TraceOp]) -> u64 {
     h.0
 }
 
+/// Checkpoint-manifest file framing: magic, schema, trace fingerprint,
+/// then a CRC-guarded body (op stream + per-checkpoint state).
+const MANIFEST_MAGIC: &[u8; 8] = b"FFISCKM1";
+const MANIFEST_SCHEMA: u32 = 1;
+
+/// Serialize one trace op, externalizing write payloads into `blobs`
+/// as ≤ one-page content-addressed chunks. Tag bytes follow
+/// [`TraceOp`]'s variant order.
+fn encode_op(op: &TraceOp, blobs: &BlobStore, buf: &mut Vec<u8>) {
+    match op {
+        TraceOp::Mknod { path, kind, mode, dev } => {
+            wire::put_u8(buf, 0);
+            wire::put_str(buf, path);
+            wire::put_u8(buf, memfs::kind_code(*kind));
+            wire::put_u32(buf, *mode);
+            wire::put_u64(buf, *dev);
+        }
+        TraceOp::Mkdir { path, mode } => {
+            wire::put_u8(buf, 1);
+            wire::put_str(buf, path);
+            wire::put_u32(buf, *mode);
+        }
+        TraceOp::Unlink { path } => {
+            wire::put_u8(buf, 2);
+            wire::put_str(buf, path);
+        }
+        TraceOp::Rmdir { path } => {
+            wire::put_u8(buf, 3);
+            wire::put_str(buf, path);
+        }
+        TraceOp::Rename { from, to } => {
+            wire::put_u8(buf, 4);
+            wire::put_str(buf, from);
+            wire::put_str(buf, to);
+        }
+        TraceOp::Chmod { path, mode } => {
+            wire::put_u8(buf, 5);
+            wire::put_str(buf, path);
+            wire::put_u32(buf, *mode);
+        }
+        TraceOp::Truncate { path, size } => {
+            wire::put_u8(buf, 6);
+            wire::put_str(buf, path);
+            wire::put_u64(buf, *size);
+        }
+        TraceOp::Create { path, mode, fd } => {
+            wire::put_u8(buf, 7);
+            wire::put_str(buf, path);
+            wire::put_u32(buf, *mode);
+            wire::put_u64(buf, *fd);
+        }
+        TraceOp::Open { path, flags, fd } => {
+            wire::put_u8(buf, 8);
+            wire::put_str(buf, path);
+            wire::put_u8(buf, memfs::flags_code(flags));
+            wire::put_u64(buf, *fd);
+        }
+        TraceOp::Write { fd, path, offset, data } => {
+            wire::put_u8(buf, 9);
+            wire::put_u64(buf, *fd);
+            match path {
+                Some(p) => {
+                    wire::put_u8(buf, 1);
+                    wire::put_str(buf, p);
+                }
+                None => wire::put_u8(buf, 0),
+            }
+            match offset {
+                Some(o) => {
+                    wire::put_u8(buf, 1);
+                    wire::put_u64(buf, *o);
+                }
+                None => wire::put_u8(buf, 0),
+            }
+            wire::put_u32(buf, data.len() as u32);
+            wire::put_u32(buf, data.chunks(BLOCK_SIZE).len() as u32);
+            for chunk in data.chunks(BLOCK_SIZE) {
+                buf.extend_from_slice(&blobs.put(chunk));
+            }
+        }
+        TraceOp::Fsync { fd } => {
+            wire::put_u8(buf, 10);
+            wire::put_u64(buf, *fd);
+        }
+        TraceOp::Release { fd } => {
+            wire::put_u8(buf, 11);
+            wire::put_u64(buf, *fd);
+        }
+        TraceOp::Lock { fd, kind } => {
+            wire::put_u8(buf, 12);
+            wire::put_u64(buf, *fd);
+            wire::put_u8(
+                buf,
+                match kind {
+                    LockKind::Shared => 1,
+                    LockKind::Exclusive => 2,
+                },
+            );
+        }
+        TraceOp::Unlock { fd } => {
+            wire::put_u8(buf, 13);
+            wire::put_u64(buf, *fd);
+        }
+    }
+}
+
+/// Inverse of [`encode_op`]; `None` on any malformed field or a write
+/// chunk missing from / corrupted in the blob store.
+fn decode_op(r: &mut wire::Reader<'_>, blobs: &BlobStore) -> Option<TraceOp> {
+    Some(match r.u8()? {
+        0 => TraceOp::Mknod {
+            path: r.str_()?,
+            kind: memfs::kind_from_code(r.u8()?)?,
+            mode: r.u32()?,
+            dev: r.u64()?,
+        },
+        1 => TraceOp::Mkdir { path: r.str_()?, mode: r.u32()? },
+        2 => TraceOp::Unlink { path: r.str_()? },
+        3 => TraceOp::Rmdir { path: r.str_()? },
+        4 => TraceOp::Rename { from: r.str_()?, to: r.str_()? },
+        5 => TraceOp::Chmod { path: r.str_()?, mode: r.u32()? },
+        6 => TraceOp::Truncate { path: r.str_()?, size: r.u64()? },
+        7 => TraceOp::Create { path: r.str_()?, mode: r.u32()?, fd: r.u64()? },
+        8 => {
+            TraceOp::Open { path: r.str_()?, flags: memfs::flags_from_code(r.u8()?)?, fd: r.u64()? }
+        }
+        9 => {
+            let fd = r.u64()?;
+            let path = match r.u8()? {
+                0 => None,
+                1 => Some(r.str_()?),
+                _ => return None,
+            };
+            let offset = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return None,
+            };
+            let total = r.u32()? as usize;
+            let n_chunks = r.u32()? as usize;
+            let mut data = Vec::with_capacity(total);
+            for _ in 0..n_chunks {
+                let hash: [u8; 32] = r.bytes(32)?.try_into().ok()?;
+                data.extend_from_slice(&blobs.get(&hash)?);
+            }
+            if data.len() != total {
+                return None;
+            }
+            TraceOp::Write { fd, path, offset, data }
+        }
+        10 => TraceOp::Fsync { fd: r.u64()? },
+        11 => TraceOp::Release { fd: r.u64()? },
+        12 => TraceOp::Lock {
+            fd: r.u64()?,
+            kind: match r.u8()? {
+                1 => LockKind::Shared,
+                2 => LockKind::Exclusive,
+                _ => return None,
+            },
+        },
+        13 => TraceOp::Unlock { fd: r.u64()? },
+        _ => return None,
+    })
+}
+
+/// Serialize a built checkpoint set into a CRC-framed manifest file.
+/// Write payloads and filesystem pages land in `blobs` as
+/// content-addressed chunks; the manifest stores only their hashes, so
+/// checkpoints sharing page content (log-spaced snapshots of one
+/// growing file, or sibling campaigns over the same workload) dedupe
+/// on disk.
+fn encode_manifest(key: u64, cks: &TraceCheckpoints, blobs: &BlobStore) -> Vec<u8> {
+    let mut body = Vec::new();
+    wire::put_u32(&mut body, cks.ops.len() as u32);
+    for op in &cks.ops {
+        encode_op(op, blobs, &mut body);
+    }
+    wire::put_u32(&mut body, cks.points.len() as u32);
+    for point in &cks.points {
+        wire::put_u64(&mut body, point.index as u64);
+        let counts = point.counters.to_raw();
+        wire::put_u32(&mut body, counts.len() as u32);
+        for c in counts {
+            wire::put_u64(&mut body, c);
+        }
+        let mut fds: Vec<_> = point.cursor.fds.iter().collect();
+        fds.sort_by_key(|(golden, _)| **golden);
+        wire::put_u32(&mut body, fds.len() as u32);
+        for (golden, live) in fds {
+            wire::put_u64(&mut body, *golden);
+            wire::put_u64(&mut body, live.fd);
+            wire::put_str(&mut body, &live.path);
+        }
+        let image = point.fs.export_image(&mut |page| blobs.put(page));
+        wire::put_u32(&mut body, image.len() as u32);
+        body.extend_from_slice(&image);
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 28);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    wire::put_u32(&mut out, MANIFEST_SCHEMA);
+    wire::put_u64(&mut out, key);
+    wire::put_u32(&mut out, body.len() as u32);
+    wire::put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode and fully verify a manifest file: frame magic/schema/key,
+/// body CRC, op stream, and every checkpoint's counters, cursor, and
+/// filesystem image (each page re-fetched — and content-verified — from
+/// the blob store). Any failure yields `None`; callers treat that as a
+/// cache miss and rebuild.
+fn decode_manifest(raw: &[u8], key: u64, blobs: &BlobStore) -> Option<TraceCheckpoints> {
+    let mut r = wire::Reader::new(raw);
+    if r.bytes(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC
+        || r.u32()? != MANIFEST_SCHEMA
+        || r.u64()? != key
+    {
+        return None;
+    }
+    let body_len = r.u32()? as usize;
+    let body_crc = r.u32()?;
+    let body = r.bytes(body_len)?;
+    if r.remaining() != 0 || crc32(body) != body_crc {
+        return None;
+    }
+
+    let mut r = wire::Reader::new(body);
+    let n_ops = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+    for _ in 0..n_ops {
+        ops.push(decode_op(&mut r, blobs)?);
+    }
+
+    // Pages are shared across checkpoints in memory exactly as a fresh
+    // build's CoW forks would share them: one Arc per distinct hash.
+    let mut page_cache: HashMap<[u8; 32], Arc<Page>> = HashMap::new();
+    let n_points = r.u32()? as usize;
+    let mut points = Vec::with_capacity(n_points.min(1 << 10));
+    for _ in 0..n_points {
+        let index = r.u64()? as usize;
+        let n_counts = r.u32()? as usize;
+        let mut counts = Vec::with_capacity(n_counts.min(64));
+        for _ in 0..n_counts {
+            counts.push(r.u64()?);
+        }
+        let counters = CounterSnapshot::from_raw(&counts)?;
+        let n_fds = r.u32()? as usize;
+        let mut fds = HashMap::with_capacity(n_fds.min(1 << 10));
+        for _ in 0..n_fds {
+            let golden = r.u64()?;
+            let fd = r.u64()?;
+            let path = r.str_()?;
+            fds.insert(golden, ReplayFd { fd, path });
+        }
+        let image_len = r.u32()? as usize;
+        let image = r.bytes(image_len)?;
+        let fs = MemFs::import_image(image, &mut |hash| {
+            if let Some(hit) = page_cache.get(hash) {
+                return Some(hit.clone());
+            }
+            let blob = blobs.get(hash)?;
+            if blob.len() != BLOCK_SIZE {
+                return None;
+            }
+            let mut page = [0u8; BLOCK_SIZE];
+            page.copy_from_slice(&blob);
+            let page = Arc::new(page);
+            page_cache.insert(*hash, page.clone());
+            Some(page)
+        })?;
+        points.push(TraceCheckpoint {
+            index,
+            fs: Arc::new(fs),
+            cursor: ReplayCursor { fds },
+            counters,
+        });
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    // Structural sanity on the checkpoint spine: non-empty, starts at
+    // the mount snapshot, strictly ascending, within the trace.
+    if points.first().map(|p| p.index) != Some(0) {
+        return None;
+    }
+    if !points.windows(2).all(|w| w[0].index < w[1].index) {
+        return None;
+    }
+    if points.last().is_some_and(|p| p.index > ops.len()) {
+        return None;
+    }
+    Some(TraceCheckpoints { ops, points })
+}
+
+/// The disk tier of a [`CheckpointStore`]: content-addressed page and
+/// write-payload blobs plus per-trace manifest files.
+struct DiskTier {
+    blobs: BlobStore,
+    manifests: PathBuf,
+}
+
+/// Slot state for one trace fingerprint: a build in flight (losers
+/// block on the store's condvar) or the finished checkpoints.
+enum Slot {
+    Building,
+    Ready(Arc<TraceCheckpoints>),
+}
+
+/// Clears the `Building` marker and wakes waiters if a build errors or
+/// panics, so a lost build can never wedge every later caller of that
+/// key. Disarmed on the success path once `Ready` is published.
+struct BuildGuard<'a> {
+    store: &'a CheckpointStore,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.store.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(state.get(&self.key), Some(Slot::Building)) {
+            state.remove(&self.key);
+        }
+        drop(state);
+        self.store.ready.notify_all();
+    }
+}
+
 /// A concurrent memoizing store of built [`TraceCheckpoints`], keyed
-/// by golden-trace content.
+/// by golden-trace content, with an optional content-addressed disk
+/// tier.
 ///
 /// Building a checkpoint cache replays the whole trace once and forks
 /// O(log n) CoW snapshots. A repro experiment runs *several* campaigns
@@ -910,6 +1247,20 @@ fn trace_fingerprint(ops: &[TraceOp]) -> u64 {
 /// with a given trace builds, every later identical trace returns the
 /// same [`Arc`].
 ///
+/// Concurrent callers are single-flighted: the first thread to miss
+/// claims the key and builds; every other thread requesting the same
+/// trace blocks and receives the winner's `Arc` — never a duplicate
+/// build. A build that fails (or panics) releases the claim and wakes
+/// the waiters, which then race to claim it themselves.
+///
+/// A store created with [`CheckpointStore::with_dir`] additionally
+/// persists every build as a CRC-framed manifest whose pages and write
+/// payloads live in a shared content-addressed [`BlobStore`] —
+/// identical pages across checkpoints and campaigns are stored once.
+/// Fresh processes (daemon restarts, fan-out workers) load checkpoints
+/// from disk instead of replaying; torn or bit-rotted files fail
+/// verification, are deleted, and trigger a rebuild — never a crash.
+///
 /// Lookups key on a content fingerprint of the full op stream
 /// (including write payloads) and verify the hit's ops compare equal
 /// before returning it, so a fingerprint collision can never hand a
@@ -917,46 +1268,155 @@ fn trace_fingerprint(ops: &[TraceOp]) -> u64 {
 /// uncached.
 #[derive(Default)]
 pub struct CheckpointStore {
-    cache: Mutex<HashMap<u64, Arc<TraceCheckpoints>>>,
-    builds: std::sync::atomic::AtomicUsize,
-    hits: std::sync::atomic::AtomicUsize,
+    state: Mutex<HashMap<u64, Slot>>,
+    ready: Condvar,
+    disk: Option<DiskTier>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl CheckpointStore {
-    /// Empty store.
+    /// Empty in-memory store (no disk tier).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Store backed by a disk tier rooted at `dir` (created if
+    /// missing): blobs under `dir/blobs`, manifests under
+    /// `dir/manifests`. Several stores — including ones in different
+    /// processes — may share a root; blob writes are idempotent and
+    /// manifest installs are atomic renames.
+    pub fn with_dir(dir: &Path) -> std::io::Result<Self> {
+        let blobs = BlobStore::at_dir(&dir.join("blobs"))?;
+        let manifests = dir.join("manifests");
+        std::fs::create_dir_all(&manifests)?;
+        let mut store = Self::new();
+        store.disk = Some(DiskTier { blobs, manifests });
+        Ok(store)
+    }
+
     /// The shared checkpoints for `ops`: a cached instance when an
-    /// identical trace was built before, a fresh build otherwise.
+    /// identical trace was built before (waiting out an in-flight
+    /// build if necessary), a disk-tier load when a sibling process
+    /// already persisted it, and a fresh build otherwise.
     pub fn get_or_build(&self, ops: Vec<TraceOp>) -> Result<Arc<TraceCheckpoints>, ReplayError> {
-        use std::sync::atomic::Ordering;
         let key = trace_fingerprint(&ops);
-        if let Some(hit) = self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            // Equality check defuses fingerprint collisions: on a
-            // mismatch fall through and build fresh (uncached — the
-            // slot is taken).
-            if hit.ops() == &ops[..] {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit.clone());
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match state.get(&key) {
+                    Some(Slot::Ready(hit)) => {
+                        // Equality check defuses fingerprint
+                        // collisions: on a mismatch build fresh,
+                        // uncached — the slot is taken.
+                        if hit.ops() == &ops[..] {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(hit.clone());
+                        }
+                        drop(state);
+                        let built = Arc::new(TraceCheckpoints::build(ops)?);
+                        self.builds.fetch_add(1, Ordering::Relaxed);
+                        return Ok(built);
+                    }
+                    Some(Slot::Building) => {
+                        state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    None => {
+                        state.insert(key, Slot::Building);
+                        break;
+                    }
+                }
             }
         }
-        let built = Arc::new(TraceCheckpoints::build(ops)?);
-        self.builds.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.entry(key).or_insert_with(|| built.clone());
+
+        // Sole builder for this key from here on.
+        let mut guard = BuildGuard { store: self, key, armed: true };
+        let built = match self.load_from_disk(key, &ops) {
+            Some(loaded) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                loaded
+            }
+            None => {
+                let built = Arc::new(TraceCheckpoints::build(ops)?);
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                self.persist(key, &built);
+                built
+            }
+        };
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.insert(key, Slot::Ready(built.clone()));
+            guard.armed = false;
+        }
+        self.ready.notify_all();
         Ok(built)
     }
 
-    /// Number of checkpoint caches built (cache misses).
-    pub fn builds(&self) -> usize {
-        self.builds.load(std::sync::atomic::Ordering::Relaxed)
+    fn manifest_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk.as_ref().map(|d| d.manifests.join(format!("{key:016x}.manifest")))
     }
 
-    /// Number of lookups served from the cache.
+    /// Try the disk tier. Full verification: frame, CRC, per-page
+    /// content hashes, and the decoded op stream comparing equal to
+    /// the requested one. Any mismatch deletes the manifest and
+    /// reports a miss, so the caller rebuilds and re-persists.
+    fn load_from_disk(&self, key: u64, ops: &[TraceOp]) -> Option<Arc<TraceCheckpoints>> {
+        let disk = self.disk.as_ref()?;
+        let path = self.manifest_path(key)?;
+        let raw = std::fs::read(&path).ok()?;
+        match decode_manifest(&raw, key, &disk.blobs) {
+            Some(cks) if cks.ops() == ops => Some(Arc::new(cks)),
+            _ => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Best-effort persist: failures leave the store memory-only for
+    /// this key. Written to a process-unique temp name, then installed
+    /// by atomic rename so a concurrent reader never sees a torn file.
+    fn persist(&self, key: u64, cks: &TraceCheckpoints) {
+        let Some(disk) = self.disk.as_ref() else { return };
+        let Some(path) = self.manifest_path(key) else { return };
+        let bytes = encode_manifest(key, cks, &disk.blobs);
+        let tmp = disk.manifests.join(format!(".tmp-{}-{key:016x}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() {
+            if std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Number of checkpoint caches built by trace replay (misses in
+    /// both the memory and disk tiers).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the in-memory cache.
     pub fn hits(&self) -> usize {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served by loading a persisted manifest from
+    /// the disk tier (no replay).
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Blob accounting for the disk tier; `None` for memory-only
+    /// stores.
+    pub fn blob_stats(&self) -> Option<BlobStats> {
+        self.disk.as_ref().map(|d| d.blobs.stats())
+    }
+
+    /// Root directory of the disk tier, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.disk.as_ref().and_then(|d| d.blobs.dir().and_then(Path::parent))
     }
 }
 
@@ -965,6 +1425,8 @@ impl std::fmt::Debug for CheckpointStore {
         f.debug_struct("CheckpointStore")
             .field("builds", &self.builds())
             .field("hits", &self.hits())
+            .field("disk_hits", &self.disk_hits())
+            .field("disk", &self.dir())
             .finish()
     }
 }
@@ -1279,5 +1741,194 @@ mod tests {
         assert_eq!(ops.len(), 1);
         assert!(rec.is_empty());
         assert!(rec.take_ops().is_empty());
+    }
+
+    /// Fresh per-test scratch directory under the system temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffis-ckstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_caches_and_detects_identical_traces() {
+        let (ops, _) = record_workload();
+        let store = CheckpointStore::new();
+        let a = store.get_or_build(ops.clone()).unwrap();
+        let b = store.get_or_build(ops).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.builds(), 1);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.disk_hits(), 0);
+        assert!(store.blob_stats().is_none());
+    }
+
+    #[test]
+    fn store_single_flights_concurrent_identical_builds() {
+        let (ops, _) = record_workload();
+        let store = Arc::new(CheckpointStore::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                let store = store.clone();
+                let ops = ops.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.get_or_build(ops).unwrap()
+                })
+            })
+            .collect();
+        let arcs: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(store.builds(), 1, "losers wait for the winner instead of duplicating");
+        assert_eq!(store.hits(), 7);
+        assert!(
+            arcs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+            "every caller receives the winner's Arc"
+        );
+    }
+
+    #[test]
+    fn store_failed_build_releases_the_inflight_claim() {
+        let bad = vec![
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 },
+            TraceOp::Mkdir { path: "/d".into(), mode: 0o755 },
+        ];
+        let store = CheckpointStore::new();
+        assert!(store.get_or_build(bad.clone()).is_err());
+        // The failed claim is gone: a retry errors again (no deadlock,
+        // no stale Building slot) and unrelated traces still build.
+        assert!(store.get_or_build(bad).is_err());
+        let (ops, _) = record_workload();
+        assert!(store.get_or_build(ops).is_ok());
+        assert_eq!(store.builds(), 1);
+    }
+
+    #[test]
+    fn store_disk_tier_roundtrips_across_processes() {
+        let dir = scratch("roundtrip");
+        let (ops, golden) = record_workload();
+
+        let first = CheckpointStore::with_dir(&dir).unwrap();
+        let built = first.get_or_build(ops.clone()).unwrap();
+        assert_eq!((first.builds(), first.disk_hits()), (1, 0));
+
+        // A fresh store over the same root — a restarted daemon or a
+        // sibling fan-out worker — loads instead of replaying.
+        let second = CheckpointStore::with_dir(&dir).unwrap();
+        let loaded = second.get_or_build(ops.clone()).unwrap();
+        assert_eq!((second.builds(), second.disk_hits()), (0, 1), "served from disk");
+        assert_eq!(loaded.ops(), built.ops());
+        assert_eq!(loaded.points().len(), built.points().len());
+        for (l, b) in loaded.points().iter().zip(built.points()) {
+            assert_eq!(l.index(), b.index());
+            assert_eq!(l.counters(), b.counters());
+        }
+        // Loaded checkpoints must drive suffix replay to the same
+        // final state a fresh build would.
+        for point in loaded.points() {
+            let (ffs, mut cursor) = point.mount_fork();
+            cursor.replay(&*ffs, loaded.suffix(point)).unwrap();
+            assert_eq!(
+                ffs.read_to_vec("/out/data.bin").unwrap(),
+                golden.snapshot("/out/data.bin").unwrap()
+            );
+            assert_eq!(ffs.read_to_vec("/out/run.log").unwrap(), b"done\n");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_corrupt_manifest_and_blobs_rebuild_not_crash() {
+        let dir = scratch("corrupt");
+        let (ops, _) = record_workload();
+        CheckpointStore::with_dir(&dir).unwrap().get_or_build(ops.clone()).unwrap();
+
+        let manifest_of = |d: &Path| {
+            let mut files: Vec<_> = std::fs::read_dir(d.join("manifests"))
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            files.sort();
+            assert_eq!(files.len(), 1);
+            files.pop().unwrap()
+        };
+
+        // Bit-rot the manifest body: CRC fails, the store deletes the
+        // file, rebuilds, and re-persists.
+        let manifest = manifest_of(&dir);
+        let mut raw = std::fs::read(&manifest).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        std::fs::write(&manifest, &raw).unwrap();
+        let s2 = CheckpointStore::with_dir(&dir).unwrap();
+        s2.get_or_build(ops.clone()).unwrap();
+        assert_eq!((s2.builds(), s2.disk_hits()), (1, 0), "corrupt manifest forces a rebuild");
+
+        // The rebuild healed the tier: the next store loads cleanly.
+        let s3 = CheckpointStore::with_dir(&dir).unwrap();
+        s3.get_or_build(ops.clone()).unwrap();
+        assert_eq!((s3.builds(), s3.disk_hits()), (0, 1));
+
+        // Tear one blob (truncated frame). Decode misses, the blob is
+        // discarded, and the manifest load falls back to a rebuild.
+        let blob = {
+            let mut blobs = Vec::new();
+            for shard in std::fs::read_dir(dir.join("blobs")).unwrap() {
+                for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+                    blobs.push(f.unwrap().path());
+                }
+            }
+            blobs.sort();
+            blobs.remove(0)
+        };
+        let raw = std::fs::read(&blob).unwrap();
+        std::fs::write(&blob, &raw[..raw.len() / 2]).unwrap();
+        let s4 = CheckpointStore::with_dir(&dir).unwrap();
+        s4.get_or_build(ops.clone()).unwrap();
+        assert_eq!((s4.builds(), s4.disk_hits()), (1, 0), "torn blob forces a rebuild");
+
+        let s5 = CheckpointStore::with_dir(&dir).unwrap();
+        s5.get_or_build(ops).unwrap();
+        assert_eq!((s5.builds(), s5.disk_hits()), (0, 1), "rebuild restored the torn blob");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_dedupes_pages_across_campaigns() {
+        let dir = scratch("dedup");
+        let store = CheckpointStore::with_dir(&dir).unwrap();
+
+        // Two *different* workloads (distinct traces, distinct
+        // fingerprints) producing the same large data file.
+        let trace_with_log = |log: &[u8]| {
+            let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+            let rec = Arc::new(TraceRecorder::new());
+            ffs.attach(rec.clone());
+            ffs.mkdir("/out", 0o755).unwrap();
+            ffs.write_file_chunked("/out/data.bin", &[7u8; 10 * 4096], 4096).unwrap();
+            ffs.write_file("/out/log.txt", log).unwrap();
+            ffs.unmount();
+            rec.ops()
+        };
+
+        store.get_or_build(trace_with_log(b"campaign-a\n")).unwrap();
+        let before = store.blob_stats().unwrap();
+        assert!(before.dedup_ratio() > 1.0, "log-spaced checkpoints share pages");
+
+        store.get_or_build(trace_with_log(b"campaign-b: different trace\n")).unwrap();
+        let after = store.blob_stats().unwrap();
+        assert_eq!(store.builds(), 2, "distinct traces each build once");
+        assert!(
+            after.dedup_hits > before.dedup_hits,
+            "the second campaign's data pages were already in the store"
+        );
+        // The shared 40 KiB dominates: physical grows far less than
+        // logical between the two campaigns.
+        assert!(
+            after.physical_bytes - before.physical_bytes
+                < (after.logical_bytes - before.logical_bytes) / 2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
