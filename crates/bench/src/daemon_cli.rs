@@ -5,8 +5,8 @@
 //!                     [--retain N] [--fanout N]
 //! repro daemon submit --app nyx --model BF [--site write|read] [--grid G]
 //!                     [--runs N] [--seed S] [--keep-runs K] [--fuel F]
-//!                     [--wall-limit-ms M] [--no-journal] [--serial]
-//!                     [--addr H:P | --local]
+//!                     [--wall-limit-ms M] [--files F] [--no-memo]
+//!                     [--no-journal] [--serial] [--addr H:P | --local]
 //! repro daemon status <id> [--addr H:P] [--digest]
 //! repro daemon watch  <id> [--addr H:P]
 //! repro daemon cancel <id> [--addr H:P]
@@ -74,6 +74,7 @@ fn usage() -> &'static str {
      \u{20}         [--retain N: GC old terminal job dirs] [--fanout N: worker processes per job]\n\
      \u{20} submit  --app A --model M [--site S] [--grid G] [--runs N] [--seed S]\n\
      \u{20}         [--keep-runs K] [--fuel F] [--wall-limit-ms M] [--no-journal]\n\
+     \u{20}         [--files F: output-file multiplicity] [--no-memo: whole-analyze only]\n\
      \u{20}         [--serial] [--addr H:P | --local [--root DIR]]\n\
      \u{20} status  <id> [--addr H:P] [--digest]\n\
      \u{20} watch   <id> [--addr H:P]\n\
@@ -85,7 +86,7 @@ fn usage() -> &'static str {
 /// `--flag value` pairs plus bare `--switches`; positionals pass
 /// through (job ids).
 fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
-    const SWITCHES: [&str; 4] = ["local", "no-journal", "digest", "serial"];
+    const SWITCHES: [&str; 5] = ["local", "no-journal", "digest", "serial", "no-memo"];
     let mut map = HashMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -185,6 +186,12 @@ fn spec_from_flags(flags: &HashMap<String, String>) -> Result<CampaignSpec, Stri
     if let Some(v) = flags.get("wall-limit-ms") {
         spec.wall_limit_ms = Some(parse_u64("wall-limit-ms", v)?);
     }
+    if let Some(v) = flags.get("files") {
+        spec.files = parse_usize("files", v)?;
+    }
+    if flags.contains_key("no-memo") {
+        spec.memo = false;
+    }
     if flags.contains_key("no-journal") {
         spec.journal = false;
     }
@@ -251,6 +258,12 @@ fn print_view(view: &JobView) {
         println!(
             "  aborted runs: fuel-exhausted {} deadline-exceeded {}",
             view.fuel_exhausted, view.deadline_exceeded
+        );
+    }
+    if let Some(reason) = &view.memo_reason {
+        println!(
+            "  memo {} | hits {} misses {} invalidations {}",
+            reason, view.memo_hits, view.memo_misses, view.memo_invalidations
         );
     }
     if let Some(failure) = &view.failure {
@@ -379,6 +392,12 @@ mod tests {
         assert_eq!(spec.grid, 64);
         assert_eq!(spec.keep_runs, Some(64));
         assert!(spec.journal && spec.parallel);
+
+        let mut multi = flags(&[("app", "montage"), ("model", "BF"), ("files", "8")]);
+        multi.insert("no-memo".into(), "true".into());
+        let spec = spec_from_flags(&multi).unwrap();
+        assert_eq!(spec.label(), "BF:f8");
+        assert!(!spec.memo);
 
         let err =
             spec_from_flags(&flags(&[("app", "nyx"), ("model", "BF"), ("runs", "0")])).unwrap_err();

@@ -198,6 +198,7 @@ pub fn repair(opts: &Options) -> Report {
                         catalog,
                         field: None,
                         dims,
+                        extra: vec![],
                     };
                     app.classify(&golden, &out)
                 }

@@ -2,6 +2,7 @@
 //! experiment index in DESIGN.md).
 
 pub mod ablations;
+pub mod analyze_memo;
 pub mod campaigns;
 pub mod extensions;
 pub mod figures;
@@ -50,6 +51,7 @@ pub fn run(name: &str, opts: &Options) -> Result<Report, String> {
         "checksum" => ablations::checksum(opts),
         "param-faults" => extensions::param_faults(opts),
         "scale" => scale::scale(opts),
+        "analyze-memo" => analyze_memo::analyze_memo(opts),
         other => return Err(format!("unknown experiment '{}'", other)),
     })
 }

@@ -44,7 +44,7 @@ use std::time::Instant;
 use ffis_core::prelude::*;
 use ffis_core::{CampaignResult, CampaignSpec, CompletionStatus, RunResult};
 use ffis_daemon::{execute_spec, run_distributed, self_worker_cmd, ExecHooks, StoreTotals};
-use ffis_vfs::CheckpointStore;
+use ffis_vfs::{CheckpointStore, MemoStats, MemoStore};
 
 use crate::bench_json;
 use crate::cli::Options;
@@ -82,6 +82,7 @@ struct CellStats {
     resumed: usize,
     complete: bool,
     journal: Option<String>,
+    memo_reason: String,
 }
 
 /// The scale experiment (see the module docs).
@@ -97,6 +98,15 @@ pub fn scale(opts: &Options) -> Report {
     report.blank();
 
     let store = Arc::new(CheckpointStore::new());
+    // One analyze memo store shared across every in-process cell —
+    // the scale mirror of the daemon's per-root store. The matrix
+    // cells are single-file (files=1), so the engine records the
+    // `no-substeps` fallback and the counters stay zero; the store is
+    // wired (and reported) anyway so the accounting line below is the
+    // same one a multi-file regime populates (see `repro
+    // analyze-memo` for the cells that actually hit it).
+    let memo_store = Arc::new(MemoStore::in_memory());
+    let mut memo_totals = MemoStats::default();
     let fast_paths = ffis_core::replay_default();
 
     // Distributed fan-out (`--workers N`): shard every cell across N
@@ -199,6 +209,7 @@ pub fn scale(opts: &Options) -> Report {
                     journal: journal_path.clone(),
                     cancel: opts.cancel.clone(),
                     checkpoints: (site == InjectionSite::Write).then(|| store.clone()),
+                    memo: Some(Arc::clone(&memo_store)),
                     observer: None,
                     index_range: None,
                 };
@@ -261,6 +272,7 @@ pub fn scale(opts: &Options) -> Report {
             }
         }
 
+        memo_totals.merge(&result.memo.stats);
         let kept_bytes: usize = result.runs.iter().map(record_bytes).sum();
         let t = &result.tally;
         table.row(&[
@@ -297,6 +309,7 @@ pub fn scale(opts: &Options) -> Report {
             } else {
                 journal_path.map(|p| p.display().to_string())
             },
+            memo_reason: result.memo.reason().to_string(),
         });
     }
 
@@ -349,6 +362,19 @@ pub fn scale(opts: &Options) -> Report {
             SCALE_KEEP_RUNS
         ));
     }
+    // The analyze memo store's accounting, alongside the checkpoint
+    // store's: hit/miss/invalidation counters summed over every cell.
+    // Single-file matrix cells record the `no-substeps` fallback, so
+    // all three stay zero here — the multi-file cells of `repro
+    // analyze-memo` drive the same counters hot.
+    report.line(format!(
+        "(analyze memo store: {} hits, {} misses, {} invalidations across {} cells; per-cell \
+         fallback reasons in BENCH_scale.json)",
+        memo_totals.hits,
+        memo_totals.misses,
+        memo_totals.invalidations,
+        stats.len()
+    ));
 
     // Paired read-vs-write throughput: the ISSUE target is read-site
     // campaign throughput within ~2x of write-site replay throughput
@@ -396,6 +422,7 @@ pub fn scale(opts: &Options) -> Report {
                     "journal",
                     s.journal.as_deref().map_or_else(|| "null".to_string(), bench_json::string),
                 ),
+                ("memo", bench_json::string(&s.memo_reason)),
             ])
         })
         .collect();
@@ -411,6 +438,9 @@ pub fn scale(opts: &Options) -> Report {
         ("keep_runs", bench_json::number(SCALE_KEEP_RUNS as f64)),
         ("checkpoint_builds", bench_json::number(store.builds() as f64)),
         ("checkpoint_hits", bench_json::number(store.hits() as f64)),
+        ("memo_hits", bench_json::number(memo_totals.hits as f64)),
+        ("memo_misses", bench_json::number(memo_totals.misses as f64)),
+        ("memo_invalidations", bench_json::number(memo_totals.invalidations as f64)),
         ("total_runs", bench_json::number(total_runs as f64)),
         ("cells", bench_json::array(&cells_json)),
     ]);
@@ -473,6 +503,7 @@ fn distribute_cell(
         journal: None,
         cancel: opts.cancel.clone(),
         checkpoints: None,
+        memo: None,
         observer: None,
         index_range: None,
     };
@@ -490,6 +521,7 @@ fn serial_control(spec: &CampaignSpec, opts: &Options) -> Result<(CampaignResult
         journal: None,
         cancel: opts.cancel.clone(),
         checkpoints: Some(Arc::new(CheckpointStore::new())),
+        memo: None,
         observer: None,
         index_range: None,
     };

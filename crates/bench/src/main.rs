@@ -17,7 +17,9 @@ fn usage() -> String {
     }
     s.push_str(
         "  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  scale      \
-         (n=192 paper regime unless --grid given)\n  all        (everything above except scale)\n\n\
+         (n=192 paper regime unless --grid given)\n  analyze-memo  \
+         (multi-file cells, memoized vs full analyze; BENCH_analyze_memo.json)\n  \
+         all        (everything above except scale and analyze-memo)\n\n\
          daemon:\n  repro daemon serve|submit|status|watch|cancel|jobs|health\n  \
          campaign-as-a-service: persistent job queue + REST/NDJSON API (see `repro daemon`)\n\n\
          durability:\n  --journal DIR   write per-campaign run journals under DIR\n  \

@@ -17,8 +17,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use ffis_vfs::{
-    CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, Primitive, ReadLedger,
-    TraceCheckpoints, TraceOp, TraceRecorder, PRIMITIVES,
+    CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, MemoStats, MemoStore, Primitive,
+    ReadLedger, ReadRecord, TraceCheckpoints, TraceOp, TraceRecorder, PRIMITIVES,
 };
 
 use crate::engine::journal::{wire, JournalEntry};
@@ -28,7 +28,7 @@ use crate::engine::{
 };
 use crate::fault::{FaultSignature, TargetFilter};
 use crate::injector::{ArmedInjector, InjectionRecord};
-use crate::outcome::{FaultApp, Outcome, OutcomeTally};
+use crate::outcome::{FaultApp, Outcome, OutcomeTally, SubstepSpec};
 use crate::profiler::{IoProfiler, ProfileReport};
 use crate::rng::Rng;
 
@@ -110,6 +110,23 @@ pub struct CampaignConfig {
     /// and completion accounting restrict to the range. `None` (the
     /// default) runs the whole plan.
     pub index_range: Option<(usize, usize)>,
+    /// Analyze memoization (default **on** — see [`memo_default`]):
+    /// when the workload declares analyze sub-steps
+    /// ([`FaultApp::analyze_substeps`]) and the campaign runs on a
+    /// fast path, each injection run re-computes only the sub-steps
+    /// whose read fingerprints its fault can actually change (the
+    /// dirty cascade) and assembles every clean sub-step from the
+    /// content-addressed memo store at cost 0. Engine law 8 guards the
+    /// substitution — memoized analyze equals full analyze byte for
+    /// byte — and [`CampaignResult::memo`] always records whether the
+    /// layer engaged and, when it did not, why.
+    pub memo: bool,
+    /// Shared [`MemoStore`]: campaigns (and daemon jobs) handed the
+    /// same store reuse each other's golden sub-step artifacts and
+    /// per-run dirty artifacts — a warm store replays whole runs
+    /// without touching the filesystem. `None` builds a private
+    /// in-memory store per campaign.
+    pub memo_store: Option<Arc<MemoStore>>,
 }
 
 /// A shareable live run callback: `(result, resumed)` per plan index,
@@ -152,6 +169,13 @@ pub fn replay_default() -> bool {
     std::env::var("FFIS_REPLAY").map(|v| v != "0").unwrap_or(true)
 }
 
+/// Default value of [`CampaignConfig::memo`]: `true`, unless the
+/// environment sets `FFIS_MEMO=0` — the escape hatch CI uses to run
+/// multi-file campaigns over the whole-analyze reference path.
+pub fn memo_default() -> bool {
+    std::env::var("FFIS_MEMO").map(|v| v != "0").unwrap_or(true)
+}
+
 impl CampaignConfig {
     /// Config with paper defaults (1,000 runs, parallel, replay on —
     /// see [`replay_default`]).
@@ -171,6 +195,8 @@ impl CampaignConfig {
             wall_limit: None,
             observer: None,
             index_range: None,
+            memo: memo_default(),
+            memo_store: None,
         }
     }
 
@@ -254,6 +280,20 @@ impl CampaignConfig {
         self.observer = Some(observer);
         self
     }
+
+    /// Enable or disable the analyze memoization layer (see
+    /// [`CampaignConfig::memo`]).
+    pub fn with_memo(mut self, memo: bool) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Share a [`MemoStore`] across campaigns (see
+    /// [`CampaignConfig::memo_store`]).
+    pub fn with_memo_store(mut self, store: Arc<MemoStore>) -> Self {
+        self.memo_store = Some(store);
+        self
+    }
 }
 
 /// Why a campaign configured for replay executed full reruns instead.
@@ -317,6 +357,104 @@ impl std::fmt::Display for ReplayFallback {
     }
 }
 
+/// Why the analyze memoization layer did not engage for a campaign.
+///
+/// Like [`ReplayFallback`], the fallback is never silent: the reason
+/// is recorded in [`CampaignResult::memo`] and surfaced by the bench
+/// report tables. A campaign that falls back still runs correctly —
+/// every run takes the whole-analyze path the memo layer would have
+/// shortened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoFallback {
+    /// Memoization was disabled in the [`CampaignConfig`].
+    Disabled,
+    /// The workload declares no analyze sub-steps
+    /// ([`FaultApp::analyze_substeps`] returned `None`) — the
+    /// single-file regimes of every stock app.
+    NoSubsteps,
+    /// The campaign is not on a fast path (replay or analyze-only):
+    /// full reruns re-execute produce live, so no golden sub-step
+    /// basis exists to memoize against.
+    NotFastPath,
+    /// A liveness watchdog ([`CampaignConfig::fuel`] /
+    /// [`CampaignConfig::wall_limit`]) is armed. Skipping clean
+    /// sub-steps changes how many primitive crossings a run makes
+    /// before the budget trips, so memoized and full analyze could
+    /// classify the same run differently — law 8 cannot hold.
+    Liveness,
+    /// A sub-step read outside its declared input set during golden
+    /// validation, so dirty-cascade reachability would be unsound.
+    SubstepInputs,
+    /// The concatenated sub-step read streams did not equal the golden
+    /// whole-analyze read stream, so per-run injector instance
+    /// numbering would diverge.
+    SubstepStream,
+    /// Assembling the golden sub-step artifacts did not classify
+    /// [`Outcome::Benign`] (or a golden sub-step failed outright) —
+    /// the memo identity law failed on the fault-free run.
+    SubstepIdentity,
+}
+
+impl MemoFallback {
+    /// Short reason token for report tables.
+    pub fn reason(self) -> &'static str {
+        match self {
+            MemoFallback::Disabled => "memo-disabled",
+            MemoFallback::NoSubsteps => "no-substeps",
+            MemoFallback::NotFastPath => "not-fast-path",
+            MemoFallback::Liveness => "liveness-watchdog",
+            MemoFallback::SubstepInputs => "substep-inputs",
+            MemoFallback::SubstepStream => "substep-stream",
+            MemoFallback::SubstepIdentity => "substep-identity",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
+/// What the analyze memoization layer did for one campaign: whether it
+/// engaged, why it fell back when it did not, and the store traffic it
+/// generated (hits = artifacts served from the memo store, misses =
+/// live computations, invalidations = dirty sub-steps re-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoReport {
+    /// Did memoized analyze execute the runs?
+    pub engaged: bool,
+    /// Declared sub-steps (0 when the workload declares none).
+    pub substeps: usize,
+    /// Why the layer fell back, when it did not engage.
+    pub fallback: Option<MemoFallback>,
+    /// Memo-store traffic attributable to this campaign (a delta —
+    /// shared stores carry traffic from other campaigns too).
+    pub stats: MemoStats,
+}
+
+impl MemoReport {
+    /// A report for a campaign where the layer fell back.
+    pub fn not_engaged(fallback: MemoFallback) -> Self {
+        MemoReport {
+            engaged: false,
+            substeps: 0,
+            fallback: Some(fallback),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Short status token for report tables: `memoized` when engaged,
+    /// otherwise the fallback reason.
+    pub fn reason(&self) -> &'static str {
+        if self.engaged {
+            "memoized"
+        } else {
+            self.fallback.map(MemoFallback::reason).unwrap_or("memoized")
+        }
+    }
+}
+
 /// Which execution strategy ran a campaign's injection runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionMode {
@@ -331,6 +469,15 @@ pub enum ExecutionMode {
     /// read faults never touch device state and produce's writes are
     /// data-independent by law.
     AnalyzeOnly,
+    /// Memoized analyze for analyze-phase read-site faults in a
+    /// workload that declares analyze sub-steps: fork the golden
+    /// post-produce filesystem, pre-seed the counters captured at the
+    /// dirty sub-step's start, re-run only that sub-step with the
+    /// fault armed, and assemble it with the cached golden artifacts
+    /// of every clean sub-step. Byte-equivalent to
+    /// [`ExecutionMode::AnalyzeOnly`] (and hence to a full rerun)
+    /// under engine law 8.
+    IncrementalAnalyze,
     /// Full application re-execution (produce + analyze) per run.
     FullRerun {
         /// Why the replay fast path did not engage.
@@ -356,7 +503,10 @@ impl ExecutionMode {
     pub fn is_fast_path(self) -> bool {
         matches!(
             self,
-            ExecutionMode::Replay | ExecutionMode::AnalyzeOnly | ExecutionMode::PhaseSplit
+            ExecutionMode::Replay
+                | ExecutionMode::AnalyzeOnly
+                | ExecutionMode::IncrementalAnalyze
+                | ExecutionMode::PhaseSplit
         )
     }
 }
@@ -366,6 +516,7 @@ impl std::fmt::Display for ExecutionMode {
         match self {
             ExecutionMode::Replay => f.write_str("replay"),
             ExecutionMode::AnalyzeOnly => f.write_str("analyze-only"),
+            ExecutionMode::IncrementalAnalyze => f.write_str("incremental-analyze"),
             ExecutionMode::FullRerun { reason } => write!(f, "rerun({})", reason),
             ExecutionMode::PhaseSplit => {
                 f.write_str("split(analyze-only|rerun(produce-read-fault))")
@@ -506,6 +657,7 @@ impl RunResult {
                 buf.push(fallback_code(reason));
             }
             ExecutionMode::PhaseSplit => buf.push(3),
+            ExecutionMode::IncrementalAnalyze => buf.push(4),
         }
         match self.aborted {
             None => buf.push(0),
@@ -554,6 +706,7 @@ impl RunResult {
             1 => ExecutionMode::AnalyzeOnly,
             2 => ExecutionMode::FullRerun { reason: fallback_from_code(r.u8()?)? },
             3 => ExecutionMode::PhaseSplit,
+            4 => ExecutionMode::IncrementalAnalyze,
             _ => return None,
         };
         let aborted = match r.u8()? {
@@ -651,6 +804,9 @@ pub struct CampaignResult {
     pub executed: usize,
     /// Runs replayed from the journal at cost 0.
     pub resumed: usize,
+    /// What the analyze memoization layer did: engaged or the recorded
+    /// fallback reason, plus this campaign's memo-store traffic.
+    pub memo: MemoReport,
 }
 
 impl CampaignResult {
@@ -782,7 +938,12 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             IoProfiler::new(self.config.signature.primitive, self.config.signature.target.clone());
         let recorder = Arc::new(TraceRecorder::new());
         let ledger = Arc::new(ReadLedger::new());
-        let extras: Vec<Arc<dyn Interceptor>> = match (record, site_read) {
+        // The memo gate (engine law 8) needs the golden analyze read
+        // stream even for write-site signatures, so the ledger rides
+        // along whenever the workload declares sub-steps. Attaching it
+        // only records — it never perturbs counters or the trace.
+        let substeps = if self.config.memo { self.app.analyze_substeps() } else { None };
+        let extras: Vec<Arc<dyn Interceptor>> = match (record, site_read || substeps.is_some()) {
             (false, _) => Vec::new(),
             (true, false) => vec![recorder.clone()],
             (true, true) => vec![recorder.clone(), ledger.clone()],
@@ -814,7 +975,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 &golden,
                 &base,
             ) {
-                Ok(plan) => (ExecutionMode::Replay, Some(Arc::new(CampaignPlan::Replay(plan)))),
+                Ok(plan) => (ExecutionMode::Replay, Some(CampaignPlan::Replay(plan))),
                 Err(reason) => (ExecutionMode::FullRerun { reason }, None),
             }
         } else if site_read {
@@ -831,12 +992,102 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             match basis.and_then(|basis| {
                 analyze_only_plan(basis, &ledger, &self.config.signature.target, profile.eligible)
             }) {
-                Ok(plan) => (plan.campaign_mode(), Some(Arc::new(CampaignPlan::AnalyzeOnly(plan)))),
+                Ok(plan) => (plan.campaign_mode(), Some(CampaignPlan::AnalyzeOnly(plan))),
                 Err(reason) => (ExecutionMode::FullRerun { reason }, None),
             }
         } else {
             (ExecutionMode::FullRerun { reason: ReplayFallback::NonWritePrimitive }, None)
         };
+
+        // The analyze memoization gate (engine law 8) — never silent:
+        // either the sub-step laws validate against the golden run and
+        // the basis attaches to the fast-path plan, or the fallback
+        // reason lands in [`CampaignResult::memo`].
+        let mut plan = plan;
+        let mut mode = mode;
+        let memo_store = match (&substeps, self.config.memo) {
+            (Some(_), true) => Some(
+                self.config.memo_store.clone().unwrap_or_else(|| Arc::new(MemoStore::in_memory())),
+            ),
+            _ => None,
+        };
+        let stats_before = memo_store.as_ref().map(|s| s.stats()).unwrap_or_default();
+        let mut memo_report = MemoReport {
+            engaged: false,
+            substeps: substeps.as_ref().map(Vec::len).unwrap_or(0),
+            fallback: None,
+            stats: MemoStats::default(),
+        };
+        if !self.config.memo {
+            memo_report.fallback = Some(MemoFallback::Disabled);
+        } else if substeps.is_none() {
+            memo_report.fallback = Some(MemoFallback::NoSubsteps);
+        } else if self.config.fuel.is_some() || self.config.wall_limit.is_some() {
+            memo_report.fallback = Some(MemoFallback::Liveness);
+        } else if plan.is_none() {
+            memo_report.fallback = Some(MemoFallback::NotFastPath);
+        } else if ledger.len() as u64 != profile.counters.get(Primitive::Read) {
+            // The stream-identity law compares against the ledger; a
+            // ledger that missed counted reads cannot anchor it.
+            memo_report.fallback = Some(MemoFallback::SubstepStream);
+        } else {
+            let specs = substeps.clone().expect("checked above");
+            let store = memo_store.clone().expect("created when sub-steps are declared");
+            let golden_records = ledger.records();
+            let golden_analyze = &golden_records[ledger.produce_reads()..];
+            match &mut plan {
+                None => unreachable!("gated on plan.is_none() above"),
+                Some(CampaignPlan::Replay(rp)) => match substep_memo(
+                    self.app,
+                    specs,
+                    golden_analyze,
+                    boundary.get(),
+                    &golden,
+                    &base,
+                    &store,
+                ) {
+                    Ok(m) => {
+                        rp.memo = Some(Arc::new(m));
+                        memo_report.engaged = true;
+                    }
+                    Err(f) => memo_report.fallback = Some(f),
+                },
+                Some(CampaignPlan::AnalyzeOnly(ap)) => match substep_memo(
+                    self.app,
+                    specs,
+                    golden_analyze,
+                    boundary.get(),
+                    &golden,
+                    &base,
+                    &store,
+                ) {
+                    Ok(m) => {
+                        let target = &self.config.signature.target;
+                        let eligible_ranges = m
+                            .read_ranges
+                            .iter()
+                            .map(|&(start, end)| {
+                                let before = golden_analyze[..start]
+                                    .iter()
+                                    .filter(|r| target.matches(r.path.as_deref()))
+                                    .count() as u64;
+                                let within = golden_analyze[start..end]
+                                    .iter()
+                                    .filter(|r| target.matches(r.path.as_deref()))
+                                    .count() as u64;
+                                (before, within)
+                            })
+                            .collect();
+                        ap.memo =
+                            Some(Arc::new(IncrementalMemo { memo: Arc::new(m), eligible_ranges }));
+                        memo_report.engaged = true;
+                        mode = ap.campaign_mode();
+                    }
+                    Err(f) => memo_report.fallback = Some(f),
+                },
+            }
+        }
+        let plan = plan.map(Arc::new);
 
         // Phase 3: N injection runs through the shared engine. Every
         // random draw happens here, at plan time, from the same
@@ -928,6 +1179,15 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             }
         });
 
+        if let Some(store) = &memo_store {
+            let after = store.stats();
+            memo_report.stats = MemoStats {
+                hits: after.hits.saturating_sub(stats_before.hits),
+                misses: after.misses.saturating_sub(stats_before.misses),
+                invalidations: after.invalidations.saturating_sub(stats_before.invalidations),
+            };
+        }
+
         Ok(CampaignResult {
             tally: out.tally,
             runs: out.kept,
@@ -937,6 +1197,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             status: out.status,
             executed: out.executed,
             resumed: out.resumed,
+            memo: memo_report,
         })
     }
 
@@ -976,7 +1237,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         if eligible_ops.len() as u64 != eligible {
             return Err(ReplayFallback::TraceMismatch);
         }
-        Ok(ReplayPlan { cache, eligible_ops })
+        Ok(ReplayPlan { cache, eligible_ops, memo: None })
     }
 }
 
@@ -1013,6 +1274,10 @@ fn plan_fingerprint(planned: &[PlannedRun<InjectionSpec>], shards: usize) -> u64
             }
             RunStrategy::AnalyzeOnly => h.eat(&[1]),
             RunStrategy::Rerun { reason } => h.eat(&[2, fallback_code(reason)]),
+            RunStrategy::IncrementalAnalyze { cost } => {
+                h.eat(&[3]);
+                h.eat(&(cost as u64).to_le_bytes());
+            }
         }
     }
     h.0
@@ -1087,6 +1352,13 @@ fn eligible_write_ops(cache: &TraceCheckpoints, target: &TargetFilter) -> Vec<us
 struct ReplayPlan {
     cache: Arc<TraceCheckpoints>,
     eligible_ops: Vec<usize>,
+    /// Engaged analyze memoization basis (engine law 8). When present,
+    /// the replay arm re-computes only the sub-steps that declare the
+    /// injected op's path as an input and assembles the rest from the
+    /// memo store. The per-run strategy, mode, and plan fingerprint
+    /// stay `Replay` — memoization is a pure analyze-side substitution
+    /// on the write-site path.
+    memo: Option<Arc<SubstepMemo>>,
 }
 
 impl ReplayPlan {
@@ -1125,13 +1397,24 @@ struct AnalyzeOnlyPlan {
     basis: AnalyzeOnlyBasis,
     produce_eligible: u64,
     eligible: u64,
+    /// Engaged analyze memoization basis plus the per-sub-step
+    /// eligible-read ranges for this signature. When present,
+    /// analyze-phase targets plan [`RunStrategy::IncrementalAnalyze`]:
+    /// only the sub-step whose eligible-read range contains the target
+    /// re-executes live; every other artifact assembles from the memo
+    /// store.
+    memo: Option<Arc<IncrementalMemo>>,
 }
 
 impl AnalyzeOnlyPlan {
     /// The campaign-level [`ExecutionMode`] the phase seam implies.
     fn campaign_mode(&self) -> ExecutionMode {
         if self.produce_eligible == 0 {
-            ExecutionMode::AnalyzeOnly
+            if self.memo.is_some() {
+                ExecutionMode::IncrementalAnalyze
+            } else {
+                ExecutionMode::AnalyzeOnly
+            }
         } else if self.produce_eligible >= self.eligible {
             ExecutionMode::FullRerun { reason: ReplayFallback::ProduceReadFault }
         } else {
@@ -1144,10 +1427,276 @@ impl AnalyzeOnlyPlan {
     fn strategy_for(&self, target_instance: u64) -> RunStrategy {
         if target_instance <= self.produce_eligible {
             RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault }
+        } else if let Some(ia) = &self.memo {
+            let analyze_instance = target_instance - self.produce_eligible;
+            match ia.substep_for(analyze_instance) {
+                Some(d) => {
+                    let (start, end) = ia.memo.read_ranges[d];
+                    RunStrategy::IncrementalAnalyze { cost: (end - start) as u32 }
+                }
+                // Unreachable when the sub-step stream-identity law
+                // holds (the ranges partition the analyze stream), but
+                // the whole-analyze path is always a correct refuge.
+                None => RunStrategy::AnalyzeOnly,
+            }
         } else {
             RunStrategy::AnalyzeOnly
         }
     }
+}
+
+/// The validated golden basis of the analyze memoization layer: the
+/// declared sub-steps, their golden artifacts (pinned `Arc` handles
+/// into the memo store), each sub-step's golden analyze-phase read
+/// range and start-of-sub-step counter snapshot, and the campaign's
+/// golden memo key (an FNV-1a digest over every sub-step's input
+/// fingerprint stream — two campaigns over byte-identical inputs share
+/// run-level memo entries through it).
+struct SubstepMemo {
+    specs: Vec<SubstepSpec>,
+    artifacts: Vec<Arc<Vec<u8>>>,
+    /// Half-open index ranges into the golden *analyze-phase* read
+    /// stream, one per sub-step, covering it exactly.
+    read_ranges: Vec<(usize, usize)>,
+    /// Absolute counter snapshot at each sub-step's start (produce
+    /// phase plus all earlier sub-steps) — pre-seeded onto
+    /// incremental-analyze mounts so the armed crossing observes
+    /// full-execution `prim_seq`/`seq` numbering.
+    counters: Vec<CounterSnapshot>,
+    golden_key: u64,
+    store: Arc<MemoStore>,
+}
+
+/// Read-site half of an engaged memo basis: the shared [`SubstepMemo`]
+/// plus, per sub-step, how many of this signature's eligible
+/// analyze-phase reads precede it and how many fall inside it.
+struct IncrementalMemo {
+    memo: Arc<SubstepMemo>,
+    eligible_ranges: Vec<(u64, u64)>,
+}
+
+impl IncrementalMemo {
+    /// Which sub-step does the 1-based eligible *analyze-phase*
+    /// instance land in?
+    fn substep_for(&self, analyze_instance: u64) -> Option<usize> {
+        self.eligible_ranges.iter().position(|&(before, within)| {
+            analyze_instance > before && analyze_instance <= before + within
+        })
+    }
+}
+
+/// Validate the sub-step laws against the golden run and build the
+/// memo basis — the one implementation of the engine law 8 gate.
+/// Returns the [`MemoFallback`] reason — never silently — when any law
+/// fails:
+///
+/// * **input soundness** — every read a sub-step issued during golden
+///   validation must target a path in its declared input set (else
+///   dirty-cascade reachability would be unsound);
+/// * **stream identity** — the concatenated sub-step read streams must
+///   equal the golden whole-analyze read stream exactly (same
+///   `prim_seq`/`seq` numbering, addressing, returned lengths, and
+///   content fingerprints), so per-run injector instance numbering
+///   cannot diverge;
+/// * **assembly identity** — assembling the golden artifacts must
+///   classify [`Outcome::Benign`].
+///
+/// The golden artifacts are published to the memo store keyed on each
+/// sub-step's input fingerprint stream, so a warm store serves them
+/// (and the run-level entries derived from them) across campaigns.
+fn substep_memo<A: FaultApp>(
+    app: &A,
+    specs: Vec<SubstepSpec>,
+    golden_analyze: &[ReadRecord],
+    boundary: CounterSnapshot,
+    golden: &A::Output,
+    golden_fs: &Arc<MemFs>,
+    store: &Arc<MemoStore>,
+) -> Result<SubstepMemo, MemoFallback> {
+    if specs.is_empty() {
+        return Err(MemoFallback::NoSubsteps);
+    }
+    let ffs = FfisFs::mount(Arc::new(golden_fs.fork()));
+    ffs.preseed_counters(&boundary);
+    let check = Arc::new(ReadLedger::new());
+    ffs.attach(check.clone());
+    let mut raw: Vec<Vec<u8>> = Vec::with_capacity(specs.len());
+    let mut read_ranges = Vec::with_capacity(specs.len());
+    let mut counters = Vec::with_capacity(specs.len());
+    for (i, _) in specs.iter().enumerate() {
+        counters.push(ffs.counters());
+        let start = check.len();
+        match app.analyze_substep(&*ffs, i, Some(golden)) {
+            Ok(a) => raw.push(a),
+            Err(_) => {
+                ffs.unmount();
+                return Err(MemoFallback::SubstepIdentity);
+            }
+        }
+        read_ranges.push((start, check.len()));
+    }
+    ffs.unmount();
+    let records = check.records();
+    for (spec, &(start, end)) in specs.iter().zip(&read_ranges) {
+        let sound =
+            records[start..end].iter().all(|r| r.path.as_deref().is_some_and(|p| spec.reads(p)));
+        if !sound {
+            return Err(MemoFallback::SubstepInputs);
+        }
+    }
+    if records != golden_analyze {
+        return Err(MemoFallback::SubstepStream);
+    }
+    match app.assemble(&raw, Some(golden)) {
+        Ok(out) if app.classify(golden, &out) == Outcome::Benign => {}
+        _ => return Err(MemoFallback::SubstepIdentity),
+    }
+
+    // Publish the golden artifacts keyed on each sub-step's input
+    // fingerprint stream and pin `Arc` handles for per-run assembly.
+    let mut golden_hash = Fnv::new();
+    golden_hash.eat(app.name().as_bytes());
+    let mut artifacts = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let (start, end) = read_ranges[i];
+        let mut key = Vec::with_capacity(64 + (end - start) * 16);
+        key.extend_from_slice(b"ffis-memo-v1|golden|");
+        key.extend_from_slice(app.name().as_bytes());
+        key.push(b'|');
+        key.extend_from_slice(spec.name.as_bytes());
+        key.push(b'|');
+        for r in &records[start..end] {
+            key.extend_from_slice(&r.fingerprint.to_le_bytes());
+            key.extend_from_slice(&r.returned.map(|n| n as u64).unwrap_or(u64::MAX).to_le_bytes());
+        }
+        golden_hash.eat(&key);
+        let art = raw[i].clone();
+        let cached = store
+            .get_or_compute(&key, move || Ok(art))
+            .expect("publishing a computed golden artifact cannot fail");
+        artifacts.push(cached);
+    }
+    Ok(SubstepMemo {
+        specs,
+        artifacts,
+        read_ranges,
+        counters,
+        golden_key: golden_hash.0,
+        store: store.clone(),
+    })
+}
+
+/// Key material of one run-level memo entry: the campaign's golden
+/// key, the full fault signature, and the run's plan-time draws. Two
+/// runs with identical key material produce identical results (engine
+/// laws 2 and 8), so serving one from the store is exact.
+fn memo_run_key(
+    golden_key: u64,
+    signature: &FaultSignature,
+    target_instance: u64,
+    seed: u64,
+) -> Vec<u8> {
+    let mut key = Vec::with_capacity(128);
+    key.extend_from_slice(b"ffis-memo-v1|run|");
+    key.extend_from_slice(&golden_key.to_le_bytes());
+    key.extend_from_slice(format!("|{signature:?}|").as_bytes());
+    key.extend_from_slice(&target_instance.to_le_bytes());
+    key.extend_from_slice(&seed.to_le_bytes());
+    key
+}
+
+/// A decoded run-level memo entry: what the injector did plus either
+/// the dirty sub-steps' artifacts or the run's error message. Panicked
+/// runs are never memoized — a warm store re-executes them live.
+struct MemoRunEntry {
+    injection: Option<InjectionRecord>,
+    body: Result<Vec<(usize, Vec<u8>)>, String>,
+}
+
+fn encode_memo_run(
+    injection: &Option<InjectionRecord>,
+    body: Result<&[(usize, Vec<u8>)], &str>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    buf.push(1); // entry version
+    match injection {
+        None => buf.push(0),
+        Some(i) => {
+            buf.push(1);
+            buf.push(i.primitive.index() as u8);
+            wire::put_u64(&mut buf, i.instance);
+            wire::put_u64(&mut buf, i.prim_seq);
+            wire::put_opt_str(&mut buf, i.path.as_deref());
+            match i.offset {
+                None => buf.push(0),
+                Some(o) => {
+                    buf.push(1);
+                    wire::put_u64(&mut buf, o);
+                }
+            }
+            wire::put_u64(&mut buf, i.len as u64);
+            wire::put_str(&mut buf, &i.detail);
+        }
+    }
+    match body {
+        Err(msg) => {
+            buf.push(0);
+            wire::put_str(&mut buf, msg);
+        }
+        Ok(arts) => {
+            buf.push(1);
+            wire::put_u64(&mut buf, arts.len() as u64);
+            for (i, a) in arts {
+                wire::put_u64(&mut buf, *i as u64);
+                wire::put_u64(&mut buf, a.len() as u64);
+                buf.extend_from_slice(a);
+            }
+        }
+    }
+    buf
+}
+
+fn decode_memo_run(bytes: &[u8]) -> Option<MemoRunEntry> {
+    let mut r = wire::Reader::new(bytes);
+    if r.u8()? != 1 {
+        return None;
+    }
+    let injection = match r.u8()? {
+        0 => None,
+        1 => {
+            let primitive = *PRIMITIVES.get(r.u8()? as usize)?;
+            let instance = r.u64()?;
+            let prim_seq = r.u64()?;
+            let path = r.opt_str()?;
+            let offset = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return None,
+            };
+            let len = r.u64()? as usize;
+            let detail = r.str()?;
+            Some(InjectionRecord { primitive, instance, prim_seq, path, offset, len, detail })
+        }
+        _ => return None,
+    };
+    let body = match r.u8()? {
+        0 => Err(r.str()?),
+        1 => {
+            let n = r.u64()? as usize;
+            let mut arts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let i = r.u64()? as usize;
+                let len = r.u64()? as usize;
+                arts.push((i, r.bytes(len)?.to_vec()));
+            }
+            Ok(arts)
+        }
+        _ => return None,
+    };
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(MemoRunEntry { injection, body })
 }
 
 /// A campaign's prepared fast path — checkpointed trace replay for
@@ -1256,7 +1805,7 @@ fn analyze_only_plan(
     }
     let produce_eligible =
         records[..produce_len].iter().filter(|r| target.matches(r.path.as_deref())).count() as u64;
-    Ok(AnalyzeOnlyPlan { basis, produce_eligible, eligible })
+    Ok(AnalyzeOnlyPlan { basis, produce_eligible, eligible, memo: None })
 }
 
 /// Classify one finished application result into a [`RunResult`] —
@@ -1348,6 +1897,22 @@ fn execute_run<A: FaultApp>(
         // in the same instance, with the same record numbering, it
         // would during a real execution), then analyze.
         (RunStrategy::Replay { checkpoint, .. }, Some(CampaignPlan::Replay(plan))) => {
+            if let Some(memo) = &plan.memo {
+                // The memo gate refuses to engage while a liveness
+                // watchdog is armed, so the memoized arm never arms
+                // one.
+                return execute_replay_memoized(
+                    app,
+                    signature,
+                    plan,
+                    memo,
+                    checkpoint,
+                    golden,
+                    run,
+                    target_instance,
+                    seed,
+                );
+            }
             let point = &plan.cache.points()[checkpoint];
             let already_seen = plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
             let injector = Arc::new(ArmedInjector::resuming(
@@ -1388,10 +1953,36 @@ fn execute_run<A: FaultApp>(
             ffs.unmount();
             finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
         }
+        // Incremental-analyze fast path (engine law 8): the fault can
+        // only perturb reads inside one sub-step's declared input set,
+        // so re-execute exactly that sub-step live — pre-seeded with
+        // its start-of-sub-step counters so the armed crossing
+        // observes full-execution numbering — and assemble every clean
+        // artifact from the memo store.
+        (RunStrategy::IncrementalAnalyze { .. }, Some(CampaignPlan::AnalyzeOnly(plan)))
+            if plan.memo.is_some() =>
+        {
+            let ia = plan.memo.as_ref().expect("guarded by match arm");
+            execute_incremental_analyze(
+                app,
+                signature,
+                plan,
+                ia,
+                golden,
+                run,
+                target_instance,
+                seed,
+            )
+        }
         // Reference path: full application re-execution. (A fast
         // strategy without its matching plan cannot be planned — the
         // strategies are derived from the plan itself.)
-        (RunStrategy::Replay { .. } | RunStrategy::AnalyzeOnly, _)
+        (
+            RunStrategy::Replay { .. }
+            | RunStrategy::AnalyzeOnly
+            | RunStrategy::IncrementalAnalyze { .. },
+            _,
+        )
         | (RunStrategy::Rerun { .. }, _) => {
             let injector = Arc::new(ArmedInjector::new(signature.clone(), target_instance, seed));
             let ffs = FfisFs::mount(Arc::new(MemFs::new()));
@@ -1405,6 +1996,187 @@ fn execute_run<A: FaultApp>(
             finish_run(app, golden, run, target_instance, injector.record(), mode, app_result)
         }
     }
+}
+
+/// A memoized run's live half: the assembled output plus the dirty
+/// `(sub-step index, artifact)` pairs worth caching.
+type MemoRunOutput<A> = Result<(<A as FaultApp>::Output, Vec<(usize, Vec<u8>)>), String>;
+
+/// Write-site memoized analyze: checkpointed suffix replay as usual,
+/// then re-compute only the sub-steps that declare the injected op's
+/// path as an input (the dirty cascade — a write fault perturbs
+/// exactly the file the op targets), assembling the rest from the
+/// memo store. Non-panicked results are memoized at run granularity,
+/// so a warm store replays the whole run without mounting anything.
+#[allow(clippy::too_many_arguments)]
+fn execute_replay_memoized<A: FaultApp>(
+    app: &A,
+    signature: &FaultSignature,
+    plan: &ReplayPlan,
+    memo: &SubstepMemo,
+    checkpoint: usize,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    seed: u64,
+) -> RunResult {
+    let mode = ExecutionMode::Replay;
+    let target_op = plan.eligible_ops[(target_instance - 1) as usize];
+    let dirty: Vec<usize> = match plan.cache.ops()[target_op].write_path() {
+        Some(p) => {
+            memo.specs.iter().enumerate().filter(|(_, s)| s.reads(p)).map(|(i, _)| i).collect()
+        }
+        // A write op without a path cannot be attributed; treat every
+        // sub-step as dirty (conservative, still exact).
+        None => (0..memo.specs.len()).collect(),
+    };
+    memo.store.note_hits((memo.specs.len() - dirty.len()) as u64);
+    memo.store.note_invalidations(dirty.len() as u64);
+    let run_key = memo_run_key(memo.golden_key, signature, target_instance, seed);
+    if let Some(bytes) = memo.store.get(&run_key) {
+        if let Some(entry) = decode_memo_run(&bytes) {
+            return finish_memo_run(app, memo, golden, run, target_instance, mode, entry);
+        }
+    }
+    let point = &plan.cache.points()[checkpoint];
+    let already_seen = plan.eligible_ops.partition_point(|&op| op < point.index()) as u64;
+    let injector =
+        Arc::new(ArmedInjector::resuming(signature.clone(), target_instance, seed, already_seen));
+    let (ffs, mut cursor) = point.mount_fork();
+    ffs.attach(injector.clone());
+    let result =
+        catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
+            cursor.replay(&*ffs, plan.cache.suffix(point)).map_err(|e| e.to_string())?;
+            let mut assembled: Vec<Vec<u8>> = Vec::with_capacity(memo.specs.len());
+            let mut dirty_artifacts: Vec<(usize, Vec<u8>)> = Vec::with_capacity(dirty.len());
+            for i in 0..memo.specs.len() {
+                if dirty.contains(&i) {
+                    let art = app.analyze_substep(&*ffs, i, Some(golden))?;
+                    dirty_artifacts.push((i, art.clone()));
+                    assembled.push(art);
+                } else {
+                    assembled.push(memo.artifacts[i].as_ref().clone());
+                }
+            }
+            let out = app.assemble(&assembled, Some(golden))?;
+            Ok((out, dirty_artifacts))
+        }));
+    ffs.unmount();
+    let injection = injector.record();
+    match &result {
+        Ok(Ok((_, arts))) => memo.store.put(&run_key, &encode_memo_run(&injection, Ok(arts))),
+        Ok(Err(msg)) => memo.store.put(&run_key, &encode_memo_run(&injection, Err(msg))),
+        Err(_) => {} // Panicked runs are never memoized.
+    }
+    let app_result = match result {
+        Ok(Ok((out, _))) => Ok(Ok(out)),
+        Ok(Err(e)) => Ok(Err(e)),
+        Err(p) => Err(p),
+    };
+    finish_run(app, golden, run, target_instance, injection, mode, app_result)
+}
+
+/// Read-site memoized analyze ([`RunStrategy::IncrementalAnalyze`]):
+/// fork the golden post-produce state, pre-seed the dirty sub-step's
+/// start-of-sub-step counters, arm the injector with every earlier
+/// eligible read already "seen", run exactly that sub-step live, and
+/// assemble with the clean golden artifacts. Read faults never touch
+/// device state, so downstream sub-steps are provably clean.
+#[allow(clippy::too_many_arguments)]
+fn execute_incremental_analyze<A: FaultApp>(
+    app: &A,
+    signature: &FaultSignature,
+    plan: &AnalyzeOnlyPlan,
+    ia: &IncrementalMemo,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    seed: u64,
+) -> RunResult {
+    let mode = ExecutionMode::IncrementalAnalyze;
+    let memo = &ia.memo;
+    let analyze_instance = target_instance - plan.produce_eligible;
+    let d = ia
+        .substep_for(analyze_instance)
+        .expect("IncrementalAnalyze is only planned for in-range instances");
+    memo.store.note_hits((memo.specs.len() - 1) as u64);
+    memo.store.note_invalidations(1);
+    let run_key = memo_run_key(memo.golden_key, signature, target_instance, seed);
+    if let Some(bytes) = memo.store.get(&run_key) {
+        if let Some(entry) = decode_memo_run(&bytes) {
+            return finish_memo_run(app, memo, golden, run, target_instance, mode, entry);
+        }
+    }
+    let (before, _) = ia.eligible_ranges[d];
+    let injector = Arc::new(ArmedInjector::resuming(
+        signature.clone(),
+        target_instance,
+        seed,
+        plan.produce_eligible + before,
+    ));
+    let ffs = FfisFs::mount(Arc::new(plan.basis.base.fork()));
+    ffs.preseed_counters(&memo.counters[d]);
+    ffs.attach(injector.clone());
+    let result =
+        catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
+            let art = app.analyze_substep(&*ffs, d, Some(golden))?;
+            let mut assembled: Vec<Vec<u8>> =
+                memo.artifacts.iter().map(|a| a.as_ref().clone()).collect();
+            assembled[d] = art.clone();
+            let out = app.assemble(&assembled, Some(golden))?;
+            Ok((out, vec![(d, art)]))
+        }));
+    ffs.unmount();
+    let injection = injector.record();
+    match &result {
+        Ok(Ok((_, arts))) => memo.store.put(&run_key, &encode_memo_run(&injection, Ok(arts))),
+        Ok(Err(msg)) => memo.store.put(&run_key, &encode_memo_run(&injection, Err(msg))),
+        Err(_) => {} // Panicked runs are never memoized.
+    }
+    let app_result = match result {
+        Ok(Ok((out, _))) => Ok(Ok(out)),
+        Ok(Err(e)) => Ok(Err(e)),
+        Err(p) => Err(p),
+    };
+    finish_run(app, golden, run, target_instance, injection, mode, app_result)
+}
+
+/// Classify a run served whole from the run-level memo store: rebuild
+/// the artifact vector (clean golden artifacts with the cached dirty
+/// ones swapped in), assemble, and classify — no filesystem is ever
+/// mounted. Cached error messages reproduce the crash classification
+/// the live run recorded.
+fn finish_memo_run<A: FaultApp>(
+    app: &A,
+    memo: &SubstepMemo,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    mode: ExecutionMode,
+    entry: MemoRunEntry,
+) -> RunResult {
+    let MemoRunEntry { injection, body } = entry;
+    let app_result: Result<A::Output, String> = match body {
+        Err(msg) => Err(msg),
+        Ok(dirty_artifacts) => {
+            let mut assembled: Vec<Vec<u8>> =
+                memo.artifacts.iter().map(|a| a.as_ref().clone()).collect();
+            let mut in_range = true;
+            for (i, a) in dirty_artifacts {
+                if i < assembled.len() {
+                    assembled[i] = a;
+                } else {
+                    in_range = false;
+                }
+            }
+            if in_range {
+                app.assemble(&assembled, Some(golden))
+            } else {
+                Err("memoized run entry indexes out of range".to_string())
+            }
+        }
+    };
+    finish_run(app, golden, run, target_instance, injection, mode, Ok(app_result))
 }
 
 /// Configuration for a [`MixedCampaign`]: several fault signatures —
@@ -1843,6 +2615,11 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                                         Some(CampaignPlan::Replay(ReplayPlan {
                                             cache: cache.clone(),
                                             eligible_ops,
+                                            // Mixed campaigns stay
+                                            // memo-free: the layer is a
+                                            // single-signature fast
+                                            // path today.
+                                            memo: None,
                                         })),
                                     )
                                 }

@@ -19,7 +19,7 @@
 //! ([`JobFailure::PlanMismatch`] with both fingerprints, not a log
 //! line) that survives serialization across the service boundary.
 
-use crate::campaign::CampaignError;
+use crate::campaign::{memo_default, CampaignError};
 use crate::engine::journal::JournalError;
 use crate::fault::{FaultSignature, InjectionSite};
 use crate::generator::FaultConfig;
@@ -51,6 +51,17 @@ pub struct CampaignSpec {
     pub site: String,
     /// Grid side for grid-scaled apps (Nyx); at least [`MIN_GRID`].
     pub grid: usize,
+    /// Output-file multiplicity for the multi-file regimes: Nyx
+    /// plotfile snapshots, Montage mosaic tiles, QMCPACK restart
+    /// segments. `1` (the default) keeps every app in its legacy
+    /// single-file layout; apps without a multi-file regime (paced)
+    /// ignore it. At least 1.
+    pub files: usize,
+    /// Engage the analyze memoization layer (engine law 8) when the
+    /// resolved app declares analyze sub-steps. Defaults to the
+    /// `FFIS_MEMO` environment posture; harmless on single-file specs
+    /// (the campaign reports the `no-substeps` fallback).
+    pub memo: bool,
     /// Injection runs (paper: 1,000 per cell); at least 1.
     pub runs: usize,
     /// Campaign root seed.
@@ -81,6 +92,8 @@ impl CampaignSpec {
             model: model.to_string(),
             site: InjectionSite::Write.token().to_string(),
             grid: 96,
+            files: 1,
+            memo: memo_default(),
             runs: 1000,
             seed: 0xFF15_2021,
             keep_runs: None,
@@ -129,6 +142,9 @@ impl CampaignSpec {
                 self.grid, MIN_GRID
             ));
         }
+        if self.files == 0 {
+            return Err("files must be at least 1".into());
+        }
         if self.keep_runs == Some(0) {
             return Err("keep_runs must be at least 1 when set".into());
         }
@@ -142,15 +158,23 @@ impl CampaignSpec {
     /// Report label in the scale-table vocabulary: `BF`/`SW`/`DW` for
     /// write-site specs, `r:BF`/`r:SR`/`r:DR` for their read-site
     /// mirrors — the same strings `repro scale` prints and
-    /// `DIGESTS.txt` keys on. Infallible for display's sake: a spec
-    /// that does not validate labels as the raw `model@site` pair.
+    /// `DIGESTS.txt` keys on. Multi-file specs append `:fN` so a
+    /// memoized multi-file cell never collides with its single-file
+    /// namesake in the digest vocabulary. Infallible for display's
+    /// sake: a spec that does not validate labels as the raw
+    /// `model@site` pair.
     pub fn label(&self) -> String {
-        match (self.injection_site(), self.signature()) {
+        let base = match (self.injection_site(), self.signature()) {
             (Ok(site), Ok(sig)) => match site {
                 InjectionSite::Write => sig.model.label_at(site).to_string(),
                 InjectionSite::Read => format!("r:{}", sig.model.label_at(site)),
             },
             _ => format!("{}@{}", self.model, self.site),
+        };
+        if self.files > 1 {
+            format!("{}:f{}", base, self.files)
+        } else {
+            base
         }
     }
 }
@@ -293,6 +317,18 @@ mod tests {
     }
 
     #[test]
+    fn multi_file_specs_label_with_their_multiplicity() {
+        let mut spec = CampaignSpec::new("montage", "BF");
+        assert_eq!(spec.files, 1);
+        assert_eq!(spec.label(), "BF");
+        spec.files = 8;
+        spec.validate().unwrap();
+        assert_eq!(spec.label(), "BF:f8");
+        spec.site = "read".into();
+        assert_eq!(spec.label(), "r:BF:f8");
+    }
+
+    #[test]
     fn read_site_labels_match_the_scale_vocabulary() {
         for (model, label) in [("BF", "r:BF"), ("SW", "r:SR"), ("DW", "r:DR")] {
             let mut spec = CampaignSpec::new("nyx", model);
@@ -320,6 +356,9 @@ mod tests {
         let mut spec = CampaignSpec::new("nyx", "BF");
         spec.keep_runs = Some(0);
         assert!(spec.validate().unwrap_err().contains("keep_runs"));
+        let mut spec = CampaignSpec::new("nyx", "BF");
+        spec.files = 0;
+        assert!(spec.validate().unwrap_err().contains("files must be at least 1"));
         let mut spec = CampaignSpec::new("nyx", "BF");
         spec.fuel = Some(0);
         assert!(spec.validate().unwrap_err().contains("fuel"));

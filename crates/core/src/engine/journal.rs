@@ -266,6 +266,13 @@ pub mod wire {
                 _ => None,
             }
         }
+
+        /// Take `n` raw bytes.
+        pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+            let s = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+            self.pos += n;
+            Some(s)
+        }
     }
 }
 

@@ -88,6 +88,25 @@
 //!    report honestly; only the coordinator speaks for the whole plan.
 //!    Pinned by the distributed differential tests in
 //!    `crates/daemon/tests/` and the `distributed-smoke` CI job.
+//! 8. **Memoization law** — *memoized analyze == full analyze, byte
+//!    for byte.* When an application declares analyze sub-steps with
+//!    their read file-sets ([`crate::SubstepSpec`]) and the campaign
+//!    enables `memo`, the engine may serve any clean sub-step (one
+//!    whose `ffis_vfs` read-ledger fingerprints the armed fault cannot
+//!    have changed) from the content-addressed memo store instead of
+//!    re-executing it, recomputing only the dirty cascade — and the
+//!    resulting tallies, kept records, injection records, and run
+//!    digests are identical to whole-run analyze. The memo layer is
+//!    gated by a golden-trace validation (`substep_memo`): the
+//!    concatenated sub-step read streams must reproduce the whole
+//!    analyze's ledger exactly, or the campaign falls back to whole
+//!    analyze with the reason always recorded in
+//!    [`crate::MemoReport`] (`memo-disabled`, `no-substeps`,
+//!    `not-fast-path`, `liveness-watchdog`, `substep-inputs`,
+//!    `substep-stream`, `substep-identity`) — there is no silent
+//!    regime mixing. Pinned by `tests/memo_equivalence.rs` (all three
+//!    apps × both sites × cold/warm stores, plus a seed proptest) and
+//!    the `memo-smoke` CI job.
 //!
 //! ## Liveness: fuel budgets and cancellation
 //!

@@ -24,6 +24,17 @@ pub enum RunStrategy {
     /// trace is replayed at all — the golden state *is* the
     /// checkpoint.
     AnalyzeOnly,
+    /// Memoized analyze for an analyze-phase read-site target whose
+    /// workload declares analyze sub-steps: fork the golden
+    /// post-produce filesystem, pre-seed the counters captured at the
+    /// *dirty* sub-step's start, re-run only that sub-step with the
+    /// fault armed, and assemble its artifact with the cached golden
+    /// artifacts of every clean sub-step (engine law 8).
+    IncrementalAnalyze {
+        /// Read records the dirty sub-step replays live — the run's
+        /// cost proxy, which the scheduler sorts ascending.
+        cost: u32,
+    },
     /// Full application re-execution, with the recorded reason the
     /// replay fast path did not engage.
     Rerun {
@@ -49,6 +60,7 @@ impl RunStrategy {
         match self {
             RunStrategy::Replay { .. } => ExecutionMode::Replay,
             RunStrategy::AnalyzeOnly => ExecutionMode::AnalyzeOnly,
+            RunStrategy::IncrementalAnalyze { .. } => ExecutionMode::IncrementalAnalyze,
             RunStrategy::Rerun { reason } => ExecutionMode::FullRerun { reason },
         }
     }
@@ -103,7 +115,9 @@ impl<S> ExecutionPlan<S> {
         let mut rerun: Vec<usize> = Vec::new();
         for (i, r) in runs.iter().enumerate() {
             match r.strategy {
-                RunStrategy::Replay { .. } | RunStrategy::AnalyzeOnly => fast.push(i),
+                RunStrategy::Replay { .. }
+                | RunStrategy::AnalyzeOnly
+                | RunStrategy::IncrementalAnalyze { .. } => fast.push(i),
                 RunStrategy::Rerun { .. } => rerun.push(i),
             }
         }
@@ -112,6 +126,10 @@ impl<S> ExecutionPlan<S> {
             // An analyze-only run replays zero trace ops; its cost key
             // is the minimum.
             RunStrategy::AnalyzeOnly => (0, i),
+            // An incremental-analyze run re-reads only its dirty
+            // sub-step; its live read count shares the cost axis with
+            // replay suffix lengths.
+            RunStrategy::IncrementalAnalyze { cost } => (cost as usize, i),
             RunStrategy::Rerun { .. } => unreachable!("partitioned above"),
         });
         let schedule = interleave(&fast, &rerun);
@@ -267,6 +285,27 @@ mod tests {
         assert!(RunStrategy::AnalyzeOnly.is_fast());
         assert!(!RunStrategy::AnalyzeOnly.is_replay());
         assert!(!RunStrategy::Rerun { reason: ReplayFallback::Disabled }.is_fast());
+    }
+
+    #[test]
+    fn incremental_analyze_runs_sort_by_live_read_cost() {
+        let plan = planned(vec![
+            RunStrategy::Replay { checkpoint: 0, suffix_len: 4 },
+            RunStrategy::IncrementalAnalyze { cost: 9 },
+            RunStrategy::IncrementalAnalyze { cost: 2 },
+            RunStrategy::AnalyzeOnly,
+            RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
+        ]);
+        // Cost keys: analyze-only 0, then IA cost 2, replay suffix 4,
+        // IA cost 9; the single rerun lands after the fast stream has
+        // kept proportional pace.
+        assert_eq!(plan.schedule(), &[3, 2, 0, 1, 4]);
+        assert!(RunStrategy::IncrementalAnalyze { cost: 2 }.is_fast());
+        assert!(!RunStrategy::IncrementalAnalyze { cost: 2 }.is_replay());
+        assert_eq!(
+            RunStrategy::IncrementalAnalyze { cost: 2 }.mode(),
+            ExecutionMode::IncrementalAnalyze
+        );
     }
 
     #[test]

@@ -124,9 +124,9 @@ pub mod rng;
 pub mod stats;
 
 pub use campaign::{
-    replay_default, Campaign, CampaignConfig, CampaignError, CampaignResult, ExecutionMode,
-    MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted,
-    RunObserver, RunResult, ShardReport,
+    memo_default, replay_default, Campaign, CampaignConfig, CampaignError, CampaignResult,
+    ExecutionMode, MemoFallback, MemoReport, MixedCampaign, MixedCampaignConfig,
+    MixedCampaignResult, ReplayFallback, RunAborted, RunObserver, RunResult, ShardReport,
 };
 pub use engine::{
     CampaignSpec, CancelToken, CompletionStatus, ExecutionPlan, JobFailure, JobState, JournalEntry,
@@ -143,7 +143,7 @@ pub use metadata_scan::{
     ByteOutcome, DetailedScanResult, FieldMap, FieldOutcome, FieldSpan, FlipMode, ScanConfig,
     ScanResult, ScanRun, WritePick,
 };
-pub use outcome::{FaultApp, Outcome, OutcomeTally, OUTCOMES};
+pub use outcome::{FaultApp, Outcome, OutcomeTally, SubstepSpec, OUTCOMES};
 pub use profiler::{EligibleCounter, IoProfiler, ProfileReport};
 pub use rng::Rng;
 pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Proportion};
@@ -151,8 +151,8 @@ pub use stats::{blocking_error, mean_std, wilson, Accumulator, Histogram, Propor
 /// Convenient glob import for applications and harnesses.
 pub mod prelude {
     pub use crate::campaign::{
-        Campaign, CampaignConfig, CampaignResult, ExecutionMode, MixedCampaign,
-        MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted,
+        Campaign, CampaignConfig, CampaignResult, ExecutionMode, MemoFallback, MemoReport,
+        MixedCampaign, MixedCampaignConfig, MixedCampaignResult, ReplayFallback, RunAborted,
     };
     pub use crate::engine::{CancelToken, CompletionStatus};
     pub use crate::fault::{

@@ -113,6 +113,36 @@ impl std::fmt::Display for Outcome {
 /// the seam; [`FaultApp::produce_read_count`] lets an application
 /// *declare* it, and the drivers cross-check declaration against
 /// measurement before trusting the fast path.
+///
+/// ## Analyze sub-steps (incremental analyze)
+///
+/// Multi-file workloads (several mosaic tiles, plotfiles, checkpoint
+/// restarts) may additionally split `analyze` into declared
+/// **sub-steps** ([`FaultApp::analyze_substeps`]), each reading a
+/// declared file set and emitting an opaque serialized artifact
+/// ([`FaultApp::analyze_substep`]); [`FaultApp::assemble`] folds the
+/// artifacts into the final output. The contract is that running the
+/// sub-steps in order and assembling them is *the same computation*
+/// as [`FaultApp::analyze`] — the campaign driver validates this on
+/// the golden run (engine law 8: memoized analyze == full analyze,
+/// byte for byte) and memoizes per-sub-step artifacts keyed on the
+/// [`ffis_vfs::ReadLedger`] fingerprints of what each sub-step read,
+/// so a fault injection re-computes only the sub-steps whose inputs
+/// it can reach (the dirty cascade). Apps that leave
+/// [`FaultApp::analyze_substeps`] at the `None` default keep
+/// whole-analyze behavior, with the fallback reason recorded.
+///
+/// Sub-step laws (checked on the golden run, fallback on violation):
+///
+/// * **Input soundness** — a sub-step reads only paths in its
+///   declared input set; otherwise a fault in an undeclared file
+///   could dirty a sub-step the cascade marks clean.
+/// * **Stream identity** — the concatenated sub-step read streams
+///   equal the golden `analyze` read stream (same paths, same
+///   fingerprints, in order), so eligible-read instance numbering is
+///   preserved when a driver skips clean sub-steps.
+/// * **Assembly identity** — assembling the golden artifacts
+///   classifies [`Outcome::Benign`] against the golden output.
 pub trait FaultApp: Sync {
     /// Everything classification needs (output file bytes, analysis
     /// results, ...). `Sync` because the golden output is shared
@@ -174,6 +204,69 @@ pub trait FaultApp: Sync {
 
     /// Short name for report rows ("NYX", "QMC", "MT1", ...).
     fn name(&self) -> String;
+
+    /// Declare the analyze sub-steps of this workload, in execution
+    /// order, or `None` (the default) for whole-analyze workloads.
+    /// When `Some`, running [`FaultApp::analyze_substep`] for each
+    /// index in order and folding the artifacts through
+    /// [`FaultApp::assemble`] must be the same computation as
+    /// [`FaultApp::analyze`] (see the trait docs for the sub-step
+    /// laws).
+    fn analyze_substeps(&self) -> Option<Vec<SubstepSpec>> {
+        None
+    }
+
+    /// Run one analyze sub-step against `fs`, returning its opaque
+    /// serialized artifact. Must read only the paths declared by the
+    /// matching [`SubstepSpec`], must not mutate `fs`, and — like
+    /// [`FaultApp::analyze`] — may use `golden` only as an
+    /// equivalent-result optimization hint.
+    fn analyze_substep(
+        &self,
+        fs: &dyn ffis_vfs::FileSystem,
+        index: usize,
+        golden: Option<&Self::Output>,
+    ) -> Result<Vec<u8>, String> {
+        let _ = (fs, index, golden);
+        Err("workload declares no analyze sub-steps".into())
+    }
+
+    /// Fold the per-sub-step artifacts (one per declared
+    /// [`SubstepSpec`], in order) into the final output. Pure: must
+    /// not touch the filesystem.
+    fn assemble(
+        &self,
+        artifacts: &[Vec<u8>],
+        golden: Option<&Self::Output>,
+    ) -> Result<Self::Output, String> {
+        let _ = (artifacts, golden);
+        Err("workload declares no analyze sub-steps".into())
+    }
+}
+
+/// One declared analyze sub-step: a name (stable across runs — it
+/// keys the memo store) and the closed set of file paths the sub-step
+/// is allowed to read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstepSpec {
+    /// Stable identifier ("tile3", "plt00002", "restart1", ...).
+    pub name: String,
+    /// Every path this sub-step may read. A fault injected into (or
+    /// returned from a read of) any of these paths dirties the
+    /// sub-step; faults elsewhere cannot reach it.
+    pub inputs: Vec<String>,
+}
+
+impl SubstepSpec {
+    /// A spec for `name` reading exactly `inputs`.
+    pub fn new(name: impl Into<String>, inputs: Vec<String>) -> Self {
+        SubstepSpec { name: name.into(), inputs }
+    }
+
+    /// Does this sub-step declare `path` as an input?
+    pub fn reads(&self, path: &str) -> bool {
+        self.inputs.iter().any(|p| p == path)
+    }
 }
 
 /// Shared replay-gate predicate: does the app's [`FaultApp::analyze`]

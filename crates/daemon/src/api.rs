@@ -26,6 +26,8 @@ pub fn spec_to_json(spec: &CampaignSpec) -> Json {
         field("model", Json::Str(spec.model.clone())),
         field("site", Json::Str(spec.site.clone())),
         field("grid", u64_value(spec.grid as u64)),
+        field("files", u64_value(spec.files as u64)),
+        field("memo", Json::Bool(spec.memo)),
         field("runs", u64_value(spec.runs as u64)),
         field("seed", u64_value(spec.seed)),
         field("keep_runs", opt_u64(spec.keep_runs.map(|v| v as u64))),
@@ -52,6 +54,8 @@ pub fn spec_from_json(value: &Json) -> Result<CampaignSpec, String> {
             "model" => spec.model = req_str(v, key)?,
             "site" => spec.site = req_str(v, key)?,
             "grid" => spec.grid = req_usize(v, key)?,
+            "files" => spec.files = req_usize(v, key)?,
+            "memo" => spec.memo = req_bool(v, key)?,
             "runs" => spec.runs = req_usize(v, key)?,
             "seed" => spec.seed = req_u64(v, key)?,
             "keep_runs" => spec.keep_runs = opt_usize(v, key)?,
@@ -178,6 +182,18 @@ pub struct JobView {
     pub fuel_exhausted: u64,
     /// Runs aborted by the wall-clock backstop.
     pub deadline_exceeded: u64,
+    /// Memo-store hits attributable to this job (sub-step artifacts
+    /// served from cache), once the campaign has reported.
+    pub memo_hits: u64,
+    /// Memo-store misses (live sub-step computations).
+    pub memo_misses: u64,
+    /// Sub-step artifacts a fault injection dirtied — the
+    /// dirty-cascade counter.
+    pub memo_invalidations: u64,
+    /// Memo-layer status token: `memoized` when engaged, else the
+    /// fallback reason (`no-substeps`, `memo-disabled`, ...). `None`
+    /// until the campaign reports.
+    pub memo_reason: Option<String>,
     /// Plan fingerprint, once the campaign has planned.
     pub plan_fingerprint: Option<u64>,
     /// FNV digest over the kept run records, once complete.
@@ -198,6 +214,10 @@ impl JobView {
             tally: OutcomeTally::default(),
             fuel_exhausted: 0,
             deadline_exceeded: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            memo_invalidations: 0,
+            memo_reason: None,
             plan_fingerprint: None,
             run_digest: None,
             failure: None,
@@ -217,6 +237,10 @@ pub fn job_to_json(job: &JobView) -> Json {
         field("tally", tally_to_json(&job.tally)),
         field("fuel_exhausted", u64_value(job.fuel_exhausted)),
         field("deadline_exceeded", u64_value(job.deadline_exceeded)),
+        field("memo_hits", u64_value(job.memo_hits)),
+        field("memo_misses", u64_value(job.memo_misses)),
+        field("memo_invalidations", u64_value(job.memo_invalidations)),
+        field("memo_reason", job.memo_reason.clone().map(Json::Str).unwrap_or(Json::Null)),
         field("plan_fingerprint", opt_u64(job.plan_fingerprint)),
         field("run_digest", opt_u64(job.run_digest)),
         field("failure", job.failure.as_ref().map(failure_to_json).unwrap_or(Json::Null)),
@@ -242,6 +266,10 @@ pub fn job_from_json(value: &Json) -> Result<JobView, String> {
         tally: value.get("tally").map(tally_from_json).unwrap_or_default(),
         fuel_exhausted: get_u64("fuel_exhausted"),
         deadline_exceeded: get_u64("deadline_exceeded"),
+        memo_hits: get_u64("memo_hits"),
+        memo_misses: get_u64("memo_misses"),
+        memo_invalidations: get_u64("memo_invalidations"),
+        memo_reason: value.get("memo_reason").and_then(Json::as_str).map(str::to_string),
         plan_fingerprint: get_opt("plan_fingerprint"),
         run_digest: get_opt("run_digest"),
         failure: value.get("failure").and_then(failure_from_json),
@@ -357,6 +385,8 @@ mod tests {
         let mut spec = CampaignSpec::new("nyx", "SW");
         spec.site = "read".into();
         spec.grid = 64;
+        spec.files = 4;
+        spec.memo = true;
         spec.runs = 96;
         spec.seed = 0xFF15_2021 + 951;
         spec.keep_runs = Some(64);
@@ -426,6 +456,10 @@ mod tests {
         job.tally = OutcomeTally { benign: 30, detected: 9, sdc: 5, crash: 4, no_fire: 2 };
         job.fuel_exhausted = 3;
         job.deadline_exceeded = 1;
+        job.memo_hits = 12;
+        job.memo_misses = 4;
+        job.memo_invalidations = 6;
+        job.memo_reason = Some("memoized".into());
         job.plan_fingerprint = Some(u64::MAX - 5);
         job.run_digest = Some(0xDEAD_BEEF_DEAD_BEEF);
         job.failure = Some(JobFailure::PlanMismatch { found: 1, expected: 2 });
@@ -438,6 +472,10 @@ mod tests {
         assert_eq!(back.run_digest, job.run_digest);
         assert_eq!(back.fuel_exhausted, 3);
         assert_eq!(back.deadline_exceeded, 1);
+        assert_eq!(back.memo_hits, 12);
+        assert_eq!(back.memo_misses, 4);
+        assert_eq!(back.memo_invalidations, 6);
+        assert_eq!(back.memo_reason.as_deref(), Some("memoized"));
         assert!(matches!(back.failure, Some(JobFailure::PlanMismatch { found: 1, expected: 2 })));
     }
 

@@ -18,10 +18,10 @@ use ffis_core::{
     Campaign, CampaignConfig, CampaignError, CampaignResult, CancelToken, FaultApp, Outcome,
     RunObserver,
 };
-use ffis_vfs::{CheckpointStore, FileSystem, FileSystemExt};
+use ffis_vfs::{CheckpointStore, FileSystem, FileSystemExt, MemoStore};
 use montage_sim::MontageApp;
 use nyx_sim::{NyxApp, NyxConfig};
-use qmc_sim::QmcApp;
+use qmc_sim::{QmcApp, QmcConfig};
 
 /// Application names [`execute_spec`] resolves.
 pub const APPS: [&str; 4] = ["nyx", "qmc", "montage", "paced"];
@@ -44,8 +44,15 @@ pub fn check_app(spec: &CampaignSpec) -> Result<(), String> {
 /// metadata-write hit probability, i.e. the crash share) stays at the
 /// paper-scale proportion for smaller grids.
 pub fn nyx_at_grid(grid: usize) -> NyxApp {
+    nyx_app(grid, 1)
+}
+
+/// [`nyx_at_grid`] with `files` plotfile snapshots — the multi-file
+/// regime a [`CampaignSpec::files`] > 1 requests.
+pub fn nyx_app(grid: usize, files: usize) -> NyxApp {
     let mut cfg = NyxConfig::paper_scale();
     cfg.field.n = grid;
+    cfg.plotfiles = files.max(1);
     let scale = (grid as f64 / 96.0).powi(3);
     let chunk = (64.0 * 1024.0 * scale / 4096.0).round().max(1.0) as usize * 4096;
     cfg.write_chunk = chunk;
@@ -67,6 +74,10 @@ pub struct ExecHooks {
     /// Shared checkpoint store (reused across jobs of the same
     /// app/grid).
     pub checkpoints: Option<Arc<CheckpointStore>>,
+    /// Shared analyze memo store (reused across every job of a daemon
+    /// root — keys are content-addressed over app, sub-step, and input
+    /// fingerprints, so one store serves all apps).
+    pub memo: Option<Arc<MemoStore>>,
     /// Live run-event observer.
     pub observer: Option<RunObserver>,
     /// Restrict execution to the half-open plan-index range
@@ -106,6 +117,10 @@ pub fn execute_spec(
     if let Some(store) = &hooks.checkpoints {
         cfg = cfg.with_checkpoints(Arc::clone(store));
     }
+    cfg = cfg.with_memo(spec.memo);
+    if let Some(store) = &hooks.memo {
+        cfg = cfg.with_memo_store(Arc::clone(store));
+    }
     if let Some(cancel) = &hooks.cancel {
         cfg = cfg.with_cancel(Arc::clone(cancel));
     }
@@ -113,9 +128,13 @@ pub fn execute_spec(
         cfg = cfg.with_observer(observer.clone());
     }
     match spec.app.to_ascii_lowercase().as_str() {
-        "nyx" => Campaign::new(&nyx_at_grid(spec.grid), cfg).run(),
-        "qmc" => Campaign::new(&QmcApp::paper_default(), cfg).run(),
-        "montage" => Campaign::new(&MontageApp::paper_default(), cfg).run(),
+        "nyx" => Campaign::new(&nyx_app(spec.grid, spec.files), cfg).run(),
+        "qmc" => Campaign::new(
+            &QmcApp::new(QmcConfig { restarts: spec.files.max(1), ..QmcConfig::default() }),
+            cfg,
+        )
+        .run(),
+        "montage" => Campaign::new(&MontageApp::multi_tile(spec.files.max(1)), cfg).run(),
         "paced" => Campaign::new(&PacedApp, cfg).run(),
         other => Err(CampaignError::BadSignature(format!("unknown application '{}'", other))),
     }

@@ -61,9 +61,14 @@ impl Client {
         api::job_from_json(&value)
     }
 
-    /// `GET /bench` → artifact names.
+    /// `GET /bench` → artifact names. An empty artifact store is a
+    /// structured 404 on the wire; mirror it as a clear error message
+    /// rather than an empty list, so callers can tell "nothing
+    /// published yet" from "published nothing".
     pub fn bench_list(&self) -> Result<Vec<String>, String> {
-        let value = self.request_json("GET", "/api/v0/bench", None)?;
+        let value = self
+            .request_json("GET", "/api/v0/bench", None)
+            .map_err(|e| format!("bench artifacts: {}", e))?;
         let items = value.as_arr().ok_or("bench reply is not an array")?;
         Ok(items.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
     }

@@ -31,7 +31,7 @@ use std::thread::JoinHandle;
 
 use ffis_core::engine::job::{CampaignSpec, JobFailure, JobState};
 use ffis_core::{CancelToken, CompletionStatus, RunObserver};
-use ffis_vfs::CheckpointStore;
+use ffis_vfs::{CheckpointStore, MemoStore};
 
 use crate::api::{self, JobView};
 use crate::apps::{check_app, execute_spec, ExecHooks};
@@ -98,6 +98,12 @@ pub struct JobQueue {
     /// `<root>/store/<app>-g<grid>`, so the cache also survives
     /// daemon restarts and is shared with fan-out worker processes.
     stores: Mutex<HashMap<(String, usize), Arc<CheckpointStore>>>,
+    /// One shared analyze memo store per daemon root, disk-backed
+    /// under `<root>/store/memo`. Keys are content-addressed over app,
+    /// sub-step, and input fingerprints, so every job (and fan-out
+    /// worker process) of this root shares one store, and warm jobs
+    /// replay their clean sub-steps across daemon restarts.
+    memo: Mutex<Option<Arc<MemoStore>>>,
     options: QueueOptions,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -127,6 +133,7 @@ impl JobQueue {
             running_now: AtomicUsize::new(0),
             max_concurrent: AtomicUsize::new(0),
             stores: Mutex::new(HashMap::new()),
+            memo: Mutex::new(None),
             options,
             workers: Mutex::new(Vec::new()),
         });
@@ -345,6 +352,24 @@ impl JobQueue {
         Arc::clone(stores.entry(key).or_insert_with(|| distributed::open_store(&dir)))
     }
 
+    /// The root-wide shared memo store (disk-backed when the directory
+    /// is writable, memory-only otherwise — the memo layer is an
+    /// optimization, never a reason a job fails).
+    fn memo_store(&self) -> Arc<MemoStore> {
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(memo.get_or_insert_with(|| {
+            let dir = self.root.join("store").join("memo");
+            Arc::new(MemoStore::at_dir(&dir).unwrap_or_else(|e| {
+                eprintln!(
+                    "[ffis-daemon] memo store at {} unavailable ({}); using memory tier",
+                    dir.display(),
+                    e
+                );
+                MemoStore::in_memory()
+            }))
+        }))
+    }
+
     /// Enforce [`QueueOptions::retain`]: drop the oldest terminal
     /// (`complete`/`failed`) job directories beyond the cap. Anything
     /// that may still resume — queued, running, interrupted, or
@@ -438,6 +463,7 @@ impl JobQueue {
                     journal: None,
                     cancel: Some(Arc::clone(&cancel)),
                     checkpoints: Some(self.checkpoint_store(&spec)),
+                    memo: Some(self.memo_store()),
                     observer: Some(observer.clone()),
                     index_range: None,
                 };
@@ -466,6 +492,7 @@ impl JobQueue {
                 journal: spec.journal.then(|| dir.join("run.journal")),
                 cancel: Some(cancel),
                 checkpoints: Some(self.checkpoint_store(&spec)),
+                memo: Some(self.memo_store()),
                 observer: Some(observer),
                 index_range: None,
             };
@@ -479,6 +506,10 @@ impl JobQueue {
                 job.view.executed = result.executed;
                 job.view.resumed = result.resumed;
                 job.view.tally = result.tally;
+                job.view.memo_hits = result.memo.stats.hits;
+                job.view.memo_misses = result.memo.stats.misses;
+                job.view.memo_invalidations = result.memo.stats.invalidations;
+                job.view.memo_reason = Some(result.memo.reason().to_string());
                 job.view.plan_fingerprint = Some(result.plan_fingerprint);
                 if result.status == CompletionStatus::Complete {
                     job.view.state = JobState::Complete;

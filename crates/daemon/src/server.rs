@@ -227,6 +227,12 @@ fn bench_index(dir: Option<&Path>) -> Reply {
                 .collect()
         })
         .unwrap_or_default();
+    if names.is_empty() {
+        // A structured 404, not an empty 200: "nothing published yet"
+        // and "no artifacts match" are client-visible conditions, not
+        // a silent empty list.
+        return Reply::error(404, "no bench artifacts published yet (no BENCH_*.json files)");
+    }
     names.sort();
     Reply::Json(200, Json::Arr(names.into_iter().map(Json::Str).collect()))
 }
@@ -326,6 +332,17 @@ mod tests {
                 Reply::Json(404, _) => {}
                 other => panic!("{:?} for {}", reply_tag(&other), bad),
             }
+        }
+        // A dir with no artifacts answers a *structured* 404, never an
+        // empty 200 body.
+        let empty = root.join("empty-bench");
+        std::fs::create_dir_all(&empty).unwrap();
+        match route(&queue, Some(&empty), &get("/bench")) {
+            Reply::Json(404, body) => {
+                let msg = body.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(msg.contains("no bench artifacts published yet"), "{msg}");
+            }
+            other => panic!("{:?} for empty bench dir", reply_tag(&other)),
         }
         queue.shutdown();
         let _ = std::fs::remove_dir_all(&root);

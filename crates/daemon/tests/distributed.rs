@@ -100,6 +100,7 @@ fn assert_sharded_matches_serial(app: &str, seed: u64) {
         journal: Some(merged),
         cancel: None,
         checkpoints: Some(open_store(&store_dir)),
+        memo: None,
         observer: None,
         index_range: None,
     };

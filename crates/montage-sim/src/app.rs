@@ -16,7 +16,7 @@
 //! scoping the fault signature to the stage's output directory via
 //! [`MontageApp::stage_filter`].
 
-use ffis_core::{FaultApp, Outcome, TargetFilter};
+use ffis_core::{FaultApp, Outcome, SubstepSpec, TargetFilter};
 use ffis_vfs::{FileSystem, FileSystemExt};
 use fitslite::{parse_fits, render_fits, FitsImage};
 
@@ -34,19 +34,37 @@ pub struct MontageConfig {
     /// `min`-difference threshold separating SDC from detected
     /// (paper: 10⁻²).
     pub min_threshold: f64,
+    /// Number of independent mosaic tiles (sky pointings). Each tile
+    /// runs the full pipeline under its own `/tile<t>` directory
+    /// prefix with a tile-specific sky seed; `1` (the default) keeps
+    /// the legacy single-mosaic layout byte for byte. Multi-tile runs
+    /// declare one analyze sub-step per tile, so campaigns memoize the
+    /// tiles a fault cannot reach (incremental analyze).
+    pub tiles: usize,
 }
 
 impl Default for MontageConfig {
     fn default() -> Self {
-        MontageConfig { pipeline: PipelineConfig::default(), min_threshold: 1e-2 }
+        MontageConfig { pipeline: PipelineConfig::default(), min_threshold: 1e-2, tiles: 1 }
+    }
+}
+
+impl MontageConfig {
+    /// Set the tile count (clamped to at least 1).
+    pub fn with_tiles(mut self, tiles: usize) -> Self {
+        self.tiles = tiles.max(1);
+        self
     }
 }
 
 /// Classification artifacts.
 #[derive(Debug, Clone)]
 pub struct MontageOutput {
-    /// Final stretched image (bitwise-comparison artifact).
+    /// Final stretched image of tile 0 (the legacy single-mosaic
+    /// bitwise-comparison artifact).
     pub image: FinalImage,
+    /// Final images of tiles `1..` (empty in the single-tile regime).
+    pub extra_tiles: Vec<FinalImage>,
 }
 
 /// The golden pipeline, computed once at construction: for every file
@@ -143,8 +161,9 @@ impl GoldenPipeline {
 /// The Montage application.
 pub struct MontageApp {
     config: MontageConfig,
-    /// Golden stage products (see [`GoldenPipeline`]).
-    golden: GoldenPipeline,
+    /// Golden stage products, one pipeline per tile (see
+    /// [`GoldenPipeline`]).
+    golden: Vec<GoldenPipeline>,
 }
 
 /// The four instrumented stages, in paper order.
@@ -197,15 +216,57 @@ impl MontageApp {
     /// Fallible constructor: returns the golden pipeline's error for
     /// degenerate configurations (e.g. an overlap threshold that
     /// leaves no difference pairs) instead of panicking.
-    pub fn try_new(config: MontageConfig) -> Result<Self, String> {
-        let raws = make_raw_images(&config.pipeline);
-        let golden = GoldenPipeline::build(&raws, &config.pipeline)?;
+    pub fn try_new(mut config: MontageConfig) -> Result<Self, String> {
+        config.tiles = config.tiles.max(1);
+        let mut golden = Vec::with_capacity(config.tiles);
+        for t in 0..config.tiles {
+            let cfg = Self::tile_pipeline(&config, t);
+            let raws = make_raw_images(&cfg);
+            golden.push(GoldenPipeline::build(&raws, &cfg)?);
+        }
         Ok(MontageApp { config, golden })
     }
 
     /// Paper-defaults app.
     pub fn paper_default() -> Self {
         Self::new(MontageConfig::default())
+    }
+
+    /// Paper-defaults app with `tiles` independent mosaic tiles — the
+    /// multi-file campaign workload of the incremental-analyze layer.
+    pub fn multi_tile(tiles: usize) -> Self {
+        Self::new(MontageConfig::default().with_tiles(tiles))
+    }
+
+    /// Number of tiles this app runs.
+    pub fn tiles(&self) -> usize {
+        self.config.tiles
+    }
+
+    /// Pipeline parameters of tile `t`: tile 0 keeps the configured
+    /// seed (so the single-tile regime is byte-identical to the legacy
+    /// layout); later tiles shift the sky seed to model distinct
+    /// pointings.
+    fn tile_pipeline(config: &MontageConfig, t: usize) -> PipelineConfig {
+        PipelineConfig {
+            seed: config.pipeline.seed.wrapping_add(0x711E * t as u64),
+            ..config.pipeline
+        }
+    }
+
+    /// Directory prefix of tile `t` (empty in the single-tile regime,
+    /// preserving the legacy paths).
+    fn tile_prefix(&self, t: usize) -> String {
+        if self.config.tiles == 1 {
+            String::new()
+        } else {
+            format!("/tile{}", t)
+        }
+    }
+
+    /// Prefix a legacy pipeline path with tile `t`'s directory.
+    fn tile_path(&self, t: usize, path: &str) -> String {
+        format!("{}{}", self.tile_prefix(t), path)
     }
 
     /// Fault-target filter scoping injections to one stage's output
@@ -260,50 +321,60 @@ fn parse_image(bytes: &[u8]) -> Result<FitsImage, String> {
 }
 
 impl MontageApp {
-    /// Locate the first pipeline layer whose on-disk bytes differ from
-    /// the golden run's. Only files some downstream stage *reads* are
-    /// compared (the mosaic area image, for example, has no consumer).
-    fn first_dirty_layer(&self, fs: &dyn FileSystem) -> Result<Option<DirtyLayer>, String> {
-        let g = &self.golden;
+    /// Locate the first pipeline layer of tile `t` whose on-disk bytes
+    /// differ from the golden run's. Only files some downstream stage
+    /// *reads* are compared (the mosaic area image, for example, has
+    /// no consumer).
+    fn first_dirty_layer(
+        &self,
+        fs: &dyn FileSystem,
+        t: usize,
+    ) -> Result<Option<DirtyLayer>, String> {
+        let g = &self.golden[t];
         let n = self.config.pipeline.n_images();
         for i in 0..n {
-            if read_bytes(fs, &raw_path(i))? != g.raw_bytes[i] {
+            if read_bytes(fs, &self.tile_path(t, &raw_path(i)))? != g.raw_bytes[i] {
                 return Ok(Some(DirtyLayer::Raw));
             }
         }
         for i in 0..n {
-            if read_bytes(fs, &proj_path(i))? != g.proj_bytes[i].0
-                || read_bytes(fs, &proj_area_path(i))? != g.proj_bytes[i].1
+            if read_bytes(fs, &self.tile_path(t, &proj_path(i)))? != g.proj_bytes[i].0
+                || read_bytes(fs, &self.tile_path(t, &proj_area_path(i)))? != g.proj_bytes[i].1
             {
                 return Ok(Some(DirtyLayer::Proj));
             }
         }
         for (k, &(i, j)) in g.pairs.iter().enumerate() {
-            if read_bytes(fs, &diff_path(i, j))? != g.diff_bytes[k] {
+            if read_bytes(fs, &self.tile_path(t, &diff_path(i, j)))? != g.diff_bytes[k] {
                 return Ok(Some(DirtyLayer::Diff));
             }
         }
         for i in 0..n {
-            if read_bytes(fs, &corr_path(i))? != g.corr_bytes[i].0
-                || read_bytes(fs, &corr_area_path(i))? != g.corr_bytes[i].1
+            if read_bytes(fs, &self.tile_path(t, &corr_path(i)))? != g.corr_bytes[i].0
+                || read_bytes(fs, &self.tile_path(t, &corr_area_path(i)))? != g.corr_bytes[i].1
             {
                 return Ok(Some(DirtyLayer::Corr));
             }
         }
-        if read_bytes(fs, MOSAIC)? != g.mosaic_bytes {
+        if read_bytes(fs, &self.tile_path(t, MOSAIC))? != g.mosaic_bytes {
             return Ok(Some(DirtyLayer::Mosaic));
         }
         Ok(None)
     }
 
-    /// Re-derive the final image from the first dirty layer's on-disk
-    /// state, cascading the (possibly corrupted) values through the
-    /// same stage cores a monolithic execution runs. Each recomputed
-    /// intermediate is FITS-roundtripped before the next stage
-    /// consumes it, because the monolithic pipeline always read its
-    /// inputs back from disk.
-    fn recompute_from(&self, fs: &dyn FileSystem, layer: DirtyLayer) -> Result<FinalImage, String> {
-        let g = &self.golden;
+    /// Re-derive tile `t`'s final image from the first dirty layer's
+    /// on-disk state, cascading the (possibly corrupted) values
+    /// through the same stage cores a monolithic execution runs. Each
+    /// recomputed intermediate is FITS-roundtripped before the next
+    /// stage consumes it, because the monolithic pipeline always read
+    /// its inputs back from disk.
+    fn recompute_from(
+        &self,
+        fs: &dyn FileSystem,
+        t: usize,
+        layer: DirtyLayer,
+    ) -> Result<FinalImage, String> {
+        let g = &self.golden[t];
         let cfg = &self.config.pipeline;
         let n = cfg.n_images();
 
@@ -312,7 +383,8 @@ impl MontageApp {
                 let projs: Vec<(FitsImage, FitsImage)> = if layer == DirtyLayer::Raw {
                     (0..n)
                         .map(|i| {
-                            let raw = parse_image(&read_bytes(fs, &raw_path(i))?)?;
+                            let raw =
+                                parse_image(&read_bytes(fs, &self.tile_path(t, &raw_path(i)))?)?;
                             let (data, area) = project_image(&raw, cfg);
                             Ok((roundtrip(&data).1, roundtrip(&area).1))
                         })
@@ -322,8 +394,12 @@ impl MontageApp {
                     // check mDiffExec applies.
                     (0..n)
                         .map(|i| {
-                            let data = parse_image(&read_bytes(fs, &proj_path(i))?)?;
-                            let area = parse_image(&read_bytes(fs, &proj_area_path(i))?)?;
+                            let data =
+                                parse_image(&read_bytes(fs, &self.tile_path(t, &proj_path(i)))?)?;
+                            let area = parse_image(&read_bytes(
+                                fs,
+                                &self.tile_path(t, &proj_area_path(i)),
+                            )?)?;
                             if area.width != data.width || area.height != data.height {
                                 return Err(format!("area/data shape mismatch for image {}", i));
                             }
@@ -343,7 +419,9 @@ impl MontageApp {
                 let diffs: Vec<FitsImage> = g
                     .pairs
                     .iter()
-                    .map(|&(i, j)| parse_image(&read_bytes(fs, &diff_path(i, j))?))
+                    .map(|&(i, j)| {
+                        parse_image(&read_bytes(fs, &self.tile_path(t, &diff_path(i, j)))?)
+                    })
                     .collect::<Result<_, String>>()?;
                 background_tail(&g.projs, &g.pairs, &diffs, cfg)
             }
@@ -351,16 +429,73 @@ impl MontageApp {
                 let corrs: Vec<(FitsImage, FitsImage)> = (0..n)
                     .map(|i| {
                         Ok((
-                            parse_image(&read_bytes(fs, &corr_path(i))?)?,
-                            parse_image(&read_bytes(fs, &corr_area_path(i))?)?,
+                            parse_image(&read_bytes(fs, &self.tile_path(t, &corr_path(i)))?)?,
+                            parse_image(&read_bytes(fs, &self.tile_path(t, &corr_area_path(i)))?)?,
                         ))
                     })
                     .collect::<Result<_, String>>()?;
                 coadd_tail(&corrs, cfg)
             }
-            DirtyLayer::Mosaic => stretch_mosaic(&parse_image(&read_bytes(fs, MOSAIC)?)?),
+            DirtyLayer::Mosaic => {
+                stretch_mosaic(&parse_image(&read_bytes(fs, &self.tile_path(t, MOSAIC))?)?)
+            }
         }
     }
+
+    /// The whole analyze pass of one tile: locate the first dirty
+    /// layer and cascade from it, or — when every inter-stage input is
+    /// golden — read back the final-image file. This single function
+    /// is both the body of the per-tile analyze sub-step and the unit
+    /// `analyze` iterates, so the memo layer's stream-identity law
+    /// holds by construction.
+    fn tile_analyze(&self, fs: &dyn FileSystem, t: usize) -> Result<FinalImage, String> {
+        match self.first_dirty_layer(fs, t)? {
+            Some(layer) => self.recompute_from(fs, t, layer),
+            None => {
+                // Every inter-stage input is golden, so the viewer
+                // would have stretched the golden mosaic; the
+                // classified raster is whatever the final-image file
+                // holds (the one write a fault can still have hit).
+                let g = &self.golden[t].image;
+                let bytes = read_bytes(fs, &self.tile_path(t, FINAL_IMAGE))?;
+                Ok(FinalImage { bytes, min: g.min, max: g.max, width: g.width, height: g.height })
+            }
+        }
+    }
+}
+
+/// Serialize a [`FinalImage`] as a memoizable analyze-sub-step
+/// artifact (length-prefixed raster + the stretch statistics).
+fn encode_final(img: &FinalImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.bytes.len() + 40);
+    out.extend_from_slice(&(img.bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&img.bytes);
+    out.extend_from_slice(&img.min.to_le_bytes());
+    out.extend_from_slice(&img.max.to_le_bytes());
+    out.extend_from_slice(&(img.width as u64).to_le_bytes());
+    out.extend_from_slice(&(img.height as u64).to_le_bytes());
+    out
+}
+
+/// Inverse of [`encode_final`].
+fn decode_final(b: &[u8]) -> Result<FinalImage, String> {
+    let err = || "malformed tile artifact".to_string();
+    let take_u64 = |at: usize| -> Result<u64, String> {
+        Ok(u64::from_le_bytes(b.get(at..at + 8).ok_or_else(err)?.try_into().unwrap()))
+    };
+    let len = take_u64(0)? as usize;
+    let bytes = b.get(8..8 + len).ok_or_else(err)?.to_vec();
+    let at = 8 + len;
+    if b.len() != at + 32 {
+        return Err(err());
+    }
+    Ok(FinalImage {
+        bytes,
+        min: f64::from_le_bytes(b[at..at + 8].try_into().unwrap()),
+        max: f64::from_le_bytes(b[at + 8..at + 16].try_into().unwrap()),
+        width: take_u64(at + 16)? as usize,
+        height: take_u64(at + 24)? as usize,
+    })
 }
 
 /// The mBgExec → mAdd → viewer tail over in-memory inputs, shared by
@@ -396,36 +531,44 @@ impl FaultApp for MontageApp {
     type Output = MontageOutput;
 
     fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
-        let g = &self.golden;
         let n = self.config.pipeline.n_images();
-        let w = |path: &str, bytes: &[u8]| -> Result<(), String> {
-            fs.write_file_chunked(path, bytes, ffis_vfs::BLOCK_SIZE).map_err(|e| e.to_string())
-        };
-        for d in ["/raw", "/proj", "/diff", "/corr", "/mosaic"] {
-            fs.mkdir(d, 0o755).map_err(|e| e.to_string())?;
+        // Stream every stage's golden bytes in pipeline order, tile by
+        // tile — the same files, chunking, and write sequence the
+        // monolithic pipeline issues, without deriving any byte from a
+        // read-back (the write-stream data-independence law). Fault
+        // propagation through the inter-stage files is modelled in
+        // `analyze`.
+        for t in 0..self.config.tiles {
+            let g = &self.golden[t];
+            let w = |path: String, bytes: &[u8]| -> Result<(), String> {
+                fs.write_file_chunked(&path, bytes, ffis_vfs::BLOCK_SIZE).map_err(|e| e.to_string())
+            };
+            let pre = self.tile_prefix(t);
+            if !pre.is_empty() {
+                fs.mkdir(&pre, 0o755).map_err(|e| e.to_string())?;
+            }
+            for d in ["/raw", "/proj", "/diff", "/corr", "/mosaic"] {
+                fs.mkdir(&format!("{}{}", pre, d), 0o755).map_err(|e| e.to_string())?;
+            }
+            for i in 0..n {
+                w(self.tile_path(t, &raw_path(i)), &g.raw_bytes[i])?;
+            }
+            for i in 0..n {
+                w(self.tile_path(t, &proj_path(i)), &g.proj_bytes[i].0)?;
+                w(self.tile_path(t, &proj_area_path(i)), &g.proj_bytes[i].1)?;
+            }
+            for (k, &(i, j)) in g.pairs.iter().enumerate() {
+                w(self.tile_path(t, &diff_path(i, j)), &g.diff_bytes[k])?;
+            }
+            for i in 0..n {
+                w(self.tile_path(t, &corr_path(i)), &g.corr_bytes[i].0)?;
+                w(self.tile_path(t, &corr_area_path(i)), &g.corr_bytes[i].1)?;
+            }
+            w(self.tile_path(t, MOSAIC), &g.mosaic_bytes)?;
+            w(self.tile_path(t, MOSAIC_AREA), &g.mosaic_area_bytes)?;
+            w(self.tile_path(t, FINAL_IMAGE), &g.image.bytes)?;
         }
-        // Stream every stage's golden bytes in pipeline order — the
-        // same files, chunking, and write sequence the monolithic
-        // pipeline issues, without deriving any byte from a read-back
-        // (the write-stream data-independence law). Fault propagation
-        // through the inter-stage files is modelled in `analyze`.
-        for i in 0..n {
-            w(&raw_path(i), &g.raw_bytes[i])?;
-        }
-        for i in 0..n {
-            w(&proj_path(i), &g.proj_bytes[i].0)?;
-            w(&proj_area_path(i), &g.proj_bytes[i].1)?;
-        }
-        for (k, &(i, j)) in g.pairs.iter().enumerate() {
-            w(&diff_path(i, j), &g.diff_bytes[k])?;
-        }
-        for i in 0..n {
-            w(&corr_path(i), &g.corr_bytes[i].0)?;
-            w(&corr_area_path(i), &g.corr_bytes[i].1)?;
-        }
-        w(MOSAIC, &g.mosaic_bytes)?;
-        w(MOSAIC_AREA, &g.mosaic_area_bytes)?;
-        w(FINAL_IMAGE, &g.image.bytes)
+        Ok(())
     }
 
     fn analyze(
@@ -433,19 +576,80 @@ impl FaultApp for MontageApp {
         fs: &dyn FileSystem,
         _golden: Option<&MontageOutput>,
     ) -> Result<MontageOutput, String> {
-        let image = match self.first_dirty_layer(fs)? {
-            Some(layer) => self.recompute_from(fs, layer)?,
-            None => {
-                // Every inter-stage input is golden, so the viewer
-                // would have stretched the golden mosaic; the
-                // classified raster is whatever the final-image file
-                // holds (the one write a fault can still have hit).
-                let g = &self.golden.image;
-                let bytes = read_bytes(fs, FINAL_IMAGE)?;
-                FinalImage { bytes, min: g.min, max: g.max, width: g.width, height: g.height }
-            }
-        };
-        Ok(MontageOutput { image })
+        // Tiles in declaration order — identical, read for read, to
+        // running the per-tile sub-steps and assembling them.
+        let mut images = Vec::with_capacity(self.config.tiles);
+        for t in 0..self.config.tiles {
+            images.push(self.tile_analyze(fs, t)?);
+        }
+        let image = images.remove(0);
+        Ok(MontageOutput { image, extra_tiles: images })
+    }
+
+    fn analyze_substeps(&self) -> Option<Vec<SubstepSpec>> {
+        if self.config.tiles == 1 {
+            return None;
+        }
+        let n = self.config.pipeline.n_images();
+        Some(
+            (0..self.config.tiles)
+                .map(|t| {
+                    // Everything tile_analyze may read: every layer the
+                    // dirty scan compares plus the final-image raster.
+                    // (The mosaic *area* image has no consumer, so a
+                    // fault there dirties no sub-step — exactly as full
+                    // analyze never observes it.)
+                    let mut inputs = Vec::new();
+                    for i in 0..n {
+                        inputs.push(self.tile_path(t, &raw_path(i)));
+                    }
+                    for i in 0..n {
+                        inputs.push(self.tile_path(t, &proj_path(i)));
+                        inputs.push(self.tile_path(t, &proj_area_path(i)));
+                    }
+                    for &(i, j) in &self.golden[t].pairs {
+                        inputs.push(self.tile_path(t, &diff_path(i, j)));
+                    }
+                    for i in 0..n {
+                        inputs.push(self.tile_path(t, &corr_path(i)));
+                        inputs.push(self.tile_path(t, &corr_area_path(i)));
+                    }
+                    inputs.push(self.tile_path(t, MOSAIC));
+                    inputs.push(self.tile_path(t, FINAL_IMAGE));
+                    SubstepSpec::new(format!("tile{}", t), inputs)
+                })
+                .collect(),
+        )
+    }
+
+    fn analyze_substep(
+        &self,
+        fs: &dyn FileSystem,
+        index: usize,
+        _golden: Option<&MontageOutput>,
+    ) -> Result<Vec<u8>, String> {
+        if index >= self.config.tiles {
+            return Err(format!("no tile {}", index));
+        }
+        self.tile_analyze(fs, index).map(|img| encode_final(&img))
+    }
+
+    fn assemble(
+        &self,
+        artifacts: &[Vec<u8>],
+        _golden: Option<&MontageOutput>,
+    ) -> Result<MontageOutput, String> {
+        if artifacts.len() != self.config.tiles {
+            return Err(format!(
+                "expected {} tile artifacts, got {}",
+                self.config.tiles,
+                artifacts.len()
+            ));
+        }
+        let mut images =
+            artifacts.iter().map(|a| decode_final(a)).collect::<Result<Vec<_>, String>>()?;
+        let image = images.remove(0);
+        Ok(MontageOutput { image, extra_tiles: images })
     }
 
     /// Produce streams every stage's golden bytes in pipeline order
@@ -460,14 +664,24 @@ impl FaultApp for MontageApp {
     }
 
     fn classify(&self, golden: &MontageOutput, faulty: &MontageOutput) -> Outcome {
-        if golden.image.bytes == faulty.image.bytes {
-            return Outcome::Benign;
+        // Tile by tile, in order: the first differing final image
+        // decides via the paper's `min`-value test. The single-tile
+        // regime reduces to the legacy whole-image comparison.
+        let g = std::iter::once(&golden.image).chain(&golden.extra_tiles);
+        let f = std::iter::once(&faulty.image).chain(&faulty.extra_tiles);
+        for (gi, fi) in g.zip(f) {
+            if gi.bytes != fi.bytes {
+                return if (fi.min - gi.min).abs() <= self.config.min_threshold {
+                    Outcome::Sdc
+                } else {
+                    Outcome::Detected
+                };
+            }
         }
-        if (faulty.image.min - golden.image.min).abs() <= self.config.min_threshold {
-            Outcome::Sdc
-        } else {
-            Outcome::Detected
+        if golden.extra_tiles.len() != faulty.extra_tiles.len() {
+            return Outcome::Detected;
         }
+        Outcome::Benign
     }
 
     fn name(&self) -> String {
@@ -540,5 +754,50 @@ mod tests {
         assert_eq!(name, "Montage");
         assert_eq!(domain, "Astronomy");
         assert!(method.contains("mosaic"));
+    }
+
+    #[test]
+    fn single_tile_declares_no_substeps() {
+        // The legacy regime keeps whole-analyze (and its pinned
+        // campaign modes): no sub-steps, no memo engagement.
+        assert!(MontageApp::paper_default().analyze_substeps().is_none());
+    }
+
+    #[test]
+    fn multi_tile_substeps_match_whole_analyze() {
+        let app = MontageApp::multi_tile(3);
+        let specs = app.analyze_substeps().unwrap();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[1].reads("/tile1/mosaic/mosaic.fits"));
+        assert!(!specs[1].reads("/tile0/mosaic/mosaic.fits"));
+
+        let fs = MemFs::new();
+        app.produce(&fs).unwrap();
+        let whole = app.analyze(&fs, None).unwrap();
+        assert_eq!(whole.extra_tiles.len(), 2);
+        // Distinct pointings: the tiles are different skies.
+        assert_ne!(whole.image.bytes, whole.extra_tiles[0].bytes);
+
+        let arts: Vec<Vec<u8>> =
+            (0..3).map(|t| app.analyze_substep(&fs, t, None).unwrap()).collect();
+        let assembled = app.assemble(&arts, None).unwrap();
+        assert_eq!(whole.image.bytes, assembled.image.bytes);
+        for (a, b) in whole.extra_tiles.iter().zip(&assembled.extra_tiles) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(app.classify(&whole, &assembled), Outcome::Benign);
+    }
+
+    #[test]
+    fn multi_tile_classify_keys_on_first_differing_tile() {
+        let app = MontageApp::multi_tile(2);
+        let fs = MemFs::new();
+        let golden = app.run(&fs).unwrap();
+        let mut faulty = golden.clone();
+        faulty.extra_tiles[0].bytes[20] ^= 0x01;
+        faulty.extra_tiles[0].min += 0.005;
+        assert_eq!(app.classify(&golden, &faulty), Outcome::Sdc);
+        faulty.extra_tiles[0].min -= 5.0;
+        assert_eq!(app.classify(&golden, &faulty), Outcome::Detected);
     }
 }

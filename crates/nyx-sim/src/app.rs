@@ -11,15 +11,21 @@
 //! classified as benign. If they differ, and there is no halo found,
 //! the cases are detected and otherwise they are the SDC."
 
-use ffis_core::{FaultApp, Outcome};
+use ffis_core::{FaultApp, Outcome, SubstepSpec};
 use ffis_vfs::FileSystem;
 use hdf5lite::{Dataset, FileBuilder, WriteOptions};
 
 use crate::field::{generate, FieldConfig};
-use crate::halo::{find_halos, HaloCatalog, HaloFinderConfig};
+use crate::halo::{find_halos, Halo, HaloCatalog, HaloFinderConfig};
 
 /// Path of the plotfile within the mount.
 pub const PLOTFILE: &str = "/run/plt00000.h5";
+
+/// Path of plotfile `k` (`plt00000`, `plt00001`, ...); index 0 is the
+/// legacy [`PLOTFILE`].
+pub fn plotfile_path(k: usize) -> String {
+    format!("/run/plt{:05}.h5", k)
+}
 
 /// Dataset path inside the plotfile (the real Nyx layout).
 pub const DATASET: &str = "/native_fields/baryon_density";
@@ -53,6 +59,13 @@ pub struct NyxConfig {
     /// share the cached field, but replay-vs-rerun comparisons should
     /// enable this to charge the legacy path its true per-run cost.
     pub resimulate: bool,
+    /// Number of plotfiles the run writes (`plt00000..`), each a
+    /// snapshot of an independently-seeded field. `1` (the default)
+    /// keeps the legacy single-plotfile layout byte for byte.
+    /// Multi-plotfile runs declare one analyze sub-step per plotfile,
+    /// so campaigns memoize the halo analyses a fault cannot reach
+    /// (incremental analyze).
+    pub plotfiles: usize,
 }
 
 impl Default for NyxConfig {
@@ -64,6 +77,7 @@ impl Default for NyxConfig {
             write_chunk: ffis_vfs::BLOCK_SIZE,
             seal_metadata: false,
             resimulate: false,
+            plotfiles: 1,
         }
     }
 }
@@ -82,6 +96,7 @@ impl NyxConfig {
             write_chunk: 64 * 1024,
             seal_metadata: false,
             resimulate: false,
+            plotfiles: 1,
         }
     }
 }
@@ -89,30 +104,38 @@ impl NyxConfig {
 /// Everything classification (and the deeper Table IV analyses) needs.
 #[derive(Debug, Clone)]
 pub struct NyxOutput {
-    /// Rendered halo catalog (the bitwise-comparison artifact).
+    /// Rendered halo catalog of plotfile 0 (the legacy
+    /// bitwise-comparison artifact).
     pub catalog_text: String,
-    /// Structured catalog.
+    /// Structured catalog of plotfile 0.
     pub catalog: HaloCatalog,
     /// Decoded field, when `keep_field` is set.
     pub field: Option<Vec<f64>>,
     /// Grid dims.
     pub dims: [usize; 3],
+    /// `(catalog_text, catalog)` of plotfiles `1..` (empty in the
+    /// single-plotfile regime).
+    pub extra: Vec<(String, HaloCatalog)>,
 }
 
 /// The Nyx application.
 #[derive(Debug, Clone)]
 pub struct NyxApp {
     config: NyxConfig,
-    /// The simulated field, generated once (deterministic physics;
-    /// the experiment perturbs only the storage path).
-    field: Vec<f32>,
+    /// The simulated fields, one per plotfile, generated once
+    /// (deterministic physics; the experiment perturbs only the
+    /// storage path).
+    fields: Vec<Vec<f32>>,
 }
 
 impl NyxApp {
-    /// Build the app, running the (deterministic) simulation once.
-    pub fn new(config: NyxConfig) -> Self {
-        let field = generate(&config.field);
-        NyxApp { config, field }
+    /// Build the app, running the (deterministic) simulation once per
+    /// plotfile.
+    pub fn new(mut config: NyxConfig) -> Self {
+        config.plotfiles = config.plotfiles.max(1);
+        let fields =
+            (0..config.plotfiles).map(|k| generate(&Self::file_field(&config, k))).collect();
+        NyxApp { config, fields }
     }
 
     /// Paper-defaults app.
@@ -120,14 +143,26 @@ impl NyxApp {
         Self::new(NyxConfig::default())
     }
 
+    /// Field parameters of plotfile `k`: plotfile 0 keeps the
+    /// configured seed (the single-plotfile regime stays
+    /// byte-identical); later snapshots shift it.
+    fn file_field(config: &NyxConfig, k: usize) -> FieldConfig {
+        FieldConfig { seed: config.field.seed.wrapping_add(0x9E37 * k as u64), ..config.field }
+    }
+
+    /// Number of plotfiles this app writes.
+    pub fn plotfiles(&self) -> usize {
+        self.config.plotfiles
+    }
+
     /// Grid side length.
     pub fn n(&self) -> usize {
         self.config.field.n
     }
 
-    /// The pristine simulated field (f32, as written).
+    /// The pristine simulated field of plotfile 0 (f32, as written).
     pub fn simulated_field(&self) -> &[f32] {
-        &self.field
+        &self.fields[0]
     }
 
     /// Table II row.
@@ -151,7 +186,7 @@ impl NyxApp {
     pub fn metadata_spans(&self) -> Vec<hdf5lite::Span> {
         let n = self.config.field.n;
         let mut b = FileBuilder::new();
-        b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], &self.field))
+        b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], &self.fields[0]))
             .expect("same tree as run()");
         let plan = hdf5lite::plan(&b.into_root()).expect("plannable");
         let (_, spans) = hdf5lite::encode_metadata(&plan);
@@ -164,25 +199,78 @@ impl NyxApp {
     }
 }
 
+/// One plotfile read back through the mount: the halo catalog, the
+/// dataset dims, and (plotfile 0 with `keep_field` only) the decoded
+/// field values.
+type FileReadBack = (HaloCatalog, [usize; 3], Option<Vec<f64>>);
+
 impl NyxApp {
-    /// The post-analysis half of a run: read the plotfile back through
-    /// `fs` and run the halo finder — the body of
-    /// [`FaultApp::analyze`], whether the plotfile was written by the
-    /// produce phase or rebuilt by golden-trace replay.
-    fn read_back(&self, fs: &dyn FileSystem) -> Result<NyxOutput, String> {
-        let info = hdf5lite::read_dataset(fs, PLOTFILE, DATASET).map_err(|e| e.to_string())?;
+    /// The post-analysis half of one plotfile: read it back through
+    /// `fs` and run the halo finder — the per-plotfile unit of
+    /// [`FaultApp::analyze`] and the body of the matching analyze
+    /// sub-step (so the memo layer's stream-identity law holds by
+    /// construction). Returns the catalog, dims, and (for plotfile 0
+    /// with `keep_field`) the decoded values.
+    fn read_back_file(&self, fs: &dyn FileSystem, k: usize) -> Result<FileReadBack, String> {
+        let info =
+            hdf5lite::read_dataset(fs, &plotfile_path(k), DATASET).map_err(|e| e.to_string())?;
         if info.dims.len() != 3 {
             return Err(format!("unexpected rank {}", info.dims.len()));
         }
         let dims = [info.dims[0] as usize, info.dims[1] as usize, info.dims[2] as usize];
         let catalog = find_halos(&info.values, dims, &self.config.finder);
-        Ok(NyxOutput {
-            catalog_text: catalog.render(),
-            catalog,
-            field: self.config.keep_field.then_some(info.values),
-            dims,
-        })
+        let field = (k == 0 && self.config.keep_field).then_some(info.values);
+        Ok((catalog, dims, field))
     }
+}
+
+/// Serialize one plotfile's halo analysis as a memoizable
+/// analyze-sub-step artifact (dims + the structured catalog; the
+/// rendered text is re-derived at assembly).
+fn encode_catalog(dims: [usize; 3], catalog: &HaloCatalog) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48 + catalog.halos.len() * 40);
+    for d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&catalog.mean.to_le_bytes());
+    out.extend_from_slice(&catalog.threshold.to_le_bytes());
+    out.extend_from_slice(&catalog.candidate_cells.to_le_bytes());
+    out.extend_from_slice(&(catalog.halos.len() as u64).to_le_bytes());
+    for h in &catalog.halos {
+        for c in h.center {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&h.cells.to_le_bytes());
+        out.extend_from_slice(&h.mass.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_catalog`].
+fn decode_catalog(b: &[u8]) -> Result<([usize; 3], HaloCatalog), String> {
+    let err = || "malformed plotfile artifact".to_string();
+    let u = |at: usize| -> Result<u64, String> {
+        Ok(u64::from_le_bytes(b.get(at..at + 8).ok_or_else(err)?.try_into().unwrap()))
+    };
+    let f = |at: usize| -> Result<f64, String> {
+        Ok(f64::from_le_bytes(b.get(at..at + 8).ok_or_else(err)?.try_into().unwrap()))
+    };
+    let dims = [u(0)? as usize, u(8)? as usize, u(16)? as usize];
+    let (mean, threshold, candidate_cells, n_halos) = (f(24)?, f(32)?, u(40)?, u(48)? as usize);
+    let mut halos = Vec::with_capacity(n_halos);
+    let mut at = 56;
+    for _ in 0..n_halos {
+        let center = [f(at)?, f(at + 8)?, f(at + 16)?];
+        let cells =
+            u32::from_le_bytes(b.get(at + 24..at + 28).ok_or_else(err)?.try_into().unwrap());
+        let mass = f(at + 28)?;
+        halos.push(Halo { center, cells, mass });
+        at += 36;
+    }
+    if b.len() != at {
+        return Err(err());
+    }
+    Ok((dims, HaloCatalog { mean, threshold, candidate_cells, halos }))
 }
 
 impl FaultApp for NyxApp {
@@ -190,27 +278,31 @@ impl FaultApp for NyxApp {
 
     fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
         let n = self.config.field.n;
-        // The simulation phase: deterministic, so by default each run
-        // reuses the cached field; `resimulate` re-executes it the way
-        // the real application binary would in every injection run.
-        let resimulated;
-        let field: &[f32] = if self.config.resimulate {
-            resimulated = generate(&self.config.field);
-            &resimulated
-        } else {
-            &self.field
-        };
-        // Write the plotfile through the (possibly fault-injected)
-        // filesystem, exactly as the HDF5 library would.
         fs.mkdir("/run", 0o755).map_err(|e| e.to_string())?;
-        let mut b = FileBuilder::new();
-        b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], field))
-            .map_err(|e| e.to_string())?;
-        let opts = WriteOptions {
-            chunk_size: self.config.write_chunk,
-            seal_metadata: self.config.seal_metadata,
-        };
-        hdf5lite::write_file(fs, PLOTFILE, &b.into_root(), &opts).map_err(|e| e.to_string())?;
+        for k in 0..self.config.plotfiles {
+            // The simulation phase: deterministic, so by default each
+            // run reuses the cached field; `resimulate` re-executes it
+            // the way the real application binary would in every
+            // injection run.
+            let resimulated;
+            let field: &[f32] = if self.config.resimulate {
+                resimulated = generate(&Self::file_field(&self.config, k));
+                &resimulated
+            } else {
+                &self.fields[k]
+            };
+            // Write the plotfile through the (possibly fault-injected)
+            // filesystem, exactly as the HDF5 library would.
+            let mut b = FileBuilder::new();
+            b.add_dataset(DATASET, Dataset::f32("baryon_density", &[n as u64; 3], field))
+                .map_err(|e| e.to_string())?;
+            let opts = WriteOptions {
+                chunk_size: self.config.write_chunk,
+                seal_metadata: self.config.seal_metadata,
+            };
+            hdf5lite::write_file(fs, &plotfile_path(k), &b.into_root(), &opts)
+                .map_err(|e| e.to_string())?;
+        }
         Ok(())
     }
 
@@ -219,17 +311,81 @@ impl FaultApp for NyxApp {
         fs: &dyn FileSystem,
         _golden: Option<&NyxOutput>,
     ) -> Result<NyxOutput, String> {
-        self.read_back(fs)
+        // Plotfiles in order — identical, read for read, to running
+        // the per-plotfile sub-steps and assembling them.
+        let (catalog, dims, field) = self.read_back_file(fs, 0)?;
+        let mut extra = Vec::with_capacity(self.config.plotfiles - 1);
+        for k in 1..self.config.plotfiles {
+            let (c, _, _) = self.read_back_file(fs, k)?;
+            extra.push((c.render(), c));
+        }
+        Ok(NyxOutput { catalog_text: catalog.render(), catalog, field, dims, extra })
+    }
+
+    fn analyze_substeps(&self) -> Option<Vec<SubstepSpec>> {
+        // `keep_field` outputs carry the decoded field values, which a
+        // memoized artifact does not — visualization runs stay on
+        // whole-analyze.
+        if self.config.plotfiles == 1 || self.config.keep_field {
+            return None;
+        }
+        Some(
+            (0..self.config.plotfiles)
+                .map(|k| SubstepSpec::new(format!("plt{:05}", k), vec![plotfile_path(k)]))
+                .collect(),
+        )
+    }
+
+    fn analyze_substep(
+        &self,
+        fs: &dyn FileSystem,
+        index: usize,
+        _golden: Option<&NyxOutput>,
+    ) -> Result<Vec<u8>, String> {
+        if index >= self.config.plotfiles {
+            return Err(format!("no plotfile {}", index));
+        }
+        let (catalog, dims, _) = self.read_back_file(fs, index)?;
+        Ok(encode_catalog(dims, &catalog))
+    }
+
+    fn assemble(
+        &self,
+        artifacts: &[Vec<u8>],
+        _golden: Option<&NyxOutput>,
+    ) -> Result<NyxOutput, String> {
+        if artifacts.len() != self.config.plotfiles {
+            return Err(format!(
+                "expected {} plotfile artifacts, got {}",
+                self.config.plotfiles,
+                artifacts.len()
+            ));
+        }
+        let (dims, catalog) = decode_catalog(&artifacts[0])?;
+        let mut extra = Vec::with_capacity(artifacts.len() - 1);
+        for a in &artifacts[1..] {
+            let (_, c) = decode_catalog(a)?;
+            extra.push((c.render(), c));
+        }
+        Ok(NyxOutput { catalog_text: catalog.render(), catalog, field: None, dims, extra })
     }
 
     fn classify(&self, golden: &NyxOutput, faulty: &NyxOutput) -> Outcome {
-        if golden.catalog_text == faulty.catalog_text {
-            Outcome::Benign
-        } else if faulty.catalog.halos.is_empty() {
-            Outcome::Detected
-        } else {
-            Outcome::Sdc
+        // Plotfile 0 (the legacy artifact) first, then the extra
+        // snapshots in order: the first differing catalog decides via
+        // the paper's no-halo test.
+        if golden.catalog_text != faulty.catalog_text {
+            return if faulty.catalog.halos.is_empty() { Outcome::Detected } else { Outcome::Sdc };
         }
+        for ((gt, _), (ft, fc)) in golden.extra.iter().zip(&faulty.extra) {
+            if gt != ft {
+                return if fc.halos.is_empty() { Outcome::Detected } else { Outcome::Sdc };
+            }
+        }
+        if golden.extra.len() != faulty.extra.len() {
+            return Outcome::Detected;
+        }
+        Outcome::Benign
     }
 
     /// Nyx's produce phase streams the plotfile out and never reads it
@@ -296,6 +452,7 @@ mod tests {
             },
             field: None,
             dims: golden.dims,
+            extra: vec![],
         };
         assert_eq!(a.classify(&golden, &empty), Outcome::Detected);
 
@@ -332,5 +489,58 @@ mod tests {
         assert!(f.matches(Some(PLOTFILE)));
         assert!(!f.matches(Some("/run/notes.txt")));
         assert!(!f.matches(None));
+        // ...and every numbered snapshot of a multi-plotfile run.
+        assert!(f.matches(Some(&plotfile_path(3))));
+    }
+
+    #[test]
+    fn single_plotfile_declares_no_substeps() {
+        assert_eq!(plotfile_path(0), PLOTFILE);
+        assert!(NyxApp::paper_default().analyze_substeps().is_none());
+    }
+
+    #[test]
+    fn multi_plotfile_substeps_match_whole_analyze() {
+        let a = NyxApp::new(NyxConfig {
+            field: FieldConfig { n: 24, ..Default::default() },
+            plotfiles: 3,
+            ..Default::default()
+        });
+        let specs = a.analyze_substeps().unwrap();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[1].reads(&plotfile_path(1)));
+        assert!(!specs[1].reads(PLOTFILE));
+
+        let fs = MemFs::new();
+        a.produce(&fs).unwrap();
+        let whole = a.analyze(&fs, None).unwrap();
+        assert_eq!(whole.extra.len(), 2);
+        // Distinct seeds: the snapshots carry different catalogs.
+        assert_ne!(whole.catalog_text, whole.extra[0].0);
+
+        let arts: Vec<Vec<u8>> = (0..3).map(|k| a.analyze_substep(&fs, k, None).unwrap()).collect();
+        let asm = a.assemble(&arts, None).unwrap();
+        assert_eq!(whole.catalog_text, asm.catalog_text);
+        assert_eq!(whole.dims, asm.dims);
+        for ((gt, gc), (at, ac)) in whole.extra.iter().zip(&asm.extra) {
+            assert_eq!(gt, at);
+            assert_eq!(gc.render(), ac.render());
+        }
+        assert_eq!(a.classify(&whole, &asm), Outcome::Benign);
+    }
+
+    #[test]
+    fn multi_plotfile_classify_keys_on_first_differing_snapshot() {
+        let a = NyxApp::new(NyxConfig {
+            field: FieldConfig { n: 16, ..Default::default() },
+            plotfiles: 2,
+            ..Default::default()
+        });
+        let golden = a.run(&MemFs::new()).unwrap();
+        let mut faulty = golden.clone();
+        faulty.extra[0].0.push('x');
+        assert_eq!(a.classify(&golden, &faulty), Outcome::Sdc);
+        faulty.extra[0].1.halos.clear();
+        assert_eq!(a.classify(&golden, &faulty), Outcome::Detected);
     }
 }

@@ -65,6 +65,7 @@ mod tests {
             },
             field: None,
             dims: [8, 8, 8],
+            extra: vec![],
         }
     }
 

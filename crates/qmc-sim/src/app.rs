@@ -22,7 +22,7 @@
 //! *SDC*; otherwise ⇒ *detected*. Unreadable/unparsable artifacts or
 //! a DMC abort ⇒ *crash*.
 
-use ffis_core::{FaultApp, Outcome};
+use ffis_core::{FaultApp, Outcome, SubstepSpec};
 use ffis_vfs::{FileSystem, FileSystemExt};
 
 use crate::dmc::{run_dmc, DmcConfig};
@@ -40,6 +40,34 @@ pub const S001: &str = "/qmc/He.s001.scalar.dat";
 /// Run log path.
 pub const LOG: &str = "/qmc/He.out";
 
+/// File-name stem of restart segment `s`: the legacy `He` in the
+/// single-restart regime, `He.g000`/`He.g001`/... otherwise.
+fn seg_stem(s: usize, restarts: usize) -> String {
+    if restarts == 1 {
+        "He".into()
+    } else {
+        format!("He.g{:03}", s)
+    }
+}
+
+/// VMC scalar path of restart segment `s` (collapses to [`S000`] in
+/// the single-restart regime).
+pub fn seg_s000(s: usize, restarts: usize) -> String {
+    format!("/qmc/{}.s000.scalar.dat", seg_stem(s, restarts))
+}
+
+/// Walker-checkpoint path of restart segment `s` (collapses to
+/// [`CONFIG`] in the single-restart regime).
+pub fn seg_config(s: usize, restarts: usize) -> String {
+    format!("/qmc/{}.s000.config.dat", seg_stem(s, restarts))
+}
+
+/// DMC scalar path of restart segment `s` (collapses to [`S001`] in
+/// the single-restart regime).
+pub fn seg_s001(s: usize, restarts: usize) -> String {
+    format!("/qmc/{}.s001.scalar.dat", seg_stem(s, restarts))
+}
+
 /// QMCPACK workload configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct QmcConfig {
@@ -56,6 +84,14 @@ pub struct QmcConfig {
     /// Restart tolerance: minimum fraction of checkpoint walkers that
     /// must be physical for DMC to proceed (below it, abort = crash).
     pub min_restart_fraction: f64,
+    /// Number of independent VMC→DMC restart segments
+    /// (`He.g000`/`He.g001`/... file families, each with its own
+    /// scalar series and walker checkpoint). `1` (the default) keeps
+    /// the legacy `He.*` single-segment layout byte for byte.
+    /// Multi-restart runs declare one analyze sub-step per segment,
+    /// so campaigns memoize the checkpoint restarts a fault cannot
+    /// reach (incremental analyze).
+    pub restarts: usize,
 }
 
 impl Default for QmcConfig {
@@ -73,6 +109,7 @@ impl Default for QmcConfig {
             qmca: QmcaConfig { equilibration_fraction: 0.3, min_rows: 50 },
             sdc_window: (-2.91, -2.90),
             min_restart_fraction: 0.25,
+            restarts: 1,
         }
     }
 }
@@ -80,37 +117,67 @@ impl Default for QmcConfig {
 /// Classification artifacts.
 #[derive(Debug, Clone)]
 pub struct QmcOutput {
-    /// Raw bytes of `He.s001.scalar.dat` (bitwise-comparison artifact).
+    /// Raw bytes of segment 0's `s001` scalar file (the legacy
+    /// bitwise-comparison artifact).
     pub s001_bytes: Vec<u8>,
-    /// QMCA result on the DMC series.
+    /// QMCA result on segment 0's DMC series.
     pub qmca: QmcaResult,
+    /// `(s001 bytes, QMCA result)` of restart segments `1..` (empty
+    /// in the single-restart regime).
+    pub extra: Vec<(Vec<u8>, QmcaResult)>,
 }
 
-/// The QMCPACK application.
-pub struct QmcApp {
-    config: QmcConfig,
-    /// Deterministic VMC products, computed once (physics is not the
-    /// experiment's variable — the storage path is).
+/// Deterministic VMC products of one restart segment, computed once
+/// (physics is not the experiment's variable — the storage path is).
+struct Segment {
     s000_text: String,
     checkpoint_bytes: Vec<u8>,
     /// Memoized DMC rows for the untampered checkpoint.
     golden_dmc_rows: Vec<ScalarRow>,
 }
 
+/// The QMCPACK application.
+pub struct QmcApp {
+    config: QmcConfig,
+    /// One set of golden VMC/DMC products per restart segment.
+    segments: Vec<Segment>,
+}
+
 impl QmcApp {
-    /// Build the app, running VMC and the golden DMC once.
-    pub fn new(config: QmcConfig) -> Self {
-        let vmc = run_vmc(&config.wavefunction, &config.vmc);
-        let s000_text = render_scalar(&vmc.rows);
-        let checkpoint_bytes = render_checkpoint(&vmc.walkers);
-        let golden_dmc =
-            run_dmc(&config.wavefunction, &vmc.walkers, &config.dmc).expect("golden DMC must run");
-        QmcApp { config, s000_text, checkpoint_bytes, golden_dmc_rows: golden_dmc.rows }
+    /// Build the app, running VMC and the golden DMC once per restart
+    /// segment.
+    pub fn new(mut config: QmcConfig) -> Self {
+        config.restarts = config.restarts.max(1);
+        let segments = (0..config.restarts)
+            .map(|s| {
+                // Segment 0 keeps the configured seed (the
+                // single-restart regime stays byte-identical); later
+                // segments shift it for independent trajectories.
+                let vmc_cfg = VmcConfig {
+                    seed: config.vmc.seed.wrapping_add(0x0D5C * s as u64),
+                    ..config.vmc
+                };
+                let vmc = run_vmc(&config.wavefunction, &vmc_cfg);
+                let golden_dmc = run_dmc(&config.wavefunction, &vmc.walkers, &config.dmc)
+                    .expect("golden DMC must run");
+                Segment {
+                    s000_text: render_scalar(&vmc.rows),
+                    checkpoint_bytes: render_checkpoint(&vmc.walkers),
+                    golden_dmc_rows: golden_dmc.rows,
+                }
+            })
+            .collect();
+        QmcApp { config, segments }
     }
 
     /// Paper-defaults app.
     pub fn paper_default() -> Self {
         Self::new(QmcConfig::default())
+    }
+
+    /// Number of restart segments this app runs.
+    pub fn restarts(&self) -> usize {
+        self.config.restarts
     }
 
     /// Table II row.
@@ -122,9 +189,11 @@ impl QmcApp {
         )
     }
 
-    /// The golden DMC energy (for tests and reporting).
+    /// The golden DMC energy of segment 0 (for tests and reporting).
     pub fn golden_energy(&self) -> f64 {
-        analyze(&self.golden_dmc_rows, &self.config.qmca).expect("golden analyzable").energy
+        analyze(&self.segments[0].golden_dmc_rows, &self.config.qmca)
+            .expect("golden analyzable")
+            .energy
     }
 
     /// Fault-target filter scoping injections to the walker checkpoint
@@ -142,11 +211,11 @@ impl QmcApp {
         ffis_core::TargetFilter::PathContains(".scalar.dat".into())
     }
 
-    fn dmc_rows_for(&self, checkpoint: &[u8]) -> Result<Vec<ScalarRow>, String> {
-        if checkpoint == self.checkpoint_bytes.as_slice() {
+    fn dmc_rows_for(&self, s: usize, checkpoint: &[u8]) -> Result<Vec<ScalarRow>, String> {
+        if checkpoint == self.segments[s].checkpoint_bytes.as_slice() {
             // Untampered checkpoint: the deterministic DMC trajectory
             // is already known (pure memoization).
-            return Ok(self.golden_dmc_rows.clone());
+            return Ok(self.segments[s].golden_dmc_rows.clone());
         }
         let walkers = crate::scalar::parse_checkpoint(checkpoint)?;
         // Defensive restart: drop unphysical walkers, abort when too
@@ -165,6 +234,73 @@ impl QmcApp {
             .map_err(|e| e.to_string())?;
         Ok(dmc.rows)
     }
+
+    /// The whole analyze pass of one restart segment: re-examine its
+    /// VMC→DMC handoff from storage and run QMCA on the (possibly
+    /// re-derived) DMC series. This single function is both the body
+    /// of the per-segment analyze sub-step and the unit `analyze`
+    /// iterates, so the memo layer's stream-identity law holds by
+    /// construction.
+    fn segment_analyze(
+        &self,
+        fs: &dyn FileSystem,
+        s: usize,
+    ) -> Result<(Vec<u8>, QmcaResult), String> {
+        let r = self.config.restarts;
+        // The VMC→DMC handoff, re-examined from storage: an
+        // untampered checkpoint means the on-disk s001 (however the
+        // fault may have mauled *it*) is the classified artifact; a
+        // tampered checkpoint means DMC restarts from the stored
+        // walkers — physicality checks, abort-on-too-few and all —
+        // and the re-derived series is what a full execution would
+        // have written.
+        let checkpoint = fs.read_to_vec(&seg_config(s, r)).map_err(|e| e.to_string())?;
+        let s001_bytes = if checkpoint == self.segments[s].checkpoint_bytes {
+            fs.read_to_vec(&seg_s001(s, r)).map_err(|e| e.to_string())?
+        } else {
+            render_scalar(&self.dmc_rows_for(s, &checkpoint)?).into_bytes()
+        };
+
+        // Post-analysis (QMCA): both series must parse; the DMC energy
+        // is the reported quantity.
+        read_scalar(fs, &seg_s000(s, r), self.config.qmca.min_rows)?;
+        let parsed = crate::scalar::parse_scalar(
+            &String::from_utf8_lossy(&s001_bytes),
+            self.config.qmca.min_rows,
+        )?;
+        let qmca = analyze(&parsed.rows, &self.config.qmca)?;
+        Ok((s001_bytes, qmca))
+    }
+}
+
+/// Serialize one restart segment's analysis as a memoizable
+/// analyze-sub-step artifact (length-prefixed s001 bytes + the QMCA
+/// statistics).
+fn encode_segment(s001_bytes: &[u8], qmca: &QmcaResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s001_bytes.len() + 32);
+    out.extend_from_slice(&(s001_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(s001_bytes);
+    out.extend_from_slice(&qmca.energy.to_le_bytes());
+    out.extend_from_slice(&qmca.error.to_le_bytes());
+    out.extend_from_slice(&(qmca.rows_used as u64).to_le_bytes());
+    out
+}
+
+/// Inverse of [`encode_segment`].
+fn decode_segment(b: &[u8]) -> Result<(Vec<u8>, QmcaResult), String> {
+    let err = || "malformed segment artifact".to_string();
+    let len = u64::from_le_bytes(b.get(..8).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let s001_bytes = b.get(8..8 + len).ok_or_else(err)?.to_vec();
+    let at = 8 + len;
+    if b.len() != at + 24 {
+        return Err(err());
+    }
+    let qmca = QmcaResult {
+        energy: f64::from_le_bytes(b[at..at + 8].try_into().unwrap()),
+        error: f64::from_le_bytes(b[at + 8..at + 16].try_into().unwrap()),
+        rows_used: u64::from_le_bytes(b[at + 16..at + 24].try_into().unwrap()) as usize,
+    };
+    Ok((s001_bytes, qmca))
 }
 
 impl FaultApp for QmcApp {
@@ -172,24 +308,29 @@ impl FaultApp for QmcApp {
 
     fn produce(&self, fs: &dyn FileSystem) -> Result<(), String> {
         fs.mkdir("/qmc", 0o755).map_err(|e| e.to_string())?;
+        let r = self.config.restarts;
 
-        // Series 000: VMC scalar + walker checkpoint.
-        {
-            let mut f = ffis_vfs::BufFile::create(fs, S000).map_err(|e| e.to_string())?;
-            f.write_all(self.s000_text.as_bytes()).map_err(|e| e.to_string())?;
-            f.close().map_err(|e| e.to_string())?;
+        for (s, seg) in self.segments.iter().enumerate() {
+            // Series 000: VMC scalar + walker checkpoint.
+            {
+                let mut f =
+                    ffis_vfs::BufFile::create(fs, &seg_s000(s, r)).map_err(|e| e.to_string())?;
+                f.write_all(seg.s000_text.as_bytes()).map_err(|e| e.to_string())?;
+                f.close().map_err(|e| e.to_string())?;
+            }
+            fs.write_file_chunked(&seg_config(s, r), &seg.checkpoint_bytes, ffis_vfs::BLOCK_SIZE)
+                .map_err(|e| e.to_string())?;
+
+            // Series 001: DMC scalar, streamed from the memoized
+            // golden trajectory. Write-stream data independence:
+            // produce never derives bytes from a filesystem read-back
+            // — the VMC→DMC handoff through the (possibly corrupted)
+            // on-disk checkpoint is re-examined in
+            // [`FaultApp::analyze`], which re-derives the DMC series
+            // from the stored walkers when they differ from the
+            // golden ones.
+            write_scalar(fs, &seg_s001(s, r), &seg.golden_dmc_rows)?;
         }
-        fs.write_file_chunked(CONFIG, &self.checkpoint_bytes, ffis_vfs::BLOCK_SIZE)
-            .map_err(|e| e.to_string())?;
-
-        // Series 001: DMC scalar, streamed from the memoized golden
-        // trajectory. Write-stream data independence: produce never
-        // derives bytes from a filesystem read-back — the VMC→DMC
-        // handoff through the (possibly corrupted) on-disk checkpoint
-        // is re-examined in [`FaultApp::analyze`], which re-derives
-        // the DMC series from the stored walkers when they differ
-        // from the golden ones.
-        write_scalar(fs, S001, &self.golden_dmc_rows)?;
         fs.write_file(LOG, b"QMCPACK-lite: VMC+DMC complete\n").map_err(|e| e.to_string())
     }
 
@@ -198,29 +339,64 @@ impl FaultApp for QmcApp {
         fs: &dyn FileSystem,
         _golden: Option<&QmcOutput>,
     ) -> Result<QmcOutput, String> {
-        // The VMC→DMC handoff, re-examined from storage: an
-        // untampered checkpoint means the on-disk s001 (however the
-        // fault may have mauled *it*) is the classified artifact; a
-        // tampered checkpoint means DMC restarts from the stored
-        // walkers — physicality checks, abort-on-too-few and all —
-        // and the re-derived series is what a full execution would
-        // have written.
-        let checkpoint = fs.read_to_vec(CONFIG).map_err(|e| e.to_string())?;
-        let s001_bytes = if checkpoint == self.checkpoint_bytes {
-            fs.read_to_vec(S001).map_err(|e| e.to_string())?
-        } else {
-            render_scalar(&self.dmc_rows_for(&checkpoint)?).into_bytes()
-        };
+        // Segments in order — identical, read for read, to running the
+        // per-segment sub-steps and assembling them.
+        let (s001_bytes, qmca) = self.segment_analyze(fs, 0)?;
+        let mut extra = Vec::with_capacity(self.config.restarts - 1);
+        for s in 1..self.config.restarts {
+            extra.push(self.segment_analyze(fs, s)?);
+        }
+        Ok(QmcOutput { s001_bytes, qmca, extra })
+    }
 
-        // Post-analysis (QMCA): both series must parse; the DMC energy
-        // is the reported quantity.
-        read_scalar(fs, S000, self.config.qmca.min_rows)?;
-        let parsed = crate::scalar::parse_scalar(
-            &String::from_utf8_lossy(&s001_bytes),
-            self.config.qmca.min_rows,
-        )?;
-        let qmca = analyze(&parsed.rows, &self.config.qmca)?;
-        Ok(QmcOutput { s001_bytes, qmca })
+    fn analyze_substeps(&self) -> Option<Vec<SubstepSpec>> {
+        if self.config.restarts == 1 {
+            return None;
+        }
+        let r = self.config.restarts;
+        Some(
+            (0..r)
+                .map(|s| {
+                    // Everything segment_analyze may read; the run log
+                    // has no consumer.
+                    SubstepSpec::new(
+                        seg_stem(s, r),
+                        vec![seg_config(s, r), seg_s001(s, r), seg_s000(s, r)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn analyze_substep(
+        &self,
+        fs: &dyn FileSystem,
+        index: usize,
+        _golden: Option<&QmcOutput>,
+    ) -> Result<Vec<u8>, String> {
+        if index >= self.config.restarts {
+            return Err(format!("no restart segment {}", index));
+        }
+        let (s001_bytes, qmca) = self.segment_analyze(fs, index)?;
+        Ok(encode_segment(&s001_bytes, &qmca))
+    }
+
+    fn assemble(
+        &self,
+        artifacts: &[Vec<u8>],
+        _golden: Option<&QmcOutput>,
+    ) -> Result<QmcOutput, String> {
+        if artifacts.len() != self.config.restarts {
+            return Err(format!(
+                "expected {} segment artifacts, got {}",
+                self.config.restarts,
+                artifacts.len()
+            ));
+        }
+        let (s001_bytes, qmca) = decode_segment(&artifacts[0])?;
+        let extra =
+            artifacts[1..].iter().map(|a| decode_segment(a)).collect::<Result<Vec<_>, _>>()?;
+        Ok(QmcOutput { s001_bytes, qmca, extra })
     }
 
     /// Produce streams the VMC/DMC products from memoized golden
@@ -233,15 +409,23 @@ impl FaultApp for QmcApp {
     }
 
     fn classify(&self, golden: &QmcOutput, faulty: &QmcOutput) -> Outcome {
-        if golden.s001_bytes == faulty.s001_bytes {
-            return Outcome::Benign;
-        }
+        // Segment 0 (the legacy artifact) first, then the extra
+        // restarts in order: the first differing s001 series decides
+        // via the paper's energy-window test on that segment.
         let (lo, hi) = self.config.sdc_window;
-        if faulty.qmca.energy >= lo && faulty.qmca.energy <= hi {
-            Outcome::Sdc
-        } else {
-            Outcome::Detected
+        let window = |e: f64| if e >= lo && e <= hi { Outcome::Sdc } else { Outcome::Detected };
+        if golden.s001_bytes != faulty.s001_bytes {
+            return window(faulty.qmca.energy);
         }
+        for ((gb, _), (fb, fq)) in golden.extra.iter().zip(&faulty.extra) {
+            if gb != fb {
+                return window(fq.energy);
+            }
+        }
+        if golden.extra.len() != faulty.extra.len() {
+            return Outcome::Detected;
+        }
+        Outcome::Benign
     }
 
     fn name(&self) -> String {
@@ -368,6 +552,73 @@ mod tests {
         let (name, domain, _) = QmcApp::describe();
         assert_eq!(name, "QMCPACK");
         assert_eq!(domain, "Quantum Chemistry");
+    }
+
+    #[test]
+    fn single_restart_declares_no_substeps() {
+        assert_eq!(seg_s000(0, 1), S000);
+        assert_eq!(seg_config(0, 1), CONFIG);
+        assert_eq!(seg_s001(0, 1), S001);
+        assert!(small_app().analyze_substeps().is_none());
+    }
+
+    #[test]
+    fn multi_restart_substeps_match_whole_analyze() {
+        let app = QmcApp::new(QmcConfig {
+            vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+            dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+            qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+            restarts: 3,
+            ..Default::default()
+        });
+        let specs = app.analyze_substeps().unwrap();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[1].reads("/qmc/He.g001.s000.config.dat"));
+        assert!(!specs[1].reads("/qmc/He.g000.s000.config.dat"));
+
+        let fs = MemFs::new();
+        app.produce(&fs).unwrap();
+        for p in [
+            "/qmc/He.g000.s000.scalar.dat",
+            "/qmc/He.g002.s001.scalar.dat",
+            "/qmc/He.g001.s000.config.dat",
+            LOG,
+        ] {
+            assert!(fs.exists(p), "{} missing", p);
+        }
+        let whole = app.analyze(&fs, None).unwrap();
+        assert_eq!(whole.extra.len(), 2);
+        // Distinct seeds: the segments carry different trajectories.
+        assert_ne!(whole.s001_bytes, whole.extra[0].0);
+
+        let arts: Vec<Vec<u8>> =
+            (0..3).map(|s| app.analyze_substep(&fs, s, None).unwrap()).collect();
+        let asm = app.assemble(&arts, None).unwrap();
+        assert_eq!(whole.s001_bytes, asm.s001_bytes);
+        assert_eq!(whole.qmca.energy, asm.qmca.energy);
+        for ((gb, gq), (ab, aq)) in whole.extra.iter().zip(&asm.extra) {
+            assert_eq!(gb, ab);
+            assert_eq!(gq.energy, aq.energy);
+        }
+        assert_eq!(app.classify(&whole, &asm), Outcome::Benign);
+    }
+
+    #[test]
+    fn multi_restart_classify_keys_on_first_differing_segment() {
+        let app = QmcApp::new(QmcConfig {
+            vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+            dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+            qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+            restarts: 2,
+            ..Default::default()
+        });
+        let golden = app.run(&MemFs::new()).unwrap();
+        let mut faulty = golden.clone();
+        faulty.extra[0].0.push(b' ');
+        faulty.extra[0].1.energy = -2.905;
+        assert_eq!(app.classify(&golden, &faulty), Outcome::Sdc);
+        faulty.extra[0].1.energy = -2.8;
+        assert_eq!(app.classify(&golden, &faulty), Outcome::Detected);
     }
 
     #[test]

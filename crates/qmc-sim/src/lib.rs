@@ -22,7 +22,9 @@ pub mod scalar;
 pub mod vmc;
 pub mod wavefunction;
 
-pub use app::{QmcApp, QmcConfig, QmcOutput, CONFIG, LOG, S000, S001};
+pub use app::{
+    seg_config, seg_s000, seg_s001, QmcApp, QmcConfig, QmcOutput, CONFIG, LOG, S000, S001,
+};
 pub use dmc::{run_dmc, DmcConfig, DmcError, DmcResult};
 pub use qmca::{analyze, QmcaConfig, QmcaResult};
 pub use scalar::{

@@ -85,6 +85,7 @@ pub mod fs;
 pub mod inode;
 pub mod interceptor;
 pub mod memfs;
+pub mod memo;
 pub mod path;
 pub mod trace;
 mod wire;
@@ -100,6 +101,7 @@ pub use fs::{
 };
 pub use interceptor::{CallContext, Interceptor, Primitive, ReadAction, WriteAction, PRIMITIVES};
 pub use memfs::MemFs;
+pub use memo::{MemoStats, MemoStore};
 pub use trace::{
     CheckpointStore, ReadLedger, ReadRecord, ReplayCursor, ReplayError, TraceCheckpoint,
     TraceCheckpoints, TraceOp, TraceRecorder,

@@ -128,6 +128,42 @@
 //!   consume its own on-disk output re-derives the dependent artifacts
 //!   inside analyze instead (see `qmc_sim`'s checkpoint handoff and
 //!   `montage_sim`'s stage cascade for the pattern).
+//!
+//! ## Read fingerprints as sub-step reachability
+//!
+//! The [`ReadLedger`] does more than locate the produce/analyze seam:
+//! each [`ReadRecord`] carries the path and an FNV-1a fingerprint of
+//! the bytes the read returned, so the golden ledger is a complete,
+//! content-addressed map of *what analyze actually consumed, in
+//! order*. That map is what makes incremental analyze sound. An
+//! application that declares analyze sub-steps with their read
+//! file-sets (`ffis_core::SubstepSpec`) is claiming a partition: sub-
+//! step `d` reads only its declared files, and running the sub-steps
+//! in order is read-for-read identical to whole analyze. The memo
+//! layer *checks* that claim against the ledger before trusting it —
+//! it runs each sub-step once on a fork of the golden state, records
+//! its own ledger, and requires (a) every recorded path to fall
+//! inside the declared file-set, and (b) the concatenated per-sub-step
+//! `(path, fingerprint)` streams to reproduce the whole-analyze
+//! ledger exactly, fingerprint for fingerprint.
+//!
+//! Once validated, the declared file-sets define **reachability for a
+//! fault**: an armed read fault corrupts one eligible read instance,
+//! the ledger says which sub-step's range that instance falls in, and
+//! every *other* sub-step's inputs are — by the validated partition —
+//! byte-identical to golden, so its memoized artifact (keyed on the
+//! sub-step's golden fingerprint stream) replays at zero cost. Only
+//! the dirty sub-step re-executes. Write-site faults reuse the same
+//! partition through the replayed device state's content fingerprints.
+//!
+//! When any check fails — no sub-steps declared, an undeclared read,
+//! a fingerprint stream that doesn't reconstruct whole analyze, a
+//! liveness watchdog armed (fuel/wall limits make sub-step streams
+//! nondeterministic), or the fast paths disabled — the campaign falls
+//! back to whole-run analyze and *records the reason* in
+//! `ffis_core::MemoReport`; engine law 8 (`ffis_core::engine`) pins
+//! that the fallback and the memoized path are byte-identical, so the
+//! memo layer is a pure wall-clock optimization, never a regime.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

@@ -544,13 +544,14 @@ proptest! {
         // raw words.
         let strategies: Vec<RunStrategy> = raw
             .iter()
-            .map(|&w| match w % 4 {
+            .map(|&w| match w % 5 {
                 0 => RunStrategy::Replay {
                     checkpoint: (w >> 2) as usize % 8,
                     suffix_len: 1 + (w >> 5) as usize % 2000,
                 },
                 1 => RunStrategy::Rerun { reason: ReplayFallback::ProduceReadFault },
                 2 => RunStrategy::AnalyzeOnly,
+                3 => RunStrategy::IncrementalAnalyze { cost: 1 + (w >> 5) as u32 % 2000 },
                 _ => RunStrategy::Rerun { reason: ReplayFallback::Disabled },
             })
             .collect();
@@ -580,10 +581,11 @@ proptest! {
         // Deterministic rebuild (no dependence on execution knobs).
         let rebuilt = mk();
         prop_assert_eq!(plan.schedule(), rebuilt.schedule());
-        // Fast subsequence (replay + analyze-only): cost keys
-        // nondecreasing, with analyze-only runs (zero trace ops to
-        // replay) ahead of every suffix replay; rerun subsequence:
-        // index order preserved.
+        // Fast subsequence (replay + analyze-only +
+        // incremental-analyze): cost keys nondecreasing on the shared
+        // axis (suffix ops / live reads), with analyze-only runs (zero
+        // cost) ahead of everything; rerun subsequence: index order
+        // preserved.
         let mut last_cost = 0usize;
         let mut last_rerun = None::<usize>;
         for &pos in plan.schedule() {
@@ -591,6 +593,10 @@ proptest! {
                 RunStrategy::Replay { suffix_len, .. } => {
                     prop_assert!(suffix_len >= last_cost, "fast runs not shortest-work-first");
                     last_cost = suffix_len;
+                }
+                RunStrategy::IncrementalAnalyze { cost } => {
+                    prop_assert!(cost as usize >= last_cost, "fast runs not shortest-work-first");
+                    last_cost = cost as usize;
                 }
                 RunStrategy::AnalyzeOnly => {
                     prop_assert_eq!(last_cost, 0, "analyze-only runs lead the fast stream");

@@ -320,6 +320,7 @@ fn mixed_campaign_pinned_through_engine() {
         status: result.status,
         executed: result.executed,
         resumed: result.resumed,
+        memo: ffis_core::MemoReport::default(),
     };
     let got_digest = digest(&mixed);
     assert_eq!(
