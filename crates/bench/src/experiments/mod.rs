@@ -6,6 +6,7 @@ pub mod analyze_memo;
 pub mod campaigns;
 pub mod extensions;
 pub mod figures;
+pub mod replay_opt;
 pub mod scale;
 pub mod tables;
 
@@ -52,6 +53,7 @@ pub fn run(name: &str, opts: &Options) -> Result<Report, String> {
         "param-faults" => extensions::param_faults(opts),
         "scale" => scale::scale(opts),
         "analyze-memo" => analyze_memo::analyze_memo(opts),
+        "replay-opt" => replay_opt::replay_opt(opts),
         other => return Err(format!("unknown experiment '{}'", other)),
     })
 }

@@ -11,10 +11,14 @@
 //! *asserts* the engine's scale contracts instead of just reporting
 //! them — the retained run records never exceed the
 //! [`SCALE_KEEP_RUNS`] reservoir bound while the tallies still cover
-//! every run, the three write campaigns share a single
-//! checkpoint-cache build through the [`CheckpointStore`], and (when
-//! the fast paths are enabled) every read campaign engages
-//! `analyze-only` rather than silently rerunning.
+//! every run, the three write campaigns reuse checkpoint-cache
+//! builds through the [`CheckpointStore`] (one demand-placed set per
+//! campaign under `FFIS_REPLAY_OPT`, one shared log-spaced build with
+//! it off), and (when the fast paths are enabled) every read campaign
+//! engages `analyze-only` rather than silently rerunning. Write-site
+//! rows additionally report the plan-aware replay accounting: total
+//! replayed suffix ops and checkpoint overshoot per cell, in the
+//! table and in `BENCH_scale.json`.
 //!
 //! `--grid`/`--runs` plumb straight through (`repro scale --grid 64
 //! --runs 96` is the CI smoke configuration); without an explicit
@@ -83,6 +87,9 @@ struct CellStats {
     complete: bool,
     journal: Option<String>,
     memo_reason: String,
+    replay_opt_engaged: bool,
+    replayed_suffix_ops: u64,
+    overshoot: u64,
 }
 
 /// The scale experiment (see the module docs).
@@ -154,6 +161,8 @@ pub fn scale(opts: &Options) -> Report {
         "exec",
         "wall s",
         "runs/s",
+        "replay ops",
+        "overshoot",
     ]);
     let mut total_runs = 0u64;
     let mut stats: Vec<CellStats> = Vec::new();
@@ -275,6 +284,17 @@ pub fn scale(opts: &Options) -> Report {
         memo_totals.merge(&result.memo.stats);
         let kept_bytes: usize = result.runs.iter().map(record_bytes).sum();
         let t = &result.tally;
+        // Write-site rows carry the plan-aware replay accounting:
+        // total replayed suffix ops across the cell's replay runs and
+        // the checkpoint overshoot (replayed minus minimal suffix ops
+        // — 0 means every run forked exactly at its target). Read
+        // rows never replay a suffix.
+        let ro = &result.replay_opt;
+        let (replay_ops_col, overshoot_col) = if site == InjectionSite::Write {
+            (ro.replayed_suffix_ops.to_string(), ro.overshoot.to_string())
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
         table.row(&[
             label,
             site.token(),
@@ -288,6 +308,8 @@ pub fn scale(opts: &Options) -> Report {
             &result.mode.to_string(),
             &format!("{:.1}", wall),
             &format!("{:.1}", opts.runs as f64 / wall.max(1e-9)),
+            &replay_ops_col,
+            &overshoot_col,
         ]);
         total_runs += t.total();
         stats.push(CellStats {
@@ -310,18 +332,28 @@ pub fn scale(opts: &Options) -> Report {
                 journal_path.map(|p| p.display().to_string())
             },
             memo_reason: result.memo.reason().to_string(),
+            replay_opt_engaged: ro.engaged,
+            replayed_suffix_ops: ro.replayed_suffix_ops,
+            overshoot: ro.overshoot,
         });
     }
 
-    // Checkpoint sharing across the three write campaigns: one build,
-    // the rest hits (identical deterministic golden traces). Read
-    // campaigns never touch the store — the golden snapshot is their
-    // checkpoint. (In distributed mode the in-process store sits idle;
-    // the workers' shared disk store carries the same contract as
-    // content dedup, asserted below.)
+    // Checkpoint sharing across the three write campaigns. Under
+    // demand-driven placement (FFIS_REPLAY_OPT, default on) the store
+    // key carries each campaign's demand fingerprint, and the three
+    // campaigns draw distinct target sets — so each builds its own
+    // demand-placed set: at most one build per write campaign. With
+    // the optimization off all three share a single log-spaced build
+    // (identical deterministic golden traces). Read campaigns never
+    // touch the store — the golden snapshot is their checkpoint. (In
+    // distributed mode the in-process store sits idle; the workers'
+    // shared disk store carries the same contract as content dedup,
+    // asserted below.)
+    let max_builds = if ffis_core::replay_opt_default() { 3 } else { 1 };
     assert!(
-        store.builds() <= 1,
-        "the three write-model campaigns must share one checkpoint build, got {}",
+        store.builds() <= max_builds,
+        "write-model campaigns must reuse checkpoint builds (at most {} under this regime), got {}",
+        max_builds,
         store.builds()
     );
 
@@ -354,8 +386,10 @@ pub fn scale(opts: &Options) -> Report {
         ));
     } else {
         report.line(format!(
-            "(checkpoint store: {} build, {} hits across 3 write campaigns; {} total runs; record \
-             memory bounded at keep_runs={} per campaign — dropped records freed in the worker)",
+            "(checkpoint store: {} builds, {} hits across 3 write campaigns — demand-keyed sets \
+             under FFIS_REPLAY_OPT, one shared log-spaced build with it off; {} total runs; \
+             record memory bounded at keep_runs={} per campaign — dropped records freed in the \
+             worker)",
             store.builds(),
             store.hits(),
             total_runs,
@@ -423,6 +457,9 @@ pub fn scale(opts: &Options) -> Report {
                     s.journal.as_deref().map_or_else(|| "null".to_string(), bench_json::string),
                 ),
                 ("memo", bench_json::string(&s.memo_reason)),
+                ("replay_opt_engaged", bench_json::bool(s.replay_opt_engaged)),
+                ("replayed_suffix_ops", bench_json::number(s.replayed_suffix_ops as f64)),
+                ("checkpoint_overshoot", bench_json::number(s.overshoot as f64)),
             ])
         })
         .collect();
@@ -485,8 +522,9 @@ pub fn scale(opts: &Options) -> Report {
 
 /// Run one matrix cell through the multi-process fan-out: journaling
 /// forced on (segments live under `work_dir`), the workers sharing
-/// the disk checkpoint store under `store_dir`, and the fan-out's
-/// store accounting folded into `totals`. Any failure is the cell's
+/// the disk checkpoint store under `store_dir` (and its analyze-memo
+/// sibling under `store_dir/memo`), and the fan-out's store
+/// accounting folded into `totals`. Any failure is the cell's
 /// failure — a distributed invocation never silently mixes regimes by
 /// falling back in-process mid-matrix.
 fn distribute_cell(
@@ -507,8 +545,17 @@ fn distribute_cell(
         observer: None,
         index_range: None,
     };
-    let report = run_distributed(&spec, opts.workers, work_dir, Some(store_dir), worker_cmd, hooks)
-        .map_err(|e| e.to_string())?;
+    let memo_dir = store_dir.join("memo");
+    let report = run_distributed(
+        &spec,
+        opts.workers,
+        work_dir,
+        Some(store_dir),
+        Some(&memo_dir),
+        worker_cmd,
+        hooks,
+    )
+    .map_err(|e| e.to_string())?;
     totals.merge(&report.store);
     Ok(report.result)
 }

@@ -19,7 +19,8 @@ fn usage() -> String {
         "  repair\n  profile\n  read-faults\n  checksum\n  param-faults\n  scale      \
          (n=192 paper regime unless --grid given)\n  analyze-memo  \
          (multi-file cells, memoized vs full analyze; BENCH_analyze_memo.json)\n  \
-         all        (everything above except scale and analyze-memo)\n\n\
+         replay-opt  (plan-aware replay vs log-spaced control; BENCH_replay_opt.json)\n  \
+         all        (everything above except scale, analyze-memo, and replay-opt)\n\n\
          daemon:\n  repro daemon serve|submit|status|watch|cancel|jobs|health\n  \
          campaign-as-a-service: persistent job queue + REST/NDJSON API (see `repro daemon`)\n\n\
          durability:\n  --journal DIR   write per-campaign run journals under DIR\n  \

@@ -13,12 +13,14 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use ffis_vfs::{
-    CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, MemoStats, MemoStore, Primitive,
-    ReadLedger, ReadRecord, TraceCheckpoints, TraceOp, TraceRecorder, PRIMITIVES,
+    BatchForks, CheckpointStore, CounterSnapshot, FfisFs, Interceptor, MemFs, MemoStats, MemoStore,
+    Placement, Primitive, ReadLedger, ReadRecord, TraceCheckpoints, TraceOp, TraceRecorder,
+    PRIMITIVES,
 };
 
 use crate::engine::journal::{wire, JournalEntry};
@@ -54,6 +56,23 @@ pub struct CampaignConfig {
     /// to full reruns; [`CampaignResult::mode`] records which strategy
     /// executed and — when the campaign fell back — why.
     pub replay: bool,
+    /// Plan-aware replay optimizations (default **on** — see
+    /// [`replay_opt_default`]): because every run's injection target
+    /// is drawn at plan time (engine law 2), the campaign knows its
+    /// full fork-offset demand before any checkpoint is built. With
+    /// this knob on it (a) places the trace checkpoints against that
+    /// demand instead of log-spaced (zero pre-target replay when the
+    /// distinct targets fit the snapshot budget), (b) groups pending
+    /// replay runs sharing a checkpoint into fork-once-replay-many
+    /// batches (engine law 9), and (c) applies each batched run's
+    /// post-target suffix to the mount's inner filesystem with
+    /// adjacent sequential writes coalesced. All three are pure
+    /// wall-clock optimizations — outcomes, injection records, crash
+    /// messages, and run digests are byte-identical either way — and
+    /// all three disengage automatically while a liveness watchdog
+    /// ([`CampaignConfig::fuel`], [`CampaignConfig::wall_limit`]) is
+    /// armed, since fuel counts per-op mount crossings.
+    pub replay_opt: bool,
     /// Retain at most this many full [`RunResult`]s in
     /// [`CampaignResult::runs`] (`None`, the default, keeps every
     /// run). The kept set is a seed-stable reservoir chosen at plan
@@ -176,6 +195,14 @@ pub fn memo_default() -> bool {
     std::env::var("FFIS_MEMO").map(|v| v != "0").unwrap_or(true)
 }
 
+/// Default value of [`CampaignConfig::replay_opt`]: `true`, unless
+/// the environment sets `FFIS_REPLAY_OPT=0` — the escape hatch CI
+/// (and the `replay-opt` differential experiment's control arm) uses
+/// to run campaigns over log-spaced placement with per-run mounts.
+pub fn replay_opt_default() -> bool {
+    std::env::var("FFIS_REPLAY_OPT").map(|v| v != "0").unwrap_or(true)
+}
+
 impl CampaignConfig {
     /// Config with paper defaults (1,000 runs, parallel, replay on —
     /// see [`replay_default`]).
@@ -186,6 +213,7 @@ impl CampaignConfig {
             seed: 0xFF15_0001,
             parallel: true,
             replay: replay_default(),
+            replay_opt: replay_opt_default(),
             keep_runs: None,
             checkpoints: None,
             journal: None,
@@ -222,6 +250,13 @@ impl CampaignConfig {
     /// Enable or disable the golden-trace replay fast path.
     pub fn with_replay(mut self, replay: bool) -> Self {
         self.replay = replay;
+        self
+    }
+
+    /// Enable or disable the plan-aware replay optimizations (see
+    /// [`CampaignConfig::replay_opt`]).
+    pub fn with_replay_opt(mut self, replay_opt: bool) -> Self {
+        self.replay_opt = replay_opt;
         self
     }
 
@@ -807,6 +842,10 @@ pub struct CampaignResult {
     /// What the analyze memoization layer did: engaged or the recorded
     /// fallback reason, plus this campaign's memo-store traffic.
     pub memo: MemoReport,
+    /// What the plan-aware replay optimizations did: demand placement,
+    /// suffix/overshoot accounting, and batched-arm counters. Purely
+    /// observational — never part of [`CampaignResult::run_digest`].
+    pub replay_opt: ReplayOptReport,
 }
 
 impl CampaignResult {
@@ -963,6 +1002,31 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             return Err(CampaignError::NoEligibleInstances);
         }
 
+        // Every per-run random draw happens *now*, before any plan is
+        // built, from the same per-run child streams as always: run
+        // `i` draws from `root.child(i)` (engine law 2). Drawing
+        // up front is what makes the fork-offset demand available to
+        // checkpoint placement — the specs depend only on the seed and
+        // the eligible count, never on the plan.
+        let root = Rng::seed_from(self.config.seed);
+        let specs: Vec<InjectionSpec> = (0..self.config.runs)
+            .map(|i| {
+                let mut rng = root.child(i as u64);
+                // "generates a random number from 0 to count-1" →
+                // 1-based instance index in [1, count].
+                let target_instance = rng.gen_range(profile.eligible) + 1;
+                let seed = rng.next_u64();
+                InjectionSpec { target_instance, seed }
+            })
+            .collect();
+        // The plan-aware replay optimizations disengage while a
+        // liveness watchdog is armed: fuel counts per-op mount
+        // crossings, so placement- or batching-induced suffix changes
+        // would alter exhaustion points (mirrors the memo gate below).
+        let replay_opt = self.config.replay_opt
+            && self.config.fuel.is_none()
+            && self.config.wall_limit.is_none();
+
         let (mode, plan) = if !self.config.replay {
             (ExecutionMode::FullRerun { reason: ReplayFallback::Disabled }, None)
         } else if site_write {
@@ -974,6 +1038,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
                 attempted_writes,
                 &golden,
                 &base,
+                replay_opt.then_some(specs.as_slice()),
             ) {
                 Ok(plan) => (ExecutionMode::Replay, Some(CampaignPlan::Replay(plan))),
                 Err(reason) => (ExecutionMode::FullRerun { reason }, None),
@@ -1089,36 +1154,26 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         }
         let plan = plan.map(Arc::new);
 
-        // Phase 3: N injection runs through the shared engine. Every
-        // random draw happens here, at plan time, from the same
-        // per-run child streams as always: run `i` draws from
-        // `root.child(i)`.
-        let root = Rng::seed_from(self.config.seed);
+        // Phase 3: N injection runs through the shared engine,
+        // resolving each pre-drawn spec to its planned strategy.
         let golden = Arc::new(golden);
         let fallback = match mode {
             ExecutionMode::FullRerun { reason } => Some(reason),
             _ => None,
         };
-        let planned: Vec<PlannedRun<InjectionSpec>> = (0..self.config.runs)
-            .map(|i| {
-                let mut rng = root.child(i as u64);
-                // "generates a random number from 0 to count-1" →
-                // 1-based instance index in [1, count].
-                let target_instance = rng.gen_range(profile.eligible) + 1;
-                let seed = rng.next_u64();
+        let planned: Vec<PlannedRun<InjectionSpec>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
                 let strategy = match (&plan, fallback) {
-                    (Some(p), _) => p.strategy_for(target_instance),
+                    (Some(p), _) => p.strategy_for(spec.target_instance),
                     (None, Some(reason)) => RunStrategy::Rerun { reason },
                     (None, None) => unreachable!("fast-path modes always carry a plan"),
                 };
-                PlannedRun {
-                    index: i,
-                    shard: 0,
-                    strategy,
-                    spec: InjectionSpec { target_instance, seed },
-                }
+                PlannedRun { index: i, shard: 0, strategy, spec }
             })
             .collect();
+        let replay_report = replay_opt_report(&planned, plan.as_deref(), replay_opt);
         let fingerprint = plan_fingerprint(&planned, 1);
         let meta = JournalMeta {
             fingerprint,
@@ -1160,24 +1215,84 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
             index_range: self.config.index_range,
         };
-        let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
-            let result = execute_run(
-                self.app,
-                &self.config.signature,
-                plan.as_deref(),
-                pr.strategy,
-                &golden,
-                pr.index,
-                pr.spec.target_instance,
-                pr.spec.seed,
-                liveness,
-            );
-            RunRecord {
-                outcome: result.outcome,
-                fired: result.injection.is_some(),
-                payload: result,
-            }
-        });
+        // Checkpoint-grouped batch execution (engine law 9): pending
+        // replay runs sharing a checkpoint get a lazily built batch of
+        // per-target mini-forks; memoized replay runs batch through
+        // the same reconstruction with the dirty-cascade analyze. A
+        // batch that fails to build (or lacks a run's target) degrades
+        // to the classic per-run arm — byte-identical either way.
+        let opt_counters = ReplayOptCounters::default();
+        let batching = replay_opt && matches!(plan.as_deref(), Some(CampaignPlan::Replay(_)));
+        let out = engine::execute_durable_batched(
+            &eplan,
+            &engine_cfg,
+            durability,
+            |pr| if batching { pr.strategy.batch_key() } else { None },
+            |members| {
+                let Some(CampaignPlan::Replay(rp)) = plan.as_deref() else { return None };
+                let targets: Vec<usize> = members
+                    .iter()
+                    .map(|&i| rp.eligible_ops[(specs[i].target_instance - 1) as usize])
+                    .collect();
+                let RunStrategy::Replay { checkpoint, .. } =
+                    rp.strategy_for(specs[members[0]].target_instance)
+                else {
+                    return None;
+                };
+                let batch = rp.cache.fork_at_targets(checkpoint, &targets).ok()?;
+                opt_counters.batches.fetch_add(1, Ordering::Relaxed);
+                Some(batch)
+            },
+            |pr, batch| {
+                let result = match (batch, plan.as_deref()) {
+                    (Some(batch), Some(CampaignPlan::Replay(rp))) => match &rp.memo {
+                        Some(memo) => execute_memoized_batched(
+                            self.app,
+                            &self.config.signature,
+                            rp,
+                            memo,
+                            batch,
+                            &golden,
+                            pr.index,
+                            pr.spec.target_instance,
+                            pr.spec.seed,
+                            &opt_counters,
+                        ),
+                        None => execute_run_batched(
+                            self.app,
+                            &self.config.signature,
+                            rp,
+                            batch,
+                            &golden,
+                            pr.index,
+                            pr.spec.target_instance,
+                            pr.spec.seed,
+                            &opt_counters,
+                        ),
+                    },
+                    _ => None,
+                }
+                .unwrap_or_else(|| {
+                    execute_run(
+                        self.app,
+                        &self.config.signature,
+                        plan.as_deref(),
+                        pr.strategy,
+                        &golden,
+                        pr.index,
+                        pr.spec.target_instance,
+                        pr.spec.seed,
+                        liveness,
+                    )
+                });
+                RunRecord {
+                    outcome: result.outcome,
+                    fired: result.injection.is_some(),
+                    payload: result,
+                }
+            },
+        );
+        let replay_report = replay_report.with_counters(&opt_counters);
 
         if let Some(store) = &memo_store {
             let after = store.stats();
@@ -1198,6 +1313,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             executed: out.executed,
             resumed: out.resumed,
             memo: memo_report,
+            replay_opt: replay_report,
         })
     }
 
@@ -1215,6 +1331,7 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
     /// trace is recorded: buffer-level faults — `Replace` keeps the
     /// length, `Drop` skips the device write — can never make a
     /// replayed op fail, so the straight-line trace stays faithful.)
+    #[allow(clippy::too_many_arguments)]
     fn replay_plan(
         &self,
         ops: Vec<TraceOp>,
@@ -1223,7 +1340,18 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
         attempted_writes: u64,
         golden: &A::Output,
         golden_fs: &MemFs,
+        demand_specs: Option<&[InjectionSpec]>,
     ) -> Result<ReplayPlan, ReplayFallback> {
+        let eligible_ops = eligible_write_ops(&ops, &self.config.signature.target);
+        if eligible_ops.len() as u64 != eligible {
+            return Err(ReplayFallback::TraceMismatch);
+        }
+        // With plan-aware placement enabled, the pre-drawn injection
+        // specs resolve to trace op indices — the exact fork offsets
+        // the checkpoint builder should place snapshots at.
+        let demand: Option<Vec<usize>> = demand_specs.map(|specs| {
+            specs.iter().map(|s| eligible_ops[(s.target_instance - 1) as usize]).collect()
+        });
         let cache = shared_replay_cache(
             self.app,
             ops,
@@ -1232,11 +1360,8 @@ impl<'a, A: FaultApp> Campaign<'a, A> {
             golden,
             golden_fs,
             self.config.checkpoints.as_deref(),
+            demand.as_deref(),
         )?;
-        let eligible_ops = eligible_write_ops(&cache, &self.config.signature.target);
-        if eligible_ops.len() as u64 != eligible {
-            return Err(ReplayFallback::TraceMismatch);
-        }
         Ok(ReplayPlan { cache, eligible_ops, memo: None })
     }
 }
@@ -1303,6 +1428,247 @@ impl Liveness {
     }
 }
 
+/// What the plan-aware replay optimizations
+/// ([`CampaignConfig::replay_opt`]) did for one campaign: plan-level
+/// suffix/overshoot accounting plus the batched arm's run-time
+/// counters. Purely observational — none of this feeds run digests or
+/// journal payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayOptReport {
+    /// Were the optimizations armed (knob on, no liveness watchdog)?
+    pub engaged: bool,
+    /// Did the checkpoint set come from demand-driven placement?
+    pub demand_placed: bool,
+    /// Σ over planned replay runs of the suffix each replays from its
+    /// checkpoint (plan-level; resumed runs included).
+    pub replayed_suffix_ops: u64,
+    /// Σ over planned replay runs of the minimal possible suffix
+    /// (`trace len − target op`).
+    pub minimal_suffix_ops: u64,
+    /// `replayed − minimal`: pre-target ops the placement failed to
+    /// skip. Demand placement drives this toward zero.
+    pub overshoot: u64,
+    /// Batch contexts built this invocation (resumed runs never
+    /// batch).
+    pub batches: u64,
+    /// Runs executed through a batch context.
+    pub batched_runs: u64,
+    /// Vectored write applications issued while coalescing batched
+    /// suffixes.
+    pub coalesced_calls: u64,
+    /// Trace ops folded into those vectored applications.
+    pub coalesced_ops: u64,
+    /// Tail ops the memoized batched arm dropped because no dirty
+    /// analyze sub-step declares their path as input — suffix bytes
+    /// never copied at all.
+    pub skipped_tail_ops: u64,
+}
+
+impl ReplayOptReport {
+    /// Fold the executor-side counters into the plan-level report.
+    fn with_counters(mut self, c: &ReplayOptCounters) -> Self {
+        self.batches = c.batches.load(Ordering::Relaxed);
+        self.batched_runs = c.batched_runs.load(Ordering::Relaxed);
+        self.coalesced_calls = c.coalesced_calls.load(Ordering::Relaxed);
+        self.coalesced_ops = c.coalesced_ops.load(Ordering::Relaxed);
+        self.skipped_tail_ops = c.skipped_tail_ops.load(Ordering::Relaxed);
+        self
+    }
+}
+
+/// Shared run-time counters of the batched replay arm (referenced by
+/// the engine's worker closures; relaxed ordering — they are pure
+/// telemetry).
+#[derive(Debug, Default)]
+struct ReplayOptCounters {
+    batches: AtomicU64,
+    batched_runs: AtomicU64,
+    coalesced_calls: AtomicU64,
+    coalesced_ops: AtomicU64,
+    skipped_tail_ops: AtomicU64,
+}
+
+/// Plan-level half of [`ReplayOptReport`]: suffix and overshoot
+/// accounting over the planned replay runs, against the write-site
+/// plan's placement.
+fn replay_opt_report(
+    planned: &[PlannedRun<InjectionSpec>],
+    plan: Option<&CampaignPlan>,
+    engaged: bool,
+) -> ReplayOptReport {
+    let mut report = ReplayOptReport { engaged, ..ReplayOptReport::default() };
+    let Some(CampaignPlan::Replay(rp)) = plan else {
+        return report;
+    };
+    let n = rp.cache.ops().len() as u64;
+    for pr in planned {
+        if let RunStrategy::Replay { suffix_len, .. } = pr.strategy {
+            report.replayed_suffix_ops += suffix_len as u64;
+            let target_op = rp.eligible_ops[(pr.spec.target_instance - 1) as usize] as u64;
+            report.minimal_suffix_ops += n - target_op;
+        }
+    }
+    report.overshoot = report.replayed_suffix_ops.saturating_sub(report.minimal_suffix_ops);
+    report.demand_placed = matches!(rp.cache.placement(), Placement::Demand(_));
+    report
+}
+
+/// Execute one batched replay run (engine law 9): fork the batch's
+/// pre-target mini-checkpoint, step only the target op through the
+/// mount (the armed crossing, observing full-replay numbering from
+/// the mini-point's pre-seeded prefix counters), apply the remaining
+/// suffix to the mount's inner filesystem with sequential writes
+/// coalesced, restore analyze-time counter numbering from the
+/// recorded tail delta, then analyze. Returns `None` when the batch
+/// carries no fork for this run's target — the caller falls back to
+/// the classic arm, which is byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn execute_run_batched<A: FaultApp>(
+    app: &A,
+    signature: &FaultSignature,
+    plan: &ReplayPlan,
+    batch: &BatchForks,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    seed: u64,
+    counters: &ReplayOptCounters,
+) -> Option<RunResult> {
+    let target_op = plan.eligible_ops[(target_instance - 1) as usize];
+    let fork = batch.for_target(target_op)?;
+    counters.batched_runs.fetch_add(1, Ordering::Relaxed);
+    // The mini-point sits exactly at the target op, so the eligible
+    // writes already "seen" are precisely the earlier instances.
+    let injector = Arc::new(ArmedInjector::resuming(
+        signature.clone(),
+        target_instance,
+        seed,
+        target_instance - 1,
+    ));
+    let (ffs, mut cursor) = fork.point().mount_fork();
+    ffs.attach(injector.clone());
+    let ops = plan.cache.ops();
+    let app_result = catch_unwind(AssertUnwindSafe(|| -> Result<A::Output, String> {
+        cursor.step(&*ffs, &ops[target_op]).map_err(|e| e.to_string())?;
+        // The fault has fired (or deliberately dropped its write);
+        // nothing needs per-op visibility any more, so the tail
+        // applies straight to the inner filesystem, coalesced.
+        let stats = cursor
+            .replay_coalesced(&**ffs.inner(), &ops[target_op + 1..])
+            .map_err(|e| e.to_string())?;
+        counters.coalesced_calls.fetch_add(stats.coalesced_calls as u64, Ordering::Relaxed);
+        counters.coalesced_ops.fetch_add(stats.coalesced_ops as u64, Ordering::Relaxed);
+        ffs.preseed_counters(&fork.tail_counters());
+        app.analyze(&*ffs, Some(golden))
+    }));
+    ffs.unmount();
+    Some(finish_run(
+        app,
+        golden,
+        run,
+        target_instance,
+        injector.record(),
+        ExecutionMode::Replay,
+        app_result,
+    ))
+}
+
+/// The memoized sibling of [`execute_run_batched`]: the same
+/// mini-fork / armed-target-step / coalesced-tail state
+/// reconstruction, followed by the dirty-cascade analyze of
+/// [`execute_replay_memoized`] instead of a whole analyze (the dirty
+/// set and run-key memoization are plan-derived, so they are
+/// identical to the unbatched arm's). Returns `None` when the batch
+/// carries no fork for this run's target — the caller falls back to
+/// the classic memoized arm, which is byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn execute_memoized_batched<A: FaultApp>(
+    app: &A,
+    signature: &FaultSignature,
+    plan: &ReplayPlan,
+    memo: &SubstepMemo,
+    batch: &BatchForks,
+    golden: &A::Output,
+    run: usize,
+    target_instance: u64,
+    seed: u64,
+    counters: &ReplayOptCounters,
+) -> Option<RunResult> {
+    let mode = ExecutionMode::Replay;
+    let target_op = plan.eligible_ops[(target_instance - 1) as usize];
+    let fork = batch.for_target(target_op)?;
+    let dirty: Vec<usize> = match plan.cache.ops()[target_op].write_path() {
+        Some(p) => {
+            memo.specs.iter().enumerate().filter(|(_, s)| s.reads(p)).map(|(i, _)| i).collect()
+        }
+        // A write op without a path cannot be attributed; treat every
+        // sub-step as dirty (conservative, still exact).
+        None => (0..memo.specs.len()).collect(),
+    };
+    memo.store.note_hits((memo.specs.len() - dirty.len()) as u64);
+    memo.store.note_invalidations(dirty.len() as u64);
+    let run_key = memo_run_key(memo.golden_key, signature, target_instance, seed);
+    if let Some(bytes) = memo.store.get(&run_key) {
+        if let Some(entry) = decode_memo_run(&bytes) {
+            return Some(finish_memo_run(app, memo, golden, run, target_instance, mode, entry));
+        }
+    }
+    counters.batched_runs.fetch_add(1, Ordering::Relaxed);
+    let injector = Arc::new(ArmedInjector::resuming(
+        signature.clone(),
+        target_instance,
+        seed,
+        target_instance - 1,
+    ));
+    let (ffs, mut cursor) = fork.point().mount_fork();
+    ffs.attach(injector.clone());
+    let ops = plan.cache.ops();
+    let result = catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
+        cursor.step(&*ffs, &ops[target_op]).map_err(|e| e.to_string())?;
+        // Only the dirty sub-steps re-read reconstructed state (the
+        // clean ones assemble from memo artifacts, and analyze-time
+        // counters preseed from the recorded tail delta either way),
+        // so the tail filters down to the paths the dirty set
+        // declares — the same read-set contract the dirty cascade
+        // itself rests on. For a multi-file app this drops almost the
+        // whole tail: only the injected file's ops replay.
+        let keep = |p: &str| dirty.iter().any(|&i| memo.specs[i].reads(p));
+        let stats = cursor
+            .replay_coalesced_filtered(&**ffs.inner(), &ops[target_op + 1..], &keep)
+            .map_err(|e| e.to_string())?;
+        counters.coalesced_calls.fetch_add(stats.coalesced_calls as u64, Ordering::Relaxed);
+        counters.coalesced_ops.fetch_add(stats.coalesced_ops as u64, Ordering::Relaxed);
+        counters.skipped_tail_ops.fetch_add(stats.skipped_ops as u64, Ordering::Relaxed);
+        ffs.preseed_counters(&fork.tail_counters());
+        let mut assembled: Vec<Vec<u8>> = Vec::with_capacity(memo.specs.len());
+        let mut dirty_artifacts: Vec<(usize, Vec<u8>)> = Vec::with_capacity(dirty.len());
+        for i in 0..memo.specs.len() {
+            if dirty.contains(&i) {
+                let art = app.analyze_substep(&*ffs, i, Some(golden))?;
+                dirty_artifacts.push((i, art.clone()));
+                assembled.push(art);
+            } else {
+                assembled.push(memo.artifacts[i].as_ref().clone());
+            }
+        }
+        let out = app.assemble(&assembled, Some(golden))?;
+        Ok((out, dirty_artifacts))
+    }));
+    ffs.unmount();
+    let injection = injector.record();
+    match &result {
+        Ok(Ok((_, arts))) => memo.store.put(&run_key, &encode_memo_run(&injection, Ok(arts))),
+        Ok(Err(msg)) => memo.store.put(&run_key, &encode_memo_run(&injection, Err(msg))),
+        Err(_) => {} // Panicked runs are never memoized.
+    }
+    let app_result = match result {
+        Ok(Ok((out, _))) => Ok(Ok(out)),
+        Ok(Err(e)) => Ok(Err(e)),
+        Err(p) => Err(p),
+    };
+    Some(finish_run(app, golden, run, target_instance, injection, mode, app_result))
+}
+
 /// Open (create or resume) the configured journal and decode any
 /// journaled runs — the one implementation both campaign drivers use,
 /// so resume validation cannot drift between them. Resume with no
@@ -1333,11 +1699,11 @@ fn open_journal(
 
 /// Op indices of the trace's eligible writes under `target` (instance
 /// `k` is element `k-1`) — the one definition of write-site
-/// eligibility both campaign drivers index injections with.
-fn eligible_write_ops(cache: &TraceCheckpoints, target: &TargetFilter) -> Vec<usize> {
-    cache
-        .ops()
-        .iter()
+/// eligibility both campaign drivers index injections with. Takes the
+/// raw op stream (not a built [`TraceCheckpoints`]) so the planner
+/// can derive its fork-offset demand *before* checkpoint placement.
+fn eligible_write_ops(ops: &[TraceOp], target: &TargetFilter) -> Vec<usize> {
+    ops.iter()
         .enumerate()
         .filter(|(_, op)| op.is_write() && target.matches(op.write_path()))
         .map(|(i, _)| i)
@@ -2044,23 +2410,22 @@ fn execute_replay_memoized<A: FaultApp>(
         Arc::new(ArmedInjector::resuming(signature.clone(), target_instance, seed, already_seen));
     let (ffs, mut cursor) = point.mount_fork();
     ffs.attach(injector.clone());
-    let result =
-        catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
-            cursor.replay(&*ffs, plan.cache.suffix(point)).map_err(|e| e.to_string())?;
-            let mut assembled: Vec<Vec<u8>> = Vec::with_capacity(memo.specs.len());
-            let mut dirty_artifacts: Vec<(usize, Vec<u8>)> = Vec::with_capacity(dirty.len());
-            for i in 0..memo.specs.len() {
-                if dirty.contains(&i) {
-                    let art = app.analyze_substep(&*ffs, i, Some(golden))?;
-                    dirty_artifacts.push((i, art.clone()));
-                    assembled.push(art);
-                } else {
-                    assembled.push(memo.artifacts[i].as_ref().clone());
-                }
+    let result = catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
+        cursor.replay(&*ffs, plan.cache.suffix(point)).map_err(|e| e.to_string())?;
+        let mut assembled: Vec<Vec<u8>> = Vec::with_capacity(memo.specs.len());
+        let mut dirty_artifacts: Vec<(usize, Vec<u8>)> = Vec::with_capacity(dirty.len());
+        for i in 0..memo.specs.len() {
+            if dirty.contains(&i) {
+                let art = app.analyze_substep(&*ffs, i, Some(golden))?;
+                dirty_artifacts.push((i, art.clone()));
+                assembled.push(art);
+            } else {
+                assembled.push(memo.artifacts[i].as_ref().clone());
             }
-            let out = app.assemble(&assembled, Some(golden))?;
-            Ok((out, dirty_artifacts))
-        }));
+        }
+        let out = app.assemble(&assembled, Some(golden))?;
+        Ok((out, dirty_artifacts))
+    }));
     ffs.unmount();
     let injection = injector.record();
     match &result {
@@ -2117,15 +2482,14 @@ fn execute_incremental_analyze<A: FaultApp>(
     let ffs = FfisFs::mount(Arc::new(plan.basis.base.fork()));
     ffs.preseed_counters(&memo.counters[d]);
     ffs.attach(injector.clone());
-    let result =
-        catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
-            let art = app.analyze_substep(&*ffs, d, Some(golden))?;
-            let mut assembled: Vec<Vec<u8>> =
-                memo.artifacts.iter().map(|a| a.as_ref().clone()).collect();
-            assembled[d] = art.clone();
-            let out = app.assemble(&assembled, Some(golden))?;
-            Ok((out, vec![(d, art)]))
-        }));
+    let result = catch_unwind(AssertUnwindSafe(|| -> MemoRunOutput<A> {
+        let art = app.analyze_substep(&*ffs, d, Some(golden))?;
+        let mut assembled: Vec<Vec<u8>> =
+            memo.artifacts.iter().map(|a| a.as_ref().clone()).collect();
+        assembled[d] = art.clone();
+        let out = app.assemble(&assembled, Some(golden))?;
+        Ok((out, vec![(d, art)]))
+    }));
     ffs.unmount();
     let injection = injector.record();
     match &result {
@@ -2207,6 +2571,13 @@ pub struct MixedCampaignConfig {
     /// take the full-rerun path with
     /// [`ReplayFallback::ProduceReadFault`] recorded.
     pub replay: bool,
+    /// Plan-aware replay optimizations for the write-site shards (see
+    /// [`CampaignConfig::replay_opt`]): demand-driven checkpoint
+    /// placement over the union of all write shards' fork offsets,
+    /// checkpoint-grouped batch execution keyed per `(shard,
+    /// checkpoint)`, and coalesced off-mount suffix application.
+    /// Disengages while a liveness watchdog is armed.
+    pub replay_opt: bool,
     /// Retain at most this many full [`RunResult`]s (see
     /// [`CampaignConfig::keep_runs`]); shard tallies always cover
     /// every run.
@@ -2245,6 +2616,7 @@ impl MixedCampaignConfig {
             seed: 0xFF15_0002,
             parallel: true,
             replay: replay_default(),
+            replay_opt: replay_opt_default(),
             keep_runs: None,
             checkpoints: None,
             journal: None,
@@ -2279,6 +2651,13 @@ impl MixedCampaignConfig {
     /// Enable or disable the write-site replay fast path.
     pub fn with_replay(mut self, replay: bool) -> Self {
         self.replay = replay;
+        self
+    }
+
+    /// Enable or disable the plan-aware replay optimizations (see
+    /// [`MixedCampaignConfig::replay_opt`]).
+    pub fn with_replay_opt(mut self, replay_opt: bool) -> Self {
+        self.replay_opt = replay_opt;
         self
     }
 
@@ -2412,6 +2791,7 @@ impl MixedCampaignResult {
 ///
 /// Per-signature eligible-write numbering is validated separately by
 /// each caller against its target filter ([`eligible_write_ops`]).
+#[allow(clippy::too_many_arguments)]
 fn shared_replay_cache<A: FaultApp>(
     app: &A,
     ops: Vec<TraceOp>,
@@ -2420,6 +2800,7 @@ fn shared_replay_cache<A: FaultApp>(
     golden: &A::Output,
     golden_fs: &MemFs,
     store: Option<&CheckpointStore>,
+    demand: Option<&[usize]>,
 ) -> Result<Arc<TraceCheckpoints>, ReplayFallback> {
     // Ops recorded after the produce watermark violate the
     // read-only-analyze law — except state-neutral bookkeeping
@@ -2441,10 +2822,21 @@ fn shared_replay_cache<A: FaultApp>(
     // over one deterministic workload) then share a single built
     // cache. The per-campaign laws above and the fidelity self-check
     // below still run for every campaign — sharing only skips the
-    // redundant prefix replays that build the snapshots.
-    let cache = match store {
-        Some(store) => store.get_or_build(ops).map_err(|_| ReplayFallback::ReplayCheck)?,
-        None => Arc::new(TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?),
+    // redundant prefix replays that build the snapshots. With a
+    // fork-offset demand the snapshots are placed against the
+    // campaign's actual targets (demand-placed and log-spaced sets
+    // coexist in the store — the placement is part of the cache key).
+    let cache = match (store, demand) {
+        (Some(store), Some(d)) => {
+            store.get_or_build_for_demand(ops, d).map_err(|_| ReplayFallback::ReplayCheck)?
+        }
+        (Some(store), None) => store.get_or_build(ops).map_err(|_| ReplayFallback::ReplayCheck)?,
+        (None, Some(d)) => Arc::new(
+            TraceCheckpoints::build_for_demand(ops, d).map_err(|_| ReplayFallback::ReplayCheck)?,
+        ),
+        (None, None) => {
+            Arc::new(TraceCheckpoints::build(ops).map_err(|_| ReplayFallback::ReplayCheck)?)
+        }
     };
     let (ffs, mut cursor) = cache.points()[0].mount_fork();
     if cursor.replay(&*ffs, cache.ops()).is_err()
@@ -2548,10 +2940,54 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             return Err(CampaignError::NoEligibleInstances);
         }
 
+        // Every per-run draw happens now, before any plan is built
+        // (engine law 2): global run `i` belongs to shard `i % k` and
+        // draws from `root.child(shard).child(i / k)`, exactly as
+        // before the engine refactor. Drawing up front exposes the
+        // write shards' fork-offset demand to checkpoint placement.
+        let root = Rng::seed_from(self.config.seed);
+        let shard_roots: Vec<Rng> = (0..k).map(|s| root.child(s as u64)).collect();
+        let specs: Vec<InjectionSpec> = (0..self.config.runs)
+            .map(|i| {
+                let s = i % k;
+                let mut rng = shard_roots[s].child((i / k) as u64);
+                let target_instance = rng.gen_range(eligible[s]) + 1;
+                let seed = rng.next_u64();
+                InjectionSpec { target_instance, seed }
+            })
+            .collect();
+        // Liveness watchdogs gate the replay optimizations off, as in
+        // the single-signature driver.
+        let replay_opt = self.config.replay_opt
+            && self.config.fuel.is_none()
+            && self.config.wall_limit.is_none();
+
         // The golden trace is taken once and serves both fast paths:
         // the analyze-only basis borrows it (read-only-analyze law),
         // the write-site checkpoint cache consumes it.
         let ops = recorder.take_ops();
+        // The union of all write shards' fork offsets — the demand
+        // checkpoint placement serves when the optimizations are on.
+        // A count mismatch surfaces later as that shard's
+        // TraceMismatch fallback; stray demand entries are harmless
+        // placement advice.
+        let demand: Option<Vec<usize>> = (replay_opt && wants_write_fast).then(|| {
+            let mut d = Vec::new();
+            for (s, sig) in self.config.signatures.iter().enumerate() {
+                if sig.primitive != Primitive::Write {
+                    continue;
+                }
+                let elig_ops = eligible_write_ops(&ops, &sig.target);
+                for (i, spec) in specs.iter().enumerate() {
+                    if i % k == s {
+                        if let Some(&op) = elig_ops.get((spec.target_instance - 1) as usize) {
+                            d.push(op);
+                        }
+                    }
+                }
+            }
+            d
+        });
         let basis: Result<AnalyzeOnlyBasis, ReplayFallback> = if !wants_read_fast {
             Err(ReplayFallback::Disabled)
         } else {
@@ -2577,6 +3013,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                 &golden,
                 &base,
                 self.config.checkpoints.as_deref(),
+                demand.as_deref(),
             )
         };
 
@@ -2601,7 +3038,7 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
                         },
                         Primitive::Write => match &cache {
                             Ok(cache) => {
-                                let eligible_ops = eligible_write_ops(cache, &sig.target);
+                                let eligible_ops = eligible_write_ops(cache.ops(), &sig.target);
                                 if eligible_ops.len() as u64 != elig {
                                     (
                                         ExecutionMode::FullRerun {
@@ -2636,32 +3073,20 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             })
             .collect();
 
-        // Per-shard RNG streams off the root. Every random draw
-        // happens at plan time: global run `i` belongs to shard
-        // `i % k` and draws from `root.child(shard).child(i / k)`,
-        // exactly as before the engine refactor.
-        let root = Rng::seed_from(self.config.seed);
-        let shard_roots: Vec<Rng> = (0..k).map(|s| root.child(s as u64)).collect();
+        // Resolve each pre-drawn spec to its shard's planned strategy.
         let golden = Arc::new(golden);
-
-        let planned: Vec<PlannedRun<InjectionSpec>> = (0..self.config.runs)
-            .map(|i| {
+        let planned: Vec<PlannedRun<InjectionSpec>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
                 let s = i % k;
                 let shard = &shards[s];
-                let mut rng = shard_roots[s].child((i / k) as u64);
-                let target_instance = rng.gen_range(shard.eligible) + 1;
-                let seed = rng.next_u64();
                 let strategy = match (&shard.plan, shard.mode) {
-                    (Some(p), _) => p.strategy_for(target_instance),
+                    (Some(p), _) => p.strategy_for(spec.target_instance),
                     (None, ExecutionMode::FullRerun { reason }) => RunStrategy::Rerun { reason },
                     (None, _) => unreachable!("fast-path shards always carry a plan"),
                 };
-                PlannedRun {
-                    index: i,
-                    shard: s,
-                    strategy,
-                    spec: InjectionSpec { target_instance, seed },
-                }
+                PlannedRun { index: i, shard: s, strategy, spec }
             })
             .collect();
         let fingerprint = plan_fingerprint(&planned, k);
@@ -2705,25 +3130,76 @@ impl<'a, A: FaultApp> MixedCampaign<'a, A> {
             observe: observe_fn.as_ref().map(|f| f as &(dyn Fn(RunEvent<'_, RunResult>) + Sync)),
             index_range: self.config.index_range,
         };
-        let out = engine::execute_durable(&eplan, &engine_cfg, durability, |pr| {
-            let shard = &shards[pr.shard];
-            let result = execute_run(
-                self.app,
-                &shard.signature,
-                shard.plan.as_ref(),
-                pr.strategy,
-                &golden,
-                pr.index,
-                pr.spec.target_instance,
-                pr.spec.seed,
-                liveness,
-            );
-            RunRecord {
-                outcome: result.outcome,
-                fired: result.injection.is_some(),
-                payload: result,
-            }
-        });
+        // Checkpoint-grouped batch execution (engine law 9), keyed per
+        // `(shard, checkpoint)` so a batch never mixes signatures.
+        let opt_counters = ReplayOptCounters::default();
+        let batching = replay_opt
+            && shards
+                .iter()
+                .any(|sh| matches!(&sh.plan, Some(CampaignPlan::Replay(rp)) if rp.memo.is_none()));
+        let out = engine::execute_durable_batched(
+            &eplan,
+            &engine_cfg,
+            durability,
+            |pr| {
+                if batching {
+                    pr.strategy.batch_key().map(|ck| (pr.shard, ck))
+                } else {
+                    None
+                }
+            },
+            |members| {
+                let s = members.first().map(|&i| i % k)?;
+                let Some(CampaignPlan::Replay(rp)) = &shards[s].plan else { return None };
+                let targets: Vec<usize> = members
+                    .iter()
+                    .map(|&i| rp.eligible_ops[(specs[i].target_instance - 1) as usize])
+                    .collect();
+                let RunStrategy::Replay { checkpoint, .. } =
+                    rp.strategy_for(specs[members[0]].target_instance)
+                else {
+                    return None;
+                };
+                let batch = rp.cache.fork_at_targets(checkpoint, &targets).ok()?;
+                opt_counters.batches.fetch_add(1, Ordering::Relaxed);
+                Some(batch)
+            },
+            |pr, batch| {
+                let shard = &shards[pr.shard];
+                let result = match (batch, &shard.plan) {
+                    (Some(batch), Some(CampaignPlan::Replay(rp))) => execute_run_batched(
+                        self.app,
+                        &shard.signature,
+                        rp,
+                        batch,
+                        &golden,
+                        pr.index,
+                        pr.spec.target_instance,
+                        pr.spec.seed,
+                        &opt_counters,
+                    ),
+                    _ => None,
+                }
+                .unwrap_or_else(|| {
+                    execute_run(
+                        self.app,
+                        &shard.signature,
+                        shard.plan.as_ref(),
+                        pr.strategy,
+                        &golden,
+                        pr.index,
+                        pr.spec.target_instance,
+                        pr.spec.seed,
+                        liveness,
+                    )
+                });
+                RunRecord {
+                    outcome: result.outcome,
+                    fired: result.injection.is_some(),
+                    payload: result,
+                }
+            },
+        );
 
         let shards = shards
             .into_iter()

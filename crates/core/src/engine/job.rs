@@ -19,7 +19,7 @@
 //! ([`JobFailure::PlanMismatch`] with both fingerprints, not a log
 //! line) that survives serialization across the service boundary.
 
-use crate::campaign::{memo_default, CampaignError};
+use crate::campaign::{memo_default, replay_opt_default, CampaignError};
 use crate::engine::journal::JournalError;
 use crate::fault::{FaultSignature, InjectionSite};
 use crate::generator::FaultConfig;
@@ -62,6 +62,13 @@ pub struct CampaignSpec {
     /// `FFIS_MEMO` environment posture; harmless on single-file specs
     /// (the campaign reports the `no-substeps` fallback).
     pub memo: bool,
+    /// Engage the plan-aware replay optimizations (demand-driven
+    /// checkpoint placement, checkpoint-grouped batch execution,
+    /// suffix op coalescing — [`crate::CampaignConfig::replay_opt`]).
+    /// Defaults to the `FFIS_REPLAY_OPT` environment posture. The
+    /// optimizations are digest-invisible either way; the `false`
+    /// regime exists as a measurement control.
+    pub replay_opt: bool,
     /// Injection runs (paper: 1,000 per cell); at least 1.
     pub runs: usize,
     /// Campaign root seed.
@@ -94,6 +101,7 @@ impl CampaignSpec {
             grid: 96,
             files: 1,
             memo: memo_default(),
+            replay_opt: replay_opt_default(),
             runs: 1000,
             seed: 0xFF15_2021,
             keep_runs: None,

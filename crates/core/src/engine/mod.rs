@@ -107,6 +107,24 @@
 //!    regime mixing. Pinned by `tests/memo_equivalence.rs` (all three
 //!    apps × both sites × cold/warm stores, plus a seed proptest) and
 //!    the `memo-smoke` CI job.
+//! 9. **Amortized-fork batching law** — *batched == unbatched, byte
+//!    for byte.* The executor may group pending replay runs that fork
+//!    the same trace checkpoint ([`RunStrategy::batch_key`]) and hand
+//!    them a shared, lazily built batch context
+//!    ([`execute_durable_batched`]) so the checkpoint's per-run setup
+//!    — `MemFs` fork, mount, descriptor adoption, counter preseed —
+//!    is paid once per batch instead of once per run. Batching is a
+//!    grouping of the *existing* schedule, never a reordering: the
+//!    shortest-suffix-first schedule, the index-addressed result
+//!    slots, and every run's record are identical whether the batch
+//!    context engaged, declined, or the run executed solo — which is
+//!    what keeps laws 3, 6, and 7 intact (a resumed or
+//!    range-restricted invocation simply groups the runs it actually
+//!    executes). Batch contexts (and the suffix coalescing they
+//!    enable) are disabled under liveness watchdogs, whose fuel
+//!    accounting counts per-op mount crossings. Pinned by the batched
+//!    schedule proptest in `tests/properties.rs` and the `replay-opt`
+//!    differential experiment.
 //!
 //! ## Liveness: fuel budgets and cancellation
 //!
@@ -148,7 +166,8 @@ mod sink;
 
 pub use control::{CancelToken, CompletionStatus};
 pub use executor::{
-    execute, execute_durable, Durability, EngineConfig, EngineResult, RunEvent, RunRecord,
+    execute, execute_durable, execute_durable_batched, Durability, EngineConfig, EngineResult,
+    RunEvent, RunRecord,
 };
 pub use job::{CampaignSpec, JobFailure, JobState, MIN_GRID};
 pub use journal::{merge_segments, JournalEntry, JournalError, JournalMeta, RunJournal};

@@ -55,6 +55,18 @@ impl RunStrategy {
         !matches!(self, RunStrategy::Rerun { .. })
     }
 
+    /// Grouping key for checkpoint-shared batch execution: replay
+    /// runs forking the same checkpoint batch together so the
+    /// checkpoint's fork/mount/preseed setup is amortized
+    /// fork-once-replay-many (engine law 9). Non-replay strategies
+    /// never batch.
+    pub fn batch_key(self) -> Option<usize> {
+        match self {
+            RunStrategy::Replay { checkpoint, .. } => Some(checkpoint),
+            _ => None,
+        }
+    }
+
     /// The [`ExecutionMode`] this strategy records on its run result.
     pub fn mode(self) -> ExecutionMode {
         match self {

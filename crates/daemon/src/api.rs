@@ -28,6 +28,7 @@ pub fn spec_to_json(spec: &CampaignSpec) -> Json {
         field("grid", u64_value(spec.grid as u64)),
         field("files", u64_value(spec.files as u64)),
         field("memo", Json::Bool(spec.memo)),
+        field("replay_opt", Json::Bool(spec.replay_opt)),
         field("runs", u64_value(spec.runs as u64)),
         field("seed", u64_value(spec.seed)),
         field("keep_runs", opt_u64(spec.keep_runs.map(|v| v as u64))),
@@ -56,6 +57,7 @@ pub fn spec_from_json(value: &Json) -> Result<CampaignSpec, String> {
             "grid" => spec.grid = req_usize(v, key)?,
             "files" => spec.files = req_usize(v, key)?,
             "memo" => spec.memo = req_bool(v, key)?,
+            "replay_opt" => spec.replay_opt = req_bool(v, key)?,
             "runs" => spec.runs = req_usize(v, key)?,
             "seed" => spec.seed = req_u64(v, key)?,
             "keep_runs" => spec.keep_runs = opt_usize(v, key)?,

@@ -117,7 +117,7 @@ pub fn execute_spec(
     if let Some(store) = &hooks.checkpoints {
         cfg = cfg.with_checkpoints(Arc::clone(store));
     }
-    cfg = cfg.with_memo(spec.memo);
+    cfg = cfg.with_memo(spec.memo).with_replay_opt(spec.replay_opt);
     if let Some(store) = &hooks.memo {
         cfg = cfg.with_memo_store(Arc::clone(store));
     }
@@ -129,11 +129,23 @@ pub fn execute_spec(
     }
     match spec.app.to_ascii_lowercase().as_str() {
         "nyx" => Campaign::new(&nyx_app(spec.grid, spec.files), cfg).run(),
-        "qmc" => Campaign::new(
-            &QmcApp::new(QmcConfig { restarts: spec.files.max(1), ..QmcConfig::default() }),
-            cfg,
-        )
-        .run(),
+        "qmc" => {
+            // Multi-file QMC runs also block the DMC series, so a
+            // dirty checkpoint restart re-derives one block of steps
+            // instead of the whole series (single-file stays the
+            // legacy byte-identical layout).
+            let files = spec.files.max(1);
+            let blocks = if files > 1 { 4 } else { 1 };
+            Campaign::new(
+                &QmcApp::new(QmcConfig {
+                    restarts: files,
+                    dmc_blocks: blocks,
+                    ..QmcConfig::default()
+                }),
+                cfg,
+            )
+            .run()
+        }
         "montage" => Campaign::new(&MontageApp::multi_tile(spec.files.max(1)), cfg).run(),
         "paced" => Campaign::new(&PacedApp, cfg).run(),
         other => Err(CampaignError::BadSignature(format!("unknown application '{}'", other))),

@@ -16,7 +16,9 @@
 //!    segment file. Workers share checkpoints through the
 //!    content-addressed `CheckpointStore` disk tier, so the expensive
 //!    checkpoint build happens once per store directory, not once per
-//!    process.
+//!    process — and share analyze memoization the same way through the
+//!    `MemoStore` disk tier, so a sub-step artifact computed by one
+//!    worker is a disk hit for every other.
 //! 3. The coordinator merges the segments index-addressed
 //!    ([`merge_segments`], first
 //!    wins — exactly the resume law's dedup rule) and executes the
@@ -40,7 +42,7 @@ use std::time::{Duration, Instant};
 
 use ffis_core::engine::{index_ranges, journal, merge_segments};
 use ffis_core::{CampaignError, CampaignResult, CampaignSpec};
-use ffis_vfs::CheckpointStore;
+use ffis_vfs::{CheckpointStore, MemoStore};
 
 use crate::api;
 use crate::apps::{execute_spec, ExecHooks};
@@ -243,12 +245,14 @@ pub fn self_worker_cmd() -> std::io::Result<Vec<String>> {
 /// Execute one worker shard in-process: the spec (journaling forced
 /// on, resume on so a re-spawned worker reuses its own segment),
 /// restricted to `range`, journaled into `segment`, checkpoints via
-/// the shared disk store under `store_dir` when given.
+/// the shared disk store under `store_dir` and analyze memoization via
+/// the shared memo store under `memo_dir` when given.
 pub fn run_worker(
     spec: &CampaignSpec,
     range: (usize, usize),
     segment: &Path,
     store_dir: Option<&Path>,
+    memo_dir: Option<&Path>,
 ) -> Result<(CampaignResult, Option<Arc<CheckpointStore>>), CampaignError> {
     let mut spec = spec.clone();
     spec.journal = true;
@@ -257,6 +261,7 @@ pub fn run_worker(
     let hooks = ExecHooks {
         journal: Some(segment.to_path_buf()),
         checkpoints: store.clone(),
+        memo: memo_dir.map(open_memo),
         index_range: Some(range),
         ..ExecHooks::default()
     };
@@ -281,9 +286,28 @@ pub fn open_store(dir: &Path) -> Arc<CheckpointStore> {
     }
 }
 
+/// A disk-backed memo store at `dir`, degrading to memory-only (with
+/// a stderr note) if the directory cannot be created — like the
+/// checkpoint store, the memo layer is a cache, so degradation costs
+/// recomputation, never correctness.
+pub fn open_memo(dir: &Path) -> Arc<MemoStore> {
+    match MemoStore::at_dir(dir) {
+        Ok(store) => Arc::new(store),
+        Err(e) => {
+            eprintln!(
+                "[ffis-daemon] memo store at {} unavailable ({}); using memory only",
+                dir.display(),
+                e
+            );
+            Arc::new(MemoStore::in_memory())
+        }
+    }
+}
+
 /// The `repro daemon worker` entry point: load the spec from
 /// `--spec`, execute `[--start, --end)` into `--journal`, share
-/// checkpoints under `--store`, and print one [`WorkerStats`] line.
+/// checkpoints under `--store` and analyze memoization under
+/// `--memo`, and print one [`WorkerStats`] line.
 /// Exit code 0 when the shard completed, 130 when interrupted, and an
 /// `Err` (the caller prints it and exits 2) on any structural failure.
 pub fn worker_cli(flags: &HashMap<String, String>) -> Result<i32, String> {
@@ -301,9 +325,11 @@ pub fn worker_cli(flags: &HashMap<String, String>) -> Result<i32, String> {
         .map_err(|e| format!("read spec {}: {}", spec_path, e))?;
     let spec = json::parse(&text).and_then(|v| api::spec_from_json(&v))?;
     let store_dir = flags.get("store").map(PathBuf::from);
+    let memo_dir = flags.get("memo").map(PathBuf::from);
     let started = Instant::now();
-    let (result, store) = run_worker(&spec, (start, end), &segment, store_dir.as_deref())
-        .map_err(|e| e.to_string())?;
+    let (result, store) =
+        run_worker(&spec, (start, end), &segment, store_dir.as_deref(), memo_dir.as_deref())
+            .map_err(|e| e.to_string())?;
     let blob = store.as_ref().and_then(|s| s.blob_stats()).unwrap_or_default();
     let stats = WorkerStats {
         start: start as u64,
@@ -330,9 +356,11 @@ pub fn worker_cli(flags: &HashMap<String, String>) -> Result<i32, String> {
 /// `work_dir` holds the spec file, per-worker journal segments, and
 /// the merged journal; re-running over the same directory resumes.
 /// `store_dir` (when given) is the shared disk-backed checkpoint
-/// store every worker *and* the final pass mount. `worker_cmd` is the
+/// store every worker *and* the final pass mount; `memo_dir` is its
+/// analyze-memo sibling, shared the same way. `worker_cmd` is the
 /// argv prefix for one worker process (usually [`self_worker_cmd`]);
-/// the coordinator appends `--spec/--start/--end/--journal[/--store]`.
+/// the coordinator appends
+/// `--spec/--start/--end/--journal[/--store][/--memo]`.
 /// `hooks` applies to the final resume pass (its `journal`,
 /// `checkpoints`, and `index_range` fields are overridden); its
 /// `cancel` token is also polled while workers run — cancellation
@@ -343,6 +371,7 @@ pub fn run_distributed(
     workers: usize,
     work_dir: &Path,
     store_dir: Option<&Path>,
+    memo_dir: Option<&Path>,
     worker_cmd: &[String],
     mut hooks: ExecHooks,
 ) -> Result<FanoutReport, FanoutError> {
@@ -383,6 +412,9 @@ pub fn run_distributed(
             .stderr(Stdio::inherit());
         if let Some(dir) = store_dir {
             cmd.arg("--store").arg(dir);
+        }
+        if let Some(dir) = memo_dir {
+            cmd.arg("--memo").arg(dir);
         }
         let child = match cmd.spawn() {
             Ok(child) => child,
@@ -450,6 +482,9 @@ pub fn run_distributed(
     hooks.index_range = None;
     if hooks.checkpoints.is_none() {
         hooks.checkpoints = store_dir.map(open_store);
+    }
+    if hooks.memo.is_none() {
+        hooks.memo = memo_dir.map(open_memo);
     }
     let result = execute_spec(&final_spec, &hooks).map_err(FanoutError::Campaign)?;
 
@@ -528,13 +563,13 @@ mod tests {
         spec.runs = 6;
         spec.seed = 3;
         let segment = dir.join("seg.journal");
-        let (result, _) = run_worker(&spec, (0, 3), &segment, None).unwrap();
+        let (result, _) = run_worker(&spec, (0, 3), &segment, None, None).unwrap();
         assert_eq!(result.status, ffis_core::CompletionStatus::Complete);
         assert_eq!(result.executed, 3);
         assert!(segment.exists());
         // Re-running the same shard resumes its own segment: nothing
         // executes twice.
-        let (again, _) = run_worker(&spec, (0, 3), &segment, None).unwrap();
+        let (again, _) = run_worker(&spec, (0, 3), &segment, None, None).unwrap();
         assert_eq!(again.executed, 0);
         assert_eq!(again.resumed, 3);
         let _ = std::fs::remove_dir_all(&dir);

@@ -352,13 +352,19 @@ impl JobQueue {
         Arc::clone(stores.entry(key).or_insert_with(|| distributed::open_store(&dir)))
     }
 
+    /// Disk directory of the root-wide shared memo store — the same
+    /// directory fan-out worker processes mount via `--memo`.
+    fn memo_dir(&self) -> PathBuf {
+        self.root.join("store").join("memo")
+    }
+
     /// The root-wide shared memo store (disk-backed when the directory
     /// is writable, memory-only otherwise — the memo layer is an
     /// optimization, never a reason a job fails).
     fn memo_store(&self) -> Arc<MemoStore> {
         let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(memo.get_or_insert_with(|| {
-            let dir = self.root.join("store").join("memo");
+            let dir = self.memo_dir();
             Arc::new(MemoStore::at_dir(&dir).unwrap_or_else(|e| {
                 eprintln!(
                     "[ffis-daemon] memo store at {} unavailable ({}); using memory tier",
@@ -472,6 +478,7 @@ impl JobQueue {
                     fanout,
                     &dir.join("fanout"),
                     Some(&self.store_dir(&spec)),
+                    Some(&self.memo_dir()),
                     &cmd,
                     hooks,
                 ) {

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use ffis_core::engine::{index_ranges, journal, merge_segments};
 use ffis_core::{CampaignSpec, CompletionStatus, JobState};
-use ffis_daemon::distributed::{open_store, run_worker};
+use ffis_daemon::distributed::{open_memo, open_store, run_worker};
 use ffis_daemon::{execute_spec, Client, Daemon, DaemonConfig, ExecHooks};
 
 fn tmp_root(name: &str) -> PathBuf {
@@ -81,7 +81,7 @@ fn assert_sharded_matches_serial(app: &str, seed: u64) {
         for (range, segment) in ranges.iter().zip(&segments) {
             let (spec, store_dir) = (&spec, &store_dir);
             s.spawn(move || {
-                let (res, _) = run_worker(spec, *range, segment, Some(store_dir)).unwrap();
+                let (res, _) = run_worker(spec, *range, segment, Some(store_dir), None).unwrap();
                 assert_eq!(res.status, CompletionStatus::Complete, "{app}: shard {range:?}");
                 assert_eq!(res.executed, range.1 - range.0, "{app}: shard {range:?}");
             });
@@ -127,6 +127,66 @@ fn sharded_qmc_merges_to_the_single_process_result() {
 #[test]
 fn sharded_montage_merges_to_the_single_process_result() {
     assert_sharded_matches_serial("montage", 0x51AD);
+}
+
+/// Memo sharing across fan-out workers, the way the checkpoint blob
+/// store is already shared: two workers split a multi-file Montage
+/// write campaign (the regime where the analyze memo engages), each
+/// opening its own `MemoStore` handle on one shared disk directory.
+/// The merged result must equal the single-process control byte for
+/// byte, and the shared memo tier must have actually persisted
+/// sub-step artifacts to disk — one worker's analyze is the other's
+/// (and a restarted daemon's) disk hit.
+#[test]
+fn workers_sharing_a_memo_disk_tier_merge_to_the_single_process_digest() {
+    let mut spec = CampaignSpec::new("montage", "BF");
+    spec.site = "write".into();
+    spec.grid = 16;
+    spec.files = 4;
+    spec.runs = 10;
+    spec.seed = 0x51AE;
+    let control = execute_spec(&spec, &ExecHooks::default()).unwrap();
+    assert_eq!(control.status, CompletionStatus::Complete, "control");
+
+    let dir = tmp_root("memo-share");
+    let store_dir = dir.join("store");
+    let memo_dir = dir.join("memo");
+    let ranges = index_ranges(spec.runs, 2);
+    let segments: Vec<PathBuf> =
+        (0..ranges.len()).map(|i| dir.join(format!("seg-{i}.journal"))).collect();
+    std::thread::scope(|s| {
+        for (range, segment) in ranges.iter().zip(&segments) {
+            let (spec, store_dir, memo_dir) = (&spec, &store_dir, &memo_dir);
+            s.spawn(move || {
+                let (res, _) =
+                    run_worker(spec, *range, segment, Some(store_dir), Some(memo_dir)).unwrap();
+                assert_eq!(res.status, CompletionStatus::Complete, "shard {range:?}");
+            });
+        }
+    });
+    let persisted = std::fs::read_dir(&memo_dir).map(|entries| entries.count()).unwrap_or(0);
+    assert!(persisted > 0, "the shared memo disk tier persisted nothing");
+
+    let (meta, _) = journal::scan(&segments[0]).unwrap();
+    let merged = dir.join("merged.journal");
+    let records = merge_segments(&merged, &meta, &segments).unwrap();
+    assert_eq!(records as usize, spec.runs, "merged journal must cover the plan");
+
+    let mut fspec = spec.clone();
+    fspec.journal = true;
+    fspec.resume = true;
+    let hooks = ExecHooks {
+        journal: Some(merged),
+        checkpoints: Some(open_store(&store_dir)),
+        memo: Some(open_memo(&memo_dir)),
+        ..ExecHooks::default()
+    };
+    let merged_result = execute_spec(&fspec, &hooks).unwrap();
+    assert_eq!(merged_result.status, CompletionStatus::Complete);
+    assert_eq!(merged_result.executed, 0, "nothing may execute twice");
+    assert_eq!(merged_result.tally, control.tally, "tally diverged");
+    assert_eq!(merged_result.run_digest(), control.run_digest(), "digest diverged");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Re-exec marker: when set, this test binary is the daemon *victim* —

@@ -68,6 +68,29 @@ pub fn seg_s001(s: usize, restarts: usize) -> String {
     format!("/qmc/{}.s001.scalar.dat", seg_stem(s, restarts))
 }
 
+/// Walker-checkpoint path of DMC restart block `b` inside segment `s`.
+/// Block 0 restarts from the VMC→DMC handoff itself ([`seg_config`]);
+/// later blocks restart from the mid-series checkpoints the DMC run
+/// drops between blocks.
+pub fn seg_block_config(s: usize, b: usize, restarts: usize) -> String {
+    if b == 0 {
+        seg_config(s, restarts)
+    } else {
+        format!("/qmc/{}.s001.config.b{:03}.dat", seg_stem(s, restarts), b)
+    }
+}
+
+/// DMC scalar path of restart block `b` inside segment `s` (collapses
+/// to [`seg_s001`] in the single-block regime, where the series is one
+/// file).
+pub fn seg_block_s001(s: usize, b: usize, restarts: usize, blocks: usize) -> String {
+    if blocks == 1 {
+        seg_s001(s, restarts)
+    } else {
+        format!("/qmc/{}.s001.b{:03}.scalar.dat", seg_stem(s, restarts), b)
+    }
+}
+
 /// QMCPACK workload configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct QmcConfig {
@@ -92,6 +115,15 @@ pub struct QmcConfig {
     /// so campaigns memoize the checkpoint restarts a fault cannot
     /// reach (incremental analyze).
     pub restarts: usize,
+    /// Number of DMC restart blocks per segment: the `s001` series is
+    /// split into `dmc_blocks` back-to-back DMC runs, each restarting
+    /// from a walker checkpoint dropped by its predecessor (block 0
+    /// restarts from the VMC→DMC handoff). `1` (the default) keeps the
+    /// legacy single-series layout byte for byte. With more blocks,
+    /// each block is its own analyze sub-step, so a tampered mid-series
+    /// checkpoint re-derives `steps/dmc_blocks` DMC steps instead of
+    /// the whole series — the cold-analyze cost a dirty restart pays.
+    pub dmc_blocks: usize,
 }
 
 impl Default for QmcConfig {
@@ -110,7 +142,25 @@ impl Default for QmcConfig {
             sdc_window: (-2.91, -2.90),
             min_restart_fraction: 0.25,
             restarts: 1,
+            dmc_blocks: 1,
         }
+    }
+}
+
+/// DMC parameters of restart block `b`: the configured step budget is
+/// split evenly across blocks (remainder to the early ones), only
+/// block 0 pays the warmup (later blocks continue an equilibrated
+/// ensemble), and each block gets an independent RNG stream. Collapses
+/// to `config.dmc` verbatim in the single-block regime. Used both for
+/// the golden chain and for checkpoint re-derivation, so an untampered
+/// block checkpoint always reproduces its golden rows.
+fn block_dmc_cfg(config: &QmcConfig, b: usize) -> DmcConfig {
+    let blocks = config.dmc_blocks.max(1);
+    DmcConfig {
+        warmup: if b == 0 { config.dmc.warmup } else { 0 },
+        steps: config.dmc.steps / blocks + usize::from(b < config.dmc.steps % blocks),
+        seed: config.dmc.seed.wrapping_add(0xB10C * b as u64),
+        ..config.dmc
     }
 }
 
@@ -127,13 +177,23 @@ pub struct QmcOutput {
     pub extra: Vec<(Vec<u8>, QmcaResult)>,
 }
 
-/// Deterministic VMC products of one restart segment, computed once
+/// Deterministic products of one DMC restart block, computed once
 /// (physics is not the experiment's variable — the storage path is).
-struct Segment {
-    s000_text: String,
+struct Block {
+    /// The walker ensemble this block restarts from, serialized —
+    /// block 0's is the VMC→DMC handoff, later blocks' are the
+    /// mid-series checkpoints the previous block dropped.
     checkpoint_bytes: Vec<u8>,
     /// Memoized DMC rows for the untampered checkpoint.
-    golden_dmc_rows: Vec<ScalarRow>,
+    golden_rows: Vec<ScalarRow>,
+}
+
+/// Deterministic VMC products of one restart segment.
+struct Segment {
+    s000_text: String,
+    /// The DMC series, one restart block at a time (exactly one block
+    /// in the legacy regime).
+    blocks: Vec<Block>,
 }
 
 /// The QMCPACK application.
@@ -148,6 +208,7 @@ impl QmcApp {
     /// segment.
     pub fn new(mut config: QmcConfig) -> Self {
         config.restarts = config.restarts.max(1);
+        config.dmc_blocks = config.dmc_blocks.max(1);
         let segments = (0..config.restarts)
             .map(|s| {
                 // Segment 0 keeps the configured seed (the
@@ -158,13 +219,19 @@ impl QmcApp {
                     ..config.vmc
                 };
                 let vmc = run_vmc(&config.wavefunction, &vmc_cfg);
-                let golden_dmc = run_dmc(&config.wavefunction, &vmc.walkers, &config.dmc)
-                    .expect("golden DMC must run");
-                Segment {
-                    s000_text: render_scalar(&vmc.rows),
-                    checkpoint_bytes: render_checkpoint(&vmc.walkers),
-                    golden_dmc_rows: golden_dmc.rows,
+                // Chain the DMC blocks: each restarts from the walker
+                // ensemble its predecessor ended on, exactly like a
+                // checkpointed production series.
+                let mut start = vmc.walkers;
+                let mut blocks = Vec::with_capacity(config.dmc_blocks);
+                for b in 0..config.dmc_blocks {
+                    let checkpoint_bytes = render_checkpoint(&start);
+                    let dmc = run_dmc(&config.wavefunction, &start, &block_dmc_cfg(&config, b))
+                        .expect("golden DMC must run");
+                    start = dmc.final_walkers;
+                    blocks.push(Block { checkpoint_bytes, golden_rows: dmc.rows });
                 }
+                Segment { s000_text: render_scalar(&vmc.rows), blocks }
             })
             .collect();
         QmcApp { config, segments }
@@ -189,11 +256,12 @@ impl QmcApp {
         )
     }
 
-    /// The golden DMC energy of segment 0 (for tests and reporting).
+    /// The golden DMC energy of segment 0 (for tests and reporting),
+    /// computed over the whole series — all restart blocks in order.
     pub fn golden_energy(&self) -> f64 {
-        analyze(&self.segments[0].golden_dmc_rows, &self.config.qmca)
-            .expect("golden analyzable")
-            .energy
+        let rows: Vec<ScalarRow> =
+            self.segments[0].blocks.iter().flat_map(|b| b.golden_rows.iter().copied()).collect();
+        analyze(&rows, &self.config.qmca).expect("golden analyzable").energy
     }
 
     /// Fault-target filter scoping injections to the walker checkpoint
@@ -211,11 +279,16 @@ impl QmcApp {
         ffis_core::TargetFilter::PathContains(".scalar.dat".into())
     }
 
-    fn dmc_rows_for(&self, s: usize, checkpoint: &[u8]) -> Result<Vec<ScalarRow>, String> {
-        if checkpoint == self.segments[s].checkpoint_bytes.as_slice() {
+    fn block_rows_for(
+        &self,
+        s: usize,
+        b: usize,
+        checkpoint: &[u8],
+    ) -> Result<Vec<ScalarRow>, String> {
+        if checkpoint == self.segments[s].blocks[b].checkpoint_bytes.as_slice() {
             // Untampered checkpoint: the deterministic DMC trajectory
             // is already known (pure memoization).
-            return Ok(self.segments[s].golden_dmc_rows.clone());
+            return Ok(self.segments[s].blocks[b].golden_rows.clone());
         }
         let walkers = crate::scalar::parse_checkpoint(checkpoint)?;
         // Defensive restart: drop unphysical walkers, abort when too
@@ -230,46 +303,84 @@ impl QmcApp {
                 walkers.len()
             ));
         }
-        let dmc = run_dmc(&self.config.wavefunction, &physical, &self.config.dmc)
+        let dmc = run_dmc(&self.config.wavefunction, &physical, &block_dmc_cfg(&self.config, b))
             .map_err(|e| e.to_string())?;
         Ok(dmc.rows)
     }
 
-    /// The whole analyze pass of one restart segment: re-examine its
-    /// VMC→DMC handoff from storage and run QMCA on the (possibly
-    /// re-derived) DMC series. This single function is both the body
-    /// of the per-segment analyze sub-step and the unit `analyze`
-    /// iterates, so the memo layer's stream-identity law holds by
-    /// construction.
+    /// The analyze pass of one DMC restart block: re-examine its
+    /// restart checkpoint from storage and return the block's (possibly
+    /// re-derived) scalar text. This single function is the body of
+    /// the per-block analyze sub-step and the unit both
+    /// `segment_analyze` and the whole `analyze` iterate, so the memo
+    /// layer's stream-identity law holds by construction. Block 0 also
+    /// validates the segment's VMC scalar (the only block that reads
+    /// it), preserving the legacy read order config → s001 → s000 in
+    /// the single-block regime.
+    fn block_analyze(&self, fs: &dyn FileSystem, s: usize, b: usize) -> Result<Vec<u8>, String> {
+        let r = self.config.restarts;
+        // The restart checkpoint, re-examined from storage: an
+        // untampered checkpoint means the on-disk block scalar (however
+        // the fault may have mauled *it*) is the classified artifact; a
+        // tampered checkpoint means DMC restarts from the stored
+        // walkers — physicality checks, abort-on-too-few and all —
+        // and the re-derived block is what a full execution would
+        // have written.
+        let checkpoint = fs.read_to_vec(&seg_block_config(s, b, r)).map_err(|e| e.to_string())?;
+        let bytes = if checkpoint == self.segments[s].blocks[b].checkpoint_bytes {
+            fs.read_to_vec(&seg_block_s001(s, b, r, self.config.dmc_blocks))
+                .map_err(|e| e.to_string())?
+        } else {
+            render_scalar(&self.block_rows_for(s, b, &checkpoint)?).into_bytes()
+        };
+        if b == 0 {
+            read_scalar(fs, &seg_s000(s, r), self.config.qmca.min_rows)?;
+        }
+        Ok(bytes)
+    }
+
+    /// QMCA over one segment's block scalar texts: every block must
+    /// parse (headers and step indices restart per block, so blocks
+    /// are parsed separately and their rows concatenated); the DMC
+    /// energy over the whole series is the reported quantity. The
+    /// returned bytes are the concatenated block texts — the bitwise
+    /// classification artifact.
+    fn segment_qmca(&self, texts: &[Vec<u8>]) -> Result<(Vec<u8>, QmcaResult), String> {
+        let min_rows = self.config.qmca.min_rows;
+        if texts.len() == 1 {
+            // Single-block series: the legacy path, damage threshold
+            // and all.
+            let parsed =
+                crate::scalar::parse_scalar(&String::from_utf8_lossy(&texts[0]), min_rows)?;
+            let qmca = analyze(&parsed.rows, &self.config.qmca)?;
+            return Ok((texts[0].clone(), qmca));
+        }
+        let mut rows = Vec::new();
+        for t in texts {
+            rows.extend(crate::scalar::parse_scalar(&String::from_utf8_lossy(t), 1)?.rows);
+        }
+        if rows.len() < min_rows {
+            return Err(format!(
+                "blocked series too damaged: {} parsable rows (< {})",
+                rows.len(),
+                min_rows
+            ));
+        }
+        let qmca = analyze(&rows, &self.config.qmca)?;
+        Ok((texts.concat(), qmca))
+    }
+
+    /// The whole analyze pass of one restart segment: every restart
+    /// block in order, then QMCA over the assembled series.
     fn segment_analyze(
         &self,
         fs: &dyn FileSystem,
         s: usize,
     ) -> Result<(Vec<u8>, QmcaResult), String> {
-        let r = self.config.restarts;
-        // The VMC→DMC handoff, re-examined from storage: an
-        // untampered checkpoint means the on-disk s001 (however the
-        // fault may have mauled *it*) is the classified artifact; a
-        // tampered checkpoint means DMC restarts from the stored
-        // walkers — physicality checks, abort-on-too-few and all —
-        // and the re-derived series is what a full execution would
-        // have written.
-        let checkpoint = fs.read_to_vec(&seg_config(s, r)).map_err(|e| e.to_string())?;
-        let s001_bytes = if checkpoint == self.segments[s].checkpoint_bytes {
-            fs.read_to_vec(&seg_s001(s, r)).map_err(|e| e.to_string())?
-        } else {
-            render_scalar(&self.dmc_rows_for(s, &checkpoint)?).into_bytes()
-        };
-
-        // Post-analysis (QMCA): both series must parse; the DMC energy
-        // is the reported quantity.
-        read_scalar(fs, &seg_s000(s, r), self.config.qmca.min_rows)?;
-        let parsed = crate::scalar::parse_scalar(
-            &String::from_utf8_lossy(&s001_bytes),
-            self.config.qmca.min_rows,
-        )?;
-        let qmca = analyze(&parsed.rows, &self.config.qmca)?;
-        Ok((s001_bytes, qmca))
+        let texts = (0..self.config.dmc_blocks)
+            .map(|b| self.block_analyze(fs, s, b))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.segment_qmca(&texts)
     }
 }
 
@@ -311,25 +422,36 @@ impl FaultApp for QmcApp {
         let r = self.config.restarts;
 
         for (s, seg) in self.segments.iter().enumerate() {
-            // Series 000: VMC scalar + walker checkpoint.
+            // Series 000: VMC scalar.
             {
                 let mut f =
                     ffis_vfs::BufFile::create(fs, &seg_s000(s, r)).map_err(|e| e.to_string())?;
                 f.write_all(seg.s000_text.as_bytes()).map_err(|e| e.to_string())?;
                 f.close().map_err(|e| e.to_string())?;
             }
-            fs.write_file_chunked(&seg_config(s, r), &seg.checkpoint_bytes, ffis_vfs::BLOCK_SIZE)
-                .map_err(|e| e.to_string())?;
 
-            // Series 001: DMC scalar, streamed from the memoized
-            // golden trajectory. Write-stream data independence:
-            // produce never derives bytes from a filesystem read-back
-            // — the VMC→DMC handoff through the (possibly corrupted)
-            // on-disk checkpoint is re-examined in
-            // [`FaultApp::analyze`], which re-derives the DMC series
-            // from the stored walkers when they differ from the
-            // golden ones.
-            write_scalar(fs, &seg_s001(s, r), &seg.golden_dmc_rows)?;
+            // Series 001, one restart block at a time: each block's
+            // walker checkpoint (block 0's is the VMC→DMC handoff),
+            // then its scalar rows, streamed from the memoized golden
+            // trajectory. Write-stream data independence: produce
+            // never derives bytes from a filesystem read-back — the
+            // restart through the (possibly corrupted) on-disk
+            // checkpoint is re-examined in [`FaultApp::analyze`],
+            // which re-derives a block's DMC rows from the stored
+            // walkers when they differ from the golden ones.
+            for (b, blk) in seg.blocks.iter().enumerate() {
+                fs.write_file_chunked(
+                    &seg_block_config(s, b, r),
+                    &blk.checkpoint_bytes,
+                    ffis_vfs::BLOCK_SIZE,
+                )
+                .map_err(|e| e.to_string())?;
+                write_scalar(
+                    fs,
+                    &seg_block_s001(s, b, r, self.config.dmc_blocks),
+                    &blk.golden_rows,
+                )?;
+            }
         }
         fs.write_file(LOG, b"QMCPACK-lite: VMC+DMC complete\n").map_err(|e| e.to_string())
     }
@@ -350,19 +472,42 @@ impl FaultApp for QmcApp {
     }
 
     fn analyze_substeps(&self) -> Option<Vec<SubstepSpec>> {
-        if self.config.restarts == 1 {
+        let (r, bc) = (self.config.restarts, self.config.dmc_blocks);
+        if r == 1 && bc == 1 {
             return None;
         }
-        let r = self.config.restarts;
+        if bc == 1 {
+            // Segment-grained sub-steps: the legacy multi-restart
+            // contract, names and artifact format unchanged (so memo
+            // stores never see two formats under one key).
+            return Some(
+                (0..r)
+                    .map(|s| {
+                        // Everything segment_analyze may read; the run
+                        // log has no consumer.
+                        SubstepSpec::new(
+                            seg_stem(s, r),
+                            vec![seg_config(s, r), seg_s001(s, r), seg_s000(s, r)],
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        // Block-grained sub-steps, indexed `s * dmc_blocks + b`: a
+        // tampered mid-series checkpoint dirties one block's sub-step
+        // and re-derives steps/dmc_blocks DMC steps, not the series.
+        // Only block 0 reads the segment's VMC scalar.
         Some(
             (0..r)
-                .map(|s| {
-                    // Everything segment_analyze may read; the run log
-                    // has no consumer.
-                    SubstepSpec::new(
-                        seg_stem(s, r),
-                        vec![seg_config(s, r), seg_s001(s, r), seg_s000(s, r)],
-                    )
+                .flat_map(|s| {
+                    (0..bc).map(move |b| {
+                        let mut reads =
+                            vec![seg_block_config(s, b, r), seg_block_s001(s, b, r, bc)];
+                        if b == 0 {
+                            reads.push(seg_s000(s, r));
+                        }
+                        SubstepSpec::new(format!("{}.b{:03}", seg_stem(s, r), b), reads)
+                    })
                 })
                 .collect(),
         )
@@ -374,11 +519,18 @@ impl FaultApp for QmcApp {
         index: usize,
         _golden: Option<&QmcOutput>,
     ) -> Result<Vec<u8>, String> {
-        if index >= self.config.restarts {
-            return Err(format!("no restart segment {}", index));
+        let (r, bc) = (self.config.restarts, self.config.dmc_blocks);
+        if index >= r * bc {
+            return Err(format!("no restart sub-step {}", index));
         }
-        let (s001_bytes, qmca) = self.segment_analyze(fs, index)?;
-        Ok(encode_segment(&s001_bytes, &qmca))
+        if bc == 1 {
+            // Legacy artifact: length-prefixed s001 bytes + QMCA stats.
+            let (s001_bytes, qmca) = self.segment_analyze(fs, index)?;
+            return Ok(encode_segment(&s001_bytes, &qmca));
+        }
+        // Block artifact: the raw scalar text (QMCA runs at assembly,
+        // where all of a segment's blocks are in hand).
+        self.block_analyze(fs, index / bc, index % bc)
     }
 
     fn assemble(
@@ -386,16 +538,20 @@ impl FaultApp for QmcApp {
         artifacts: &[Vec<u8>],
         _golden: Option<&QmcOutput>,
     ) -> Result<QmcOutput, String> {
-        if artifacts.len() != self.config.restarts {
-            return Err(format!(
-                "expected {} segment artifacts, got {}",
-                self.config.restarts,
-                artifacts.len()
-            ));
+        let (r, bc) = (self.config.restarts, self.config.dmc_blocks);
+        if artifacts.len() != r * bc {
+            return Err(format!("expected {} sub-step artifacts, got {}", r * bc, artifacts.len()));
         }
-        let (s001_bytes, qmca) = decode_segment(&artifacts[0])?;
-        let extra =
-            artifacts[1..].iter().map(|a| decode_segment(a)).collect::<Result<Vec<_>, _>>()?;
+        let mut segments = if bc == 1 {
+            artifacts.iter().map(|a| decode_segment(a)).collect::<Result<Vec<_>, _>>()?
+        } else {
+            artifacts
+                .chunks(bc)
+                .map(|texts| self.segment_qmca(texts))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let extra = segments.split_off(1);
+        let (s001_bytes, qmca) = segments.pop().unwrap();
         Ok(QmcOutput { s001_bytes, qmca, extra })
     }
 
@@ -601,6 +757,93 @@ mod tests {
             assert_eq!(gq.energy, aq.energy);
         }
         assert_eq!(app.classify(&whole, &asm), Outcome::Benign);
+    }
+
+    #[test]
+    fn single_block_layout_is_byte_identical_to_legacy() {
+        // dmc_blocks: 1 must not shift a single byte: same files, same
+        // contents, no block-suffixed paths.
+        let app = small_app();
+        let fs = MemFs::new();
+        app.produce(&fs).unwrap();
+        assert!(fs.exists(CONFIG) && fs.exists(S001));
+        assert!(!fs.exists("/qmc/He.s001.config.b001.dat"));
+        assert!(!fs.exists("/qmc/He.s001.b000.scalar.dat"));
+        assert_eq!(seg_block_config(0, 0, 1), CONFIG);
+        assert_eq!(seg_block_s001(0, 0, 1, 1), S001);
+    }
+
+    #[test]
+    fn blocked_dmc_substeps_match_whole_analyze() {
+        let app = QmcApp::new(QmcConfig {
+            vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+            dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+            qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+            restarts: 2,
+            dmc_blocks: 3,
+            ..Default::default()
+        });
+        let specs = app.analyze_substeps().unwrap();
+        assert_eq!(specs.len(), 6);
+        // Block granularity: block 1's spec sees its own checkpoint
+        // and scalar, not block 0's; only block 0 reads the VMC s000.
+        assert!(specs[1].reads("/qmc/He.g000.s001.config.b001.dat"));
+        assert!(specs[1].reads("/qmc/He.g000.s001.b001.scalar.dat"));
+        assert!(!specs[1].reads("/qmc/He.g000.s000.config.dat"));
+        assert!(!specs[1].reads("/qmc/He.g000.s000.scalar.dat"));
+        assert!(specs[0].reads("/qmc/He.g000.s000.scalar.dat"));
+        assert!(specs[3].reads("/qmc/He.g001.s000.config.dat"));
+
+        let fs = MemFs::new();
+        app.produce(&fs).unwrap();
+        for p in [
+            "/qmc/He.g000.s000.config.dat",
+            "/qmc/He.g000.s001.config.b002.dat",
+            "/qmc/He.g001.s001.b000.scalar.dat",
+            "/qmc/He.g001.s001.b002.scalar.dat",
+        ] {
+            assert!(fs.exists(p), "{} missing", p);
+        }
+        let whole = app.analyze(&fs, None).unwrap();
+        assert_eq!(whole.extra.len(), 1);
+
+        let arts: Vec<Vec<u8>> =
+            (0..6).map(|i| app.analyze_substep(&fs, i, None).unwrap()).collect();
+        let asm = app.assemble(&arts, None).unwrap();
+        assert_eq!(whole.s001_bytes, asm.s001_bytes);
+        assert_eq!(whole.qmca.energy, asm.qmca.energy);
+        assert_eq!(whole.qmca.rows_used, asm.qmca.rows_used);
+        assert_eq!(whole.extra[0].0, asm.extra[0].0);
+        assert_eq!(app.classify(&whole, &asm), Outcome::Benign);
+    }
+
+    #[test]
+    fn tampered_block_checkpoint_rederives_only_that_block() {
+        let app = QmcApp::new(QmcConfig {
+            vmc: VmcConfig { walkers: 64, warmup: 100, steps: 120, ..Default::default() },
+            dmc: DmcConfig { target_walkers: 64, warmup: 0, steps: 200, ..Default::default() },
+            qmca: QmcaConfig { equilibration_fraction: 0.2, min_rows: 20 },
+            dmc_blocks: 2,
+            ..Default::default()
+        });
+        let fs = MemFs::new();
+        app.produce(&fs).unwrap();
+        let golden = app.analyze(&fs, None).unwrap();
+
+        // Flip a walker-coordinate bit in block 1's mid-series
+        // checkpoint (past the 16-byte header).
+        let path = "/qmc/He.s001.config.b001.dat";
+        let mut bytes = fs.read_to_vec(path).unwrap();
+        bytes[18] ^= 0x10;
+        fs.write_file(path, &bytes).unwrap();
+
+        let faulty = app.analyze(&fs, None).unwrap();
+        let b0_len = fs.read_to_vec("/qmc/He.s001.b000.scalar.dat").unwrap().len();
+        // Block 0's prefix of the classified artifact is untouched;
+        // block 1 re-derived from the tampered walkers and diverged.
+        assert_eq!(golden.s001_bytes[..b0_len], faulty.s001_bytes[..b0_len]);
+        assert_ne!(golden.s001_bytes[b0_len..], faulty.s001_bytes[b0_len..]);
+        assert_ne!(app.classify(&golden, &faulty), Outcome::Benign);
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct DmcResult {
     pub rows: Vec<ScalarRow>,
     /// Population at the final step.
     pub final_population: usize,
+    /// The walker ensemble at the final step — what a mid-series
+    /// restart checkpoint stores, and what the next restart block of a
+    /// blocked DMC series starts from.
+    pub final_walkers: Vec<Walker>,
 }
 
 /// DMC failure: the walker ensemble collapsed or energies diverged —
@@ -208,7 +212,8 @@ pub fn run_dmc(
         }
     }
 
-    Ok(DmcResult { rows, final_population: walkers.len() })
+    let final_walkers = walkers.iter().map(|&(w, _, _)| w).collect();
+    Ok(DmcResult { rows, final_population: walkers.len(), final_walkers })
 }
 
 #[cfg(test)]

@@ -23,7 +23,8 @@ pub mod vmc;
 pub mod wavefunction;
 
 pub use app::{
-    seg_config, seg_s000, seg_s001, QmcApp, QmcConfig, QmcOutput, CONFIG, LOG, S000, S001,
+    seg_block_config, seg_block_s001, seg_config, seg_s000, seg_s001, QmcApp, QmcConfig, QmcOutput,
+    CONFIG, LOG, S000, S001,
 };
 pub use dmc::{run_dmc, DmcConfig, DmcError, DmcResult};
 pub use qmca::{analyze, QmcaConfig, QmcaResult};

@@ -55,6 +55,18 @@ impl CounterSnapshot {
         self.counts[p.index()] += n;
     }
 
+    /// Per-primitive difference `self − earlier` (saturating at 0).
+    /// Batched replay uses this to turn two absolute snapshots into
+    /// the additive [`FfisFs::preseed_counters`] delta that restores
+    /// full-replay numbering after a suffix is applied off-mount.
+    pub fn diff(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut counts = [0u64; PRIMITIVES.len()];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        CounterSnapshot { counts }
+    }
+
     /// Raw counts in [`PRIMITIVES`] order (checkpoint serialization).
     pub(crate) fn to_raw(self) -> [u64; PRIMITIVES.len()] {
         self.counts

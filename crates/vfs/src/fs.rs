@@ -217,6 +217,39 @@ pub trait FileSystem: Send + Sync {
     /// Positioned write (`pwrite`); does not move the cursor. This is
     /// the primitive the paper's fault models target (§IV-B).
     fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize>;
+    /// Vectored sequential write (`writev`): apply `bufs` in order at
+    /// the descriptor cursor, returning the total bytes written. The
+    /// default loops [`FileSystem::write`]; implementations may batch
+    /// (one lock, one timestamp tick) — replay coalescing relies on
+    /// the result being byte-identical to the loop.
+    fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> FsResult<usize> {
+        let mut total = 0;
+        for buf in bufs {
+            let n = self.write(fd, buf)?;
+            total += n;
+            if n != buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+    /// Vectored positioned write (`pwritev`): apply `bufs` back to
+    /// back starting at `offset` without moving the cursor, returning
+    /// the total bytes written. Default loops [`FileSystem::pwrite`];
+    /// same byte-identity contract as [`FileSystem::writev`].
+    fn pwritev(&self, fd: Fd, bufs: &[&[u8]], offset: u64) -> FsResult<usize> {
+        let mut total = 0;
+        let mut off = offset;
+        for buf in bufs {
+            let n = self.pwrite(fd, buf, off)?;
+            total += n;
+            off += n as u64;
+            if n != buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
     /// `fsync` — flush (a no-op barrier for the in-memory store, but
     /// counted: it is an instrumentable primitive).
     fn fsync(&self, fd: Fd) -> FsResult<()>;

@@ -103,6 +103,6 @@ pub use interceptor::{CallContext, Interceptor, Primitive, ReadAction, WriteActi
 pub use memfs::MemFs;
 pub use memo::{MemoStats, MemoStore};
 pub use trace::{
-    CheckpointStore, ReadLedger, ReadRecord, ReplayCursor, ReplayError, TraceCheckpoint,
-    TraceCheckpoints, TraceOp, TraceRecorder,
+    BatchFork, BatchForks, CheckpointStore, CoalesceStats, Placement, ReadLedger, ReadRecord,
+    ReplayCursor, ReplayError, TraceCheckpoint, TraceCheckpoints, TraceOp, TraceRecorder,
 };

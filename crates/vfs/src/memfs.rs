@@ -688,6 +688,89 @@ impl FileSystem for MemFs {
         Ok(n)
     }
 
+    // The vectored overrides exist for replay coalescing: one lock
+    // acquisition and one handle lookup for a whole run of adjacent
+    // trace writes. Everything observable — clock ticks, mtime,
+    // cursor motion, short-write behaviour — matches the trait's
+    // write/pwrite loop byte for byte.
+    fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> FsResult<usize> {
+        let mut g = self.write_lock();
+        let (ino, mut cursor, flags) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.cursor, h.flags)
+        };
+        if !flags.write {
+            return Err(FsError::ReadOnly);
+        }
+        let mut total = 0;
+        let mut result = Ok(());
+        for buf in bufs {
+            let t = g.tick();
+            let node = match g.inodes.get_mut(&ino).ok_or(FsError::BadFd) {
+                Ok(node) => node,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            let file = match node.as_file_mut().ok_or(FsError::IllegalSeek) {
+                Ok(file) => file,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            if flags.append {
+                cursor = file.len();
+            }
+            let n = match file.write_at(buf, cursor) {
+                Ok(n) => n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            node.mtime = t;
+            cursor += n as u64;
+            total += n;
+            if n != buf.len() {
+                break;
+            }
+        }
+        // A mid-run failure still persists the cursor motion of the
+        // buffers that landed, exactly like the looped default.
+        if let Some(h) = g.handles.get_mut(&fd) {
+            h.cursor = cursor;
+        }
+        result.map(|()| total)
+    }
+
+    fn pwritev(&self, fd: Fd, bufs: &[&[u8]], offset: u64) -> FsResult<usize> {
+        let mut g = self.write_lock();
+        let (ino, can_write) = {
+            let h = g.handle(fd)?;
+            (h.ino, h.flags.write)
+        };
+        if !can_write {
+            return Err(FsError::ReadOnly);
+        }
+        let mut total = 0;
+        let mut off = offset;
+        for buf in bufs {
+            let t = g.tick();
+            let node = g.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
+            let file = node.as_file_mut().ok_or(FsError::IllegalSeek)?;
+            let n = file.write_at(buf, off)?;
+            node.mtime = t;
+            off += n as u64;
+            total += n;
+            if n != buf.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
     fn fsync(&self, fd: Fd) -> FsResult<()> {
         let g = self.read_lock();
         g.handle(fd)?;

@@ -29,15 +29,43 @@
 //! The metadata scanner injects into one *fixed* write, so a single
 //! pre-injection snapshot serves every scanned byte. Campaign targets
 //! vary per run; [`TraceCheckpoints`] generalizes the snapshot into a
-//! log-spaced cache over the whole stream. Each [`TraceCheckpoint`]
+//! checkpoint cache over the whole stream. Each [`TraceCheckpoint`]
 //! holds a CoW fork of the filesystem, the descriptor map, and the
 //! per-primitive counts after its prefix; [`TraceCheckpoint::mount_fork`]
 //! rebuilds a mount whose suffix replay is indistinguishable — paths,
-//! instance numbering, `prim_seq` — from a full-trace replay. Because
-//! every run must replay through the end of the trace anyway, the
-//! placement is log-spaced *from the end*: the replayed suffix is at
-//! most ~2× the minimal `n − target` for any target, with O(log n)
-//! snapshots.
+//! instance numbering, `prim_seq` — from a full-trace replay.
+//!
+//! Placement comes in two modes:
+//!
+//! * **Log-spaced** ([`TraceCheckpoints::build`]) — when the fork
+//!   offsets are unknown, snapshots go at `n − n/2ᵏ`, log-spaced
+//!   *from the end* (every run must replay through the end of the
+//!   trace anyway). The replayed suffix is then at most ~2× the
+//!   minimal `n − target` for any target, with O(log n) snapshots.
+//! * **Demand-driven** ([`TraceCheckpoints::build_for_demand`]) — a
+//!   campaign planner resolves every run's injection offset *before*
+//!   execution (plan-time determinism), so it can hand the builder the
+//!   actual fork-offset histogram. With enough budget each demanded
+//!   offset gets its own snapshot (zero overshoot); over budget, a
+//!   weighted k-median placement minimizes total overshoot across the
+//!   demanded offsets. Falls back to log-spaced when the demand is
+//!   empty.
+//!
+//! Either way the checkpoint set is a pure wall-clock optimization:
+//! which snapshot a run forks from is invisible to every digest.
+//!
+//! ## Suffix write coalescing
+//!
+//! [`ReplayCursor::replay_coalesced`] merges maximal runs of adjacent
+//! same-descriptor writes (all cursor-sequential, or all positioned
+//! and byte-contiguous) into single vectored applications
+//! ([`FileSystem::writev`] / [`FileSystem::pwritev`]). The merged
+//! application is byte-identical to the op-at-a-time replay; it is
+//! only legal where no observer needs per-op visibility — an armed
+//! injector's window, an interceptor that `wants_read_snapshot`, or a
+//! liveness watchdog counting mount crossings all gate coalescing off
+//! for the ops they must see individually. Callers enforce the gate;
+//! the cursor just applies the stream.
 //!
 //! ## Fidelity contract
 //!
@@ -522,6 +550,197 @@ impl ReplayCursor {
     pub fn maps(&self, fd: Fd) -> bool {
         self.fds.contains_key(&fd)
     }
+
+    /// Replay a slice of ops, merging maximal runs of adjacent
+    /// same-descriptor writes into single vectored applications.
+    ///
+    /// Two write shapes coalesce (never mixed within one run):
+    ///
+    /// * all cursor-sequential (`offset == None`) — applied with one
+    ///   [`FileSystem::writev`];
+    /// * all positioned (`offset == Some`) and byte-contiguous
+    ///   (each op starts where the previous one ended) — applied with
+    ///   one [`FileSystem::pwritev`] at the run's first offset.
+    ///
+    /// The result is byte-identical to [`ReplayCursor::replay`]; only
+    /// the number of filesystem calls changes. Callers must ensure no
+    /// observer needs per-op visibility over the slice (see the
+    /// module docs) — typically by applying it to the mount's inner
+    /// filesystem after the armed window has passed. On error, the
+    /// reported index is the first op of the failing application.
+    pub fn replay_coalesced(
+        &mut self,
+        fs: &dyn FileSystem,
+        ops: &[TraceOp],
+    ) -> Result<CoalesceStats, ReplayError> {
+        let mut stats = CoalesceStats::default();
+        let mut i = 0;
+        while i < ops.len() {
+            let run = coalescable_run(&ops[i..]);
+            if run < 2 {
+                self.step(fs, &ops[i]).map_err(|error| ReplayError { index: i, error })?;
+                stats.replayed_ops += 1;
+                i += 1;
+                continue;
+            }
+            let (fd, offset) = match &ops[i] {
+                TraceOp::Write { fd, offset, .. } => (*fd, *offset),
+                _ => unreachable!("coalescable runs contain only writes"),
+            };
+            let entry = self.fds.get(&fd).ok_or(ReplayError { index: i, error: FsError::BadFd })?;
+            let bufs: Vec<&[u8]> = ops[i..i + run]
+                .iter()
+                .map(|op| match op {
+                    TraceOp::Write { data, .. } => data.as_slice(),
+                    _ => unreachable!("coalescable runs contain only writes"),
+                })
+                .collect();
+            let total: usize = bufs.iter().map(|b| b.len()).sum();
+            let n = match offset {
+                Some(off) => fs.pwritev(entry.fd, &bufs, off),
+                None => fs.writev(entry.fd, &bufs),
+            }
+            .map_err(|error| ReplayError { index: i, error })?;
+            if n != total {
+                return Err(ReplayError { index: i, error: FsError::Io });
+            }
+            stats.replayed_ops += run;
+            stats.coalesced_calls += 1;
+            stats.coalesced_ops += run;
+            i += run;
+        }
+        Ok(stats)
+    }
+
+    /// Replay a tail slice applying only the ops that can reach paths
+    /// selected by `keep`, coalescing the kept stretches exactly like
+    /// [`ReplayCursor::replay_coalesced`].
+    ///
+    /// The filter is path-attributed and conservative:
+    ///
+    /// * `create`/`open` of a dropped path also drops every later op
+    ///   addressing the descriptor it would have mapped;
+    /// * `write` and bookkeeping ops follow their descriptor — a
+    ///   descriptor opened within the slice follows its
+    ///   `create`/`open` verdict, one live at the slice start follows
+    ///   the path this cursor maps it to, and an unmapped descriptor
+    ///   is applied so a full replay's error surfaces unchanged;
+    /// * path-addressed metadata ops (`truncate`/`chmod`) follow
+    ///   `keep`; `mknod`/`mkdir` always apply — they are rare, cheap,
+    ///   and keep parent directories present for kept files;
+    /// * namespace ops that move or destroy state
+    ///   (`rename`/`unlink`/`rmdir`) defeat path attribution: their
+    ///   presence anywhere in the slice disables filtering and the
+    ///   whole slice applies.
+    ///
+    /// The filesystem state left behind differs from a full replay
+    /// only on dropped paths; everything `keep` selects is
+    /// byte-identical. Callers must therefore guarantee nothing
+    /// downstream observes a dropped path — the memoized batched
+    /// replay arm does so by construction, because dropped paths are
+    /// exactly those no dirty analyze sub-step declares as input.
+    pub fn replay_coalesced_filtered(
+        &mut self,
+        fs: &dyn FileSystem,
+        ops: &[TraceOp],
+        keep: &dyn Fn(&str) -> bool,
+    ) -> Result<CoalesceStats, ReplayError> {
+        // Verdict pass: one bool per op, tracking descriptors opened
+        // (and possibly dropped) within the slice.
+        let mut kept = vec![true; ops.len()];
+        let mut tail_opened: HashMap<Fd, bool> = HashMap::new();
+        let fd_verdict = |tail_opened: &HashMap<Fd, bool>, fds: &HashMap<Fd, ReplayFd>, fd: Fd| {
+            match tail_opened.get(&fd) {
+                Some(&k) => k,
+                None => fds.get(&fd).is_none_or(|entry| keep(&entry.path)),
+            }
+        };
+        for (i, op) in ops.iter().enumerate() {
+            kept[i] = match op {
+                TraceOp::Rename { .. } | TraceOp::Unlink { .. } | TraceOp::Rmdir { .. } => {
+                    return self.replay_coalesced(fs, ops);
+                }
+                TraceOp::Mknod { .. } | TraceOp::Mkdir { .. } => true,
+                TraceOp::Create { path, fd, .. } | TraceOp::Open { path, fd, .. } => {
+                    let k = keep(path);
+                    tail_opened.insert(*fd, k);
+                    k
+                }
+                TraceOp::Truncate { path, .. } | TraceOp::Chmod { path, .. } => keep(path),
+                TraceOp::Write { fd, .. }
+                | TraceOp::Fsync { fd }
+                | TraceOp::Release { fd }
+                | TraceOp::Lock { fd, .. }
+                | TraceOp::Unlock { fd } => fd_verdict(&tail_opened, &self.fds, *fd),
+            };
+        }
+        // Application pass: each maximal kept stretch goes through the
+        // ordinary coalescing replay, with error indices mapped back
+        // to this slice's numbering.
+        let mut stats = CoalesceStats::default();
+        let mut i = 0;
+        while i < ops.len() {
+            if !kept[i] {
+                stats.skipped_ops += 1;
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < ops.len() && kept[j] {
+                j += 1;
+            }
+            let sub = self
+                .replay_coalesced(fs, &ops[i..j])
+                .map_err(|e| ReplayError { index: e.index + i, error: e.error })?;
+            stats.replayed_ops += sub.replayed_ops;
+            stats.coalesced_calls += sub.coalesced_calls;
+            stats.coalesced_ops += sub.coalesced_ops;
+            i = j;
+        }
+        Ok(stats)
+    }
+}
+
+/// Length of the maximal coalescable write run at the head of `ops`
+/// (1 when the head op stands alone).
+fn coalescable_run(ops: &[TraceOp]) -> usize {
+    let TraceOp::Write { fd, offset, data, .. } = &ops[0] else {
+        return 1;
+    };
+    let mut end = offset.as_ref().map(|off| off + data.len() as u64);
+    let mut run = 1;
+    for op in &ops[1..] {
+        let TraceOp::Write { fd: f, offset: o, data: d, .. } = op else {
+            break;
+        };
+        if f != fd {
+            break;
+        }
+        match (end, o) {
+            // Positioned run: next op must start where this one ended.
+            (Some(e), Some(next)) if *next == e => end = Some(e + d.len() as u64),
+            // Sequential run: cursor writes chain unconditionally.
+            (None, None) => {}
+            _ => break,
+        }
+        run += 1;
+    }
+    run
+}
+
+/// Accounting from one [`ReplayCursor::replay_coalesced`] (or
+/// [`ReplayCursor::replay_coalesced_filtered`]) pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Trace ops applied (coalesced or not).
+    pub replayed_ops: usize,
+    /// Vectored filesystem calls issued for coalesced runs.
+    pub coalesced_calls: usize,
+    /// Trace ops absorbed into those vectored calls.
+    pub coalesced_ops: usize,
+    /// Trace ops dropped by the path filter (always 0 for the
+    /// unfiltered pass).
+    pub skipped_ops: usize,
 }
 
 /// A replay failure: which op failed and how.
@@ -583,27 +802,54 @@ impl TraceCheckpoint {
     }
 }
 
-/// Log-spaced [`TraceCheckpoint`]s over a golden op stream — the
+/// How a [`TraceCheckpoints`] set chose its snapshot indices.
+///
+/// Demand-placed and log-spaced sets over the *same* trace are
+/// distinct cache entries (see
+/// [`CheckpointStore::get_or_build_for_demand`]): the placement is
+/// part of the identity, so the two coexist in the store without
+/// invalidating each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Log-spaced from the end (`{0} ∪ {n − n/2ᵏ}`); the
+    /// demand-oblivious default with ≤ ~2× suffix overshoot.
+    LogSpaced,
+    /// Placed against a campaign's fork-offset demand (the sorted,
+    /// in-range offsets the builder was given).
+    Demand(Vec<usize>),
+}
+
+/// Mid-trace [`TraceCheckpoint`]s over a golden op stream — the
 /// campaign-side analogue of the metadata scanner's single
 /// pre-injection snapshot.
 ///
 /// A campaign run targeting the op at index `t` must replay every op
 /// from its starting snapshot through the end of the trace (`n - c`
 /// ops from a checkpoint at `c ≤ t`), so the best any snapshot can do
-/// for that run is `n - t`. Checkpoints are therefore placed
-/// log-spaced *from the end* — at indices `n - n/2, n - n/4, …` —
-/// which guarantees the replayed suffix is at most ~2× the minimal
-/// possible one for every target, with only O(log n) snapshots held
-/// in memory (each a CoW fork sharing all file pages with its
-/// neighbours).
+/// for that run is `n - t`. [`TraceCheckpoints::build`] places
+/// snapshots log-spaced *from the end* — at indices
+/// `n - n/2, n - n/4, …` — which guarantees the replayed suffix is at
+/// most ~2× the minimal possible one for *every* target with only
+/// O(log n) snapshots, without knowing any target in advance.
+/// [`TraceCheckpoints::build_for_demand`] instead takes the campaign's
+/// actual fork-offset histogram and places snapshots to minimize the
+/// *total* overshoot over those offsets — zero when the distinct
+/// offsets fit the snapshot budget. Either way each checkpoint is a
+/// CoW fork sharing all file pages with its neighbours.
 pub struct TraceCheckpoints {
     ops: Vec<TraceOp>,
     points: Vec<TraceCheckpoint>,
+    placement: Placement,
 }
 
 /// Default cap on the number of snapshots [`TraceCheckpoints::build`]
 /// materializes (covers traces up to ~2²⁰ ops at 2×-overshoot).
 pub const DEFAULT_MAX_CHECKPOINTS: usize = 20;
+
+/// Above this many distinct demanded offsets, the k-median placement
+/// coarsens the demand histogram by merging adjacent offsets so the
+/// O(k·m²) placement stays cheap.
+const DEMAND_DP_LIMIT: usize = 1024;
 
 impl TraceCheckpoints {
     /// Build log-spaced checkpoints with the default cap.
@@ -624,7 +870,62 @@ impl TraceCheckpoints {
             seg /= 2;
             wanted.insert(n - seg);
         }
+        Self::build_at(ops, &wanted, Placement::LogSpaced)
+    }
 
+    /// Build checkpoints placed against a campaign's fork-offset
+    /// demand, with the default snapshot cap.
+    ///
+    /// `demand` holds one entry per planned replay run: the op index
+    /// that run forks at (its injection target). Out-of-range entries
+    /// (`0` or `≥ n`) are ignored; an effectively empty demand falls
+    /// back to log-spaced placement.
+    pub fn build_for_demand(ops: Vec<TraceOp>, demand: &[usize]) -> Result<Self, ReplayError> {
+        Self::build_for_demand_with(ops, demand, DEFAULT_MAX_CHECKPOINTS)
+    }
+
+    /// [`TraceCheckpoints::build_for_demand`] with an explicit
+    /// snapshot cap. When the distinct demanded offsets fit within
+    /// `max_points - 1` (index 0 is always snapshotted), every
+    /// demanded offset gets its own checkpoint — zero overshoot.
+    /// Otherwise a weighted k-median placement over the demand
+    /// histogram minimizes the total replayed-op overshoot.
+    pub fn build_for_demand_with(
+        ops: Vec<TraceOp>,
+        demand: &[usize],
+        max_points: usize,
+    ) -> Result<Self, ReplayError> {
+        let n = ops.len();
+        let mut sorted: Vec<usize> = demand.iter().copied().filter(|&d| d > 0 && d < n).collect();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return Self::build_with(ops, max_points);
+        }
+        let budget = max_points.max(2) - 1;
+        let mut wanted: std::collections::BTreeSet<usize> = [0usize].into();
+        let mut distinct: Vec<(usize, u64)> = Vec::new();
+        for &d in &sorted {
+            match distinct.last_mut() {
+                Some((v, w)) if *v == d => *w += 1,
+                _ => distinct.push((d, 1)),
+            }
+        }
+        if distinct.len() <= budget {
+            wanted.extend(distinct.iter().map(|&(v, _)| v));
+        } else {
+            wanted.extend(demand_placement(&distinct, budget));
+        }
+        Self::build_at(ops, &wanted, Placement::Demand(sorted))
+    }
+
+    /// Shared replay pass: snapshot at every index in `wanted` while
+    /// replaying the stream once on a bare [`MemFs`].
+    fn build_at(
+        ops: Vec<TraceOp>,
+        wanted: &std::collections::BTreeSet<usize>,
+        placement: Placement,
+    ) -> Result<Self, ReplayError> {
+        let n = ops.len();
         let working = MemFs::new();
         let mut cursor = ReplayCursor::new();
         let mut counters = CounterSnapshot::default();
@@ -659,12 +960,28 @@ impl TraceCheckpoints {
                 counters.bump(op.primitive(), 1);
             }
         }
-        Ok(TraceCheckpoints { ops, points })
+        Ok(TraceCheckpoints { ops, points, placement })
     }
 
     /// The full golden op stream.
     pub fn ops(&self) -> &[TraceOp] {
         &self.ops
+    }
+
+    /// How this set's snapshot indices were chosen.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Total replayed-op overshoot this set incurs over a fork-offset
+    /// demand: `Σ (target − nearest checkpoint ≤ target)`. Zero means
+    /// every demanded offset forks exactly at its target.
+    pub fn overshoot_for(&self, demand: &[usize]) -> u64 {
+        demand
+            .iter()
+            .filter(|&&d| d < self.ops.len().max(1))
+            .map(|&d| (d - self.nearest_before(d).index()) as u64)
+            .sum()
     }
 
     /// All checkpoints, ascending by index (always starts at 0).
@@ -683,6 +1000,206 @@ impl TraceCheckpoints {
     pub fn suffix(&self, point: &TraceCheckpoint) -> &[TraceOp] {
         &self.ops[point.index..]
     }
+
+    /// Materialize per-target mini-checkpoints for a batch of replay
+    /// runs that share the starting checkpoint `checkpoint`: one bare
+    /// replay pass advances from that snapshot through the trace,
+    /// forking a [`TraceCheckpoint`] at every distinct in-range target
+    /// index (state just *before* the target op, counters included)
+    /// and recording, per target, the additive counter delta of the
+    /// remaining tail `ops[target + 1..]` — what a run must pre-seed
+    /// after applying that tail off-mount so analyze observes
+    /// full-replay `prim_seq` numbering.
+    ///
+    /// This is the fork-once-replay-many amortization behind engine
+    /// law 9: the shared prefix `checkpoint → max(target)` is replayed
+    /// once per batch instead of once per run, and each run then pays
+    /// only one mounted crossing (its target op) plus the off-mount
+    /// tail. Targets below the checkpoint's index or outside the trace
+    /// are skipped — callers fall back to the classic per-run arm for
+    /// those.
+    pub fn fork_at_targets(
+        &self,
+        checkpoint: usize,
+        targets: &[usize],
+    ) -> Result<BatchForks, ReplayError> {
+        let n = self.ops.len();
+        let point = &self.points[checkpoint];
+        let mut wanted: Vec<usize> =
+            targets.iter().copied().filter(|&t| t >= point.index && t < n).collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        let working = point.fs.fork();
+        let mut cursor = point.cursor.clone();
+        let mut counters = point.counters;
+        let mut forks: Vec<BatchFork> = Vec::with_capacity(wanted.len());
+        // Counters observed immediately after each target op applied
+        // (`C(target + 1)`); resolved into tail deltas once the final
+        // counters are known.
+        let mut after: Vec<CounterSnapshot> = Vec::with_capacity(wanted.len());
+        let mut next = 0usize;
+        for (i, op) in self.ops.iter().enumerate().skip(point.index) {
+            if next < wanted.len() && wanted[next] == i {
+                forks.push(BatchFork {
+                    point: TraceCheckpoint {
+                        index: i,
+                        fs: Arc::new(working.fork()),
+                        cursor: cursor.clone(),
+                        counters,
+                    },
+                    tail_counters: CounterSnapshot::default(),
+                });
+            }
+            let issued = match op.bookkeeping_fd() {
+                Some(fd) => cursor.maps(fd),
+                None => true,
+            };
+            cursor.step(&working, op).map_err(|error| ReplayError { index: i, error })?;
+            if issued {
+                counters.bump(op.primitive(), 1);
+            }
+            if next < wanted.len() && wanted[next] == i {
+                after.push(counters);
+                next += 1;
+            }
+        }
+        for (fork, seen) in forks.iter_mut().zip(&after) {
+            fork.tail_counters = counters.diff(seen);
+        }
+        Ok(BatchForks { forks })
+    }
+}
+
+/// One target's slice of a [`TraceCheckpoints::fork_at_targets`]
+/// batch: the pre-target snapshot to fork plus the counter delta of
+/// the post-target tail.
+pub struct BatchFork {
+    point: TraceCheckpoint,
+    tail_counters: CounterSnapshot,
+}
+
+impl BatchFork {
+    /// The mini-checkpoint at the target op (state after
+    /// `ops[..target]`; [`TraceCheckpoint::index`] is the target).
+    pub fn point(&self) -> &TraceCheckpoint {
+        &self.point
+    }
+
+    /// Per-primitive counts the tail `ops[target + 1..]` would issue
+    /// through a mount — the additive
+    /// [`FfisFs::preseed_counters`] delta a batched run applies after
+    /// replaying that tail against the mount's inner filesystem
+    /// directly.
+    pub fn tail_counters(&self) -> CounterSnapshot {
+        self.tail_counters
+    }
+}
+
+/// Mini-checkpoints for one checkpoint-grouped replay batch, ascending
+/// by target index (see [`TraceCheckpoints::fork_at_targets`]).
+pub struct BatchForks {
+    forks: Vec<BatchFork>,
+}
+
+impl BatchForks {
+    /// The fork whose snapshot sits exactly at `target`, if the batch
+    /// pass materialized one.
+    pub fn for_target(&self, target: usize) -> Option<&BatchFork> {
+        let i = self.forks.partition_point(|f| f.point.index < target);
+        self.forks.get(i).filter(|f| f.point.index == target)
+    }
+
+    /// Number of materialized target forks.
+    pub fn len(&self) -> usize {
+        self.forks.len()
+    }
+
+    /// Whether the pass materialized no forks (every target was out of
+    /// range).
+    pub fn is_empty(&self) -> bool {
+        self.forks.is_empty()
+    }
+}
+
+/// Choose up to `budget` checkpoint indices for a demand histogram of
+/// `(offset, weight)` pairs (sorted ascending, distinct), minimizing
+/// the weighted total overshoot `Σ w·(offset − nearest chosen ≤
+/// offset)` given that index 0 is always available as a free
+/// fallback facility. Classic k-median-on-a-line DP, O(budget·m²)
+/// after coarsening the histogram to at most [`DEMAND_DP_LIMIT`]
+/// entries (adjacent offsets merge onto the smaller one, which keeps
+/// every merged target servable by the kept index).
+fn demand_placement(histogram: &[(usize, u64)], budget: usize) -> Vec<usize> {
+    let mut hist: Vec<(usize, u64)> = histogram.to_vec();
+    while hist.len() > DEMAND_DP_LIMIT {
+        hist = hist.chunks(2).map(|pair| (pair[0].0, pair.iter().map(|&(_, w)| w).sum())).collect();
+    }
+    let m = hist.len();
+    let k = budget.min(m);
+    // Prefix sums over weights and weight·offset products.
+    let mut wsum = vec![0u64; m + 1];
+    let mut wvsum = vec![0u64; m + 1];
+    for (i, &(v, w)) in hist.iter().enumerate() {
+        wsum[i + 1] = wsum[i] + w;
+        wvsum[i + 1] = wvsum[i] + w * v as u64;
+    }
+    // Cost of serving hist[i..j] from a facility at hist[i].0.
+    let seg = |i: usize, j: usize| -> u64 {
+        (wvsum[j] - wvsum[i]) - hist[i].0 as u64 * (wsum[j] - wsum[i])
+    };
+    // f[p][j]: min cost of serving hist[..j] with p facilities placed
+    // (plus the free facility at index 0 serving any leading stretch);
+    // from[p][j] records where the last facility segment started.
+    let mut f = vec![vec![u64::MAX; m + 1]; k + 1];
+    let mut from = vec![vec![usize::MAX; m + 1]; k + 1];
+    f[0][..=m].copy_from_slice(&wvsum[..=m]); // served entirely by the index-0 fallback
+    for p in 1..=k {
+        f[p][0] = 0;
+        for j in 1..=m {
+            f[p][j] = f[p - 1][j];
+            from[p][j] = usize::MAX;
+            for i in 0..j {
+                if f[p - 1][i] == u64::MAX {
+                    continue;
+                }
+                let cost = f[p - 1][i] + seg(i, j);
+                if cost < f[p][j] {
+                    f[p][j] = cost;
+                    from[p][j] = i;
+                }
+            }
+        }
+    }
+    let mut chosen = Vec::with_capacity(k);
+    let (mut p, mut j) = (k, m);
+    while p > 0 && j > 0 {
+        let i = from[p][j];
+        if i == usize::MAX {
+            p -= 1; // this level used fewer facilities
+            continue;
+        }
+        chosen.push(hist[i].0);
+        j = i;
+        p -= 1;
+    }
+    chosen
+}
+
+/// Content fingerprint of a fork-offset demand (order-insensitive:
+/// the multiset is sorted before hashing). Combined with the trace
+/// fingerprint it keys demand-placed checkpoint sets in a
+/// [`CheckpointStore`] so they coexist with the log-spaced set for
+/// the same trace.
+pub fn demand_fingerprint(demand: &[usize]) -> u64 {
+    let mut sorted: Vec<usize> = demand.to_vec();
+    sorted.sort_unstable();
+    let mut h = Fnv::new();
+    h.eat_u64(sorted.len() as u64);
+    for d in sorted {
+        h.eat_u64(d as u64);
+    }
+    h.0
 }
 
 /// One eligible `FFIS_read` crossing observed by a [`ReadLedger`]:
@@ -940,7 +1457,9 @@ fn trace_fingerprint(ops: &[TraceOp]) -> u64 {
 /// Checkpoint-manifest file framing: magic, schema, trace fingerprint,
 /// then a CRC-guarded body (op stream + per-checkpoint state).
 const MANIFEST_MAGIC: &[u8; 8] = b"FFISCKM1";
-const MANIFEST_SCHEMA: u32 = 1;
+// Schema 2 added the placement record to the CRC-covered body;
+// schema-1 manifests fail the frame check and are rebuilt.
+const MANIFEST_SCHEMA: u32 = 2;
 
 /// Serialize one trace op, externalizing write payloads into `blobs`
 /// as ≤ one-page content-addressed chunks. Tag bytes follow
@@ -1110,6 +1629,16 @@ fn decode_op(r: &mut wire::Reader<'_>, blobs: &BlobStore) -> Option<TraceOp> {
 /// on disk.
 fn encode_manifest(key: u64, cks: &TraceCheckpoints, blobs: &BlobStore) -> Vec<u8> {
     let mut body = Vec::new();
+    match &cks.placement {
+        Placement::LogSpaced => wire::put_u8(&mut body, 0),
+        Placement::Demand(demand) => {
+            wire::put_u8(&mut body, 1);
+            wire::put_u32(&mut body, demand.len() as u32);
+            for &d in demand {
+                wire::put_u64(&mut body, d as u64);
+            }
+        }
+    }
     wire::put_u32(&mut body, cks.ops.len() as u32);
     for op in &cks.ops {
         encode_op(op, blobs, &mut body);
@@ -1166,6 +1695,18 @@ fn decode_manifest(raw: &[u8], key: u64, blobs: &BlobStore) -> Option<TraceCheck
     }
 
     let mut r = wire::Reader::new(body);
+    let placement = match r.u8()? {
+        0 => Placement::LogSpaced,
+        1 => {
+            let n_demand = r.u32()? as usize;
+            let mut demand = Vec::with_capacity(n_demand.min(1 << 16));
+            for _ in 0..n_demand {
+                demand.push(r.u64()? as usize);
+            }
+            Placement::Demand(demand)
+        }
+        _ => return None,
+    };
     let n_ops = r.u32()? as usize;
     let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
     for _ in 0..n_ops {
@@ -1230,7 +1771,7 @@ fn decode_manifest(raw: &[u8], key: u64, blobs: &BlobStore) -> Option<TraceCheck
     if points.last().is_some_and(|p| p.index > ops.len()) {
         return None;
     }
-    Some(TraceCheckpoints { ops, points })
+    Some(TraceCheckpoints { ops, points, placement })
 }
 
 /// The disk tier of a [`CheckpointStore`]: content-addressed page and
@@ -1338,20 +1879,65 @@ impl CheckpointStore {
     /// already persisted it, and a fresh build otherwise.
     pub fn get_or_build(&self, ops: Vec<TraceOp>) -> Result<Arc<TraceCheckpoints>, ReplayError> {
         let key = trace_fingerprint(&ops);
+        self.get_or_build_keyed(key, ops, None)
+    }
+
+    /// Demand-placed shared checkpoints for `ops` (see
+    /// [`TraceCheckpoints::build_for_demand`]). The cache key mixes a
+    /// [`demand_fingerprint`] into the trace fingerprint, so
+    /// demand-placed sets for different campaigns — and the log-spaced
+    /// set — coexist in the store (and its content-addressed disk
+    /// tier, where their snapshots dedupe page-for-page) without
+    /// invalidating one another. An effectively empty demand (no
+    /// in-range offsets) delegates to [`CheckpointStore::get_or_build`].
+    pub fn get_or_build_for_demand(
+        &self,
+        ops: Vec<TraceOp>,
+        demand: &[usize],
+    ) -> Result<Arc<TraceCheckpoints>, ReplayError> {
+        let n = ops.len();
+        let mut sorted: Vec<usize> = demand.iter().copied().filter(|&d| d > 0 && d < n).collect();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return self.get_or_build(ops);
+        }
+        let mut h = Fnv::new();
+        h.eat_u64(trace_fingerprint(&ops));
+        h.eat_u64(demand_fingerprint(&sorted));
+        self.get_or_build_keyed(h.0, ops, Some(sorted))
+    }
+
+    /// Single-flighted lookup/build for one `(trace, placement)` key.
+    /// `demand: None` builds/validates the log-spaced set; `Some`
+    /// builds/validates the demand-placed set for those offsets.
+    fn get_or_build_keyed(
+        &self,
+        key: u64,
+        ops: Vec<TraceOp>,
+        demand: Option<Vec<usize>>,
+    ) -> Result<Arc<TraceCheckpoints>, ReplayError> {
+        let build = |ops: Vec<TraceOp>| match &demand {
+            Some(d) => TraceCheckpoints::build_for_demand(ops, d),
+            None => TraceCheckpoints::build(ops),
+        };
+        let placement_ok = |hit: &TraceCheckpoints| match &demand {
+            Some(d) => matches!(hit.placement(), Placement::Demand(got) if got == d),
+            None => hit.placement() == &Placement::LogSpaced,
+        };
         {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 match state.get(&key) {
                     Some(Slot::Ready(hit)) => {
-                        // Equality check defuses fingerprint
-                        // collisions: on a mismatch build fresh,
-                        // uncached — the slot is taken.
-                        if hit.ops() == &ops[..] {
+                        // Equality check (ops and placement) defuses
+                        // fingerprint collisions: on a mismatch build
+                        // fresh, uncached — the slot is taken.
+                        if hit.ops() == &ops[..] && placement_ok(hit) {
                             self.hits.fetch_add(1, Ordering::Relaxed);
                             return Ok(hit.clone());
                         }
                         drop(state);
-                        let built = Arc::new(TraceCheckpoints::build(ops)?);
+                        let built = Arc::new(build(ops)?);
                         self.builds.fetch_add(1, Ordering::Relaxed);
                         return Ok(built);
                     }
@@ -1368,13 +1954,13 @@ impl CheckpointStore {
 
         // Sole builder for this key from here on.
         let mut guard = BuildGuard { store: self, key, armed: true };
-        let built = match self.load_from_disk(key, &ops) {
+        let built = match self.load_from_disk(key, &ops, &placement_ok) {
             Some(loaded) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 loaded
             }
             None => {
-                let built = Arc::new(TraceCheckpoints::build(ops)?);
+                let built = Arc::new(build(ops)?);
                 self.builds.fetch_add(1, Ordering::Relaxed);
                 self.persist(key, &built);
                 built
@@ -1394,15 +1980,21 @@ impl CheckpointStore {
     }
 
     /// Try the disk tier. Full verification: frame, CRC, per-page
-    /// content hashes, and the decoded op stream comparing equal to
-    /// the requested one. Any mismatch deletes the manifest and
-    /// reports a miss, so the caller rebuilds and re-persists.
-    fn load_from_disk(&self, key: u64, ops: &[TraceOp]) -> Option<Arc<TraceCheckpoints>> {
+    /// content hashes, the decoded op stream comparing equal to the
+    /// requested one, and the decoded placement satisfying the
+    /// caller's check. Any mismatch deletes the manifest and reports
+    /// a miss, so the caller rebuilds and re-persists.
+    fn load_from_disk(
+        &self,
+        key: u64,
+        ops: &[TraceOp],
+        placement_ok: &dyn Fn(&TraceCheckpoints) -> bool,
+    ) -> Option<Arc<TraceCheckpoints>> {
         let disk = self.disk.as_ref()?;
         let path = self.manifest_path(key)?;
         let raw = std::fs::read(&path).ok()?;
         match decode_manifest(&raw, key, &disk.blobs) {
-            Some(cks) if cks.ops() == ops => Some(Arc::new(cks)),
+            Some(cks) if cks.ops() == ops && placement_ok(&cks) => Some(Arc::new(cks)),
             _ => {
                 let _ = std::fs::remove_file(&path);
                 None
@@ -1966,5 +2558,234 @@ mod tests {
                 < (after.logical_bytes - before.logical_bytes) / 2
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn demand_within_budget_places_every_target_exactly() {
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        let demand = vec![n / 2, n / 4, n / 2, n - 1];
+        let cache = TraceCheckpoints::build_for_demand(ops, &demand).unwrap();
+        let idx: Vec<usize> = cache.points().iter().map(|p| p.index()).collect();
+        assert_eq!(idx[0], 0);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending: {idx:?}");
+        for &d in &demand {
+            assert!(idx.contains(&d), "demanded offset {d} snapshotted: {idx:?}");
+        }
+        assert_eq!(cache.overshoot_for(&demand), 0, "exact placement has zero overshoot");
+        let mut sorted = demand.clone();
+        sorted.sort_unstable();
+        assert_eq!(cache.placement(), &Placement::Demand(sorted));
+    }
+
+    #[test]
+    fn demand_over_budget_beats_log_spaced_overshoot() {
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        // A demand clustered near the middle of the trace — the worst
+        // case for end-biased log spacing.
+        let demand: Vec<usize> = (0..64).map(|i| n / 3 + (i % 7)).filter(|&d| d < n).collect();
+        let budget = 4;
+        let placed = TraceCheckpoints::build_for_demand_with(ops.clone(), &demand, budget).unwrap();
+        let log = TraceCheckpoints::build_with(ops, budget).unwrap();
+        assert!(placed.points().len() <= budget);
+        assert!(
+            placed.overshoot_for(&demand) <= log.overshoot_for(&demand),
+            "demand placement ({}) must not lose to log spacing ({})",
+            placed.overshoot_for(&demand),
+            log.overshoot_for(&demand)
+        );
+    }
+
+    #[test]
+    fn empty_demand_falls_back_to_log_spaced() {
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        let log = TraceCheckpoints::build(ops.clone()).unwrap();
+        // Out-of-range entries are filtered; what's left is empty.
+        let cache = TraceCheckpoints::build_for_demand(ops, &[0, n, n + 7]).unwrap();
+        assert_eq!(cache.placement(), &Placement::LogSpaced);
+        let idx = |c: &TraceCheckpoints| c.points().iter().map(|p| p.index()).collect::<Vec<_>>();
+        assert_eq!(idx(&cache), idx(&log));
+    }
+
+    #[test]
+    fn demand_checkpoints_replay_to_identical_state() {
+        let (ops, golden) = record_workload();
+        let n = ops.len();
+        let demand = vec![1, n / 3, n / 2, n - 2, n - 1];
+        let cache = TraceCheckpoints::build_for_demand(ops, &demand).unwrap();
+        for point in cache.points() {
+            let (ffs, mut cursor) = point.mount_fork();
+            cursor.replay(&*ffs, cache.suffix(point)).unwrap();
+            assert_eq!(
+                ffs.read_to_vec("/out/data.bin").unwrap(),
+                golden.snapshot("/out/data.bin").unwrap()
+            );
+            assert_eq!(ffs.read_to_vec("/out/run.log").unwrap(), b"done\n");
+        }
+    }
+
+    #[test]
+    fn batch_forks_replay_to_identical_state_and_counters() {
+        let (ops, golden) = record_workload();
+        let writes: Vec<usize> =
+            ops.iter().enumerate().filter(|(_, op)| op.is_write()).map(|(i, _)| i).collect();
+        let cache = TraceCheckpoints::build(ops).unwrap();
+        let targets = [writes[1], writes[writes.len() / 2], writes[writes.len() - 1]];
+        let batch = cache.fork_at_targets(0, &targets).unwrap();
+        assert_eq!(batch.len(), 3);
+        for &t in &targets {
+            // Reference: full mounted replay from the checkpoint.
+            let point = &cache.points()[0];
+            let (ref_ffs, mut ref_cursor) = point.mount_fork();
+            ref_cursor.replay(&*ref_ffs, cache.suffix(point)).unwrap();
+
+            // Batched: mount the mini-point, step only the target
+            // through the mount, apply the tail off-mount (coalesced),
+            // then pre-seed the tail counter delta.
+            let fork = batch.for_target(t).unwrap();
+            assert_eq!(fork.point().index(), t);
+            let (ffs, mut cursor) = fork.point().mount_fork();
+            cursor.step(&*ffs, &cache.ops()[t]).unwrap();
+            cursor.replay_coalesced(&**ffs.inner(), &cache.ops()[t + 1..]).unwrap();
+            ffs.preseed_counters(&fork.tail_counters());
+
+            for p in crate::PRIMITIVES {
+                assert_eq!(ffs.counters().get(p), ref_ffs.counters().get(p), "{:?}", p);
+            }
+            assert_eq!(
+                ffs.read_to_vec("/out/data.bin").unwrap(),
+                golden.snapshot("/out/data.bin").unwrap()
+            );
+            assert_eq!(ffs.read_to_vec("/out/run.log").unwrap(), b"done\n");
+        }
+    }
+
+    #[test]
+    fn batch_forks_skip_out_of_range_targets() {
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        let cache = TraceCheckpoints::build(ops).unwrap();
+        let last = cache.points().len() - 1;
+        let ck_index = cache.points()[last].index();
+        // Targets below the checkpoint or past the trace are skipped.
+        let batch =
+            cache.fork_at_targets(last, &[0, ck_index.saturating_sub(1), n, n + 5]).unwrap();
+        assert!(batch.is_empty());
+        assert!(batch.for_target(n).is_none());
+    }
+
+    #[test]
+    fn demand_fingerprint_is_order_insensitive() {
+        assert_eq!(demand_fingerprint(&[5, 2, 9]), demand_fingerprint(&[9, 5, 2]));
+        assert_ne!(demand_fingerprint(&[5, 2, 9]), demand_fingerprint(&[5, 2]));
+        assert_ne!(demand_fingerprint(&[5, 2, 9]), demand_fingerprint(&[5, 2, 2, 9]));
+    }
+
+    #[test]
+    fn store_keeps_demand_and_log_spaced_sets_side_by_side() {
+        let dir = scratch("demand-coexist");
+        let (ops, _) = record_workload();
+        let n = ops.len();
+        let demand = vec![n / 2, n - 1];
+
+        let store = CheckpointStore::with_dir(&dir).unwrap();
+        let log = store.get_or_build(ops.clone()).unwrap();
+        let placed = store.get_or_build_for_demand(ops.clone(), &demand).unwrap();
+        assert_eq!(store.builds(), 2, "distinct placements build separately");
+        assert!(!Arc::ptr_eq(&log, &placed));
+        assert_eq!(placed.overshoot_for(&demand), 0);
+        // Re-requesting either placement hits its own entry.
+        assert!(Arc::ptr_eq(&store.get_or_build(ops.clone()).unwrap(), &log));
+        assert!(Arc::ptr_eq(
+            &store.get_or_build_for_demand(ops.clone(), &demand).unwrap(),
+            &placed
+        ));
+        assert_eq!(store.builds(), 2);
+
+        // A fresh store over the same root loads both from disk.
+        let second = CheckpointStore::with_dir(&dir).unwrap();
+        let log2 = second.get_or_build(ops.clone()).unwrap();
+        let placed2 = second.get_or_build_for_demand(ops.clone(), &demand).unwrap();
+        assert_eq!((second.builds(), second.disk_hits()), (0, 2));
+        assert_eq!(log2.placement(), &Placement::LogSpaced);
+        assert_eq!(placed2.placement(), placed.placement());
+        assert_eq!(
+            placed2.points().iter().map(|p| p.index()).collect::<Vec<_>>(),
+            placed.points().iter().map(|p| p.index()).collect::<Vec<_>>()
+        );
+
+        // An effectively empty demand is the log-spaced entry, not a
+        // third build.
+        let empty = second.get_or_build_for_demand(ops, &[0, n + 1]).unwrap();
+        assert!(Arc::ptr_eq(&empty, &log2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coalesced_replay_is_byte_identical_to_op_at_a_time() {
+        let (ops, golden) = record_workload();
+        let reference = MemFs::new();
+        ReplayCursor::new().replay(&reference, &ops).unwrap();
+
+        let coalesced = MemFs::new();
+        let stats = ReplayCursor::new().replay_coalesced(&coalesced, &ops).unwrap();
+        assert_eq!(stats.replayed_ops, ops.len());
+        assert!(stats.coalesced_calls > 0, "chunked writes form a contiguous run");
+        assert!(stats.coalesced_ops > stats.coalesced_calls);
+        for path in ["/out/data.bin", "/out/run.log"] {
+            assert_eq!(coalesced.snapshot(path).unwrap(), reference.snapshot(path).unwrap());
+            assert_eq!(
+                coalesced.getattr(path).unwrap().mtime,
+                reference.getattr(path).unwrap().mtime,
+                "coalescing must not skip clock ticks ({path})"
+            );
+        }
+        assert_eq!(coalesced.snapshot("/out/data.bin").unwrap(), {
+            let mut want = vec![7u8; 10_000];
+            want[100..105].copy_from_slice(b"patch");
+            want
+        });
+        let _ = golden;
+    }
+
+    #[test]
+    fn coalescing_merges_sequential_and_contiguous_runs_only() {
+        let seq =
+            |fd: Fd, byte: u8| TraceOp::Write { fd, path: None, offset: None, data: vec![byte; 3] };
+        let at = |fd: Fd, off: u64, byte: u8| TraceOp::Write {
+            fd,
+            path: None,
+            offset: Some(off),
+            data: vec![byte; 4],
+        };
+        let ops = vec![
+            TraceOp::Create { path: "/a".into(), mode: 0o644, fd: 10 },
+            TraceOp::Create { path: "/b".into(), mode: 0o644, fd: 11 },
+            // Sequential run on fd 10 (3 ops -> 1 writev).
+            seq(10, 1),
+            seq(10, 2),
+            seq(10, 3),
+            // fd switch breaks the run.
+            seq(11, 4),
+            // Contiguous positioned run on fd 11 (2 ops -> 1 pwritev)…
+            at(11, 3, 5),
+            at(11, 7, 6),
+            // …broken by a gap: stands alone.
+            at(11, 20, 7),
+            TraceOp::Release { fd: 10 },
+            TraceOp::Release { fd: 11 },
+        ];
+        let reference = MemFs::new();
+        ReplayCursor::new().replay(&reference, &ops).unwrap();
+        let fs = MemFs::new();
+        let stats = ReplayCursor::new().replay_coalesced(&fs, &ops).unwrap();
+        assert_eq!(stats.replayed_ops, ops.len());
+        assert_eq!(stats.coalesced_calls, 2);
+        assert_eq!(stats.coalesced_ops, 5);
+        for path in ["/a", "/b"] {
+            assert_eq!(fs.snapshot(path).unwrap(), reference.snapshot(path).unwrap());
+        }
     }
 }

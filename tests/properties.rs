@@ -9,6 +9,52 @@ use ffis_core::{
 };
 use ffis_vfs::{FileSystem, FileSystemExt, MemFs, SECTOR_SIZE};
 
+/// Record a randomized chunked-write workload's golden trace (the
+/// same op mix the checkpoint-replay property uses: chunked writes, a
+/// descriptor held open across other files' I/O, truncates, patches)
+/// and return it with the from-scratch full-replay reference state —
+/// the shared fixture of the plan-aware replay properties.
+fn record_replay_workload(
+    seed: u64,
+    n_files: usize,
+) -> (Vec<ffis_vfs::TraceOp>, MemFs, Vec<String>) {
+    use ffis_vfs::{FfisFs, OpenFlags, TraceRecorder};
+    use std::sync::Arc;
+
+    let mut rng = Rng::seed_from(seed);
+    let mut paths: Vec<String> = Vec::new();
+    let recorder = Arc::new(TraceRecorder::new());
+    let ffs = FfisFs::mount(Arc::new(MemFs::new()));
+    ffs.attach(recorder.clone());
+    ffs.mkdir("/w", 0o755).unwrap();
+    let held = ffs.create("/w/held.bin", 0o644).unwrap();
+    for f in 0..n_files {
+        let p = format!("/w/f{:02}.dat", f);
+        let len = 1 + rng.gen_range(9_000) as usize;
+        let chunk = 512 * (1 + rng.gen_range(8) as usize);
+        let data: Vec<u8> = (0..len).map(|i| (i as u64 * 31 + f as u64) as u8).collect();
+        ffs.write_file_chunked(&p, &data, chunk).unwrap();
+        ffs.pwrite(held, &[f as u8 + 1; 600], f as u64 * 600).unwrap();
+        if rng.chance(0.5) {
+            ffs.truncate(&p, rng.gen_range(len as u64 + 1)).unwrap();
+        }
+        if rng.chance(0.5) {
+            let fd = ffs.open(&p, OpenFlags::read_write()).unwrap();
+            ffs.pwrite(fd, b"patch", rng.gen_range(len as u64)).unwrap();
+            ffs.release(fd).unwrap();
+        }
+        paths.push(p);
+    }
+    ffs.release(held).unwrap();
+    paths.push("/w/held.bin".into());
+    ffs.unmount();
+
+    let ops = recorder.take_ops();
+    let reference = MemFs::new();
+    ffis_vfs::ReplayCursor::new().replay(&reference, &ops).unwrap();
+    (ops, reference, paths)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -330,6 +376,127 @@ proptest! {
             let want_stat = reference.statfs().unwrap();
             prop_assert_eq!(got_stat.inodes, want_stat.inodes);
             prop_assert_eq!(got_stat.bytes_used, want_stat.bytes_used);
+        }
+    }
+
+    /// Demand-driven checkpoint placement never trades correctness for
+    /// overshoot: from *every* demand-placed snapshot of a randomized
+    /// workload's golden trace, fork + suffix replay reproduces the
+    /// byte-identical filesystem state of a from-scratch full replay —
+    /// and when the distinct demanded offsets fit the snapshot budget,
+    /// the placement's total overshoot over that demand is exactly
+    /// zero (every demanded fork starts at its own target).
+    #[test]
+    fn demand_placed_checkpoints_replay_byte_identical(
+        seed in any::<u64>(),
+        n_files in 1usize..4,
+        demand_sel in proptest::collection::vec(any::<proptest::sample::Index>(), 1..24),
+        budget in 2usize..10,
+    ) {
+        use ffis_vfs::TraceCheckpoints;
+
+        let (ops, reference, paths) = record_replay_workload(seed, n_files);
+        let n = ops.len();
+        let demand: Vec<usize> = demand_sel.iter().map(|d| d.index(n)).collect();
+        let cache = TraceCheckpoints::build_for_demand_with(ops, &demand, budget).unwrap();
+
+        let mut distinct: Vec<usize> =
+            demand.iter().copied().filter(|&d| d > 0 && d < n).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if !distinct.is_empty() && distinct.len() < budget.max(2) {
+            prop_assert_eq!(
+                cache.overshoot_for(&demand), 0,
+                "a demand that fits the budget gets zero overshoot"
+            );
+        }
+
+        for point in cache.points() {
+            let (mount, mut cursor) = point.mount_fork();
+            cursor.replay(&*mount, cache.suffix(point)).unwrap();
+            for p in &paths {
+                let got = mount.read_to_vec(p).map_err(|e| e.to_string());
+                let want = reference.read_to_vec(p).map_err(|e| e.to_string());
+                prop_assert_eq!(
+                    &got, &want,
+                    "demand checkpoint {} diverged on {}", point.index(), p
+                );
+            }
+            let got_stat = mount.inner().statfs().unwrap();
+            let want_stat = reference.statfs().unwrap();
+            prop_assert_eq!(got_stat.inodes, want_stat.inodes);
+            prop_assert_eq!(got_stat.bytes_used, want_stat.bytes_used);
+        }
+    }
+
+    /// Checkpoint-grouped batch execution changes nothing observable
+    /// (engine law 9): grouping random fork targets by their starting
+    /// checkpoint — the executor's batch key — partitions exactly the
+    /// original target multiset, and every target's batched mini-fork
+    /// (target op + tail replayed) lands on the byte-identical state
+    /// the classic per-run arm (shared checkpoint + full suffix) and a
+    /// from-scratch full replay produce.
+    #[test]
+    fn batch_grouped_replay_matches_per_run_forks(
+        seed in any::<u64>(),
+        n_files in 1usize..3,
+        target_sel in proptest::collection::vec(any::<proptest::sample::Index>(), 2..14),
+    ) {
+        use ffis_vfs::TraceCheckpoints;
+        use std::collections::HashMap;
+
+        let (ops, reference, paths) = record_replay_workload(seed, n_files);
+        let n = ops.len();
+        let targets: Vec<usize> = target_sel.iter().map(|t| t.index(n)).collect();
+        let cache = TraceCheckpoints::build_for_demand(ops, &targets).unwrap();
+
+        // Group by starting-checkpoint position, exactly like
+        // `RunStrategy::Replay { checkpoint }`'s batch key.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &t in &targets {
+            let pos = cache.points().partition_point(|p| p.index() <= t) - 1;
+            groups.entry(pos).or_default().push(t);
+        }
+
+        // The grouped schedule is a permutation of the target multiset:
+        // no run is lost, duplicated, or migrated across groups.
+        let mut flat: Vec<usize> = groups.values().flatten().copied().collect();
+        flat.sort_unstable();
+        let mut want = targets.clone();
+        want.sort_unstable();
+        prop_assert_eq!(flat, want);
+
+        for (pos, group) in groups {
+            let batch = cache.fork_at_targets(pos, &group).unwrap();
+            for &t in &group {
+                let fork = batch.for_target(t).unwrap();
+                prop_assert_eq!(fork.point().index(), t);
+
+                // Batched arm: mini-fork at the target, replay the
+                // target op + tail.
+                let (mount, mut cursor) = fork.point().mount_fork();
+                cursor.replay(&*mount, &cache.ops()[t..]).unwrap();
+
+                // Classic arm: the group's shared checkpoint + full
+                // suffix.
+                let start = cache.nearest_before(t);
+                let (classic, mut c2) = start.mount_fork();
+                c2.replay(&*classic, cache.suffix(start)).unwrap();
+
+                for p in &paths {
+                    let batched = mount.read_to_vec(p).map_err(|e| e.to_string());
+                    let unbatched = classic.read_to_vec(p).map_err(|e| e.to_string());
+                    let full = reference.read_to_vec(p).map_err(|e| e.to_string());
+                    prop_assert_eq!(
+                        &batched, &unbatched,
+                        "target {} batched/classic diverged on {}", t, p
+                    );
+                    prop_assert_eq!(
+                        &batched, &full,
+                        "target {} diverged from full replay on {}", t, p
+                    );
+                }
+            }
         }
     }
 

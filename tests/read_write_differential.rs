@@ -321,6 +321,7 @@ fn mixed_campaign_pinned_through_engine() {
         executed: result.executed,
         resumed: result.resumed,
         memo: ffis_core::MemoReport::default(),
+        replay_opt: ffis_core::ReplayOptReport::default(),
     };
     let got_digest = digest(&mixed);
     assert_eq!(
